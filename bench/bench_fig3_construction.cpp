@@ -1,0 +1,77 @@
+// Reproduces paper Fig. 3: parametric construction of the two case-study
+// architectures and their auto-derived scaling rules and critical
+// insertion-loss paths.
+//   (a) dynamic array-style TeMPO (R tiles x C cores x H x W nodes)
+//   (b) static mesh-style Clements MZI array (node-U/V scaled by
+//       R*C*H*(H-1)/2, node-Sigma by R*C*min(H,W))
+#include <cstdio>
+#include <iostream>
+
+#include "arch/link_budget.h"
+#include "arch/prebuilt.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace simphony;
+
+void show(const arch::SubArchitecture& subarch) {
+  std::printf("--- %s (R=%d, C=%d, H=%d, W=%d, L=%d) ---\n",
+              subarch.name().c_str(), subarch.params().tiles,
+              subarch.params().cores_per_tile, subarch.params().core_height,
+              subarch.params().core_width, subarch.params().wavelengths);
+  util::Table table({"instance", "device", "scaling rule", "count",
+                     "path loss (dB)"});
+  for (const auto& g : subarch.groups()) {
+    table.add_row({g.spec->name, g.spec->device, g.spec->count.text(),
+                   std::to_string(g.count),
+                   util::Table::fmt(g.path_loss_dB, 2)});
+  }
+  std::cout << table.render();
+
+  const arch::PathResult path = arch::critical_insertion_loss_path(subarch);
+  std::printf("critical insertion-loss path (%.2f dB): ", path.weight);
+  for (size_t i = 0; i < path.path.size(); ++i) {
+    std::printf("%s%s", i ? " -> " : "", path.path[i].c_str());
+  }
+  const arch::LinkBudgetReport link = arch::analyze_link_budget(subarch);
+  std::printf("\nlaser power: %.1f mW per wavelength, %.1f mW total\n\n",
+              link.laser_power_per_wavelength_mW,
+              link.total_laser_power_mW);
+}
+
+}  // namespace
+
+int main() {
+  devlib::DeviceLibrary lib = devlib::DeviceLibrary::standard();
+
+  std::cout << "=== Fig. 3(a): dynamic array-style TeMPO ===\n";
+  arch::ArchParams tempo_params;  // R=2, C=2, H=W=4, L=4
+  tempo_params.tiles = 1;
+  tempo_params.cores_per_tile = 2;
+  tempo_params.core_height = 2;
+  tempo_params.core_width = 2;
+  tempo_params.wavelengths = 1;
+  show(arch::SubArchitecture(arch::tempo_template(), tempo_params, lib));
+
+  std::cout << "=== Fig. 3(b): static mesh-style MZI array ===\n";
+  arch::ArchParams mzi_params;
+  mzi_params.tiles = 1;
+  mzi_params.cores_per_tile = 1;
+  mzi_params.core_height = 3;
+  mzi_params.core_width = 3;
+  mzi_params.wavelengths = 1;
+  show(arch::SubArchitecture(arch::clements_mzi_template(), mzi_params, lib));
+
+  std::cout << "=== scaling check: same templates at larger parameter "
+               "points ===\n";
+  arch::ArchParams big;
+  big.tiles = 4;
+  big.cores_per_tile = 2;
+  big.core_height = 12;
+  big.core_width = 12;
+  big.wavelengths = 12;
+  show(arch::SubArchitecture(arch::lightening_transformer_template(), big,
+                             lib));
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Reproduces paper Fig. 7: SimPhony validated on a (280x28)x(28x280) GEMM
+// with the TeMPO architecture (R=2 tiles, C=2 cores/tile, 4x4 nodes,
+// 4 wavelengths, 5 GHz).
+//   (a) area breakdown, total 0.84 mm^2 (both SimPhony and TeMPO ref)
+//   (b) energy breakdown per output element, 96.13 pJ (SimPhony) vs
+//       92.52 pJ (TeMPO reference)
+#include <cstdio>
+#include <iostream>
+
+#include "arch/prebuilt.h"
+#include "core/simulator.h"
+#include "util/table.h"
+#include "workload/onn_convert.h"
+
+namespace {
+constexpr double kRefAreaMm2 = 0.84;       // TeMPO paper total
+constexpr double kRefEnergyPJ = 92.52;     // TeMPO paper, per output
+constexpr double kPaperSimPhonyPJ = 96.13; // SimPhony paper, per output
+}  // namespace
+
+int main() {
+  using namespace simphony;
+
+  devlib::DeviceLibrary lib = devlib::DeviceLibrary::standard();
+  arch::ArchParams params;  // defaults: R=2, C=2, H=W=4, L=4, 5 GHz
+  arch::Architecture system("tempo");
+  system.add_subarch(
+      arch::SubArchitecture(arch::tempo_template(), params, lib));
+  core::Simulator sim(std::move(system));
+
+  workload::Model model = workload::single_gemm_model(280, 28, 280);
+  workload::convert_model_in_place(model);
+  const core::ModelReport report =
+      sim.simulate_model(model, core::MappingConfig(0));
+
+  const double outputs = 280.0 * 280.0;
+
+  std::cout << "=== Fig. 7(a): TeMPO area breakdown (mm^2) ===\n";
+  util::Table area({"category", "SimPhony-C++ (mm^2)"});
+  const layout::AreaBreakdown& ab = report.subarch_area.front();
+  for (const auto& [k, v] : ab.mm2) {
+    area.add_row({k, util::Table::fmt(v, 4)});
+  }
+  area.add_row({"TOTAL", util::Table::fmt(ab.total_mm2(), 4)});
+  std::cout << area.render();
+  std::printf("paper: SimPhony %.2f mm^2 | TeMPO ref %.2f mm^2 | "
+              "measured %.4f mm^2 (%.1f%% of ref)\n\n",
+              kRefAreaMm2, kRefAreaMm2, ab.total_mm2(),
+              100.0 * ab.total_mm2() / kRefAreaMm2);
+
+  std::cout << "=== Fig. 7(b): TeMPO energy breakdown (pJ per output) ===\n";
+  util::Table energy({"category", "pJ/output"});
+  double total_pj_per_out = 0.0;
+  for (const auto& [k, v] : report.total_energy.entries()) {
+    if (k == "DM") continue;  // Fig. 7(b) reports compute energy only
+    energy.add_row({k, util::Table::fmt(v / outputs)});
+    total_pj_per_out += v / outputs;
+  }
+  energy.add_row({"TOTAL", util::Table::fmt(total_pj_per_out)});
+  std::cout << energy.render();
+  std::printf("paper: SimPhony %.2f pJ | TeMPO ref %.2f pJ | "
+              "measured %.2f pJ (%.1f%% of paper-SimPhony)\n",
+              kPaperSimPhonyPJ, kRefEnergyPJ, total_pj_per_out,
+              100.0 * total_pj_per_out / kPaperSimPhonyPJ);
+  std::printf("total runtime %.3f us, utilization %.1f%%, DM %.2f pJ/out\n",
+              report.total_runtime_ns / 1e3,
+              report.layers.front().dataflow.utilization * 100.0,
+              report.total_energy.get("DM") / outputs);
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Reproduces paper Fig. 8: SimPhony validated on BERT-Base with a single
+// 224x224 ImageNet image against Lightening-Transformer (LT):
+//   settings: 4 tiles, 2 cores/tile, 12x12 cores, 12 wavelengths, 5 GHz
+//   (a) area breakdown: SimPhony 59.83 mm^2 vs LT 60.30 mm^2
+//   (b) power breakdown: SimPhony 20.77 W vs LT 14.75 W
+#include <cstdio>
+#include <iostream>
+
+#include "arch/prebuilt.h"
+#include "core/simulator.h"
+#include "util/table.h"
+#include "workload/onn_convert.h"
+
+namespace {
+constexpr double kPaperAreaMm2 = 59.83;
+constexpr double kRefAreaMm2 = 60.30;
+constexpr double kPaperPowerW = 20.77;
+constexpr double kRefPowerW = 14.75;
+}  // namespace
+
+int main() {
+  using namespace simphony;
+
+  devlib::DeviceLibrary lib = devlib::DeviceLibrary::standard();
+  arch::ArchParams params;
+  params.tiles = 4;
+  params.cores_per_tile = 2;
+  params.core_height = 12;
+  params.core_width = 12;
+  params.wavelengths = 12;
+  params.clock_GHz = 5.0;
+
+  arch::Architecture system("lightening-transformer");
+  system.add_subarch(arch::SubArchitecture(
+      arch::lightening_transformer_template(), params, lib));
+  core::Simulator sim(std::move(system));
+
+  workload::Model model = workload::bert_base_image224();
+  workload::convert_model_in_place(model);
+  const core::ModelReport report =
+      sim.simulate_model(model, core::MappingConfig(0));
+
+  std::cout << "=== Fig. 8(a): LT BERT-Base area breakdown (mm^2) ===\n";
+  util::Table area({"category", "mm^2"});
+  const layout::AreaBreakdown& ab = report.subarch_area.front();
+  double total_area = report.memory_area_mm2;
+  area.add_row({"Mem", util::Table::fmt(report.memory_area_mm2, 2)});
+  for (const auto& [k, v] : ab.mm2) {
+    area.add_row({k, util::Table::fmt(v, 2)});
+    total_area += v;
+  }
+  area.add_row({"TOTAL", util::Table::fmt(total_area, 2)});
+  std::cout << area.render();
+  std::printf("paper: SimPhony %.2f | LT ref %.2f | measured %.2f mm^2 "
+              "(%.1f%% of paper-SimPhony)\n\n",
+              kPaperAreaMm2, kRefAreaMm2, total_area,
+              100.0 * total_area / kPaperAreaMm2);
+
+  std::cout << "=== Fig. 8(b): LT BERT-Base power breakdown (W) ===\n";
+  // Average power per category over the model runtime; DM maps to "Mem"
+  // plus the hierarchy leakage.
+  util::Table power({"category", "W"});
+  double total_W = 0.0;
+  for (const auto& [k, v] : report.total_energy.entries()) {
+    const double watts = v / report.total_runtime_ns * 1e-3;
+    const std::string label = (k == "DM") ? "Mem" : k;
+    power.add_row({label, util::Table::fmt(watts, 3)});
+    total_W += watts;
+  }
+  const double leak_W = report.memory.total_leakage_mW() * 1e-3;
+  power.add_row({"Mem leakage", util::Table::fmt(leak_W, 3)});
+  total_W += leak_W;
+  power.add_row({"TOTAL", util::Table::fmt(total_W, 2)});
+  std::cout << power.render();
+  std::printf("paper: SimPhony %.2f W | LT ref %.2f W | measured %.2f W "
+              "(%.1f%% of paper-SimPhony)\n",
+              kPaperPowerW, kRefPowerW, total_W,
+              100.0 * total_W / kPaperPowerW);
+  std::printf("BERT-Base runtime %.3f ms, %.1f GMACs\n",
+              report.total_runtime_ns / 1e6, report.total_macs() / 1e9);
+  return 0;
+}

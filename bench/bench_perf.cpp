@@ -1,0 +1,89 @@
+// google-benchmark microbenchmarks of the simulator's own hot paths:
+// longest-path link budget, node floorplanning, GEMM mapping and the full
+// end-to-end layer simulation.
+#include <benchmark/benchmark.h>
+
+#include "arch/link_budget.h"
+#include "arch/prebuilt.h"
+#include "core/simulator.h"
+#include "layout/floorplan.h"
+#include "workload/gemm.h"
+
+namespace {
+
+using namespace simphony;
+
+arch::SubArchitecture make_tempo() {
+  static devlib::DeviceLibrary lib = devlib::DeviceLibrary::standard();
+  arch::ArchParams p;
+  p.tiles = 2;
+  p.cores_per_tile = 2;
+  p.core_height = 4;
+  p.core_width = 4;
+  p.wavelengths = 4;
+  return arch::SubArchitecture(arch::tempo_template(), p, lib);
+}
+
+void BM_LinkBudget(benchmark::State& state) {
+  const arch::SubArchitecture subarch = make_tempo();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(arch::analyze_link_budget(subarch));
+  }
+}
+BENCHMARK(BM_LinkBudget);
+
+void BM_NodeFloorplan(benchmark::State& state) {
+  const devlib::DeviceLibrary lib = devlib::DeviceLibrary::standard();
+  const arch::PtcTemplate t = arch::tempo_template();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(layout::floorplan_signal_flow(t.node, lib));
+  }
+}
+BENCHMARK(BM_NodeFloorplan);
+
+void BM_MapGemm(benchmark::State& state) {
+  const arch::SubArchitecture subarch = make_tempo();
+  const workload::Model model = workload::single_gemm_model(
+      static_cast<int>(state.range(0)), 28, static_cast<int>(state.range(0)));
+  const workload::GemmWorkload gemm =
+      workload::gemm_of_layer(model.layers.front());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dataflow::map_gemm(subarch, gemm));
+  }
+}
+BENCHMARK(BM_MapGemm)->Arg(280)->Arg(1024)->Arg(4096);
+
+void BM_EndToEndLayer(benchmark::State& state) {
+  devlib::DeviceLibrary lib = devlib::DeviceLibrary::standard();
+  arch::ArchParams p;
+  arch::Architecture system("tempo");
+  system.add_subarch(
+      arch::SubArchitecture(arch::tempo_template(), p, lib));
+  core::Simulator sim(std::move(system));
+  const workload::Model model = workload::single_gemm_model(280, 28, 280);
+  const workload::GemmWorkload gemm =
+      workload::gemm_of_layer(model.layers.front());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.simulate_gemm(0, gemm));
+  }
+}
+BENCHMARK(BM_EndToEndLayer);
+
+void BM_VGG8FullModel(benchmark::State& state) {
+  devlib::DeviceLibrary lib = devlib::DeviceLibrary::standard();
+  arch::ArchParams p;
+  arch::Architecture system("tempo");
+  system.add_subarch(
+      arch::SubArchitecture(arch::tempo_template(), p, lib));
+  core::Simulator sim(std::move(system));
+  const workload::Model model = workload::vgg8_cifar10();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sim.simulate_model(model, core::MappingConfig(0)));
+  }
+}
+BENCHMARK(BM_VGG8FullModel);
+
+}  // namespace
+
+BENCHMARK_MAIN();

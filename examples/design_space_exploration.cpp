@@ -1,0 +1,87 @@
+// Example: automated design-space exploration (the paper's stated future
+// extension, §IV-B4) — sweep TeMPO's architecture parameters on a VGG-8
+// workload and report the Pareto frontier of (energy, latency, area).
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "arch/prebuilt.h"
+#include "core/simulator.h"
+#include "util/table.h"
+#include "workload/onn_convert.h"
+
+namespace {
+
+struct DesignPoint {
+  int tiles, cores, hw, wavelengths;
+  double energy_uJ = 0.0;
+  double latency_us = 0.0;
+  double area_mm2 = 0.0;
+  bool pareto = false;
+};
+
+bool dominates(const DesignPoint& a, const DesignPoint& b) {
+  return a.energy_uJ <= b.energy_uJ && a.latency_us <= b.latency_us &&
+         a.area_mm2 <= b.area_mm2 &&
+         (a.energy_uJ < b.energy_uJ || a.latency_us < b.latency_us ||
+          a.area_mm2 < b.area_mm2);
+}
+
+}  // namespace
+
+int main() {
+  using namespace simphony;
+
+  devlib::DeviceLibrary lib = devlib::DeviceLibrary::standard();
+  workload::Model model = workload::vgg8_cifar10();
+  workload::convert_model_in_place(model);
+
+  std::vector<DesignPoint> points;
+  for (int tiles : {1, 2, 4}) {
+    for (int cores : {1, 2}) {
+      for (int hw : {4, 8}) {
+        for (int wavelengths : {2, 4, 8}) {
+          arch::ArchParams p;
+          p.tiles = tiles;
+          p.cores_per_tile = cores;
+          p.core_height = hw;
+          p.core_width = hw;
+          p.wavelengths = wavelengths;
+          arch::Architecture system("tempo-dse");
+          system.add_subarch(
+              arch::SubArchitecture(arch::tempo_template(), p, lib));
+          core::Simulator sim(std::move(system));
+          const core::ModelReport r =
+              sim.simulate_model(model, core::MappingConfig(0));
+          points.push_back({tiles, cores, hw, wavelengths,
+                            r.total_energy.total_pJ() * 1e-6,
+                            r.total_runtime_ns * 1e-3,
+                            r.total_area_mm2()});
+        }
+      }
+    }
+  }
+
+  for (auto& a : points) {
+    a.pareto = std::none_of(points.begin(), points.end(),
+                            [&](const DesignPoint& b) {
+                              return dominates(b, a);
+                            });
+  }
+
+  std::cout << "=== TeMPO design-space exploration on VGG-8(CIFAR10) ===\n";
+  util::Table table({"R", "C", "HxW", "L", "energy (uJ)", "latency (us)",
+                     "area (mm^2)", "Pareto"});
+  for (const auto& pt : points) {
+    table.add_row({std::to_string(pt.tiles), std::to_string(pt.cores),
+                   std::to_string(pt.hw) + "x" + std::to_string(pt.hw),
+                   std::to_string(pt.wavelengths),
+                   util::Table::fmt(pt.energy_uJ, 1),
+                   util::Table::fmt(pt.latency_us, 1),
+                   util::Table::fmt(pt.area_mm2, 3),
+                   pt.pareto ? "*" : ""});
+  }
+  std::cout << table.render();
+  std::cout << "* = Pareto-optimal in (energy, latency, area)\n";
+  return 0;
+}

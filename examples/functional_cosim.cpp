@@ -1,0 +1,60 @@
+// Example: hardware/software co-simulation — run a GEMM *through* the
+// analog model (DAC quantization, analog-window noise at the receiver
+// ENOB, ADC quantization) and study numerical fidelity vs. the energy
+// cost of buying more resolution.
+#include <iostream>
+
+#include "arch/link_budget.h"
+#include "arch/prebuilt.h"
+#include "core/cosim.h"
+#include "util/table.h"
+
+int main() {
+  using namespace simphony;
+
+  devlib::DeviceLibrary lib = devlib::DeviceLibrary::standard();
+  util::Rng rng(2024);
+  const workload::Tensor a = workload::Tensor::uniform({32, 64}, rng);
+  const workload::Tensor b = workload::Tensor::uniform({64, 32}, rng);
+
+  std::cout << "=== Functional co-simulation: (32x64)x(64x32) GEMM through "
+               "TeMPO's analog chain ===\n";
+  util::Table table({"operand bits", "ADC bits", "ENOB", "RMSE",
+                     "output SNR (dB)", "laser (mW)"});
+  for (int bits : {2, 4, 6, 8}) {
+    arch::ArchParams p;
+    p.input_bits = bits;
+    p.weight_bits = bits;
+    p.output_bits = bits + 4;
+    const arch::SubArchitecture sub(arch::tempo_template(), p, lib);
+    const core::CosimResult r = core::cosim_gemm(sub, a, b);
+    const arch::LinkBudgetReport link = arch::analyze_link_budget(sub);
+    table.add_row({std::to_string(bits), std::to_string(bits + 4),
+                   util::Table::fmt(r.enob_bits, 2),
+                   util::Table::fmt(r.rmse, 4),
+                   util::Table::fmt(r.output_snr_dB, 1),
+                   util::Table::fmt(link.total_laser_power_mW, 1)});
+  }
+  std::cout << table.render();
+  std::cout << "\nhigher encoding resolution buys output SNR but the laser "
+               "power doubles per input bit (Eq. 1) - the co-design "
+               "tradeoff SimPhony exposes.\n";
+
+  // Noise ablation at fixed bits.
+  arch::ArchParams p;
+  p.input_bits = 6;
+  p.weight_bits = 6;
+  p.output_bits = 10;
+  const arch::SubArchitecture sub(arch::tempo_template(), p, lib);
+  core::CosimOptions quiet;
+  quiet.inject_noise = false;
+  const core::CosimResult noisy = core::cosim_gemm(sub, a, b);
+  const core::CosimResult clean = core::cosim_gemm(sub, a, b, quiet);
+  std::cout << "\nnoise ablation at 6-bit operands: SNR "
+            << util::Table::fmt(clean.output_snr_dB, 1)
+            << " dB (quantization only) -> "
+            << util::Table::fmt(noisy.output_snr_dB, 1)
+            << " dB (with receiver noise at ENOB "
+            << util::Table::fmt(noisy.enob_bits, 2) << ")\n";
+  return 0;
+}

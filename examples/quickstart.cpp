@@ -1,0 +1,72 @@
+// Quickstart: build a TeMPO architecture, run the paper's validation GEMM
+// (280x28)x(28x280), and print latency / energy / area / link budget.
+//
+//   $ ./example_quickstart
+#include <iostream>
+
+#include "arch/prebuilt.h"
+#include "core/simulator.h"
+#include "util/table.h"
+#include "workload/onn_convert.h"
+
+int main() {
+  using namespace simphony;
+
+  // 1. Pick a device library (calibrated defaults; swap in PDK data here).
+  devlib::DeviceLibrary lib = devlib::DeviceLibrary::standard();
+
+  // 2. Instantiate a parametric PTC architecture: TeMPO with 2 tiles,
+  //    2 cores/tile, 4x4 dot-product nodes, 4 wavelengths at 5 GHz.
+  arch::ArchParams params;
+  params.tiles = 2;
+  params.cores_per_tile = 2;
+  params.core_height = 4;
+  params.core_width = 4;
+  params.wavelengths = 4;
+  params.clock_GHz = 5.0;
+
+  arch::Architecture system("tempo-edge");
+  system.add_subarch(
+      arch::SubArchitecture(arch::tempo_template(), params, lib));
+
+  // 3. Build the workload: a single GEMM, ONN-converted (quantized).
+  workload::Model model = workload::single_gemm_model(280, 28, 280);
+  workload::convert_model_in_place(model);
+
+  // 4. Simulate.
+  core::Simulator sim(std::move(system));
+  core::ModelReport report =
+      sim.simulate_model(model, core::MappingConfig(0));
+
+  // 5. Report.
+  const core::LayerReport& layer = report.layers.front();
+  std::cout << "== SimPhony quickstart: " << model.name << " on TeMPO ==\n";
+  std::cout << "cycles            : " << layer.dataflow.total_cycles << "\n";
+  std::cout << "runtime           : " << layer.runtime_ns() / 1e3
+            << " us\n";
+  std::cout << "utilization       : " << layer.dataflow.utilization * 100
+            << " %\n";
+  std::cout << "critical path IL  : " << layer.link.critical_path_loss_dB
+            << " dB\n";
+  std::cout << "laser power       : "
+            << layer.link.total_laser_power_mW << " mW\n";
+  std::cout << "GLB blocks        : " << report.memory.glb.blocks << " ("
+            << report.memory.glb.bandwidth_GBps << " GB/s)\n\n";
+
+  util::Table energy({"category", "energy (nJ)"});
+  for (const auto& [k, v] : report.total_energy.entries()) {
+    energy.add_row({k, util::Table::fmt(v * 1e-3)});
+  }
+  energy.add_row({"TOTAL",
+                  util::Table::fmt(report.total_energy.total_pJ() * 1e-3)});
+  std::cout << energy.render() << "\n";
+
+  util::Table area({"category", "area (mm^2)"});
+  for (const auto& [k, v] : report.subarch_area.front().mm2) {
+    area.add_row({k, util::Table::fmt(v, 4)});
+  }
+  area.add_row(
+      {"TOTAL", util::Table::fmt(report.subarch_area.front().total_mm2(), 4)});
+  std::cout << area.render();
+  return 0;
+}

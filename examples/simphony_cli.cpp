@@ -1,0 +1,162 @@
+// simphony_cli — drive the whole flow from the command line:
+//
+//   example_simphony_cli [description.sphy] [options]
+//     --model vgg8|resnet20|bert|mlp|gemm:NxDxM   (default gemm:280x28x280)
+//     --tiles R --cores C --size H --wavelengths L --clock GHz
+//     --bits in,w,out        operand bitwidths
+//     --json | --csv         machine-readable output
+//
+// Without a description file the built-in TeMPO template is used; with one
+// the PTC is loaded from the circuit description format (arch/description.h).
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "arch/description.h"
+#include "arch/prebuilt.h"
+#include "core/simulator.h"
+#include "util/table.h"
+#include "workload/onn_convert.h"
+
+namespace {
+
+using namespace simphony;
+
+workload::Model parse_model(const std::string& spec) {
+  if (spec == "vgg8") return workload::vgg8_cifar10();
+  if (spec == "resnet20") return workload::resnet20_cifar10();
+  if (spec == "bert") return workload::bert_base_image224();
+  if (spec == "mlp") return workload::mlp_mnist();
+  if (spec.rfind("gemm:", 0) == 0) {
+    int n = 0;
+    int d = 0;
+    int m = 0;
+    if (std::sscanf(spec.c_str() + 5, "%dx%dx%d", &n, &d, &m) == 3) {
+      return workload::single_gemm_model(n, d, m);
+    }
+  }
+  throw std::invalid_argument("unknown --model spec '" + spec + "'");
+}
+
+int run(int argc, char** argv) {
+  arch::PtcTemplate ptc = arch::tempo_template();
+  arch::ArchParams params;
+  std::string model_spec = "gemm:280x28x280";
+  bool as_json = false;
+  bool as_csv = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        throw std::invalid_argument("missing value after " + arg);
+      }
+      return argv[++i];
+    };
+    if (arg == "--model") {
+      model_spec = next();
+    } else if (arg == "--tiles") {
+      params.tiles = std::stoi(next());
+    } else if (arg == "--cores") {
+      params.cores_per_tile = std::stoi(next());
+    } else if (arg == "--size") {
+      params.core_height = params.core_width = std::stoi(next());
+    } else if (arg == "--wavelengths") {
+      params.wavelengths = std::stoi(next());
+    } else if (arg == "--clock") {
+      params.clock_GHz = std::stod(next());
+    } else if (arg == "--bits") {
+      const std::string bits = next();
+      std::sscanf(bits.c_str(), "%d,%d,%d", &params.input_bits,
+                  &params.weight_bits, &params.output_bits);
+    } else if (arg == "--json") {
+      as_json = true;
+    } else if (arg == "--csv") {
+      as_csv = true;
+    } else if (arg == "--help") {
+      std::cout << "usage: simphony_cli [description.sphy] [--model SPEC] "
+                   "[--tiles R] [--cores C] [--size HW] [--wavelengths L] "
+                   "[--clock GHz] [--bits in,w,out] [--json|--csv]\n";
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      throw std::invalid_argument("unknown option " + arg);
+    } else {
+      std::ifstream f(arg);
+      if (!f) throw std::invalid_argument("cannot open " + arg);
+      std::stringstream buf;
+      buf << f.rdbuf();
+      ptc = arch::parse_description(buf.str());
+    }
+  }
+
+  devlib::DeviceLibrary lib = devlib::DeviceLibrary::standard();
+  arch::Architecture system(ptc.name);
+  system.add_subarch(arch::SubArchitecture(ptc, params, lib));
+  core::Simulator sim(std::move(system));
+
+  workload::Model model = parse_model(model_spec);
+  for (auto& layer : model.layers) {
+    layer.input_bits = params.input_bits;
+    layer.weight_bits = params.weight_bits;
+    layer.output_bits = params.output_bits;
+  }
+  workload::convert_model_in_place(model);
+  const core::ModelReport report =
+      sim.simulate_model(model, core::MappingConfig(0));
+
+  if (as_json) {
+    std::cout << report.to_json().dump(2) << "\n";
+    return 0;
+  }
+  if (as_csv) {
+    std::cout << report.to_csv();
+    return 0;
+  }
+
+  std::cout << "== " << model.name << " on " << ptc.name << " (R="
+            << params.tiles << " C=" << params.cores_per_tile << " "
+            << params.core_height << "x" << params.core_width << " L="
+            << params.wavelengths << " @ " << params.clock_GHz
+            << " GHz) ==\n";
+  util::Table summary({"metric", "value"});
+  summary.add_row({"runtime",
+                   util::Table::fmt(report.total_runtime_ns / 1e3, 2) +
+                       " us"});
+  summary.add_row({"energy",
+                   util::Table::fmt(report.total_energy.total_pJ() / 1e6, 2) +
+                       " uJ"});
+  summary.add_row({"avg power",
+                   util::Table::fmt(report.average_power_W(), 3) + " W"});
+  summary.add_row({"area",
+                   util::Table::fmt(report.total_area_mm2(), 3) + " mm^2"});
+  summary.add_row({"throughput", util::Table::fmt(report.tops(), 2) +
+                                     " TOPS"});
+  summary.add_row({"efficiency", util::Table::fmt(report.tops_per_W(), 2) +
+                                     " TOPS/W"});
+  summary.add_row({"GLB", util::Table::fmt(report.memory.glb.capacity_kB, 0) +
+                              " KB x " +
+                              std::to_string(report.memory.glb.blocks) +
+                              " blocks"});
+  std::cout << summary.render();
+
+  util::Table energy({"category", "uJ", "%"});
+  const double total = report.total_energy.total_pJ();
+  for (const auto& [k, v] : report.total_energy.entries()) {
+    energy.add_row({k, util::Table::fmt(v / 1e6, 3),
+                    util::Table::fmt(100.0 * v / total, 1)});
+  }
+  std::cout << energy.render();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "simphony_cli: " << e.what() << "\n";
+    return 1;
+  }
+}

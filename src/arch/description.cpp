@@ -1,0 +1,281 @@
+#include "arch/description.h"
+
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace simphony::arch {
+
+namespace {
+
+/// Splits a line into tokens; double quotes group words; '#' ends the line.
+std::vector<std::string> tokenize(std::string_view line, int lineno) {
+  std::vector<std::string> tokens;
+  std::string current;
+  bool quoted = false;
+  for (char c : line) {
+    if (c == '#' && !quoted) break;
+    if (c == '"') {
+      quoted = !quoted;
+      continue;
+    }
+    if (!quoted && std::isspace(static_cast<unsigned char>(c))) {
+      if (!current.empty()) tokens.push_back(std::move(current));
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  if (quoted) {
+    throw DescriptionError("line " + std::to_string(lineno) +
+                           ": unterminated quote");
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+/// Splits "key=value"; value may itself contain '=' inside expressions.
+std::pair<std::string, std::string> key_value(const std::string& token,
+                                              int lineno) {
+  const size_t eq = token.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    throw DescriptionError("line " + std::to_string(lineno) +
+                           ": expected key=value, got '" + token + "'");
+  }
+  return {token.substr(0, eq), token.substr(eq + 1)};
+}
+
+Role parse_role(const std::string& s, int lineno) {
+  static const std::map<std::string, Role> kRoles = {
+      {"source", Role::kSource},         {"coupling", Role::kCoupling},
+      {"encoder_a", Role::kEncoderA},    {"encoder_b", Role::kEncoderB},
+      {"distribution", Role::kDistribution},
+      {"node", Role::kNodeInternal},     {"weight", Role::kWeightCell},
+      {"readout", Role::kReadout},       {"other", Role::kOther},
+  };
+  auto it = kRoles.find(s);
+  if (it == kRoles.end()) {
+    throw DescriptionError("line " + std::to_string(lineno) +
+                           ": unknown role '" + s + "'");
+  }
+  return it->second;
+}
+
+const char* role_name(Role role) {
+  switch (role) {
+    case Role::kSource: return "source";
+    case Role::kCoupling: return "coupling";
+    case Role::kEncoderA: return "encoder_a";
+    case Role::kEncoderB: return "encoder_b";
+    case Role::kDistribution: return "distribution";
+    case Role::kNodeInternal: return "node";
+    case Role::kWeightCell: return "weight";
+    case Role::kReadout: return "readout";
+    case Role::kOther: return "other";
+  }
+  return "other";
+}
+
+OperandSpec parse_operand(const std::string& s, int lineno) {
+  const size_t comma = s.find(',');
+  if (comma == std::string::npos) {
+    throw DescriptionError("line " + std::to_string(lineno) +
+                           ": operand spec must be range,reconfig");
+  }
+  const std::string range = s.substr(0, comma);
+  const std::string speed = s.substr(comma + 1);
+  OperandSpec spec;
+  if (range == "R") {
+    spec.range = OperandRange::kFullReal;
+  } else if (range == "R+") {
+    spec.range = OperandRange::kNonNegative;
+  } else if (range == "C") {
+    spec.range = OperandRange::kComplexFixed;
+  } else {
+    throw DescriptionError("line " + std::to_string(lineno) +
+                           ": unknown operand range '" + range + "'");
+  }
+  if (speed == "static") {
+    spec.reconfig = ReconfigSpeed::kStatic;
+  } else if (speed == "dynamic") {
+    spec.reconfig = ReconfigSpeed::kDynamic;
+  } else {
+    throw DescriptionError("line " + std::to_string(lineno) +
+                           ": unknown reconfig speed '" + speed + "'");
+  }
+  return spec;
+}
+
+}  // namespace
+
+PtcTemplate parse_description(std::string_view text) {
+  PtcTemplate t;
+  bool seen_template = false;
+  std::istringstream stream{std::string(text)};
+  std::string raw;
+  int lineno = 0;
+  while (std::getline(stream, raw)) {
+    ++lineno;
+    const std::vector<std::string> tok = tokenize(raw, lineno);
+    if (tok.empty()) continue;
+    const std::string& cmd = tok[0];
+    auto need = [&](size_t n) {
+      if (tok.size() < n + 1) {
+        throw DescriptionError("line " + std::to_string(lineno) + ": '" +
+                               cmd + "' needs " + std::to_string(n) +
+                               " argument(s)");
+      }
+    };
+    if (cmd == "template") {
+      need(1);
+      t.name = tok[1];
+      t.node = Netlist(tok[1] + "-node");
+      seen_template = true;
+    } else if (!seen_template) {
+      throw DescriptionError("line " + std::to_string(lineno) +
+                             ": description must start with 'template'");
+    } else if (cmd == "output_stationary") {
+      need(1);
+      t.output_stationary = tok[1] != "0" && tok[1] != "false";
+    } else if (cmd == "reconfig_ns") {
+      need(1);
+      t.reconfig_latency_ns = std::stod(tok[1]);
+    } else if (cmd == "include_source_in_area") {
+      need(1);
+      t.include_source_in_area = tok[1] != "0" && tok[1] != "false";
+    } else if (cmd == "core_routing_overhead") {
+      need(1);
+      t.core_routing_overhead = std::stod(tok[1]);
+    } else if (cmd == "extra_area") {
+      need(2);
+      t.extra_area_mm2[tok[1]] = std::stod(tok[2]);
+    } else if (cmd == "node_instance") {
+      need(1);
+      t.node_instance = tok[1];
+    } else if (cmd == "taxonomy") {
+      need(3);
+      for (size_t i = 1; i < tok.size(); ++i) {
+        const auto [key, value] = key_value(tok[i], lineno);
+        if (key == "a") {
+          t.taxonomy.operand_a = parse_operand(value, lineno);
+        } else if (key == "b") {
+          t.taxonomy.operand_b = parse_operand(value, lineno);
+        } else if (key == "method") {
+          if (value == "direct") {
+            t.taxonomy.method = RangeMethod::kDirect;
+          } else if (value == "posneg") {
+            t.taxonomy.method = RangeMethod::kPosNeg;
+          } else {
+            throw DescriptionError("line " + std::to_string(lineno) +
+                                   ": unknown method '" + value + "'");
+          }
+        }
+      }
+    } else if (cmd == "nodedev") {
+      need(2);
+      t.node.add_instance(tok[1], tok[2]);
+    } else if (cmd == "nodenet") {
+      need(2);
+      t.node.add_net(tok[1], tok[2]);
+    } else if (cmd == "inst") {
+      ArchInstance inst;
+      bool has_count = false;
+      for (size_t i = 1; i < tok.size(); ++i) {
+        const auto [key, value] = key_value(tok[i], lineno);
+        try {
+          if (key == "name") {
+            inst.name = value;
+          } else if (key == "dev") {
+            inst.device = value;
+          } else if (key == "cat") {
+            inst.category = value;
+          } else if (key == "role") {
+            inst.role = parse_role(value, lineno);
+          } else if (key == "count") {
+            inst.count = util::Expr::parse(value);
+            has_count = true;
+          } else if (key == "pathloss") {
+            inst.path_loss_dB = util::Expr::parse(value);
+          } else if (key == "lossmult") {
+            inst.loss_mult = util::Expr::parse(value);
+          } else if (key == "onpath") {
+            inst.on_optical_path = value != "0" && value != "false";
+          } else {
+            throw DescriptionError("line " + std::to_string(lineno) +
+                                   ": unknown inst key '" + key + "'");
+          }
+        } catch (const util::ExprError& e) {
+          throw DescriptionError("line " + std::to_string(lineno) + ": " +
+                                 e.what());
+        }
+      }
+      if (inst.name.empty() || inst.device.empty() || !has_count) {
+        throw DescriptionError("line " + std::to_string(lineno) +
+                               ": inst needs name=, dev= and count=");
+      }
+      if (inst.category.empty()) inst.category = inst.device;
+      t.instances.push_back(std::move(inst));
+    } else if (cmd == "net") {
+      need(2);
+      t.nets.push_back({tok[1], tok[2]});
+    } else {
+      throw DescriptionError("line " + std::to_string(lineno) +
+                             ": unknown directive '" + cmd + "'");
+    }
+  }
+  if (!seen_template) {
+    throw DescriptionError("empty description: missing 'template'");
+  }
+  return t;
+}
+
+std::string write_description(const PtcTemplate& t) {
+  std::ostringstream os;
+  auto quote = [](const std::string& s) {
+    return s.find(' ') == std::string::npos ? s : '"' + s + '"';
+  };
+  os << "template " << t.name << "\n";
+  os << "output_stationary " << (t.output_stationary ? 1 : 0) << "\n";
+  os << "reconfig_ns " << t.reconfig_latency_ns << "\n";
+  if (t.include_source_in_area) os << "include_source_in_area 1\n";
+  if (t.core_routing_overhead != 1.0) {
+    os << "core_routing_overhead " << t.core_routing_overhead << "\n";
+  }
+  for (const auto& [k, v] : t.extra_area_mm2) {
+    os << "extra_area " << quote(k) << ' ' << v << "\n";
+  }
+  auto operand = [](const OperandSpec& o) {
+    return to_string(o.range) + "," +
+           (o.reconfig == ReconfigSpeed::kStatic ? "static" : "dynamic");
+  };
+  os << "taxonomy a=" << operand(t.taxonomy.operand_a)
+     << " b=" << operand(t.taxonomy.operand_b) << " method="
+     << (t.taxonomy.method == RangeMethod::kDirect ? "direct" : "posneg")
+     << "\n";
+  os << "node_instance " << t.node_instance << "\n";
+  for (const auto& inst : t.node.instances()) {
+    os << "nodedev " << inst.name << ' ' << inst.device << "\n";
+  }
+  for (const auto& net : t.node.nets()) {
+    os << "nodenet " << net.src << ' ' << net.dst << "\n";
+  }
+  for (const auto& inst : t.instances) {
+    os << "inst name=" << inst.name << " dev=" << inst.device
+       << " cat=" << quote(inst.category) << " role=" << role_name(inst.role)
+       << " count=" << quote(inst.count.text());
+    if (!inst.path_loss_dB.empty()) {
+      os << " pathloss=" << quote(inst.path_loss_dB.text());
+    }
+    if (!inst.loss_mult.empty()) {
+      os << " lossmult=" << quote(inst.loss_mult.text());
+    }
+    if (!inst.on_optical_path) os << " onpath=0";
+    os << "\n";
+  }
+  for (const auto& net : t.nets) {
+    os << "net " << net.src << ' ' << net.dst << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace simphony::arch

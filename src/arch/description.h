@@ -1,0 +1,49 @@
+// Circuit description files (paper §III-B: "These scaling rules are
+// expressed as customizable symbolic expressions in circuit description
+// files, enabling user-defined reuse styles to suit specific designs").
+//
+// A PtcTemplate can be authored as plain text instead of C++.  Line-based
+// format; '#' starts a comment; values with spaces are double-quoted.
+//
+//   template my-ptc
+//   output_stationary 1
+//   reconfig_ns 100
+//   taxonomy a=R,dynamic b=R+,static method=direct
+//   node_instance cell
+//   nodedev i0 ps
+//   nodedev i1 mmi
+//   nodenet i0 i1
+//   inst name=laser  dev=laser   cat=Laser     role=source count=L
+//   inst name=split  dev=ybranch cat="Y Branch" role=distribution ...
+//   ... count=(R*C*H-1)*L pathloss="3.0103*log2(R*C*H)"
+//   inst name=cell   dev=mmi     cat=Node      role=node count=R*C*H*W
+//   net laser split
+//
+// Roles: source, coupling, encoder_a, encoder_b, distribution, node,
+// weight, readout, other.  Ranges: R, R+, C.  Reconfig: static, dynamic.
+// Method: direct, posneg.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "arch/node.h"
+
+namespace simphony::arch {
+
+class DescriptionError : public std::runtime_error {
+ public:
+  explicit DescriptionError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Parses a circuit description; throws DescriptionError with the line
+/// number on malformed input.
+[[nodiscard]] PtcTemplate parse_description(std::string_view text);
+
+/// Serializes a template back to the description format (round-trippable
+/// up to comment/whitespace normalization).
+[[nodiscard]] std::string write_description(const PtcTemplate& ptc);
+
+}  // namespace simphony::arch

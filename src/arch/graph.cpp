@@ -1,0 +1,143 @@
+#include "arch/graph.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <stdexcept>
+
+namespace simphony::arch {
+
+Dag Dag::from_netlist(
+    const Netlist& netlist,
+    const std::function<double(const Instance&)>& vertex_weight) {
+  Dag g;
+  std::map<std::string, size_t> index;
+  for (const auto& inst : netlist.instances()) {
+    index[inst.name] = g.names_.size();
+    g.names_.push_back(inst.name);
+    g.weights_.push_back(vertex_weight(inst));
+  }
+  g.adj_.assign(g.names_.size(), {});
+  g.in_degree_.assign(g.names_.size(), 0);
+  for (const auto& net : netlist.nets()) {
+    const size_t u = index.at(net.src);
+    const size_t v = index.at(net.dst);
+    g.adj_[u].push_back(v);
+    ++g.in_degree_[v];
+  }
+  g.compute_topo();
+  return g;
+}
+
+Dag Dag::from_netlist(const Netlist& netlist,
+                      const devlib::DeviceLibrary& lib) {
+  return from_netlist(netlist, [&](const Instance& inst) {
+    return lib.get(inst.device).insertion_loss_dB;
+  });
+}
+
+void Dag::compute_topo() {
+  std::vector<size_t> degree = in_degree_;
+  std::vector<size_t> queue;
+  for (size_t v = 0; v < names_.size(); ++v) {
+    if (degree[v] == 0) queue.push_back(v);
+  }
+  topo_.clear();
+  for (size_t qi = 0; qi < queue.size(); ++qi) {
+    const size_t u = queue[qi];
+    topo_.push_back(u);
+    for (size_t v : adj_[u]) {
+      if (--degree[v] == 0) queue.push_back(v);
+    }
+  }
+  if (topo_.size() != names_.size()) {
+    throw std::invalid_argument(
+        "netlist contains a cycle: directed optical signal flow must be "
+        "acyclic");
+  }
+}
+
+std::vector<int> Dag::levels() const {
+  std::vector<int> level(names_.size(), 0);
+  for (size_t u : topo_) {
+    for (size_t v : adj_[u]) {
+      level[v] = std::max(level[v], level[u] + 1);
+    }
+  }
+  return level;
+}
+
+PathResult Dag::longest_path() const {
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+  std::vector<double> best(names_.size(), kNegInf);
+  std::vector<ptrdiff_t> pred(names_.size(), -1);
+  for (size_t v = 0; v < names_.size(); ++v) {
+    if (in_degree_[v] == 0) best[v] = weights_[v];
+  }
+  double best_total = kNegInf;
+  size_t best_sink = 0;
+  for (size_t u : topo_) {
+    if (best[u] == kNegInf) continue;
+    if (adj_[u].empty() && best[u] > best_total) {
+      best_total = best[u];
+      best_sink = u;
+    }
+    for (size_t v : adj_[u]) {
+      const double cand = best[u] + weights_[v];
+      if (cand > best[v]) {
+        best[v] = cand;
+        pred[v] = static_cast<ptrdiff_t>(u);
+      }
+    }
+  }
+  PathResult result;
+  if (best_total == kNegInf) return result;  // empty graph
+  result.weight = best_total;
+  for (ptrdiff_t v = static_cast<ptrdiff_t>(best_sink); v >= 0;
+       v = pred[static_cast<size_t>(v)]) {
+    result.path.push_back(names_[static_cast<size_t>(v)]);
+    if (pred[static_cast<size_t>(v)] < 0) break;
+  }
+  std::reverse(result.path.begin(), result.path.end());
+  return result;
+}
+
+PathResult Dag::longest_path(const std::string& src,
+                             const std::string& dst) const {
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+  auto src_it = std::find(names_.begin(), names_.end(), src);
+  auto dst_it = std::find(names_.begin(), names_.end(), dst);
+  if (src_it == names_.end() || dst_it == names_.end()) {
+    throw std::out_of_range("longest_path: unknown vertex name");
+  }
+  const size_t s = static_cast<size_t>(src_it - names_.begin());
+  const size_t t = static_cast<size_t>(dst_it - names_.begin());
+  std::vector<double> best(names_.size(), kNegInf);
+  std::vector<ptrdiff_t> pred(names_.size(), -1);
+  best[s] = weights_[s];
+  for (size_t u : topo_) {
+    if (best[u] == kNegInf) continue;
+    for (size_t v : adj_[u]) {
+      const double cand = best[u] + weights_[v];
+      if (cand > best[v]) {
+        best[v] = cand;
+        pred[v] = static_cast<ptrdiff_t>(u);
+      }
+    }
+  }
+  PathResult result;
+  if (best[t] == kNegInf) {
+    result.weight = kNegInf;
+    return result;
+  }
+  result.weight = best[t];
+  for (ptrdiff_t v = static_cast<ptrdiff_t>(t); v >= 0;
+       v = pred[static_cast<size_t>(v)]) {
+    result.path.push_back(names_[static_cast<size_t>(v)]);
+    if (static_cast<size_t>(v) == s) break;
+  }
+  std::reverse(result.path.begin(), result.path.end());
+  return result;
+}
+
+}  // namespace simphony::arch

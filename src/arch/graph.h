@@ -1,0 +1,79 @@
+// Weighted DAG over a netlist (paper §III-B, Fig. 2b).
+//
+// "A weighted directed acyclic graph (DAG) is generated based on the node
+// topology.  The topology and insertion-loss-based edge weights are
+// essential in link budget analysis and layout-aware area estimation."
+//
+// Edge weights follow the paper's convention: the weight of an edge
+// (u -> v) is the insertion loss of the *incident* vertex v (optionally
+// scaled by a parametric multiplier, e.g. "(CW-1)x the loss of device i4").
+// The loss of a path additionally includes the loss of its first vertex.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "arch/netlist.h"
+
+namespace simphony::arch {
+
+/// Result of a longest-path query.
+struct PathResult {
+  double weight = 0.0;             // total dB along the path
+  std::vector<std::string> path;   // instance names, source first
+};
+
+class Dag {
+ public:
+  /// Builds the DAG with per-vertex weights (the device insertion loss,
+  /// possibly scaled). `vertex_weight(i)` is queried for each instance index.
+  /// Throws std::invalid_argument if the netlist contains a cycle.
+  static Dag from_netlist(
+      const Netlist& netlist,
+      const std::function<double(const Instance&)>& vertex_weight);
+
+  /// Convenience: vertex weight = device insertion loss from `lib`.
+  static Dag from_netlist(const Netlist& netlist,
+                          const devlib::DeviceLibrary& lib);
+
+  [[nodiscard]] size_t vertex_count() const { return names_.size(); }
+  [[nodiscard]] const std::vector<std::string>& names() const {
+    return names_;
+  }
+  [[nodiscard]] double vertex_weight(size_t v) const { return weights_[v]; }
+
+  /// Topological order (stable for ties: input order).
+  [[nodiscard]] const std::vector<size_t>& topo_order() const {
+    return topo_;
+  }
+
+  /// Topological depth of each vertex (sources are level 0).  Used by the
+  /// signal-flow-aware floorplanner.
+  [[nodiscard]] std::vector<int> levels() const;
+
+  /// Longest (maximum total vertex weight) path from any source (in-degree
+  /// 0) to any sink (out-degree 0).  This is the critical insertion-loss
+  /// path of the circuit.
+  [[nodiscard]] PathResult longest_path() const;
+
+  /// Longest path constrained to start at `src` and end at `dst` (by name).
+  /// Returns weight -inf (and empty path) if unreachable.
+  [[nodiscard]] PathResult longest_path(const std::string& src,
+                                        const std::string& dst) const;
+
+  [[nodiscard]] const std::vector<std::vector<size_t>>& adjacency() const {
+    return adj_;
+  }
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<double> weights_;
+  std::vector<std::vector<size_t>> adj_;
+  std::vector<size_t> topo_;
+  std::vector<size_t> in_degree_;
+
+  void compute_topo();
+};
+
+}  // namespace simphony::arch

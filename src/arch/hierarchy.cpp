@@ -1,0 +1,108 @@
+#include "arch/hierarchy.h"
+
+#include <stdexcept>
+
+namespace simphony::arch {
+
+util::Env make_env(const ArchParams& p) {
+  return {
+      {"R", static_cast<double>(p.tiles)},
+      {"C", static_cast<double>(p.cores_per_tile)},
+      {"H", static_cast<double>(p.core_height)},
+      {"W", static_cast<double>(p.core_width)},
+      {"L", static_cast<double>(p.wavelengths)},
+  };
+}
+
+SubArchitecture::SubArchitecture(PtcTemplate ptc_template, ArchParams params,
+                                 const devlib::DeviceLibrary& lib)
+    : template_(std::move(ptc_template)), params_(params), lib_(&lib) {
+  if (params_.tiles <= 0 || params_.cores_per_tile <= 0 ||
+      params_.core_height <= 0 || params_.core_width <= 0 ||
+      params_.wavelengths <= 0 || params_.clock_GHz <= 0) {
+    throw std::invalid_argument("architecture parameters must be positive");
+  }
+  const util::Env env = make_env(params_);
+  groups_.reserve(template_.instances.size());
+  for (const auto& spec : template_.instances) {
+    MaterializedInstance m;
+    m.spec = &spec;
+    m.count = spec.count.eval_count(env);
+    if (m.count < 0) {
+      throw std::invalid_argument("scaling rule '" + spec.count.text() +
+                                  "' for group '" + spec.name +
+                                  "' evaluates to a negative count");
+    }
+    const devlib::DeviceParams& dev = lib.get(spec.device);
+    m.unit_area_um2 = dev.area_um2();
+    if (!spec.path_loss_dB.empty()) {
+      m.path_loss_dB = spec.path_loss_dB.eval(env);
+    } else {
+      const double mult =
+          spec.loss_mult.empty() ? 1.0 : spec.loss_mult.eval(env);
+      m.path_loss_dB = dev.insertion_loss_dB * mult;
+    }
+    groups_.push_back(m);
+  }
+}
+
+const MaterializedInstance& SubArchitecture::group(
+    const std::string& name) const {
+  for (const auto& g : groups_) {
+    if (g.spec->name == name) return g;
+  }
+  throw std::out_of_range("sub-architecture '" + template_.name +
+                          "' has no group '" + name + "'");
+}
+
+bool SubArchitecture::has_group(const std::string& name) const {
+  for (const auto& g : groups_) {
+    if (g.spec->name == name) return true;
+  }
+  return false;
+}
+
+long long SubArchitecture::count_of(const std::string& name) const {
+  for (const auto& g : groups_) {
+    if (g.spec->name == name) return g.count;
+  }
+  return 0;
+}
+
+long long SubArchitecture::node_count() const {
+  return count_of(template_.node_instance);
+}
+
+long long SubArchitecture::macs_per_cycle() const {
+  // Spatial (R*C*H*W nodes) x spectral (L wavelengths) parallelism.
+  return static_cast<long long>(params_.tiles) * params_.cores_per_tile *
+         params_.core_height * params_.core_width * params_.wavelengths;
+}
+
+size_t Architecture::add_subarch(SubArchitecture subarch) {
+  subarchs_.push_back(std::move(subarch));
+  return subarchs_.size() - 1;
+}
+
+const SubArchitecture& Architecture::subarch(size_t idx) const {
+  if (idx >= subarchs_.size()) {
+    throw std::out_of_range("sub-architecture index out of range");
+  }
+  return subarchs_[idx];
+}
+
+const SubArchitecture& Architecture::subarch(const std::string& name) const {
+  for (const auto& s : subarchs_) {
+    if (s.name() == name) return s;
+  }
+  throw std::out_of_range("no sub-architecture named '" + name + "'");
+}
+
+std::vector<std::string> Architecture::subarch_names() const {
+  std::vector<std::string> out;
+  out.reserve(subarchs_.size());
+  for (const auto& s : subarchs_) out.push_back(s.name());
+  return out;
+}
+
+}  // namespace simphony::arch

@@ -1,0 +1,106 @@
+// Hierarchical, parametric heterogeneous architecture builder
+// (SimPhony-Arch, paper §III-B).
+//
+// Device -> Node -> Core -> Sub-architecture -> Architecture.  A
+// SubArchitecture materializes a PtcTemplate at a concrete parameter point
+// (R tiles, C cores/tile, H x W nodes/core, L wavelengths, clock) by
+// evaluating the symbolic scaling rules; an Architecture is a set of
+// sub-architectures sharing one memory hierarchy (heterogeneous multi-core,
+// paper §IV-B4).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/node.h"
+#include "devlib/library.h"
+#include "util/expr.h"
+
+namespace simphony::arch {
+
+/// Concrete parameter point for a sub-architecture.
+struct ArchParams {
+  int tiles = 2;           // R
+  int cores_per_tile = 2;  // C
+  int core_height = 4;     // H
+  int core_width = 4;      // W
+  int wavelengths = 4;     // L (spectral parallelism)
+  double clock_GHz = 5.0;  // PTC symbol rate f
+
+  int input_bits = 4;   // activation encoding resolution (DAC A / laser)
+  int weight_bits = 4;  // weight encoding resolution (DAC B / cells)
+  int output_bits = 8;  // ADC resolution
+};
+
+/// Builds the expression environment for scaling rules.
+[[nodiscard]] util::Env make_env(const ArchParams& p);
+
+/// A materialized instance group: template group + evaluated count.
+struct MaterializedInstance {
+  const ArchInstance* spec = nullptr;
+  long long count = 0;
+  double unit_area_um2 = 0.0;
+  double path_loss_dB = 0.0;  // contribution if traversed on critical path
+};
+
+/// A PtcTemplate instantiated at a parameter point against a device library.
+class SubArchitecture {
+ public:
+  SubArchitecture(PtcTemplate ptc_template, ArchParams params,
+                  const devlib::DeviceLibrary& lib);
+
+  [[nodiscard]] const PtcTemplate& ptc() const { return template_; }
+  [[nodiscard]] const ArchParams& params() const { return params_; }
+  [[nodiscard]] const devlib::DeviceLibrary& library() const { return *lib_; }
+  [[nodiscard]] const std::string& name() const { return template_.name; }
+
+  /// All materialized groups in template order.
+  [[nodiscard]] const std::vector<MaterializedInstance>& groups() const {
+    return groups_;
+  }
+
+  /// Group lookup by name; throws std::out_of_range if absent.
+  [[nodiscard]] const MaterializedInstance& group(
+      const std::string& name) const;
+
+  [[nodiscard]] bool has_group(const std::string& name) const;
+
+  /// Evaluated count of an instance group (0 if the group is absent).
+  [[nodiscard]] long long count_of(const std::string& name) const;
+
+  /// Total number of replicated nodes (R*C*H*W for array-style PTCs).
+  [[nodiscard]] long long node_count() const;
+
+  /// MACs the sub-architecture completes per cycle at full utilization.
+  [[nodiscard]] long long macs_per_cycle() const;
+
+ private:
+  PtcTemplate template_;
+  ArchParams params_;
+  const devlib::DeviceLibrary* lib_;
+  std::vector<MaterializedInstance> groups_;
+};
+
+/// A heterogeneous architecture: several sub-architectures sharing one
+/// memory hierarchy (paper Fig. 11).
+class Architecture {
+ public:
+  explicit Architecture(std::string name) : name_(std::move(name)) {}
+
+  /// Adds a sub-architecture; returns its index.
+  size_t add_subarch(SubArchitecture subarch);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] size_t subarch_count() const { return subarchs_.size(); }
+  [[nodiscard]] const SubArchitecture& subarch(size_t idx) const;
+  [[nodiscard]] const SubArchitecture& subarch(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> subarch_names() const;
+
+ private:
+  std::string name_;
+  std::vector<SubArchitecture> subarchs_;
+};
+
+}  // namespace simphony::arch

@@ -1,0 +1,77 @@
+#include "arch/link_budget.h"
+
+#include <stdexcept>
+
+namespace simphony::arch {
+
+namespace {
+
+/// Builds the arch-level netlist (instance groups as instances) so the
+/// generic DAG machinery can run the longest-path query.
+Netlist arch_level_netlist(const PtcTemplate& t) {
+  Netlist nl(t.name + "-arch");
+  for (const auto& inst : t.instances) {
+    nl.add_instance(inst.name, inst.device);
+  }
+  for (const auto& net : t.nets) {
+    nl.add_net(net.src, net.dst);
+  }
+  return nl;
+}
+
+}  // namespace
+
+PathResult critical_insertion_loss_path(const SubArchitecture& subarch) {
+  const PtcTemplate& t = subarch.ptc();
+  const Netlist nl = arch_level_netlist(t);
+  const Dag dag = Dag::from_netlist(nl, [&](const Instance& inst) {
+    return subarch.group(inst.name).path_loss_dB;
+  });
+  return dag.longest_path();
+}
+
+LinkBudgetReport analyze_link_budget(const SubArchitecture& subarch,
+                                     int input_bits_override) {
+  const PathResult path = critical_insertion_loss_path(subarch);
+
+  // Photodetector and laser properties come from the library records used
+  // by the template's readout/source groups.
+  const devlib::DeviceLibrary& lib = subarch.library();
+  double sensitivity_dBm = -26.0;
+  double wpe = 0.25;
+  double er_dB = 10.0;
+  for (const auto& g : subarch.groups()) {
+    const devlib::DeviceParams& dev = lib.get(g.spec->device);
+    if (dev.extra.count("sensitivity_dBm")) {
+      sensitivity_dBm = dev.prop("sensitivity_dBm");
+    }
+    if (dev.extra.count("wall_plug_efficiency")) {
+      wpe = dev.prop("wall_plug_efficiency");
+    }
+    if (g.spec->role == Role::kEncoderA && dev.extra.count("er_dB")) {
+      er_dB = dev.prop("er_dB");
+    }
+  }
+
+  LinkBudgetReport report;
+  report.critical_path_loss_dB = path.weight;
+  report.critical_path = path.path;
+  report.input_bits = input_bits_override >= 0
+                          ? input_bits_override
+                          : subarch.params().input_bits;
+  report.pd_sensitivity_dBm = sensitivity_dBm;
+
+  devlib::LinkBudgetInputs in;
+  in.critical_path_loss_dB = path.weight;
+  in.pd_sensitivity_dBm = sensitivity_dBm;
+  in.input_bits = report.input_bits;
+  in.wall_plug_efficiency = wpe;
+  in.extinction_ratio_dB = er_dB;
+  report.laser_power_per_wavelength_mW = devlib::laser_power_mW(in);
+  report.total_laser_power_mW = report.laser_power_per_wavelength_mW *
+                                subarch.params().wavelengths;
+  report.snr_margin_dB = 0.0;  // sized exactly at sensitivity
+  return report;
+}
+
+}  // namespace simphony::arch

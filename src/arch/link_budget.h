@@ -1,0 +1,38 @@
+// Link budget analysis (paper §III-C4, Eq. 1).
+//
+// From the weighted DAG over the arch-level instance groups we extract the
+// longest (maximum insertion loss) laser -> photodetector path; the PD
+// sensitivity, input level count, wall-plug efficiency and extinction-ratio
+// penalty then give the minimum required laser power per wavelength.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/graph.h"
+#include "arch/hierarchy.h"
+#include "devlib/photonics.h"
+
+namespace simphony::arch {
+
+struct LinkBudgetReport {
+  double critical_path_loss_dB = 0.0;
+  std::vector<std::string> critical_path;  // instance group names
+  double laser_power_per_wavelength_mW = 0.0;
+  double total_laser_power_mW = 0.0;  // x wavelengths
+  double pd_sensitivity_dBm = 0.0;
+  double snr_margin_dB = 0.0;  // at exactly the required laser power: 0
+  int input_bits = 0;
+};
+
+/// Runs the analysis for a sub-architecture.  `input_bits_override` < 0
+/// means use the sub-architecture's configured input bits.
+[[nodiscard]] LinkBudgetReport analyze_link_budget(
+    const SubArchitecture& subarch, int input_bits_override = -1);
+
+/// The critical-loss path through the template DAG at the sub-arch's
+/// parameter point (exposed separately for tests and Fig. 3 prints).
+[[nodiscard]] PathResult critical_insertion_loss_path(
+    const SubArchitecture& subarch);
+
+}  // namespace simphony::arch

@@ -1,0 +1,69 @@
+#include "arch/netlist.h"
+
+#include <stdexcept>
+
+namespace simphony::arch {
+
+void Netlist::add_instance(std::string name, std::string device) {
+  if (has_instance(name)) {
+    throw std::invalid_argument("duplicate instance '" + name +
+                                "' in netlist '" + name_ + "'");
+  }
+  instances_.push_back({std::move(name), std::move(device)});
+}
+
+void Netlist::add_net(const std::string& src, const std::string& dst) {
+  if (!has_instance(src)) {
+    throw std::invalid_argument("net source '" + src + "' not in netlist '" +
+                                name_ + "'");
+  }
+  if (!has_instance(dst)) {
+    throw std::invalid_argument("net target '" + dst + "' not in netlist '" +
+                                name_ + "'");
+  }
+  if (src == dst) {
+    throw std::invalid_argument("self-loop net on '" + src + "'");
+  }
+  nets_.push_back({src, dst});
+}
+
+bool Netlist::has_instance(const std::string& name) const {
+  return find(name).has_value();
+}
+
+std::optional<size_t> Netlist::find(const std::string& name) const {
+  for (size_t i = 0; i < instances_.size(); ++i) {
+    if (instances_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+const devlib::DeviceParams& Netlist::device_of(
+    const std::string& instance, const devlib::DeviceLibrary& lib) const {
+  auto idx = find(instance);
+  if (!idx) {
+    throw std::out_of_range("no instance '" + instance + "' in netlist '" +
+                            name_ + "'");
+  }
+  return lib.get(instances_[*idx].device);
+}
+
+std::vector<std::string> Netlist::validate(
+    const devlib::DeviceLibrary& lib) const {
+  std::vector<std::string> problems;
+  for (const auto& inst : instances_) {
+    if (!lib.has(inst.device)) {
+      problems.push_back("instance '" + inst.name + "' references unknown "
+                         "device '" + inst.device + "'");
+    }
+  }
+  for (const auto& net : nets_) {
+    if (!has_instance(net.src) || !has_instance(net.dst)) {
+      problems.push_back("net " + net.src + "->" + net.dst +
+                         " has dangling endpoint");
+    }
+  }
+  return problems;
+}
+
+}  // namespace simphony::arch

@@ -1,0 +1,70 @@
+// Netlist representation for PTC circuit topologies (paper §III-B, Fig. 2).
+//
+// "We customize a netlist representation to describe devices as instances
+// and port connectivity as directed 2-pin nets.  Unlike electrical circuit
+// netlists with undirected multi-pin nets, PTCs require directed 2-pin nets
+// to capture the directional optical signal flow."
+//
+// A Netlist is the minimal building-block description (a *node*, e.g. a
+// dot-product unit); arch-level replication is expressed by scaling rules
+// (see node.h / hierarchy.h), not by flattening.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "devlib/library.h"
+
+namespace simphony::arch {
+
+/// One device instantiation inside a netlist.
+struct Instance {
+  std::string name;    // unique within the netlist, e.g. "i0"
+  std::string device;  // DeviceLibrary record name, e.g. "mzm"
+};
+
+/// A directed 2-pin net: optical signal flows src -> dst.
+struct Net {
+  std::string src;
+  std::string dst;
+};
+
+class Netlist {
+ public:
+  Netlist() = default;
+  explicit Netlist(std::string name) : name_(std::move(name)) {}
+
+  /// Adds an instance; throws std::invalid_argument on duplicate names.
+  void add_instance(std::string name, std::string device);
+
+  /// Adds a directed net; endpoints must already exist.
+  void add_net(const std::string& src, const std::string& dst);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<Instance>& instances() const {
+    return instances_;
+  }
+  [[nodiscard]] const std::vector<Net>& nets() const { return nets_; }
+
+  [[nodiscard]] bool has_instance(const std::string& name) const;
+
+  /// Index of instance by name; nullopt if absent.
+  [[nodiscard]] std::optional<size_t> find(const std::string& name) const;
+
+  /// The device record backing an instance; throws if unknown.
+  [[nodiscard]] const devlib::DeviceParams& device_of(
+      const std::string& instance, const devlib::DeviceLibrary& lib) const;
+
+  /// Checks all instances resolve in `lib` and all nets are well formed.
+  /// Returns a list of problems (empty == valid).
+  [[nodiscard]] std::vector<std::string> validate(
+      const devlib::DeviceLibrary& lib) const;
+
+ private:
+  std::string name_;
+  std::vector<Instance> instances_;
+  std::vector<Net> nets_;
+};
+
+}  // namespace simphony::arch

@@ -1,0 +1,22 @@
+#include "arch/node.h"
+
+#include <stdexcept>
+
+namespace simphony::arch {
+
+const ArchInstance& PtcTemplate::instance(const std::string& name) const {
+  for (const auto& inst : instances) {
+    if (inst.name == name) return inst;
+  }
+  throw std::out_of_range("template '" + this->name +
+                          "' has no instance group '" + name + "'");
+}
+
+bool PtcTemplate::has_instance(const std::string& name) const {
+  for (const auto& inst : instances) {
+    if (inst.name == name) return true;
+  }
+  return false;
+}
+
+}  // namespace simphony::arch

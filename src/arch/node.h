@@ -1,0 +1,107 @@
+// Parametric PTC templates: node + arch-level instances + scaling rules
+// (paper §III-B, Fig. 3).
+//
+// "Key observations of PTC design patterns inspire us to use modular circuit
+// construction ... define a minimal building block denoted as node ... and
+// build the circuit according to specific scaling rules."  Scaling rules are
+// symbolic expressions over the architecture parameters (R tiles, C cores
+// per tile, H x W dot-product units per core, L wavelengths), e.g. the
+// TeMPO input encoders scale as "R*H*L" and the Clements diagonal as
+// "R*C*min(H,W)".
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "arch/netlist.h"
+#include "arch/taxonomy.h"
+#include "util/expr.h"
+
+namespace simphony::arch {
+
+/// Functional role of an instance group; drives energy/area accounting.
+enum class Role {
+  kSource,        // laser / comb lines (off-chip co-packaged: excluded
+                  // from on-chip area, power from link budget)
+  kCoupling,      // fiber-to-chip coupler (excluded from core area)
+  kEncoderA,      // operand-A input encoder chain (DAC/MZM group A)
+  kEncoderB,      // operand-B input encoder chain
+  kDistribution,  // splitters / crossings / muxes
+  kNodeInternal,  // devices inside the replicated node building block
+  kReadout,       // PD / TIA / integrator / ADC output chain
+  kWeightCell,    // weight-static programmable element (PS, MZI, MRR, PCM)
+  kOther,
+};
+
+/// One arch-level instance group with its symbolic scaling rules.
+struct ArchInstance {
+  std::string name;      // e.g. "mzm_a"
+  std::string device;    // DeviceLibrary record name
+  std::string category;  // display/report category, e.g. "MZM"
+  Role role = Role::kOther;
+
+  /// Count scaling rule, e.g. "R*H*L".
+  util::Expr count;
+
+  /// Optional absolute per-traversal path loss in dB as an expression over
+  /// the arch parameters (used for split trees: "3.0103*log2(C*W) + ...").
+  /// When empty, the path loss is device insertion loss x loss_mult.
+  util::Expr path_loss_dB;
+
+  /// Multiplier on the device insertion loss along the critical path,
+  /// e.g. "max(H,W)-1" crossings traversed in sequence.  Defaults to 1.
+  util::Expr loss_mult;
+
+  /// Whether a signal on the critical path traverses this group.  Groups
+  /// that only replicate in parallel (e.g. per-row DACs) still appear once.
+  bool on_optical_path = true;
+};
+
+/// A complete parametric PTC architecture template.
+struct PtcTemplate {
+  std::string name;
+
+  /// Arch-level instance groups (encoders, distribution, node, readout...).
+  std::vector<ArchInstance> instances;
+
+  /// Arch-level directed connectivity between instance groups, used to build
+  /// the weighted DAG for link-budget analysis (Fig. 3 bottom).
+  std::vector<Net> nets;
+
+  /// Internal netlist of the minimal building block (the *node*), used for
+  /// signal-flow-aware floorplanning (Fig. 6) and node-level area.
+  Netlist node;
+
+  /// Name of the instance group that represents the replicated node.
+  std::string node_instance = "node";
+
+  /// Table-I properties (operand ranges, reconfiguration, #forwards).
+  PtcTaxonomy taxonomy;
+
+  /// Weight reprogramming latency (0 for symbol-rate dynamic PTCs;
+  /// ~10 us for thermo-optic meshes; ~100 ns for PCM writes).
+  double reconfig_latency_ns = 0.0;
+
+  /// True for output-stationary dynamic tensor cores (TeMPO/LT style with
+  /// temporal integration); false for weight-stationary meshes/crossbars.
+  bool output_stationary = true;
+
+  /// Whether the laser/comb source area is counted in the chip area
+  /// breakdown (LT reports a "Laser & Comb" bar; TeMPO keeps it off-chip).
+  bool include_source_in_area = false;
+
+  /// Fixed extra area blocks in mm^2 (e.g. control logic under "Others").
+  std::map<std::string, double> extra_area_mm2;
+
+  /// Multiplier on the node-array area for inter-node waveguide routing
+  /// channels (1.0 = dense node abutment; larger meshes need routing).
+  double core_routing_overhead = 1.0;
+
+  /// Find an instance group by name; throws std::out_of_range if absent.
+  [[nodiscard]] const ArchInstance& instance(const std::string& name) const;
+
+  [[nodiscard]] bool has_instance(const std::string& name) const;
+};
+
+}  // namespace simphony::arch

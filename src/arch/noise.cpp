@@ -1,0 +1,68 @@
+#include "arch/noise.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/units.h"
+
+namespace simphony::arch {
+
+namespace {
+constexpr double kElectronCharge_C = 1.602176634e-19;
+constexpr double kBoltzmann_J_K = 1.380649e-23;
+}  // namespace
+
+NoiseReport analyze_receiver_noise(const NoiseInputs& in) {
+  if (in.received_power_mW <= 0 || in.bandwidth_GHz <= 0 ||
+      in.load_ohm <= 0) {
+    throw std::invalid_argument(
+        "receiver noise inputs must be positive (power, bandwidth, load)");
+  }
+  const double p_rx_W = in.received_power_mW * 1e-3;
+  const double bw_Hz = in.bandwidth_GHz * 1e9;
+  const double i_sig_A = in.responsivity_A_W * p_rx_W;
+
+  const double shot_A2 = 2.0 * kElectronCharge_C * i_sig_A * bw_Hz;
+  const double thermal_A2 =
+      4.0 * kBoltzmann_J_K * in.temperature_K * bw_Hz / in.load_ohm;
+  const double rin_lin = std::pow(10.0, in.rin_dB_Hz / 10.0);
+  const double rin_A2 = rin_lin * i_sig_A * i_sig_A * bw_Hz;
+
+  NoiseReport r;
+  r.signal_current_uA = i_sig_A * 1e6;
+  r.shot_noise_uA = std::sqrt(shot_A2) * 1e6;
+  r.thermal_noise_uA = std::sqrt(thermal_A2) * 1e6;
+  r.rin_noise_uA = std::sqrt(rin_A2) * 1e6;
+  const double snr = i_sig_A * i_sig_A / (shot_A2 + thermal_A2 + rin_A2);
+  r.snr_dB = 10.0 * std::log10(snr);
+  r.enob_bits = std::max(0.0, std::log2(std::sqrt(snr)));
+  return r;
+}
+
+NoiseReport analyze_subarch_noise(const SubArchitecture& subarch,
+                                  double laser_power_mW) {
+  const LinkBudgetReport link = analyze_link_budget(subarch);
+  const double launch_mW = laser_power_mW > 0
+                               ? laser_power_mW
+                               : link.laser_power_per_wavelength_mW;
+  // Wall-plug power -> optical launch power via the laser efficiency,
+  // then attenuate along the critical path.
+  const devlib::DeviceLibrary& lib = subarch.library();
+  const double wpe = lib.get("laser").prop_or("wall_plug_efficiency", 0.25);
+  const double optical_mW = launch_mW * wpe;
+  const double rx_mW =
+      optical_mW * util::dB_to_ratio(-link.critical_path_loss_dB);
+
+  NoiseInputs in;
+  in.received_power_mW = rx_mW;
+  in.bandwidth_GHz = subarch.params().clock_GHz;
+  for (const auto& g : subarch.groups()) {
+    const devlib::DeviceParams& dev = lib.get(g.spec->device);
+    if (dev.extra.count("responsivity_A_W")) {
+      in.responsivity_A_W = dev.prop("responsivity_A_W");
+    }
+  }
+  return analyze_receiver_noise(in);
+}
+
+}  // namespace simphony::arch

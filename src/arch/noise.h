@@ -1,0 +1,48 @@
+// Optical receiver noise and SNR analysis — an extension of the link
+// budget (paper §III-C4 derives laser power for a target level count; this
+// module closes the loop: given a laser power, what SNR and effective
+// resolution does the receiver see?).
+//
+// Noise model: shot noise of the photocurrent, thermal (Johnson) noise of
+// the TIA input and relative intensity noise (RIN) of the source,
+// integrated over the receiver bandwidth:
+//   i_shot^2    = 2 q (R P_rx) B
+//   i_thermal^2 = 4 k T B / R_load
+//   i_rin^2     = RIN * (R P_rx)^2 * B
+//   SNR = (R P_rx)^2 / (i_shot^2 + i_thermal^2 + i_rin^2)
+// The effective number of resolvable levels is sqrt(SNR) (amplitude
+// levels), i.e. ENOB = log2(sqrt(SNR)).
+#pragma once
+
+#include "arch/link_budget.h"
+
+namespace simphony::arch {
+
+struct NoiseInputs {
+  double received_power_mW = 0.01;   // optical power at the PD
+  double responsivity_A_W = 1.0;     // PD responsivity R
+  double bandwidth_GHz = 5.0;        // receiver bandwidth B
+  double temperature_K = 300.0;
+  double load_ohm = 50.0;            // TIA input impedance
+  double rin_dB_Hz = -150.0;         // source relative intensity noise
+};
+
+struct NoiseReport {
+  double signal_current_uA = 0.0;
+  double shot_noise_uA = 0.0;     // rms
+  double thermal_noise_uA = 0.0;  // rms
+  double rin_noise_uA = 0.0;      // rms
+  double snr_dB = 0.0;
+  double enob_bits = 0.0;  // effective amplitude resolution
+};
+
+/// Closed-form receiver noise analysis.
+[[nodiscard]] NoiseReport analyze_receiver_noise(const NoiseInputs& in);
+
+/// End-to-end: laser power from the sub-architecture's link budget, minus
+/// the critical path loss, into the receiver model.  `laser_power_mW`
+/// <= 0 uses the link-budget-required power (so ENOB ~= input_bits).
+[[nodiscard]] NoiseReport analyze_subarch_noise(
+    const SubArchitecture& subarch, double laser_power_mW = -1.0);
+
+}  // namespace simphony::arch

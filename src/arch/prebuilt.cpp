@@ -1,0 +1,494 @@
+#include "arch/prebuilt.h"
+
+#include <utility>
+
+#include "util/expr.h"
+
+namespace simphony::arch {
+
+namespace {
+
+using util::Expr;
+
+/// Shorthand: parse a scaling-rule expression.
+Expr E(const char* text) { return Expr::parse(text); }
+
+ArchInstance make_inst(std::string name, std::string device,
+                       std::string category, Role role, const char* count,
+                       const char* path_loss = nullptr,
+                       const char* loss_mult = nullptr,
+                       bool on_path = true) {
+  ArchInstance inst;
+  inst.name = std::move(name);
+  inst.device = std::move(device);
+  inst.category = std::move(category);
+  inst.role = role;
+  inst.count = E(count);
+  if (path_loss != nullptr) inst.path_loss_dB = E(path_loss);
+  if (loss_mult != nullptr) inst.loss_mult = E(loss_mult);
+  inst.on_optical_path = on_path;
+  return inst;
+}
+
+/// The TeMPO/LT coherent dot-product node (paper Fig. 2a / Fig. 6):
+/// two trim phase sections feeding a 2x2 MMI, balanced PD and one routing
+/// crossing.  This is the netlist whose floorplan reproduces the published
+/// 4531.5 um^2 estimate against the 1270.5 um^2 naive footprint sum.
+Netlist coherent_node() {
+  Netlist node("dot-product-node");
+  node.add_instance("i0", "ps");        // trim section, beam A
+  node.add_instance("i1", "ps");        // trim section, beam B
+  node.add_instance("i2", "mmi");       // 2x2 interference combiner
+  node.add_instance("i3", "pd");        // balanced photodetector
+  node.add_instance("i4", "crossing");  // exit routing crossing
+  node.add_net("i0", "i2");
+  node.add_net("i1", "i2");
+  node.add_net("i2", "i3");
+  node.add_net("i2", "i4");
+  return node;
+}
+
+/// Shared skeleton of the dynamic array-style family (TeMPO / LT):
+/// comb -> coupler -> split -> {MZM A row encoders, MZM B column encoders}
+/// -> broadcast trees -> crossing fabric -> node (trim PS -> MMI -> PD)
+/// -> TIA -> [integrator] -> ADC.
+PtcTemplate dynamic_array_family(std::string name, bool with_integrator,
+                                 const char* pd_device = "pd",
+                                 const char* ps_device = "ps",
+                                 const char* dac_device = "dac",
+                                 bool with_soa = false) {
+  PtcTemplate t;
+  t.name = std::move(name);
+  t.node = coherent_node();
+  t.node_instance = "node";
+  t.taxonomy = {{OperandRange::kFullReal, ReconfigSpeed::kDynamic},
+                {OperandRange::kFullReal, ReconfigSpeed::kDynamic},
+                RangeMethod::kDirect};
+  t.reconfig_latency_ns = 0.0;  // symbol-rate EO reconfiguration
+  t.output_stationary = true;
+
+  t.instances.push_back(
+      make_inst("laser", "laser", "Laser", Role::kSource, "L"));
+  t.instances.push_back(
+      make_inst("coupler", "coupler", "Coupler", Role::kCoupling, "L"));
+  // Comb distribution to all (R*H + C*W) encoders per wavelength: ideal
+  // 1->N split loss plus 0.1 dB excess per tree stage.
+  t.instances.push_back(make_inst(
+      "comb_split", "ybranch", "Y Branch", Role::kDistribution,
+      "(R*H + C*W - 1)*L",
+      "3.0103*log2(R*H + C*W) + 0.2*ceil(log2(R*H + C*W))"));
+  if (with_soa) {
+    // On-chip gain stage after the comb distribution (LT-scale fan-out).
+    t.instances.push_back(
+        make_inst("soa", "soa", "Laser", Role::kDistribution, "L"));
+  }
+  // Operand A (row) encoders, broadcast to the C cores x W columns of a
+  // tile; operand B (column) encoders, broadcast across the R tiles.
+  t.instances.push_back(make_inst("dac_a", dac_device, "DAC", Role::kEncoderA,
+                                  "R*H*L", nullptr, nullptr, false));
+  t.instances.push_back(
+      make_inst("mzm_a", "mzm", "MZM", Role::kEncoderA, "R*H*L"));
+  t.instances.push_back(
+      make_inst("bcast_a", "ybranch", "Y Branch", Role::kDistribution,
+                "R*H*L*(C*W - 1)",
+                "3.0103*log2(C*W) + 0.2*ceil(log2(C*W))"));
+  t.instances.push_back(make_inst("dac_b", dac_device, "DAC", Role::kEncoderB,
+                                  "C*W*L", nullptr, nullptr, false));
+  t.instances.push_back(
+      make_inst("mzm_b", "mzm", "MZM", Role::kEncoderB, "C*W*L"));
+  t.instances.push_back(
+      make_inst("bcast_b", "ybranch", "Y Branch", Role::kDistribution,
+                "C*W*L*(R*H - 1)",
+                "3.0103*log2(R*H) + 0.2*ceil(log2(R*H))"));
+  // Crossing fabric: a row signal crosses up to max(H,W)-1 column guides.
+  t.instances.push_back(make_inst("xing", "crossing", "Crossing",
+                                  Role::kDistribution, "R*C*H*W*max(H,W)",
+                                  nullptr, "max(H,W) - 1"));
+  // The replicated node building block (area via floorplan) and its
+  // internal device groups (for power and link budget).
+  t.instances.push_back(make_inst("node", "mmi", "Node", Role::kNodeInternal,
+                                  "R*C*H*W", nullptr, nullptr, false));
+  t.instances.push_back(make_inst("ps_node", ps_device, "PS",
+                                  Role::kNodeInternal, "2*R*C*H*W"));
+  t.instances.push_back(
+      make_inst("mmi_node", "mmi", "MMI", Role::kNodeInternal, "R*C*H*W"));
+  t.instances.push_back(
+      make_inst("pd_node", pd_device, "PD", Role::kNodeInternal, "R*C*H*W"));
+  // Readout chain: photocurrents of the C cores of a tile are accumulated
+  // in the analog domain, so the readout scales by R*H*W.
+  t.instances.push_back(
+      make_inst("tia", "tia", "TIA", Role::kReadout, "R*H*W"));
+  if (with_integrator) {
+    t.instances.push_back(make_inst("integrator", "integrator", "Integrator",
+                                    Role::kReadout, "R*H*W"));
+  }
+  t.instances.push_back(
+      make_inst("adc", "adc", "ADC", Role::kReadout, "R*H*W"));
+
+  // Arch-level connectivity for link-budget analysis (Fig. 3a bottom).
+  t.nets.push_back({"laser", "coupler"});
+  t.nets.push_back({"coupler", "comb_split"});
+  if (with_soa) {
+    t.nets.push_back({"comb_split", "soa"});
+    t.nets.push_back({"soa", "mzm_a"});
+    t.nets.push_back({"soa", "mzm_b"});
+  } else {
+    t.nets.push_back({"comb_split", "mzm_a"});
+    t.nets.push_back({"comb_split", "mzm_b"});
+  }
+  t.nets.push_back({"dac_a", "mzm_a"});
+  t.nets.push_back({"dac_b", "mzm_b"});
+  t.nets.push_back({"mzm_a", "bcast_a"});
+  t.nets.push_back({"mzm_b", "bcast_b"});
+  t.nets.push_back({"bcast_a", "xing"});
+  t.nets.push_back({"xing", "ps_node"});
+  t.nets.push_back({"bcast_b", "ps_node"});
+  t.nets.push_back({"ps_node", "mmi_node"});
+  t.nets.push_back({"mmi_node", "pd_node"});
+  t.nets.push_back({"pd_node", "tia"});
+  if (with_integrator) {
+    t.nets.push_back({"tia", "integrator"});
+    t.nets.push_back({"integrator", "adc"});
+  } else {
+    t.nets.push_back({"tia", "adc"});
+  }
+  return t;
+}
+
+}  // namespace
+
+PtcTemplate tempo_template() {
+  return dynamic_array_family("tempo", /*with_integrator=*/true);
+}
+
+PtcTemplate lightening_transformer_template() {
+  // LT's receiver chain uses avalanche photodetectors (higher sensitivity,
+  // which keeps the comb power practical at its 72-way distribution) and
+  // passively trimmed nodes (no PS hold power in its breakdown).
+  PtcTemplate t = dynamic_array_family(
+      "lightening-transformer", /*with_integrator=*/false, "pd_apd",
+      "ps_passive", "dac_lt", /*with_soa=*/true);
+  t.include_source_in_area = true;  // Fig. 8a has a "Laser & Comb" bar
+  // At 12x12-node scale the slow-light sections and routing channels
+  // dominate the photonic core (calibrated to LT's reported core area).
+  t.core_routing_overhead = 4.0;
+  // Digital control, SerDes and misc blocks reported as "Others".
+  t.extra_area_mm2["Others"] = 20.05;
+  return t;
+}
+
+PtcTemplate clements_mzi_template() {
+  PtcTemplate t;
+  t.name = "mzi-mesh";
+  // Minimal building block: a single MZI (node-U / node-Sigma / node-V all
+  // share the same 2x2 unit, paper case study 2).
+  t.node = Netlist("mzi-node");
+  t.node.add_instance("i0", "mzi");
+  t.node_instance = "node_u";
+  t.taxonomy = {{OperandRange::kFullReal, ReconfigSpeed::kDynamic},
+                {OperandRange::kFullReal, ReconfigSpeed::kStatic},
+                RangeMethod::kDirect};
+  t.reconfig_latency_ns = 10'000.0;  // thermo-optic time constant ~10 us
+  t.output_stationary = false;       // weight-stationary SVD mapping
+
+  t.instances.push_back(
+      make_inst("laser", "laser", "Laser", Role::kSource, "1"));
+  t.instances.push_back(
+      make_inst("coupler", "coupler", "Coupler", Role::kCoupling, "1"));
+  t.instances.push_back(make_inst(
+      "split", "ybranch", "Y Branch", Role::kDistribution, "(R*C*H - 1)",
+      "3.0103*log2(R*C*H) + 0.2*ceil(log2(R*C*H))"));
+  t.instances.push_back(make_inst("dac_in", "dac", "DAC", Role::kEncoderA,
+                                  "R*C*H", nullptr, nullptr, false));
+  t.instances.push_back(
+      make_inst("mzm_in", "mzm", "MZM", Role::kEncoderA, "R*C*H"));
+  // "Scaling node-U/V by R*C*H*(H-1)/2 times and the diagonal by
+  // R*C*min(H,W) times, which is not representable by array-based
+  // simulators" (paper §III-B case study 2).
+  t.instances.push_back(make_inst("node_u", "mzi", "PS", Role::kWeightCell,
+                                  "R*C*H*(H-1)/2", nullptr, "H"));
+  t.instances.push_back(make_inst("node_sigma", "mzi", "PS",
+                                  Role::kWeightCell, "R*C*min(H,W)"));
+  t.instances.push_back(make_inst("node_v", "mzi", "PS", Role::kWeightCell,
+                                  "R*C*W*(W-1)/2", nullptr, "W"));
+  t.instances.push_back(
+      make_inst("pd", "pd", "PD", Role::kReadout, "R*C*W"));
+  t.instances.push_back(
+      make_inst("tia", "tia", "TIA", Role::kReadout, "R*C*W"));
+  t.instances.push_back(
+      make_inst("adc", "adc", "ADC", Role::kReadout, "R*C*W"));
+
+  t.nets.push_back({"laser", "coupler"});
+  t.nets.push_back({"coupler", "split"});
+  t.nets.push_back({"split", "mzm_in"});
+  t.nets.push_back({"dac_in", "mzm_in"});
+  t.nets.push_back({"mzm_in", "node_v"});
+  t.nets.push_back({"node_v", "node_sigma"});
+  t.nets.push_back({"node_sigma", "node_u"});
+  t.nets.push_back({"node_u", "pd"});
+  t.nets.push_back({"pd", "tia"});
+  t.nets.push_back({"tia", "adc"});
+  return t;
+}
+
+PtcTemplate scatter_template() {
+  PtcTemplate t;
+  t.name = "scatter";
+  // SCATTER node: a thermo-optic weight cell with in-situ light
+  // redistribution (Y-branch) and routing crossing.
+  t.node = Netlist("scatter-node");
+  t.node.add_instance("i0", "ps");
+  t.node.add_instance("i1", "ybranch");
+  t.node.add_instance("i2", "crossing");
+  t.node.add_net("i0", "i1");
+  t.node.add_net("i1", "i2");
+  t.node_instance = "ps_w";
+  t.taxonomy = {{OperandRange::kFullReal, ReconfigSpeed::kDynamic},
+                {OperandRange::kFullReal, ReconfigSpeed::kStatic},
+                RangeMethod::kDirect};
+  // Weight blocks switch via fast in-situ light redistribution (SCATTER's
+  // headline mechanism), far quicker than full thermo-optic reprogramming.
+  t.reconfig_latency_ns = 100.0;
+  t.output_stationary = false;
+
+  t.instances.push_back(
+      make_inst("laser", "laser", "Laser", Role::kSource, "L"));
+  t.instances.push_back(
+      make_inst("coupler", "coupler", "Coupler", Role::kCoupling, "L"));
+  t.instances.push_back(make_inst(
+      "split", "ybranch", "Y Branch", Role::kDistribution, "(R*C*H - 1)*L",
+      "3.0103*log2(R*C*H) + 0.2*ceil(log2(R*C*H))"));
+  t.instances.push_back(make_inst("dac_in", "dac", "DAC", Role::kEncoderA,
+                                  "R*C*H*L", nullptr, nullptr, false));
+  t.instances.push_back(
+      make_inst("mzm_in", "mzm", "MZM", Role::kEncoderA, "R*C*H*L"));
+  // Weight cells: one thermo-optic phase shifter per crosspoint; their
+  // power is data-dependent (paper Fig. 10b).
+  t.instances.push_back(make_inst("ps_w", "ps", "PS", Role::kWeightCell,
+                                  "R*C*H*W", nullptr, "min(H,W)"));
+  // In-node redistribution optics: area is covered by the node floorplan
+  // (role kNodeInternal), but they stay on the optical path for the link
+  // budget.
+  t.instances.push_back(make_inst("redist", "ybranch", "Y Branch",
+                                  Role::kNodeInternal, "R*C*H*W", nullptr,
+                                  "1"));
+  t.instances.push_back(make_inst("xing", "crossing", "Crossing",
+                                  Role::kNodeInternal, "R*C*H*W", nullptr,
+                                  "max(H,W) - 1"));
+  t.instances.push_back(
+      make_inst("pd", "pd", "PD", Role::kReadout, "R*C*W*L"));
+  t.instances.push_back(
+      make_inst("tia", "tia", "TIA", Role::kReadout, "R*C*W*L"));
+  t.instances.push_back(
+      make_inst("adc", "adc", "ADC", Role::kReadout, "R*C*W*L"));
+
+  t.nets.push_back({"laser", "coupler"});
+  t.nets.push_back({"coupler", "split"});
+  t.nets.push_back({"split", "mzm_in"});
+  t.nets.push_back({"dac_in", "mzm_in"});
+  t.nets.push_back({"mzm_in", "ps_w"});
+  t.nets.push_back({"ps_w", "redist"});
+  t.nets.push_back({"redist", "xing"});
+  t.nets.push_back({"xing", "pd"});
+  t.nets.push_back({"pd", "tia"});
+  t.nets.push_back({"tia", "adc"});
+  return t;
+}
+
+PtcTemplate mrr_bank_template() {
+  PtcTemplate t;
+  t.name = "mrr-bank";
+  t.node = Netlist("mrr-node");
+  t.node.add_instance("i0", "mrr");
+  t.node_instance = "mrr_w";
+  // Incoherent intensity encoding: operand A is magnitude-only (R+), so two
+  // forwards recover full-range inputs (Table I row 3).
+  t.taxonomy = {{OperandRange::kNonNegative, ReconfigSpeed::kDynamic},
+                {OperandRange::kFullReal, ReconfigSpeed::kDynamic},
+                RangeMethod::kDirect};
+  t.reconfig_latency_ns = 10.0;  // carrier-injection ring tuning
+  t.output_stationary = false;
+
+  t.instances.push_back(
+      make_inst("laser", "laser", "Laser", Role::kSource, "L"));
+  t.instances.push_back(
+      make_inst("coupler", "coupler", "Coupler", Role::kCoupling, "L"));
+  t.instances.push_back(make_inst(
+      "split", "ybranch", "Y Branch", Role::kDistribution, "(R*C*H - 1)*L",
+      "3.0103*log2(R*C*H) + 0.2*ceil(log2(R*C*H))"));
+  t.instances.push_back(make_inst("dac_in", "dac", "DAC", Role::kEncoderA,
+                                  "R*C*H*L", nullptr, nullptr, false));
+  t.instances.push_back(
+      make_inst("mod_in", "mrr", "MRR Mod", Role::kEncoderA, "R*C*H*L"));
+  t.instances.push_back(make_inst("mrr_w", "mrr", "MRR", Role::kWeightCell,
+                                  "R*C*H*W", nullptr, "W"));
+  t.instances.push_back(
+      make_inst("pd", "pd", "PD", Role::kReadout, "R*C*W"));
+  t.instances.push_back(
+      make_inst("tia", "tia", "TIA", Role::kReadout, "R*C*W"));
+  t.instances.push_back(
+      make_inst("adc", "adc", "ADC", Role::kReadout, "R*C*W"));
+
+  t.nets.push_back({"laser", "coupler"});
+  t.nets.push_back({"coupler", "split"});
+  t.nets.push_back({"split", "mod_in"});
+  t.nets.push_back({"dac_in", "mod_in"});
+  t.nets.push_back({"mod_in", "mrr_w"});
+  t.nets.push_back({"mrr_w", "pd"});
+  t.nets.push_back({"pd", "tia"});
+  t.nets.push_back({"tia", "adc"});
+  return t;
+}
+
+PtcTemplate butterfly_template() {
+  PtcTemplate t;
+  t.name = "butterfly-mesh";
+  t.node = Netlist("butterfly-node");
+  t.node.add_instance("i0", "mzi");
+  t.node_instance = "bfly";
+  // Subspace coherent: operand B is a fixed complex transform; differential
+  // (pos-neg) output recovers the full range in one forward (Table I).
+  t.taxonomy = {{OperandRange::kFullReal, ReconfigSpeed::kDynamic},
+                {OperandRange::kComplexFixed, ReconfigSpeed::kStatic},
+                RangeMethod::kPosNeg};
+  t.reconfig_latency_ns = 10'000.0;
+  t.output_stationary = false;
+
+  t.instances.push_back(
+      make_inst("laser", "laser", "Laser", Role::kSource, "1"));
+  t.instances.push_back(
+      make_inst("coupler", "coupler", "Coupler", Role::kCoupling, "1"));
+  t.instances.push_back(make_inst(
+      "split", "ybranch", "Y Branch", Role::kDistribution, "(R*C*H - 1)",
+      "3.0103*log2(R*C*H) + 0.2*ceil(log2(R*C*H))"));
+  t.instances.push_back(make_inst("dac_in", "dac", "DAC", Role::kEncoderA,
+                                  "R*C*H", nullptr, nullptr, false));
+  t.instances.push_back(
+      make_inst("mzm_in", "mzm", "MZM", Role::kEncoderA, "R*C*H"));
+  // Butterfly mesh: H/2 * log2(H) 2x2 units per projection stage.
+  t.instances.push_back(make_inst("bfly", "mzi", "Butterfly",
+                                  Role::kWeightCell, "R*C*(H/2)*log2(H)",
+                                  nullptr, "log2(H)"));
+  t.instances.push_back(
+      make_inst("pd", "pd", "PD", Role::kReadout, "2*R*C*W"));
+  t.instances.push_back(
+      make_inst("tia", "tia", "TIA", Role::kReadout, "2*R*C*W"));
+  t.instances.push_back(
+      make_inst("adc", "adc", "ADC", Role::kReadout, "R*C*W"));
+
+  t.nets.push_back({"laser", "coupler"});
+  t.nets.push_back({"coupler", "split"});
+  t.nets.push_back({"split", "mzm_in"});
+  t.nets.push_back({"dac_in", "mzm_in"});
+  t.nets.push_back({"mzm_in", "bfly"});
+  t.nets.push_back({"bfly", "pd"});
+  t.nets.push_back({"pd", "tia"});
+  t.nets.push_back({"tia", "adc"});
+  return t;
+}
+
+PtcTemplate pcm_crossbar_template() {
+  PtcTemplate t;
+  t.name = "pcm-crossbar";
+  t.node = Netlist("pcm-node");
+  t.node.add_instance("i0", "pcm_cell");
+  t.node_instance = "pcm_w";
+  // Both operands magnitude-only: 4 forwards for full range (Table I).
+  t.taxonomy = {{OperandRange::kNonNegative, ReconfigSpeed::kDynamic},
+                {OperandRange::kNonNegative, ReconfigSpeed::kStatic},
+                RangeMethod::kDirect};
+  t.reconfig_latency_ns = 100.0;  // PCM write pulse
+  t.output_stationary = false;
+
+  t.instances.push_back(
+      make_inst("laser", "laser", "Laser", Role::kSource, "L"));
+  t.instances.push_back(
+      make_inst("coupler", "coupler", "Coupler", Role::kCoupling, "L"));
+  t.instances.push_back(make_inst(
+      "split", "ybranch", "Y Branch", Role::kDistribution, "(R*C*H - 1)*L",
+      "3.0103*log2(R*C*H) + 0.2*ceil(log2(R*C*H))"));
+  t.instances.push_back(make_inst("dac_in", "dac", "DAC", Role::kEncoderA,
+                                  "R*C*H*L", nullptr, nullptr, false));
+  t.instances.push_back(
+      make_inst("mzm_in", "mzm", "MZM", Role::kEncoderA, "R*C*H*L"));
+  t.instances.push_back(make_inst("pcm_w", "pcm_cell", "PCM",
+                                  Role::kWeightCell, "R*C*H*W", nullptr,
+                                  "W"));
+  t.instances.push_back(
+      make_inst("pd", "pd", "PD", Role::kReadout, "R*C*W"));
+  t.instances.push_back(
+      make_inst("tia", "tia", "TIA", Role::kReadout, "R*C*W"));
+  t.instances.push_back(
+      make_inst("adc", "adc", "ADC", Role::kReadout, "R*C*W"));
+
+  t.nets.push_back({"laser", "coupler"});
+  t.nets.push_back({"coupler", "split"});
+  t.nets.push_back({"split", "mzm_in"});
+  t.nets.push_back({"dac_in", "mzm_in"});
+  t.nets.push_back({"mzm_in", "pcm_w"});
+  t.nets.push_back({"pcm_w", "pd"});
+  t.nets.push_back({"pd", "tia"});
+  t.nets.push_back({"tia", "adc"});
+  return t;
+}
+
+PtcTemplate wdm_link_template() {
+  PtcTemplate t;
+  t.name = "wdm-link";
+  // The whole "core" is one waveguide: an MRR weight bank shaping the comb
+  // spectrum, a dispersive delay and a single fast PD.  H plays the role
+  // of the kernel length (one ring per tap); W is 1.
+  t.node = Netlist("wdm-tap");
+  t.node.add_instance("i0", "mrr");
+  t.node.add_instance("i1", "crossing");
+  t.node.add_net("i0", "i1");
+  t.node_instance = "tap";
+  // Intensity-encoded inputs (R+), spectrally-shaped weights reconfigured
+  // thermally between kernels.
+  t.taxonomy = {{OperandRange::kNonNegative, ReconfigSpeed::kDynamic},
+                {OperandRange::kFullReal, ReconfigSpeed::kStatic},
+                RangeMethod::kDirect};
+  t.reconfig_latency_ns = 1'000.0;  // ring bank re-bias between kernels
+  t.output_stationary = false;
+
+  t.instances.push_back(
+      make_inst("laser", "laser", "Laser", Role::kSource, "L"));
+  t.instances.push_back(
+      make_inst("coupler", "coupler", "Coupler", Role::kCoupling, "1"));
+  t.instances.push_back(make_inst("dac_in", "dac", "DAC", Role::kEncoderA,
+                                  "R*C", nullptr, nullptr, false));
+  t.instances.push_back(
+      make_inst("mod_in", "mzm", "MZM", Role::kEncoderA, "R*C"));
+  t.instances.push_back(make_inst("tap", "mrr", "MRR", Role::kWeightCell,
+                                  "R*C*H", nullptr, "H"));
+  t.instances.push_back(
+      make_inst("pd", "pd", "PD", Role::kReadout, "R*C"));
+  t.instances.push_back(
+      make_inst("tia", "tia", "TIA", Role::kReadout, "R*C"));
+  t.instances.push_back(
+      make_inst("adc", "adc", "ADC", Role::kReadout, "R*C"));
+
+  t.nets.push_back({"laser", "coupler"});
+  t.nets.push_back({"coupler", "mod_in"});
+  t.nets.push_back({"dac_in", "mod_in"});
+  t.nets.push_back({"mod_in", "tap"});
+  t.nets.push_back({"tap", "pd"});
+  t.nets.push_back({"pd", "tia"});
+  t.nets.push_back({"tia", "adc"});
+  return t;
+}
+
+std::vector<PtcTemplate> all_templates() {
+  std::vector<PtcTemplate> out;
+  out.push_back(tempo_template());
+  out.push_back(lightening_transformer_template());
+  out.push_back(clements_mzi_template());
+  out.push_back(scatter_template());
+  out.push_back(mrr_bank_template());
+  out.push_back(butterfly_template());
+  out.push_back(pcm_crossbar_template());
+  out.push_back(wdm_link_template());
+  return out;
+}
+
+}  // namespace simphony::arch

@@ -1,0 +1,41 @@
+// Prebuilt parametric PTC architecture templates (paper §III-B case
+// studies + §IV workloads).
+//
+// Each factory returns a PtcTemplate whose scaling rules are symbolic
+// expressions over the architecture parameters R (tiles), C (cores/tile),
+// H x W (dot-product units per core) and L (wavelengths):
+//
+//   * tempo_template()       — dynamic array-style TeMPO [17] (Fig. 3a):
+//        output-stationary, coherent full-range, temporal integration.
+//   * lightening_transformer_template() — LT [4]: same dynamic family,
+//        sized for transformer workloads, laser&comb counted on-package.
+//   * clements_mzi_template() — static mesh-style Clements MZI array
+//        [1][22] (Fig. 3b): SVD-based weight-stationary, thermo-optic,
+//        node-U/V scaled by R*C*H*(H-1)/2, node-Sigma by R*C*min(H,W).
+//   * scatter_template()     — SCATTER [14]: weight-static crossbar with
+//        thermo-optic phase-shifter weight cells (data-aware power target).
+//   * mrr_bank_template()    — incoherent MRR weight bank [20] (I = 2).
+//   * butterfly_template()   — subspace butterfly mesh [3][10] (pos-neg).
+//   * pcm_crossbar_template() — non-volatile PCM crossbar [2][27] (I = 4).
+//   * wdm_link_template()     — single WDM link convolutional accelerator
+//        [23]: time-wavelength interleaved weights on one waveguide,
+//        dispersion-delay accumulation onto a single photodetector.
+#pragma once
+
+#include "arch/node.h"
+
+namespace simphony::arch {
+
+[[nodiscard]] PtcTemplate tempo_template();
+[[nodiscard]] PtcTemplate lightening_transformer_template();
+[[nodiscard]] PtcTemplate clements_mzi_template();
+[[nodiscard]] PtcTemplate scatter_template();
+[[nodiscard]] PtcTemplate mrr_bank_template();
+[[nodiscard]] PtcTemplate butterfly_template();
+[[nodiscard]] PtcTemplate pcm_crossbar_template();
+[[nodiscard]] PtcTemplate wdm_link_template();
+
+/// All templates, for sweep-style tests.
+[[nodiscard]] std::vector<PtcTemplate> all_templates();
+
+}  // namespace simphony::arch

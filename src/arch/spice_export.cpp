@@ -1,0 +1,106 @@
+#include "arch/spice_export.h"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace simphony::arch {
+
+namespace {
+
+/// SPICE identifiers cannot contain spaces or parentheses.
+std::string sanitize(std::string name) {
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') c = '_';
+  }
+  return name;
+}
+
+void emit_model_card(std::ostringstream& os, const devlib::DeviceParams& dev) {
+  os << ".MODEL " << sanitize(dev.name) << " photonic("
+     << "il_db=" << dev.insertion_loss_dB
+     << " width_um=" << dev.footprint.width_um
+     << " height_um=" << dev.footprint.height_um
+     << " pstat_mw=" << dev.static_power_mW
+     << " edyn_fj=" << dev.dynamic_energy_fJ << ")\n";
+}
+
+/// Net naming: each directed 2-pin net gets a wire; instance ports are
+/// in/out per the directional optical flow.
+std::map<std::string, std::vector<std::string>> wires_by_instance(
+    const Netlist& nl, bool incoming) {
+  std::map<std::string, std::vector<std::string>> map;
+  for (size_t i = 0; i < nl.nets().size(); ++i) {
+    const Net& net = nl.nets()[i];
+    const std::string wire = "n" + std::to_string(i);
+    map[incoming ? net.dst : net.src].push_back(wire);
+  }
+  return map;
+}
+
+void emit_netlist_body(std::ostringstream& os, const Netlist& nl) {
+  const auto in_wires = wires_by_instance(nl, /*incoming=*/true);
+  const auto out_wires = wires_by_instance(nl, /*incoming=*/false);
+  for (const auto& inst : nl.instances()) {
+    os << "X" << sanitize(inst.name);
+    auto emit_ports = [&](const auto& map, const char* fallback) {
+      auto it = map.find(inst.name);
+      if (it == map.end() || it->second.empty()) {
+        os << ' ' << fallback;
+        return;
+      }
+      for (const auto& w : it->second) os << ' ' << w;
+    };
+    emit_ports(in_wires, "in");
+    emit_ports(out_wires, "out");
+    os << ' ' << sanitize(inst.device) << "\n";
+  }
+}
+
+}  // namespace
+
+std::string export_node_subckt(const PtcTemplate& ptc,
+                               const devlib::DeviceLibrary& lib) {
+  std::ostringstream os;
+  os << "* SimPhony node subcircuit: " << ptc.node.name() << "\n";
+  std::set<std::string> devices;
+  for (const auto& inst : ptc.node.instances()) devices.insert(inst.device);
+  for (const auto& d : devices) emit_model_card(os, lib.get(d));
+  os << ".SUBCKT " << sanitize(ptc.node.name()) << " in out\n";
+  emit_netlist_body(os, ptc.node);
+  os << ".ENDS " << sanitize(ptc.node.name()) << "\n";
+  return os.str();
+}
+
+std::string export_spice(const SubArchitecture& subarch) {
+  const PtcTemplate& t = subarch.ptc();
+  const devlib::DeviceLibrary& lib = subarch.library();
+  std::ostringstream os;
+  os << "* SimPhony export: " << t.name << " @ R=" << subarch.params().tiles
+     << " C=" << subarch.params().cores_per_tile
+     << " H=" << subarch.params().core_height
+     << " W=" << subarch.params().core_width
+     << " L=" << subarch.params().wavelengths << "\n";
+
+  std::set<std::string> devices;
+  for (const auto& inst : t.instances) devices.insert(inst.device);
+  for (const auto& d : devices) emit_model_card(os, lib.get(d));
+
+  os << export_node_subckt(t, lib);
+
+  os << ".SUBCKT TOP in out\n";
+  Netlist arch_nl(t.name);
+  for (const auto& inst : t.instances) {
+    arch_nl.add_instance(inst.name, inst.device);
+  }
+  for (const auto& net : t.nets) arch_nl.add_net(net.src, net.dst);
+  for (const auto& g : subarch.groups()) {
+    os << "* group " << g.spec->name << ": count=" << g.count
+       << " rule=\"" << g.spec->count.text() << "\"\n";
+  }
+  emit_netlist_body(os, arch_nl);
+  os << ".ENDS TOP\n.END\n";
+  return os.str();
+}
+
+}  // namespace simphony::arch

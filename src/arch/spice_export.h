@@ -1,0 +1,27 @@
+// SPICE-style netlist export (paper §III-B: "This universal, hierarchical
+// netlist interface also enables potential SPICE simulation and physical
+// design as a future extension").
+//
+// Emits the node building block as a .SUBCKT with one X-instance per
+// device (model cards carry the insertion loss and footprint as
+// parameters) and the arch level as a top cell instantiating the node
+// subcircuit with its evaluated replication counts in comments — enough
+// for an EPDA flow to pick up and elaborate.
+#pragma once
+
+#include <string>
+
+#include "arch/hierarchy.h"
+
+namespace simphony::arch {
+
+/// Renders the node netlist of a template as a SPICE .SUBCKT.
+[[nodiscard]] std::string export_node_subckt(const PtcTemplate& ptc,
+                                             const devlib::DeviceLibrary& lib);
+
+/// Renders the complete materialized sub-architecture: model cards for
+/// every referenced device, the node subcircuit and a TOP cell with the
+/// arch-level instance groups and their evaluated counts.
+[[nodiscard]] std::string export_spice(const SubArchitecture& subarch);
+
+}  // namespace simphony::arch

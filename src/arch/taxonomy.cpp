@@ -1,0 +1,47 @@
+#include "arch/taxonomy.h"
+
+namespace simphony::arch {
+
+int PtcTaxonomy::forwards() const {
+  if (method == RangeMethod::kPosNeg) {
+    // Differential computation resolves signs for both operands in a single
+    // (two-rail) forward.
+    return 1;
+  }
+  int passes = 1;
+  if (operand_a.range == OperandRange::kNonNegative) passes *= 2;
+  if (operand_b.range == OperandRange::kNonNegative) passes *= 2;
+  return passes;
+}
+
+bool PtcTaxonomy::supports_dynamic_tensor_product() const {
+  return operand_a.reconfig == ReconfigSpeed::kDynamic &&
+         operand_b.reconfig == ReconfigSpeed::kDynamic;
+}
+
+std::string to_string(OperandRange range) {
+  switch (range) {
+    case OperandRange::kFullReal: return "R";
+    case OperandRange::kNonNegative: return "R+";
+    case OperandRange::kComplexFixed: return "C";
+  }
+  return "?";
+}
+
+std::string to_string(ReconfigSpeed speed) {
+  switch (speed) {
+    case ReconfigSpeed::kStatic: return "Static";
+    case ReconfigSpeed::kDynamic: return "Dynamic";
+  }
+  return "?";
+}
+
+std::string to_string(RangeMethod method) {
+  switch (method) {
+    case RangeMethod::kDirect: return "Direct";
+    case RangeMethod::kPosNeg: return "Pos-Neg";
+  }
+  return "?";
+}
+
+}  // namespace simphony::arch

@@ -1,0 +1,61 @@
+// PTC taxonomy (paper Table I, §II-A).
+//
+// PTC designs differ in the numerical range each operand can encode and how
+// fast it can be reconfigured.  Range-restricted designs need multiple
+// forward passes to realize a full-range (signed) matrix multiply:
+//   * coherent full-range designs (MZI array, TeMPO)         -> 1 forward
+//   * subspace coherent with differential output (butterfly) -> 1 forward
+//   * incoherent designs with one unipolar operand (MRR)     -> 2 forwards
+//   * both operands unipolar (PCM crossbar)                  -> 4 forwards
+// SimPhony "automatically analyzes the tensor core property based on
+// input/weight/output encoding properties" and applies the I-times latency
+// penalty (§III-C2); this module is that derivation.
+#pragma once
+
+#include <string>
+
+namespace simphony::arch {
+
+/// Numerical range an operand encoding supports.
+enum class OperandRange {
+  kFullReal,     // R : signed values in one shot
+  kNonNegative,  // R+: magnitude-only encoding (intensity, transmission)
+  kComplexFixed, // C : complex-valued but restricted/static subspace
+};
+
+/// How fast the operand can be rewritten.
+enum class ReconfigSpeed {
+  kStatic,   // thermo-optic / PCM: us..ms scale reprogramming
+  kDynamic,  // high-speed EO modulators: symbol-rate switching
+};
+
+/// How the design recovers full-range output.
+enum class RangeMethod {
+  kDirect,  // output read directly; unipolar operands need extra passes
+  kPosNeg,  // differential (positive/negative rail) computation
+};
+
+struct OperandSpec {
+  OperandRange range = OperandRange::kFullReal;
+  ReconfigSpeed reconfig = ReconfigSpeed::kDynamic;
+};
+
+/// Taxonomy record for one PTC design (one row of Table I).
+struct PtcTaxonomy {
+  OperandSpec operand_a;  // typically the activation operand
+  OperandSpec operand_b;  // typically the weight operand
+  RangeMethod method = RangeMethod::kDirect;
+
+  /// Number of forward passes I required for full-range output.
+  [[nodiscard]] int forwards() const;
+
+  /// True if the design can serve dynamic x dynamic products (e.g.
+  /// self-attention): both operands must be dynamically reconfigurable.
+  [[nodiscard]] bool supports_dynamic_tensor_product() const;
+};
+
+[[nodiscard]] std::string to_string(OperandRange range);
+[[nodiscard]] std::string to_string(ReconfigSpeed speed);
+[[nodiscard]] std::string to_string(RangeMethod method);
+
+}  // namespace simphony::arch

@@ -1,0 +1,107 @@
+#include "core/cosim.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "arch/noise.h"
+#include "util/rng.h"
+#include "workload/onn_convert.h"
+
+namespace simphony::core {
+
+namespace {
+
+double quantize_value(double v, int bits) {
+  const double q = std::max(1.0, std::pow(2.0, bits - 1) - 1.0);
+  return std::round(std::clamp(v, -1.0, 1.0) * q) / q;
+}
+
+}  // namespace
+
+CosimResult cosim_gemm(const arch::SubArchitecture& subarch,
+                       const workload::Tensor& a, const workload::Tensor& b,
+                       const CosimOptions& options) {
+  if (a.rank() != 2 || b.rank() != 2 || a.shape()[1] != b.shape()[0]) {
+    throw std::invalid_argument(
+        "cosim_gemm expects A (N x D) and B (D x M) with matching D");
+  }
+  const int64_t n = a.shape()[0];
+  const int64_t d = a.shape()[1];
+  const int64_t m = b.shape()[1];
+  const arch::ArchParams& p = subarch.params();
+
+  // Receiver resolution: from the noise analysis unless overridden.
+  double enob = options.enob_override_bits;
+  if (enob <= 0) {
+    enob = arch::analyze_subarch_noise(subarch).enob_bits;
+  }
+
+  // Analog reduction window: how many products sum before one readout.
+  const int64_t d_tile =
+      subarch.ptc().output_stationary
+          ? static_cast<int64_t>(p.cores_per_tile) * p.wavelengths
+          : p.core_height;
+
+  CosimResult result;
+  result.enob_bits = enob;
+  result.output = workload::Tensor({n, m});
+  result.reference = workload::Tensor({n, m});
+  util::Rng rng(options.seed);
+
+  // Quantize operands once (DAC resolutions).
+  workload::Tensor qa = a;
+  for (float& v : qa.data()) {
+    v = static_cast<float>(quantize_value(v, p.input_bits));
+  }
+  workload::Tensor qb = b;
+  for (float& v : qb.data()) {
+    v = static_cast<float>(quantize_value(v, p.weight_bits));
+  }
+
+  // Per-readout noise: the analog window's full scale is d_tile (products
+  // of operands in [-1, 1]); the receiver resolves 2^enob levels of it.
+  const double window_full_scale = static_cast<double>(d_tile);
+  const double noise_sigma =
+      options.inject_noise ? window_full_scale / std::pow(2.0, enob) : 0.0;
+
+  double err2 = 0.0;
+  double sig2 = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < m; ++j) {
+      double ref = 0.0;
+      double analog_total = 0.0;
+      for (int64_t k0 = 0; k0 < d; k0 += d_tile) {
+        double window = 0.0;
+        for (int64_t k = k0; k < std::min(d, k0 + d_tile); ++k) {
+          window += static_cast<double>(qa.at(i * d + k)) *
+                    static_cast<double>(qb.at(k * m + j));
+        }
+        if (noise_sigma > 0) window += rng.normal(0.0, noise_sigma);
+        // Digital sequential accumulation of the ADC-sampled window.
+        analog_total += window;
+      }
+      for (int64_t k = 0; k < d; ++k) {
+        ref += static_cast<double>(a.at(i * d + k)) *
+               static_cast<double>(b.at(k * m + j));
+      }
+      // Final ADC quantization over the output full scale d.
+      const double full_scale = static_cast<double>(d);
+      const double quantized =
+          quantize_value(analog_total / full_scale, p.output_bits) *
+          full_scale;
+      result.output.at(i * m + j) = static_cast<float>(quantized);
+      result.reference.at(i * m + j) = static_cast<float>(ref);
+      const double e = quantized - ref;
+      err2 += e * e;
+      sig2 += ref * ref;
+      result.max_abs_err = std::max(result.max_abs_err, std::abs(e));
+    }
+  }
+  const double count = static_cast<double>(n) * static_cast<double>(m);
+  result.rmse = std::sqrt(err2 / count);
+  result.output_snr_dB =
+      err2 > 0 ? 10.0 * std::log10(sig2 / err2) : 200.0;
+  return result;
+}
+
+}  // namespace simphony::core

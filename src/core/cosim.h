@@ -1,0 +1,49 @@
+// Functional hardware/software co-simulation (paper Fig. 1: "seamless
+// integration with model training framework for hardware/software
+// co-simulation").
+//
+// Evaluates a GEMM *through* the analog signal chain of a sub-architecture
+// instead of just costing it:
+//   1. operands quantized to the architecture's DAC resolutions,
+//   2. per-readout analog noise injected at the receiver's effective
+//      resolution (ENOB from the link-budget + noise analysis),
+//   3. partial sums accumulated per d-tile window (temporal integration),
+//   4. outputs quantized by the ADC.
+// The result carries the numerical error against the fp32 reference, so
+// model-level accuracy studies can calibrate bitwidths and laser power
+// without a training framework in the loop.
+#pragma once
+
+#include <cstdint>
+
+#include "arch/hierarchy.h"
+#include "workload/tensor.h"
+
+namespace simphony::core {
+
+struct CosimOptions {
+  /// Override the receiver ENOB; <= 0 derives it from the sub-arch noise
+  /// analysis at the link-budget laser power.
+  double enob_override_bits = -1.0;
+  /// Disable analog noise entirely (quantization-only ablation).
+  bool inject_noise = true;
+  uint64_t seed = 0xC051Full;
+};
+
+struct CosimResult {
+  workload::Tensor output;       // (N x M), the analog result
+  workload::Tensor reference;    // (N x M), fp32 reference
+  double rmse = 0.0;             // vs reference, absolute
+  double max_abs_err = 0.0;
+  double output_snr_dB = 0.0;    // signal power over error power
+  double enob_bits = 0.0;        // receiver resolution used
+};
+
+/// Runs A (N x D) * B (D x M) through the analog model of `subarch`.
+/// Throws std::invalid_argument on shape mismatch.
+[[nodiscard]] CosimResult cosim_gemm(const arch::SubArchitecture& subarch,
+                                     const workload::Tensor& a,
+                                     const workload::Tensor& b,
+                                     const CosimOptions& options = {});
+
+}  // namespace simphony::core

@@ -1,0 +1,98 @@
+#include "core/dse.h"
+
+#include <stdexcept>
+
+namespace simphony::core {
+
+namespace {
+
+bool dominates(const DsePoint& a, const DsePoint& b) {
+  return a.energy_pJ <= b.energy_pJ && a.latency_ns <= b.latency_ns &&
+         a.area_mm2 <= b.area_mm2 &&
+         (a.energy_pJ < b.energy_pJ || a.latency_ns < b.latency_ns ||
+          a.area_mm2 < b.area_mm2);
+}
+
+std::vector<int> axis_or(const std::vector<int>& axis, int fallback) {
+  return axis.empty() ? std::vector<int>{fallback} : axis;
+}
+
+}  // namespace
+
+std::vector<DsePoint> DseResult::frontier() const {
+  std::vector<DsePoint> out;
+  for (const auto& p : points) {
+    if (p.pareto) out.push_back(p);
+  }
+  return out;
+}
+
+const DsePoint& DseResult::best_edap() const {
+  if (points.empty()) throw std::runtime_error("empty DSE result");
+  const DsePoint* best = &points.front();
+  for (const auto& p : points) {
+    if (p.edap() < best->edap()) best = &p;
+  }
+  return *best;
+}
+
+DseResult explore(const arch::PtcTemplate& ptc_template,
+                  const devlib::DeviceLibrary& lib,
+                  const workload::Model& model, const DseSpace& space,
+                  const std::function<void(const DsePoint&)>& progress) {
+  DseResult result;
+  for (int tiles : axis_or(space.tiles, space.base.tiles)) {
+    for (int cores : axis_or(space.cores_per_tile,
+                             space.base.cores_per_tile)) {
+      for (int hw : axis_or(space.core_sizes, space.base.core_height)) {
+        for (int lambda : axis_or(space.wavelengths,
+                                  space.base.wavelengths)) {
+          for (int bits : axis_or(space.input_bits, space.base.input_bits)) {
+            arch::ArchParams p = space.base;
+            p.tiles = tiles;
+            p.cores_per_tile = cores;
+            p.core_height = hw;
+            p.core_width = hw;
+            p.wavelengths = lambda;
+            p.input_bits = bits;
+            p.weight_bits = bits;
+
+            arch::Architecture system("dse-" + ptc_template.name);
+            system.add_subarch(
+                arch::SubArchitecture(ptc_template, p, lib));
+            Simulator sim(std::move(system));
+            workload::Model work = model;
+            for (auto& layer : work.layers) {
+              layer.input_bits = bits;
+              layer.weight_bits = bits;
+            }
+            const ModelReport report =
+                sim.simulate_model(work, MappingConfig(0));
+
+            DsePoint point;
+            point.params = p;
+            point.energy_pJ = report.total_energy.total_pJ();
+            point.latency_ns = report.total_runtime_ns;
+            point.area_mm2 = report.total_area_mm2();
+            point.power_W = report.average_power_W();
+            point.tops = report.tops();
+            if (progress) progress(point);
+            result.points.push_back(point);
+          }
+        }
+      }
+    }
+  }
+  for (auto& a : result.points) {
+    a.pareto = true;
+    for (const auto& b : result.points) {
+      if (dominates(b, a)) {
+        a.pareto = false;
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace simphony::core

@@ -1,0 +1,62 @@
+// Automated design-space exploration (the paper's stated extension:
+// "SimPhony can be extended to enable automated design space exploration
+// that combines the strengths of different photonic computing
+// architectures").
+//
+// Grid-searches ArchParams over user-supplied axes, simulates the workload
+// at every point, and extracts the Pareto frontier in
+// (energy, latency, area).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "arch/node.h"
+#include "core/simulator.h"
+#include "workload/model.h"
+
+namespace simphony::core {
+
+/// The sweep axes; empty vectors keep the base value.
+struct DseSpace {
+  std::vector<int> tiles;
+  std::vector<int> cores_per_tile;
+  std::vector<int> core_sizes;   // H = W
+  std::vector<int> wavelengths;
+  std::vector<int> input_bits;   // weight bits follow input bits
+  arch::ArchParams base;
+};
+
+struct DsePoint {
+  arch::ArchParams params;
+  double energy_pJ = 0.0;
+  double latency_ns = 0.0;
+  double area_mm2 = 0.0;
+  double power_W = 0.0;
+  double tops = 0.0;
+  bool pareto = false;
+
+  /// Scalarized figure of merit: energy-delay-area product (lower better).
+  [[nodiscard]] double edap() const {
+    return energy_pJ * latency_ns * area_mm2;
+  }
+};
+
+struct DseResult {
+  std::vector<DsePoint> points;
+
+  /// Points on the (energy, latency, area) Pareto frontier.
+  [[nodiscard]] std::vector<DsePoint> frontier() const;
+
+  /// The minimum-EDAP point; throws std::runtime_error if empty.
+  [[nodiscard]] const DsePoint& best_edap() const;
+};
+
+/// Runs the exploration of one PTC template on one workload.
+/// `progress` (optional) is invoked after each evaluated point.
+[[nodiscard]] DseResult explore(
+    const arch::PtcTemplate& ptc_template, const devlib::DeviceLibrary& lib,
+    const workload::Model& model, const DseSpace& space,
+    const std::function<void(const DsePoint&)>& progress = nullptr);
+
+}  // namespace simphony::core

@@ -1,0 +1,42 @@
+#include "core/mapping.h"
+
+namespace simphony::core {
+
+MappingConfig& MappingConfig::add_rule(MappingRule rule) {
+  rules_.push_back(std::move(rule));
+  return *this;
+}
+
+MappingConfig& MappingConfig::route_type(workload::LayerType type,
+                                         size_t subarch_index) {
+  return add_rule({type, "", subarch_index});
+}
+
+size_t MappingConfig::resolve(const workload::GemmWorkload& gemm) const {
+  for (const auto& rule : rules_) {
+    if (rule.type && *rule.type != gemm.source_type) continue;
+    if (!rule.name_prefix.empty() &&
+        gemm.name.rfind(rule.name_prefix, 0) != 0) {
+      continue;
+    }
+    return rule.subarch_index;
+  }
+  return default_subarch_;
+}
+
+std::vector<std::string> MappingConfig::validate(
+    const arch::Architecture& architecture) const {
+  std::vector<std::string> problems;
+  if (default_subarch_ >= architecture.subarch_count()) {
+    problems.push_back("default sub-arch index out of range");
+  }
+  for (const auto& rule : rules_) {
+    if (rule.subarch_index >= architecture.subarch_count()) {
+      problems.push_back("rule targets out-of-range sub-arch index " +
+                         std::to_string(rule.subarch_index));
+    }
+  }
+  return problems;
+}
+
+}  // namespace simphony::core

@@ -1,0 +1,52 @@
+// Layer-to-sub-architecture mapping (paper §III-C1, §IV-B4).
+//
+// "With a layer-to-arch mapping configuration, we enable the flexibility to
+// map different layers to different types of sub-architectures based on
+// their compatibility and efficiency considerations, enabling heterogeneous
+// computing paradigms."  Rules match on layer type and/or name prefix; the
+// first matching rule wins; unmatched layers go to the default sub-arch.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "arch/hierarchy.h"
+#include "workload/gemm.h"
+
+namespace simphony::core {
+
+struct MappingRule {
+  /// Match on the lowering source layer type (nullopt = any type).
+  std::optional<workload::LayerType> type;
+  /// Match on a layer-name prefix (empty = any name).
+  std::string name_prefix;
+  /// Target sub-architecture index in the Architecture.
+  size_t subarch_index = 0;
+};
+
+class MappingConfig {
+ public:
+  explicit MappingConfig(size_t default_subarch = 0)
+      : default_subarch_(default_subarch) {}
+
+  MappingConfig& add_rule(MappingRule rule);
+
+  /// Convenience: route a layer type to a sub-arch.
+  MappingConfig& route_type(workload::LayerType type, size_t subarch_index);
+
+  /// Resolve the target sub-arch for a GEMM workload.
+  [[nodiscard]] size_t resolve(const workload::GemmWorkload& gemm) const;
+
+  [[nodiscard]] size_t default_subarch() const { return default_subarch_; }
+
+  /// Validates all rule targets against an architecture; returns problems.
+  [[nodiscard]] std::vector<std::string> validate(
+      const arch::Architecture& architecture) const;
+
+ private:
+  size_t default_subarch_;
+  std::vector<MappingRule> rules_;
+};
+
+}  // namespace simphony::core

@@ -1,0 +1,84 @@
+#include "core/report.h"
+
+#include <set>
+
+namespace simphony::core {
+
+double ModelReport::total_area_mm2() const {
+  double total = memory_area_mm2;
+  for (const auto& a : subarch_area) total += a.total_mm2();
+  return total;
+}
+
+double ModelReport::average_power_W() const {
+  if (total_runtime_ns <= 0) return 0.0;
+  return total_energy.total_pJ() / total_runtime_ns * 1e-3;  // pJ/ns = mW
+}
+
+double ModelReport::total_macs() const {
+  double macs = 0.0;
+  for (const auto& l : layers) macs += l.macs;
+  return macs;
+}
+
+double ModelReport::tops() const {
+  if (total_runtime_ns <= 0) return 0.0;
+  // 2 ops per MAC; ops/ns * 1e-3 = TOPS.
+  return 2.0 * total_macs() / total_runtime_ns * 1e-3;
+}
+
+double ModelReport::tops_per_W() const {
+  const double w = average_power_W();
+  return w > 0 ? tops() / w : 0.0;
+}
+
+std::string ModelReport::to_csv() const {
+  // Stable category order: union over all layers, sorted.
+  std::set<std::string> categories;
+  for (const auto& l : layers) {
+    for (const auto& [k, _] : l.energy.entries()) categories.insert(k);
+  }
+  std::string out = "layer,subarch,cycles,runtime_ns,utilization,macs";
+  for (const auto& c : categories) out += ",energy_" + c + "_pJ";
+  out += "\n";
+  for (const auto& l : layers) {
+    out += l.layer_name + "," + l.subarch_name + "," +
+           std::to_string(l.dataflow.total_cycles) + "," +
+           std::to_string(l.dataflow.runtime_ns) + "," +
+           std::to_string(l.dataflow.utilization) + "," +
+           std::to_string(static_cast<long long>(l.macs));
+    for (const auto& c : categories) {
+      out += "," + std::to_string(l.energy.get(c));
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+util::Json ModelReport::to_json() const {
+  util::Json j;
+  j["model"] = model_name;
+  j["architecture"] = arch_name;
+  j["total_runtime_ns"] = total_runtime_ns;
+  j["total_energy_pJ"] = total_energy.total_pJ();
+  j["average_power_W"] = average_power_W();
+  j["total_area_mm2"] = total_area_mm2();
+  util::Json energy;
+  for (const auto& [k, v] : total_energy.entries()) energy[k] = v;
+  j["energy_breakdown_pJ"] = energy;
+  util::Json layers_json;
+  for (const auto& l : layers) {
+    util::Json lj;
+    lj["name"] = l.layer_name;
+    lj["subarch"] = l.subarch_name;
+    lj["runtime_ns"] = l.runtime_ns();
+    lj["energy_pJ"] = l.energy_pJ();
+    lj["cycles"] = static_cast<double>(l.dataflow.total_cycles);
+    lj["utilization"] = l.dataflow.utilization;
+    layers_json.push_back(lj);
+  }
+  j["layers"] = layers_json;
+  return j;
+}
+
+}  // namespace simphony::core

@@ -1,0 +1,63 @@
+// Simulation report containers and rendering.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/link_budget.h"
+#include "dataflow/dataflow.h"
+#include "energy/report.h"
+#include "layout/area.h"
+#include "memory/hierarchy.h"
+#include "memory/traffic.h"
+#include "util/json.h"
+
+namespace simphony::core {
+
+/// Result of simulating one GEMM / layer.
+struct LayerReport {
+  std::string layer_name;
+  std::string subarch_name;
+  size_t subarch_index = 0;
+
+  dataflow::DataflowResult dataflow;
+  arch::LinkBudgetReport link;
+  memory::TrafficResult traffic;
+  energy::EnergyBreakdown energy;
+  double macs = 0.0;
+
+  [[nodiscard]] double runtime_ns() const { return dataflow.runtime_ns; }
+  [[nodiscard]] double energy_pJ() const { return energy.total_pJ(); }
+  [[nodiscard]] double average_power_mW() const {
+    return energy.average_power_mW(dataflow.runtime_ns);
+  }
+};
+
+/// Result of simulating a whole model on an architecture.
+struct ModelReport {
+  std::string model_name;
+  std::string arch_name;
+
+  std::vector<LayerReport> layers;
+  energy::EnergyBreakdown total_energy;
+  double total_runtime_ns = 0.0;
+
+  /// Per-sub-arch area breakdowns plus shared memory area.
+  std::vector<layout::AreaBreakdown> subarch_area;
+  double memory_area_mm2 = 0.0;
+  memory::MemoryHierarchy memory;
+
+  [[nodiscard]] double total_area_mm2() const;
+  [[nodiscard]] double average_power_W() const;
+  [[nodiscard]] double total_macs() const;
+  [[nodiscard]] double tops() const;       // through-put at measured runtime
+  [[nodiscard]] double tops_per_W() const;
+
+  [[nodiscard]] util::Json to_json() const;
+
+  /// Per-layer CSV trace (one row per layer: name, sub-arch, cycles,
+  /// runtime, utilization, energy by category) for downstream plotting.
+  [[nodiscard]] std::string to_csv() const;
+};
+
+}  // namespace simphony::core

@@ -1,0 +1,93 @@
+#include "core/simulator.h"
+
+#include <stdexcept>
+
+#include "workload/gemm.h"
+
+namespace simphony::core {
+
+Simulator::Simulator(arch::Architecture architecture,
+                     SimulationOptions options)
+    : architecture_(std::move(architecture)), options_(std::move(options)) {
+  if (architecture_.subarch_count() == 0) {
+    throw std::invalid_argument(
+        "Simulator needs an architecture with >= 1 sub-architecture");
+  }
+}
+
+LayerReport Simulator::simulate_one(
+    size_t subarch_index, const workload::GemmWorkload& gemm,
+    const memory::MemoryHierarchy& memory) const {
+  const arch::SubArchitecture& subarch =
+      architecture_.subarch(subarch_index);
+
+  LayerReport report;
+  report.layer_name = gemm.name;
+  report.subarch_name = subarch.name();
+  report.subarch_index = subarch_index;
+  report.macs = static_cast<double>(gemm.macs());
+
+  report.dataflow =
+      dataflow::map_gemm(subarch, gemm, memory.glb.bandwidth_GBps);
+  report.link = arch::analyze_link_budget(subarch, gemm.input_bits);
+  report.traffic =
+      memory::analyze_traffic(subarch, gemm, report.dataflow, memory);
+  report.energy = energy::compute_energy(
+      subarch, gemm, report.dataflow, report.link,
+      options_.energy.include_data_movement ? &report.traffic : nullptr,
+      options_.energy);
+  return report;
+}
+
+LayerReport Simulator::simulate_gemm(size_t subarch_index,
+                                     const workload::GemmWorkload& gemm) {
+  const arch::SubArchitecture& subarch =
+      architecture_.subarch(subarch_index);
+  const memory::MemoryHierarchy memory = memory::build_memory_hierarchy(
+      {&subarch}, {gemm}, options_.memory);
+  return simulate_one(subarch_index, gemm, memory);
+}
+
+ModelReport Simulator::simulate_model(const workload::Model& model,
+                                      const MappingConfig& mapping) {
+  const auto problems = mapping.validate(architecture_);
+  if (!problems.empty()) {
+    throw std::invalid_argument("invalid mapping config: " + problems[0]);
+  }
+
+  const std::vector<workload::GemmWorkload> gemms =
+      workload::extract_gemms(model);
+
+  std::vector<const arch::SubArchitecture*> subarch_ptrs;
+  for (size_t i = 0; i < architecture_.subarch_count(); ++i) {
+    subarch_ptrs.push_back(&architecture_.subarch(i));
+  }
+  const memory::MemoryHierarchy memory =
+      memory::build_memory_hierarchy(subarch_ptrs, gemms, options_.memory);
+
+  ModelReport report;
+  report.model_name = model.name;
+  report.arch_name = architecture_.name();
+  report.memory = memory;
+  report.memory_area_mm2 = memory.total_sram_area_mm2();
+
+  for (const auto& gemm : gemms) {
+    const size_t target = mapping.resolve(gemm);
+    LayerReport layer = simulate_one(target, gemm, memory);
+    report.total_energy.merge(layer.energy);
+    report.total_runtime_ns += layer.runtime_ns();
+    report.layers.push_back(std::move(layer));
+  }
+
+  for (size_t i = 0; i < architecture_.subarch_count(); ++i) {
+    report.subarch_area.push_back(analyze_area(i));
+  }
+  return report;
+}
+
+layout::AreaBreakdown Simulator::analyze_area(size_t subarch_index) const {
+  return layout::analyze_area(architecture_.subarch(subarch_index),
+                              options_.area);
+}
+
+}  // namespace simphony::core

@@ -1,0 +1,62 @@
+// SimPhony-Sim: the end-to-end simulation flow (paper §III-C, Fig. 1).
+//
+//   workload extraction -> dataflow mapping -> memory construction ->
+//   link budget -> data-aware energy -> layout-aware area
+//
+// The Simulator owns an Architecture (one or more sub-architectures sharing
+// a memory hierarchy) and simulates extracted GEMM workloads or whole
+// models under a MappingConfig.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "arch/hierarchy.h"
+#include "core/mapping.h"
+#include "core/report.h"
+#include "devlib/power_model.h"
+#include "energy/energy_model.h"
+#include "layout/area.h"
+#include "memory/hierarchy.h"
+#include "workload/model.h"
+
+namespace simphony::core {
+
+struct SimulationOptions {
+  energy::EnergyOptions energy;
+  layout::AreaOptions area;
+  memory::MemoryOptions memory;
+};
+
+class Simulator {
+ public:
+  Simulator(arch::Architecture architecture, SimulationOptions options = {});
+
+  [[nodiscard]] const arch::Architecture& architecture() const {
+    return architecture_;
+  }
+  [[nodiscard]] const SimulationOptions& options() const { return options_; }
+
+  /// Simulate one GEMM on a specific sub-architecture, sizing a dedicated
+  /// memory hierarchy for it.
+  [[nodiscard]] LayerReport simulate_gemm(size_t subarch_index,
+                                          const workload::GemmWorkload& gemm);
+
+  /// Simulate a whole model under a mapping config: extract GEMMs, size the
+  /// shared memory hierarchy, map + cost every layer, aggregate.
+  [[nodiscard]] ModelReport simulate_model(const workload::Model& model,
+                                           const MappingConfig& mapping);
+
+  /// Area-only analysis (used by the Fig. 7a/8a/10a benches).
+  [[nodiscard]] layout::AreaBreakdown analyze_area(size_t subarch_index) const;
+
+ private:
+  arch::Architecture architecture_;
+  SimulationOptions options_;
+
+  [[nodiscard]] LayerReport simulate_one(
+      size_t subarch_index, const workload::GemmWorkload& gemm,
+      const memory::MemoryHierarchy& memory) const;
+};
+
+}  // namespace simphony::core

@@ -1,0 +1,100 @@
+#include "dataflow/dataflow.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "dataflow/latency.h"
+
+namespace simphony::dataflow {
+
+namespace {
+int64_t ceil_div(int64_t a, int64_t b) { return (a + b - 1) / b; }
+}  // namespace
+
+DataflowResult map_gemm(const arch::SubArchitecture& subarch,
+                        const workload::GemmWorkload& gemm,
+                        double glb_bandwidth_GBps, DataflowStyle style) {
+  const arch::ArchParams& p = subarch.params();
+  const arch::PtcTemplate& t = subarch.ptc();
+
+  if (gemm.b_dynamic && !t.taxonomy.supports_dynamic_tensor_product()) {
+    throw std::invalid_argument(
+        "workload '" + gemm.name + "' needs a dynamic operand B but PTC '" +
+        t.name + "' reconfigures statically (map it to a dynamic "
+        "sub-architecture instead)");
+  }
+
+  const bool output_stationary = resolve_output_stationary(subarch, style);
+
+  DataflowResult r;
+  r.tiling = tile_gemm(subarch, gemm, style);
+  r.range_penalty_I = range_penalty_forwards(subarch, gemm);
+
+  const int64_t blocks_nm = r.tiling.n_blocks * r.tiling.m_blocks;
+  if (output_stationary) {
+    // One cycle per (n_blk, m_blk, d_blk) step; outputs integrate over the
+    // d loop and are read out once per accumulation window.
+    r.base_compute_cycles = gemm.batch * blocks_nm * r.tiling.d_blocks;
+    r.reconfig_events = 0;
+    r.reconfig_cycles = 0;
+    r.adc_rate_GHz = p.clock_GHz / static_cast<double>(r.tiling.d_blocks);
+    r.adc_conversions =
+        static_cast<int64_t>(gemm.batch) * gemm.n * gemm.m *
+        r.range_penalty_I;
+    // Operand A: R*H*L values per cycle; operand B: C*W*L values per cycle.
+    r.encoder_a_symbols =
+        r.base_compute_cycles * r.tiling.n_tile * p.wavelengths;
+    r.encoder_b_symbols =
+        r.base_compute_cycles * r.tiling.m_tile *
+        static_cast<int64_t>(p.cores_per_tile) * p.wavelengths;
+  } else {
+    // Weight-stationary: R*C parallel block processors; each round programs
+    // one (d_blk, m_blk) weight block per processor and streams the input
+    // rows (L per cycle).
+    const int64_t processors =
+        static_cast<int64_t>(p.tiles) * p.cores_per_tile;
+    const int64_t weight_blocks = r.tiling.d_blocks * r.tiling.m_blocks;
+    const int64_t rounds = ceil_div(weight_blocks, processors);
+    r.base_compute_cycles = gemm.batch * rounds * r.tiling.n_blocks;
+    r.reconfig_events = rounds;
+    // The first programming overlaps the initial block load; each
+    // subsequent block switch stalls the pipeline.
+    r.reconfig_cycles =
+        std::max<int64_t>(0, rounds - 1) * reconfig_cycles_per_switch(subarch);
+    r.adc_rate_GHz = p.clock_GHz;
+    r.adc_conversions = r.base_compute_cycles * processors *
+                        r.tiling.m_tile * r.range_penalty_I;
+    r.encoder_a_symbols = r.base_compute_cycles * processors *
+                          r.tiling.d_tile * p.wavelengths;
+    r.encoder_b_symbols = 0;  // weights programmed, not streamed
+  }
+
+  r.compute_cycles = r.range_penalty_I * r.base_compute_cycles;
+
+  // Transfer phases (paper: tau_load + tau_writeout, overlapping block
+  // loads with compute via double buffering; only the first block load and
+  // the final write-back are exposed).
+  const double first_block_bytes =
+      (static_cast<double>(r.tiling.n_tile) * gemm.d * gemm.input_bits +
+       static_cast<double>(gemm.d) * r.tiling.m_tile * gemm.weight_bits) /
+      8.0;
+  r.load_cycles =
+      transfer_cycles(first_block_bytes, glb_bandwidth_GBps, p.clock_GHz);
+  r.writeout_cycles =
+      transfer_cycles(gemm.bytes_out(), glb_bandwidth_GBps, p.clock_GHz);
+
+  r.total_cycles =
+      r.load_cycles + r.writeout_cycles +
+      static_cast<int64_t>(r.range_penalty_I) *
+          (r.base_compute_cycles + r.reconfig_cycles);
+  r.runtime_ns = static_cast<double>(r.total_cycles) / p.clock_GHz;
+
+  const double peak_macs =
+      static_cast<double>(subarch.macs_per_cycle()) *
+      static_cast<double>(r.base_compute_cycles);
+  r.utilization =
+      peak_macs > 0 ? static_cast<double>(gemm.macs()) / peak_macs : 0.0;
+  return r;
+}
+
+}  // namespace simphony::dataflow

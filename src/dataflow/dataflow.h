@@ -1,0 +1,50 @@
+// GEMM-to-PTC mapping and cycle-accurate-at-block-granularity latency
+// (paper §III-C2): multi-dimensional parallelism (spatial + spectral +
+// analog accumulation), range-restriction penalty I, reconfiguration
+// stalls, and load/write-out transfer phases.
+#pragma once
+
+#include <cstdint>
+
+#include "arch/hierarchy.h"
+#include "dataflow/tiling.h"
+#include "workload/gemm.h"
+
+namespace simphony::dataflow {
+
+struct DataflowResult {
+  Tiling tiling;
+
+  int range_penalty_I = 1;
+  int64_t base_compute_cycles = 0;  // one full-range pass
+  int64_t compute_cycles = 0;       // I x base
+  int64_t reconfig_events = 0;      // weight-block switches per pass
+  int64_t reconfig_cycles = 0;      // stall cycles per pass
+  int64_t load_cycles = 0;
+  int64_t writeout_cycles = 0;
+  int64_t total_cycles = 0;
+  double runtime_ns = 0.0;
+
+  /// Effective ADC sampling rate per output channel (GHz).  For
+  /// output-stationary PTCs the ADC fires once per accumulation window.
+  double adc_rate_GHz = 0.0;
+  int64_t adc_conversions = 0;
+
+  /// DAC/MZM symbols encoded per pass (operand A side and B side).
+  int64_t encoder_a_symbols = 0;
+  int64_t encoder_b_symbols = 0;
+
+  /// MACs divided by peak MACs over the base compute cycles.
+  double utilization = 0.0;
+};
+
+/// Maps one GEMM onto a sub-architecture.  Throws std::invalid_argument if
+/// the workload needs dynamic operand B but the PTC is statically
+/// reconfigured (e.g. self-attention on a thermo-optic MZI mesh), or if
+/// `style` forces an output-stationary mapping onto a static PTC.
+[[nodiscard]] DataflowResult map_gemm(
+    const arch::SubArchitecture& subarch, const workload::GemmWorkload& gemm,
+    double glb_bandwidth_GBps = 256.0,
+    DataflowStyle style = DataflowStyle::kAuto);
+
+}  // namespace simphony::dataflow

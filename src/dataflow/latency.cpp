@@ -1,0 +1,31 @@
+#include "dataflow/latency.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace simphony::dataflow {
+
+int range_penalty_forwards(const arch::SubArchitecture& subarch,
+                           const workload::GemmWorkload& gemm) {
+  (void)gemm;  // encoding properties are currently template-wide
+  return subarch.ptc().taxonomy.forwards();
+}
+
+int64_t reconfig_cycles_per_switch(const arch::SubArchitecture& subarch) {
+  const double reconfig_ns = subarch.ptc().reconfig_latency_ns;
+  const double cycle_ns = 1.0 / subarch.params().clock_GHz;
+  if (reconfig_ns <= cycle_ns) return 0;  // hidden within a clock cycle
+  return static_cast<int64_t>(
+      std::ceil(reconfig_ns * subarch.params().clock_GHz));
+}
+
+int64_t transfer_cycles(double bytes, double bandwidth_GBps,
+                        double clock_GHz) {
+  if (bandwidth_GBps <= 0) {
+    throw std::invalid_argument("bandwidth must be positive");
+  }
+  const double ns = bytes / bandwidth_GBps;
+  return static_cast<int64_t>(std::ceil(ns * clock_GHz));
+}
+
+}  // namespace simphony::dataflow

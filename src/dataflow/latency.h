@@ -1,0 +1,33 @@
+// Latency penalties (paper §III-C2).
+//
+//   tau_tot = tau_load + tau_writeout + I * (tau_comp + tau_reconfig)
+//
+//   * Range-restriction penalty I: #forwards from the PTC taxonomy
+//     (Table I), e.g. 4x for unipolar PCM crossbars.
+//   * Reconfiguration penalty: applied whenever weight loading causes a
+//     circuit reconfiguration slower than one clock cycle — "e.g. 500
+//     cycles per switch for 100 ns reconfiguration delay at 5 GHz".
+#pragma once
+
+#include <cstdint>
+
+#include "arch/hierarchy.h"
+#include "workload/gemm.h"
+
+namespace simphony::dataflow {
+
+/// The I multiplier for a GEMM on a sub-architecture.
+[[nodiscard]] int range_penalty_forwards(const arch::SubArchitecture& subarch,
+                                         const workload::GemmWorkload& gemm);
+
+/// Stall cycles charged per weight-block switch.  Zero when the device
+/// reprograms within one clock cycle.
+[[nodiscard]] int64_t reconfig_cycles_per_switch(
+    const arch::SubArchitecture& subarch);
+
+/// Cycles to stream `bytes` at `bandwidth_GBps` with clock `clock_GHz`
+/// (bandwidth in bytes/ns equals GB/s).
+[[nodiscard]] int64_t transfer_cycles(double bytes, double bandwidth_GBps,
+                                      double clock_GHz);
+
+}  // namespace simphony::dataflow

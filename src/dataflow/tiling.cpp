@@ -1,0 +1,93 @@
+#include "dataflow/tiling.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace simphony::dataflow {
+
+namespace {
+int64_t ceil_div(int64_t a, int64_t b) { return (a + b - 1) / b; }
+}  // namespace
+
+bool resolve_output_stationary(const arch::SubArchitecture& subarch,
+                               DataflowStyle style) {
+  switch (style) {
+    case DataflowStyle::kAuto:
+      return subarch.ptc().output_stationary;
+    case DataflowStyle::kOutputStationary:
+      if (subarch.ptc().taxonomy.operand_b.reconfig ==
+          arch::ReconfigSpeed::kStatic) {
+        throw std::invalid_argument(
+            "PTC '" + subarch.ptc().name +
+            "' reconfigures operand B statically and cannot run an "
+            "output-stationary (B-streaming) dataflow");
+      }
+      return true;
+    case DataflowStyle::kWeightStationary:
+      return false;
+  }
+  return subarch.ptc().output_stationary;
+}
+
+Tiling tile_gemm(const arch::SubArchitecture& subarch,
+                 const workload::GemmWorkload& gemm, DataflowStyle style) {
+  const arch::ArchParams& p = subarch.params();
+  Tiling t;
+  if (resolve_output_stationary(subarch, style)) {
+    // TeMPO/LT: output block (R*H x W); reduction C cores x L wavelengths.
+    t.n_tile = static_cast<int64_t>(p.tiles) * p.core_height;
+    t.m_tile = p.core_width;
+    t.d_tile = static_cast<int64_t>(p.cores_per_tile) * p.wavelengths;
+  } else {
+    // Weight-stationary: (H x W) weight block per core, R*C parallel
+    // blocks, L input rows streamed per cycle.
+    t.n_tile = p.wavelengths;
+    t.d_tile = p.core_height;
+    t.m_tile = p.core_width;
+  }
+  t.n_blocks = ceil_div(gemm.n, t.n_tile);
+  t.d_blocks = ceil_div(gemm.d, t.d_tile);
+  t.m_blocks = ceil_div(gemm.m, t.m_tile);
+  return t;
+}
+
+LoopNest loop_nest(const arch::SubArchitecture& subarch,
+                   const workload::GemmWorkload& gemm) {
+  const arch::ArchParams& p = subarch.params();
+  const Tiling t = tile_gemm(subarch, gemm);
+  LoopNest nest;
+  if (subarch.ptc().output_stationary) {
+    nest.push_back({"for", "n_blk", t.n_blocks});
+    nest.push_back({"for", "m_blk", t.m_blocks});
+    nest.push_back({"temp_accum_for", "d_blk", t.d_blocks});
+    nest.push_back({"spatial_for", "tile_r", p.tiles});
+    nest.push_back({"spatial_for", "row_h", p.core_height});
+    nest.push_back({"spatial_for", "col_w", p.core_width});
+    nest.push_back({"analog_sum", "core_c", p.cores_per_tile});
+    nest.push_back({"spectral_for", "lambda", p.wavelengths});
+  } else {
+    nest.push_back({"for", "w_blk", t.d_blocks * t.m_blocks});
+    nest.push_back({"spatial_for", "core", static_cast<int64_t>(p.tiles) *
+                                               p.cores_per_tile});
+    nest.push_back({"for", "row_batch", t.n_blocks});
+    nest.push_back({"spectral_for", "lambda", p.wavelengths});
+    nest.push_back({"spatial_for", "mesh_out", p.core_width});
+    nest.push_back({"analog_sum", "mesh_in", p.core_height});
+    nest.push_back({"digital_sum", "d_blk", t.d_blocks});
+  }
+  return nest;
+}
+
+std::string render_loop_nest(const LoopNest& nest) {
+  std::ostringstream os;
+  int depth = 0;
+  for (const auto& dim : nest) {
+    for (int i = 0; i < depth; ++i) os << "  ";
+    os << dim.kind << " " << dim.index << " in range(" << dim.extent
+       << ")\n";
+    ++depth;
+  }
+  return os.str();
+}
+
+}  // namespace simphony::dataflow

@@ -1,0 +1,70 @@
+// Blocking-GEMM tiling onto a PTC sub-architecture (paper §III-C2, Fig. 4).
+//
+// Output-stationary dynamic PTCs (TeMPO/LT) process an (R*H x W) output
+// block per cycle with a C*L-deep reduction (C cores photocurrent-summed,
+// L wavelengths spectrally summed).  Weight-stationary PTCs (MZI mesh,
+// SCATTER, MRR, PCM) hold an (H x W) weight block per core and stream L
+// input rows per cycle through R*C parallel block processors.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/hierarchy.h"
+#include "workload/gemm.h"
+
+namespace simphony::dataflow {
+
+/// Per-cycle tile extents and block counts of a partitioned GEMM.
+struct Tiling {
+  // Per-cycle extents.
+  int64_t n_tile = 1;  // output rows in flight
+  int64_t d_tile = 1;  // reduction depth per cycle
+  int64_t m_tile = 1;  // output columns in flight
+
+  // Block counts over the full problem.
+  int64_t n_blocks = 1;
+  int64_t d_blocks = 1;
+  int64_t m_blocks = 1;
+
+  [[nodiscard]] int64_t total_blocks() const {
+    return n_blocks * d_blocks * m_blocks;
+  }
+};
+
+/// One level of the nested-loop representation (Fig. 4), for reporting.
+struct LoopDim {
+  std::string kind;  // "for", "spatial_for", "spectral_for",
+                     // "temp_accum_for", "analog_sum", "digital_sum"
+  std::string index;
+  int64_t extent = 1;
+};
+
+using LoopNest = std::vector<LoopDim>;
+
+/// Mapping style (paper §III-C2 supports the standard GEMM dataflows on
+/// top of the photonics-specific dimensions).  kAuto picks the template's
+/// native style: output-stationary with temporal integration for dynamic
+/// arrays, weight-stationary for meshes/crossbars.
+enum class DataflowStyle { kAuto, kOutputStationary, kWeightStationary };
+
+/// Derive the tiling for a GEMM on a sub-architecture.
+[[nodiscard]] Tiling tile_gemm(const arch::SubArchitecture& subarch,
+                               const workload::GemmWorkload& gemm,
+                               DataflowStyle style = DataflowStyle::kAuto);
+
+/// Resolve kAuto against the template; throws std::invalid_argument if an
+/// output-stationary mapping is requested on a statically-reconfigured PTC
+/// (it cannot stream operand B every cycle).
+[[nodiscard]] bool resolve_output_stationary(
+    const arch::SubArchitecture& subarch, DataflowStyle style);
+
+/// The paper-style nested loop description of the mapping.
+[[nodiscard]] LoopNest loop_nest(const arch::SubArchitecture& subarch,
+                                 const workload::GemmWorkload& gemm);
+
+/// Render a loop nest as indented pseudo-code.
+[[nodiscard]] std::string render_loop_nest(const LoopNest& nest);
+
+}  // namespace simphony::dataflow

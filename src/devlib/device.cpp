@@ -1,0 +1,19 @@
+#include "devlib/device.h"
+
+namespace simphony::devlib {
+
+double DeviceParams::prop(const std::string& key) const {
+  auto it = extra.find(key);
+  if (it == extra.end()) {
+    throw std::out_of_range("device '" + name + "' has no property '" + key +
+                            "'");
+  }
+  return it->second;
+}
+
+double DeviceParams::prop_or(const std::string& key, double fallback) const {
+  auto it = extra.find(key);
+  return it == extra.end() ? fallback : it->second;
+}
+
+}  // namespace simphony::devlib

@@ -1,0 +1,68 @@
+// SimPhony-DevLib: device parameter records (paper §III-A).
+//
+// Every architecture element — photonic (MZM, MZI, MRR, phase shifter, PD,
+// Y-branch, MMI, crossing, laser, coupler) or electronic (DAC, ADC, TIA,
+// integrator) — is described by a DeviceParams record carrying the
+// characteristics the simulator consumes: footprint for area/layout,
+// insertion loss for link budget, static power and per-event dynamic energy
+// for energy analysis, latency and bandwidth for timing.  Values in the
+// standard library (library.h) are calibrated against the numbers published
+// for TeMPO, Lightening-Transformer and SCATTER; foundry-PDK devices can be
+// plugged in by registering additional records.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+namespace simphony::devlib {
+
+enum class DeviceCategory { kPhotonic, kElectronic };
+
+/// Physical outline of a device in micrometres.
+struct Footprint {
+  double width_um = 0.0;   // along the optical propagation axis
+  double height_um = 0.0;  // perpendicular axis
+
+  [[nodiscard]] constexpr double area_um2() const {
+    return width_um * height_um;
+  }
+};
+
+/// A single device's modeling record.
+struct DeviceParams {
+  std::string name;
+  DeviceCategory category = DeviceCategory::kPhotonic;
+  Footprint footprint;
+
+  /// Optical insertion loss per pass in dB (photonic devices only).
+  double insertion_loss_dB = 0.0;
+
+  /// Steady-state (bias / thermal / leakage) power in mW.
+  double static_power_mW = 0.0;
+
+  /// Energy per event (symbol, conversion, switching) in fJ.
+  double dynamic_energy_fJ = 0.0;
+
+  /// Propagation / conversion latency in ns.
+  double latency_ns = 0.0;
+
+  /// Electro-optic or sampling bandwidth in GHz (0 = not bandwidth-limited).
+  double bandwidth_GHz = 0.0;
+
+  /// Free-form named properties, e.g. "er_dB" (extinction ratio), "vpi_V",
+  /// "p_pi_mW" (phase-shifter power for a pi shift), "sensitivity_dBm",
+  /// "wall_plug_efficiency", "resolution_bits", "fom_fJ_per_step".
+  std::map<std::string, double> extra;
+
+  /// Typed access to `extra`; throws if absent.
+  [[nodiscard]] double prop(const std::string& key) const;
+
+  /// Typed access with default.
+  [[nodiscard]] double prop_or(const std::string& key, double fallback) const;
+
+  [[nodiscard]] double area_um2() const { return footprint.area_um2(); }
+};
+
+}  // namespace simphony::devlib

@@ -1,0 +1,66 @@
+#include "devlib/electronics.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace simphony::devlib {
+
+double dac_power_mW(const DeviceParams& base,
+                    const ConverterOperatingPoint& op) {
+  if (op.bits <= 0 || op.sample_rate_GHz <= 0) {
+    throw std::invalid_argument("DAC operating point must be positive");
+  }
+  const double base_bits = base.prop_or("base_bits", 8.0);
+  const double base_rate = base.prop_or("base_rate_GHz", 10.0);
+  return base.static_power_mW * (static_cast<double>(op.bits) / base_bits) *
+         (op.sample_rate_GHz / base_rate);
+}
+
+double adc_power_mW(const DeviceParams& base,
+                    const ConverterOperatingPoint& op) {
+  if (op.bits <= 0 || op.sample_rate_GHz <= 0) {
+    throw std::invalid_argument("ADC operating point must be positive");
+  }
+  const double fom_fJ = base.prop("fom_fJ_per_step");
+  // P[mW] = FoM[fJ/step] * 2^b * f[GHz] * 1e-3  (fJ * GHz = uW)
+  return fom_fJ * std::pow(2.0, op.bits) * op.sample_rate_GHz * 1e-3;
+}
+
+double conversion_energy_pJ(double power_mW, double sample_rate_GHz) {
+  if (sample_rate_GHz <= 0) return 0.0;
+  return power_mW / sample_rate_GHz;  // mW / GHz == pJ
+}
+
+double tia_power_mW(const DeviceParams& base, double bandwidth_GHz) {
+  const double base_bw = base.bandwidth_GHz > 0 ? base.bandwidth_GHz : 1.0;
+  return base.static_power_mW * (bandwidth_GHz / base_bw);
+}
+
+double integrator_power_mW(const DeviceParams& base,
+                           double readout_rate_GHz) {
+  const double base_rate = base.prop_or("base_rate_GHz", 1.0);
+  // Static bias plus switching that scales with the readout rate.
+  const double dynamic =
+      base.prop_or("dynamic_power_mW", 0.0) * (readout_rate_GHz / base_rate);
+  return base.static_power_mW + dynamic;
+}
+
+DeviceParams specialize_dac(const DeviceParams& base,
+                            const ConverterOperatingPoint& op) {
+  DeviceParams d = base;
+  d.static_power_mW = dac_power_mW(base, op);
+  d.extra["resolution_bits"] = op.bits;
+  d.extra["rate_GHz"] = op.sample_rate_GHz;
+  return d;
+}
+
+DeviceParams specialize_adc(const DeviceParams& base,
+                            const ConverterOperatingPoint& op) {
+  DeviceParams d = base;
+  d.static_power_mW = adc_power_mW(base, op);
+  d.extra["resolution_bits"] = op.bits;
+  d.extra["rate_GHz"] = op.sample_rate_GHz;
+  return d;
+}
+
+}  // namespace simphony::devlib

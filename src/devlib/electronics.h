@@ -1,0 +1,56 @@
+// Electronic device models with parametric scaling (paper §III-A).
+//
+// "DACs in our library support power scaling with customized sampling rates
+// and bit resolutions, enabling power optimization via gating or
+// quantization."  This module implements those scaling laws:
+//   * DAC  — current-steering style: switching power grows ~linearly with
+//            the number of bit lines and with sample rate:
+//              P(b, f) = P0 * (b / b0) * (f / f0)
+//   * ADC  — SAR/flash figure-of-merit model:
+//              P(b, f) = FoM * 2^b * f            (Walden FoM, fJ/conv-step)
+//   * TIA  — fixed analog front-end power, scaled by bandwidth ratio.
+//   * Integrator — switched-capacitor accumulator; power scales with the
+//            readout rate (one read per accumulation window).
+// Each helper derives a concrete operating-point DeviceParams from a base
+// library record, so the rest of the stack consumes plain records.
+#pragma once
+
+#include "devlib/device.h"
+
+namespace simphony::devlib {
+
+/// Operating point for data converters.
+struct ConverterOperatingPoint {
+  int bits = 8;
+  double sample_rate_GHz = 10.0;
+};
+
+/// DAC power at an operating point, from the base record's calibration
+/// properties ("base_bits", "base_rate_GHz", static_power_mW at base).
+[[nodiscard]] double dac_power_mW(const DeviceParams& base,
+                                  const ConverterOperatingPoint& op);
+
+/// ADC power from the Walden figure of merit ("fom_fJ_per_step").
+[[nodiscard]] double adc_power_mW(const DeviceParams& base,
+                                  const ConverterOperatingPoint& op);
+
+/// Energy of a single conversion (pJ) at the operating point: P / f.
+[[nodiscard]] double conversion_energy_pJ(double power_mW,
+                                          double sample_rate_GHz);
+
+/// TIA power scaled to `bandwidth_GHz` from the base record.
+[[nodiscard]] double tia_power_mW(const DeviceParams& base,
+                                  double bandwidth_GHz);
+
+/// Integrator power at a given readout rate (GHz).
+[[nodiscard]] double integrator_power_mW(const DeviceParams& base,
+                                         double readout_rate_GHz);
+
+/// Returns a copy of `base` with static_power_mW set for the operating
+/// point and "resolution_bits"/"rate_GHz" recorded in `extra`.
+[[nodiscard]] DeviceParams specialize_dac(const DeviceParams& base,
+                                          const ConverterOperatingPoint& op);
+[[nodiscard]] DeviceParams specialize_adc(const DeviceParams& base,
+                                          const ConverterOperatingPoint& op);
+
+}  // namespace simphony::devlib

@@ -1,0 +1,221 @@
+#include "devlib/library.h"
+
+#include <stdexcept>
+
+namespace simphony::devlib {
+
+void DeviceLibrary::add(DeviceParams params) {
+  devices_[params.name] = std::move(params);
+}
+
+bool DeviceLibrary::has(const std::string& name) const {
+  return devices_.count(name) > 0;
+}
+
+const DeviceParams& DeviceLibrary::get(const std::string& name) const {
+  auto it = devices_.find(name);
+  if (it == devices_.end()) {
+    throw std::out_of_range("device library has no entry '" + name + "'");
+  }
+  return it->second;
+}
+
+DeviceParams& DeviceLibrary::get_mutable(const std::string& name) {
+  auto it = devices_.find(name);
+  if (it == devices_.end()) {
+    throw std::out_of_range("device library has no entry '" + name + "'");
+  }
+  return it->second;
+}
+
+std::vector<std::string> DeviceLibrary::names() const {
+  std::vector<std::string> out;
+  out.reserve(devices_.size());
+  for (const auto& [k, _] : devices_) out.push_back(k);
+  return out;
+}
+
+DeviceLibrary DeviceLibrary::standard() {
+  DeviceLibrary lib;
+
+  // ---------------- photonic devices ----------------
+  // Slow-light electro-optic Mach-Zehnder modulator, calibrated to the
+  // compact TeMPO device (25 x 20 um active section).  Footprint also
+  // reproduces the published node layout of paper Fig. 6.
+  lib.add({.name = "mzm",
+           .category = DeviceCategory::kPhotonic,
+           .footprint = {25.0, 20.0},
+           .insertion_loss_dB = 1.2,
+           .static_power_mW = 1.0,      // bias
+           .dynamic_energy_fJ = 300.0,  // driver CV^2 per symbol
+           .latency_ns = 0.02,
+           .bandwidth_GHz = 40.0,
+           .extra = {{"er_dB", 10.0}, {"vpi_V", 1.8}, {"testing_bits", 8}}});
+
+  // Thermo-optic phase shifter; the node-internal trim sections share the
+  // modulator outline (Fig. 6 instances i0/i1).  p_pi is the full-pi heater
+  // power used by data-unaware energy modeling; 2 mW is the typical trim
+  // operating point.
+  lib.add({.name = "ps",
+           .category = DeviceCategory::kPhotonic,
+           .footprint = {25.0, 20.0},
+           .insertion_loss_dB = 0.3,
+           .static_power_mW = 4.75,
+           .dynamic_energy_fJ = 0.0,
+           .latency_ns = 0.0,
+           .bandwidth_GHz = 0.1,  // thermal bandwidth ~ 100 kHz
+           .extra = {{"p_pi_mW", 20.0}, {"thermal_tau_us", 10.0}}});
+
+  // Passively-trimmed phase section (post-fabrication trimming, zero hold
+  // power), used by the Lightening-Transformer node.
+  lib.add({.name = "ps_passive",
+           .category = DeviceCategory::kPhotonic,
+           .footprint = {25.0, 20.0},
+           .insertion_loss_dB = 0.3,
+           .static_power_mW = 0.0,
+           .extra = {}});
+
+  // 2x2 multimode interferometer combiner (node coherent-interference cell).
+  lib.add({.name = "mmi",
+           .category = DeviceCategory::kPhotonic,
+           .footprint = {20.0, 8.5},
+           .insertion_loss_dB = 1.5,
+           .latency_ns = 0.001,
+           .extra = {}});
+
+  // Ge-on-Si photodetector (balanced pair counted as one record instance).
+  lib.add({.name = "pd",
+           .category = DeviceCategory::kPhotonic,
+           .footprint = {10.0, 7.0},
+           .insertion_loss_dB = 0.0,
+           .static_power_mW = 0.5,  // bias
+           .latency_ns = 0.01,
+           .bandwidth_GHz = 40.0,
+           .extra = {{"sensitivity_dBm", -23.5}, {"responsivity_A_W", 1.0}}});
+
+  // Avalanche photodetector variant (higher sensitivity at extra bias),
+  // used by the Lightening-Transformer receiver chain.
+  lib.add({.name = "pd_apd",
+           .category = DeviceCategory::kPhotonic,
+           .footprint = {10.0, 7.0},
+           .insertion_loss_dB = 0.0,
+           .static_power_mW = 0.5,
+           .latency_ns = 0.01,
+           .bandwidth_GHz = 40.0,
+           .extra = {{"sensitivity_dBm", -31.0}, {"responsivity_A_W", 8.0}}});
+
+  // Waveguide crossing.  The odd height calibrates the Fig. 6 node layout
+  // (naive footprint sum 1270.5 um^2 against the real 4416 um^2 layout).
+  lib.add({.name = "crossing",
+           .category = DeviceCategory::kPhotonic,
+           .footprint = {7.0, 4.357},
+           .insertion_loss_dB = 0.15,
+           .extra = {}});
+
+  // Y-branch splitter: 3 dB inherent split + 0.3 dB excess per stage.
+  lib.add({.name = "ybranch",
+           .category = DeviceCategory::kPhotonic,
+           .footprint = {5.0, 2.5},
+           .insertion_loss_dB = 3.3,
+           .extra = {}});
+
+  // Edge/grating coupler, fiber-to-chip.
+  lib.add({.name = "coupler",
+           .category = DeviceCategory::kPhotonic,
+           .footprint = {40.0, 12.0},
+           .insertion_loss_dB = 1.5,
+           .extra = {}});
+
+  // DFB comb line / laser source (off-chip attach, footprint is the
+  // co-packaged share per line).
+  lib.add({.name = "laser",
+           .category = DeviceCategory::kPhotonic,
+           .footprint = {400.0, 300.0},
+           .insertion_loss_dB = 0.0,
+           .extra = {{"wall_plug_efficiency", 0.25}}});
+
+  // Thermo-optic Clements-mesh MZI (2 phase shifters + 2 couplers).
+  lib.add({.name = "mzi",
+           .category = DeviceCategory::kPhotonic,
+           .footprint = {220.0, 80.0},
+           .insertion_loss_dB = 0.9,
+           .static_power_mW = 4.0,
+           .bandwidth_GHz = 0.1,
+           .extra = {{"p_pi_mW", 20.0}, {"thermal_tau_us", 10.0}}});
+
+  // Microring resonator (weight-bank element).
+  lib.add({.name = "mrr",
+           .category = DeviceCategory::kPhotonic,
+           .footprint = {20.0, 20.0},
+           .insertion_loss_dB = 0.5,
+           .static_power_mW = 1.0,
+           .bandwidth_GHz = 10.0,
+           .extra = {{"p_pi_mW", 10.0}}});
+
+  // Non-volatile phase-change-material cell (zero static hold power).
+  lib.add({.name = "pcm_cell",
+           .category = DeviceCategory::kPhotonic,
+           .footprint = {15.0, 15.0},
+           .insertion_loss_dB = 1.0,
+           .dynamic_energy_fJ = 450.0,  // write pulse
+           .extra = {{"write_latency_ns", 100.0}}});
+
+  // Semiconductor optical amplifier: on-chip gain compensating large
+  // passive distribution losses (negative insertion loss = gain).
+  lib.add({.name = "soa",
+           .category = DeviceCategory::kPhotonic,
+           .footprint = {500.0, 50.0},
+           .insertion_loss_dB = -8.0,
+           .static_power_mW = 60.0,
+           .extra = {}});
+
+  // ---------------- electronic devices ----------------
+  // Current-steering DAC driving the modulator load, 35 mW at
+  // 8 bit / 10 GS/s (base point); power scales ~ (bits/8)*(rate/10GHz),
+  // see electronics.h.
+  lib.add({.name = "dac",
+           .category = DeviceCategory::kElectronic,
+           .footprint = {70.0, 50.0},  // 3500 um^2
+           .static_power_mW = 35.0,
+           .latency_ns = 0.1,
+           .bandwidth_GHz = 10.0,
+           .extra = {{"base_bits", 8.0}, {"base_rate_GHz", 10.0}}});
+
+  // Time-interleaved low-power DAC (the Lightening-Transformer design
+  // point): 20 mW at 8 bit / 10 GS/s.
+  lib.add({.name = "dac_lt",
+           .category = DeviceCategory::kElectronic,
+           .footprint = {70.0, 50.0},
+           .static_power_mW = 20.0,
+           .latency_ns = 0.1,
+           .bandwidth_GHz = 10.0,
+           .extra = {{"base_bits", 8.0}, {"base_rate_GHz", 10.0}}});
+
+  // SAR ADC with Walden FoM 65 fJ/conversion-step.
+  lib.add({.name = "adc",
+           .category = DeviceCategory::kElectronic,
+           .footprint = {100.0, 60.0},  // 6000 um^2
+           .static_power_mW = 0.0,      // computed from FoM at runtime
+           .latency_ns = 0.2,
+           .bandwidth_GHz = 10.0,
+           .extra = {{"fom_fJ_per_step", 65.0}}});
+
+  // Transimpedance amplifier front-end, 3 mW at 5 GHz.
+  lib.add({.name = "tia",
+           .category = DeviceCategory::kElectronic,
+           .footprint = {40.0, 30.0},  // 1200 um^2
+           .static_power_mW = 3.0,
+           .bandwidth_GHz = 5.0,
+           .extra = {}});
+
+  // Switched-capacitor temporal integrator (analog sequential summation).
+  lib.add({.name = "integrator",
+           .category = DeviceCategory::kElectronic,
+           .footprint = {54.0, 29.0},  // 1566 um^2
+           .static_power_mW = 28.0,
+           .extra = {{"base_rate_GHz", 5.0}, {"dynamic_power_mW", 0.0}}});
+
+  return lib;
+}
+
+}  // namespace simphony::devlib

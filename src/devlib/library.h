@@ -1,0 +1,43 @@
+// The device registry (SimPhony-DevLib).
+//
+// A DeviceLibrary maps device names to DeviceParams records.  The standard
+// library shipped here is calibrated against published numbers for the
+// systems the paper validates on (TeMPO [17], Lightening-Transformer [4],
+// SCATTER [14], Clements MZI meshes [1][22], MRR weight banks [20], PCM
+// crossbars [2][27]); users plug in foundry-PDK devices by registering
+// additional or replacement records.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "devlib/device.h"
+
+namespace simphony::devlib {
+
+class DeviceLibrary {
+ public:
+  /// Register (or replace) a record.  Name is taken from the record.
+  void add(DeviceParams params);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  /// Throws std::out_of_range with a helpful message if absent.
+  [[nodiscard]] const DeviceParams& get(const std::string& name) const;
+
+  /// Mutable access for user overrides (throws if absent).
+  [[nodiscard]] DeviceParams& get_mutable(const std::string& name);
+
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  [[nodiscard]] size_t size() const { return devices_.size(); }
+
+  /// The calibrated standard library (see .cpp for per-device provenance).
+  static DeviceLibrary standard();
+
+ private:
+  std::map<std::string, DeviceParams> devices_;
+};
+
+}  // namespace simphony::devlib

@@ -1,0 +1,38 @@
+#include "devlib/photonics.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/units.h"
+
+namespace simphony::devlib {
+
+double laser_power_mW(const LinkBudgetInputs& in) {
+  if (in.wall_plug_efficiency <= 0 || in.wall_plug_efficiency > 1) {
+    throw std::invalid_argument("wall-plug efficiency must be in (0, 1]");
+  }
+  if (in.extinction_ratio_dB <= 0) {
+    throw std::invalid_argument("extinction ratio must be > 0 dB");
+  }
+  const double received_mW =
+      util::dBm_to_mW(in.pd_sensitivity_dBm + in.critical_path_loss_dB);
+  const double levels = std::pow(2.0, in.input_bits);
+  const double er_penalty =
+      1.0 / (1.0 - std::pow(10.0, -in.extinction_ratio_dB / 10.0));
+  return received_mW * levels / in.wall_plug_efficiency * er_penalty;
+}
+
+double received_power_dBm(double launch_dBm, double loss_dB) {
+  return launch_dBm - loss_dB;
+}
+
+double snr_margin_dB(double launch_dBm, double loss_dB,
+                     double sensitivity_dBm) {
+  return received_power_dBm(launch_dBm, loss_dB) - sensitivity_dBm;
+}
+
+double mzm_symbol_energy_fJ(const DeviceParams& mzm) {
+  return mzm.dynamic_energy_fJ;
+}
+
+}  // namespace simphony::devlib

@@ -1,0 +1,43 @@
+// Photonic device helpers (paper §III-A, §III-C4).
+//
+// Photonic records live in the standard library (library.h); this module
+// adds the physics helpers that consume them:
+//   * laser power from the link budget (Eq. 1 of the paper);
+//   * modulator (MZM) encoding energy per symbol;
+//   * wavelength-dependent scaling of comb sources.
+#pragma once
+
+#include "devlib/device.h"
+
+namespace simphony::devlib {
+
+/// Inputs to the laser power equation (paper Eq. 1):
+///   P_laser = 10^((S + IL)/10) * 2^b_in / eta_WPE * 1 / (1 - 10^(-ER/10))
+struct LinkBudgetInputs {
+  double critical_path_loss_dB = 0.0;  // IL: longest-path insertion loss
+  double pd_sensitivity_dBm = -28.0;   // S: photodetector sensitivity
+  int input_bits = 4;                  // b_in: number of input levels (2^b)
+  double wall_plug_efficiency = 0.25;  // eta_WPE
+  double extinction_ratio_dB = 10.0;   // ER: modulation extinction ratio
+};
+
+/// Required electrical laser (wall-plug) power in mW for ONE wavelength
+/// channel, per paper Eq. (1).
+[[nodiscard]] double laser_power_mW(const LinkBudgetInputs& in);
+
+/// Optical power at the PD given the launched optical power and path loss.
+[[nodiscard]] double received_power_dBm(double launch_dBm, double loss_dB);
+
+/// Optical SNR margin in dB above the PD sensitivity.
+[[nodiscard]] double snr_margin_dB(double launch_dBm, double loss_dB,
+                                   double sensitivity_dBm);
+
+/// MZM driving energy per encoded symbol in fJ, scaled from the record's
+/// calibration ("dynamic_energy_fJ" at "testing_bits") to `bits` by the
+/// CV^2 swing approximation: energy grows ~linearly with the DAC level count
+/// ratio only through the drive swing, which is resolution-independent for
+/// a fixed Vpi — so the per-symbol energy is taken flat in bits but scales
+/// with the symbol rate through the count of symbols, handled by the caller.
+[[nodiscard]] double mzm_symbol_energy_fJ(const DeviceParams& mzm);
+
+}  // namespace simphony::devlib

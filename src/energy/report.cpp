@@ -1,0 +1,32 @@
+#include "energy/report.h"
+
+namespace simphony::energy {
+
+void EnergyBreakdown::add(const std::string& category, double pJ) {
+  entries_[category] += pJ;
+}
+
+void EnergyBreakdown::merge(const EnergyBreakdown& other) {
+  for (const auto& [k, v] : other.entries_) entries_[k] += v;
+}
+
+void EnergyBreakdown::scale(double factor) {
+  for (auto& [_, v] : entries_) v *= factor;
+}
+
+double EnergyBreakdown::total_pJ() const {
+  double total = 0.0;
+  for (const auto& [_, v] : entries_) total += v;
+  return total;
+}
+
+double EnergyBreakdown::get(const std::string& category) const {
+  auto it = entries_.find(category);
+  return it == entries_.end() ? 0.0 : it->second;
+}
+
+double EnergyBreakdown::average_power_mW(double runtime_ns) const {
+  return runtime_ns > 0 ? total_pJ() / runtime_ns : 0.0;
+}
+
+}  // namespace simphony::energy

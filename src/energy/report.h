@@ -1,0 +1,37 @@
+// Energy/power breakdown containers keyed by report category
+// ("DAC", "ADC", "MZM", "PS", "PD", "Laser", "TIA", "Integrator", "DM"...).
+#pragma once
+
+#include <map>
+#include <string>
+
+namespace simphony::energy {
+
+class EnergyBreakdown {
+ public:
+  /// Adds `pJ` to `category`.
+  void add(const std::string& category, double pJ);
+
+  /// Merges another breakdown into this one.
+  void merge(const EnergyBreakdown& other);
+
+  /// Multiplies every entry by `factor`.
+  void scale(double factor);
+
+  [[nodiscard]] double total_pJ() const;
+  [[nodiscard]] double get(const std::string& category) const;
+  [[nodiscard]] const std::map<std::string, double>& entries() const {
+    return entries_;
+  }
+
+  /// Average power in mW over `runtime_ns` (0 if runtime is 0).
+  [[nodiscard]] double average_power_mW(double runtime_ns) const;
+
+ private:
+  std::map<std::string, double> entries_;
+};
+
+/// Power breakdown in mW (same container semantics, different unit).
+using PowerBreakdown = EnergyBreakdown;
+
+}  // namespace simphony::energy

@@ -1,0 +1,58 @@
+#include "layout/area.h"
+
+#include "util/units.h"
+
+namespace simphony::layout {
+
+double AreaBreakdown::total_mm2() const {
+  double total = 0.0;
+  for (const auto& [_, v] : mm2) total += v;
+  return total;
+}
+
+double AreaBreakdown::get(const std::string& category) const {
+  auto it = mm2.find(category);
+  return it == mm2.end() ? 0.0 : it->second;
+}
+
+AreaBreakdown analyze_area(const arch::SubArchitecture& subarch,
+                           const AreaOptions& options) {
+  const arch::PtcTemplate& t = subarch.ptc();
+  AreaBreakdown out;
+
+  // Node unit area: floorplan bounding box (aware) or footprint sum.
+  double node_unit_um2 = 0.0;
+  if (t.node.instances().empty() == false) {
+    out.node_floorplan = floorplan_signal_flow(t.node, subarch.library(),
+                                               options.floorplan);
+    node_unit_um2 = options.layout_aware ? out.node_floorplan.area_um2()
+                                         : out.node_floorplan.naive_sum_um2;
+  }
+
+  for (const auto& g : subarch.groups()) {
+    if (g.count == 0) continue;
+    const arch::ArchInstance& spec = *g.spec;
+    if (spec.role == arch::Role::kSource && !t.include_source_in_area) {
+      continue;  // off-chip co-packaged light source
+    }
+    if (spec.role == arch::Role::kCoupling) continue;  // facet couplers
+    if (spec.name == t.node_instance) {
+      out.mm2[spec.category] +=
+          util::um2_to_mm2(node_unit_um2 * static_cast<double>(g.count)) *
+          t.core_routing_overhead;
+      continue;
+    }
+    if (spec.role == arch::Role::kNodeInternal) {
+      continue;  // covered by the node floorplan
+    }
+    out.mm2[spec.category] +=
+        util::um2_to_mm2(g.unit_area_um2 * static_cast<double>(g.count));
+  }
+
+  for (const auto& [category, mm2] : t.extra_area_mm2) {
+    out.mm2[category] += mm2;
+  }
+  return out;
+}
+
+}  // namespace simphony::layout

@@ -1,0 +1,38 @@
+// Layout-aware chip area analysis (paper §III-C6, Figs. 7a/8a/10a).
+//
+// Per instance group: count x device footprint, except the replicated node
+// building block, whose unit area is the signal-flow floorplan estimate
+// (layout-aware) or the naive footprint sum (layout-unaware ablation).
+// Off-chip sources (laser) are excluded unless the template opts in
+// (LT's "Laser & Comb" bar); memory macro area is added by the caller.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "arch/hierarchy.h"
+#include "layout/floorplan.h"
+
+namespace simphony::layout {
+
+struct AreaOptions {
+  bool layout_aware = true;
+  FloorplanOptions floorplan;
+};
+
+struct AreaBreakdown {
+  /// Category -> mm^2.
+  std::map<std::string, double> mm2;
+
+  /// The floorplan of one node (valid when the template has a node).
+  FloorplanResult node_floorplan;
+
+  [[nodiscard]] double total_mm2() const;
+  [[nodiscard]] double get(const std::string& category) const;
+};
+
+/// Computes the area breakdown of one sub-architecture.
+[[nodiscard]] AreaBreakdown analyze_area(const arch::SubArchitecture& subarch,
+                                         const AreaOptions& options = {});
+
+}  // namespace simphony::layout

@@ -1,0 +1,117 @@
+#include "layout/chip_floorplan.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace simphony::layout {
+
+double ChipFloorplan::placed_area_mm2() const {
+  double sum = 0.0;
+  for (const auto& b : blocks) sum += b.width_um * b.height_um;
+  return sum * 1e-6;
+}
+
+double ChipFloorplan::utilization() const {
+  const double bbox = area_mm2();
+  return bbox > 0 ? placed_area_mm2() / bbox : 0.0;
+}
+
+ChipFloorplan chip_floorplan(const arch::SubArchitecture& subarch,
+                             const ChipFloorplanOptions& options) {
+  const arch::ArchParams& p = subarch.params();
+  const arch::PtcTemplate& t = subarch.ptc();
+  const devlib::DeviceLibrary& lib = subarch.library();
+
+  // Node site: node floorplan bbox plus the routing margin.
+  const FloorplanResult node_fp =
+      floorplan_signal_flow(t.node, lib, options.node);
+  const double site_w = node_fp.width_um + options.node_pitch_margin_um;
+  const double site_h = node_fp.height_um + options.node_pitch_margin_um;
+
+  // Column widths from the devices that sit per row.
+  auto device_width = [&](const char* name, double fallback) {
+    return lib.has(name) ? lib.get(name).footprint.width_um : fallback;
+  };
+  const double enc_w = device_width("mzm", 25.0) +
+                       device_width("dac", 70.0) +
+                       options.node.device_spacing_um * 2.0;
+  double readout_w = options.node.device_spacing_um;
+  for (const char* dev : {"tia", "integrator", "adc"}) {
+    if (t.has_instance(dev)) {
+      readout_w += lib.get(dev).footprint.width_um +
+                   options.node.device_spacing_um;
+    }
+  }
+
+  const double core_w = enc_w + p.core_width * site_w + readout_w;
+  const double core_h = p.core_height * site_h;
+  // B-encoder strip across the top of each tile (one encoder per column
+  // per core) — height of one encoder row.
+  const double strip_h = device_width("mzm", 25.0) / 2.0 +
+                         options.block_spacing_um;
+  const double tile_w = p.cores_per_tile * core_w +
+                        (p.cores_per_tile - 1) * options.block_spacing_um;
+  const double tile_h = core_h + strip_h;
+
+  // Comb/coupler strip on the left.
+  const double comb_w = lib.get("coupler").footprint.width_um +
+                        options.block_spacing_um;
+
+  ChipFloorplan chip;
+  const double origin_x = comb_w;
+  double y = 0.0;
+  for (int r = 0; r < p.tiles; ++r) {
+    const std::string tile = "tile" + std::to_string(r);
+    chip.blocks.push_back({tile + ".encoderB", "encoderB", origin_x, y,
+                           tile_w, strip_h - options.block_spacing_um});
+    const double cores_y = y + strip_h;
+    for (int c = 0; c < p.cores_per_tile; ++c) {
+      const double core_x =
+          origin_x + c * (core_w + options.block_spacing_um);
+      const std::string core = tile + ".core" + std::to_string(c);
+      chip.blocks.push_back(
+          {core + ".encoderA", "encoderA", core_x, cores_y, enc_w, core_h});
+      chip.blocks.push_back({core + ".nodes", "nodes", core_x + enc_w,
+                             cores_y, p.core_width * site_w, core_h});
+      chip.blocks.push_back({core + ".readout", "readout",
+                             core_x + enc_w + p.core_width * site_w,
+                             cores_y, readout_w, core_h});
+    }
+    y += tile_h + options.block_spacing_um;
+  }
+  chip.height_um = y - options.block_spacing_um;
+  chip.blocks.push_back(
+      {"comb", "comb", 0.0, 0.0, comb_w - options.block_spacing_um,
+       chip.height_um});
+  chip.width_um = origin_x + tile_w;
+  return chip;
+}
+
+std::string chip_to_svg(const ChipFloorplan& chip, double scale) {
+  std::ostringstream os;
+  const double w = chip.width_um * scale;
+  const double h = chip.height_um * scale;
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << w
+     << "\" height=\"" << h << "\" viewBox=\"0 0 " << w << ' ' << h
+     << "\">\n";
+  os << "  <rect x=\"0\" y=\"0\" width=\"" << w << "\" height=\"" << h
+     << "\" fill=\"#fafafa\" stroke=\"black\"/>\n";
+  auto color = [](const std::string& kind) {
+    if (kind == "nodes") return "#9ecae1";
+    if (kind == "encoderA") return "#a1d99b";
+    if (kind == "encoderB") return "#c994c7";
+    if (kind == "readout") return "#fdae6b";
+    return "#cccccc";
+  };
+  for (const auto& b : chip.blocks) {
+    os << "  <rect x=\"" << b.x_um * scale << "\" y=\"" << b.y_um * scale
+       << "\" width=\"" << b.width_um * scale << "\" height=\""
+       << b.height_um * scale << "\" fill=\"" << color(b.kind)
+       << "\" stroke=\"#555\" stroke-width=\"0.5\"><title>" << b.name
+       << "</title></rect>\n";
+  }
+  os << "</svg>\n";
+  return os.str();
+}
+
+}  // namespace simphony::layout

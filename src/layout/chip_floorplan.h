@@ -1,0 +1,60 @@
+// Chip-level floorplanning — the architecture-scale counterpart of the
+// node floorplan (paper Fig. 6 shows the node; §III-C6 notes the approach
+// "can be potentially extended to interface with PIC placement tools").
+//
+// Hierarchical assembly mirroring the signal flow:
+//   core  = encoder column (MZM A per row) | H x W node grid | readout
+//           column (TIA / integrator / ADC per row)
+//   tile  = C cores abutted horizontally + B-encoder strip on top
+//   chip  = R tiles stacked vertically + comb/coupler strip on the left
+// Spacing between nodes/blocks follows the same bend-radius-driven rules
+// as the node floorplanner.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/hierarchy.h"
+#include "layout/floorplan.h"
+
+namespace simphony::layout {
+
+struct ChipFloorplanOptions {
+  FloorplanOptions node;          // node-internal floorplan rules
+  double node_pitch_margin_um = 25.0;  // routing channel between node sites
+  double block_spacing_um = 50.0;      // between cores / tiles / strips
+};
+
+/// A placed macro block on the chip.
+struct PlacedBlock {
+  std::string name;     // e.g. "tile0.core1.nodes", "tile0.encoderA"
+  std::string kind;     // "nodes", "encoderA", "encoderB", "readout", "comb"
+  double x_um = 0.0;
+  double y_um = 0.0;
+  double width_um = 0.0;
+  double height_um = 0.0;
+};
+
+struct ChipFloorplan {
+  double width_um = 0.0;
+  double height_um = 0.0;
+  std::vector<PlacedBlock> blocks;
+
+  [[nodiscard]] double area_mm2() const {
+    return width_um * height_um * 1e-6;
+  }
+  /// Sum of placed block areas (utilization = blocks / bbox).
+  [[nodiscard]] double placed_area_mm2() const;
+  [[nodiscard]] double utilization() const;
+};
+
+/// Assembles the chip plan for one sub-architecture.
+[[nodiscard]] ChipFloorplan chip_floorplan(
+    const arch::SubArchitecture& subarch,
+    const ChipFloorplanOptions& options = {});
+
+/// Renders the chip plan as SVG (block outlines + labels).
+[[nodiscard]] std::string chip_to_svg(const ChipFloorplan& chip,
+                                      double scale = 0.05);
+
+}  // namespace simphony::layout

@@ -1,0 +1,68 @@
+#include "layout/floorplan.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace simphony::layout {
+
+FloorplanResult floorplan_signal_flow(const arch::Netlist& netlist,
+                                      const devlib::DeviceLibrary& lib,
+                                      const FloorplanOptions& options) {
+  const arch::Dag dag = arch::Dag::from_netlist(netlist, lib);
+  const std::vector<int> levels = dag.levels();
+  int max_level = 0;
+  for (int l : levels) max_level = std::max(max_level, l);
+
+  FloorplanResult result;
+  std::vector<std::vector<size_t>> by_level(
+      static_cast<size_t>(max_level) + 1);
+  for (size_t i = 0; i < netlist.instances().size(); ++i) {
+    by_level[static_cast<size_t>(levels[i])].push_back(i);
+  }
+
+  double y = 0.0;
+  for (size_t level = 0; level < by_level.size(); ++level) {
+    double x = 0.0;
+    double row_height = 0.0;
+    for (size_t k = 0; k < by_level[level].size(); ++k) {
+      const arch::Instance& inst = netlist.instances()[by_level[level][k]];
+      const devlib::DeviceParams& dev = lib.get(inst.device);
+      if (k > 0) x += options.device_spacing_um;
+      PlacedInstance placed;
+      placed.name = inst.name;
+      placed.device = inst.device;
+      placed.x_um = x;
+      placed.y_um = y;
+      placed.width_um = dev.footprint.width_um;
+      placed.height_um = dev.footprint.height_um;
+      placed.level = static_cast<int>(level);
+      result.placements.push_back(placed);
+      x += dev.footprint.width_um;
+      row_height = std::max(row_height, dev.footprint.height_um);
+      result.naive_sum_um2 += dev.area_um2();
+    }
+    result.width_um = std::max(result.width_um, x);
+    y += row_height;
+    if (level + 1 < by_level.size()) y += options.row_spacing_um;
+  }
+  result.height_um = y;
+  return result;
+}
+
+FloorplanResult floorplan_bounding_box(const arch::Netlist& netlist,
+                                       const devlib::DeviceLibrary& lib,
+                                       double width_um, double height_um) {
+  if (width_um <= 0 || height_um <= 0) {
+    throw std::invalid_argument("bounding box must be positive");
+  }
+  FloorplanResult result = floorplan_signal_flow(netlist, lib);
+  if (result.naive_sum_um2 > width_um * height_um) {
+    throw std::invalid_argument(
+        "bounding box smaller than the sum of device footprints");
+  }
+  result.width_um = width_um;
+  result.height_um = height_um;
+  return result;
+}
+
+}  // namespace simphony::layout

@@ -1,0 +1,65 @@
+// Signal-flow-aware row-based floorplanning (paper §III-C6, Fig. 6).
+//
+// "Unlike previous methods that simply sum all device footprints,
+// SimPhony-Sim ... automatically generates a signal-flow-aware floorplan.
+// The floorplan follows the device's topological order from the netlist to
+// adhere to the minimum bending rule in PIC placement, accounting for
+// user-defined device/node spacing."
+//
+// Implementation: instances are grouped by topological level of the
+// weighted DAG; each level forms one placement row (devices side by side
+// with `device_spacing`); consecutive rows are separated by `row_spacing`
+// (two waveguide bend radii) so the optical signal flows monotonically
+// down the rows with minimum bends.  Chip width is the widest row; height
+// is the sum of row heights plus spacing.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/graph.h"
+#include "arch/netlist.h"
+#include "devlib/library.h"
+
+namespace simphony::layout {
+
+struct FloorplanOptions {
+  double device_spacing_um = 3.0;  // lateral gap between devices in a row
+  double row_spacing_um = 25.0;    // vertical routing channel (~2 bends)
+};
+
+struct PlacedInstance {
+  std::string name;
+  std::string device;
+  double x_um = 0.0;
+  double y_um = 0.0;
+  double width_um = 0.0;
+  double height_um = 0.0;
+  int level = 0;
+};
+
+struct FloorplanResult {
+  double width_um = 0.0;
+  double height_um = 0.0;
+  std::vector<PlacedInstance> placements;
+
+  /// Bounding-box chip area (the layout-aware estimate).
+  [[nodiscard]] double area_um2() const { return width_um * height_um; }
+
+  /// Naive sum of device footprints (the layout-unaware under-estimate
+  /// used by prior methods).
+  double naive_sum_um2 = 0.0;
+};
+
+/// Floorplans a netlist; throws std::invalid_argument on cyclic netlists.
+[[nodiscard]] FloorplanResult floorplan_signal_flow(
+    const arch::Netlist& netlist, const devlib::DeviceLibrary& lib,
+    const FloorplanOptions& options = {});
+
+/// A user-supplied bounding box (paper: "either takes in a user-defined
+/// bounding box or automatically generates a floorplan").
+[[nodiscard]] FloorplanResult floorplan_bounding_box(
+    const arch::Netlist& netlist, const devlib::DeviceLibrary& lib,
+    double width_um, double height_um);
+
+}  // namespace simphony::layout

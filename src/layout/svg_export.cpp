@@ -1,0 +1,56 @@
+#include "layout/svg_export.h"
+
+#include <functional>
+#include <sstream>
+
+namespace simphony::layout {
+
+namespace {
+
+/// Deterministic pastel color per device type.
+std::string device_color(const std::string& device) {
+  const size_t h = std::hash<std::string>{}(device);
+  const int r = 120 + static_cast<int>(h % 110);
+  const int g = 120 + static_cast<int>((h / 110) % 110);
+  const int b = 120 + static_cast<int>((h / 12100) % 110);
+  std::ostringstream os;
+  os << "rgb(" << r << ',' << g << ',' << b << ')';
+  return os.str();
+}
+
+}  // namespace
+
+std::string to_svg(const FloorplanResult& floorplan,
+                   const SvgOptions& options) {
+  const double s = options.scale;
+  const double m = options.margin_um;
+  const double width_px = (floorplan.width_um + 2 * m) * s;
+  const double height_px = (floorplan.height_um + 2 * m) * s;
+
+  std::ostringstream os;
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width_px
+     << "\" height=\"" << height_px << "\" viewBox=\"0 0 " << width_px << ' '
+     << height_px << "\">\n";
+  // Chip outline.
+  os << "  <rect x=\"" << m * s << "\" y=\"" << m * s << "\" width=\""
+     << floorplan.width_um * s << "\" height=\"" << floorplan.height_um * s
+     << "\" fill=\"none\" stroke=\"black\" stroke-width=\"1.5\"/>\n";
+  for (const auto& p : floorplan.placements) {
+    os << "  <rect x=\"" << (p.x_um + m) * s << "\" y=\"" << (p.y_um + m) * s
+       << "\" width=\"" << p.width_um * s << "\" height=\""
+       << p.height_um * s << "\" fill=\"" << device_color(p.device)
+       << "\" stroke=\"#333\" stroke-width=\"0.5\">\n"
+       << "    <title>" << p.name << " (" << p.device << ", level "
+       << p.level << ")</title>\n  </rect>\n";
+    if (options.label_instances) {
+      os << "  <text x=\"" << (p.x_um + m + 0.5) * s << "\" y=\""
+         << (p.y_um + m + p.height_um / 2.0) * s << "\" font-size=\""
+         << 2.5 * s << "\" font-family=\"monospace\">" << p.name
+         << "</text>\n";
+    }
+  }
+  os << "</svg>\n";
+  return os.str();
+}
+
+}  // namespace simphony::layout

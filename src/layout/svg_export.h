@@ -1,0 +1,22 @@
+// SVG rendering of floorplans — the visual counterpart of paper Fig. 6,
+// and a stepping stone to "interface with PIC placement tools".
+#pragma once
+
+#include <string>
+
+#include "layout/floorplan.h"
+
+namespace simphony::layout {
+
+struct SvgOptions {
+  double scale = 4.0;        // px per um
+  double margin_um = 5.0;
+  bool label_instances = true;
+};
+
+/// Renders a floorplan as a standalone SVG document.  Devices are colored
+/// by device name hash; the chip bounding box is drawn around them.
+[[nodiscard]] std::string to_svg(const FloorplanResult& floorplan,
+                                 const SvgOptions& options = {});
+
+}  // namespace simphony::layout

@@ -1,0 +1,48 @@
+#include "memory/cacti_lite.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace simphony::memory {
+
+namespace {
+// 45 nm, 64 KB, single-block calibration anchors.
+constexpr double kAnchorCapKB = 64.0;
+constexpr double kAnchorReadPJPerBit = 0.20;
+constexpr double kAnchorCycleNs = 0.55;
+constexpr double kAreaMm2PerKB = 3.5e-3;
+constexpr double kLeakMWPerKB = 0.05;
+constexpr double kCycleFloorNs = 0.25;
+}  // namespace
+
+SramResult simulate_sram(const SramConfig& config) {
+  if (config.capacity_kB <= 0 || config.blocks <= 0 ||
+      config.buswidth_bits <= 0) {
+    throw std::invalid_argument(
+        "SRAM capacity, blocks and buswidth must be positive");
+  }
+  const double per_block_kB =
+      config.capacity_kB / static_cast<double>(config.blocks);
+  const double size_factor = std::sqrt(per_block_kB / kAnchorCapKB);
+  const double tech = static_cast<double>(config.tech_nm) / 45.0;
+
+  SramResult r;
+  r.read_energy_pJ_per_bit =
+      kAnchorReadPJPerBit * (0.4 + 0.6 * size_factor) * std::pow(tech, 1.6);
+  r.write_energy_pJ_per_bit = 1.1 * r.read_energy_pJ_per_bit;
+  r.cycle_ns = std::max(kCycleFloorNs * std::pow(tech, 0.8),
+                        kAnchorCycleNs * (0.4 + 0.6 * size_factor) *
+                            std::pow(tech, 0.8));
+  const double banking_overhead =
+      1.0 + 0.05 * std::log2(static_cast<double>(config.blocks));
+  r.area_mm2 = config.capacity_kB * kAreaMm2PerKB * banking_overhead *
+               tech * tech;
+  r.leakage_mW = config.capacity_kB * kLeakMWPerKB * std::pow(tech, 1.6);
+  // Each block streams buswidth bits per cycle.
+  r.bandwidth_GBps = static_cast<double>(config.blocks) *
+                     (static_cast<double>(config.buswidth_bits) / 8.0) /
+                     r.cycle_ns;
+  return r;
+}
+
+}  // namespace simphony::memory

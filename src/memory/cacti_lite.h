@@ -1,0 +1,45 @@
+// cacti_lite: an analytical SRAM / HBM cost model standing in for CACTI 7
+// (paper §III-C3/C5 uses CACTI-simulated access energy and cycle time).
+//
+// The paper consumes exactly three CACTI outputs — per-bit access energy,
+// array cycle time and macro area — so this substitute fits those with
+// published-CACTI-shaped scaling laws:
+//   * energy/bit grows ~sqrt(per-block capacity) (longer bit/word lines),
+//   * cycle time grows ~sqrt(per-block capacity),
+//   * area grows linearly in capacity with a per-block banking overhead,
+//   * technology scaling: energy ~ (nm/45)^1.6, area ~ (nm/45)^2,
+//     cycle ~ (nm/45)^0.8 relative to the 45 nm calibration point.
+// Calibration anchor (45 nm, 64 KB, single block): 0.20 pJ/bit read,
+// 0.55 ns cycle, 3.5e-3 mm^2/KB, 0.05 mW/KB leakage.
+#pragma once
+
+namespace simphony::memory {
+
+struct SramConfig {
+  double capacity_kB = 64.0;
+  int buswidth_bits = 512;
+  int blocks = 1;    // multi-block banking (bandwidth scales with blocks)
+  int tech_nm = 45;  // technology node
+};
+
+struct SramResult {
+  double read_energy_pJ_per_bit = 0.0;
+  double write_energy_pJ_per_bit = 0.0;
+  double cycle_ns = 0.0;       // per-block random-access cycle
+  double area_mm2 = 0.0;       // total macro area incl. banking overhead
+  double leakage_mW = 0.0;
+  double bandwidth_GBps = 0.0; // aggregate across blocks at this cycle
+};
+
+/// Analytical SRAM model; throws std::invalid_argument on non-positive
+/// capacity/blocks/buswidth.
+[[nodiscard]] SramResult simulate_sram(const SramConfig& config);
+
+/// Off-chip HBM stack model (fixed per-bit energy, aggregate bandwidth).
+struct HbmModel {
+  double energy_pJ_per_bit = 3.9;
+  double bandwidth_GBps = 256.0;
+  double static_power_mW = 500.0;
+};
+
+}  // namespace simphony::memory

@@ -1,0 +1,147 @@
+#include "memory/hierarchy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "dataflow/tiling.h"
+
+namespace simphony::memory {
+
+double bytes_per_cycle(const arch::SubArchitecture& subarch) {
+  const arch::ArchParams& p = subarch.params();
+  // Tile extents equal the per-cycle unique operand footprint.
+  double n_tile;
+  double d_tile;
+  double m_tile;
+  if (subarch.ptc().output_stationary) {
+    n_tile = static_cast<double>(p.tiles) * p.core_height;
+    d_tile = static_cast<double>(p.cores_per_tile) * p.wavelengths;
+    m_tile = p.core_width;
+  } else {
+    n_tile = p.wavelengths;
+    d_tile = p.core_height;
+    m_tile = p.core_width;
+  }
+  const double a_bytes = n_tile * d_tile * p.input_bits / 8.0;
+  const double b_bytes = d_tile * m_tile * p.weight_bits / 8.0;
+  return a_bytes + b_bytes;
+}
+
+MemoryHierarchy build_memory_hierarchy(
+    const std::vector<const arch::SubArchitecture*>& subarchs,
+    const std::vector<workload::GemmWorkload>& gemms,
+    const MemoryOptions& options) {
+  if (subarchs.empty()) {
+    throw std::invalid_argument("memory hierarchy needs >= 1 sub-arch");
+  }
+
+  MemoryHierarchy h;
+
+  // ---- HBM: the whole model ----
+  double model_bytes = 0.0;
+  double max_layer_bytes = 1.0;
+  for (const auto& g : gemms) {
+    model_bytes += g.bytes_b();
+    max_layer_bytes =
+        std::max(max_layer_bytes, g.bytes_a() + g.bytes_b() + g.bytes_out());
+  }
+  h.hbm.name = "HBM";
+  h.hbm.capacity_kB = std::max(1.0, model_bytes / 1024.0);
+  h.hbm.bandwidth_GBps = options.hbm.bandwidth_GBps;
+  h.hbm.read_energy_pJ_per_bit = options.hbm.energy_pJ_per_bit;
+  h.hbm.write_energy_pJ_per_bit = options.hbm.energy_pJ_per_bit;
+
+  // ---- Peak per-cycle demand across sub-architectures ----
+  double demand_GBps = 0.0;     // dBW
+  double rf_bytes_cycle = 0.0;  // per-cycle single-cycle operand footprint
+  double max_block_bytes = 1.0;
+  for (const auto* s : subarchs) {
+    const double bpc = bytes_per_cycle(*s);
+    demand_GBps = std::max(demand_GBps, bpc * s->params().clock_GHz);
+    rf_bytes_cycle = std::max(rf_bytes_cycle, bpc);
+    // LB holds the processing block: per-cycle operands x the deepest
+    // accumulation window observed in the workload.
+    for (const auto& g : gemms) {
+      const dataflow::Tiling t = dataflow::tile_gemm(*s, g);
+      const double block_bytes =
+          (static_cast<double>(t.n_tile) * g.d * g.input_bits +
+           static_cast<double>(g.d) * t.m_tile * g.weight_bits +
+           static_cast<double>(t.n_tile) * t.m_tile * g.output_bits) /
+          8.0;
+      max_block_bytes = std::max(max_block_bytes, block_bytes);
+    }
+  }
+  h.glb_demand_GBps = demand_GBps;
+
+  // ---- GLB: holds one layer; multi-block to meet dBW ----
+  const double glb_capacity_kB = std::max(64.0, max_layer_bytes / 1024.0);
+  // tau_GLB: the fastest cycle CACTI reports (64 KB block granularity).
+  const SramResult fastest = simulate_sram(
+      {.capacity_kB = std::min(glb_capacity_kB, 64.0),
+       .buswidth_bits = options.glb_bus_bits,
+       .blocks = 1,
+       .tech_nm = options.tech_nm});
+  int glb_blocks = 1;
+  if (!options.force_single_block_glb) {
+    const double bytes_per_access =
+        static_cast<double>(options.glb_bus_bits) / 8.0;
+    glb_blocks = std::max(
+        1, static_cast<int>(std::ceil(fastest.cycle_ns * demand_GBps /
+                                      bytes_per_access)));
+  }
+  const SramResult glb = simulate_sram({.capacity_kB = glb_capacity_kB,
+                                        .buswidth_bits = options.glb_bus_bits,
+                                        .blocks = glb_blocks,
+                                        .tech_nm = options.tech_nm});
+  h.glb = {.name = "GLB",
+           .capacity_kB = glb_capacity_kB,
+           .bandwidth_GBps = glb.bandwidth_GBps,
+           .read_energy_pJ_per_bit = glb.read_energy_pJ_per_bit,
+           .write_energy_pJ_per_bit = glb.write_energy_pJ_per_bit,
+           .area_mm2 = glb.area_mm2,
+           .leakage_mW = glb.leakage_mW,
+           .blocks = glb_blocks,
+           .cycle_ns = glb.cycle_ns};
+
+  // ---- LB: the processing block ----
+  const double lb_capacity_kB =
+      std::max(4.0, 2.0 * max_block_bytes / 1024.0);  // double buffered
+  int lb_slices = 1;
+  if (options.distributed_lb) {
+    // One LB slice per broadcast row bus (R*C*H across sub-archs).
+    for (const auto* s : subarchs) {
+      const arch::ArchParams& p = s->params();
+      lb_slices = std::max(lb_slices,
+                           p.tiles * p.cores_per_tile * p.core_height);
+    }
+  }
+  const SramResult lb = simulate_sram({.capacity_kB = lb_capacity_kB,
+                                       .buswidth_bits = options.lb_bus_bits,
+                                       .blocks = lb_slices,
+                                       .tech_nm = options.tech_nm});
+  h.lb = {.name = "LB",
+          .capacity_kB = lb_capacity_kB,
+          .bandwidth_GBps = lb.bandwidth_GBps,
+          .read_energy_pJ_per_bit = lb.read_energy_pJ_per_bit,
+          .write_energy_pJ_per_bit = lb.write_energy_pJ_per_bit,
+          .area_mm2 = lb.area_mm2,
+          .leakage_mW = lb.leakage_mW,
+          .blocks = 1,
+          .cycle_ns = lb.cycle_ns};
+
+  // ---- RF: single-cycle operands ----
+  const double rf_capacity_kB = std::max(0.5, 2.0 * rf_bytes_cycle / 1024.0);
+  h.rf = {.name = "RF",
+          .capacity_kB = rf_capacity_kB,
+          .bandwidth_GBps = demand_GBps * 2.0,
+          .read_energy_pJ_per_bit = 0.01,  // register-file flop read
+          .write_energy_pJ_per_bit = 0.012,
+          .area_mm2 = rf_capacity_kB * 6.0e-3,
+          .leakage_mW = rf_capacity_kB * 0.1,
+          .blocks = 1,
+          .cycle_ns = 1.0 / 5.0};
+  return h;
+}
+
+}  // namespace simphony::memory

@@ -1,0 +1,73 @@
+// Bandwidth-adaptive four-level memory hierarchy (paper §III-C3).
+//
+// HBM (whole model) -> GLB (one layer) -> LB (processing block) -> RF
+// (single-cycle operands).  The GLB bandwidth demand dBW is profiled from
+// the per-cycle operand traffic of every sub-architecture (data sharing /
+// optical broadcast counted once); a multi-block SRAM design is then sized:
+//     #blocks = ceil( tau_GLB * dBW / (b_bus / 8) )
+// so the computing cores never stall on memory.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/hierarchy.h"
+#include "memory/cacti_lite.h"
+#include "workload/gemm.h"
+
+namespace simphony::memory {
+
+struct MemoryLevel {
+  std::string name;
+  double capacity_kB = 0.0;
+  double bandwidth_GBps = 0.0;
+  double read_energy_pJ_per_bit = 0.0;
+  double write_energy_pJ_per_bit = 0.0;
+  double area_mm2 = 0.0;
+  double leakage_mW = 0.0;
+  int blocks = 1;
+  double cycle_ns = 0.0;
+};
+
+struct MemoryHierarchy {
+  MemoryLevel hbm;
+  MemoryLevel glb;
+  MemoryLevel lb;
+  MemoryLevel rf;
+
+  /// dBW: profiled peak GLB bandwidth demand in GB/s.
+  double glb_demand_GBps = 0.0;
+
+  [[nodiscard]] double total_sram_area_mm2() const {
+    return glb.area_mm2 + lb.area_mm2 + rf.area_mm2;
+  }
+  [[nodiscard]] double total_leakage_mW() const {
+    return glb.leakage_mW + lb.leakage_mW + rf.leakage_mW;
+  }
+};
+
+struct MemoryOptions {
+  int tech_nm = 45;
+  int glb_bus_bits = 512;  // b_bus
+  int lb_bus_bits = 256;
+  HbmModel hbm;
+  /// Force a single-block GLB (ablation of the multi-block design).
+  bool force_single_block_glb = false;
+  /// Distribute the LB into per-tile-row slices (one per R*C*H row bus);
+  /// per-slice capacity sets the access energy.  Disable for a monolithic
+  /// LB ablation.
+  bool distributed_lb = true;
+};
+
+/// Per-cycle GLB byte demand of a sub-architecture (unique operand values
+/// fetched per cycle; broadcast replicas counted once).
+[[nodiscard]] double bytes_per_cycle(const arch::SubArchitecture& subarch);
+
+/// Sizes the shared hierarchy for a set of sub-architectures and the
+/// extracted workload.
+[[nodiscard]] MemoryHierarchy build_memory_hierarchy(
+    const std::vector<const arch::SubArchitecture*>& subarchs,
+    const std::vector<workload::GemmWorkload>& gemms,
+    const MemoryOptions& options = {});
+
+}  // namespace simphony::memory

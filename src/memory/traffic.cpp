@@ -1,0 +1,59 @@
+#include "memory/traffic.h"
+
+namespace simphony::memory {
+
+double TrafficResult::total_energy_pJ() const {
+  double total = 0.0;
+  for (const auto& [_, v] : energy_pJ) total += v;
+  return total;
+}
+
+TrafficResult analyze_traffic(const arch::SubArchitecture& subarch,
+                              const workload::GemmWorkload& gemm,
+                              const dataflow::DataflowResult& mapped,
+                              const MemoryHierarchy& memory) {
+  const arch::ArchParams& p = subarch.params();
+  const dataflow::Tiling& t = mapped.tiling;
+  TrafficResult r;
+
+  // HBM: weights stream in once per layer; activations are produced and
+  // consumed on-chip (layer outputs stay in the GLB for the next layer).
+  r.hbm_bytes = gemm.bytes_b();
+
+  // GLB: operand A blocks are held in the LB across the m loop (read once);
+  // operand B is re-read once per output-row block; outputs written once.
+  if (subarch.ptc().output_stationary) {
+    r.glb_bytes = gemm.bytes_a() +
+                  gemm.bytes_b() * static_cast<double>(t.n_blocks) +
+                  gemm.bytes_out();
+  } else {
+    // Weight-stationary: weights programmed once; activations re-streamed
+    // once per column block of weights.
+    r.glb_bytes = gemm.bytes_b() +
+                  gemm.bytes_a() * static_cast<double>(t.m_blocks) +
+                  gemm.bytes_out();
+  }
+
+  // LB / RF: per-cycle operand feed over the compute cycles, plus the
+  // output accumulator traffic at the RF level.
+  const double a_feed = static_cast<double>(t.n_tile) * t.d_tile *
+                        gemm.input_bits / 8.0;
+  const double b_feed = static_cast<double>(t.d_tile) * t.m_tile *
+                        gemm.weight_bits / 8.0;
+  const double out_feed = static_cast<double>(t.n_tile) * t.m_tile *
+                          gemm.output_bits / 8.0;
+  const double cycles = static_cast<double>(mapped.compute_cycles);
+  r.lb_bytes = (a_feed + b_feed) * cycles;
+  r.rf_bytes = (a_feed + b_feed + out_feed) * cycles;
+  (void)p;
+
+  r.energy_pJ["HBM"] =
+      r.hbm_bytes * 8.0 * memory.hbm.read_energy_pJ_per_bit;
+  r.energy_pJ["GLB"] =
+      r.glb_bytes * 8.0 * memory.glb.read_energy_pJ_per_bit;
+  r.energy_pJ["LB"] = r.lb_bytes * 8.0 * memory.lb.read_energy_pJ_per_bit;
+  r.energy_pJ["RF"] = r.rf_bytes * 8.0 * memory.rf.read_energy_pJ_per_bit;
+  return r;
+}
+
+}  // namespace simphony::memory

@@ -1,0 +1,36 @@
+// Per-level memory access counts and data-movement energy (paper §III-C5):
+//   E_mem = sum over {HBM, GLB, LB, RF} of e_mem * D_mem
+// with D_mem derived from the dataflow (reuse and optical broadcast
+// counted once).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "dataflow/dataflow.h"
+#include "memory/hierarchy.h"
+#include "workload/gemm.h"
+
+namespace simphony::memory {
+
+struct TrafficResult {
+  double hbm_bytes = 0.0;
+  double glb_bytes = 0.0;
+  double lb_bytes = 0.0;
+  double rf_bytes = 0.0;
+
+  /// Energy by level, pJ.
+  std::map<std::string, double> energy_pJ;
+
+  [[nodiscard]] double total_energy_pJ() const;
+  [[nodiscard]] double total_bytes() const {
+    return hbm_bytes + glb_bytes + lb_bytes + rf_bytes;
+  }
+};
+
+/// Analyzes one mapped GEMM.
+[[nodiscard]] TrafficResult analyze_traffic(
+    const arch::SubArchitecture& subarch, const workload::GemmWorkload& gemm,
+    const dataflow::DataflowResult& mapped, const MemoryHierarchy& memory);
+
+}  // namespace simphony::memory

@@ -1,0 +1,305 @@
+#include "util/expr.h"
+
+#include <cctype>
+#include <cmath>
+#include <functional>
+#include <set>
+#include <utility>
+
+namespace simphony::util {
+
+namespace {
+
+enum class Op {
+  kConst,
+  kVar,
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMod,
+  kPow,
+  kNeg,
+  kCall,
+};
+
+}  // namespace
+
+struct Expr::NodeImpl {
+  Op op = Op::kConst;
+  double value = 0.0;
+  std::string name;  // variable or function name
+  std::vector<std::shared_ptr<const NodeImpl>> kids;
+};
+
+namespace {
+
+using NodePtr = std::shared_ptr<const Expr::NodeImpl>;
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  NodePtr parse() {
+    NodePtr e = expr();
+    skip_ws();
+    if (pos_ != text_.size()) {
+      throw ExprError("trailing characters at position " +
+                      std::to_string(pos_) + " in expression: " +
+                      std::string(text_));
+    }
+    return e;
+  }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  char peek() {
+    skip_ws();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  static NodePtr make(Op op, std::vector<NodePtr> kids,
+                      std::string name = {}, double value = 0.0) {
+    auto n = std::make_shared<Expr::NodeImpl>();
+    n->op = op;
+    n->kids = std::move(kids);
+    n->name = std::move(name);
+    n->value = value;
+    return n;
+  }
+
+  NodePtr expr() {
+    NodePtr lhs = term();
+    for (;;) {
+      if (consume('+')) {
+        lhs = make(Op::kAdd, {lhs, term()});
+      } else if (consume('-')) {
+        lhs = make(Op::kSub, {lhs, term()});
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  NodePtr term() {
+    NodePtr lhs = factor();
+    for (;;) {
+      if (consume('*')) {
+        lhs = make(Op::kMul, {lhs, factor()});
+      } else if (consume('/')) {
+        lhs = make(Op::kDiv, {lhs, factor()});
+      } else if (consume('%')) {
+        lhs = make(Op::kMod, {lhs, factor()});
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  NodePtr factor() {
+    NodePtr base = unary();
+    if (consume('^')) {
+      return make(Op::kPow, {base, factor()});  // right associative
+    }
+    return base;
+  }
+
+  NodePtr unary() {
+    if (consume('-')) return make(Op::kNeg, {unary()});
+    if (consume('+')) return unary();
+    return primary();
+  }
+
+  NodePtr primary() {
+    skip_ws();
+    if (pos_ >= text_.size()) throw ExprError("unexpected end of expression");
+    const char c = text_[pos_];
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '.') {
+      return number();
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      return identifier();
+    }
+    if (c == '(') {
+      ++pos_;
+      NodePtr e = expr();
+      if (!consume(')')) throw ExprError("missing ')' in expression");
+      return e;
+    }
+    throw ExprError(std::string("unexpected character '") + c +
+                    "' in expression: " + std::string(text_));
+  }
+
+  NodePtr number() {
+    size_t end = pos_;
+    while (end < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[end])) ||
+            text_[end] == '.' || text_[end] == 'e' || text_[end] == 'E' ||
+            ((text_[end] == '+' || text_[end] == '-') && end > pos_ &&
+             (text_[end - 1] == 'e' || text_[end - 1] == 'E')))) {
+      ++end;
+    }
+    const std::string tok(text_.substr(pos_, end - pos_));
+    pos_ = end;
+    try {
+      return make(Op::kConst, {}, {}, std::stod(tok));
+    } catch (const std::exception&) {
+      throw ExprError("bad numeric literal '" + tok + "'");
+    }
+  }
+
+  NodePtr identifier() {
+    size_t end = pos_;
+    while (end < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[end])) ||
+            text_[end] == '_')) {
+      ++end;
+    }
+    std::string name(text_.substr(pos_, end - pos_));
+    pos_ = end;
+    if (peek() == '(') {
+      ++pos_;
+      std::vector<NodePtr> args;
+      if (peek() != ')') {
+        args.push_back(expr());
+        while (consume(',')) args.push_back(expr());
+      }
+      if (!consume(')')) throw ExprError("missing ')' in call to " + name);
+      return make(Op::kCall, std::move(args), std::move(name));
+    }
+    return make(Op::kVar, {}, std::move(name));
+  }
+};
+
+double eval_call(const std::string& name, const std::vector<double>& a) {
+  auto need = [&](size_t n) {
+    if (a.size() != n) {
+      throw ExprError("function " + name + " expects " + std::to_string(n) +
+                      " argument(s), got " + std::to_string(a.size()));
+    }
+  };
+  if (name == "min") {
+    if (a.empty()) throw ExprError("min() needs at least one argument");
+    double m = a[0];
+    for (double v : a) m = std::min(m, v);
+    return m;
+  }
+  if (name == "max") {
+    if (a.empty()) throw ExprError("max() needs at least one argument");
+    double m = a[0];
+    for (double v : a) m = std::max(m, v);
+    return m;
+  }
+  if (name == "ceil") { need(1); return std::ceil(a[0]); }
+  if (name == "floor") { need(1); return std::floor(a[0]); }
+  if (name == "round") { need(1); return std::round(a[0]); }
+  if (name == "abs") { need(1); return std::abs(a[0]); }
+  if (name == "log2") { need(1); return std::log2(a[0]); }
+  if (name == "sqrt") { need(1); return std::sqrt(a[0]); }
+  if (name == "ceildiv") {
+    need(2);
+    if (a[1] == 0) throw ExprError("ceildiv by zero");
+    return std::ceil(a[0] / a[1]);
+  }
+  throw ExprError("unknown function '" + name + "'");
+}
+
+double eval_node(const Expr::NodeImpl& n, const Env& env) {
+  switch (n.op) {
+    case Op::kConst:
+      return n.value;
+    case Op::kVar: {
+      auto it = env.find(n.name);
+      if (it == env.end()) {
+        throw ExprError("unbound variable '" + n.name + "'");
+      }
+      return it->second;
+    }
+    case Op::kAdd:
+      return eval_node(*n.kids[0], env) + eval_node(*n.kids[1], env);
+    case Op::kSub:
+      return eval_node(*n.kids[0], env) - eval_node(*n.kids[1], env);
+    case Op::kMul:
+      return eval_node(*n.kids[0], env) * eval_node(*n.kids[1], env);
+    case Op::kDiv: {
+      const double d = eval_node(*n.kids[1], env);
+      if (d == 0) throw ExprError("division by zero");
+      return eval_node(*n.kids[0], env) / d;
+    }
+    case Op::kMod: {
+      const double d = eval_node(*n.kids[1], env);
+      if (d == 0) throw ExprError("modulo by zero");
+      return std::fmod(eval_node(*n.kids[0], env), d);
+    }
+    case Op::kPow:
+      return std::pow(eval_node(*n.kids[0], env), eval_node(*n.kids[1], env));
+    case Op::kNeg:
+      return -eval_node(*n.kids[0], env);
+    case Op::kCall: {
+      std::vector<double> args;
+      args.reserve(n.kids.size());
+      for (const auto& k : n.kids) args.push_back(eval_node(*k, env));
+      return eval_call(n.name, args);
+    }
+  }
+  throw ExprError("corrupt expression node");
+}
+
+void collect_vars(const Expr::NodeImpl& n, std::set<std::string>& out) {
+  if (n.op == Op::kVar) out.insert(n.name);
+  for (const auto& k : n.kids) collect_vars(*k, out);
+}
+
+}  // namespace
+
+Expr Expr::parse(std::string_view text) {
+  Expr e;
+  e.root_ = Parser(text).parse();
+  e.text_ = std::string(text);
+  return e;
+}
+
+Expr Expr::constant(double value) {
+  Expr e;
+  auto n = std::make_shared<NodeImpl>();
+  n->op = Op::kConst;
+  n->value = value;
+  e.root_ = n;
+  e.text_ = std::to_string(value);
+  return e;
+}
+
+double Expr::eval(const Env& env) const {
+  if (!root_) return 0.0;
+  return eval_node(*root_, env);
+}
+
+long long Expr::eval_count(const Env& env) const {
+  return static_cast<long long>(std::llround(eval(env)));
+}
+
+std::vector<std::string> Expr::variables() const {
+  std::set<std::string> vars;
+  if (root_) collect_vars(*root_, vars);
+  return {vars.begin(), vars.end()};
+}
+
+}  // namespace simphony::util

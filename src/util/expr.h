@@ -1,0 +1,73 @@
+// Symbolic arithmetic expression parser & evaluator.
+//
+// SimPhony-Arch scaling rules are "customizable symbolic expressions in
+// circuit description files" (paper §III-B), e.g. the TeMPO input encoders
+// scale as "R*H" and the Clements diagonal as "R*C*min(H,W)".  This module
+// provides the expression substrate: a recursive-descent parser producing an
+// immutable AST that can be evaluated against a variable environment.
+//
+// Grammar (standard precedence, left associative unless noted):
+//   expr     := term (('+'|'-') term)*
+//   term     := factor (('*'|'/'|'%') factor)*
+//   factor   := unary ('^' factor)?          // right associative power
+//   unary    := ('-'|'+') unary | primary
+//   primary  := number | ident | ident '(' args ')' | '(' expr ')'
+//   args     := expr (',' expr)*
+//
+// Supported functions: min, max, ceil, floor, round, abs, log2, sqrt,
+// ceildiv(a,b) = ceil(a/b).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace simphony::util {
+
+/// Variable bindings for expression evaluation.
+using Env = std::map<std::string, double, std::less<>>;
+
+/// Thrown on parse errors or evaluation of unbound variables.
+class ExprError : public std::runtime_error {
+ public:
+  explicit ExprError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A parsed, immutable arithmetic expression.
+class Expr {
+ public:
+  Expr() = default;  // empty expression; evaluates to 0
+
+  /// Parse `text`; throws ExprError on malformed input.
+  static Expr parse(std::string_view text);
+
+  /// Convenience: a constant expression.
+  static Expr constant(double value);
+
+  /// Evaluate against `env`; throws ExprError if a variable is unbound.
+  [[nodiscard]] double eval(const Env& env = {}) const;
+
+  /// Evaluate and round to nearest integer (scaling rules are counts).
+  [[nodiscard]] long long eval_count(const Env& env = {}) const;
+
+  /// All free variable names referenced by the expression.
+  [[nodiscard]] std::vector<std::string> variables() const;
+
+  /// The original source text ("0" for default-constructed).
+  [[nodiscard]] const std::string& text() const { return text_; }
+
+  [[nodiscard]] bool empty() const { return root_ == nullptr; }
+
+  /// Implementation node; public so the out-of-line parser/evaluator can
+  /// construct trees, but opaque to library users.
+  struct NodeImpl;
+
+ private:
+  std::shared_ptr<const NodeImpl> root_;
+  std::string text_ = "0";
+};
+
+}  // namespace simphony::util

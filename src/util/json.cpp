@@ -1,0 +1,103 @@
+#include "util/json.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace simphony::util {
+
+namespace {
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default: out += c;
+    }
+  }
+  out += '"';
+}
+
+void append_number(std::string& out, double d) {
+  if (std::isnan(d) || std::isinf(d)) {
+    out += "null";
+    return;
+  }
+  if (d == std::floor(d) && std::abs(d) < 1e15) {
+    out += std::to_string(static_cast<long long>(d));
+    return;
+  }
+  std::ostringstream os;
+  os.precision(12);
+  os << d;
+  out += os.str();
+}
+}  // namespace
+
+Json& Json::operator[](const std::string& key) {
+  if (std::holds_alternative<std::nullptr_t>(value_)) value_ = Object{};
+  return std::get<Object>(value_)[key];
+}
+
+void Json::push_back(Json v) {
+  if (std::holds_alternative<std::nullptr_t>(value_)) value_ = Array{};
+  std::get<Array>(value_).push_back(std::move(v));
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  const std::string nl = indent >= 0 ? "\n" : "";
+  const std::string pad =
+      indent >= 0 ? std::string(static_cast<size_t>(indent * (depth + 1)), ' ')
+                  : "";
+  const std::string pad_close =
+      indent >= 0 ? std::string(static_cast<size_t>(indent * depth), ' ') : "";
+  if (std::holds_alternative<std::nullptr_t>(value_)) {
+    out += "null";
+  } else if (const bool* b = std::get_if<bool>(&value_)) {
+    out += *b ? "true" : "false";
+  } else if (const double* d = std::get_if<double>(&value_)) {
+    append_number(out, *d);
+  } else if (const std::string* s = std::get_if<std::string>(&value_)) {
+    append_escaped(out, *s);
+  } else if (const Array* a = std::get_if<Array>(&value_)) {
+    if (a->empty()) {
+      out += "[]";
+      return;
+    }
+    out += "[" + nl;
+    for (size_t i = 0; i < a->size(); ++i) {
+      out += pad;
+      (*a)[i].dump_to(out, indent, depth + 1);
+      if (i + 1 < a->size()) out += ",";
+      out += nl;
+    }
+    out += pad_close + "]";
+  } else if (const Object* o = std::get_if<Object>(&value_)) {
+    if (o->empty()) {
+      out += "{}";
+      return;
+    }
+    out += "{" + nl;
+    size_t i = 0;
+    for (const auto& [k, v] : *o) {
+      out += pad;
+      append_escaped(out, k);
+      out += indent >= 0 ? ": " : ":";
+      v.dump_to(out, indent, depth + 1);
+      if (++i < o->size()) out += ",";
+      out += nl;
+    }
+    out += pad_close + "}";
+  }
+}
+
+}  // namespace simphony::util

@@ -1,0 +1,46 @@
+// Tiny JSON *writer* (no parser needed: all configs are C++ structs).
+// Reports can be serialized for downstream plotting.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace simphony::util {
+
+/// A JSON value: null, bool, number, string, array or object.
+class Json {
+ public:
+  using Array = std::vector<Json>;
+  using Object = std::map<std::string, Json>;
+
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}
+  Json(bool b) : value_(b) {}
+  Json(double d) : value_(d) {}
+  Json(int i) : value_(static_cast<double>(i)) {}
+  Json(long long i) : value_(static_cast<double>(i)) {}
+  Json(size_t i) : value_(static_cast<double>(i)) {}
+  Json(const char* s) : value_(std::string(s)) {}
+  Json(std::string s) : value_(std::move(s)) {}
+  Json(Array a) : value_(std::move(a)) {}
+  Json(Object o) : value_(std::move(o)) {}
+
+  /// Object element access (creates object if null).
+  Json& operator[](const std::string& key);
+
+  /// Append to array (creates array if null).
+  void push_back(Json v);
+
+  /// Serialize; `indent` < 0 means compact.
+  [[nodiscard]] std::string dump(int indent = 2) const;
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object>
+      value_;
+  void dump_to(std::string& out, int indent, int depth) const;
+};
+
+}  // namespace simphony::util

@@ -1,0 +1,39 @@
+#include "util/rng.h"
+
+namespace simphony::util {
+
+double Rng::uniform(double lo, double hi) {
+  std::uniform_real_distribution<double> d(lo, hi);
+  return d(engine_);
+}
+
+double Rng::normal(double mean, double stddev) {
+  std::normal_distribution<double> d(mean, stddev);
+  return d(engine_);
+}
+
+int64_t Rng::uniform_int(int64_t lo, int64_t hi) {
+  std::uniform_int_distribution<int64_t> d(lo, hi);
+  return d(engine_);
+}
+
+bool Rng::coin(double p) {
+  std::bernoulli_distribution d(p);
+  return d(engine_);
+}
+
+std::vector<float> Rng::normal_vector(size_t n, double mean, double stddev) {
+  std::vector<float> v(n);
+  std::normal_distribution<double> d(mean, stddev);
+  for (auto& x : v) x = static_cast<float>(d(engine_));
+  return v;
+}
+
+std::vector<float> Rng::uniform_vector(size_t n, double lo, double hi) {
+  std::vector<float> v(n);
+  std::uniform_real_distribution<double> d(lo, hi);
+  for (auto& x : v) x = static_cast<float>(d(engine_));
+  return v;
+}
+
+}  // namespace simphony::util

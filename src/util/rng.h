@@ -1,0 +1,41 @@
+// Deterministic random number helpers.  All workload synthesis (weights,
+// activations, pruning masks) flows through this so experiments are
+// reproducible run-to-run without a global seed.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace simphony::util {
+
+/// A seeded mersenne-twister wrapper with convenience distributions.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eed5eedULL) : engine_(seed) {}
+
+  /// Uniform real in [lo, hi).
+  double uniform(double lo = 0.0, double hi = 1.0);
+
+  /// Normal with given mean/stddev.
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t uniform_int(int64_t lo, int64_t hi);
+
+  /// Bernoulli(p).
+  bool coin(double p = 0.5);
+
+  /// n values from normal(mean, stddev).
+  std::vector<float> normal_vector(size_t n, double mean, double stddev);
+
+  /// n values from uniform[lo, hi).
+  std::vector<float> uniform_vector(size_t n, double lo, double hi);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace simphony::util

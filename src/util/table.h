@@ -1,0 +1,30 @@
+// ASCII table renderer used by benches and examples to print paper-style
+// rows (breakdown tables, taxonomy tables, sweep series).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace simphony::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a row; short rows are padded with empty cells.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `precision` significant decimals.
+  static std::string fmt(double value, int precision = 3);
+
+  /// Render with box-drawing dashes/pipes.
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace simphony::util

@@ -1,0 +1,52 @@
+// Unit conventions and dB helpers used throughout SimPhony-C++.
+//
+// To keep the arithmetic transparent (and the code greppable), quantities are
+// plain doubles with the unit encoded in the variable/field name suffix:
+//   _um   micrometres            _um2  square micrometres
+//   _mm2  square millimetres     _dB   decibels (insertion loss, ER, ...)
+//   _dBm  decibel-milliwatt      _mW   milliwatts
+//   _W    watts                  _pJ   picojoules
+//   _nJ   nanojoules             _uJ   microjoules
+//   _fJ   femtojoules            _GHz  gigahertz
+//   _ns   nanoseconds            _bits bits
+// This header centralizes the conversion factors and the small amount of
+// dB algebra needed for link-budget analysis (paper §III-C4).
+#pragma once
+
+#include <cmath>
+
+namespace simphony::util {
+
+// ---- area ----
+inline constexpr double kUm2PerMm2 = 1.0e6;
+inline constexpr double um2_to_mm2(double um2) { return um2 / kUm2PerMm2; }
+inline constexpr double mm2_to_um2(double mm2) { return mm2 * kUm2PerMm2; }
+
+// ---- energy ----
+inline constexpr double fJ_to_pJ(double fj) { return fj * 1e-3; }
+inline constexpr double pJ_to_nJ(double pj) { return pj * 1e-3; }
+inline constexpr double pJ_to_uJ(double pj) { return pj * 1e-6; }
+inline constexpr double nJ_to_pJ(double nj) { return nj * 1e3; }
+inline constexpr double uJ_to_pJ(double uj) { return uj * 1e6; }
+
+// ---- power / time: E[pJ] = P[mW] * t[ns] ----
+inline constexpr double energy_pJ(double power_mW, double time_ns) {
+  return power_mW * time_ns;
+}
+inline constexpr double mW_to_W(double mw) { return mw * 1e-3; }
+inline constexpr double W_to_mW(double w) { return w * 1e3; }
+
+// ---- frequency / period ----
+inline constexpr double period_ns(double freq_GHz) { return 1.0 / freq_GHz; }
+
+// ---- dB algebra ----
+/// Linear power ratio -> dB.
+inline double ratio_to_dB(double ratio) { return 10.0 * std::log10(ratio); }
+/// dB -> linear power ratio.
+inline double dB_to_ratio(double db) { return std::pow(10.0, db / 10.0); }
+/// Absolute power in mW -> dBm.
+inline double mW_to_dBm(double mw) { return 10.0 * std::log10(mw); }
+/// dBm -> absolute power in mW.
+inline double dBm_to_mW(double dbm) { return std::pow(10.0, dbm / 10.0); }
+
+}  // namespace simphony::util

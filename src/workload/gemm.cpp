@@ -1,0 +1,72 @@
+#include "workload/gemm.h"
+
+#include <stdexcept>
+
+namespace simphony::workload {
+
+double GemmWorkload::bytes_a() const {
+  return static_cast<double>(n) * static_cast<double>(d) * batch *
+         input_bits / 8.0;
+}
+
+double GemmWorkload::bytes_b() const {
+  return static_cast<double>(d) * static_cast<double>(m) * batch *
+         weight_bits / 8.0;
+}
+
+double GemmWorkload::bytes_out() const {
+  return static_cast<double>(n) * static_cast<double>(m) * batch *
+         output_bits / 8.0;
+}
+
+GemmWorkload gemm_of_layer(const Layer& layer) {
+  GemmWorkload g;
+  g.name = layer.name;
+  g.input_bits = layer.input_bits;
+  g.weight_bits = layer.weight_bits;
+  g.output_bits = layer.output_bits;
+  g.sparsity = layer.prune_ratio;
+  g.source_type = layer.type;
+  switch (layer.type) {
+    case LayerType::kConv2d:
+      // im2col: each output pixel is a row; the patch is the contraction.
+      g.n = static_cast<int64_t>(layer.out_height()) * layer.out_width();
+      g.d = static_cast<int64_t>(layer.in_channels) * layer.kernel *
+            layer.kernel;
+      g.m = layer.out_channels;
+      g.weights = &layer.weights;
+      break;
+    case LayerType::kLinear:
+      // mm_m carries the activation batch/sequence length (>= 1 row).
+      g.n = layer.mm_m > 0 ? layer.mm_m : 1;
+      g.d = layer.in_features;
+      g.m = layer.out_features;
+      g.weights = &layer.weights;
+      break;
+    case LayerType::kMatMulQK:
+    case LayerType::kMatMulAV:
+      g.n = layer.mm_m;
+      g.d = layer.mm_k;
+      g.m = layer.mm_n;
+      g.batch = layer.batch;
+      g.b_dynamic = true;
+      g.weights = nullptr;
+      break;
+  }
+  if (g.n <= 0 || g.d <= 0 || g.m <= 0) {
+    throw std::invalid_argument("layer '" + layer.name +
+                                "' lowers to an empty GEMM");
+  }
+  return g;
+}
+
+std::vector<GemmWorkload> extract_gemms(const Model& model) {
+  std::vector<GemmWorkload> gemms;
+  gemms.reserve(model.layers.size());
+  for (const auto& layer : model.layers) {
+    gemms.push_back(gemm_of_layer(layer));
+  }
+  return gemms;
+}
+
+}  // namespace simphony::workload

@@ -1,0 +1,136 @@
+#include "workload/model.h"
+
+namespace simphony::workload {
+
+int64_t Model::total_macs() const {
+  int64_t total = 0;
+  for (const auto& layer : layers) total += layer.macs();
+  return total;
+}
+
+int64_t Model::total_weights() const {
+  int64_t total = 0;
+  for (const auto& layer : layers) total += layer.weight_count();
+  return total;
+}
+
+Model vgg8_cifar10(uint64_t seed, double prune_ratio) {
+  util::Rng rng(seed);
+  Model model;
+  model.name = "VGG-8(CIFAR10)";
+  model.layers.push_back(make_conv2d("conv1", 3, 64, 3, 32, 32, rng));
+  model.layers.push_back(make_conv2d("conv2", 64, 64, 3, 32, 32, rng));
+  model.layers.push_back(make_conv2d("conv3", 64, 128, 3, 16, 16, rng));
+  model.layers.push_back(make_conv2d("conv4", 128, 128, 3, 16, 16, rng));
+  model.layers.push_back(make_conv2d("conv5", 128, 256, 3, 8, 8, rng));
+  model.layers.push_back(make_conv2d("conv6", 256, 256, 3, 8, 8, rng));
+  // After three 2x2 poolings: 4 x 4 x 256 = 4096 features.
+  model.layers.push_back(make_linear("fc1", 4096, 512, rng));
+  model.layers.push_back(make_linear("fc2", 512, 10, rng));
+  if (prune_ratio > 0.0) {
+    for (auto& layer : model.layers) {
+      layer.prune_ratio = prune_ratio;
+      layer.weights.prune_smallest(prune_ratio);
+    }
+  }
+  return model;
+}
+
+Model bert_base_image224(uint64_t seed) {
+  util::Rng rng(seed);
+  Model model;
+  model.name = "BERT-Base(ImageNet-224)";
+  constexpr int kLayers = 12;
+  constexpr int kHidden = 768;
+  constexpr int kHeads = 12;
+  constexpr int kHeadDim = kHidden / kHeads;  // 64
+  constexpr int kFfn = 3072;
+  constexpr int kSeq = 197;  // 14x14 patches + [CLS]
+  auto seq_linear = [&](const std::string& name, int in, int out) {
+    Layer layer = make_linear(name, in, out, rng);
+    layer.mm_m = kSeq;  // applied to every token of the sequence
+    return layer;
+  };
+  for (int l = 0; l < kLayers; ++l) {
+    const std::string p = "enc" + std::to_string(l) + ".";
+    model.layers.push_back(seq_linear(p + "q_proj", kHidden, kHidden));
+    model.layers.push_back(seq_linear(p + "k_proj", kHidden, kHidden));
+    model.layers.push_back(seq_linear(p + "v_proj", kHidden, kHidden));
+    model.layers.push_back(make_matmul(p + "attn_qk", LayerType::kMatMulQK,
+                                       kSeq, kHeadDim, kSeq, kHeads));
+    model.layers.push_back(make_matmul(p + "attn_av", LayerType::kMatMulAV,
+                                       kSeq, kSeq, kHeadDim, kHeads));
+    model.layers.push_back(seq_linear(p + "out_proj", kHidden, kHidden));
+    model.layers.push_back(seq_linear(p + "ffn1", kHidden, kFfn));
+    model.layers.push_back(seq_linear(p + "ffn2", kFfn, kHidden));
+  }
+  return model;
+}
+
+Model resnet20_cifar10(uint64_t seed, double prune_ratio) {
+  util::Rng rng(seed);
+  Model model;
+  model.name = "ResNet-20(CIFAR10)";
+  model.layers.push_back(make_conv2d("stem", 3, 16, 3, 32, 32, rng));
+  struct Stage {
+    int channels;
+    int size;
+  };
+  const Stage stages[] = {{16, 32}, {32, 16}, {64, 8}};
+  int in_ch = 16;
+  for (int s = 0; s < 3; ++s) {
+    for (int b = 0; b < 3; ++b) {
+      const std::string p =
+          "s" + std::to_string(s + 1) + "b" + std::to_string(b + 1) + ".";
+      const bool downsample = (s > 0 && b == 0);
+      const int in_size = downsample ? stages[s].size * 2 : stages[s].size;
+      model.layers.push_back(make_conv2d(p + "conv1", in_ch,
+                                         stages[s].channels, 3, in_size,
+                                         in_size, rng,
+                                         downsample ? 2 : 1));
+      model.layers.push_back(make_conv2d(p + "conv2", stages[s].channels,
+                                         stages[s].channels, 3,
+                                         stages[s].size, stages[s].size,
+                                         rng));
+      in_ch = stages[s].channels;
+    }
+  }
+  model.layers.push_back(make_linear("fc", 64, 10, rng));
+  if (prune_ratio > 0.0) {
+    for (auto& layer : model.layers) {
+      layer.prune_ratio = prune_ratio;
+      layer.weights.prune_smallest(prune_ratio);
+    }
+  }
+  return model;
+}
+
+Model mlp_mnist(uint64_t seed) {
+  util::Rng rng(seed);
+  Model model;
+  model.name = "MLP(MNIST)";
+  model.layers.push_back(make_linear("fc1", 784, 256, rng));
+  model.layers.push_back(make_linear("fc2", 256, 128, rng));
+  model.layers.push_back(make_linear("fc3", 128, 10, rng));
+  return model;
+}
+
+Model single_gemm_model(int n, int d, int m, uint64_t seed,
+                        double prune_ratio) {
+  util::Rng rng(seed);
+  Model model;
+  model.name = "GEMM(" + std::to_string(n) + "x" + std::to_string(d) + ")x(" +
+               std::to_string(d) + "x" + std::to_string(m) + ")";
+  Layer layer = make_linear("gemm", d, m, rng);
+  // A Linear over a batch of n input rows is exactly the (NxD)x(DxM) GEMM;
+  // the batch is encoded through gemm extraction (gemm.h) via `mm_m`.
+  layer.mm_m = n;
+  if (prune_ratio > 0.0) {
+    layer.prune_ratio = prune_ratio;
+    layer.weights.prune_smallest(prune_ratio);
+  }
+  model.layers.push_back(layer);
+  return model;
+}
+
+}  // namespace simphony::workload

@@ -1,0 +1,56 @@
+// Minimal dense float tensor used to carry *actual workload values*
+// (weights, activations, pruning masks) into the simulator — the paper's
+// data-aware energy modeling (§III-C5) depends on real operand values, so
+// the workload substrate must ship them, not just shapes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace simphony::workload {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::vector<int64_t> shape);
+
+  [[nodiscard]] const std::vector<int64_t>& shape() const { return shape_; }
+  [[nodiscard]] int64_t numel() const;
+  [[nodiscard]] size_t rank() const { return shape_.size(); }
+
+  [[nodiscard]] const std::vector<float>& data() const { return data_; }
+  [[nodiscard]] std::vector<float>& data() { return data_; }
+
+  [[nodiscard]] float& at(int64_t flat_index);
+  [[nodiscard]] float at(int64_t flat_index) const;
+
+  /// Deterministic initializers.
+  static Tensor randn(std::vector<int64_t> shape, util::Rng& rng,
+                      double mean = 0.0, double stddev = 1.0);
+  static Tensor uniform(std::vector<int64_t> shape, util::Rng& rng,
+                        double lo = -1.0, double hi = 1.0);
+  static Tensor zeros(std::vector<int64_t> shape);
+  static Tensor full(std::vector<int64_t> shape, float value);
+
+  /// Largest |value| (0 for empty tensors).
+  [[nodiscard]] float abs_max() const;
+  /// Mean of |values| (0 for empty tensors).
+  [[nodiscard]] float abs_mean() const;
+  /// Fraction of exact zeros (pruned entries).
+  [[nodiscard]] double sparsity() const;
+
+  /// In-place magnitude pruning of the smallest `ratio` fraction to zero.
+  void prune_smallest(double ratio);
+
+  /// In-place scaling so abs_max == `target` (no-op on all-zero tensors).
+  void normalize_to(float target);
+
+ private:
+  std::vector<int64_t> shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace simphony::workload

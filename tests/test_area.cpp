@@ -1,0 +1,111 @@
+#include "layout/area.h"
+
+#include <gtest/gtest.h>
+
+#include "arch/prebuilt.h"
+
+namespace simphony::layout {
+namespace {
+
+devlib::DeviceLibrary g_lib = devlib::DeviceLibrary::standard();
+
+TEST(Area, TempoFig7aTotal) {
+  arch::ArchParams p;  // paper Fig. 7 settings
+  const arch::SubArchitecture sub(arch::tempo_template(), p, g_lib);
+  const AreaBreakdown a = analyze_area(sub);
+  EXPECT_NEAR(a.total_mm2(), 0.84, 0.01);
+  // Node = 64 floorplanned dot-product units.
+  EXPECT_NEAR(a.get("Node"), 64.0 * 4531.5 * 1e-6, 1e-3);
+}
+
+TEST(Area, LayoutUnawareMatchesFig10a) {
+  arch::ArchParams p;
+  const arch::SubArchitecture sub(arch::tempo_template(), p, g_lib);
+  const AreaBreakdown unaware =
+      analyze_area(sub, {.layout_aware = false, .floorplan = {}});
+  EXPECT_NEAR(unaware.total_mm2(), 0.63, 0.01);
+  EXPECT_NEAR(unaware.get("Node"), 64.0 * 1270.5 * 1e-6, 1e-3);
+}
+
+TEST(Area, OnlyNodeCategoryDiffersBetweenModes) {
+  arch::ArchParams p;
+  const arch::SubArchitecture sub(arch::tempo_template(), p, g_lib);
+  const AreaBreakdown aware = analyze_area(sub);
+  const AreaBreakdown unaware =
+      analyze_area(sub, {.layout_aware = false, .floorplan = {}});
+  for (const auto& [k, v] : aware.mm2) {
+    if (k == "Node") {
+      EXPECT_GT(v, unaware.get(k));
+    } else {
+      EXPECT_DOUBLE_EQ(v, unaware.get(k)) << k;
+    }
+  }
+}
+
+TEST(Area, SourceExcludedUnlessTemplateOptsIn) {
+  arch::ArchParams p;
+  const arch::SubArchitecture tempo(arch::tempo_template(), p, g_lib);
+  EXPECT_DOUBLE_EQ(analyze_area(tempo).get("Laser"), 0.0);
+  const arch::SubArchitecture lt(
+      arch::lightening_transformer_template(), p, g_lib);
+  EXPECT_GT(analyze_area(lt).get("Laser"), 0.0);  // "Laser & Comb" bar
+}
+
+TEST(Area, ExtraAreaBlocksIncluded) {
+  arch::ArchParams p;
+  const arch::SubArchitecture lt(
+      arch::lightening_transformer_template(), p, g_lib);
+  EXPECT_NEAR(analyze_area(lt).get("Others"), 20.05, 1e-9);
+}
+
+TEST(Area, RoutingOverheadMultipliesNodeArray) {
+  arch::PtcTemplate t = arch::tempo_template();
+  arch::ArchParams p;
+  const double base =
+      analyze_area(arch::SubArchitecture(t, p, g_lib)).get("Node");
+  t.core_routing_overhead = 2.0;
+  const double doubled =
+      analyze_area(arch::SubArchitecture(t, p, g_lib)).get("Node");
+  EXPECT_NEAR(doubled, 2.0 * base, 1e-9);
+}
+
+TEST(Area, NodeInternalDevicesNotDoubleCounted) {
+  arch::ArchParams p;
+  const arch::SubArchitecture sub(arch::tempo_template(), p, g_lib);
+  const AreaBreakdown a = analyze_area(sub);
+  // PS / MMI / PD live inside the node floorplan; no separate categories.
+  EXPECT_DOUBLE_EQ(a.get("PS"), 0.0);
+  EXPECT_DOUBLE_EQ(a.get("MMI"), 0.0);
+  EXPECT_DOUBLE_EQ(a.get("PD"), 0.0);
+}
+
+TEST(Area, GrowsWithArchitectureSize) {
+  arch::ArchParams small;
+  arch::ArchParams big;
+  big.tiles = 4;
+  big.core_height = 8;
+  big.core_width = 8;
+  for (const auto& t : arch::all_templates()) {
+    const double a_small =
+        analyze_area(arch::SubArchitecture(t, small, g_lib)).total_mm2();
+    const double a_big =
+        analyze_area(arch::SubArchitecture(t, big, g_lib)).total_mm2();
+    EXPECT_GT(a_big, a_small) << t.name;
+  }
+}
+
+TEST(Area, AwareAtLeastUnawareEverywhere) {
+  // Property: layout awareness can only increase the node estimate.
+  arch::ArchParams p;
+  for (const auto& t : arch::all_templates()) {
+    const arch::SubArchitecture sub(t, p, g_lib);
+    const double aware = analyze_area(sub).total_mm2();
+    const double unaware =
+        analyze_area(sub, {.layout_aware = false, .floorplan = {}})
+            .total_mm2();
+    EXPECT_GE(aware, unaware * 0.999) << t.name;
+  }
+}
+
+}  // namespace
+}  // namespace simphony::layout

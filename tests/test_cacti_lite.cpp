@@ -1,0 +1,93 @@
+#include "memory/cacti_lite.h"
+
+#include <gtest/gtest.h>
+
+namespace simphony::memory {
+namespace {
+
+TEST(CactiLite, AnchorPoint) {
+  // 45 nm, 64 KB, single block: the calibration anchor.
+  const SramResult r = simulate_sram({.capacity_kB = 64.0});
+  EXPECT_NEAR(r.read_energy_pJ_per_bit, 0.20, 1e-9);
+  EXPECT_NEAR(r.cycle_ns, 0.55, 1e-9);
+  EXPECT_NEAR(r.area_mm2, 64.0 * 3.5e-3, 1e-9);
+  EXPECT_GT(r.write_energy_pJ_per_bit, r.read_energy_pJ_per_bit);
+}
+
+TEST(CactiLite, EnergyGrowsWithCapacity) {
+  const SramResult small = simulate_sram({.capacity_kB = 16.0});
+  const SramResult big = simulate_sram({.capacity_kB = 1024.0});
+  EXPECT_LT(small.read_energy_pJ_per_bit, big.read_energy_pJ_per_bit);
+  EXPECT_LT(small.cycle_ns, big.cycle_ns);
+  EXPECT_LT(small.area_mm2, big.area_mm2);
+}
+
+TEST(CactiLite, BankingSpeedsUpAndWidensBandwidth) {
+  const SramResult mono =
+      simulate_sram({.capacity_kB = 1024.0, .blocks = 1});
+  const SramResult banked =
+      simulate_sram({.capacity_kB = 1024.0, .blocks = 16});
+  EXPECT_LT(banked.cycle_ns, mono.cycle_ns);
+  EXPECT_GT(banked.bandwidth_GBps, mono.bandwidth_GBps);
+  // Banking costs area overhead.
+  EXPECT_GT(banked.area_mm2, mono.area_mm2);
+  // Per-bit access energy drops with smaller sub-arrays.
+  EXPECT_LT(banked.read_energy_pJ_per_bit, mono.read_energy_pJ_per_bit);
+}
+
+TEST(CactiLite, BandwidthProportionalToBlocks) {
+  // With equal per-block capacity, bandwidth scales linearly in blocks.
+  const SramResult b2 = simulate_sram({.capacity_kB = 128.0, .blocks = 2});
+  const SramResult b4 = simulate_sram({.capacity_kB = 256.0, .blocks = 4});
+  EXPECT_NEAR(b4.bandwidth_GBps / b2.bandwidth_GBps, 2.0, 1e-9);
+}
+
+TEST(CactiLite, TechnologyScaling) {
+  const SramResult n45 = simulate_sram({.capacity_kB = 256.0, .tech_nm = 45});
+  const SramResult n14 = simulate_sram({.capacity_kB = 256.0, .tech_nm = 14});
+  EXPECT_LT(n14.read_energy_pJ_per_bit, n45.read_energy_pJ_per_bit);
+  EXPECT_LT(n14.area_mm2, n45.area_mm2);
+  EXPECT_LT(n14.cycle_ns, n45.cycle_ns);
+  EXPECT_LT(n14.leakage_mW, n45.leakage_mW);
+  // Area ~ (14/45)^2 ~ 0.0968.
+  EXPECT_NEAR(n14.area_mm2 / n45.area_mm2,
+              (14.0 / 45.0) * (14.0 / 45.0), 1e-6);
+}
+
+TEST(CactiLite, CycleHasTechnologyFloor) {
+  const SramResult tiny = simulate_sram({.capacity_kB = 0.5});
+  EXPECT_GE(tiny.cycle_ns, 0.25);
+}
+
+TEST(CactiLite, RejectsBadConfigs) {
+  EXPECT_THROW((void)simulate_sram({.capacity_kB = 0.0}), std::invalid_argument);
+  EXPECT_THROW((void)simulate_sram({.capacity_kB = 64.0, .blocks = 0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)simulate_sram({.capacity_kB = 64.0, .buswidth_bits = 0}),
+               std::invalid_argument);
+}
+
+TEST(CactiLite, HbmDefaults) {
+  const HbmModel hbm;
+  EXPECT_DOUBLE_EQ(hbm.energy_pJ_per_bit, 3.9);
+  EXPECT_DOUBLE_EQ(hbm.bandwidth_GBps, 256.0);
+}
+
+/// Property: energy and cycle are monotonic non-decreasing in capacity.
+class CapacitySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(CapacitySweep, MonotoneInCapacity) {
+  const double cap = GetParam();
+  const SramResult a = simulate_sram({.capacity_kB = cap});
+  const SramResult b = simulate_sram({.capacity_kB = cap * 2.0});
+  EXPECT_LE(a.read_energy_pJ_per_bit, b.read_energy_pJ_per_bit);
+  EXPECT_LE(a.cycle_ns, b.cycle_ns);
+  EXPECT_LT(a.area_mm2, b.area_mm2);
+  EXPECT_LT(a.leakage_mW, b.leakage_mW);
+}
+
+INSTANTIATE_TEST_SUITE_P(Caps, CapacitySweep,
+                         ::testing::Values(1.0, 8.0, 64.0, 512.0, 4096.0));
+
+}  // namespace
+}  // namespace simphony::memory

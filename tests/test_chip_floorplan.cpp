@@ -1,0 +1,116 @@
+#include "layout/chip_floorplan.h"
+
+#include <gtest/gtest.h>
+
+#include "arch/prebuilt.h"
+
+namespace simphony::layout {
+namespace {
+
+devlib::DeviceLibrary g_lib = devlib::DeviceLibrary::standard();
+
+TEST(ChipFloorplan, BlockCountMatchesHierarchy) {
+  arch::ArchParams p;  // R=2, C=2
+  const arch::SubArchitecture sub(arch::tempo_template(), p, g_lib);
+  const ChipFloorplan chip = chip_floorplan(sub);
+  // Per tile: 1 encoderB strip + C x (encoderA + nodes + readout);
+  // plus the comb strip.
+  EXPECT_EQ(chip.blocks.size(), 2u * (1 + 2 * 3) + 1);
+}
+
+TEST(ChipFloorplan, BoundingBoxCoversAllBlocks) {
+  arch::ArchParams p;
+  const arch::SubArchitecture sub(arch::tempo_template(), p, g_lib);
+  const ChipFloorplan chip = chip_floorplan(sub);
+  for (const auto& b : chip.blocks) {
+    EXPECT_GE(b.x_um, -1e-9) << b.name;
+    EXPECT_GE(b.y_um, -1e-9) << b.name;
+    EXPECT_LE(b.x_um + b.width_um, chip.width_um + 1e-9) << b.name;
+    EXPECT_LE(b.y_um + b.height_um, chip.height_um + 1e-9) << b.name;
+  }
+}
+
+TEST(ChipFloorplan, NoBlockOverlaps) {
+  arch::ArchParams p;
+  p.tiles = 2;
+  const arch::SubArchitecture sub(arch::tempo_template(), p, g_lib);
+  const ChipFloorplan chip = chip_floorplan(sub);
+  for (size_t i = 0; i < chip.blocks.size(); ++i) {
+    for (size_t j = i + 1; j < chip.blocks.size(); ++j) {
+      const auto& a = chip.blocks[i];
+      const auto& b = chip.blocks[j];
+      const bool overlap_x = a.x_um < b.x_um + b.width_um - 1e-9 &&
+                             b.x_um < a.x_um + a.width_um - 1e-9;
+      const bool overlap_y = a.y_um < b.y_um + b.height_um - 1e-9 &&
+                             b.y_um < a.y_um + a.height_um - 1e-9;
+      EXPECT_FALSE(overlap_x && overlap_y) << a.name << " vs " << b.name;
+    }
+  }
+}
+
+TEST(ChipFloorplan, UtilizationInUnitInterval) {
+  arch::ArchParams p;
+  const arch::SubArchitecture sub(arch::tempo_template(), p, g_lib);
+  const ChipFloorplan chip = chip_floorplan(sub);
+  EXPECT_GT(chip.utilization(), 0.3);
+  EXPECT_LE(chip.utilization(), 1.0);
+  EXPECT_LE(chip.placed_area_mm2(), chip.area_mm2());
+}
+
+TEST(ChipFloorplan, AreaGrowsWithArchitecture) {
+  arch::ArchParams small;
+  arch::ArchParams big;
+  big.tiles = 4;
+  big.core_height = 12;
+  big.core_width = 12;
+  const ChipFloorplan cs =
+      chip_floorplan(arch::SubArchitecture(arch::tempo_template(), small,
+                                           g_lib));
+  const ChipFloorplan cb = chip_floorplan(
+      arch::SubArchitecture(arch::tempo_template(), big, g_lib));
+  EXPECT_GT(cb.area_mm2(), cs.area_mm2());
+}
+
+TEST(ChipFloorplan, LtScaleChipIsTensOfMm2) {
+  // Sanity: the chip-level plan of the LT configuration lands in the same
+  // regime as its reported die (~60 mm^2), without the fitted overhead
+  // constants of the area roll-up.
+  arch::ArchParams p;
+  p.tiles = 4;
+  p.cores_per_tile = 2;
+  p.core_height = 12;
+  p.core_width = 12;
+  p.wavelengths = 12;
+  const arch::SubArchitecture sub(
+      arch::lightening_transformer_template(), p, g_lib);
+  const ChipFloorplan chip = chip_floorplan(sub);
+  EXPECT_GT(chip.area_mm2(), 10.0);
+  EXPECT_LT(chip.area_mm2(), 120.0);
+}
+
+TEST(ChipFloorplan, SpacingOptionsScaleArea) {
+  arch::ArchParams p;
+  const arch::SubArchitecture sub(arch::tempo_template(), p, g_lib);
+  ChipFloorplanOptions tight;
+  tight.node_pitch_margin_um = 5.0;
+  tight.block_spacing_um = 10.0;
+  ChipFloorplanOptions loose;
+  loose.node_pitch_margin_um = 50.0;
+  loose.block_spacing_um = 100.0;
+  EXPECT_LT(chip_floorplan(sub, tight).area_mm2(),
+            chip_floorplan(sub, loose).area_mm2());
+}
+
+TEST(ChipFloorplan, SvgRendersAllBlocks) {
+  arch::ArchParams p;
+  const arch::SubArchitecture sub(arch::tempo_template(), p, g_lib);
+  const ChipFloorplan chip = chip_floorplan(sub);
+  const std::string svg = chip_to_svg(chip);
+  EXPECT_EQ(svg.rfind("<svg", 0), 0u);
+  for (const auto& b : chip.blocks) {
+    EXPECT_NE(svg.find("<title>" + b.name + "</title>"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace simphony::layout

@@ -1,0 +1,124 @@
+#include "core/cosim.h"
+
+#include <gtest/gtest.h>
+
+#include "arch/prebuilt.h"
+
+namespace simphony::core {
+namespace {
+
+devlib::DeviceLibrary g_lib = devlib::DeviceLibrary::standard();
+
+arch::SubArchitecture tempo(int in_bits = 8, int w_bits = 8,
+                            int out_bits = 12) {
+  arch::ArchParams p;
+  p.input_bits = in_bits;
+  p.weight_bits = w_bits;
+  p.output_bits = out_bits;
+  return arch::SubArchitecture(arch::tempo_template(), p, g_lib);
+}
+
+TEST(Cosim, ShapeChecks) {
+  util::Rng rng(1);
+  const workload::Tensor a = workload::Tensor::uniform({4, 8}, rng);
+  const workload::Tensor bad = workload::Tensor::uniform({4, 8}, rng);
+  EXPECT_THROW((void)cosim_gemm(tempo(), a, bad), std::invalid_argument);
+  const workload::Tensor b = workload::Tensor::uniform({8, 4}, rng);
+  const CosimResult r = cosim_gemm(tempo(), a, b);
+  EXPECT_EQ(r.output.shape()[0], 4);
+  EXPECT_EQ(r.output.shape()[1], 4);
+}
+
+TEST(Cosim, NoiselessHighResolutionIsNearExact) {
+  util::Rng rng(2);
+  const workload::Tensor a = workload::Tensor::uniform({8, 16}, rng);
+  const workload::Tensor b = workload::Tensor::uniform({16, 8}, rng);
+  CosimOptions opt;
+  opt.inject_noise = false;
+  const arch::SubArchitecture sub = tempo(14, 14, 16);
+  const CosimResult r = cosim_gemm(sub, a, b, opt);
+  EXPECT_LT(r.rmse, 0.02);
+  EXPECT_GT(r.output_snr_dB, 40.0);
+}
+
+TEST(Cosim, ErrorGrowsAsBitsShrink) {
+  util::Rng rng(3);
+  const workload::Tensor a = workload::Tensor::uniform({8, 32}, rng);
+  const workload::Tensor b = workload::Tensor::uniform({32, 8}, rng);
+  CosimOptions opt;
+  opt.inject_noise = false;
+  const double rmse8 = cosim_gemm(tempo(8, 8, 12), a, b, opt).rmse;
+  const double rmse4 = cosim_gemm(tempo(4, 4, 12), a, b, opt).rmse;
+  const double rmse2 = cosim_gemm(tempo(2, 2, 12), a, b, opt).rmse;
+  EXPECT_LT(rmse8, rmse4);
+  EXPECT_LT(rmse4, rmse2);
+}
+
+TEST(Cosim, NoiseInjectionDegradesSnr) {
+  util::Rng rng(4);
+  const workload::Tensor a = workload::Tensor::uniform({8, 32}, rng);
+  const workload::Tensor b = workload::Tensor::uniform({32, 8}, rng);
+  CosimOptions quiet;
+  quiet.inject_noise = false;
+  CosimOptions noisy;
+  noisy.enob_override_bits = 4.0;
+  const arch::SubArchitecture sub = tempo(8, 8, 12);
+  EXPECT_GT(cosim_gemm(sub, a, b, quiet).output_snr_dB,
+            cosim_gemm(sub, a, b, noisy).output_snr_dB);
+}
+
+TEST(Cosim, MoreEnobBetterSnr) {
+  util::Rng rng(5);
+  const workload::Tensor a = workload::Tensor::uniform({8, 32}, rng);
+  const workload::Tensor b = workload::Tensor::uniform({32, 8}, rng);
+  const arch::SubArchitecture sub = tempo(8, 8, 12);
+  CosimOptions lo;
+  lo.enob_override_bits = 3.0;
+  CosimOptions hi;
+  hi.enob_override_bits = 8.0;
+  EXPECT_GT(cosim_gemm(sub, a, b, hi).output_snr_dB,
+            cosim_gemm(sub, a, b, lo).output_snr_dB);
+}
+
+TEST(Cosim, Deterministic) {
+  util::Rng rng(6);
+  const workload::Tensor a = workload::Tensor::uniform({4, 16}, rng);
+  const workload::Tensor b = workload::Tensor::uniform({16, 4}, rng);
+  const arch::SubArchitecture sub = tempo();
+  const CosimResult r1 = cosim_gemm(sub, a, b);
+  const CosimResult r2 = cosim_gemm(sub, a, b);
+  for (int64_t i = 0; i < r1.output.numel(); ++i) {
+    EXPECT_FLOAT_EQ(r1.output.at(i), r2.output.at(i));
+  }
+}
+
+TEST(Cosim, DerivedEnobFromNoiseAnalysisIsUsed) {
+  util::Rng rng(7);
+  const workload::Tensor a = workload::Tensor::uniform({4, 8}, rng);
+  const workload::Tensor b = workload::Tensor::uniform({8, 4}, rng);
+  const CosimResult r = cosim_gemm(tempo(), a, b);
+  EXPECT_GT(r.enob_bits, 2.0);
+  EXPECT_LT(r.enob_bits, 16.0);
+}
+
+class CosimBitSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CosimBitSweep, SnrRoughlySixDbPerBit) {
+  // Quantization-limited SNR improves ~6 dB per operand bit.
+  util::Rng rng(8);
+  const workload::Tensor a = workload::Tensor::uniform({8, 32}, rng);
+  const workload::Tensor b = workload::Tensor::uniform({32, 8}, rng);
+  CosimOptions opt;
+  opt.inject_noise = false;
+  const int bits = GetParam();
+  const double snr_lo =
+      cosim_gemm(tempo(bits, bits, 14), a, b, opt).output_snr_dB;
+  const double snr_hi =
+      cosim_gemm(tempo(bits + 2, bits + 2, 14), a, b, opt).output_snr_dB;
+  EXPECT_GT(snr_hi, snr_lo + 6.0);  // >= 3 dB/bit observed
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, CosimBitSweep, ::testing::Values(3, 4, 5, 6));
+
+}  // namespace
+}  // namespace simphony::core

@@ -1,0 +1,165 @@
+#include "dataflow/dataflow.h"
+
+#include <gtest/gtest.h>
+
+#include "arch/prebuilt.h"
+#include "workload/model.h"
+
+namespace simphony::dataflow {
+namespace {
+
+devlib::DeviceLibrary g_lib = devlib::DeviceLibrary::standard();
+
+workload::GemmWorkload gemm(int n, int d, int m) {
+  const workload::Model model = workload::single_gemm_model(n, d, m);
+  return workload::gemm_of_layer(model.layers.front());
+}
+
+TEST(MapGemm, TempoValidationWorkloadCycleCount) {
+  // Paper Fig. 7 settings: 9800 base compute cycles for
+  // ceil(280/8) * ceil(280/4) * ceil(28/8) = 35 * 70 * 4.
+  arch::ArchParams p;
+  const arch::SubArchitecture sub(arch::tempo_template(), p, g_lib);
+  const DataflowResult r = map_gemm(sub, gemm(280, 28, 280));
+  EXPECT_EQ(r.base_compute_cycles, 9800);
+  EXPECT_EQ(r.range_penalty_I, 1);
+  EXPECT_EQ(r.compute_cycles, 9800);
+  EXPECT_EQ(r.reconfig_cycles, 0);  // symbol-rate reconfiguration
+  EXPECT_GT(r.total_cycles, r.compute_cycles);  // + load/writeout
+  EXPECT_NEAR(r.utilization, 280.0 * 28 * 280 / (256.0 * 9800), 1e-9);
+}
+
+TEST(MapGemm, AdcRateFollowsAccumulationWindow) {
+  arch::ArchParams p;  // d_tile = C*L = 8
+  const arch::SubArchitecture sub(arch::tempo_template(), p, g_lib);
+  const DataflowResult r = map_gemm(sub, gemm(280, 28, 280));
+  // ceil(28/8) = 4 integration cycles -> ADC at f/4.
+  EXPECT_NEAR(r.adc_rate_GHz, 5.0 / 4.0, 1e-9);
+  EXPECT_EQ(r.adc_conversions, 280LL * 280);
+}
+
+TEST(MapGemm, RangePenaltyMultipliesCycles) {
+  arch::ArchParams p;
+  p.wavelengths = 1;
+  const arch::SubArchitecture mrr(arch::mrr_bank_template(), p, g_lib);
+  const arch::SubArchitecture pcm(arch::pcm_crossbar_template(), p, g_lib);
+  const auto g = gemm(64, 16, 16);
+  const DataflowResult rm = map_gemm(mrr, g);
+  const DataflowResult rp = map_gemm(pcm, g);
+  EXPECT_EQ(rm.range_penalty_I, 2);
+  EXPECT_EQ(rp.range_penalty_I, 4);
+  EXPECT_EQ(rm.compute_cycles, 2 * rm.base_compute_cycles);
+  EXPECT_EQ(rp.compute_cycles, 4 * rp.base_compute_cycles);
+}
+
+TEST(MapGemm, ReconfigPenaltyForThermoOpticMesh) {
+  // Paper: "500 cycles per switch for 100 ns reconfiguration delay at
+  // 5 GHz"; the MZI mesh at 10 us costs 50000 cycles per switch.
+  arch::ArchParams p;
+  p.wavelengths = 1;
+  const arch::SubArchitecture mzi(arch::clements_mzi_template(), p, g_lib);
+  const auto g = gemm(16, 16, 16);  // d_blocks=4, m_blocks=4 -> 16 blocks
+  const DataflowResult r = map_gemm(mzi, g);
+  // 16 blocks / 4 processors = 4 rounds; first programming overlaps load.
+  EXPECT_EQ(r.reconfig_events, 4);
+  EXPECT_EQ(r.reconfig_cycles, 3 * 50'000);
+  EXPECT_GT(r.total_cycles, r.reconfig_cycles);  // includes compute too
+}
+
+TEST(MapGemm, PcmReconfigCheaperThanThermoOptic) {
+  arch::ArchParams p;
+  p.wavelengths = 1;
+  const arch::SubArchitecture mzi(arch::clements_mzi_template(), p, g_lib);
+  const arch::SubArchitecture pcm(arch::pcm_crossbar_template(), p, g_lib);
+  const auto g = gemm(16, 32, 32);
+  EXPECT_GT(map_gemm(mzi, g).reconfig_cycles,
+            map_gemm(pcm, g).reconfig_cycles);
+}
+
+TEST(MapGemm, DynamicWorkloadRejectedOnStaticPtc) {
+  arch::ArchParams p;
+  const arch::SubArchitecture mzi(arch::clements_mzi_template(), p, g_lib);
+  workload::GemmWorkload attn = gemm(8, 8, 8);
+  attn.b_dynamic = true;
+  EXPECT_THROW((void)map_gemm(mzi, attn), std::invalid_argument);
+  // But a dynamic PTC accepts it.
+  const arch::SubArchitecture tempo(arch::tempo_template(), p, g_lib);
+  EXPECT_NO_THROW((void)map_gemm(tempo, attn));
+}
+
+TEST(MapGemm, BatchMultipliesCycles) {
+  arch::ArchParams p;
+  const arch::SubArchitecture sub(arch::tempo_template(), p, g_lib);
+  workload::GemmWorkload g1 = gemm(64, 64, 64);
+  workload::GemmWorkload g12 = g1;
+  g12.batch = 12;
+  EXPECT_EQ(map_gemm(sub, g12).base_compute_cycles,
+            12 * map_gemm(sub, g1).base_compute_cycles);
+}
+
+TEST(MapGemm, EncoderSymbolsScaleWithWavelengths) {
+  arch::ArchParams p1;
+  p1.wavelengths = 1;
+  arch::ArchParams p4;
+  p4.wavelengths = 4;
+  const arch::SubArchitecture s1(arch::tempo_template(), p1, g_lib);
+  const arch::SubArchitecture s4(arch::tempo_template(), p4, g_lib);
+  const auto g = gemm(64, 64, 64);
+  const DataflowResult r1 = map_gemm(s1, g);
+  const DataflowResult r4 = map_gemm(s4, g);
+  // More wavelengths -> fewer cycles but ~same encoded symbols.
+  EXPECT_LT(r4.base_compute_cycles, r1.base_compute_cycles);
+  EXPECT_NEAR(static_cast<double>(r4.encoder_a_symbols) /
+                  static_cast<double>(r1.encoder_a_symbols),
+              1.0, 0.01);
+}
+
+TEST(MapGemm, MoreBandwidthShrinksTransferCycles) {
+  arch::ArchParams p;
+  const arch::SubArchitecture sub(arch::tempo_template(), p, g_lib);
+  const auto g = gemm(280, 28, 280);
+  const DataflowResult slow = map_gemm(sub, g, 32.0);
+  const DataflowResult fast = map_gemm(sub, g, 1024.0);
+  EXPECT_GT(slow.load_cycles + slow.writeout_cycles,
+            fast.load_cycles + fast.writeout_cycles);
+  EXPECT_EQ(slow.compute_cycles, fast.compute_cycles);
+}
+
+TEST(MapGemm, RuntimeConsistentWithClock) {
+  arch::ArchParams p;
+  p.clock_GHz = 2.5;
+  const arch::SubArchitecture sub(arch::tempo_template(), p, g_lib);
+  const DataflowResult r = map_gemm(sub, gemm(64, 64, 64));
+  EXPECT_NEAR(r.runtime_ns, static_cast<double>(r.total_cycles) / 2.5,
+              1e-9);
+}
+
+/// Property: utilization is in (0, 1] and total cycles dominate compute.
+class MappingInvariants
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(MappingInvariants, HoldAcrossShapes) {
+  const auto [n, d, m] = GetParam();
+  arch::ArchParams p;
+  for (const auto& t : arch::all_templates()) {
+    const arch::SubArchitecture sub(t, p, g_lib);
+    const DataflowResult r = map_gemm(sub, gemm(n, d, m));
+    EXPECT_GT(r.utilization, 0.0) << t.name;
+    EXPECT_LE(r.utilization, 1.0 + 1e-9) << t.name;
+    EXPECT_GE(r.total_cycles,
+              static_cast<int64_t>(r.range_penalty_I) *
+                  r.base_compute_cycles)
+        << t.name;
+    EXPECT_GT(r.runtime_ns, 0.0) << t.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MappingInvariants,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(8, 8, 8),
+                      std::make_tuple(280, 28, 280),
+                      std::make_tuple(100, 300, 50),
+                      std::make_tuple(1024, 27, 64)));
+
+}  // namespace
+}  // namespace simphony::dataflow

@@ -1,0 +1,135 @@
+#include "arch/description.h"
+
+#include <gtest/gtest.h>
+
+#include "arch/hierarchy.h"
+#include "arch/link_budget.h"
+#include "arch/prebuilt.h"
+
+namespace simphony::arch {
+namespace {
+
+constexpr const char* kMiniPtc = R"ptc(
+# a minimal weight-stationary crossbar
+template mini-xbar
+output_stationary 0
+reconfig_ns 100
+taxonomy a=R,dynamic b=R+,static method=direct
+node_instance cell
+nodedev i0 ps
+nodedev i1 mmi
+nodenet i0 i1
+inst name=laser dev=laser cat=Laser role=source count=L
+inst name=split dev=ybranch cat="Y Branch" role=distribution count=(R*C*H-1)*L pathloss="3.0103*log2(R*C*H)"
+inst name=cell dev=ps cat=PS role=weight count=R*C*H*W
+inst name=pd dev=pd cat=PD role=readout count=R*C*W
+net laser split
+net split cell
+net cell pd
+)ptc";
+
+TEST(Description, ParsesMinimalTemplate) {
+  const PtcTemplate t = parse_description(kMiniPtc);
+  EXPECT_EQ(t.name, "mini-xbar");
+  EXPECT_FALSE(t.output_stationary);
+  EXPECT_DOUBLE_EQ(t.reconfig_latency_ns, 100.0);
+  EXPECT_EQ(t.taxonomy.forwards(), 2);  // R x R+ direct
+  EXPECT_EQ(t.node.instances().size(), 2u);
+  EXPECT_EQ(t.instances.size(), 4u);
+  EXPECT_EQ(t.nets.size(), 3u);
+  EXPECT_EQ(t.node_instance, "cell");
+  EXPECT_EQ(t.instance("split").category, "Y Branch");
+  EXPECT_EQ(t.instance("cell").role, Role::kWeightCell);
+}
+
+TEST(Description, ParsedTemplateMaterializes) {
+  const PtcTemplate t = parse_description(kMiniPtc);
+  devlib::DeviceLibrary lib = devlib::DeviceLibrary::standard();
+  ArchParams p;
+  const SubArchitecture sub(t, p, lib);
+  EXPECT_EQ(sub.count_of("cell"), 64);          // R*C*H*W at defaults
+  EXPECT_EQ(sub.count_of("split"), (16 - 1) * 4);
+  const LinkBudgetReport link = analyze_link_budget(sub);
+  EXPECT_GT(link.critical_path_loss_dB, 0.0);
+}
+
+TEST(Description, CommentsAndBlankLinesIgnored) {
+  const PtcTemplate t = parse_description(
+      "# header\n\ntemplate x\n  # indented comment\n"
+      "inst name=a dev=ps cat=PS role=other count=1\n");
+  EXPECT_EQ(t.name, "x");
+  EXPECT_EQ(t.instances.size(), 1u);
+}
+
+TEST(Description, ErrorsCarryLineNumbers) {
+  try {
+    (void)parse_description("template x\nbogus_directive 1\n");
+    FAIL() << "expected DescriptionError";
+  } catch (const DescriptionError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Description, RejectsMissingTemplateHeader) {
+  EXPECT_THROW((void)parse_description("inst name=a dev=b count=1\n"),
+               DescriptionError);
+  EXPECT_THROW((void)parse_description(""), DescriptionError);
+}
+
+TEST(Description, RejectsMalformedInst) {
+  EXPECT_THROW((void)parse_description("template x\ninst name=a\n"),
+               DescriptionError);
+  EXPECT_THROW(
+      (void)parse_description("template x\ninst name=a dev=b count=((\n"),
+      DescriptionError);
+  EXPECT_THROW(
+      (void)parse_description(
+          "template x\ninst name=a dev=b role=chef count=1\n"),
+      DescriptionError);
+}
+
+TEST(Description, RejectsUnterminatedQuote) {
+  EXPECT_THROW((void)parse_description("template x\ninst name=\"a\n"),
+               DescriptionError);
+}
+
+TEST(Description, RejectsBadTaxonomy) {
+  EXPECT_THROW(
+      (void)parse_description("template x\ntaxonomy a=Q,dynamic b=R,static "
+                              "method=direct\n"),
+      DescriptionError);
+  EXPECT_THROW(
+      (void)parse_description("template x\ntaxonomy a=R,warp b=R,static "
+                              "method=direct\n"),
+      DescriptionError);
+}
+
+TEST(Description, RoundTripsAllPrebuiltTemplates) {
+  devlib::DeviceLibrary lib = devlib::DeviceLibrary::standard();
+  ArchParams p;
+  for (const auto& original : all_templates()) {
+    const std::string text = write_description(original);
+    const PtcTemplate reparsed = parse_description(text);
+    EXPECT_EQ(reparsed.name, original.name);
+    EXPECT_EQ(reparsed.instances.size(), original.instances.size());
+    EXPECT_EQ(reparsed.nets.size(), original.nets.size());
+    EXPECT_EQ(reparsed.node.instances().size(),
+              original.node.instances().size());
+    EXPECT_EQ(reparsed.taxonomy.forwards(), original.taxonomy.forwards());
+    // Materialized counts and link budget agree exactly.
+    const SubArchitecture a(original, p, lib);
+    const SubArchitecture b(reparsed, p, lib);
+    for (size_t i = 0; i < a.groups().size(); ++i) {
+      EXPECT_EQ(a.groups()[i].count, b.groups()[i].count)
+          << original.name << "/" << a.groups()[i].spec->name;
+      EXPECT_NEAR(a.groups()[i].path_loss_dB, b.groups()[i].path_loss_dB,
+                  1e-9);
+    }
+    EXPECT_NEAR(analyze_link_budget(a).critical_path_loss_dB,
+                analyze_link_budget(b).critical_path_loss_dB, 1e-9)
+        << original.name;
+  }
+}
+
+}  // namespace
+}  // namespace simphony::arch

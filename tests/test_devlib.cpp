@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "devlib/electronics.h"
+#include "devlib/library.h"
+#include "devlib/photonics.h"
+
+namespace simphony::devlib {
+namespace {
+
+TEST(DeviceParams, PropertyAccess) {
+  DeviceParams d;
+  d.name = "test";
+  d.extra["p_pi_mW"] = 20.0;
+  EXPECT_DOUBLE_EQ(d.prop("p_pi_mW"), 20.0);
+  EXPECT_DOUBLE_EQ(d.prop_or("missing", 7.0), 7.0);
+  EXPECT_THROW((void)d.prop("missing"), std::out_of_range);
+}
+
+TEST(DeviceParams, FootprintArea) {
+  DeviceParams d;
+  d.footprint = {25.0, 20.0};
+  EXPECT_DOUBLE_EQ(d.area_um2(), 500.0);
+}
+
+TEST(Library, StandardHasAllPaperDevices) {
+  const DeviceLibrary lib = DeviceLibrary::standard();
+  for (const char* name :
+       {"mzm", "ps", "ps_passive", "mmi", "pd", "pd_apd", "crossing",
+        "ybranch", "coupler", "laser", "mzi", "mrr", "pcm_cell", "soa",
+        "dac", "dac_lt", "adc", "tia", "integrator"}) {
+    EXPECT_TRUE(lib.has(name)) << "missing device: " << name;
+  }
+}
+
+TEST(Library, UnknownDeviceThrows) {
+  const DeviceLibrary lib = DeviceLibrary::standard();
+  EXPECT_THROW((void)lib.get("flux_capacitor"), std::out_of_range);
+}
+
+TEST(Library, UserOverrideReplacesRecord) {
+  DeviceLibrary lib = DeviceLibrary::standard();
+  DeviceParams custom = lib.get("mzm");
+  custom.insertion_loss_dB = 0.5;
+  lib.add(custom);
+  EXPECT_DOUBLE_EQ(lib.get("mzm").insertion_loss_dB, 0.5);
+}
+
+TEST(Library, Fig6NodeFootprintsCalibrated) {
+  // The naive footprint sum of the TeMPO node devices must reproduce the
+  // paper's 1270.5 um^2 (2 PS + MMI + PD + crossing).
+  const DeviceLibrary lib = DeviceLibrary::standard();
+  const double sum = 2.0 * lib.get("ps").area_um2() +
+                     lib.get("mmi").area_um2() + lib.get("pd").area_um2() +
+                     lib.get("crossing").area_um2();
+  EXPECT_NEAR(sum, 1270.5, 0.1);
+}
+
+TEST(Electronics, DacPowerScalesWithBitsAndRate) {
+  const DeviceLibrary lib = DeviceLibrary::standard();
+  const DeviceParams& dac = lib.get("dac");
+  const double base = dac_power_mW(dac, {.bits = 8, .sample_rate_GHz = 10});
+  EXPECT_DOUBLE_EQ(base, dac.static_power_mW);
+  EXPECT_DOUBLE_EQ(dac_power_mW(dac, {.bits = 4, .sample_rate_GHz = 10}),
+                   base / 2.0);
+  EXPECT_DOUBLE_EQ(dac_power_mW(dac, {.bits = 8, .sample_rate_GHz = 5}),
+                   base / 2.0);
+  EXPECT_THROW((void)dac_power_mW(dac, {.bits = 0, .sample_rate_GHz = 10}),
+               std::invalid_argument);
+}
+
+TEST(Electronics, AdcPowerFollowsWaldenFoM) {
+  const DeviceLibrary lib = DeviceLibrary::standard();
+  const DeviceParams& adc = lib.get("adc");
+  const double fom = adc.prop("fom_fJ_per_step");
+  // P[mW] = FoM * 2^b * f * 1e-3.
+  EXPECT_NEAR(adc_power_mW(adc, {.bits = 8, .sample_rate_GHz = 1.0}),
+              fom * 256.0 * 1e-3, 1e-9);
+  // Doubling bits quadruples...x2 exponent: 2^9 / 2^8 = 2.
+  EXPECT_NEAR(adc_power_mW(adc, {.bits = 9, .sample_rate_GHz = 1.0}) /
+                  adc_power_mW(adc, {.bits = 8, .sample_rate_GHz = 1.0}),
+              2.0, 1e-9);
+}
+
+TEST(Electronics, ConversionEnergy) {
+  EXPECT_DOUBLE_EQ(conversion_energy_pJ(10.0, 5.0), 2.0);  // mW/GHz = pJ
+  EXPECT_DOUBLE_EQ(conversion_energy_pJ(10.0, 0.0), 0.0);
+}
+
+TEST(Electronics, SpecializedRecordsCarryOperatingPoint) {
+  const DeviceLibrary lib = DeviceLibrary::standard();
+  const DeviceParams d =
+      specialize_dac(lib.get("dac"), {.bits = 6, .sample_rate_GHz = 5});
+  EXPECT_DOUBLE_EQ(d.prop("resolution_bits"), 6.0);
+  EXPECT_DOUBLE_EQ(d.prop("rate_GHz"), 5.0);
+  EXPECT_GT(d.static_power_mW, 0.0);
+  const DeviceParams a =
+      specialize_adc(lib.get("adc"), {.bits = 8, .sample_rate_GHz = 2});
+  EXPECT_GT(a.static_power_mW, 0.0);
+}
+
+TEST(Photonics, LaserPowerEquationMatchesClosedForm) {
+  // Paper Eq. (1): P = 10^((S+IL)/10) * 2^b / eta / (1 - 10^(-ER/10)).
+  LinkBudgetInputs in;
+  in.critical_path_loss_dB = 30.0;
+  in.pd_sensitivity_dBm = -26.0;
+  in.input_bits = 4;
+  in.wall_plug_efficiency = 0.25;
+  in.extinction_ratio_dB = 10.0;
+  const double expected =
+      std::pow(10.0, (-26.0 + 30.0) / 10.0) * 16.0 / 0.25 / (1.0 - 0.1);
+  EXPECT_NEAR(laser_power_mW(in), expected, 1e-9);
+}
+
+TEST(Photonics, LaserPowerMonotonicInLossAndBits) {
+  LinkBudgetInputs in;
+  in.critical_path_loss_dB = 20.0;
+  const double base = laser_power_mW(in);
+  in.critical_path_loss_dB = 23.0103;
+  const double lossier = laser_power_mW(in);
+  EXPECT_NEAR(lossier / base, 2.0, 1e-3);  // +3.01 dB = x2
+  in.input_bits += 1;
+  EXPECT_NEAR(laser_power_mW(in) / lossier, 2.0, 1e-9);  // +1 bit = x2
+}
+
+TEST(Photonics, LaserPowerRejectsBadInputs) {
+  LinkBudgetInputs in;
+  in.wall_plug_efficiency = 0.0;
+  EXPECT_THROW((void)laser_power_mW(in), std::invalid_argument);
+  in.wall_plug_efficiency = 0.25;
+  in.extinction_ratio_dB = 0.0;
+  EXPECT_THROW((void)laser_power_mW(in), std::invalid_argument);
+}
+
+TEST(Photonics, SnrMargin) {
+  EXPECT_DOUBLE_EQ(received_power_dBm(10.0, 30.0), -20.0);
+  EXPECT_DOUBLE_EQ(snr_margin_dB(10.0, 30.0, -26.0), 6.0);
+}
+
+class DacRateSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(DacRateSweep, PowerLinearInRate) {
+  const DeviceLibrary lib = DeviceLibrary::standard();
+  const DeviceParams& dac = lib.get("dac");
+  const double rate = GetParam();
+  const double p1 = dac_power_mW(dac, {.bits = 8, .sample_rate_GHz = rate});
+  const double p2 =
+      dac_power_mW(dac, {.bits = 8, .sample_rate_GHz = 2 * rate});
+  EXPECT_NEAR(p2 / p1, 2.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, DacRateSweep,
+                         ::testing::Values(0.5, 1.0, 2.5, 5.0, 10.0, 20.0));
+
+}  // namespace
+}  // namespace simphony::devlib

@@ -1,0 +1,93 @@
+#include "core/dse.h"
+
+#include <gtest/gtest.h>
+
+#include "arch/prebuilt.h"
+
+namespace simphony::core {
+namespace {
+
+devlib::DeviceLibrary g_lib = devlib::DeviceLibrary::standard();
+
+DseResult small_sweep() {
+  DseSpace space;
+  space.tiles = {1, 2};
+  space.wavelengths = {2, 4};
+  const workload::Model model = workload::mlp_mnist();
+  return explore(arch::tempo_template(), g_lib, model, space);
+}
+
+TEST(Dse, EnumeratesFullGrid) {
+  const DseResult r = small_sweep();
+  EXPECT_EQ(r.points.size(), 4u);  // 2 tiles x 2 wavelengths
+  for (const auto& p : r.points) {
+    EXPECT_GT(p.energy_pJ, 0.0);
+    EXPECT_GT(p.latency_ns, 0.0);
+    EXPECT_GT(p.area_mm2, 0.0);
+  }
+}
+
+TEST(Dse, EmptyAxesUseBaseParams) {
+  DseSpace space;
+  space.base.wavelengths = 3;
+  const DseResult r = explore(arch::tempo_template(), g_lib,
+                              workload::mlp_mnist(), space);
+  ASSERT_EQ(r.points.size(), 1u);
+  EXPECT_EQ(r.points.front().params.wavelengths, 3);
+}
+
+TEST(Dse, FrontierIsNonEmptyAndNonDominated) {
+  const DseResult r = small_sweep();
+  const auto frontier = r.frontier();
+  ASSERT_FALSE(frontier.empty());
+  for (const auto& a : frontier) {
+    for (const auto& b : r.points) {
+      const bool dominates =
+          b.energy_pJ <= a.energy_pJ && b.latency_ns <= a.latency_ns &&
+          b.area_mm2 <= a.area_mm2 &&
+          (b.energy_pJ < a.energy_pJ || b.latency_ns < a.latency_ns ||
+           b.area_mm2 < a.area_mm2);
+      EXPECT_FALSE(dominates);
+    }
+  }
+}
+
+TEST(Dse, BestEdapIsMinimal) {
+  const DseResult r = small_sweep();
+  const DsePoint& best = r.best_edap();
+  for (const auto& p : r.points) {
+    EXPECT_LE(best.edap(), p.edap());
+  }
+  EXPECT_THROW((void)DseResult{}.best_edap(), std::runtime_error);
+}
+
+TEST(Dse, ProgressCallbackFiresPerPoint) {
+  DseSpace space;
+  space.wavelengths = {1, 2, 4};
+  int calls = 0;
+  (void)explore(arch::tempo_template(), g_lib, workload::mlp_mnist(), space,
+                [&](const DsePoint&) { ++calls; });
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(Dse, BitSweepChangesEnergy) {
+  DseSpace space;
+  space.input_bits = {2, 8};
+  const DseResult r = explore(arch::tempo_template(), g_lib,
+                              workload::mlp_mnist(), space);
+  ASSERT_EQ(r.points.size(), 2u);
+  EXPECT_LT(r.points[0].energy_pJ, r.points[1].energy_pJ);
+}
+
+TEST(Dse, MoreParallelismFasterButBigger) {
+  DseSpace space;
+  space.core_sizes = {4, 8};
+  const DseResult r = explore(arch::tempo_template(), g_lib,
+                              workload::mlp_mnist(), space);
+  ASSERT_EQ(r.points.size(), 2u);
+  EXPECT_GT(r.points[0].latency_ns, r.points[1].latency_ns);
+  EXPECT_LT(r.points[0].area_mm2, r.points[1].area_mm2);
+}
+
+}  // namespace
+}  // namespace simphony::core

@@ -1,0 +1,120 @@
+#include "util/expr.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace simphony::util {
+namespace {
+
+TEST(Expr, ParsesConstants) {
+  EXPECT_DOUBLE_EQ(Expr::parse("42").eval(), 42.0);
+  EXPECT_DOUBLE_EQ(Expr::parse("3.5").eval(), 3.5);
+  EXPECT_DOUBLE_EQ(Expr::parse("1e3").eval(), 1000.0);
+  EXPECT_DOUBLE_EQ(Expr::parse("1.5e-2").eval(), 0.015);
+}
+
+TEST(Expr, ArithmeticPrecedence) {
+  EXPECT_DOUBLE_EQ(Expr::parse("2 + 3 * 4").eval(), 14.0);
+  EXPECT_DOUBLE_EQ(Expr::parse("(2 + 3) * 4").eval(), 20.0);
+  EXPECT_DOUBLE_EQ(Expr::parse("10 - 4 - 3").eval(), 3.0);  // left assoc
+  EXPECT_DOUBLE_EQ(Expr::parse("20 / 4 / 5").eval(), 1.0);
+  EXPECT_DOUBLE_EQ(Expr::parse("7 % 4").eval(), 3.0);
+}
+
+TEST(Expr, PowerIsRightAssociative) {
+  EXPECT_DOUBLE_EQ(Expr::parse("2^3^2").eval(), 512.0);
+  EXPECT_DOUBLE_EQ(Expr::parse("(2^3)^2").eval(), 64.0);
+}
+
+TEST(Expr, UnaryMinus) {
+  EXPECT_DOUBLE_EQ(Expr::parse("-3 + 5").eval(), 2.0);
+  EXPECT_DOUBLE_EQ(Expr::parse("--3").eval(), 3.0);
+  EXPECT_DOUBLE_EQ(Expr::parse("2 * -4").eval(), -8.0);
+}
+
+TEST(Expr, Variables) {
+  const Expr e = Expr::parse("R*H*L");
+  EXPECT_DOUBLE_EQ(e.eval({{"R", 2}, {"H", 4}, {"L", 4}}), 32.0);
+  EXPECT_DOUBLE_EQ(e.eval({{"R", 1}, {"H", 12}, {"L", 12}}), 144.0);
+}
+
+TEST(Expr, UnboundVariableThrows) {
+  const Expr e = Expr::parse("R + 1");
+  EXPECT_THROW((void)e.eval({}), ExprError);
+}
+
+TEST(Expr, Functions) {
+  EXPECT_DOUBLE_EQ(Expr::parse("min(3, 7)").eval(), 3.0);
+  EXPECT_DOUBLE_EQ(Expr::parse("max(3, 7, 5)").eval(), 7.0);
+  EXPECT_DOUBLE_EQ(Expr::parse("ceil(2.1)").eval(), 3.0);
+  EXPECT_DOUBLE_EQ(Expr::parse("floor(2.9)").eval(), 2.0);
+  EXPECT_DOUBLE_EQ(Expr::parse("round(2.5)").eval(), 3.0);
+  EXPECT_DOUBLE_EQ(Expr::parse("abs(-4)").eval(), 4.0);
+  EXPECT_DOUBLE_EQ(Expr::parse("log2(8)").eval(), 3.0);
+  EXPECT_DOUBLE_EQ(Expr::parse("sqrt(9)").eval(), 3.0);
+  EXPECT_DOUBLE_EQ(Expr::parse("ceildiv(7, 2)").eval(), 4.0);
+}
+
+TEST(Expr, ScalingRuleExamples) {
+  // Paper case study 2: Clements mesh scaling rules.
+  const Env env{{"R", 2}, {"C", 2}, {"H", 4}, {"W", 4}};
+  EXPECT_EQ(Expr::parse("R*C*H*(H-1)/2").eval_count(env), 24);
+  EXPECT_EQ(Expr::parse("R*C*min(H,W)").eval_count(env), 16);
+  // Split-tree loss: 16 encoders -> 10*log10(16) ~ 12.04 dB.
+  const double loss =
+      Expr::parse("3.0103*log2(R*H + C*W)").eval({{"R", 2},
+                                                  {"H", 4},
+                                                  {"C", 2},
+                                                  {"W", 4}});
+  EXPECT_NEAR(loss, 10.0 * std::log10(16.0), 2e-3);
+}
+
+TEST(Expr, VariablesListed) {
+  const auto vars = Expr::parse("R*C + max(H, W) - L").variables();
+  EXPECT_EQ(vars.size(), 5u);
+}
+
+TEST(Expr, MalformedInputThrows) {
+  EXPECT_THROW(Expr::parse("2 +"), ExprError);
+  EXPECT_THROW(Expr::parse("(2"), ExprError);
+  EXPECT_THROW(Expr::parse("2 3"), ExprError);
+  EXPECT_THROW(Expr::parse("@"), ExprError);
+  // Unknown functions / wrong arity surface at evaluation time.
+  EXPECT_THROW((void)Expr::parse("foo(1)").eval(), ExprError);
+  EXPECT_THROW((void)Expr::parse("min()").eval(), ExprError);
+}
+
+TEST(Expr, DivisionByZeroThrows) {
+  EXPECT_THROW((void)Expr::parse("1/0").eval(), ExprError);
+  EXPECT_THROW((void)Expr::parse("1%0").eval(), ExprError);
+  EXPECT_THROW((void)Expr::parse("ceildiv(1, 0)").eval(), ExprError);
+}
+
+TEST(Expr, DefaultConstructedEvaluatesToZero) {
+  const Expr e;
+  EXPECT_DOUBLE_EQ(e.eval(), 0.0);
+  EXPECT_TRUE(e.empty());
+}
+
+TEST(Expr, EvalCountRounds) {
+  EXPECT_EQ(Expr::parse("2.6").eval_count(), 3);
+  EXPECT_EQ(Expr::parse("2.4").eval_count(), 2);
+}
+
+class ExprEnvSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExprEnvSweep, CountRulesArePositiveAndMonotonic) {
+  const int h = GetParam();
+  const Expr rule = Expr::parse("R*C*H*(H-1)/2");
+  const Env small{{"R", 1}, {"C", 1}, {"H", static_cast<double>(h)}};
+  const Env large{{"R", 2}, {"C", 2}, {"H", static_cast<double>(h)}};
+  EXPECT_GE(rule.eval(small), 0.0);
+  EXPECT_GE(rule.eval(large), rule.eval(small));
+}
+
+INSTANTIATE_TEST_SUITE_P(MeshSizes, ExprEnvSweep,
+                         ::testing::Values(2, 3, 4, 8, 12, 16, 32, 64));
+
+}  // namespace
+}  // namespace simphony::util

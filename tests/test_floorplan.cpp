@@ -1,0 +1,114 @@
+#include "layout/floorplan.h"
+
+#include <gtest/gtest.h>
+
+#include "arch/prebuilt.h"
+
+namespace simphony::layout {
+namespace {
+
+devlib::DeviceLibrary g_lib = devlib::DeviceLibrary::standard();
+
+TEST(Floorplan, Fig6NodeReproducesPaperNumbers) {
+  const arch::PtcTemplate tempo = arch::tempo_template();
+  const FloorplanResult fp = floorplan_signal_flow(tempo.node, g_lib);
+  EXPECT_NEAR(fp.naive_sum_um2, 1270.5, 0.1);
+  EXPECT_NEAR(fp.width_um, 53.0, 0.01);
+  EXPECT_NEAR(fp.height_um, 85.5, 0.01);
+  EXPECT_NEAR(fp.area_um2(), 4531.5, 0.6);
+}
+
+TEST(Floorplan, PlacementsFollowTopologicalRows) {
+  const arch::PtcTemplate tempo = arch::tempo_template();
+  const FloorplanResult fp = floorplan_signal_flow(tempo.node, g_lib);
+  ASSERT_EQ(fp.placements.size(), 5u);
+  // Level-0 devices share y = 0; deeper levels move down.
+  for (const auto& p : fp.placements) {
+    if (p.level == 0) {
+      EXPECT_DOUBLE_EQ(p.y_um, 0.0);
+    } else {
+      EXPECT_GT(p.y_um, 0.0);
+    }
+  }
+  // Same-row devices are separated by the device spacing.
+  EXPECT_DOUBLE_EQ(fp.placements[1].x_um,
+                   fp.placements[0].width_um + 3.0);
+}
+
+TEST(Floorplan, NoOverlappingPlacements) {
+  const arch::PtcTemplate tempo = arch::tempo_template();
+  const FloorplanResult fp = floorplan_signal_flow(tempo.node, g_lib);
+  for (size_t i = 0; i < fp.placements.size(); ++i) {
+    for (size_t j = i + 1; j < fp.placements.size(); ++j) {
+      const auto& a = fp.placements[i];
+      const auto& b = fp.placements[j];
+      const bool overlap_x =
+          a.x_um < b.x_um + b.width_um && b.x_um < a.x_um + a.width_um;
+      const bool overlap_y =
+          a.y_um < b.y_um + b.height_um && b.y_um < a.y_um + a.height_um;
+      EXPECT_FALSE(overlap_x && overlap_y)
+          << a.name << " overlaps " << b.name;
+    }
+  }
+}
+
+TEST(Floorplan, BboxAlwaysAtLeastNaiveSum) {
+  // Property: the floorplan bounding box can never be smaller than the sum
+  // of footprints (spacing only adds area).
+  for (const auto& t : arch::all_templates()) {
+    const FloorplanResult fp = floorplan_signal_flow(t.node, g_lib);
+    EXPECT_GE(fp.area_um2(), fp.naive_sum_um2 * 0.999) << t.name;
+  }
+}
+
+TEST(Floorplan, SingleDeviceNode) {
+  const arch::PtcTemplate mzi = arch::clements_mzi_template();
+  const FloorplanResult fp = floorplan_signal_flow(mzi.node, g_lib);
+  ASSERT_EQ(fp.placements.size(), 1u);
+  EXPECT_DOUBLE_EQ(fp.area_um2(), g_lib.get("mzi").area_um2());
+  EXPECT_DOUBLE_EQ(fp.naive_sum_um2, fp.area_um2());
+}
+
+TEST(Floorplan, SpacingOptionsChangeArea) {
+  const arch::PtcTemplate tempo = arch::tempo_template();
+  FloorplanOptions tight;
+  tight.device_spacing_um = 0.0;
+  tight.row_spacing_um = 0.0;
+  FloorplanOptions loose;
+  loose.device_spacing_um = 10.0;
+  loose.row_spacing_um = 50.0;
+  const double a_tight =
+      floorplan_signal_flow(tempo.node, g_lib, tight).area_um2();
+  const double a_loose =
+      floorplan_signal_flow(tempo.node, g_lib, loose).area_um2();
+  EXPECT_LT(a_tight, a_loose);
+}
+
+TEST(Floorplan, BoundingBoxOverride) {
+  const arch::PtcTemplate tempo = arch::tempo_template();
+  const FloorplanResult fp =
+      floorplan_bounding_box(tempo.node, g_lib, 100.0, 100.0);
+  EXPECT_DOUBLE_EQ(fp.area_um2(), 10000.0);
+  EXPECT_THROW(floorplan_bounding_box(tempo.node, g_lib, 10.0, 10.0),
+               std::invalid_argument);
+  EXPECT_THROW(floorplan_bounding_box(tempo.node, g_lib, -1.0, 10.0),
+               std::invalid_argument);
+}
+
+class SpacingSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SpacingSweep, AreaMonotoneInRowSpacing) {
+  const arch::PtcTemplate tempo = arch::tempo_template();
+  FloorplanOptions a;
+  a.row_spacing_um = GetParam();
+  FloorplanOptions b;
+  b.row_spacing_um = GetParam() + 5.0;
+  EXPECT_LT(floorplan_signal_flow(tempo.node, g_lib, a).area_um2(),
+            floorplan_signal_flow(tempo.node, g_lib, b).area_um2());
+}
+
+INSTANTIATE_TEST_SUITE_P(Spacings, SpacingSweep,
+                         ::testing::Values(0.0, 5.0, 10.0, 25.0, 40.0));
+
+}  // namespace
+}  // namespace simphony::layout

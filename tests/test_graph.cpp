@@ -1,0 +1,163 @@
+#include "arch/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace simphony::arch {
+namespace {
+
+/// Builds Fig. 2's five-instance node: {i0,i1} -> i2 -> {i3,i4}.
+Netlist fig2_node() {
+  Netlist nl("fig2");
+  nl.add_instance("i0", "ps");
+  nl.add_instance("i1", "ps");
+  nl.add_instance("i2", "mmi");
+  nl.add_instance("i3", "pd");
+  nl.add_instance("i4", "crossing");
+  nl.add_net("i0", "i2");
+  nl.add_net("i1", "i2");
+  nl.add_net("i2", "i3");
+  nl.add_net("i2", "i4");
+  return nl;
+}
+
+TEST(Dag, TopologicalLevels) {
+  const devlib::DeviceLibrary lib = devlib::DeviceLibrary::standard();
+  const Dag dag = Dag::from_netlist(fig2_node(), lib);
+  const std::vector<int> levels = dag.levels();
+  EXPECT_EQ(levels[0], 0);  // i0
+  EXPECT_EQ(levels[1], 0);  // i1
+  EXPECT_EQ(levels[2], 1);  // i2
+  EXPECT_EQ(levels[3], 2);  // i3
+  EXPECT_EQ(levels[4], 2);  // i4
+}
+
+TEST(Dag, DetectsCycles) {
+  Netlist nl("cyclic");
+  nl.add_instance("a", "ps");
+  nl.add_instance("b", "mmi");
+  nl.add_instance("c", "pd");
+  nl.add_net("a", "b");
+  nl.add_net("b", "c");
+  nl.add_net("c", "a");
+  const devlib::DeviceLibrary lib = devlib::DeviceLibrary::standard();
+  EXPECT_THROW(Dag::from_netlist(nl, lib), std::invalid_argument);
+}
+
+TEST(Dag, LongestPathSumsVertexWeights) {
+  // Weighted by insertion loss: ps 0.3, mmi 1.5, pd 0, crossing 0.15.
+  const devlib::DeviceLibrary lib = devlib::DeviceLibrary::standard();
+  const Dag dag = Dag::from_netlist(fig2_node(), lib);
+  const PathResult path = dag.longest_path();
+  // Critical path: ps -> mmi -> crossing = 0.3 + 1.5 + 0.15 = 1.95.
+  EXPECT_NEAR(path.weight, 1.95, 1e-9);
+  ASSERT_EQ(path.path.size(), 3u);
+  EXPECT_EQ(path.path.back(), "i4");
+}
+
+TEST(Dag, LongestPathBetweenNamedVertices) {
+  const devlib::DeviceLibrary lib = devlib::DeviceLibrary::standard();
+  const Dag dag = Dag::from_netlist(fig2_node(), lib);
+  const PathResult path = dag.longest_path("i0", "i3");
+  EXPECT_NEAR(path.weight, 0.3 + 1.5 + 0.0, 1e-9);
+  EXPECT_EQ(path.path.front(), "i0");
+  EXPECT_EQ(path.path.back(), "i3");
+  EXPECT_THROW((void)dag.longest_path("i0", "nope"), std::out_of_range);
+}
+
+TEST(Dag, UnreachableReturnsNegInfinity) {
+  const devlib::DeviceLibrary lib = devlib::DeviceLibrary::standard();
+  const Dag dag = Dag::from_netlist(fig2_node(), lib);
+  const PathResult path = dag.longest_path("i3", "i0");
+  EXPECT_TRUE(std::isinf(path.weight));
+  EXPECT_TRUE(path.path.empty());
+}
+
+TEST(Dag, CustomVertexWeights) {
+  const Dag dag = Dag::from_netlist(
+      fig2_node(), [](const Instance& inst) {
+        return inst.name == "i2" ? 10.0 : 1.0;
+      });
+  EXPECT_NEAR(dag.longest_path().weight, 12.0, 1e-9);
+}
+
+TEST(Dag, NegativeWeightsSupported) {
+  // SOA gain stages contribute negative loss; the DP must handle them.
+  Netlist nl("gain");
+  nl.add_instance("src", "laser");
+  nl.add_instance("soa", "soa");
+  nl.add_instance("sink", "pd");
+  nl.add_net("src", "soa");
+  nl.add_net("soa", "sink");
+  const Dag dag = Dag::from_netlist(nl, [](const Instance& inst) {
+    if (inst.name == "soa") return -8.0;
+    return 2.0;
+  });
+  EXPECT_NEAR(dag.longest_path().weight, -4.0, 1e-9);
+}
+
+TEST(Dag, EmptyGraph) {
+  Netlist nl("empty");
+  const devlib::DeviceLibrary lib = devlib::DeviceLibrary::standard();
+  const Dag dag = Dag::from_netlist(nl, lib);
+  EXPECT_EQ(dag.vertex_count(), 0u);
+  EXPECT_TRUE(dag.longest_path().path.empty());
+}
+
+TEST(Dag, TopoOrderRespectsEdges) {
+  const devlib::DeviceLibrary lib = devlib::DeviceLibrary::standard();
+  const Dag dag = Dag::from_netlist(fig2_node(), lib);
+  std::vector<size_t> position(dag.vertex_count());
+  for (size_t i = 0; i < dag.topo_order().size(); ++i) {
+    position[dag.topo_order()[i]] = i;
+  }
+  for (size_t u = 0; u < dag.vertex_count(); ++u) {
+    for (size_t v : dag.adjacency()[u]) {
+      EXPECT_LT(position[u], position[v]);
+    }
+  }
+}
+
+/// Property: for random layered DAGs, the longest path weight is an upper
+/// bound on any root-to-leaf chain weight we can construct greedily.
+class DagChainProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(DagChainProperty, LongestPathDominatesChains) {
+  const int width = GetParam();
+  Netlist nl("layers");
+  // Three layers of `width` vertices, fully connected layer to layer.
+  for (int layer = 0; layer < 3; ++layer) {
+    for (int i = 0; i < width; ++i) {
+      nl.add_instance("v" + std::to_string(layer) + "_" + std::to_string(i),
+                      "ps");
+    }
+  }
+  for (int layer = 0; layer + 1 < 3; ++layer) {
+    for (int i = 0; i < width; ++i) {
+      for (int j = 0; j < width; ++j) {
+        nl.add_net("v" + std::to_string(layer) + "_" + std::to_string(i),
+                   "v" + std::to_string(layer + 1) + "_" + std::to_string(j));
+      }
+    }
+  }
+  const Dag dag = Dag::from_netlist(nl, [](const Instance& inst) {
+    // Deterministic weight from the name hash.
+    return static_cast<double>(std::hash<std::string>{}(inst.name) % 100);
+  });
+  const double best = dag.longest_path().weight;
+  // Any specific chain cannot beat it.
+  for (int i = 0; i < width; ++i) {
+    double chain = 0.0;
+    for (int layer = 0; layer < 3; ++layer) {
+      chain += dag.vertex_weight(static_cast<size_t>(layer * width + i));
+    }
+    EXPECT_LE(chain, best + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, DagChainProperty,
+                         ::testing::Values(1, 2, 3, 5, 8));
+
+}  // namespace
+}  // namespace simphony::arch

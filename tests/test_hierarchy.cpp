@@ -1,0 +1,133 @@
+#include "arch/hierarchy.h"
+
+#include <gtest/gtest.h>
+
+#include "arch/prebuilt.h"
+
+namespace simphony::arch {
+namespace {
+
+devlib::DeviceLibrary g_lib = devlib::DeviceLibrary::standard();
+
+TEST(SubArchitecture, TempoScalingRules) {
+  ArchParams p;  // R=2, C=2, H=W=4, L=4
+  const SubArchitecture sub(tempo_template(), p, g_lib);
+  EXPECT_EQ(sub.node_count(), 64);            // R*C*H*W
+  EXPECT_EQ(sub.count_of("mzm_a"), 32);       // R*H*L
+  EXPECT_EQ(sub.count_of("mzm_b"), 32);       // C*W*L
+  EXPECT_EQ(sub.count_of("dac_a") + sub.count_of("dac_b"), 64);
+  EXPECT_EQ(sub.count_of("adc"), 32);         // R*H*W
+  EXPECT_EQ(sub.count_of("integrator"), 32);
+  EXPECT_EQ(sub.count_of("tia"), 32);
+  EXPECT_EQ(sub.count_of("ps_node"), 128);    // 2 per node
+  EXPECT_EQ(sub.count_of("laser"), 4);        // L
+  EXPECT_EQ(sub.count_of("nonexistent"), 0);
+}
+
+TEST(SubArchitecture, ClementsMeshScalingRules) {
+  // Paper case study 2: node-U/V scale by R*C*H*(H-1)/2, Sigma by
+  // R*C*min(H,W) — "not representable by prior simulators based on arrays".
+  ArchParams p;
+  p.tiles = 1;
+  p.cores_per_tile = 1;
+  p.core_height = 8;
+  p.core_width = 6;
+  const SubArchitecture sub(clements_mzi_template(), p, g_lib);
+  EXPECT_EQ(sub.count_of("node_u"), 28);      // 8*7/2
+  EXPECT_EQ(sub.count_of("node_v"), 15);      // 6*5/2
+  EXPECT_EQ(sub.count_of("node_sigma"), 6);   // min(8,6)
+}
+
+TEST(SubArchitecture, MacsPerCycle) {
+  ArchParams p;  // 2*2*4*4*4
+  const SubArchitecture sub(tempo_template(), p, g_lib);
+  EXPECT_EQ(sub.macs_per_cycle(), 256);
+}
+
+TEST(SubArchitecture, RejectsNonPositiveParams) {
+  ArchParams p;
+  p.tiles = 0;
+  EXPECT_THROW(SubArchitecture(tempo_template(), p, g_lib),
+               std::invalid_argument);
+  p.tiles = 2;
+  p.clock_GHz = 0.0;
+  EXPECT_THROW(SubArchitecture(tempo_template(), p, g_lib),
+               std::invalid_argument);
+}
+
+TEST(SubArchitecture, GroupLookup) {
+  ArchParams p;
+  const SubArchitecture sub(tempo_template(), p, g_lib);
+  EXPECT_TRUE(sub.has_group("adc"));
+  EXPECT_FALSE(sub.has_group("ghost"));
+  EXPECT_EQ(sub.group("adc").count, 32);
+  EXPECT_THROW((void)sub.group("ghost"), std::out_of_range);
+}
+
+TEST(SubArchitecture, PathLossEvaluation) {
+  ArchParams p;  // R*H + C*W = 16 encoders per wavelength
+  const SubArchitecture sub(tempo_template(), p, g_lib);
+  // comb_split: 10log10(16) + 0.2*4 = 12.04 + 0.8.
+  EXPECT_NEAR(sub.group("comb_split").path_loss_dB, 12.84, 0.01);
+  // xing: IL 0.15 x (max(H,W)-1 = 3).
+  EXPECT_NEAR(sub.group("xing").path_loss_dB, 0.45, 1e-9);
+  // mzm_a: plain IL.
+  EXPECT_NEAR(sub.group("mzm_a").path_loss_dB, 1.2, 1e-9);
+}
+
+TEST(Architecture, SubArchRegistryByIndexAndName) {
+  ArchParams p;
+  Architecture a("hetero");
+  const size_t i0 = a.add_subarch(SubArchitecture(tempo_template(), p, g_lib));
+  const size_t i1 =
+      a.add_subarch(SubArchitecture(scatter_template(), p, g_lib));
+  EXPECT_EQ(i0, 0u);
+  EXPECT_EQ(i1, 1u);
+  EXPECT_EQ(a.subarch_count(), 2u);
+  EXPECT_EQ(a.subarch("tempo").name(), "tempo");
+  EXPECT_EQ(a.subarch(1).name(), "scatter");
+  EXPECT_THROW((void)a.subarch(2), std::out_of_range);
+  EXPECT_THROW((void)a.subarch("ghost"), std::out_of_range);
+  EXPECT_EQ(a.subarch_names().size(), 2u);
+}
+
+TEST(MakeEnv, ExposesAllParameters) {
+  ArchParams p;
+  p.tiles = 3;
+  p.cores_per_tile = 5;
+  p.core_height = 7;
+  p.core_width = 9;
+  p.wavelengths = 11;
+  const util::Env env = make_env(p);
+  EXPECT_DOUBLE_EQ(env.at("R"), 3.0);
+  EXPECT_DOUBLE_EQ(env.at("C"), 5.0);
+  EXPECT_DOUBLE_EQ(env.at("H"), 7.0);
+  EXPECT_DOUBLE_EQ(env.at("W"), 9.0);
+  EXPECT_DOUBLE_EQ(env.at("L"), 11.0);
+}
+
+/// Property: instance counts scale monotonically with every parameter.
+class ScalingMonotonicity : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScalingMonotonicity, CountsGrowWithParameters) {
+  const int scale = GetParam();
+  ArchParams small;
+  ArchParams big;
+  big.tiles = small.tiles * scale;
+  big.core_height = small.core_height * scale;
+  big.wavelengths = small.wavelengths * scale;
+  for (const auto& t : all_templates()) {
+    const SubArchitecture s(t, small, g_lib);
+    const SubArchitecture b(t, big, g_lib);
+    for (size_t i = 0; i < s.groups().size(); ++i) {
+      EXPECT_GE(b.groups()[i].count, s.groups()[i].count)
+          << t.name << "/" << s.groups()[i].spec->name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, ScalingMonotonicity,
+                         ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace simphony::arch

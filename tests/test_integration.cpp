@@ -1,0 +1,201 @@
+// Cross-module integration tests: invariants that span the whole pipeline
+// (arch -> dataflow -> memory -> energy -> area), failure injection, and
+// consistency between independent code paths.
+#include <gtest/gtest.h>
+
+#include "arch/prebuilt.h"
+#include "core/cosim.h"
+#include "core/simulator.h"
+#include "layout/chip_floorplan.h"
+#include "workload/onn_convert.h"
+
+namespace simphony {
+namespace {
+
+devlib::DeviceLibrary g_lib = devlib::DeviceLibrary::standard();
+
+TEST(Integration, EnergyEqualsPowerTimesRuntimePerLayer) {
+  arch::ArchParams p;
+  arch::Architecture a("tempo");
+  a.add_subarch(arch::SubArchitecture(arch::tempo_template(), p, g_lib));
+  core::Simulator sim(std::move(a));
+  workload::Model model = workload::mlp_mnist();
+  const core::ModelReport r =
+      sim.simulate_model(model, core::MappingConfig(0));
+  for (const auto& layer : r.layers) {
+    EXPECT_NEAR(layer.energy_pJ(),
+                layer.average_power_mW() * layer.runtime_ns(),
+                layer.energy_pJ() * 1e-9);
+  }
+}
+
+TEST(Integration, WholeModelCyclesSumPerLayer) {
+  arch::ArchParams p;
+  arch::Architecture a("tempo");
+  a.add_subarch(arch::SubArchitecture(arch::tempo_template(), p, g_lib));
+  core::Simulator sim(std::move(a));
+  const workload::Model model = workload::vgg8_cifar10();
+  const core::ModelReport r =
+      sim.simulate_model(model, core::MappingConfig(0));
+  double runtime = 0.0;
+  for (const auto& layer : r.layers) {
+    runtime += static_cast<double>(layer.dataflow.total_cycles) /
+               p.clock_GHz;
+  }
+  EXPECT_NEAR(r.total_runtime_ns, runtime, runtime * 1e-9);
+}
+
+TEST(Integration, MoreParallelHardwareNeverSlower) {
+  const workload::Model model = workload::resnet20_cifar10();
+  auto runtime = [&](int hw) {
+    arch::ArchParams p;
+    p.core_height = hw;
+    p.core_width = hw;
+    arch::Architecture a("tempo");
+    a.add_subarch(arch::SubArchitecture(arch::tempo_template(), p, g_lib));
+    core::Simulator sim(std::move(a));
+    return sim.simulate_model(model, core::MappingConfig(0))
+        .total_runtime_ns;
+  };
+  const double t4 = runtime(4);
+  const double t8 = runtime(8);
+  const double t16 = runtime(16);
+  EXPECT_LE(t8, t4);
+  EXPECT_LE(t16, t8);
+}
+
+TEST(Integration, PruningNeverIncreasesEnergy) {
+  auto energy = [&](double ratio) {
+    arch::ArchParams p;
+    arch::Architecture a("scatter");
+    p.wavelengths = 1;
+    a.add_subarch(arch::SubArchitecture(arch::scatter_template(), p, g_lib));
+    core::Simulator sim(std::move(a));
+    workload::Model model = workload::vgg8_cifar10(42, ratio);
+    workload::convert_model_in_place(model);
+    core::MappingConfig mapping(0);
+    // Conv layers only (fc on scatter too — all static weights).
+    return sim.simulate_model(model, mapping).total_energy.total_pJ();
+  };
+  const double dense = energy(0.0);
+  const double half = energy(0.5);
+  const double sparse = energy(0.9);
+  EXPECT_LT(half, dense);
+  EXPECT_LT(sparse, half);
+}
+
+TEST(Integration, TaxonomyPenaltySurfacesInModelRuntime) {
+  const workload::Model model = workload::mlp_mnist();
+  auto runtime = [&](arch::PtcTemplate t) {
+    arch::ArchParams p;
+    p.wavelengths = 1;
+    arch::Architecture a(t.name);
+    a.add_subarch(arch::SubArchitecture(std::move(t), p, g_lib));
+    core::Simulator sim(std::move(a));
+    return sim.simulate_model(model, core::MappingConfig(0))
+        .total_runtime_ns;
+  };
+  // PCM (I=4, 100 ns writes) vs MRR (I=2, 10 ns) on identical geometry:
+  // PCM must be slower.
+  EXPECT_GT(runtime(arch::pcm_crossbar_template()),
+            runtime(arch::mrr_bank_template()));
+}
+
+TEST(Integration, SharedMemorySizedForWorstSubarch) {
+  arch::ArchParams small;
+  small.wavelengths = 1;
+  arch::ArchParams big;
+  big.core_height = 12;
+  big.core_width = 12;
+  big.wavelengths = 12;
+  big.tiles = 4;
+  arch::Architecture a("hetero");
+  a.add_subarch(arch::SubArchitecture(arch::scatter_template(), small,
+                                      g_lib));
+  a.add_subarch(arch::SubArchitecture(arch::tempo_template(), big, g_lib));
+  core::Simulator sim(std::move(a));
+  const core::ModelReport r =
+      sim.simulate_model(workload::mlp_mnist(), core::MappingConfig(0));
+  // The GLB must meet the big sub-arch's demand even though the workload
+  // mapped to sub-arch 0.
+  EXPECT_GE(r.memory.glb.bandwidth_GBps * 1.1, r.memory.glb_demand_GBps);
+  EXPECT_GT(r.memory.glb.blocks, 1);
+}
+
+TEST(Integration, AllTemplatesRunMlpEndToEnd) {
+  const workload::Model model = workload::mlp_mnist();
+  for (const auto& t : arch::all_templates()) {
+    arch::ArchParams p;
+    p.wavelengths = 2;
+    arch::Architecture a(t.name);
+    a.add_subarch(arch::SubArchitecture(t, p, g_lib));
+    core::Simulator sim(std::move(a));
+    const core::ModelReport r =
+        sim.simulate_model(model, core::MappingConfig(0));
+    EXPECT_GT(r.total_runtime_ns, 0.0) << t.name;
+    EXPECT_GT(r.total_energy.total_pJ(), 0.0) << t.name;
+    EXPECT_GT(r.total_area_mm2(), 0.0) << t.name;
+    EXPECT_GT(r.tops(), 0.0) << t.name;
+  }
+}
+
+TEST(Integration, ChipFloorplanConsistentWithAreaRollupOrder) {
+  // The chip-level plan (with routing channels) is never smaller than the
+  // pure component roll-up of the photonic parts it contains.
+  arch::ArchParams p;
+  const arch::SubArchitecture sub(arch::tempo_template(), p, g_lib);
+  const layout::ChipFloorplan chip = layout::chip_floorplan(sub);
+  const layout::AreaBreakdown rollup = layout::analyze_area(sub);
+  const double photonic_rollup =
+      rollup.get("Node") + rollup.get("MZM") + rollup.get("Y Branch") +
+      rollup.get("Crossing");
+  EXPECT_GT(chip.area_mm2(), photonic_rollup);
+}
+
+TEST(Integration, CosimEnergyFidelityTradeoffIsVisible) {
+  // Doubling resolution must cost laser power (Eq. 1) and improve cosim
+  // SNR at the same time — the co-design loop closes.
+  util::Rng rng(1);
+  const workload::Tensor wa = workload::Tensor::uniform({8, 16}, rng);
+  const workload::Tensor wb = workload::Tensor::uniform({16, 8}, rng);
+  arch::ArchParams lo;
+  lo.input_bits = 3;
+  lo.weight_bits = 3;
+  arch::ArchParams hi;
+  hi.input_bits = 6;
+  hi.weight_bits = 6;
+  const arch::SubArchitecture slo(arch::tempo_template(), lo, g_lib);
+  const arch::SubArchitecture shi(arch::tempo_template(), hi, g_lib);
+  EXPECT_GT(core::cosim_gemm(shi, wa, wb).output_snr_dB,
+            core::cosim_gemm(slo, wa, wb).output_snr_dB);
+  EXPECT_GT(arch::analyze_link_budget(shi).total_laser_power_mW,
+            arch::analyze_link_budget(slo).total_laser_power_mW);
+}
+
+TEST(Integration, FailureInjectionBadDeviceLibrary) {
+  // Removing a device the template needs must fail loudly at construction.
+  devlib::DeviceLibrary broken;  // empty
+  arch::ArchParams p;
+  EXPECT_THROW(arch::SubArchitecture(arch::tempo_template(), p, broken),
+               std::out_of_range);
+}
+
+TEST(Integration, FailureInjectionNegativeScalingRule) {
+  arch::PtcTemplate t = arch::tempo_template();
+  for (auto& inst : t.instances) {
+    if (inst.name == "adc") inst.count = util::Expr::parse("R - 10");
+  }
+  arch::ArchParams p;  // R = 2 -> count -8
+  EXPECT_THROW(arch::SubArchitecture(t, p, g_lib), std::invalid_argument);
+}
+
+TEST(Integration, FailureInjectionCyclicNodeNetlist) {
+  arch::PtcTemplate t = arch::tempo_template();
+  t.node.add_net("i3", "i0");  // creates a cycle i0->i2->i3->i0
+  arch::ArchParams p;
+  const arch::SubArchitecture sub(t, p, g_lib);
+  EXPECT_THROW((void)layout::analyze_area(sub), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace simphony

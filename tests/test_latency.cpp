@@ -1,0 +1,81 @@
+#include "dataflow/latency.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arch/prebuilt.h"
+
+namespace simphony::dataflow {
+namespace {
+
+devlib::DeviceLibrary g_lib = devlib::DeviceLibrary::standard();
+
+TEST(Latency, ReconfigCyclesMatchPaperExample) {
+  // "500 cycles per switch for 100 ns reconfiguration delay at 5 GHz."
+  arch::PtcTemplate t = arch::pcm_crossbar_template();
+  t.reconfig_latency_ns = 100.0;
+  arch::ArchParams p;
+  p.clock_GHz = 5.0;
+  const arch::SubArchitecture sub(t, p, g_lib);
+  EXPECT_EQ(reconfig_cycles_per_switch(sub), 500);
+}
+
+TEST(Latency, SubCyclePenaltyIsFree) {
+  arch::PtcTemplate t = arch::tempo_template();
+  t.reconfig_latency_ns = 0.1;  // < 0.2 ns cycle at 5 GHz
+  arch::ArchParams p;
+  const arch::SubArchitecture sub(t, p, g_lib);
+  EXPECT_EQ(reconfig_cycles_per_switch(sub), 0);
+}
+
+TEST(Latency, ThermoOpticIsFiftyThousandCycles) {
+  arch::ArchParams p;
+  const arch::SubArchitecture mzi(arch::clements_mzi_template(), p, g_lib);
+  EXPECT_EQ(reconfig_cycles_per_switch(mzi), 50'000);
+}
+
+TEST(Latency, TransferCyclesRoundUp) {
+  // 100 bytes at 10 GB/s = 10 ns = 50 cycles at 5 GHz.
+  EXPECT_EQ(transfer_cycles(100.0, 10.0, 5.0), 50);
+  // Fractional transfers round up.
+  EXPECT_EQ(transfer_cycles(1.0, 10.0, 5.0), 1);
+  EXPECT_EQ(transfer_cycles(0.0, 10.0, 5.0), 0);
+}
+
+TEST(Latency, TransferRejectsZeroBandwidth) {
+  EXPECT_THROW((void)transfer_cycles(100.0, 0.0, 5.0), std::invalid_argument);
+}
+
+TEST(Latency, RangePenaltyDelegatesToTaxonomy) {
+  arch::ArchParams p;
+  const workload::GemmWorkload g{};
+  EXPECT_EQ(range_penalty_forwards(
+                arch::SubArchitecture(arch::tempo_template(), p, g_lib), g),
+            1);
+  EXPECT_EQ(range_penalty_forwards(
+                arch::SubArchitecture(arch::mrr_bank_template(), p, g_lib),
+                g),
+            2);
+  EXPECT_EQ(
+      range_penalty_forwards(
+          arch::SubArchitecture(arch::pcm_crossbar_template(), p, g_lib), g),
+      4);
+}
+
+class ClockSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ClockSweep, ReconfigCyclesScaleWithClock) {
+  arch::PtcTemplate t = arch::clements_mzi_template();
+  arch::ArchParams p;
+  p.clock_GHz = GetParam();
+  const arch::SubArchitecture sub(t, p, g_lib);
+  EXPECT_EQ(reconfig_cycles_per_switch(sub),
+            static_cast<int64_t>(std::ceil(10000.0 * GetParam())));
+}
+
+INSTANTIATE_TEST_SUITE_P(Clocks, ClockSweep,
+                         ::testing::Values(1.0, 2.5, 5.0, 10.0));
+
+}  // namespace
+}  // namespace simphony::dataflow

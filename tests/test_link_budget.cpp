@@ -1,0 +1,127 @@
+#include "arch/link_budget.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arch/prebuilt.h"
+
+namespace simphony::arch {
+namespace {
+
+devlib::DeviceLibrary g_lib = devlib::DeviceLibrary::standard();
+
+TEST(LinkBudget, CriticalPathStartsAtLaserEndsAtReadout) {
+  ArchParams p;
+  const SubArchitecture sub(tempo_template(), p, g_lib);
+  const PathResult path = critical_insertion_loss_path(sub);
+  ASSERT_FALSE(path.path.empty());
+  EXPECT_EQ(path.path.front(), "laser");
+  EXPECT_EQ(path.path.back(), "adc");
+  EXPECT_GT(path.weight, 0.0);
+}
+
+TEST(LinkBudget, TempoPathLossComposition) {
+  ArchParams p;  // R=2,C=2,H=W=4,L=4
+  const SubArchitecture sub(tempo_template(), p, g_lib);
+  // coupler 1.5 + comb_split (12.04+0.8) + mzm 1.2 + bcast_a
+  // (9.03+0.6) + xing 0.45 + ps 0.3 + mmi 1.5 = 27.42 dB.
+  const LinkBudgetReport r = analyze_link_budget(sub);
+  EXPECT_NEAR(r.critical_path_loss_dB, 27.42, 0.05);
+}
+
+TEST(LinkBudget, LaserPowerScalesWithWavelengths) {
+  ArchParams p;
+  const SubArchitecture sub(tempo_template(), p, g_lib);
+  const LinkBudgetReport r = analyze_link_budget(sub);
+  EXPECT_NEAR(r.total_laser_power_mW,
+              r.laser_power_per_wavelength_mW * p.wavelengths, 1e-9);
+}
+
+TEST(LinkBudget, InputBitsOverride) {
+  ArchParams p;
+  const SubArchitecture sub(tempo_template(), p, g_lib);
+  const LinkBudgetReport b4 = analyze_link_budget(sub, 4);
+  const LinkBudgetReport b6 = analyze_link_budget(sub, 6);
+  EXPECT_EQ(b4.input_bits, 4);
+  EXPECT_EQ(b6.input_bits, 6);
+  EXPECT_NEAR(b6.laser_power_per_wavelength_mW /
+                  b4.laser_power_per_wavelength_mW,
+              4.0, 1e-9);  // +2 bits = x4
+}
+
+TEST(LinkBudget, LargerFanoutMeansMoreLoss) {
+  ArchParams small;
+  ArchParams big;
+  big.core_height = 12;
+  big.core_width = 12;
+  const SubArchitecture s(tempo_template(), small, g_lib);
+  const SubArchitecture b(tempo_template(), big, g_lib);
+  EXPECT_GT(analyze_link_budget(b).critical_path_loss_dB,
+            analyze_link_budget(s).critical_path_loss_dB);
+}
+
+TEST(LinkBudget, SoaGainReducesLtLoss) {
+  // LT includes an SOA (-8 dB "loss") after the comb split; removing it
+  // must raise the path loss by exactly the gain.
+  ArchParams p;
+  p.tiles = 4;
+  p.core_height = 12;
+  p.core_width = 12;
+  p.wavelengths = 12;
+  const SubArchitecture lt(lightening_transformer_template(), p, g_lib);
+  const double with_soa =
+      analyze_link_budget(lt).critical_path_loss_dB;
+
+  PtcTemplate no_soa = lightening_transformer_template();
+  for (auto& inst : no_soa.instances) {
+    if (inst.name == "soa") inst.path_loss_dB = util::Expr::constant(0.0);
+  }
+  const SubArchitecture lt2(no_soa, p, g_lib);
+  EXPECT_NEAR(analyze_link_budget(lt2).critical_path_loss_dB - with_soa,
+              8.0, 1e-9);
+}
+
+TEST(LinkBudget, ApdSensitivityPicksUpFromLibrary) {
+  ArchParams p;
+  const SubArchitecture lt(lightening_transformer_template(), p, g_lib);
+  EXPECT_NEAR(analyze_link_budget(lt).pd_sensitivity_dBm, -31.0, 1e-9);
+  const SubArchitecture tempo(tempo_template(), p, g_lib);
+  EXPECT_NEAR(analyze_link_budget(tempo).pd_sensitivity_dBm, -23.5, 1e-9);
+}
+
+TEST(LinkBudget, AllPrebuiltTemplatesProduceFinitePositivePower) {
+  ArchParams p;
+  for (const auto& t : all_templates()) {
+    const SubArchitecture sub(t, p, g_lib);
+    const LinkBudgetReport r = analyze_link_budget(sub);
+    EXPECT_GT(r.laser_power_per_wavelength_mW, 0.0) << t.name;
+    EXPECT_TRUE(std::isfinite(r.laser_power_per_wavelength_mW)) << t.name;
+    EXPECT_FALSE(r.critical_path.empty()) << t.name;
+  }
+}
+
+/// Property: adding 3 dB of loss doubles the required laser power.
+class LossSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(LossSweep, ThreeDbDoublesLaserPower) {
+  ArchParams p;
+  p.core_height = GetParam();
+  p.core_width = GetParam();
+  const SubArchitecture sub(tempo_template(), p, g_lib);
+  const LinkBudgetReport r = analyze_link_budget(sub);
+  devlib::LinkBudgetInputs in;
+  in.critical_path_loss_dB = r.critical_path_loss_dB + 3.0103;
+  in.pd_sensitivity_dBm = r.pd_sensitivity_dBm;
+  in.input_bits = r.input_bits;
+  devlib::DeviceLibrary lib = devlib::DeviceLibrary::standard();
+  in.wall_plug_efficiency = lib.get("laser").prop("wall_plug_efficiency");
+  in.extinction_ratio_dB = lib.get("mzm").prop("er_dB");
+  EXPECT_NEAR(devlib::laser_power_mW(in) / r.laser_power_per_wavelength_mW,
+              2.0, 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LossSweep, ::testing::Values(2, 4, 8, 16));
+
+}  // namespace
+}  // namespace simphony::arch

@@ -1,0 +1,75 @@
+#include "core/mapping.h"
+
+#include <gtest/gtest.h>
+
+#include "arch/prebuilt.h"
+#include "workload/model.h"
+
+namespace simphony::core {
+namespace {
+
+workload::GemmWorkload gemm_named(const std::string& name,
+                                  workload::LayerType type) {
+  workload::GemmWorkload g;
+  g.name = name;
+  g.source_type = type;
+  g.n = g.d = g.m = 8;
+  return g;
+}
+
+TEST(Mapping, DefaultWhenNoRulesMatch) {
+  MappingConfig cfg(3);
+  EXPECT_EQ(cfg.resolve(gemm_named("x", workload::LayerType::kLinear)), 3u);
+  EXPECT_EQ(cfg.default_subarch(), 3u);
+}
+
+TEST(Mapping, RouteByType) {
+  MappingConfig cfg(0);
+  cfg.route_type(workload::LayerType::kConv2d, 1);
+  cfg.route_type(workload::LayerType::kLinear, 2);
+  EXPECT_EQ(cfg.resolve(gemm_named("c", workload::LayerType::kConv2d)), 1u);
+  EXPECT_EQ(cfg.resolve(gemm_named("l", workload::LayerType::kLinear)), 2u);
+  EXPECT_EQ(cfg.resolve(gemm_named("a", workload::LayerType::kMatMulQK)),
+            0u);
+}
+
+TEST(Mapping, FirstMatchingRuleWins) {
+  MappingConfig cfg(0);
+  cfg.add_rule({workload::LayerType::kConv2d, "conv1", 1});
+  cfg.add_rule({workload::LayerType::kConv2d, "", 2});
+  EXPECT_EQ(cfg.resolve(gemm_named("conv1", workload::LayerType::kConv2d)),
+            1u);
+  EXPECT_EQ(cfg.resolve(gemm_named("conv9", workload::LayerType::kConv2d)),
+            2u);
+}
+
+TEST(Mapping, NamePrefixMatching) {
+  MappingConfig cfg(0);
+  cfg.add_rule({std::nullopt, "enc0.", 1});
+  EXPECT_EQ(cfg.resolve(gemm_named("enc0.ffn1",
+                                   workload::LayerType::kLinear)),
+            1u);
+  EXPECT_EQ(cfg.resolve(gemm_named("enc1.ffn1",
+                                   workload::LayerType::kLinear)),
+            0u);
+}
+
+TEST(Mapping, ValidateAgainstArchitecture) {
+  devlib::DeviceLibrary lib = devlib::DeviceLibrary::standard();
+  arch::ArchParams p;
+  arch::Architecture a("test");
+  a.add_subarch(arch::SubArchitecture(arch::tempo_template(), p, lib));
+
+  MappingConfig good(0);
+  EXPECT_TRUE(good.validate(a).empty());
+
+  MappingConfig bad_default(5);
+  EXPECT_FALSE(bad_default.validate(a).empty());
+
+  MappingConfig bad_rule(0);
+  bad_rule.route_type(workload::LayerType::kConv2d, 7);
+  EXPECT_FALSE(bad_rule.validate(a).empty());
+}
+
+}  // namespace
+}  // namespace simphony::core

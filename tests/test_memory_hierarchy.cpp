@@ -1,0 +1,143 @@
+#include "memory/hierarchy.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arch/prebuilt.h"
+#include "workload/model.h"
+#include "workload/onn_convert.h"
+
+namespace simphony::memory {
+namespace {
+
+devlib::DeviceLibrary g_lib = devlib::DeviceLibrary::standard();
+
+std::vector<workload::GemmWorkload> vgg_gemms() {
+  static workload::Model model = [] {
+    workload::Model m = workload::vgg8_cifar10();
+    workload::convert_model_in_place(m);
+    return m;
+  }();
+  return workload::extract_gemms(model);
+}
+
+TEST(MemoryHierarchy, BytesPerCycleOutputStationary) {
+  arch::ArchParams p;  // n_tile=8, d_tile=8, m_tile=4; 4-bit operands
+  const arch::SubArchitecture sub(arch::tempo_template(), p, g_lib);
+  // A: 8*8*0.5 = 32 B; B: 8*4*0.5 = 16 B.
+  EXPECT_DOUBLE_EQ(bytes_per_cycle(sub), 48.0);
+}
+
+TEST(MemoryHierarchy, FourLevelsSized) {
+  arch::ArchParams p;
+  const arch::SubArchitecture sub(arch::tempo_template(), p, g_lib);
+  const MemoryHierarchy h = build_memory_hierarchy({&sub}, vgg_gemms());
+  EXPECT_EQ(h.hbm.name, "HBM");
+  EXPECT_EQ(h.glb.name, "GLB");
+  EXPECT_EQ(h.lb.name, "LB");
+  EXPECT_EQ(h.rf.name, "RF");
+  // GLB holds the largest layer; HBM the whole model.
+  EXPECT_GT(h.glb.capacity_kB, 0.0);
+  EXPECT_GT(h.hbm.capacity_kB, h.glb.capacity_kB / 4.0);
+  // LB >= the double-buffered processing block; RF the per-cycle operands.
+  EXPECT_GT(h.lb.capacity_kB, 0.0);
+  EXPECT_GT(h.rf.capacity_kB, 0.0);
+  EXPECT_LT(h.rf.capacity_kB, h.lb.capacity_kB);
+}
+
+TEST(MemoryHierarchy, GlbDemandMatchesClockAndFeed) {
+  arch::ArchParams p;
+  const arch::SubArchitecture sub(arch::tempo_template(), p, g_lib);
+  const MemoryHierarchy h = build_memory_hierarchy({&sub}, vgg_gemms());
+  EXPECT_NEAR(h.glb_demand_GBps, 48.0 * 5.0, 1e-9);  // bytes/cycle x f
+}
+
+TEST(MemoryHierarchy, MultiBlockGlbMeetsDemand) {
+  arch::ArchParams p;
+  p.core_height = 12;
+  p.core_width = 12;
+  p.wavelengths = 12;
+  p.tiles = 4;
+  const arch::SubArchitecture sub(
+      arch::lightening_transformer_template(), p, g_lib);
+  const MemoryHierarchy h = build_memory_hierarchy({&sub}, vgg_gemms());
+  EXPECT_GT(h.glb.blocks, 1);
+  EXPECT_GE(h.glb.bandwidth_GBps, h.glb_demand_GBps * 0.9);
+}
+
+TEST(MemoryHierarchy, SingleBlockAblationStarves) {
+  arch::ArchParams p;
+  p.core_height = 12;
+  p.core_width = 12;
+  p.wavelengths = 12;
+  p.tiles = 4;
+  const arch::SubArchitecture sub(
+      arch::lightening_transformer_template(), p, g_lib);
+  MemoryOptions opt;
+  opt.force_single_block_glb = true;
+  const MemoryHierarchy h = build_memory_hierarchy({&sub}, vgg_gemms(), opt);
+  EXPECT_EQ(h.glb.blocks, 1);
+  EXPECT_LT(h.glb.bandwidth_GBps, h.glb_demand_GBps);
+}
+
+TEST(MemoryHierarchy, BlockCountFormula) {
+  // #blocks = ceil(tau_GLB * dBW / (b_bus/8)).
+  arch::ArchParams p;
+  const arch::SubArchitecture sub(arch::tempo_template(), p, g_lib);
+  MemoryOptions opt;
+  const MemoryHierarchy h = build_memory_hierarchy({&sub}, vgg_gemms(), opt);
+  const SramResult fastest = simulate_sram(
+      {.capacity_kB = std::min(h.glb.capacity_kB, 64.0),
+       .buswidth_bits = opt.glb_bus_bits,
+       .blocks = 1,
+       .tech_nm = opt.tech_nm});
+  const int expected = static_cast<int>(std::ceil(
+      fastest.cycle_ns * h.glb_demand_GBps / (opt.glb_bus_bits / 8.0)));
+  EXPECT_EQ(h.glb.blocks, std::max(1, expected));
+}
+
+TEST(MemoryHierarchy, SharedAcrossSubArchsTakesMaxDemand) {
+  arch::ArchParams small;
+  arch::ArchParams big;
+  big.core_height = 8;
+  big.core_width = 8;
+  big.wavelengths = 8;
+  const arch::SubArchitecture s(arch::tempo_template(), small, g_lib);
+  const arch::SubArchitecture b(arch::tempo_template(), big, g_lib);
+  const MemoryHierarchy hs = build_memory_hierarchy({&s}, vgg_gemms());
+  const MemoryHierarchy hb = build_memory_hierarchy({&b}, vgg_gemms());
+  const MemoryHierarchy both =
+      build_memory_hierarchy({&s, &b}, vgg_gemms());
+  EXPECT_DOUBLE_EQ(both.glb_demand_GBps,
+                   std::max(hs.glb_demand_GBps, hb.glb_demand_GBps));
+}
+
+TEST(MemoryHierarchy, EmptySubArchListRejected) {
+  EXPECT_THROW(build_memory_hierarchy({}, vgg_gemms()),
+               std::invalid_argument);
+}
+
+TEST(MemoryHierarchy, DistributedLbIsCheaperPerBit) {
+  arch::ArchParams p;
+  const arch::SubArchitecture sub(arch::tempo_template(), p, g_lib);
+  MemoryOptions dist;
+  MemoryOptions mono;
+  mono.distributed_lb = false;
+  const MemoryHierarchy hd = build_memory_hierarchy({&sub}, vgg_gemms(), dist);
+  const MemoryHierarchy hm = build_memory_hierarchy({&sub}, vgg_gemms(), mono);
+  EXPECT_LE(hd.lb.read_energy_pJ_per_bit, hm.lb.read_energy_pJ_per_bit);
+}
+
+TEST(MemoryHierarchy, AreaAndLeakageAggregates) {
+  arch::ArchParams p;
+  const arch::SubArchitecture sub(arch::tempo_template(), p, g_lib);
+  const MemoryHierarchy h = build_memory_hierarchy({&sub}, vgg_gemms());
+  EXPECT_NEAR(h.total_sram_area_mm2(),
+              h.glb.area_mm2 + h.lb.area_mm2 + h.rf.area_mm2, 1e-12);
+  EXPECT_NEAR(h.total_leakage_mW(),
+              h.glb.leakage_mW + h.lb.leakage_mW + h.rf.leakage_mW, 1e-12);
+}
+
+}  // namespace
+}  // namespace simphony::memory

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "arch/prebuilt.h"
+#include "core/simulator.h"
+#include "workload/gemm.h"
+#include "workload/model.h"
+
+namespace simphony::workload {
+namespace {
+
+TEST(ResNet20, Structure) {
+  const Model m = resnet20_cifar10();
+  // stem + 3 stages x 3 blocks x 2 convs + fc = 20 layers.
+  ASSERT_EQ(m.layers.size(), 20u);
+  EXPECT_EQ(m.layers.front().name, "stem");
+  EXPECT_EQ(m.layers.back().type, LayerType::kLinear);
+  EXPECT_EQ(m.layers.back().out_features, 10);
+  // ~40 MMACs for CIFAR ResNet-20.
+  EXPECT_NEAR(static_cast<double>(m.total_macs()) / 1e6, 40.0, 10.0);
+}
+
+TEST(ResNet20, DownsamplingHalvesSpatialDims) {
+  const Model m = resnet20_cifar10();
+  // s2b1.conv1 strides 2 from 32x32 to 16x16.
+  const Layer* s2b1 = nullptr;
+  for (const auto& l : m.layers) {
+    if (l.name == "s2b1.conv1") s2b1 = &l;
+  }
+  ASSERT_NE(s2b1, nullptr);
+  EXPECT_EQ(s2b1->stride, 2);
+  EXPECT_EQ(s2b1->out_height(), 16);
+}
+
+TEST(ResNet20, PruningApplied) {
+  const Model m = resnet20_cifar10(42, 0.5);
+  for (const auto& l : m.layers) {
+    EXPECT_NEAR(l.weights.sparsity(), 0.5, 0.1) << l.name;
+  }
+}
+
+TEST(MlpMnist, Structure) {
+  const Model m = mlp_mnist();
+  ASSERT_EQ(m.layers.size(), 3u);
+  EXPECT_EQ(m.total_macs(), 784LL * 256 + 256LL * 128 + 128LL * 10);
+}
+
+TEST(ModelsExtra, AllModelsSimulateEndToEnd) {
+  devlib::DeviceLibrary lib = devlib::DeviceLibrary::standard();
+  arch::ArchParams p;
+  arch::Architecture a("tempo");
+  a.add_subarch(arch::SubArchitecture(arch::tempo_template(), p, lib));
+  core::Simulator sim(std::move(a));
+  for (const Model& m : {mlp_mnist(), resnet20_cifar10()}) {
+    const core::ModelReport r =
+        sim.simulate_model(m, core::MappingConfig(0));
+    EXPECT_EQ(r.layers.size(), m.layers.size()) << m.name;
+    EXPECT_GT(r.total_energy.total_pJ(), 0.0) << m.name;
+  }
+}
+
+TEST(ModelsExtra, CsvTraceHasHeaderAndAllLayers) {
+  devlib::DeviceLibrary lib = devlib::DeviceLibrary::standard();
+  arch::ArchParams p;
+  arch::Architecture a("tempo");
+  a.add_subarch(arch::SubArchitecture(arch::tempo_template(), p, lib));
+  core::Simulator sim(std::move(a));
+  const core::ModelReport r =
+      sim.simulate_model(mlp_mnist(), core::MappingConfig(0));
+  const std::string csv = r.to_csv();
+  EXPECT_EQ(csv.rfind("layer,subarch,cycles,runtime_ns", 0), 0u);
+  EXPECT_NE(csv.find("energy_DAC_pJ"), std::string::npos);
+  size_t lines = 0;
+  for (char c : csv) lines += (c == '\n');
+  EXPECT_EQ(lines, 1u + r.layers.size());
+  EXPECT_NE(csv.find("fc1,tempo,"), std::string::npos);
+}
+
+TEST(ModelsExtra, DeterministicAcrossCalls) {
+  const Model a = resnet20_cifar10(7);
+  const Model b = resnet20_cifar10(7);
+  ASSERT_EQ(a.layers.size(), b.layers.size());
+  for (size_t i = 0; i < a.layers.size(); ++i) {
+    ASSERT_EQ(a.layers[i].weights.numel(), b.layers[i].weights.numel());
+    for (int64_t j = 0; j < a.layers[i].weights.numel(); j += 97) {
+      EXPECT_FLOAT_EQ(a.layers[i].weights.at(j), b.layers[i].weights.at(j));
+    }
+  }
+  const Model c = resnet20_cifar10(8);
+  EXPECT_NE(a.layers[0].weights.at(0), c.layers[0].weights.at(0));
+}
+
+}  // namespace
+}  // namespace simphony::workload

@@ -1,0 +1,74 @@
+#include "arch/netlist.h"
+
+#include <gtest/gtest.h>
+
+namespace simphony::arch {
+namespace {
+
+devlib::DeviceLibrary lib() { return devlib::DeviceLibrary::standard(); }
+
+TEST(Netlist, AddAndFindInstances) {
+  Netlist nl("test");
+  nl.add_instance("i0", "mzm");
+  nl.add_instance("i1", "pd");
+  EXPECT_TRUE(nl.has_instance("i0"));
+  EXPECT_FALSE(nl.has_instance("i2"));
+  EXPECT_EQ(nl.find("i1").value(), 1u);
+  EXPECT_EQ(nl.instances().size(), 2u);
+}
+
+TEST(Netlist, RejectsDuplicateInstanceNames) {
+  Netlist nl("test");
+  nl.add_instance("i0", "mzm");
+  EXPECT_THROW(nl.add_instance("i0", "pd"), std::invalid_argument);
+}
+
+TEST(Netlist, DirectedTwoPinNets) {
+  Netlist nl("test");
+  nl.add_instance("i0", "mzm");
+  nl.add_instance("i1", "pd");
+  nl.add_net("i0", "i1");
+  ASSERT_EQ(nl.nets().size(), 1u);
+  EXPECT_EQ(nl.nets()[0].src, "i0");
+  EXPECT_EQ(nl.nets()[0].dst, "i1");
+}
+
+TEST(Netlist, RejectsDanglingNets) {
+  Netlist nl("test");
+  nl.add_instance("i0", "mzm");
+  EXPECT_THROW(nl.add_net("i0", "ghost"), std::invalid_argument);
+  EXPECT_THROW(nl.add_net("ghost", "i0"), std::invalid_argument);
+}
+
+TEST(Netlist, RejectsSelfLoops) {
+  Netlist nl("test");
+  nl.add_instance("i0", "mzm");
+  EXPECT_THROW(nl.add_net("i0", "i0"), std::invalid_argument);
+}
+
+TEST(Netlist, DeviceOfResolvesLibraryRecord) {
+  Netlist nl("test");
+  nl.add_instance("i0", "mzm");
+  const devlib::DeviceLibrary l = lib();
+  EXPECT_DOUBLE_EQ(nl.device_of("i0", l).insertion_loss_dB, 1.2);
+  EXPECT_THROW((void)nl.device_of("nope", l), std::out_of_range);
+}
+
+TEST(Netlist, ValidateFlagsUnknownDevices) {
+  Netlist nl("test");
+  nl.add_instance("i0", "not_a_device");
+  const auto problems = nl.validate(lib());
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_NE(problems[0].find("not_a_device"), std::string::npos);
+}
+
+TEST(Netlist, ValidCircuitPasses) {
+  Netlist nl("node");
+  nl.add_instance("i0", "ps");
+  nl.add_instance("i1", "mmi");
+  nl.add_net("i0", "i1");
+  EXPECT_TRUE(nl.validate(lib()).empty());
+}
+
+}  // namespace
+}  // namespace simphony::arch

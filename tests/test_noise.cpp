@@ -1,0 +1,120 @@
+#include "arch/noise.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arch/prebuilt.h"
+
+namespace simphony::arch {
+namespace {
+
+devlib::DeviceLibrary g_lib = devlib::DeviceLibrary::standard();
+
+TEST(Noise, SignalCurrentFollowsResponsivity) {
+  NoiseInputs in;
+  in.received_power_mW = 0.1;  // -10 dBm
+  in.responsivity_A_W = 1.0;
+  const NoiseReport r = analyze_receiver_noise(in);
+  EXPECT_NEAR(r.signal_current_uA, 100.0, 1e-6);  // 0.1 mW x 1 A/W
+}
+
+TEST(Noise, SnrImprovesWithReceivedPower) {
+  NoiseInputs low;
+  low.received_power_mW = 0.001;
+  NoiseInputs high;
+  high.received_power_mW = 0.1;
+  EXPECT_GT(analyze_receiver_noise(high).snr_dB,
+            analyze_receiver_noise(low).snr_dB);
+}
+
+TEST(Noise, SnrDegradesWithBandwidth) {
+  NoiseInputs slow;
+  slow.bandwidth_GHz = 1.0;
+  NoiseInputs fast;
+  fast.bandwidth_GHz = 10.0;
+  EXPECT_GT(analyze_receiver_noise(slow).snr_dB,
+            analyze_receiver_noise(fast).snr_dB);
+}
+
+TEST(Noise, ThermalNoiseIndependentOfSignal) {
+  NoiseInputs a;
+  a.received_power_mW = 0.001;
+  NoiseInputs b;
+  b.received_power_mW = 1.0;
+  EXPECT_NEAR(analyze_receiver_noise(a).thermal_noise_uA,
+              analyze_receiver_noise(b).thermal_noise_uA, 1e-9);
+}
+
+TEST(Noise, ShotNoiseGrowsWithSqrtSignal) {
+  NoiseInputs a;
+  a.received_power_mW = 0.01;
+  NoiseInputs b = a;
+  b.received_power_mW = 0.04;  // 4x power
+  EXPECT_NEAR(analyze_receiver_noise(b).shot_noise_uA /
+                  analyze_receiver_noise(a).shot_noise_uA,
+              2.0, 1e-6);
+}
+
+TEST(Noise, RinScalesWithSignal) {
+  NoiseInputs a;
+  a.received_power_mW = 0.01;
+  NoiseInputs b = a;
+  b.received_power_mW = 0.02;
+  EXPECT_NEAR(analyze_receiver_noise(b).rin_noise_uA /
+                  analyze_receiver_noise(a).rin_noise_uA,
+              2.0, 1e-6);
+}
+
+TEST(Noise, EnobConsistentWithSnr) {
+  NoiseInputs in;
+  in.received_power_mW = 0.05;
+  const NoiseReport r = analyze_receiver_noise(in);
+  EXPECT_NEAR(r.enob_bits, r.snr_dB / (20.0 * std::log10(2.0)), 1e-6);
+}
+
+TEST(Noise, RejectsNonPositiveInputs) {
+  NoiseInputs in;
+  in.received_power_mW = 0.0;
+  EXPECT_THROW((void)analyze_receiver_noise(in), std::invalid_argument);
+  in.received_power_mW = 0.1;
+  in.bandwidth_GHz = -1.0;
+  EXPECT_THROW((void)analyze_receiver_noise(in), std::invalid_argument);
+}
+
+TEST(Noise, SubarchNoiseAtLinkBudgetPowerResolvesInputBits) {
+  // The link budget sizes the laser for 2^input_bits levels; the receiver
+  // model should then report at least that effective resolution.
+  ArchParams p;
+  const SubArchitecture sub(tempo_template(), p, g_lib);
+  const NoiseReport r = analyze_subarch_noise(sub);
+  EXPECT_GE(r.enob_bits, p.input_bits - 1.0);
+  EXPECT_GT(r.snr_dB, 0.0);
+}
+
+TEST(Noise, MoreLaserPowerMoreEnob) {
+  ArchParams p;
+  const SubArchitecture sub(tempo_template(), p, g_lib);
+  const NoiseReport base = analyze_subarch_noise(sub);
+  const LinkBudgetReport link = analyze_link_budget(sub);
+  const NoiseReport boosted = analyze_subarch_noise(
+      sub, 4.0 * link.laser_power_per_wavelength_mW);
+  EXPECT_GT(boosted.enob_bits, base.enob_bits);
+}
+
+class RxPowerSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(RxPowerSweep, SnrMonotoneInPower) {
+  NoiseInputs a;
+  a.received_power_mW = GetParam();
+  NoiseInputs b;
+  b.received_power_mW = GetParam() * 2.0;
+  EXPECT_GT(analyze_receiver_noise(b).snr_dB,
+            analyze_receiver_noise(a).snr_dB);
+}
+
+INSTANTIATE_TEST_SUITE_P(Powers, RxPowerSweep,
+                         ::testing::Values(1e-4, 1e-3, 1e-2, 0.1, 1.0));
+
+}  // namespace
+}  // namespace simphony::arch

@@ -1,0 +1,119 @@
+#include "devlib/power_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace simphony::devlib {
+namespace {
+
+TEST(PowerModel, ConstantIgnoresValue) {
+  ConstantPowerModel m(20.0);
+  EXPECT_DOUBLE_EQ(m.power_mW(0.0), 20.0);
+  EXPECT_DOUBLE_EQ(m.power_mW(1.0), 20.0);
+  EXPECT_DOUBLE_EQ(m.power_mW(-0.5), 20.0);
+  EXPECT_EQ(m.fidelity(), PowerFidelity::kDataUnaware);
+}
+
+TEST(PowerModel, AnalyticalAppliesFunction) {
+  AnalyticalPowerModel m([](double v) { return 10.0 * std::abs(v); });
+  EXPECT_DOUBLE_EQ(m.power_mW(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(m.power_mW(-0.5), 5.0);
+  EXPECT_EQ(m.fidelity(), PowerFidelity::kAnalytical);
+}
+
+TEST(PowerModel, TabulatedInterpolatesLinearly) {
+  TabulatedPowerModel m({{0.0, 0.0}, {1.0, 10.0}});
+  EXPECT_DOUBLE_EQ(m.power_mW(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(m.power_mW(0.25), 2.5);
+}
+
+TEST(PowerModel, TabulatedClampsOutOfRange) {
+  TabulatedPowerModel m({{-1.0, 3.0}, {1.0, 9.0}});
+  EXPECT_DOUBLE_EQ(m.power_mW(-5.0), 3.0);
+  EXPECT_DOUBLE_EQ(m.power_mW(5.0), 9.0);
+}
+
+TEST(PowerModel, TabulatedSortsSamples) {
+  TabulatedPowerModel m({{1.0, 10.0}, {0.0, 0.0}, {0.5, 5.0}});
+  EXPECT_DOUBLE_EQ(m.power_mW(0.75), 7.5);
+}
+
+TEST(PowerModel, TabulatedRejectsEmpty) {
+  EXPECT_THROW(TabulatedPowerModel({}), std::invalid_argument);
+}
+
+TEST(PowerModel, MeanPowerOverValues) {
+  ConstantPowerModel m(4.0);
+  const std::vector<float> vals{0.1f, 0.9f, -0.3f};
+  EXPECT_DOUBLE_EQ(m.mean_power_mW(vals), 4.0);
+  EXPECT_DOUBLE_EQ(m.mean_power_mW({}), 0.0);
+
+  AnalyticalPowerModel lin([](double v) { return std::abs(v); });
+  const std::vector<float> sym{0.5f, -0.5f, 1.0f, 0.0f};
+  EXPECT_DOUBLE_EQ(lin.mean_power_mW(sym), 0.5);
+}
+
+TEST(PhaseShifterPower, UnawareReturnsPPi) {
+  auto m = make_phase_shifter_power(20.0, PowerFidelity::kDataUnaware);
+  EXPECT_DOUBLE_EQ(m->power_mW(0.1), 20.0);
+  EXPECT_DOUBLE_EQ(m->power_mW(0.9), 20.0);
+}
+
+TEST(PhaseShifterPower, AnalyticalLinearInPhase) {
+  auto m = make_phase_shifter_power(20.0, PowerFidelity::kAnalytical);
+  EXPECT_DOUBLE_EQ(m->power_mW(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(m->power_mW(1.0), 20.0);
+  EXPECT_DOUBLE_EQ(m->power_mW(-0.5), 10.0);
+}
+
+TEST(PhaseShifterPower, TabulatedSlightlyBelowAnalytical) {
+  // The measured curve dips below the linear model mid-range (paper
+  // Fig. 10b: rigorous model gives 0.0209 uJ vs analytical 0.0215 uJ).
+  auto lut = make_phase_shifter_power(20.0, PowerFidelity::kTabulated);
+  auto lin = make_phase_shifter_power(20.0, PowerFidelity::kAnalytical);
+  for (double v : {0.2, 0.4, 0.5, 0.6, 0.8}) {
+    EXPECT_LT(lut->power_mW(v), lin->power_mW(v)) << "at v=" << v;
+    EXPECT_GT(lut->power_mW(v), 0.9 * lin->power_mW(v)) << "at v=" << v;
+  }
+  // Ends agree (no dip at 0 and pi).
+  EXPECT_NEAR(lut->power_mW(1.0), 20.0, 1e-6);
+  EXPECT_NEAR(lut->power_mW(0.0), 0.0, 1e-6);
+}
+
+TEST(PhaseShifterPower, ZeroValueDrawsZeroInDataAwareModes) {
+  // Pruned (zero) weights must gate the cell entirely.
+  for (auto fidelity :
+       {PowerFidelity::kAnalytical, PowerFidelity::kTabulated}) {
+    auto m = make_phase_shifter_power(20.0, fidelity);
+    EXPECT_NEAR(m->power_mW(0.0), 0.0, 1e-9);
+  }
+}
+
+TEST(PhaseShifterPower, FidelityNames) {
+  EXPECT_EQ(to_string(PowerFidelity::kDataUnaware), "data-unaware");
+  EXPECT_EQ(to_string(PowerFidelity::kAnalytical), "analytical");
+  EXPECT_EQ(to_string(PowerFidelity::kTabulated), "tabulated");
+}
+
+class PhaseSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PhaseSweep, ModelsAreSymmetricAndBounded) {
+  const double v = GetParam();
+  for (auto fidelity :
+       {PowerFidelity::kDataUnaware, PowerFidelity::kAnalytical,
+        PowerFidelity::kTabulated}) {
+    auto m = make_phase_shifter_power(20.0, fidelity);
+    EXPECT_NEAR(m->power_mW(v), m->power_mW(-v), 1e-9);
+    EXPECT_GE(m->power_mW(v), 0.0);
+    EXPECT_LE(m->power_mW(v), 20.0 + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Phases, PhaseSweep,
+                         ::testing::Values(0.0, 0.1, 0.25, 0.5, 0.75, 0.9,
+                                           1.0));
+
+}  // namespace
+}  // namespace simphony::devlib

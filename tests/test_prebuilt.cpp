@@ -1,0 +1,98 @@
+#include "arch/prebuilt.h"
+
+#include <gtest/gtest.h>
+
+#include "arch/graph.h"
+
+namespace simphony::arch {
+namespace {
+
+devlib::DeviceLibrary g_lib = devlib::DeviceLibrary::standard();
+
+TEST(Prebuilt, AllTemplatesValidateAgainstStandardLibrary) {
+  for (const auto& t : all_templates()) {
+    // Node netlist devices resolve.
+    EXPECT_TRUE(t.node.validate(g_lib).empty()) << t.name;
+    // Arch-level instances resolve and nets are sane.
+    Netlist arch_nl(t.name);
+    for (const auto& inst : t.instances) {
+      EXPECT_TRUE(g_lib.has(inst.device))
+          << t.name << " references " << inst.device;
+      arch_nl.add_instance(inst.name, inst.device);
+    }
+    for (const auto& net : t.nets) {
+      EXPECT_NO_THROW(arch_nl.add_net(net.src, net.dst))
+          << t.name << ": " << net.src << "->" << net.dst;
+    }
+    // The arch netlist is acyclic (directed optical flow).
+    EXPECT_NO_THROW(Dag::from_netlist(arch_nl, g_lib)) << t.name;
+  }
+}
+
+TEST(Prebuilt, NodeInstanceExistsInEveryTemplate) {
+  for (const auto& t : all_templates()) {
+    EXPECT_TRUE(t.has_instance(t.node_instance))
+        << t.name << " node instance " << t.node_instance;
+    EXPECT_FALSE(t.node.instances().empty()) << t.name;
+  }
+}
+
+TEST(Prebuilt, TempoNodeMatchesFig6) {
+  const PtcTemplate t = tempo_template();
+  EXPECT_EQ(t.node.instances().size(), 5u);  // i0..i4
+  EXPECT_EQ(t.node.nets().size(), 4u);
+}
+
+TEST(Prebuilt, DynamicFamilyIsOutputStationary) {
+  EXPECT_TRUE(tempo_template().output_stationary);
+  EXPECT_TRUE(lightening_transformer_template().output_stationary);
+  EXPECT_FALSE(clements_mzi_template().output_stationary);
+  EXPECT_FALSE(scatter_template().output_stationary);
+  EXPECT_FALSE(mrr_bank_template().output_stationary);
+  EXPECT_FALSE(pcm_crossbar_template().output_stationary);
+}
+
+TEST(Prebuilt, ReconfigLatencies) {
+  EXPECT_DOUBLE_EQ(tempo_template().reconfig_latency_ns, 0.0);
+  EXPECT_DOUBLE_EQ(clements_mzi_template().reconfig_latency_ns, 10000.0);
+  EXPECT_DOUBLE_EQ(pcm_crossbar_template().reconfig_latency_ns, 100.0);
+}
+
+TEST(Prebuilt, TaxonomyForwardCounts) {
+  EXPECT_EQ(tempo_template().taxonomy.forwards(), 1);
+  EXPECT_EQ(lightening_transformer_template().taxonomy.forwards(), 1);
+  EXPECT_EQ(clements_mzi_template().taxonomy.forwards(), 1);
+  EXPECT_EQ(butterfly_template().taxonomy.forwards(), 1);
+  EXPECT_EQ(mrr_bank_template().taxonomy.forwards(), 2);
+  EXPECT_EQ(pcm_crossbar_template().taxonomy.forwards(), 4);
+}
+
+TEST(Prebuilt, LtUsesApdAndPassiveTrims) {
+  const PtcTemplate lt = lightening_transformer_template();
+  EXPECT_EQ(lt.instance("pd_node").device, "pd_apd");
+  EXPECT_EQ(lt.instance("ps_node").device, "ps_passive");
+  EXPECT_TRUE(lt.has_instance("soa"));
+  EXPECT_TRUE(lt.include_source_in_area);
+  EXPECT_FALSE(tempo_template().include_source_in_area);
+}
+
+TEST(Prebuilt, InstanceLookupThrowsOnUnknown) {
+  const PtcTemplate t = tempo_template();
+  EXPECT_THROW((void)t.instance("ghost"), std::out_of_range);
+  EXPECT_NO_THROW((void)t.instance("mzm_a"));
+}
+
+TEST(Prebuilt, WeightCellRolesPresentInStaticTemplates) {
+  for (const auto& t : {clements_mzi_template(), scatter_template(),
+                        mrr_bank_template(), pcm_crossbar_template(),
+                        butterfly_template()}) {
+    bool has_weight_cell = false;
+    for (const auto& inst : t.instances) {
+      has_weight_cell |= inst.role == Role::kWeightCell;
+    }
+    EXPECT_TRUE(has_weight_cell) << t.name;
+  }
+}
+
+}  // namespace
+}  // namespace simphony::arch

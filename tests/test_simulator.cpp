@@ -1,0 +1,140 @@
+#include "core/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "arch/prebuilt.h"
+#include "workload/onn_convert.h"
+
+namespace simphony::core {
+namespace {
+
+devlib::DeviceLibrary g_lib = devlib::DeviceLibrary::standard();
+
+Simulator make_tempo_sim(SimulationOptions opt = {}) {
+  arch::ArchParams p;
+  arch::Architecture a("tempo");
+  a.add_subarch(arch::SubArchitecture(arch::tempo_template(), p, g_lib));
+  return Simulator(std::move(a), std::move(opt));
+}
+
+TEST(Simulator, RejectsEmptyArchitecture) {
+  EXPECT_THROW(Simulator(arch::Architecture("empty")),
+               std::invalid_argument);
+}
+
+TEST(Simulator, SingleGemmReportIsConsistent) {
+  Simulator sim = make_tempo_sim();
+  const workload::Model model = workload::single_gemm_model(280, 28, 280);
+  const LayerReport r =
+      sim.simulate_gemm(0, workload::gemm_of_layer(model.layers.front()));
+  EXPECT_EQ(r.subarch_name, "tempo");
+  EXPECT_DOUBLE_EQ(r.macs, 280.0 * 28.0 * 280.0);
+  EXPECT_GT(r.runtime_ns(), 0.0);
+  EXPECT_GT(r.energy_pJ(), 0.0);
+  EXPECT_NEAR(r.average_power_mW(), r.energy_pJ() / r.runtime_ns(), 1e-9);
+  EXPECT_GT(r.link.critical_path_loss_dB, 0.0);
+  EXPECT_GT(r.traffic.total_bytes(), 0.0);
+}
+
+TEST(Simulator, ModelReportAggregatesLayers) {
+  Simulator sim = make_tempo_sim();
+  workload::Model model = workload::vgg8_cifar10();
+  workload::convert_model_in_place(model);
+  const ModelReport r = sim.simulate_model(model, MappingConfig(0));
+  ASSERT_EQ(r.layers.size(), 8u);
+  double runtime = 0.0;
+  double energy = 0.0;
+  for (const auto& layer : r.layers) {
+    runtime += layer.runtime_ns();
+    energy += layer.energy_pJ();
+  }
+  EXPECT_NEAR(r.total_runtime_ns, runtime, 1e-6);
+  EXPECT_NEAR(r.total_energy.total_pJ(), energy, energy * 1e-9);
+  EXPECT_DOUBLE_EQ(r.total_macs(),
+                   static_cast<double>(model.total_macs()));
+  EXPECT_GT(r.tops(), 0.0);
+  EXPECT_GT(r.tops_per_W(), 0.0);
+  EXPECT_GT(r.total_area_mm2(), r.memory_area_mm2);
+}
+
+TEST(Simulator, InvalidMappingRejected) {
+  Simulator sim = make_tempo_sim();
+  const workload::Model model = workload::vgg8_cifar10();
+  MappingConfig bad(5);
+  EXPECT_THROW((void)sim.simulate_model(model, bad), std::invalid_argument);
+}
+
+TEST(Simulator, HeterogeneousMappingRoutesLayers) {
+  arch::ArchParams p;
+  p.wavelengths = 1;
+  arch::Architecture a("hetero");
+  a.add_subarch(arch::SubArchitecture(arch::scatter_template(), p, g_lib));
+  a.add_subarch(
+      arch::SubArchitecture(arch::clements_mzi_template(), p, g_lib));
+  Simulator sim(std::move(a));
+  MappingConfig mapping(0);
+  mapping.route_type(workload::LayerType::kConv2d, 0);
+  mapping.route_type(workload::LayerType::kLinear, 1);
+  workload::Model model = workload::vgg8_cifar10();
+  const ModelReport r = sim.simulate_model(model, mapping);
+  for (const auto& layer : r.layers) {
+    if (layer.layer_name.rfind("conv", 0) == 0) {
+      EXPECT_EQ(layer.subarch_name, "scatter") << layer.layer_name;
+    } else {
+      EXPECT_EQ(layer.subarch_name, "mzi-mesh") << layer.layer_name;
+    }
+  }
+  EXPECT_EQ(r.subarch_area.size(), 2u);
+}
+
+TEST(Simulator, AttentionOnStaticMeshThrows) {
+  arch::ArchParams p;
+  arch::Architecture a("mzi-only");
+  a.add_subarch(
+      arch::SubArchitecture(arch::clements_mzi_template(), p, g_lib));
+  Simulator sim(std::move(a));
+  const workload::Model bert = workload::bert_base_image224();
+  EXPECT_THROW((void)sim.simulate_model(bert, MappingConfig(0)),
+               std::invalid_argument);
+}
+
+TEST(Simulator, JsonReportSerializes) {
+  Simulator sim = make_tempo_sim();
+  workload::Model model = workload::single_gemm_model(64, 16, 64);
+  const ModelReport r = sim.simulate_model(model, MappingConfig(0));
+  const std::string json = r.to_json().dump(-1);
+  EXPECT_NE(json.find("\"model\""), std::string::npos);
+  EXPECT_NE(json.find("\"energy_breakdown_pJ\""), std::string::npos);
+  EXPECT_NE(json.find("\"layers\""), std::string::npos);
+}
+
+TEST(Simulator, AreaOnlyAnalysis) {
+  Simulator sim = make_tempo_sim();
+  const layout::AreaBreakdown a = sim.analyze_area(0);
+  EXPECT_NEAR(a.total_mm2(), 0.84, 0.01);
+}
+
+TEST(Simulator, LayoutUnawareOption) {
+  SimulationOptions opt;
+  opt.area.layout_aware = false;
+  Simulator sim = make_tempo_sim(opt);
+  EXPECT_NEAR(sim.analyze_area(0).total_mm2(), 0.63, 0.01);
+}
+
+TEST(Simulator, WavelengthScalingReducesLatency) {
+  auto run = [&](int wavelengths) {
+    arch::ArchParams p;
+    p.wavelengths = wavelengths;
+    arch::Architecture a("tempo");
+    a.add_subarch(arch::SubArchitecture(arch::tempo_template(), p, g_lib));
+    Simulator sim(std::move(a));
+    const workload::Model m = workload::single_gemm_model(280, 28, 280);
+    return sim.simulate_gemm(0, workload::gemm_of_layer(m.layers.front()))
+        .runtime_ns();
+  };
+  EXPECT_LT(run(4), run(1));
+  EXPECT_LE(run(7), run(4));
+}
+
+}  // namespace
+}  // namespace simphony::core

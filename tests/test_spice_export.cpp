@@ -1,0 +1,60 @@
+#include "arch/spice_export.h"
+
+#include <gtest/gtest.h>
+
+#include "arch/prebuilt.h"
+
+namespace simphony::arch {
+namespace {
+
+devlib::DeviceLibrary g_lib = devlib::DeviceLibrary::standard();
+
+TEST(SpiceExport, NodeSubcktContainsAllInstances) {
+  const PtcTemplate tempo = tempo_template();
+  const std::string spice = export_node_subckt(tempo, g_lib);
+  EXPECT_NE(spice.find(".SUBCKT dot_product_node"), std::string::npos);
+  EXPECT_NE(spice.find(".ENDS"), std::string::npos);
+  for (const auto& inst : tempo.node.instances()) {
+    EXPECT_NE(spice.find("X" + inst.name), std::string::npos) << inst.name;
+  }
+}
+
+TEST(SpiceExport, ModelCardsCarryDeviceParameters) {
+  const PtcTemplate tempo = tempo_template();
+  const std::string spice = export_node_subckt(tempo, g_lib);
+  EXPECT_NE(spice.find(".MODEL ps photonic(il_db=0.3"), std::string::npos);
+  EXPECT_NE(spice.find("width_um=25"), std::string::npos);
+}
+
+TEST(SpiceExport, FullExportHasTopCellAndScalingComments) {
+  ArchParams p;
+  const SubArchitecture sub(tempo_template(), p, g_lib);
+  const std::string spice = export_spice(sub);
+  EXPECT_NE(spice.find(".SUBCKT TOP"), std::string::npos);
+  EXPECT_NE(spice.find(".END\n"), std::string::npos);
+  // Evaluated scaling rules appear as comments.
+  EXPECT_NE(spice.find("* group mzm_a: count=32 rule=\"R*H*L\""),
+            std::string::npos);
+  EXPECT_NE(spice.find("* group node: count=64"), std::string::npos);
+}
+
+TEST(SpiceExport, WiresConnectDirectedNets) {
+  const PtcTemplate tempo = tempo_template();
+  const std::string spice = export_node_subckt(tempo, g_lib);
+  // i0 -> i2 is net 0: i0 emits n0, i2 receives n0.
+  EXPECT_NE(spice.find("Xi0 in n0"), std::string::npos);
+  EXPECT_NE(spice.find("Xi2 n0 n1"), std::string::npos);
+}
+
+TEST(SpiceExport, AllTemplatesExportWithoutThrowing) {
+  ArchParams p;
+  for (const auto& t : all_templates()) {
+    const SubArchitecture sub(t, p, g_lib);
+    const std::string spice = export_spice(sub);
+    EXPECT_FALSE(spice.empty()) << t.name;
+    EXPECT_NE(spice.find(".ENDS TOP"), std::string::npos) << t.name;
+  }
+}
+
+}  // namespace
+}  // namespace simphony::arch

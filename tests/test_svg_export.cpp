@@ -1,0 +1,72 @@
+#include "layout/svg_export.h"
+
+#include <gtest/gtest.h>
+
+#include "arch/prebuilt.h"
+
+namespace simphony::layout {
+namespace {
+
+devlib::DeviceLibrary g_lib = devlib::DeviceLibrary::standard();
+
+FloorplanResult tempo_node_floorplan() {
+  return floorplan_signal_flow(arch::tempo_template().node, g_lib);
+}
+
+TEST(SvgExport, WellFormedDocument) {
+  const std::string svg = to_svg(tempo_node_floorplan());
+  EXPECT_EQ(svg.rfind("<svg", 0), 0u);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+}
+
+TEST(SvgExport, OneRectPerPlacementPlusOutline) {
+  const FloorplanResult fp = tempo_node_floorplan();
+  const std::string svg = to_svg(fp);
+  size_t rects = 0;
+  for (size_t pos = svg.find("<rect"); pos != std::string::npos;
+       pos = svg.find("<rect", pos + 1)) {
+    ++rects;
+  }
+  EXPECT_EQ(rects, fp.placements.size() + 1);  // + chip outline
+}
+
+TEST(SvgExport, InstanceNamesLabeled) {
+  const std::string svg = to_svg(tempo_node_floorplan());
+  EXPECT_NE(svg.find(">i0<"), std::string::npos);
+  EXPECT_NE(svg.find(">i4<"), std::string::npos);
+}
+
+TEST(SvgExport, LabelsCanBeDisabled) {
+  SvgOptions opt;
+  opt.label_instances = false;
+  const std::string svg = to_svg(tempo_node_floorplan(), opt);
+  EXPECT_EQ(svg.find("<text"), std::string::npos);
+}
+
+TEST(SvgExport, TitlesCarryDeviceAndLevel) {
+  const std::string svg = to_svg(tempo_node_floorplan());
+  EXPECT_NE(svg.find("<title>i2 (mmi, level 1)</title>"),
+            std::string::npos);
+}
+
+TEST(SvgExport, ScaleChangesCanvas) {
+  SvgOptions small;
+  small.scale = 1.0;
+  SvgOptions big;
+  big.scale = 10.0;
+  const FloorplanResult fp = tempo_node_floorplan();
+  EXPECT_LT(to_svg(fp, small).find("width=\"63\""), std::string::npos);
+  (void)big;  // canvas width = (53 + 2*5) * scale
+}
+
+TEST(SvgExport, SameDeviceSameColor) {
+  const std::string svg = to_svg(tempo_node_floorplan());
+  // i0 and i1 are both "ps": their fill colors must match.
+  const size_t first = svg.find("fill=\"rgb");
+  ASSERT_NE(first, std::string::npos);
+  const std::string color = svg.substr(first, svg.find(')', first) - first);
+  EXPECT_NE(svg.find(color, first + 1), std::string::npos);
+}
+
+}  // namespace
+}  // namespace simphony::layout

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "util/json.h"
+#include "util/table.h"
+
+namespace simphony::util {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"beta", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| name"), std::string::npos);
+  EXPECT_NE(out.find("| alpha"), std::string::npos);
+  EXPECT_NE(out.find("| 22"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, PadsShortRows) {
+  Table t({"a", "b", "c"});
+  t.add_row({"x"});
+  EXPECT_NE(t.render().find("| x"), std::string::npos);
+}
+
+TEST(Table, FormatsDoubles) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt(1.0, 0), "1");
+  EXPECT_EQ(Table::fmt(-2.5, 1), "-2.5");
+}
+
+TEST(Json, ScalarDump) {
+  EXPECT_EQ(Json(true).dump(-1), "true");
+  EXPECT_EQ(Json(nullptr).dump(-1), "null");
+  EXPECT_EQ(Json(42).dump(-1), "42");
+  EXPECT_EQ(Json("hi").dump(-1), "\"hi\"");
+}
+
+TEST(Json, EscapesStrings) {
+  EXPECT_EQ(Json("a\"b\n").dump(-1), "\"a\\\"b\\n\"");
+}
+
+TEST(Json, ObjectAndArray) {
+  Json j;
+  j["name"] = "tempo";
+  j["tiles"] = 2;
+  j["ok"] = true;
+  Json arr;
+  arr.push_back(1);
+  arr.push_back(2.5);
+  j["values"] = arr;
+  const std::string compact = j.dump(-1);
+  EXPECT_EQ(compact,
+            "{\"name\":\"tempo\",\"ok\":true,\"tiles\":2,"
+            "\"values\":[1,2.5]}");
+}
+
+TEST(Json, PrettyPrintIndents) {
+  Json j;
+  j["a"] = 1;
+  const std::string pretty = j.dump(2);
+  EXPECT_NE(pretty.find("{\n  \"a\": 1\n}"), std::string::npos);
+}
+
+TEST(Json, NonFiniteBecomesNull) {
+  EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).dump(-1), "null");
+}
+
+TEST(Json, EmptyContainers) {
+  Json obj{Json::Object{}};
+  Json arr{Json::Array{}};
+  EXPECT_EQ(obj.dump(-1), "{}");
+  EXPECT_EQ(arr.dump(-1), "[]");
+}
+
+}  // namespace
+}  // namespace simphony::util

@@ -1,0 +1,88 @@
+#include "arch/taxonomy.h"
+
+#include <gtest/gtest.h>
+
+namespace simphony::arch {
+namespace {
+
+TEST(Taxonomy, TableIRows) {
+  // MZI array: R dynamic x R static, direct -> 1.
+  PtcTaxonomy mzi{{OperandRange::kFullReal, ReconfigSpeed::kDynamic},
+                  {OperandRange::kFullReal, ReconfigSpeed::kStatic},
+                  RangeMethod::kDirect};
+  EXPECT_EQ(mzi.forwards(), 1);
+
+  // Butterfly: R dynamic x C static, pos-neg -> 1.
+  PtcTaxonomy butterfly{{OperandRange::kFullReal, ReconfigSpeed::kDynamic},
+                        {OperandRange::kComplexFixed, ReconfigSpeed::kStatic},
+                        RangeMethod::kPosNeg};
+  EXPECT_EQ(butterfly.forwards(), 1);
+
+  // MRR: R+ dynamic x R dynamic, direct -> 2.
+  PtcTaxonomy mrr{{OperandRange::kNonNegative, ReconfigSpeed::kDynamic},
+                  {OperandRange::kFullReal, ReconfigSpeed::kDynamic},
+                  RangeMethod::kDirect};
+  EXPECT_EQ(mrr.forwards(), 2);
+
+  // PCM: R+ dynamic x R+ static, direct -> 4.
+  PtcTaxonomy pcm{{OperandRange::kNonNegative, ReconfigSpeed::kDynamic},
+                  {OperandRange::kNonNegative, ReconfigSpeed::kStatic},
+                  RangeMethod::kDirect};
+  EXPECT_EQ(pcm.forwards(), 4);
+
+  // TeMPO: R dynamic x R dynamic, direct -> 1.
+  PtcTaxonomy tempo{{OperandRange::kFullReal, ReconfigSpeed::kDynamic},
+                    {OperandRange::kFullReal, ReconfigSpeed::kDynamic},
+                    RangeMethod::kDirect};
+  EXPECT_EQ(tempo.forwards(), 1);
+}
+
+TEST(Taxonomy, PosNegAlwaysOneForward) {
+  // Differential readout resolves signs regardless of operand ranges.
+  for (auto a : {OperandRange::kFullReal, OperandRange::kNonNegative}) {
+    for (auto b : {OperandRange::kFullReal, OperandRange::kNonNegative,
+                   OperandRange::kComplexFixed}) {
+      PtcTaxonomy t{{a, ReconfigSpeed::kDynamic},
+                    {b, ReconfigSpeed::kStatic},
+                    RangeMethod::kPosNeg};
+      EXPECT_EQ(t.forwards(), 1);
+    }
+  }
+}
+
+TEST(Taxonomy, UnipolarOperandsMultiply) {
+  PtcTaxonomy one_sided{{OperandRange::kNonNegative, ReconfigSpeed::kDynamic},
+                        {OperandRange::kFullReal, ReconfigSpeed::kDynamic},
+                        RangeMethod::kDirect};
+  PtcTaxonomy both_sided{
+      {OperandRange::kNonNegative, ReconfigSpeed::kDynamic},
+      {OperandRange::kNonNegative, ReconfigSpeed::kDynamic},
+      RangeMethod::kDirect};
+  EXPECT_EQ(one_sided.forwards() * 2, both_sided.forwards());
+}
+
+TEST(Taxonomy, DynamicTensorProductNeedsBothDynamic) {
+  PtcTaxonomy both{{OperandRange::kFullReal, ReconfigSpeed::kDynamic},
+                   {OperandRange::kFullReal, ReconfigSpeed::kDynamic},
+                   RangeMethod::kDirect};
+  EXPECT_TRUE(both.supports_dynamic_tensor_product());
+
+  PtcTaxonomy weights_static{
+      {OperandRange::kFullReal, ReconfigSpeed::kDynamic},
+      {OperandRange::kFullReal, ReconfigSpeed::kStatic},
+      RangeMethod::kDirect};
+  EXPECT_FALSE(weights_static.supports_dynamic_tensor_product());
+}
+
+TEST(Taxonomy, StringConversions) {
+  EXPECT_EQ(to_string(OperandRange::kFullReal), "R");
+  EXPECT_EQ(to_string(OperandRange::kNonNegative), "R+");
+  EXPECT_EQ(to_string(OperandRange::kComplexFixed), "C");
+  EXPECT_EQ(to_string(ReconfigSpeed::kStatic), "Static");
+  EXPECT_EQ(to_string(ReconfigSpeed::kDynamic), "Dynamic");
+  EXPECT_EQ(to_string(RangeMethod::kDirect), "Direct");
+  EXPECT_EQ(to_string(RangeMethod::kPosNeg), "Pos-Neg");
+}
+
+}  // namespace
+}  // namespace simphony::arch

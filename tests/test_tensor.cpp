@@ -1,0 +1,96 @@
+#include "workload/tensor.h"
+
+#include <gtest/gtest.h>
+
+namespace simphony::workload {
+namespace {
+
+TEST(Tensor, ShapeAndNumel) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.numel(), 24);
+  EXPECT_EQ(t.rank(), 3u);
+  EXPECT_EQ(Tensor{}.numel(), 0);
+}
+
+TEST(Tensor, RejectsNonPositiveDims) {
+  EXPECT_THROW(Tensor({2, 0}), std::invalid_argument);
+  EXPECT_THROW(Tensor({-1}), std::invalid_argument);
+}
+
+TEST(Tensor, ZerosAndFull) {
+  const Tensor z = Tensor::zeros({4});
+  EXPECT_DOUBLE_EQ(z.abs_max(), 0.0);
+  const Tensor f = Tensor::full({4}, 2.5f);
+  EXPECT_FLOAT_EQ(f.at(3), 2.5f);
+  EXPECT_FLOAT_EQ(f.abs_mean(), 2.5f);
+}
+
+TEST(Tensor, DeterministicRandomInit) {
+  util::Rng a(123);
+  util::Rng b(123);
+  const Tensor ta = Tensor::randn({100}, a);
+  const Tensor tb = Tensor::randn({100}, b);
+  for (int64_t i = 0; i < ta.numel(); ++i) {
+    EXPECT_FLOAT_EQ(ta.at(i), tb.at(i));
+  }
+}
+
+TEST(Tensor, UniformRange) {
+  util::Rng rng(7);
+  const Tensor t = Tensor::uniform({1000}, rng, -0.8, 0.8);
+  EXPECT_LE(t.abs_max(), 0.8f);
+  EXPECT_NEAR(t.abs_mean(), 0.4, 0.05);  // E|U(-0.8,0.8)| = 0.4
+}
+
+TEST(Tensor, PruneSmallestZeroesTheRightFraction) {
+  util::Rng rng(9);
+  Tensor t = Tensor::randn({1000}, rng);
+  t.prune_smallest(0.3);
+  EXPECT_NEAR(t.sparsity(), 0.3, 0.02);
+  // The surviving values are the large-magnitude ones.
+  float smallest_kept = 1e9f;
+  for (float v : t.data()) {
+    if (v != 0.0f) smallest_kept = std::min(smallest_kept, std::abs(v));
+  }
+  EXPECT_GT(smallest_kept, 0.0f);
+}
+
+TEST(Tensor, PruneEdgeCases) {
+  util::Rng rng(9);
+  Tensor t = Tensor::randn({100}, rng);
+  t.prune_smallest(0.0);
+  EXPECT_DOUBLE_EQ(t.sparsity(), 0.0);
+  t.prune_smallest(1.0);
+  EXPECT_DOUBLE_EQ(t.sparsity(), 1.0);
+}
+
+TEST(Tensor, NormalizeTo) {
+  util::Rng rng(11);
+  Tensor t = Tensor::randn({100}, rng, 0.0, 5.0);
+  t.normalize_to(1.0f);
+  EXPECT_NEAR(t.abs_max(), 1.0f, 1e-6);
+  Tensor z = Tensor::zeros({10});
+  z.normalize_to(1.0f);  // no-op, no NaNs
+  EXPECT_DOUBLE_EQ(z.abs_max(), 0.0);
+}
+
+TEST(Tensor, AtBoundsChecked) {
+  Tensor t({3});
+  EXPECT_THROW((void)t.at(3), std::out_of_range);
+  EXPECT_THROW((void)std::as_const(t).at(-1), std::out_of_range);
+}
+
+class PruneSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PruneSweep, SparsityTracksRatio) {
+  util::Rng rng(31);
+  Tensor t = Tensor::randn({2000}, rng);
+  t.prune_smallest(GetParam());
+  EXPECT_NEAR(t.sparsity(), GetParam(), 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ratios, PruneSweep,
+                         ::testing::Values(0.1, 0.25, 0.5, 0.75, 0.9));
+
+}  // namespace
+}  // namespace simphony::workload

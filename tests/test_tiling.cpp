@@ -1,0 +1,110 @@
+#include "dataflow/tiling.h"
+
+#include <gtest/gtest.h>
+
+#include "arch/prebuilt.h"
+#include "workload/model.h"
+
+namespace simphony::dataflow {
+namespace {
+
+devlib::DeviceLibrary g_lib = devlib::DeviceLibrary::standard();
+
+workload::GemmWorkload gemm(int n, int d, int m) {
+  const workload::Model model = workload::single_gemm_model(n, d, m);
+  workload::GemmWorkload g = workload::gemm_of_layer(model.layers.front());
+  return g;
+}
+
+TEST(Tiling, OutputStationaryTileExtents) {
+  arch::ArchParams p;  // R=2,C=2,H=W=4,L=4
+  const arch::SubArchitecture sub(arch::tempo_template(), p, g_lib);
+  const workload::Model model = workload::single_gemm_model(280, 28, 280);
+  const Tiling t =
+      tile_gemm(sub, workload::gemm_of_layer(model.layers.front()));
+  EXPECT_EQ(t.n_tile, 8);   // R*H
+  EXPECT_EQ(t.m_tile, 4);   // W
+  EXPECT_EQ(t.d_tile, 8);   // C*L
+  EXPECT_EQ(t.n_blocks, 35);
+  EXPECT_EQ(t.m_blocks, 70);
+  EXPECT_EQ(t.d_blocks, 4);
+  EXPECT_EQ(t.total_blocks(), 35 * 70 * 4);
+}
+
+TEST(Tiling, WeightStationaryTileExtents) {
+  arch::ArchParams p;
+  p.wavelengths = 2;
+  const arch::SubArchitecture sub(arch::scatter_template(), p, g_lib);
+  const workload::Model model = workload::single_gemm_model(100, 27, 64);
+  const Tiling t =
+      tile_gemm(sub, workload::gemm_of_layer(model.layers.front()));
+  EXPECT_EQ(t.n_tile, 2);  // L rows per cycle
+  EXPECT_EQ(t.d_tile, 4);  // H
+  EXPECT_EQ(t.m_tile, 4);  // W
+  EXPECT_EQ(t.d_blocks, 7);
+  EXPECT_EQ(t.m_blocks, 16);
+}
+
+TEST(Tiling, ExactDivisionHasNoPadding) {
+  arch::ArchParams p;
+  const arch::SubArchitecture sub(arch::tempo_template(), p, g_lib);
+  const Tiling t = tile_gemm(sub, gemm(16, 16, 16));
+  EXPECT_EQ(t.n_blocks, 2);  // 16 / 8
+  EXPECT_EQ(t.d_blocks, 2);  // 16 / 8
+  EXPECT_EQ(t.m_blocks, 4);  // 16 / 4
+}
+
+TEST(Tiling, TinyGemmStillOneBlock) {
+  arch::ArchParams p;
+  const arch::SubArchitecture sub(arch::tempo_template(), p, g_lib);
+  const Tiling t = tile_gemm(sub, gemm(1, 1, 1));
+  EXPECT_EQ(t.n_blocks, 1);
+  EXPECT_EQ(t.d_blocks, 1);
+  EXPECT_EQ(t.m_blocks, 1);
+}
+
+TEST(LoopNest, OutputStationaryShapeMatchesFig4) {
+  arch::ArchParams p;
+  const arch::SubArchitecture sub(arch::tempo_template(), p, g_lib);
+  const LoopNest nest = loop_nest(sub, gemm(280, 28, 280));
+  ASSERT_EQ(nest.size(), 8u);
+  EXPECT_EQ(nest[0].kind, "for");
+  EXPECT_EQ(nest[2].kind, "temp_accum_for");  // temporal integration
+  EXPECT_EQ(nest[6].kind, "analog_sum");      // photocurrent summation
+  EXPECT_EQ(nest[7].kind, "spectral_for");    // wavelength parallelism
+  EXPECT_EQ(nest[7].extent, 4);
+}
+
+TEST(LoopNest, RenderIsIndentedPseudoCode) {
+  arch::ArchParams p;
+  const arch::SubArchitecture sub(arch::tempo_template(), p, g_lib);
+  const std::string text = render_loop_nest(loop_nest(sub, gemm(8, 8, 8)));
+  EXPECT_NE(text.find("spectral_for lambda in range(4)"), std::string::npos);
+  EXPECT_NE(text.find("\n  for"), std::string::npos);  // indentation
+}
+
+/// Property: blocks x tiles always cover the problem.
+class TilingCoverage : public ::testing::TestWithParam<int> {};
+
+TEST_P(TilingCoverage, BlocksCoverProblem) {
+  const int n = GetParam();
+  arch::ArchParams p;
+  for (const auto& t : {arch::tempo_template(), arch::scatter_template()}) {
+    const arch::SubArchitecture sub(t, p, g_lib);
+    const Tiling tl = tile_gemm(sub, gemm(n, n, n));
+    EXPECT_GE(tl.n_blocks * tl.n_tile, n);
+    EXPECT_GE(tl.d_blocks * tl.d_tile, n);
+    EXPECT_GE(tl.m_blocks * tl.m_tile, n);
+    // No over-covering by more than one tile.
+    EXPECT_LT((tl.n_blocks - 1) * tl.n_tile, n);
+    EXPECT_LT((tl.d_blocks - 1) * tl.d_tile, n);
+    EXPECT_LT((tl.m_blocks - 1) * tl.m_tile, n);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TilingCoverage,
+                         ::testing::Values(1, 3, 7, 8, 9, 16, 28, 100, 280,
+                                           768));
+
+}  // namespace
+}  // namespace simphony::dataflow

@@ -1,0 +1,121 @@
+#include "memory/traffic.h"
+
+#include <gtest/gtest.h>
+
+#include "arch/prebuilt.h"
+#include "workload/model.h"
+
+namespace simphony::memory {
+namespace {
+
+devlib::DeviceLibrary g_lib = devlib::DeviceLibrary::standard();
+
+struct Fixture {
+  arch::SubArchitecture sub;
+  workload::Model model;
+  workload::GemmWorkload gemm;
+  dataflow::DataflowResult mapped;
+  MemoryHierarchy memory;
+
+  explicit Fixture(int n = 280, int d = 28, int m = 280)
+      : sub(arch::tempo_template(), arch::ArchParams{}, g_lib),
+        model(workload::single_gemm_model(n, d, m)),
+        gemm(workload::gemm_of_layer(model.layers.front())),
+        mapped(dataflow::map_gemm(sub, gemm)),
+        memory(build_memory_hierarchy({&sub}, {gemm})) {}
+};
+
+TEST(Traffic, HbmStreamsWeightsOnce) {
+  Fixture f;
+  const TrafficResult r = analyze_traffic(f.sub, f.gemm, f.mapped, f.memory);
+  EXPECT_DOUBLE_EQ(r.hbm_bytes, f.gemm.bytes_b());
+}
+
+TEST(Traffic, GlbIncludesOperandReuseFactor) {
+  Fixture f;
+  const TrafficResult r = analyze_traffic(f.sub, f.gemm, f.mapped, f.memory);
+  // Output-stationary: A once, B re-read per output-row block, out once.
+  const double expected =
+      f.gemm.bytes_a() +
+      f.gemm.bytes_b() * static_cast<double>(f.mapped.tiling.n_blocks) +
+      f.gemm.bytes_out();
+  EXPECT_DOUBLE_EQ(r.glb_bytes, expected);
+}
+
+TEST(Traffic, LbTracksPerCycleFeed) {
+  Fixture f;
+  const TrafficResult r = analyze_traffic(f.sub, f.gemm, f.mapped, f.memory);
+  // 48 bytes/cycle (see memory hierarchy test) x compute cycles.
+  EXPECT_DOUBLE_EQ(r.lb_bytes,
+                   48.0 * static_cast<double>(f.mapped.compute_cycles));
+  EXPECT_GT(r.rf_bytes, r.lb_bytes);  // adds the accumulator feed
+}
+
+TEST(Traffic, EnergyUsesPerLevelCosts) {
+  Fixture f;
+  const TrafficResult r = analyze_traffic(f.sub, f.gemm, f.mapped, f.memory);
+  EXPECT_NEAR(r.energy_pJ.at("HBM"),
+              r.hbm_bytes * 8.0 * f.memory.hbm.read_energy_pJ_per_bit,
+              1e-6);
+  EXPECT_NEAR(r.energy_pJ.at("GLB"),
+              r.glb_bytes * 8.0 * f.memory.glb.read_energy_pJ_per_bit,
+              1e-6);
+  EXPECT_GT(r.total_energy_pJ(), 0.0);
+  EXPECT_NEAR(r.total_energy_pJ(),
+              r.energy_pJ.at("HBM") + r.energy_pJ.at("GLB") +
+                  r.energy_pJ.at("LB") + r.energy_pJ.at("RF"),
+              1e-6);
+}
+
+TEST(Traffic, WeightStationaryReusesWeights) {
+  arch::ArchParams p;
+  p.wavelengths = 1;
+  const arch::SubArchitecture scatter(arch::scatter_template(), p, g_lib);
+  workload::Model model = workload::single_gemm_model(100, 16, 16);
+  const workload::GemmWorkload g =
+      workload::gemm_of_layer(model.layers.front());
+  const auto mapped = dataflow::map_gemm(scatter, g);
+  const auto memory = build_memory_hierarchy({&scatter}, {g});
+  const TrafficResult r = analyze_traffic(scatter, g, mapped, memory);
+  // Weights fetched once; activations re-streamed per weight-column block.
+  const double expected =
+      g.bytes_b() +
+      g.bytes_a() * static_cast<double>(mapped.tiling.m_blocks) +
+      g.bytes_out();
+  EXPECT_DOUBLE_EQ(r.glb_bytes, expected);
+}
+
+TEST(Traffic, BiggerGemmMovesMoreData) {
+  Fixture small(64, 16, 64);
+  Fixture big(256, 64, 256);
+  const TrafficResult rs =
+      analyze_traffic(small.sub, small.gemm, small.mapped, small.memory);
+  const TrafficResult rb =
+      analyze_traffic(big.sub, big.gemm, big.mapped, big.memory);
+  EXPECT_GT(rb.total_bytes(), rs.total_bytes());
+  EXPECT_GT(rb.total_energy_pJ(), rs.total_energy_pJ());
+}
+
+TEST(Traffic, RangePenaltyMultipliesOnChipTraffic) {
+  arch::ArchParams p;
+  p.wavelengths = 1;
+  const arch::SubArchitecture mrr(arch::mrr_bank_template(), p, g_lib);
+  workload::Model model = workload::single_gemm_model(64, 16, 16);
+  const workload::GemmWorkload g =
+      workload::gemm_of_layer(model.layers.front());
+  const auto mapped = dataflow::map_gemm(mrr, g);  // I = 2
+  const auto memory = build_memory_hierarchy({&mrr}, {g});
+  const TrafficResult r = analyze_traffic(mrr, g, mapped, memory);
+  EXPECT_EQ(mapped.range_penalty_I, 2);
+  // LB feed counts the I-repeated streaming.
+  EXPECT_DOUBLE_EQ(
+      r.lb_bytes,
+      (static_cast<double>(mapped.tiling.n_tile) * mapped.tiling.d_tile *
+           g.input_bits +
+       static_cast<double>(mapped.tiling.d_tile) * mapped.tiling.m_tile *
+           g.weight_bits) /
+          8.0 * static_cast<double>(mapped.compute_cycles));
+}
+
+}  // namespace
+}  // namespace simphony::memory

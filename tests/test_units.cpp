@@ -1,0 +1,65 @@
+#include "util/units.h"
+
+#include <gtest/gtest.h>
+
+namespace simphony::util {
+namespace {
+
+TEST(Units, AreaConversions) {
+  EXPECT_DOUBLE_EQ(um2_to_mm2(1.0e6), 1.0);
+  EXPECT_DOUBLE_EQ(mm2_to_um2(0.5), 5.0e5);
+  EXPECT_DOUBLE_EQ(um2_to_mm2(mm2_to_um2(3.7)), 3.7);
+}
+
+TEST(Units, EnergyConversions) {
+  EXPECT_DOUBLE_EQ(fJ_to_pJ(1000.0), 1.0);
+  EXPECT_DOUBLE_EQ(pJ_to_nJ(1000.0), 1.0);
+  EXPECT_DOUBLE_EQ(pJ_to_uJ(1.0e6), 1.0);
+  EXPECT_DOUBLE_EQ(nJ_to_pJ(1.0), 1000.0);
+  EXPECT_DOUBLE_EQ(uJ_to_pJ(1.0), 1.0e6);
+}
+
+TEST(Units, PowerTimesTimeIsEnergy) {
+  // 1 mW for 1 ns = 1 pJ.
+  EXPECT_DOUBLE_EQ(energy_pJ(1.0, 1.0), 1.0);
+  // 20 mW for 2 us = 40 nJ = 40000 pJ.
+  EXPECT_DOUBLE_EQ(energy_pJ(20.0, 2000.0), 40000.0);
+}
+
+TEST(Units, FrequencyPeriod) {
+  EXPECT_DOUBLE_EQ(period_ns(5.0), 0.2);
+  EXPECT_DOUBLE_EQ(period_ns(1.0), 1.0);
+}
+
+TEST(Units, DecibelAlgebra) {
+  EXPECT_NEAR(ratio_to_dB(10.0), 10.0, 1e-12);
+  EXPECT_NEAR(ratio_to_dB(2.0), 3.0103, 1e-4);
+  EXPECT_NEAR(dB_to_ratio(3.0103), 2.0, 1e-4);
+  EXPECT_NEAR(dB_to_ratio(ratio_to_dB(7.3)), 7.3, 1e-12);
+}
+
+TEST(Units, DbmConversions) {
+  EXPECT_NEAR(mW_to_dBm(1.0), 0.0, 1e-12);
+  EXPECT_NEAR(mW_to_dBm(100.0), 20.0, 1e-12);
+  EXPECT_NEAR(dBm_to_mW(-30.0), 0.001, 1e-12);
+  EXPECT_NEAR(dBm_to_mW(mW_to_dBm(42.0)), 42.0, 1e-9);
+}
+
+TEST(Units, WattConversions) {
+  EXPECT_DOUBLE_EQ(mW_to_W(1500.0), 1.5);
+  EXPECT_DOUBLE_EQ(W_to_mW(2.5), 2500.0);
+}
+
+class DbRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(DbRoundTrip, RatioToDbAndBack) {
+  const double ratio = GetParam();
+  EXPECT_NEAR(dB_to_ratio(ratio_to_dB(ratio)), ratio, ratio * 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ratios, DbRoundTrip,
+                         ::testing::Values(0.001, 0.1, 0.5, 1.0, 2.0, 16.0,
+                                           256.0, 1e6));
+
+}  // namespace
+}  // namespace simphony::util

@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include "arch/link_budget.h"
+#include "arch/prebuilt.h"
+#include "core/simulator.h"
+#include "workload/gemm.h"
+
+namespace simphony::arch {
+namespace {
+
+devlib::DeviceLibrary g_lib = devlib::DeviceLibrary::standard();
+
+TEST(WdmLink, TaxonomyIsIncoherentTwoForward) {
+  const PtcTemplate t = wdm_link_template();
+  EXPECT_EQ(t.taxonomy.forwards(), 2);  // R+ inputs, full-range weights
+  EXPECT_FALSE(t.taxonomy.supports_dynamic_tensor_product());
+  EXPECT_FALSE(t.output_stationary);
+}
+
+TEST(WdmLink, SingleLinkScaling) {
+  // One waveguide per (tile, core): taps scale with H only; a single PD
+  // chain per link.
+  ArchParams p;
+  p.tiles = 1;
+  p.cores_per_tile = 1;
+  p.core_height = 9;  // kernel taps
+  p.core_width = 1;
+  p.wavelengths = 9;
+  const SubArchitecture sub(wdm_link_template(), p, g_lib);
+  EXPECT_EQ(sub.count_of("tap"), 9);
+  EXPECT_EQ(sub.count_of("pd"), 1);
+  EXPECT_EQ(sub.count_of("adc"), 1);
+  EXPECT_EQ(sub.count_of("mod_in"), 1);  // one fast MZM per link
+}
+
+TEST(WdmLink, CriticalPathTraversesAllTaps) {
+  ArchParams p;
+  p.tiles = 1;
+  p.cores_per_tile = 1;
+  p.core_height = 8;
+  p.core_width = 1;
+  const SubArchitecture sub(wdm_link_template(), p, g_lib);
+  const LinkBudgetReport r = analyze_link_budget(sub);
+  // coupler 1.5 + mzm 1.2 + 8 rings x 0.5 = 6.7 dB minimum.
+  EXPECT_GE(r.critical_path_loss_dB, 6.7 - 1e-9);
+}
+
+TEST(WdmLink, RunsAConvWorkloadEndToEnd) {
+  ArchParams p;
+  p.tiles = 2;
+  p.cores_per_tile = 2;
+  p.core_height = 9;
+  p.core_width = 1;
+  p.wavelengths = 9;
+  Architecture a("wdm");
+  a.add_subarch(SubArchitecture(wdm_link_template(), p, g_lib));
+  core::Simulator sim(std::move(a));
+  const workload::Model model = workload::single_gemm_model(1024, 9, 16);
+  const core::LayerReport r =
+      sim.simulate_gemm(0, workload::gemm_of_layer(model.layers.front()));
+  EXPECT_EQ(r.dataflow.range_penalty_I, 2);
+  EXPECT_GT(r.energy_pJ(), 0.0);
+  EXPECT_GT(r.dataflow.total_cycles, 0);
+}
+
+}  // namespace
+}  // namespace simphony::arch
