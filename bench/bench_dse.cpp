@@ -1,0 +1,112 @@
+// Benchmarks of the DSE engine (core/dse.h): serial vs. thread-pooled
+// design-point evaluation on a 3-axis sweep, the effect of the
+// duplicate-point evaluation cache, and the O(n log n) Pareto frontier
+// sweep on synthetic point clouds.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "arch/prebuilt.h"
+#include "core/dse.h"
+#include "util/rng.h"
+#include "workload/model.h"
+
+namespace {
+
+using namespace simphony;
+
+const devlib::DeviceLibrary& standard_lib() {
+  static devlib::DeviceLibrary lib = devlib::DeviceLibrary::standard();
+  return lib;
+}
+
+const workload::Model& mlp_model() {
+  static workload::Model model = workload::mlp_mnist();
+  return model;
+}
+
+/// 4 tiles x 4 core sizes x 13 wavelengths = 208 distinct design points.
+core::DseSpace sweep_3axis() {
+  core::DseSpace space;
+  space.tiles = {1, 2, 4, 8};
+  space.core_sizes = {2, 4, 6, 8};
+  for (int wavelengths = 1; wavelengths <= 13; ++wavelengths) {
+    space.wavelengths.push_back(wavelengths);
+  }
+  return space;
+}
+
+void BM_ExploreSerial(benchmark::State& state) {
+  const core::DseSpace space = sweep_3axis();
+  core::DseOptions options;
+  options.num_threads = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::explore(
+        arch::tempo_template(), standard_lib(), mlp_model(), space, options));
+  }
+  state.counters["points"] =
+      static_cast<double>(space.enumerate().size());
+}
+BENCHMARK(BM_ExploreSerial)->Unit(benchmark::kMillisecond);
+
+void BM_ExploreParallel(benchmark::State& state) {
+  const core::DseSpace space = sweep_3axis();
+  core::DseOptions options;
+  options.num_threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::explore(
+        arch::tempo_template(), standard_lib(), mlp_model(), space, options));
+  }
+  state.counters["points"] =
+      static_cast<double>(space.enumerate().size());
+}
+BENCHMARK(BM_ExploreParallel)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(0)  // 0 = one worker per hardware thread
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/// Duplicate sweep values: the cache collapses 4x redundancy to one
+/// evaluation per distinct point.
+void BM_ExploreCachedDuplicates(benchmark::State& state) {
+  core::DseSpace space = sweep_3axis();
+  space.tiles = {1, 2, 1, 2, 1, 2, 1, 2};
+  space.core_sizes = {4, 8, 4, 8};
+  core::DseOptions options;
+  options.num_threads = 1;
+  options.cache = state.range(0) != 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::explore(
+        arch::tempo_template(), standard_lib(), mlp_model(), space, options));
+  }
+}
+BENCHMARK(BM_ExploreCachedDuplicates)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ParetoFrontier(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  util::Rng rng(7);
+  std::vector<core::DsePoint> base(n);
+  for (auto& p : base) {
+    p.energy_pJ = rng.uniform(1.0, 1000.0);
+    p.latency_ns = rng.uniform(1.0, 1000.0);
+    p.area_mm2 = rng.uniform(1.0, 1000.0);
+  }
+  for (auto _ : state) {
+    std::vector<core::DsePoint> points = base;
+    core::mark_pareto_frontier(points);
+    benchmark::DoNotOptimize(points);
+  }
+  state.SetComplexityN(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_ParetoFrontier)
+    ->RangeMultiplier(4)
+    ->Range(256, 65536)
+    ->Complexity(benchmark::oNLogN);
+
+}  // namespace
+
+BENCHMARK_MAIN();

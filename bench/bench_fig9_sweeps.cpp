@@ -5,10 +5,14 @@
 //       stays ~constant because the MZM count scales with #wavelengths.
 //   (b) energy vs. input/weight/output bitwidth (2..8): a clear upward
 //       trend (DAC ~linear, ADC ~2^b, laser ~2^b_in).
+// A third section crosses both axes at once through the parallel DSE
+// engine (core/dse.h) and reports the Pareto frontier plus wall-clock.
+#include <chrono>
 #include <cstdio>
 #include <iostream>
 
 #include "arch/prebuilt.h"
+#include "core/dse.h"
 #include "core/simulator.h"
 #include "util/table.h"
 #include "workload/onn_convert.h"
@@ -75,6 +79,35 @@ int main() {
   }
   std::cout << sweep_b.render();
   std::cout << "expected shape: monotonically increasing total energy with "
-               "bitwidth\n";
+               "bitwidth\n\n";
+
+  std::cout << "=== wavelengths x input/weight bits x output bits "
+               "cross-sweep via the parallel DSE engine ===\n";
+  workload::Model model = workload::single_gemm_model(280, 28, 280);
+  workload::convert_model_in_place(model);
+  core::DseSpace space;
+  space.base = params;
+  for (int wavelengths = 1; wavelengths <= 7; ++wavelengths) {
+    space.wavelengths.push_back(wavelengths);
+  }
+  for (int bits = 2; bits <= 8; ++bits) {
+    space.input_bits.push_back(bits);
+    space.output_bits.push_back(bits);  // the (b) diagonal lives in the grid
+  }
+
+  core::DseOptions options;  // num_threads = 0: one worker per hw thread
+  const auto t0 = std::chrono::steady_clock::now();
+  const core::DseResult result = core::explore(
+      arch::tempo_template(), devlib::DeviceLibrary::standard(), model,
+      space, options);
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+  const core::DsePoint& best = result.best_edap();
+  std::cout << result.points.size() << " points explored in "
+            << util::Table::fmt(ms, 1) << " ms, "
+            << result.frontier().size()
+            << " Pareto-optimal; best EDAP at L=" << best.params.wavelengths
+            << " bits=" << best.params.input_bits << "\n";
   return 0;
 }

@@ -4,6 +4,10 @@
 //     --model vgg8|resnet20|bert|mlp|gemm:NxDxM   (default gemm:280x28x280)
 //     --tiles R --cores C --size H --wavelengths L --clock GHz
 //     --bits in,w,out        operand bitwidths
+//     --sweep AXIS=V1,V2,..  DSE mode: sweep an axis (repeatable); axes are
+//                            tiles|cores|size|wavelengths|bits|output
+//     --threads N            DSE worker threads (0 = all hardware threads)
+//     --no-dse-cache         disable the duplicate-point evaluation cache
 //     --json | --csv         machine-readable output
 //
 // Without a description file the built-in TeMPO template is used; with one
@@ -15,6 +19,7 @@
 
 #include "arch/description.h"
 #include "arch/prebuilt.h"
+#include "core/dse.h"
 #include "core/simulator.h"
 #include "util/table.h"
 #include "workload/onn_convert.h"
@@ -39,10 +44,157 @@ workload::Model parse_model(const std::string& spec) {
   throw std::invalid_argument("unknown --model spec '" + spec + "'");
 }
 
+// Whole-string integer parse: rejects trailing garbage ("4x", "1;2") that
+// bare stoi would silently truncate.
+int parse_int(const std::string& text) {
+  size_t parsed = 0;
+  int value = 0;
+  try {
+    value = std::stoi(text, &parsed);
+  } catch (const std::exception&) {
+    parsed = 0;
+  }
+  if (text.empty() || parsed != text.size()) {
+    throw std::invalid_argument("bad integer '" + text + "'");
+  }
+  return value;
+}
+
+std::vector<int> parse_int_list(const std::string& csv) {
+  std::vector<int> values;
+  std::stringstream stream(csv);
+  std::string item;
+  while (std::getline(stream, item, ',')) values.push_back(parse_int(item));
+  if (values.empty()) {
+    throw std::invalid_argument("empty value list '" + csv + "'");
+  }
+  return values;
+}
+
+void apply_sweep_axis(core::DseSpace& space, const std::string& spec) {
+  const size_t eq = spec.find('=');
+  if (eq == std::string::npos) {
+    throw std::invalid_argument("--sweep expects AXIS=V1,V2,... got '" +
+                                spec + "'");
+  }
+  const std::string axis = spec.substr(0, eq);
+  const std::vector<int> values = parse_int_list(spec.substr(eq + 1));
+  std::vector<int>* target = nullptr;
+  if (axis == "tiles") {
+    target = &space.tiles;
+  } else if (axis == "cores") {
+    target = &space.cores_per_tile;
+  } else if (axis == "size") {
+    target = &space.core_sizes;
+  } else if (axis == "wavelengths") {
+    target = &space.wavelengths;
+  } else if (axis == "bits") {
+    target = &space.input_bits;
+  } else if (axis == "output") {
+    target = &space.output_bits;
+  } else {
+    throw std::invalid_argument("unknown sweep axis '" + axis + "'");
+  }
+  if (!target->empty()) {
+    // Silently replacing the earlier list would sweep a different grid
+    // than the user asked for.
+    throw std::invalid_argument("sweep axis '" + axis +
+                                "' specified twice; give all values in one "
+                                "--sweep");
+  }
+  *target = values;
+}
+
+int run_dse(const arch::PtcTemplate& ptc, const devlib::DeviceLibrary& lib,
+            const workload::Model& model, const core::DseSpace& space,
+            const core::DseOptions& options, bool as_json, bool as_csv) {
+  const core::DseResult result =
+      core::explore(ptc, lib, model, space, options);
+
+  if (as_json) {
+    util::Json points{util::Json::Array{}};
+    for (const auto& pt : result.points) {
+      util::Json j;
+      j["tiles"] = pt.params.tiles;
+      j["cores_per_tile"] = pt.params.cores_per_tile;
+      j["core_height"] = pt.params.core_height;
+      j["core_width"] = pt.params.core_width;
+      j["wavelengths"] = pt.params.wavelengths;
+      j["input_bits"] = pt.params.input_bits;
+      j["weight_bits"] = pt.params.weight_bits;
+      j["output_bits"] = pt.params.output_bits;
+      j["energy_pJ"] = pt.energy_pJ;
+      j["latency_ns"] = pt.latency_ns;
+      j["area_mm2"] = pt.area_mm2;
+      j["power_W"] = pt.power_W;
+      j["tops"] = pt.tops;
+      j["pareto"] = pt.pareto;
+      points.push_back(std::move(j));
+    }
+    util::Json root;
+    root["model"] = model.name;
+    root["arch"] = ptc.name;
+    root["points"] = std::move(points);
+    std::cout << root.dump(2) << "\n";
+    return 0;
+  }
+  if (as_csv) {
+    std::ostringstream csv;
+    csv.precision(12);  // match the JSON writer; 6 digits merges points
+    csv << "tiles,cores,height,width,wavelengths,in_bits,w_bits,out_bits,"
+           "energy_pJ,latency_ns,area_mm2,power_W,tops,pareto\n";
+    for (const auto& pt : result.points) {
+      csv << pt.params.tiles << "," << pt.params.cores_per_tile << ","
+          << pt.params.core_height << "," << pt.params.core_width << ","
+          << pt.params.wavelengths << "," << pt.params.input_bits << ","
+          << pt.params.weight_bits << "," << pt.params.output_bits << ","
+          << pt.energy_pJ << ","
+          << pt.latency_ns << "," << pt.area_mm2 << "," << pt.power_W << ","
+          << pt.tops << "," << (pt.pareto ? 1 : 0) << "\n";
+    }
+    std::cout << csv.str();
+    return 0;
+  }
+
+  std::cout << "== DSE: " << model.name << " on " << ptc.name << " ("
+            << result.points.size() << " points) ==\n";
+  util::Table table({"R", "C", "HxW", "L", "bits(in/w/out)", "energy (uJ)",
+                     "latency (us)", "area (mm^2)", "Pareto"});
+  auto bits_label = [](const arch::ArchParams& p) {
+    return std::to_string(p.input_bits) + "/" +
+           std::to_string(p.weight_bits) + "/" +
+           std::to_string(p.output_bits);
+  };
+  for (const auto& pt : result.points) {
+    table.add_row({std::to_string(pt.params.tiles),
+                   std::to_string(pt.params.cores_per_tile),
+                   std::to_string(pt.params.core_height) + "x" +
+                       std::to_string(pt.params.core_width),
+                   std::to_string(pt.params.wavelengths),
+                   bits_label(pt.params),
+                   util::Table::fmt(pt.energy_pJ * 1e-6, 2),
+                   util::Table::fmt(pt.latency_ns * 1e-3, 2),
+                   util::Table::fmt(pt.area_mm2, 3), pt.pareto ? "*" : ""});
+  }
+  std::cout << table.render();
+  const core::DsePoint& best = result.best_edap();
+  std::cout << result.frontier().size()
+            << " Pareto-optimal point(s); best EDAP at R=" << best.params.tiles
+            << " C=" << best.params.cores_per_tile << " "
+            << best.params.core_height << "x" << best.params.core_width
+            << " L=" << best.params.wavelengths << " bits="
+            << bits_label(best.params) << "\n";
+  return 0;
+}
+
 int run(int argc, char** argv) {
   arch::PtcTemplate ptc = arch::tempo_template();
   arch::ArchParams params;
   std::string model_spec = "gemm:280x28x280";
+  core::DseSpace sweep_space;
+  core::DseOptions dse_options;
+  std::string dse_flag_seen;
+  bool sweeping = false;
   bool as_json = false;
   bool as_csv = false;
 
@@ -57,19 +209,47 @@ int run(int argc, char** argv) {
     if (arg == "--model") {
       model_spec = next();
     } else if (arg == "--tiles") {
-      params.tiles = std::stoi(next());
+      params.tiles = parse_int(next());
     } else if (arg == "--cores") {
-      params.cores_per_tile = std::stoi(next());
+      params.cores_per_tile = parse_int(next());
     } else if (arg == "--size") {
-      params.core_height = params.core_width = std::stoi(next());
+      params.core_height = params.core_width = parse_int(next());
     } else if (arg == "--wavelengths") {
-      params.wavelengths = std::stoi(next());
+      params.wavelengths = parse_int(next());
     } else if (arg == "--clock") {
-      params.clock_GHz = std::stod(next());
+      const std::string value = next();
+      size_t parsed = 0;
+      try {
+        params.clock_GHz = std::stod(value, &parsed);
+      } catch (const std::exception&) {
+        parsed = 0;
+      }
+      if (value.empty() || parsed != value.size()) {
+        throw std::invalid_argument("bad number '" + value +
+                                    "' for --clock");
+      }
     } else if (arg == "--bits") {
-      const std::string bits = next();
-      std::sscanf(bits.c_str(), "%d,%d,%d", &params.input_bits,
-                  &params.weight_bits, &params.output_bits);
+      const std::vector<int> bits = parse_int_list(next());
+      if (bits.size() != 3) {
+        throw std::invalid_argument("--bits expects in,w,out (3 values)");
+      }
+      params.input_bits = bits[0];
+      params.weight_bits = bits[1];
+      params.output_bits = bits[2];
+    } else if (arg == "--sweep") {
+      apply_sweep_axis(sweep_space, next());
+      sweeping = true;
+    } else if (arg == "--threads") {
+      dse_options.num_threads = parse_int(next());
+      if (dse_options.num_threads < 0) {
+        throw std::invalid_argument(
+            "--threads expects a non-negative integer (0 = all hardware "
+            "threads)");
+      }
+      dse_flag_seen = arg;
+    } else if (arg == "--no-dse-cache") {
+      dse_options.cache = false;
+      dse_flag_seen = arg;
     } else if (arg == "--json") {
       as_json = true;
     } else if (arg == "--csv") {
@@ -77,7 +257,10 @@ int run(int argc, char** argv) {
     } else if (arg == "--help") {
       std::cout << "usage: simphony_cli [description.sphy] [--model SPEC] "
                    "[--tiles R] [--cores C] [--size HW] [--wavelengths L] "
-                   "[--clock GHz] [--bits in,w,out] [--json|--csv]\n";
+                   "[--clock GHz] [--bits in,w,out] "
+                   "[--sweep AXIS=V1,V2,...] (axes: tiles|cores|size|"
+                   "wavelengths|bits|output) [--threads N] [--no-dse-cache] "
+                   "[--json|--csv]\n";
       return 0;
     } else if (arg.rfind("--", 0) == 0) {
       throw std::invalid_argument("unknown option " + arg);
@@ -91,9 +274,6 @@ int run(int argc, char** argv) {
   }
 
   devlib::DeviceLibrary lib = devlib::DeviceLibrary::standard();
-  arch::Architecture system(ptc.name);
-  system.add_subarch(arch::SubArchitecture(ptc, params, lib));
-  core::Simulator sim(std::move(system));
 
   workload::Model model = parse_model(model_spec);
   for (auto& layer : model.layers) {
@@ -102,6 +282,21 @@ int run(int argc, char** argv) {
     layer.output_bits = params.output_bits;
   }
   workload::convert_model_in_place(model);
+
+  if (sweeping) {
+    sweep_space.base = params;
+    return run_dse(ptc, lib, model, sweep_space, dse_options, as_json,
+                   as_csv);
+  }
+  if (!dse_flag_seen.empty()) {
+    throw std::invalid_argument(dse_flag_seen +
+                                " only applies to DSE mode; add at least "
+                                "one --sweep axis");
+  }
+
+  arch::Architecture system(ptc.name);
+  system.add_subarch(arch::SubArchitecture(ptc, params, lib));
+  core::Simulator sim(std::move(system));
   const core::ModelReport report =
       sim.simulate_model(model, core::MappingConfig(0));
 

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Runs the perf-trajectory benchmarks (bench_perf, bench_dse) and emits
+# google-benchmark JSON under bench_results/.
+#
+# usage: scripts/bench.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+OUT_DIR="bench_results"
+
+if [[ ! -x "$BUILD_DIR/bench_perf" || ! -x "$BUILD_DIR/bench_dse" ]]; then
+  echo "benchmarks not built — configuring $BUILD_DIR with SIMPHONY_BUILD_BENCH=ON" >&2
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release -DSIMPHONY_BUILD_BENCH=ON
+  cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_perf bench_dse
+fi
+
+mkdir -p "$OUT_DIR"
+for bench in bench_perf bench_dse; do
+  out="$OUT_DIR/$bench.json"
+  echo "== $bench -> $out"
+  "$BUILD_DIR/$bench" \
+    --benchmark_out="$out" \
+    --benchmark_out_format=json \
+    --benchmark_repetitions="${BENCH_REPETITIONS:-1}"
+done
+echo "done: $(ls "$OUT_DIR")"

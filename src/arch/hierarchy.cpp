@@ -16,15 +16,25 @@ util::Env make_env(const ArchParams& p) {
 
 SubArchitecture::SubArchitecture(PtcTemplate ptc_template, ArchParams params,
                                  const devlib::DeviceLibrary& lib)
+    : SubArchitecture(
+          std::make_shared<const PtcTemplate>(std::move(ptc_template)),
+          params, lib) {}
+
+SubArchitecture::SubArchitecture(
+    std::shared_ptr<const PtcTemplate> ptc_template, ArchParams params,
+    const devlib::DeviceLibrary& lib)
     : template_(std::move(ptc_template)), params_(params), lib_(&lib) {
+  if (!template_) {
+    throw std::invalid_argument("sub-architecture needs a PTC template");
+  }
   if (params_.tiles <= 0 || params_.cores_per_tile <= 0 ||
       params_.core_height <= 0 || params_.core_width <= 0 ||
       params_.wavelengths <= 0 || params_.clock_GHz <= 0) {
     throw std::invalid_argument("architecture parameters must be positive");
   }
   const util::Env env = make_env(params_);
-  groups_.reserve(template_.instances.size());
-  for (const auto& spec : template_.instances) {
+  groups_.reserve(template_->instances.size());
+  for (const auto& spec : template_->instances) {
     MaterializedInstance m;
     m.spec = &spec;
     m.count = spec.count.eval_count(env);
@@ -51,7 +61,7 @@ const MaterializedInstance& SubArchitecture::group(
   for (const auto& g : groups_) {
     if (g.spec->name == name) return g;
   }
-  throw std::out_of_range("sub-architecture '" + template_.name +
+  throw std::out_of_range("sub-architecture '" + template_->name +
                           "' has no group '" + name + "'");
 }
 
@@ -70,7 +80,7 @@ long long SubArchitecture::count_of(const std::string& name) const {
 }
 
 long long SubArchitecture::node_count() const {
-  return count_of(template_.node_instance);
+  return count_of(template_->node_instance);
 }
 
 long long SubArchitecture::macs_per_cycle() const {

@@ -21,6 +21,7 @@
 namespace simphony::arch {
 
 /// Concrete parameter point for a sub-architecture.
+/// Equality-comparable so that DSE evaluation caches can key on it.
 struct ArchParams {
   int tiles = 2;           // R
   int cores_per_tile = 2;  // C
@@ -32,6 +33,8 @@ struct ArchParams {
   int input_bits = 4;   // activation encoding resolution (DAC A / laser)
   int weight_bits = 4;  // weight encoding resolution (DAC B / cells)
   int output_bits = 8;  // ADC resolution
+
+  [[nodiscard]] bool operator==(const ArchParams&) const = default;
 };
 
 /// Builds the expression environment for scaling rules.
@@ -46,15 +49,22 @@ struct MaterializedInstance {
 };
 
 /// A PtcTemplate instantiated at a parameter point against a device library.
+///
+/// The template is held behind a shared_ptr so that many sub-architectures
+/// (e.g. every point of a DSE sweep) can share one immutable template
+/// instead of deep-copying it, and so that copies of a SubArchitecture
+/// never invalidate the `MaterializedInstance::spec` pointers into it.
 class SubArchitecture {
  public:
   SubArchitecture(PtcTemplate ptc_template, ArchParams params,
                   const devlib::DeviceLibrary& lib);
+  SubArchitecture(std::shared_ptr<const PtcTemplate> ptc_template,
+                  ArchParams params, const devlib::DeviceLibrary& lib);
 
-  [[nodiscard]] const PtcTemplate& ptc() const { return template_; }
+  [[nodiscard]] const PtcTemplate& ptc() const { return *template_; }
   [[nodiscard]] const ArchParams& params() const { return params_; }
   [[nodiscard]] const devlib::DeviceLibrary& library() const { return *lib_; }
-  [[nodiscard]] const std::string& name() const { return template_.name; }
+  [[nodiscard]] const std::string& name() const { return template_->name; }
 
   /// All materialized groups in template order.
   [[nodiscard]] const std::vector<MaterializedInstance>& groups() const {
@@ -77,7 +87,7 @@ class SubArchitecture {
   [[nodiscard]] long long macs_per_cycle() const;
 
  private:
-  PtcTemplate template_;
+  std::shared_ptr<const PtcTemplate> template_;
   ArchParams params_;
   const devlib::DeviceLibrary* lib_;
   std::vector<MaterializedInstance> groups_;

@@ -1,23 +1,137 @@
 #include "core/dse.h"
 
+#include <algorithm>
+#include <atomic>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <numeric>
 #include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+#include "util/hash.h"
+#include "util/thread_pool.h"
+#include "workload/gemm.h"
 
 namespace simphony::core {
 
 namespace {
 
-bool dominates(const DsePoint& a, const DsePoint& b) {
-  return a.energy_pJ <= b.energy_pJ && a.latency_ns <= b.latency_ns &&
-         a.area_mm2 <= b.area_mm2 &&
-         (a.energy_pJ < b.energy_pJ || a.latency_ns < b.latency_ns ||
-          a.area_mm2 < b.area_mm2);
-}
-
 std::vector<int> axis_or(const std::vector<int>& axis, int fallback) {
   return axis.empty() ? std::vector<int>{fallback} : axis;
 }
 
+struct ParamsHash {
+  size_t operator()(const arch::ArchParams& p) const {
+    size_t seed = 0;
+    util::hash_combine_value(seed, p.tiles);
+    util::hash_combine_value(seed, p.cores_per_tile);
+    util::hash_combine_value(seed, p.core_height);
+    util::hash_combine_value(seed, p.core_width);
+    util::hash_combine_value(seed, p.wavelengths);
+    util::hash_combine_value(seed, p.clock_GHz);
+    util::hash_combine_value(seed, p.input_bits);
+    util::hash_combine_value(seed, p.weight_bits);
+    util::hash_combine_value(seed, p.output_bits);
+    return seed;
+  }
+};
+
+/// Costs one parameter point.  All heavyweight inputs (template, library,
+/// extracted GEMMs) are shared immutably across concurrent callers; the
+/// only per-point allocations are the materialized sub-architecture and a
+/// vector of small GemmWorkload records whose weight tensors still point
+/// into the caller's Model.
+DsePoint evaluate_point(
+    const std::shared_ptr<const arch::PtcTemplate>& ptc_template,
+    const devlib::DeviceLibrary& lib,
+    const std::vector<workload::GemmWorkload>& base_gemms,
+    const std::string& model_name, const arch::ArchParams& params,
+    bool override_input_bits, bool override_output_bits) {
+  arch::Architecture system("dse-" + ptc_template->name);
+  system.add_subarch(arch::SubArchitecture(ptc_template, params, lib));
+  const Simulator sim(std::move(system));
+
+  ModelReport report;
+  if (!override_input_bits && !override_output_bits) {
+    report = sim.simulate_gemms(base_gemms, MappingConfig(0), model_name);
+  } else {
+    std::vector<workload::GemmWorkload> gemms = base_gemms;
+    for (auto& gemm : gemms) {
+      // Only an explicitly swept bits axis overrides the per-layer operand
+      // resolutions the model carries.
+      if (override_input_bits) {
+        gemm.input_bits = params.input_bits;
+        gemm.weight_bits = params.weight_bits;
+      }
+      if (override_output_bits) gemm.output_bits = params.output_bits;
+    }
+    report = sim.simulate_gemms(gemms, MappingConfig(0), model_name);
+  }
+
+  DsePoint point;
+  point.params = params;
+  point.energy_pJ = report.total_energy.total_pJ();
+  point.latency_ns = report.total_runtime_ns;
+  point.area_mm2 = report.total_area_mm2();
+  point.power_W = report.average_power_W();
+  point.tops = report.tops();
+  return point;
+}
+
 }  // namespace
+
+std::vector<arch::ArchParams> DseSpace::enumerate() const {
+  for (int hw : core_sizes) {
+    if (hw <= 0) {
+      throw std::invalid_argument("core_sizes values must be positive");
+    }
+  }
+  for (int bits : input_bits) {
+    if (bits <= 0) {
+      throw std::invalid_argument("input_bits values must be positive");
+    }
+  }
+  for (int bits : output_bits) {
+    if (bits <= 0) {
+      throw std::invalid_argument("output_bits values must be positive");
+    }
+  }
+  std::vector<arch::ArchParams> grid;
+  // 0 marks "axis not swept" (rejected above as a user value): the base
+  // core_height/core_width pair is kept as-is so a non-square base
+  // architecture survives other sweeps, and per-layer output bits stay
+  // with the workload.
+  for (int tiles : axis_or(this->tiles, base.tiles)) {
+    for (int cores : axis_or(cores_per_tile, base.cores_per_tile)) {
+      for (int hw : axis_or(core_sizes, 0)) {
+        for (int lambda : axis_or(wavelengths, base.wavelengths)) {
+          for (int bits : axis_or(input_bits, 0)) {
+            for (int out_bits : axis_or(output_bits, 0)) {
+              arch::ArchParams p = base;
+              p.tiles = tiles;
+              p.cores_per_tile = cores;
+              if (hw > 0) {
+                p.core_height = hw;
+                p.core_width = hw;
+              }
+              p.wavelengths = lambda;
+              if (bits > 0) {
+                p.input_bits = bits;
+                p.weight_bits = bits;
+              }  // unswept: keep base input/weight bits, which may differ
+              if (out_bits > 0) p.output_bits = out_bits;
+              grid.push_back(p);
+            }
+          }
+        }
+      }
+    }
+  }
+  return grid;
+}
 
 std::vector<DsePoint> DseResult::frontier() const {
   std::vector<DsePoint> out;
@@ -36,63 +150,184 @@ const DsePoint& DseResult::best_edap() const {
   return *best;
 }
 
+void mark_pareto_frontier(std::vector<DsePoint>& points) {
+  const size_t n = points.size();
+  if (n == 0) return;
+
+  // Sort indices lexicographically by (energy, latency, area) ascending.
+  // Every point processed before p then has energy <= p's, so p is
+  // dominated iff an earlier point with a *different* objective triple has
+  // latency <= p's and area <= p's (lexicographic order makes at least one
+  // inequality strict).
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    const DsePoint& pa = points[a];
+    const DsePoint& pb = points[b];
+    if (pa.energy_pJ != pb.energy_pJ) return pa.energy_pJ < pb.energy_pJ;
+    if (pa.latency_ns != pb.latency_ns) return pa.latency_ns < pb.latency_ns;
+    return pa.area_mm2 < pb.area_mm2;
+  });
+
+  // Staircase of processed non-dominated points: latency -> area, strictly
+  // increasing latency mapped to strictly decreasing area, so the entry
+  // with the largest latency <= L holds the minimum area over all
+  // processed points with latency <= L.
+  std::map<double, double> staircase;
+  size_t i = 0;
+  while (i < n) {
+    const DsePoint& p = points[order[i]];
+    // Points with identical objective triples never dominate each other:
+    // process them as one group so each copy gets the same verdict.
+    size_t j = i;
+    while (j < n) {
+      const DsePoint& q = points[order[j]];
+      if (q.energy_pJ != p.energy_pJ || q.latency_ns != p.latency_ns ||
+          q.area_mm2 != p.area_mm2) {
+        break;
+      }
+      ++j;
+    }
+
+    bool dominated = false;
+    auto it = staircase.upper_bound(p.latency_ns);
+    if (it != staircase.begin() &&
+        std::prev(it)->second <= p.area_mm2) {
+      dominated = true;
+    }
+    for (size_t k = i; k < j; ++k) points[order[k]].pareto = !dominated;
+
+    if (!dominated) {
+      // Entries this point covers (latency >= and area >=) add nothing for
+      // later queries; drop them to keep the staircase monotone.
+      auto at = staircase.lower_bound(p.latency_ns);
+      while (at != staircase.end() && at->second >= p.area_mm2) {
+        at = staircase.erase(at);
+      }
+      staircase.emplace(p.latency_ns, p.area_mm2);
+    }
+    i = j;
+  }
+}
+
+DseResult explore(const arch::PtcTemplate& ptc_template,
+                  const devlib::DeviceLibrary& lib,
+                  const workload::Model& model, const DseSpace& space,
+                  const DseOptions& options,
+                  const std::function<void(const DsePoint&)>& progress) {
+  const std::vector<arch::ArchParams> grid = space.enumerate();
+  const bool override_input_bits = !space.input_bits.empty();
+  const bool override_output_bits = !space.output_bits.empty();
+
+  // Hoisted per-point invariants: one shared template, one GEMM extraction.
+  const auto shared_template =
+      std::make_shared<const arch::PtcTemplate>(ptc_template);
+  const std::vector<workload::GemmWorkload> base_gemms =
+      workload::extract_gemms(model);
+
+  // Collapse duplicate parameter points: eval_of[g] is the slot in
+  // `evaluated` holding grid point g's result; only the first occurrence
+  // of each distinct ArchParams is actually simulated.
+  std::vector<size_t> eval_of(grid.size());
+  std::vector<size_t> unique_grid_index;
+  if (options.cache) {
+    std::unordered_map<arch::ArchParams, size_t, ParamsHash> slot_of_params;
+    slot_of_params.reserve(grid.size());
+    for (size_t g = 0; g < grid.size(); ++g) {
+      const auto [it, inserted] =
+          slot_of_params.try_emplace(grid[g], unique_grid_index.size());
+      if (inserted) unique_grid_index.push_back(g);
+      eval_of[g] = it->second;
+    }
+  } else {
+    unique_grid_index.resize(grid.size());
+    std::iota(unique_grid_index.begin(), unique_grid_index.end(), size_t{0});
+    std::iota(eval_of.begin(), eval_of.end(), size_t{0});
+  }
+
+  const int requested = options.num_threads;
+  // More workers than unique points would just be idle threads (or a
+  // resource-exhaustion failure for absurd requests); clamp.
+  const unsigned pool_threads = std::min<unsigned>(
+      requested <= 0 ? util::ThreadPool::hardware_threads()
+                     : static_cast<unsigned>(requested),
+      static_cast<unsigned>(
+          std::min<size_t>(unique_grid_index.size(), 1024)));
+  const int progress_every = std::max(1, options.progress_every);
+
+  std::mutex progress_mutex;
+  size_t completed = 0;
+  auto report_progress = [&](const DsePoint& point) {
+    if (!progress) return;
+    std::lock_guard<std::mutex> lock(progress_mutex);
+    if (++completed % static_cast<size_t>(progress_every) == 0) {
+      progress(point);
+    }
+  };
+
+  // Evaluate the unique points.  Results are written to indexed slots, so
+  // the assembled order below is the grid order no matter which worker
+  // finishes first; a given point runs the same instruction sequence on
+  // any thread, so results are bit-identical across thread counts.
+  std::vector<DsePoint> evaluated(unique_grid_index.size());
+  {
+    // Everything the tasks touch must outlive the pool: workers are only
+    // joined by the pool's destructor, so `failed` (and `pending`) have to
+    // be declared before it to survive an exception unwinding this block.
+    std::atomic<bool> failed{false};
+    std::vector<std::future<void>> pending;
+    // 1 thread means "serial": run on the calling thread via the pool's
+    // inline mode rather than paying for a worker + queue.
+    util::ThreadPool pool(pool_threads <= 1 ? 0 : pool_threads);
+    pending.reserve(unique_grid_index.size());
+    for (size_t u = 0; u < unique_grid_index.size(); ++u) {
+      // One failed point fails the whole sweep: stop feeding the pool (and,
+      // in inline mode, stop evaluating) as soon as any task has thrown.
+      if (failed.load(std::memory_order_relaxed)) break;
+      pending.push_back(pool.submit([&, u] {
+        try {
+          evaluated[u] = evaluate_point(shared_template, lib, base_gemms,
+                                        model.name,
+                                        grid[unique_grid_index[u]],
+                                        override_input_bits,
+                                        override_output_bits);
+          report_progress(evaluated[u]);  // a throwing callback also aborts
+        } catch (...) {
+          failed.store(true, std::memory_order_relaxed);
+          throw;  // lands in this task's future
+        }
+      }));
+    }
+    try {
+      for (auto& f : pending) f.get();  // rethrows worker exceptions
+    } catch (...) {
+      // Drop everything still queued so the error reaches the caller now,
+      // not after the remaining grid.
+      pool.cancel();
+      throw;
+    }
+  }
+
+  DseResult result;
+  result.points.reserve(grid.size());
+  for (size_t g = 0; g < grid.size(); ++g) {
+    result.points.push_back(evaluated[eval_of[g]]);
+    // Cache hits complete here, not on a worker; count them for progress
+    // so callers see every grid point exactly once.
+    if (options.cache && unique_grid_index[eval_of[g]] != g) {
+      report_progress(result.points.back());
+    }
+  }
+
+  mark_pareto_frontier(result.points);
+  return result;
+}
+
 DseResult explore(const arch::PtcTemplate& ptc_template,
                   const devlib::DeviceLibrary& lib,
                   const workload::Model& model, const DseSpace& space,
                   const std::function<void(const DsePoint&)>& progress) {
-  DseResult result;
-  for (int tiles : axis_or(space.tiles, space.base.tiles)) {
-    for (int cores : axis_or(space.cores_per_tile,
-                             space.base.cores_per_tile)) {
-      for (int hw : axis_or(space.core_sizes, space.base.core_height)) {
-        for (int lambda : axis_or(space.wavelengths,
-                                  space.base.wavelengths)) {
-          for (int bits : axis_or(space.input_bits, space.base.input_bits)) {
-            arch::ArchParams p = space.base;
-            p.tiles = tiles;
-            p.cores_per_tile = cores;
-            p.core_height = hw;
-            p.core_width = hw;
-            p.wavelengths = lambda;
-            p.input_bits = bits;
-            p.weight_bits = bits;
-
-            arch::Architecture system("dse-" + ptc_template.name);
-            system.add_subarch(
-                arch::SubArchitecture(ptc_template, p, lib));
-            Simulator sim(std::move(system));
-            workload::Model work = model;
-            for (auto& layer : work.layers) {
-              layer.input_bits = bits;
-              layer.weight_bits = bits;
-            }
-            const ModelReport report =
-                sim.simulate_model(work, MappingConfig(0));
-
-            DsePoint point;
-            point.params = p;
-            point.energy_pJ = report.total_energy.total_pJ();
-            point.latency_ns = report.total_runtime_ns;
-            point.area_mm2 = report.total_area_mm2();
-            point.power_W = report.average_power_W();
-            point.tops = report.tops();
-            if (progress) progress(point);
-            result.points.push_back(point);
-          }
-        }
-      }
-    }
-  }
-  for (auto& a : result.points) {
-    a.pareto = true;
-    for (const auto& b : result.points) {
-      if (dominates(b, a)) {
-        a.pareto = false;
-        break;
-      }
-    }
-  }
-  return result;
+  return explore(ptc_template, lib, model, space, DseOptions{}, progress);
 }
 
 }  // namespace simphony::core

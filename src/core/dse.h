@@ -6,6 +6,14 @@
 // Grid-searches ArchParams over user-supplied axes, simulates the workload
 // at every point, and extracts the Pareto frontier in
 // (energy, latency, area).
+//
+// The engine is parallel: the grid is enumerated up front, points are
+// evaluated on a util::ThreadPool with indexed result writes (the output
+// order is the grid order, independent of thread count and bit-identical
+// to a serial run), per-point invariants (PTC template, device library,
+// extracted GEMMs) are shared immutably across workers, and duplicate
+// parameter points — collapsed axes, repeated sweep values — are evaluated
+// once through an ArchParams-keyed memo cache.
 #pragma once
 
 #include <functional>
@@ -21,10 +29,38 @@ namespace simphony::core {
 struct DseSpace {
   std::vector<int> tiles;
   std::vector<int> cores_per_tile;
-  std::vector<int> core_sizes;   // H = W
+  std::vector<int> core_sizes;   // H = W; empty keeps base H and W (which
+                                 // may be non-square)
   std::vector<int> wavelengths;
-  std::vector<int> input_bits;   // weight bits follow input bits
+  std::vector<int> input_bits;   // swept values set input AND weight bits;
+                                 // empty keeps base input/weight bits
+                                 // (which may differ from each other)
+  std::vector<int> output_bits;  // ADC resolution; empty keeps each
+                                 // layer's own output bits (params.output_bits
+                                 // then merely echoes base)
   arch::ArchParams base;
+
+  /// The swept parameter points in grid order (tiles outermost, output
+  /// bits innermost) — the order of DseResult.points.  Throws
+  /// std::invalid_argument on non-positive core_sizes, input_bits, or
+  /// output_bits values.
+  [[nodiscard]] std::vector<arch::ArchParams> enumerate() const;
+};
+
+/// Knobs for the exploration engine.
+struct DseOptions {
+  /// Worker threads evaluating design points.  0 = one per hardware
+  /// thread; 1 = serial evaluation on the calling thread (no pool).
+  int num_threads = 0;
+
+  /// Memoize evaluations by ArchParams so duplicate grid points (collapsed
+  /// axes, repeated sweep values) are simulated once.
+  bool cache = true;
+
+  /// Invoke the progress callback every N completed points (1 = every
+  /// point).  Callbacks are serialized behind a mutex but fire in
+  /// completion order, which is nondeterministic under num_threads > 1.
+  int progress_every = 1;
 };
 
 struct DsePoint {
@@ -52,8 +88,22 @@ struct DseResult {
   [[nodiscard]] const DsePoint& best_edap() const;
 };
 
+/// Sets the `pareto` flag of every point that is non-dominated in
+/// (energy_pJ, latency_ns, area_mm2), minimizing all three.  Runs in
+/// O(n log n): sort by energy, then sweep a latency->min-area staircase.
+void mark_pareto_frontier(std::vector<DsePoint>& points);
+
 /// Runs the exploration of one PTC template on one workload.
-/// `progress` (optional) is invoked after each evaluated point.
+/// `progress` (optional) is invoked as points complete (see
+/// DseOptions::progress_every).  Result order is the grid order of
+/// DseSpace::enumerate() regardless of thread count.
+[[nodiscard]] DseResult explore(
+    const arch::PtcTemplate& ptc_template, const devlib::DeviceLibrary& lib,
+    const workload::Model& model, const DseSpace& space,
+    const DseOptions& options,
+    const std::function<void(const DsePoint&)>& progress = nullptr);
+
+/// Back-compat overload with default options.
 [[nodiscard]] DseResult explore(
     const arch::PtcTemplate& ptc_template, const devlib::DeviceLibrary& lib,
     const workload::Model& model, const DseSpace& space,

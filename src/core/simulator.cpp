@@ -40,7 +40,7 @@ LayerReport Simulator::simulate_one(
 }
 
 LayerReport Simulator::simulate_gemm(size_t subarch_index,
-                                     const workload::GemmWorkload& gemm) {
+                                     const workload::GemmWorkload& gemm) const {
   const arch::SubArchitecture& subarch =
       architecture_.subarch(subarch_index);
   const memory::MemoryHierarchy memory = memory::build_memory_hierarchy(
@@ -49,14 +49,17 @@ LayerReport Simulator::simulate_gemm(size_t subarch_index,
 }
 
 ModelReport Simulator::simulate_model(const workload::Model& model,
-                                      const MappingConfig& mapping) {
+                                      const MappingConfig& mapping) const {
+  return simulate_gemms(workload::extract_gemms(model), mapping, model.name);
+}
+
+ModelReport Simulator::simulate_gemms(
+    const std::vector<workload::GemmWorkload>& gemms,
+    const MappingConfig& mapping, const std::string& model_name) const {
   const auto problems = mapping.validate(architecture_);
   if (!problems.empty()) {
     throw std::invalid_argument("invalid mapping config: " + problems[0]);
   }
-
-  const std::vector<workload::GemmWorkload> gemms =
-      workload::extract_gemms(model);
 
   std::vector<const arch::SubArchitecture*> subarch_ptrs;
   for (size_t i = 0; i < architecture_.subarch_count(); ++i) {
@@ -66,7 +69,7 @@ ModelReport Simulator::simulate_model(const workload::Model& model,
       memory::build_memory_hierarchy(subarch_ptrs, gemms, options_.memory);
 
   ModelReport report;
-  report.model_name = model.name;
+  report.model_name = model_name;
   report.arch_name = architecture_.name();
   report.memory = memory;
   report.memory_area_mm2 = memory.total_sram_area_mm2();

@@ -39,13 +39,21 @@ class Simulator {
 
   /// Simulate one GEMM on a specific sub-architecture, sizing a dedicated
   /// memory hierarchy for it.
-  [[nodiscard]] LayerReport simulate_gemm(size_t subarch_index,
-                                          const workload::GemmWorkload& gemm);
+  [[nodiscard]] LayerReport simulate_gemm(
+      size_t subarch_index, const workload::GemmWorkload& gemm) const;
 
   /// Simulate a whole model under a mapping config: extract GEMMs, size the
   /// shared memory hierarchy, map + cost every layer, aggregate.
   [[nodiscard]] ModelReport simulate_model(const workload::Model& model,
-                                           const MappingConfig& mapping);
+                                           const MappingConfig& mapping) const;
+
+  /// Same flow for GEMMs that were already extracted (the DSE engine
+  /// extracts once and re-costs the same workloads at many parameter
+  /// points).  `model_name` only labels the report.  The Tensor weights the
+  /// GEMMs point into must outlive the call.
+  [[nodiscard]] ModelReport simulate_gemms(
+      const std::vector<workload::GemmWorkload>& gemms,
+      const MappingConfig& mapping, const std::string& model_name = "") const;
 
   /// Area-only analysis (used by the Fig. 7a/8a/10a benches).
   [[nodiscard]] layout::AreaBreakdown analyze_area(size_t subarch_index) const;

@@ -1,0 +1,23 @@
+// Hash-combination helpers for building cache keys out of aggregate
+// structs (e.g. the DSE engine's ArchParams-keyed evaluation cache).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace simphony::util {
+
+/// Mixes `value` into `seed` (boost::hash_combine recipe with the 64-bit
+/// golden-ratio constant).
+inline void hash_combine(std::size_t& seed, std::size_t value) {
+  seed ^= value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+}
+
+/// Hashes `value` with std::hash and mixes it into `seed`.
+template <typename T>
+void hash_combine_value(std::size_t& seed, const T& value) {
+  hash_combine(seed, std::hash<T>{}(value));
+}
+
+}  // namespace simphony::util

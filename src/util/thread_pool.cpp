@@ -1,0 +1,50 @@
+#include "util/thread_pool.h"
+
+namespace simphony::util {
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+  workers_.reserve(num_threads);
+  for (unsigned i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  task_ready_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::cancel() {
+  std::queue<std::function<void()>> discarded;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.swap(discarded);
+  }
+  // `discarded` destructs outside the lock: dropping a packaged_task breaks
+  // its promise, which may run arbitrary future-observer code.
+}
+
+unsigned ThreadPool::hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1u : n;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_ready_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stopping_ and drained
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();  // exceptions land in the task's promise, never escape here
+  }
+}
+
+}  // namespace simphony::util

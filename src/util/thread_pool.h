@@ -1,0 +1,82 @@
+// A minimal fixed-size thread pool (no work stealing): one FIFO task queue,
+// N worker threads, futures for results and exception propagation.
+//
+// Built for the DSE engine's embarrassingly parallel sweeps (core/dse.cpp),
+// where tasks are independent, similarly sized, and submitted up front — a
+// single shared queue is contention-free enough and keeps completion
+// semantics simple.  A pool constructed with 0 workers degenerates to
+// inline execution on the submitting thread, which makes "serial" and
+// "parallel" callers share one code path.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace simphony::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers.  0 means no workers: submit() runs the
+  /// task inline on the calling thread before returning.
+  explicit ThreadPool(unsigned num_threads);
+
+  /// Joins all workers; tasks already queued are drained first.
+  ~ThreadPool();
+
+  /// Discards every task still waiting in the queue (tasks already running
+  /// finish normally).  The futures of discarded tasks report
+  /// std::future_error{broken_promise}.  Use to fail fast once one task's
+  /// outcome makes the rest pointless.
+  void cancel();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads (0 for an inline pool).
+  [[nodiscard]] size_t size() const { return workers_.size(); }
+
+  /// std::thread::hardware_concurrency with a floor of 1 (the standard
+  /// allows it to return 0 when undetectable).
+  [[nodiscard]] static unsigned hardware_threads();
+
+  /// Enqueues a nullary callable; the returned future yields its result or
+  /// rethrows its exception.  Safe to call from multiple threads.
+  template <typename F>
+  auto submit(F&& task) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    // packaged_task is move-only; std::function needs copyable targets, so
+    // the task lives behind a shared_ptr.
+    auto packaged =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(task));
+    std::future<R> result = packaged->get_future();
+    if (workers_.empty()) {
+      (*packaged)();
+      return result;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      tasks_.emplace([packaged] { (*packaged)(); });
+    }
+    task_ready_.notify_one();
+    return result;
+  }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  bool stopping_ = false;
+};
+
+}  // namespace simphony::util

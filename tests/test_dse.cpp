@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "arch/prebuilt.h"
+#include "util/rng.h"
 
 namespace simphony::core {
 namespace {
@@ -87,6 +90,313 @@ TEST(Dse, MoreParallelismFasterButBigger) {
   ASSERT_EQ(r.points.size(), 2u);
   EXPECT_GT(r.points[0].latency_ns, r.points[1].latency_ns);
   EXPECT_LT(r.points[0].area_mm2, r.points[1].area_mm2);
+}
+
+TEST(Dse, EnumerateMatchesResultOrder) {
+  DseSpace space;
+  space.tiles = {1, 2};
+  space.core_sizes = {4, 8};
+  space.wavelengths = {2, 4};
+  const std::vector<arch::ArchParams> grid = space.enumerate();
+  ASSERT_EQ(grid.size(), 8u);
+  const DseResult r =
+      explore(arch::tempo_template(), g_lib, workload::mlp_mnist(), space);
+  ASSERT_EQ(r.points.size(), grid.size());
+  for (size_t i = 0; i < grid.size(); ++i) {
+    EXPECT_EQ(r.points[i].params, grid[i]);
+  }
+}
+
+// The acceptance bar for the parallel engine: any thread count yields the
+// same points, in the same order, bit for bit.
+TEST(Dse, ParallelIsBitIdenticalToSerial) {
+  DseSpace space;
+  space.tiles = {1, 2};
+  space.core_sizes = {4, 8};
+  space.wavelengths = {2, 4};
+  const workload::Model model = workload::mlp_mnist();
+
+  DseOptions serial;
+  serial.num_threads = 1;
+  const DseResult expected =
+      explore(arch::tempo_template(), g_lib, model, space, serial);
+  ASSERT_EQ(expected.points.size(), 8u);
+
+  for (int threads : {0, 2, 4, 8}) {
+    DseOptions options;
+    options.num_threads = threads;
+    const DseResult r =
+        explore(arch::tempo_template(), g_lib, model, space, options);
+    ASSERT_EQ(r.points.size(), expected.points.size()) << threads;
+    for (size_t i = 0; i < r.points.size(); ++i) {
+      EXPECT_EQ(r.points[i].params, expected.points[i].params);
+      EXPECT_EQ(r.points[i].energy_pJ, expected.points[i].energy_pJ);
+      EXPECT_EQ(r.points[i].latency_ns, expected.points[i].latency_ns);
+      EXPECT_EQ(r.points[i].area_mm2, expected.points[i].area_mm2);
+      EXPECT_EQ(r.points[i].power_W, expected.points[i].power_W);
+      EXPECT_EQ(r.points[i].tops, expected.points[i].tops);
+      EXPECT_EQ(r.points[i].pareto, expected.points[i].pareto);
+    }
+  }
+}
+
+TEST(Dse, CacheReturnsIdenticalPointsForDuplicateParams) {
+  DseSpace space;
+  space.tiles = {2, 2, 2};
+  space.wavelengths = {3, 3};
+  const workload::Model model = workload::mlp_mnist();
+
+  DseOptions cached;
+  cached.num_threads = 1;
+  const DseResult r =
+      explore(arch::tempo_template(), g_lib, model, space, cached);
+  ASSERT_EQ(r.points.size(), 6u);
+  for (const auto& p : r.points) {
+    EXPECT_EQ(p.params, r.points.front().params);
+    EXPECT_EQ(p.energy_pJ, r.points.front().energy_pJ);
+    EXPECT_EQ(p.latency_ns, r.points.front().latency_ns);
+    EXPECT_EQ(p.area_mm2, r.points.front().area_mm2);
+    EXPECT_EQ(p.pareto, r.points.front().pareto);
+  }
+
+  DseOptions uncached = cached;
+  uncached.cache = false;
+  const DseResult full =
+      explore(arch::tempo_template(), g_lib, model, space, uncached);
+  ASSERT_EQ(full.points.size(), r.points.size());
+  for (size_t i = 0; i < r.points.size(); ++i) {
+    EXPECT_EQ(r.points[i].energy_pJ, full.points[i].energy_pJ);
+    EXPECT_EQ(r.points[i].latency_ns, full.points[i].latency_ns);
+    EXPECT_EQ(r.points[i].area_mm2, full.points[i].area_mm2);
+  }
+}
+
+TEST(Dse, ProgressCountsEveryGridPointIncludingCacheHits) {
+  DseSpace space;
+  space.tiles = {2, 2};
+  space.wavelengths = {3, 3};
+  for (int threads : {1, 4}) {
+    DseOptions options;
+    options.num_threads = threads;
+    int calls = 0;
+    (void)explore(arch::tempo_template(), g_lib, workload::mlp_mnist(),
+                  space, options, [&](const DsePoint&) { ++calls; });
+    EXPECT_EQ(calls, 4) << threads;
+  }
+}
+
+TEST(Dse, ProgressEveryThrottlesCallbacks) {
+  DseSpace space;
+  space.wavelengths = {1, 2, 3, 4, 5};
+  DseOptions options;
+  options.num_threads = 1;
+  options.progress_every = 2;
+  int calls = 0;
+  (void)explore(arch::tempo_template(), g_lib, workload::mlp_mnist(), space,
+                options, [&](const DsePoint&) { ++calls; });
+  EXPECT_EQ(calls, 2);  // after points 2 and 4
+}
+
+TEST(Dse, UnsweptSizeAxisKeepsNonSquareBaseCore) {
+  DseSpace space;
+  space.base.core_height = 2;
+  space.base.core_width = 4;
+  space.wavelengths = {2, 4};
+  const DseResult r = explore(arch::tempo_template(), g_lib,
+                              workload::mlp_mnist(), space);
+  ASSERT_EQ(r.points.size(), 2u);
+  for (const auto& p : r.points) {
+    EXPECT_EQ(p.params.core_height, 2);
+    EXPECT_EQ(p.params.core_width, 4);
+  }
+}
+
+TEST(Dse, OutputBitsAxisReachesTheSimulation) {
+  const workload::Model model = workload::mlp_mnist();
+  DseSpace space;
+  space.output_bits = {2, 8};
+  const DseResult r = explore(arch::tempo_template(), g_lib, model, space);
+  ASSERT_EQ(r.points.size(), 2u);
+  EXPECT_EQ(r.points[0].params.output_bits, 2);
+  EXPECT_EQ(r.points[1].params.output_bits, 8);
+  // ADC energy grows with resolution, so the label must track the cost.
+  EXPECT_LT(r.points[0].energy_pJ, r.points[1].energy_pJ);
+}
+
+TEST(Dse, EmptyOutputAxisKeepsPerLayerOutputBits) {
+  // Layers carry 2-bit ADCs; base params say 8.  Without an output_bits
+  // axis the per-layer value must win (the pre-DseOptions behavior), so
+  // the result differs from an explicit 8-bit override.
+  workload::Model model = workload::mlp_mnist();
+  for (auto& layer : model.layers) layer.output_bits = 2;
+
+  DseSpace unswept;  // base.output_bits = 8 is only a label here
+  const DseResult per_layer =
+      explore(arch::tempo_template(), g_lib, model, unswept);
+
+  DseSpace forced;
+  forced.output_bits = {8};
+  const DseResult overridden =
+      explore(arch::tempo_template(), g_lib, model, forced);
+
+  ASSERT_EQ(per_layer.points.size(), 1u);
+  ASSERT_EQ(overridden.points.size(), 1u);
+  EXPECT_LT(per_layer.points[0].energy_pJ, overridden.points[0].energy_pJ);
+
+  DseSpace matching;
+  matching.output_bits = {2};
+  const DseResult same =
+      explore(arch::tempo_template(), g_lib, model, matching);
+  EXPECT_EQ(per_layer.points[0].energy_pJ, same.points[0].energy_pJ);
+}
+
+TEST(Dse, UnsweptBitsAxisKeepsPerLayerOperandBits) {
+  // Layers carry asymmetric operand widths (input 2, weight 8); no bits
+  // axis is swept, so the simulation must keep them rather than flatten
+  // both to base.input_bits.
+  workload::Model model = workload::mlp_mnist();
+  for (auto& layer : model.layers) {
+    layer.input_bits = 2;
+    layer.weight_bits = 8;
+  }
+  DseSpace unswept;
+  const DseResult kept =
+      explore(arch::tempo_template(), g_lib, model, unswept);
+
+  DseSpace flattened;
+  flattened.input_bits = {4};  // forces input = weight = 4
+  const DseResult forced =
+      explore(arch::tempo_template(), g_lib, model, flattened);
+
+  ASSERT_EQ(kept.points.size(), 1u);
+  ASSERT_EQ(forced.points.size(), 1u);
+  EXPECT_NE(kept.points[0].energy_pJ, forced.points[0].energy_pJ);
+}
+
+TEST(Dse, ThrowingProgressCallbackAbortsSerialSweep) {
+  DseSpace space;
+  space.wavelengths = {1, 2, 3, 4, 5};
+  DseOptions options;
+  options.num_threads = 1;
+  int calls = 0;
+  EXPECT_THROW((void)explore(arch::tempo_template(), g_lib,
+                             workload::mlp_mnist(), space, options,
+                             [&](const DsePoint&) {
+                               ++calls;
+                               throw std::runtime_error("user abort");
+                             }),
+               std::runtime_error);
+  EXPECT_EQ(calls, 1);  // remaining grid points never evaluate
+}
+
+TEST(Dse, EnumerateRejectsNonPositiveAxisValues) {
+  DseSpace zero_size;
+  zero_size.core_sizes = {0, 8};
+  EXPECT_THROW((void)zero_size.enumerate(), std::invalid_argument);
+  DseSpace zero_output;
+  zero_output.output_bits = {4, 0};
+  EXPECT_THROW((void)zero_output.enumerate(), std::invalid_argument);
+}
+
+TEST(Dse, InvalidPointFailsTheWholeSweep) {
+  DseSpace space;
+  space.tiles = {1, -1, 2};
+  for (int threads : {1, 4}) {
+    DseOptions options;
+    options.num_threads = threads;
+    EXPECT_THROW((void)explore(arch::tempo_template(), g_lib,
+                               workload::mlp_mnist(), space, options),
+                 std::invalid_argument)
+        << threads;
+  }
+}
+
+TEST(Dse, SerialSweepStopsEvaluatingAfterAFailure) {
+  DseSpace space;
+  space.tiles = {1, -1};
+  space.wavelengths = {1, 2, 3, 4, 5};  // 5 valid points after the failure
+  DseOptions options;
+  options.num_threads = 1;
+  int evaluated = 0;
+  EXPECT_THROW(
+      (void)explore(arch::tempo_template(), g_lib, workload::mlp_mnist(),
+                    space, options,
+                    [&](const DsePoint&) { ++evaluated; }),
+      std::invalid_argument);
+  // Grid order is tiles=1 x L=1..5 then tiles=-1 x L=1: the five valid
+  // points complete, the sixth throws, and the remaining four never run.
+  EXPECT_EQ(evaluated, 5);
+}
+
+// ----------------------------------------------------------------- Pareto
+
+bool dominates(const DsePoint& a, const DsePoint& b) {
+  return a.energy_pJ <= b.energy_pJ && a.latency_ns <= b.latency_ns &&
+         a.area_mm2 <= b.area_mm2 &&
+         (a.energy_pJ < b.energy_pJ || a.latency_ns < b.latency_ns ||
+          a.area_mm2 < b.area_mm2);
+}
+
+std::vector<bool> brute_force_pareto(const std::vector<DsePoint>& points) {
+  std::vector<bool> flags(points.size(), true);
+  for (size_t i = 0; i < points.size(); ++i) {
+    for (const auto& other : points) {
+      if (dominates(other, points[i])) {
+        flags[i] = false;
+        break;
+      }
+    }
+  }
+  return flags;
+}
+
+TEST(Dse, ParetoSweepMatchesBruteForceOnRandomPoints) {
+  util::Rng rng(123);
+  for (size_t n : {0u, 1u, 2u, 3u, 50u, 300u}) {
+    std::vector<DsePoint> points(n);
+    for (auto& p : points) {
+      p.energy_pJ = rng.uniform(0.0, 100.0);
+      p.latency_ns = rng.uniform(0.0, 100.0);
+      p.area_mm2 = rng.uniform(0.0, 100.0);
+    }
+    mark_pareto_frontier(points);
+    const std::vector<bool> expected = brute_force_pareto(points);
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(points[i].pareto, expected[i]) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(Dse, ParetoSweepMatchesBruteForceWithTiesAndDuplicates) {
+  // A coarse value alphabet forces equal coordinates, equal pairs, and
+  // exact duplicate triples — the tie-handling corner cases of the sweep.
+  util::Rng rng(321);
+  for (int round = 0; round < 20; ++round) {
+    std::vector<DsePoint> points(120);
+    for (auto& p : points) {
+      p.energy_pJ = static_cast<double>(rng.uniform_int(0, 3));
+      p.latency_ns = static_cast<double>(rng.uniform_int(0, 3));
+      p.area_mm2 = static_cast<double>(rng.uniform_int(0, 3));
+    }
+    mark_pareto_frontier(points);
+    const std::vector<bool> expected = brute_force_pareto(points);
+    for (size_t i = 0; i < points.size(); ++i) {
+      ASSERT_EQ(points[i].pareto, expected[i])
+          << "round=" << round << " i=" << i << " ("
+          << points[i].energy_pJ << "," << points[i].latency_ns << ","
+          << points[i].area_mm2 << ")";
+    }
+  }
+}
+
+TEST(Dse, ParetoSweepResetsStaleFlags) {
+  std::vector<DsePoint> points(2);
+  points[0].energy_pJ = points[0].latency_ns = points[0].area_mm2 = 2.0;
+  points[0].pareto = true;  // stale flag from a previous pass
+  points[1].energy_pJ = points[1].latency_ns = points[1].area_mm2 = 1.0;
+  mark_pareto_frontier(points);
+  EXPECT_FALSE(points[0].pareto);
+  EXPECT_TRUE(points[1].pareto);
 }
 
 }  // namespace

@@ -1,0 +1,129 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace simphony::util {
+namespace {
+
+TEST(ThreadPool, ZeroWorkersRunsInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 0u);
+  const std::thread::id caller = std::this_thread::get_id();
+  auto future = pool.submit([caller] {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    return 41 + 1;
+  });
+  // Inline mode completes before submit() returns.
+  EXPECT_EQ(future.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPool, SingleWorkerPreservesFifoOrder) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+  std::vector<int> executed;  // only the worker touches it
+  std::vector<std::future<void>> pending;
+  for (int i = 0; i < 64; ++i) {
+    pending.push_back(pool.submit([&executed, i] { executed.push_back(i); }));
+  }
+  for (auto& f : pending) f.get();
+  std::vector<int> expected(64);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(executed, expected);
+}
+
+TEST(ThreadPool, ManyWorkersCompleteAllTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  constexpr int kTasks = 500;
+  std::atomic<int> ran{0};
+  std::vector<std::future<int>> pending;
+  pending.reserve(kTasks);
+  for (int i = 0; i < kTasks; ++i) {
+    pending.push_back(pool.submit([&ran, i] {
+      ran.fetch_add(1, std::memory_order_relaxed);
+      return i * i;
+    }));
+  }
+  for (int i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(pending[static_cast<size_t>(i)].get(), i * i);
+  }
+  EXPECT_EQ(ran.load(), kTasks);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture) {
+  for (unsigned workers : {0u, 1u, 3u}) {
+    ThreadPool pool(workers);
+    auto ok = pool.submit([] { return 7; });
+    auto bad = pool.submit(
+        []() -> int { throw std::runtime_error("task failed"); });
+    EXPECT_EQ(ok.get(), 7);
+    EXPECT_THROW(
+        {
+          try {
+            bad.get();
+          } catch (const std::runtime_error& e) {
+            EXPECT_STREQ(e.what(), "task failed");
+            throw;
+          }
+        },
+        std::runtime_error);
+  }
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 100; ++i) {
+      (void)pool.submit([&ran] {
+        ran.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+  }  // ~ThreadPool joins after the queue drains
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPool, CancelDiscardsQueuedTasksAndBreaksTheirPromises) {
+  ThreadPool pool(1);
+  std::promise<void> started;
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  auto blocker = pool.submit([&started, gate] {
+    started.set_value();
+    gate.wait();
+  });
+  started.get_future().wait();  // ensure the blocker is running, not queued
+
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> discarded;
+  for (int i = 0; i < 10; ++i) {
+    discarded.push_back(pool.submit([&ran] {
+      ran.fetch_add(1, std::memory_order_relaxed);
+    }));
+  }
+
+  pool.cancel();  // the 10 tasks are still queued behind the blocker
+  release.set_value();
+  blocker.get();
+
+  EXPECT_EQ(ran.load(), 0);
+  for (auto& f : discarded) {
+    EXPECT_THROW(f.get(), std::future_error);
+  }
+}
+
+TEST(ThreadPool, HardwareThreadsIsAtLeastOne) {
+  EXPECT_GE(ThreadPool::hardware_threads(), 1u);
+}
+
+}  // namespace
+}  // namespace simphony::util
