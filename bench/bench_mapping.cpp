@@ -1,0 +1,109 @@
+// Benchmarks of the mapping subsystem (core/mapper.h): fixed rules vs
+// greedy vs beam search on the VGG8 heterogeneous scenario (SCATTER
+// crossbar + Clements MZI mesh sharing one memory hierarchy), plus the
+// search-only cost of the beam at growing widths on a prebuilt cost
+// matrix.  Each end-to-end benchmark also reports the EDP the strategy
+// achieved, so the perf trajectory tracks mapping quality alongside
+// throughput.
+#include <benchmark/benchmark.h>
+
+#include "arch/prebuilt.h"
+#include "core/simulator.h"
+#include "workload/onn_convert.h"
+
+namespace {
+
+using namespace simphony;
+
+const devlib::DeviceLibrary& standard_lib() {
+  static devlib::DeviceLibrary lib = devlib::DeviceLibrary::standard();
+  return lib;
+}
+
+const workload::Model& vgg8_model() {
+  static workload::Model model = [] {
+    workload::Model m = workload::vgg8_cifar10(42, /*prune_ratio=*/0.3);
+    workload::convert_model_in_place(m);
+    return m;
+  }();
+  return model;
+}
+
+core::Simulator make_hetero_sim() {
+  arch::ArchParams params;
+  params.wavelengths = 1;
+  arch::Architecture system("hetero");
+  system.add_subarch(arch::SubArchitecture(arch::scatter_template(), params,
+                                           standard_lib()));
+  system.add_subarch(arch::SubArchitecture(arch::clements_mzi_template(),
+                                           params, standard_lib()));
+  return core::Simulator(std::move(system));
+}
+
+void report_edp(benchmark::State& state, const core::ModelReport& report) {
+  state.counters["edp_uJ_us"] =
+      report.total_energy.total_pJ() * report.total_runtime_ns / 1e9;
+}
+
+void BM_MapFixedRules(benchmark::State& state) {
+  const core::Simulator sim = make_hetero_sim();
+  core::MappingConfig rules(0);
+  rules.route_type(workload::LayerType::kConv2d, 0);
+  rules.route_type(workload::LayerType::kLinear, 1);
+  core::ModelReport report;
+  for (auto _ : state) {
+    report = sim.simulate_model(vgg8_model(), rules);
+    benchmark::DoNotOptimize(report);
+  }
+  report_edp(state, report);
+}
+BENCHMARK(BM_MapFixedRules)->Unit(benchmark::kMillisecond);
+
+void BM_MapGreedy(benchmark::State& state) {
+  const core::Simulator sim = make_hetero_sim();
+  const core::GreedyMapper greedy(core::MappingObjective::kEdp);
+  core::ModelReport report;
+  for (auto _ : state) {
+    report = sim.simulate_model(vgg8_model(), greedy);
+    benchmark::DoNotOptimize(report);
+  }
+  report_edp(state, report);
+}
+BENCHMARK(BM_MapGreedy)->Unit(benchmark::kMillisecond);
+
+void BM_MapBeam(benchmark::State& state) {
+  const core::Simulator sim = make_hetero_sim();
+  const core::BeamMapper beam(static_cast<size_t>(state.range(0)),
+                              core::MappingObjective::kEdp);
+  core::ModelReport report;
+  for (auto _ : state) {
+    report = sim.simulate_model(vgg8_model(), beam);
+    benchmark::DoNotOptimize(report);
+  }
+  report_edp(state, report);
+}
+BENCHMARK(BM_MapBeam)->Arg(2)->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond);
+
+/// Search-only cost: the matrix is built once outside the loop, so this
+/// isolates the beam itself (the end-to-end runs above are dominated by
+/// the per-pair simulations).
+void BM_BeamSearchOnly(benchmark::State& state) {
+  const core::Simulator sim = make_hetero_sim();
+  const auto gemms = workload::extract_gemms(vgg8_model());
+  const core::CostMatrix costs = sim.build_cost_matrix(gemms);
+  core::MappingProblem problem{&gemms, &costs, costs.num_subarchs()};
+  const core::BeamMapper beam(static_cast<size_t>(state.range(0)),
+                              core::MappingObjective::kEdp);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(beam.map(problem));
+  }
+}
+BENCHMARK(BM_BeamSearchOnly)
+    ->Arg(8)
+    ->Arg(64)
+    ->Arg(256)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

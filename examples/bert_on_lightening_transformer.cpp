@@ -1,4 +1,5 @@
-// Example: transformer workload on a dynamic photonic tensor core.
+// Example: transformer workload on a dynamic photonic tensor core, with
+// cost-driven layer-to-sub-arch mapping.
 //
 // Simulates BERT-Base over a 224x224 image (197 tokens) on the
 // Lightening-Transformer architecture (4 tiles x 2 cores x 12x12 nodes,
@@ -7,7 +8,11 @@
 //
 // The interesting part: the attention matmuls (QK^T, AV) are dynamic x
 // dynamic tensor products.  A weight-stationary PTC cannot serve them
-// (SimPhony raises an error); LT's symbol-rate reconfiguration can.
+// (SimPhony raises an error); LT's symbol-rate reconfiguration can.  To
+// show mapping search handling that, a second run pairs LT with a static
+// Clements MZI mesh: GreedyMapper must route every attention matmul to LT
+// (the mesh is infeasible for them) while the static projections/FFN land
+// wherever they are cheapest.
 #include <iostream>
 #include <map>
 
@@ -84,5 +89,64 @@ int main() {
             << " W average, " << util::Table::fmt(report.tops(), 2)
             << " TOPS, chip " << util::Table::fmt(report.total_area_mm2(), 1)
             << " mm^2\n";
-  return 0;
+
+  // ---- heterogeneous run: LT + static MZI mesh, searched mapping -------
+  arch::Architecture hetero("lt+mzi");
+  const size_t kLt = hetero.add_subarch(arch::SubArchitecture(
+      arch::lightening_transformer_template(), params, lib));
+  const size_t kMzi = hetero.add_subarch(arch::SubArchitecture(
+      arch::clements_mzi_template(), params, lib));
+  core::Simulator hetero_sim(std::move(hetero));
+
+  const core::GreedyMapper greedy(core::MappingObjective::kEdp);
+  core::Mapping mapping;
+  const core::ModelReport mapped =
+      hetero_sim.simulate_model(model, greedy, &mapping);
+
+  size_t on_lt = 0;
+  size_t on_mzi = 0;
+  size_t dynamic_on_mzi = 0;
+  for (size_t i = 0; i < mapped.layers.size(); ++i) {
+    if (mapping.assignment[i] == kLt) {
+      ++on_lt;
+    } else {
+      ++on_mzi;
+      const std::string& n = mapped.layers[i].layer_name;
+      if (n.find("attn_qk") != std::string::npos ||
+          n.find("attn_av") != std::string::npos) {
+        ++dynamic_on_mzi;
+      }
+    }
+  }
+  std::cout << "\n== greedy EDP mapping on LT + Clements MZI ==\n"
+            << on_lt << " layer(s) -> LT, " << on_mzi
+            << " layer(s) -> MZI mesh (dynamic matmuls on the mesh: "
+            << dynamic_on_mzi << ", must be 0)\n";
+
+  // The chosen assignment, aggregated per (kind, sub-arch).
+  std::map<std::string, int> routed;
+  for (size_t i = 0; i < mapped.layers.size(); ++i) {
+    std::string kind = "projection/FFN";
+    const std::string& n = mapped.layers[i].layer_name;
+    if (n.find("attn_qk") != std::string::npos ||
+        n.find("attn_av") != std::string::npos) {
+      kind = "attention matmul";
+    }
+    ++routed[kind + " -> " + mapped.layers[i].subarch_name];
+  }
+  util::Table routing({"route", "#layers"});
+  for (const auto& [route, count] : routed) {
+    routing.add_row({route, std::to_string(count)});
+  }
+  std::cout << routing.render();
+
+  std::cout << "hetero inference: "
+            << util::Table::fmt(mapped.total_runtime_ns / 1e6, 3) << " ms, "
+            << util::Table::fmt(mapped.total_energy.total_pJ() / 1e6, 1)
+            << " uJ (predicted by search: "
+            << util::Table::fmt(mapping.predicted_latency_ns / 1e6, 3)
+            << " ms, "
+            << util::Table::fmt(mapping.predicted_energy_pJ / 1e6, 1)
+            << " uJ)\n";
+  return dynamic_on_mzi == 0 ? 0 : 1;
 }

@@ -4,17 +4,26 @@
 //     --model vgg8|resnet20|bert|mlp|gemm:NxDxM   (default gemm:280x28x280)
 //     --tiles R --cores C --size H --wavelengths L --clock GHz
 //     --bits in,w,out        operand bitwidths
+//     --arch T1,T2,..        build a (heterogeneous) system from prebuilt
+//                            templates: tempo|lt|mzi|scatter|mrr|butterfly|
+//                            pcm|wdm (default: the description file or tempo)
+//     --mapping rules|greedy|beam   layer-to-sub-arch mapping strategy
+//     --objective latency|energy|edp  what greedy/beam minimize (default edp)
+//     --beam-width K         beam width for --mapping beam (default 8)
 //     --sweep AXIS=V1,V2,..  DSE mode: sweep an axis (repeatable); axes are
 //                            tiles|cores|size|wavelengths|bits|output
 //     --threads N            DSE worker threads (0 = all hardware threads)
 //     --no-dse-cache         disable the duplicate-point evaluation cache
 //     --json | --csv         machine-readable output
 //
-// Without a description file the built-in TeMPO template is used; with one
-// the PTC is loaded from the circuit description format (arch/description.h).
+// All options also accept --flag=value syntax.  Without a description file
+// or --arch the built-in TeMPO template is used; with a description file
+// the PTC is loaded from the circuit description format
+// (arch/description.h).
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 
 #include "arch/description.h"
@@ -71,6 +80,33 @@ std::vector<int> parse_int_list(const std::string& csv) {
   return values;
 }
 
+arch::PtcTemplate parse_template_name(const std::string& name) {
+  if (name == "tempo") return arch::tempo_template();
+  if (name == "lt") return arch::lightening_transformer_template();
+  if (name == "mzi") return arch::clements_mzi_template();
+  if (name == "scatter") return arch::scatter_template();
+  if (name == "mrr") return arch::mrr_bank_template();
+  if (name == "butterfly") return arch::butterfly_template();
+  if (name == "pcm") return arch::pcm_crossbar_template();
+  if (name == "wdm") return arch::wdm_link_template();
+  throw std::invalid_argument(
+      "unknown --arch template '" + name +
+      "' (expected tempo|lt|mzi|scatter|mrr|butterfly|pcm|wdm)");
+}
+
+std::vector<arch::PtcTemplate> parse_arch_list(const std::string& csv) {
+  std::vector<arch::PtcTemplate> templates;
+  std::stringstream stream(csv);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    templates.push_back(parse_template_name(item));
+  }
+  if (templates.empty()) {
+    throw std::invalid_argument("empty --arch template list");
+  }
+  return templates;
+}
+
 void apply_sweep_axis(core::DseSpace& space, const std::string& spec) {
   const size_t eq = spec.find('=');
   if (eq == std::string::npos) {
@@ -105,11 +141,14 @@ void apply_sweep_axis(core::DseSpace& space, const std::string& spec) {
   *target = values;
 }
 
-int run_dse(const arch::PtcTemplate& ptc, const devlib::DeviceLibrary& lib,
-            const workload::Model& model, const core::DseSpace& space,
-            const core::DseOptions& options, bool as_json, bool as_csv) {
+int run_dse(const std::vector<arch::PtcTemplate>& ptcs,
+            const devlib::DeviceLibrary& lib, const workload::Model& model,
+            const core::DseSpace& space, const core::DseOptions& options,
+            bool as_json, bool as_csv) {
+  std::string arch_label = ptcs.front().name;
+  for (size_t t = 1; t < ptcs.size(); ++t) arch_label += "+" + ptcs[t].name;
   const core::DseResult result =
-      core::explore(ptc, lib, model, space, options);
+      core::explore(ptcs, lib, model, space, options);
 
   if (as_json) {
     util::Json points{util::Json::Array{}};
@@ -133,7 +172,7 @@ int run_dse(const arch::PtcTemplate& ptc, const devlib::DeviceLibrary& lib,
     }
     util::Json root;
     root["model"] = model.name;
-    root["arch"] = ptc.name;
+    root["arch"] = arch_label;
     root["points"] = std::move(points);
     std::cout << root.dump(2) << "\n";
     return 0;
@@ -156,7 +195,7 @@ int run_dse(const arch::PtcTemplate& ptc, const devlib::DeviceLibrary& lib,
     return 0;
   }
 
-  std::cout << "== DSE: " << model.name << " on " << ptc.name << " ("
+  std::cout << "== DSE: " << model.name << " on " << arch_label << " ("
             << result.points.size() << " points) ==\n";
   util::Table table({"R", "C", "HxW", "L", "bits(in/w/out)", "energy (uJ)",
                      "latency (us)", "area (mm^2)", "Pareto"});
@@ -188,9 +227,14 @@ int run_dse(const arch::PtcTemplate& ptc, const devlib::DeviceLibrary& lib,
 }
 
 int run(int argc, char** argv) {
-  arch::PtcTemplate ptc = arch::tempo_template();
+  std::vector<arch::PtcTemplate> ptcs = {arch::tempo_template()};
+  bool arch_from_file = false;  // a positional description file was given
+  bool arch_from_flag = false;  // --arch was given
   arch::ArchParams params;
   std::string model_spec = "gemm:280x28x280";
+  std::string mapping_spec = "rules";
+  std::string objective_spec = "edp";
+  int beam_width = 8;
   core::DseSpace sweep_space;
   core::DseOptions dse_options;
   std::string dse_flag_seen;
@@ -198,13 +242,27 @@ int run(int argc, char** argv) {
   bool as_json = false;
   bool as_csv = false;
 
+  // Expand --flag=value into two tokens so both spellings work (the CI
+  // smoke test and docs use --mapping=greedy style).
+  std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    const size_t eq = arg.find('=');
+    if (arg.rfind("--", 0) == 0 && eq != std::string::npos) {
+      args.push_back(arg.substr(0, eq));
+      args.push_back(arg.substr(eq + 1));
+    } else {
+      args.push_back(arg);
+    }
+  }
+
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string arg = args[i];
     auto next = [&]() -> std::string {
-      if (i + 1 >= argc) {
+      if (i + 1 >= args.size()) {
         throw std::invalid_argument("missing value after " + arg);
       }
-      return argv[++i];
+      return args[++i];
     };
     if (arg == "--model") {
       model_spec = next();
@@ -236,6 +294,33 @@ int run(int argc, char** argv) {
       params.input_bits = bits[0];
       params.weight_bits = bits[1];
       params.output_bits = bits[2];
+    } else if (arg == "--arch") {
+      if (arch_from_file) {
+        throw std::invalid_argument(
+            "give either a description file or --arch, not both");
+      }
+      ptcs = parse_arch_list(next());
+      arch_from_flag = true;
+    } else if (arg == "--mapping") {
+      mapping_spec = next();
+      if (mapping_spec != "rules" && mapping_spec != "greedy" &&
+          mapping_spec != "beam") {
+        throw std::invalid_argument("--mapping expects rules|greedy|beam, "
+                                    "got '" + mapping_spec + "'");
+      }
+    } else if (arg == "--objective") {
+      objective_spec = next();
+      if (!core::parse_objective(objective_spec)) {
+        throw std::invalid_argument(
+            "--objective expects latency|energy|edp, got '" +
+            objective_spec + "'");
+      }
+    } else if (arg == "--beam-width") {
+      beam_width = parse_int(next());
+      if (beam_width < 1) {
+        throw std::invalid_argument("--beam-width expects a positive "
+                                    "integer");
+      }
     } else if (arg == "--sweep") {
       apply_sweep_axis(sweep_space, next());
       sweeping = true;
@@ -258,6 +343,10 @@ int run(int argc, char** argv) {
       std::cout << "usage: simphony_cli [description.sphy] [--model SPEC] "
                    "[--tiles R] [--cores C] [--size HW] [--wavelengths L] "
                    "[--clock GHz] [--bits in,w,out] "
+                   "[--arch T1,T2,...] (templates: tempo|lt|mzi|scatter|"
+                   "mrr|butterfly|pcm|wdm) "
+                   "[--mapping rules|greedy|beam] "
+                   "[--objective latency|energy|edp] [--beam-width K] "
                    "[--sweep AXIS=V1,V2,...] (axes: tiles|cores|size|"
                    "wavelengths|bits|output) [--threads N] [--no-dse-cache] "
                    "[--json|--csv]\n";
@@ -265,11 +354,18 @@ int run(int argc, char** argv) {
     } else if (arg.rfind("--", 0) == 0) {
       throw std::invalid_argument("unknown option " + arg);
     } else {
+      if (arch_from_flag || arch_from_file) {
+        throw std::invalid_argument(
+            arch_from_flag
+                ? "give either a description file or --arch, not both"
+                : "only one description file is supported");
+      }
       std::ifstream f(arg);
       if (!f) throw std::invalid_argument("cannot open " + arg);
       std::stringstream buf;
       buf << f.rdbuf();
-      ptc = arch::parse_description(buf.str());
+      ptcs = {arch::parse_description(buf.str())};
+      arch_from_file = true;
     }
   }
 
@@ -283,9 +379,21 @@ int run(int argc, char** argv) {
   }
   workload::convert_model_in_place(model);
 
+  // The chosen strategy; null means the legacy fixed route-to-0 default.
+  std::unique_ptr<core::Mapper> mapper;
+  const core::MappingObjective objective = *core::parse_objective(
+      objective_spec);
+  if (mapping_spec == "greedy") {
+    mapper = std::make_unique<core::GreedyMapper>(objective);
+  } else if (mapping_spec == "beam") {
+    mapper = std::make_unique<core::BeamMapper>(
+        static_cast<size_t>(beam_width), objective);
+  }
+
   if (sweeping) {
     sweep_space.base = params;
-    return run_dse(ptc, lib, model, sweep_space, dse_options, as_json,
+    dse_options.mapper = mapper.get();
+    return run_dse(ptcs, lib, model, sweep_space, dse_options, as_json,
                    as_csv);
   }
   if (!dse_flag_seen.empty()) {
@@ -294,14 +402,35 @@ int run(int argc, char** argv) {
                                 "one --sweep axis");
   }
 
-  arch::Architecture system(ptc.name);
-  system.add_subarch(arch::SubArchitecture(ptc, params, lib));
+  std::string arch_label = ptcs.front().name;
+  for (size_t t = 1; t < ptcs.size(); ++t) arch_label += "+" + ptcs[t].name;
+  arch::Architecture system(arch_label);
+  for (const auto& ptc : ptcs) {
+    system.add_subarch(arch::SubArchitecture(ptc, params, lib));
+  }
   core::Simulator sim(std::move(system));
+  core::Mapping chosen;
   const core::ModelReport report =
-      sim.simulate_model(model, core::MappingConfig(0));
+      mapper ? sim.simulate_model(model, *mapper, &chosen)
+             : sim.simulate_model(model, core::MappingConfig(0));
 
   if (as_json) {
-    std::cout << report.to_json().dump(2) << "\n";
+    util::Json root = report.to_json();
+    if (mapper) {
+      util::Json mapping_json;
+      mapping_json["strategy"] = mapper->name();
+      mapping_json["objective"] = std::string(core::to_string(objective));
+      mapping_json["predicted_energy_pJ"] = chosen.predicted_energy_pJ;
+      mapping_json["predicted_latency_ns"] = chosen.predicted_latency_ns;
+      mapping_json["predicted_cost"] = chosen.predicted_cost;
+      util::Json assignment{util::Json::Array{}};
+      for (size_t a : chosen.assignment) {
+        assignment.push_back(static_cast<double>(a));
+      }
+      mapping_json["assignment"] = std::move(assignment);
+      root["mapping"] = std::move(mapping_json);
+    }
+    std::cout << root.dump(2) << "\n";
     return 0;
   }
   if (as_csv) {
@@ -309,7 +438,22 @@ int run(int argc, char** argv) {
     return 0;
   }
 
-  std::cout << "== " << model.name << " on " << ptc.name << " (R="
+  if (mapper) {
+    std::cout << "== mapping: " << mapper->name() << " (objective "
+              << core::to_string(objective) << ") ==\n";
+    util::Table assignment({"layer", "sub-arch", "runtime (us)",
+                            "energy (uJ)"});
+    for (const auto& layer : report.layers) {
+      assignment.add_row({layer.layer_name,
+                          std::to_string(layer.subarch_index) + ":" +
+                              layer.subarch_name,
+                          util::Table::fmt(layer.runtime_ns() / 1e3, 2),
+                          util::Table::fmt(layer.energy_pJ() / 1e6, 3)});
+    }
+    std::cout << assignment.render();
+  }
+
+  std::cout << "== " << model.name << " on " << arch_label << " (R="
             << params.tiles << " C=" << params.cores_per_tile << " "
             << params.core_height << "x" << params.core_width << " L="
             << params.wavelengths << " @ " << params.clock_GHz

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
-# Runs the perf-trajectory benchmarks (bench_perf, bench_dse) and emits
-# google-benchmark JSON under bench_results/.
+# Runs the perf-trajectory benchmarks (bench_perf, bench_dse,
+# bench_mapping) and emits google-benchmark JSON under bench_results/.
 #
 # usage: scripts/bench.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -9,14 +9,15 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 OUT_DIR="bench_results"
 
-if [[ ! -x "$BUILD_DIR/bench_perf" || ! -x "$BUILD_DIR/bench_dse" ]]; then
+if [[ ! -x "$BUILD_DIR/bench_perf" || ! -x "$BUILD_DIR/bench_dse" ||
+      ! -x "$BUILD_DIR/bench_mapping" ]]; then
   echo "benchmarks not built — configuring $BUILD_DIR with SIMPHONY_BUILD_BENCH=ON" >&2
   cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release -DSIMPHONY_BUILD_BENCH=ON
-  cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_perf bench_dse
+  cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_perf bench_dse bench_mapping
 fi
 
 mkdir -p "$OUT_DIR"
-for bench in bench_perf bench_dse; do
+for bench in bench_perf bench_dse bench_mapping; do
   out="$OUT_DIR/$bench.json"
   echo "== $bench -> $out"
   "$BUILD_DIR/$bench" \

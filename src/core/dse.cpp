@@ -39,24 +39,41 @@ struct ParamsHash {
   }
 };
 
-/// Costs one parameter point.  All heavyweight inputs (template, library,
+/// Costs one parameter point.  All heavyweight inputs (templates, library,
 /// extracted GEMMs) are shared immutably across concurrent callers; the
-/// only per-point allocations are the materialized sub-architecture and a
+/// only per-point allocations are the materialized sub-architectures and a
 /// vector of small GemmWorkload records whose weight tensors still point
-/// into the caller's Model.
+/// into the caller's Model.  With a mapper set, the point is costed under
+/// the layer-to-sub-arch assignment that mapper picks for it; otherwise
+/// everything runs on sub-arch 0 (the pre-mapper behavior).
 DsePoint evaluate_point(
-    const std::shared_ptr<const arch::PtcTemplate>& ptc_template,
+    const std::vector<std::shared_ptr<const arch::PtcTemplate>>&
+        ptc_templates,
     const devlib::DeviceLibrary& lib,
     const std::vector<workload::GemmWorkload>& base_gemms,
     const std::string& model_name, const arch::ArchParams& params,
-    bool override_input_bits, bool override_output_bits) {
-  arch::Architecture system("dse-" + ptc_template->name);
-  system.add_subarch(arch::SubArchitecture(ptc_template, params, lib));
+    bool override_input_bits, bool override_output_bits,
+    const Mapper* mapper) {
+  std::string arch_name = "dse-" + ptc_templates.front()->name;
+  for (size_t t = 1; t < ptc_templates.size(); ++t) {
+    arch_name += "+" + ptc_templates[t]->name;
+  }
+  arch::Architecture system(std::move(arch_name));
+  for (const auto& ptc_template : ptc_templates) {
+    system.add_subarch(arch::SubArchitecture(ptc_template, params, lib));
+  }
   const Simulator sim(std::move(system));
+
+  auto simulate = [&](const std::vector<workload::GemmWorkload>& gemms) {
+    if (mapper != nullptr) {
+      return sim.simulate_gemms(gemms, *mapper, model_name);
+    }
+    return sim.simulate_gemms(gemms, MappingConfig(0), model_name);
+  };
 
   ModelReport report;
   if (!override_input_bits && !override_output_bits) {
-    report = sim.simulate_gemms(base_gemms, MappingConfig(0), model_name);
+    report = simulate(base_gemms);
   } else {
     std::vector<workload::GemmWorkload> gemms = base_gemms;
     for (auto& gemm : gemms) {
@@ -68,7 +85,7 @@ DsePoint evaluate_point(
       }
       if (override_output_bits) gemm.output_bits = params.output_bits;
     }
-    report = sim.simulate_gemms(gemms, MappingConfig(0), model_name);
+    report = simulate(gemms);
   }
 
   DsePoint point;
@@ -210,18 +227,25 @@ void mark_pareto_frontier(std::vector<DsePoint>& points) {
   }
 }
 
-DseResult explore(const arch::PtcTemplate& ptc_template,
+DseResult explore(const std::vector<arch::PtcTemplate>& ptc_templates,
                   const devlib::DeviceLibrary& lib,
                   const workload::Model& model, const DseSpace& space,
                   const DseOptions& options,
                   const std::function<void(const DsePoint&)>& progress) {
+  if (ptc_templates.empty()) {
+    throw std::invalid_argument("explore needs at least one PTC template");
+  }
   const std::vector<arch::ArchParams> grid = space.enumerate();
   const bool override_input_bits = !space.input_bits.empty();
   const bool override_output_bits = !space.output_bits.empty();
 
-  // Hoisted per-point invariants: one shared template, one GEMM extraction.
-  const auto shared_template =
-      std::make_shared<const arch::PtcTemplate>(ptc_template);
+  // Hoisted per-point invariants: shared templates, one GEMM extraction.
+  std::vector<std::shared_ptr<const arch::PtcTemplate>> shared_templates;
+  shared_templates.reserve(ptc_templates.size());
+  for (const auto& ptc_template : ptc_templates) {
+    shared_templates.push_back(
+        std::make_shared<const arch::PtcTemplate>(ptc_template));
+  }
   const std::vector<workload::GemmWorkload> base_gemms =
       workload::extract_gemms(model);
 
@@ -286,11 +310,12 @@ DseResult explore(const arch::PtcTemplate& ptc_template,
       if (failed.load(std::memory_order_relaxed)) break;
       pending.push_back(pool.submit([&, u] {
         try {
-          evaluated[u] = evaluate_point(shared_template, lib, base_gemms,
+          evaluated[u] = evaluate_point(shared_templates, lib, base_gemms,
                                         model.name,
                                         grid[unique_grid_index[u]],
                                         override_input_bits,
-                                        override_output_bits);
+                                        override_output_bits,
+                                        options.mapper);
           report_progress(evaluated[u]);  // a throwing callback also aborts
         } catch (...) {
           failed.store(true, std::memory_order_relaxed);
@@ -321,6 +346,15 @@ DseResult explore(const arch::PtcTemplate& ptc_template,
 
   mark_pareto_frontier(result.points);
   return result;
+}
+
+DseResult explore(const arch::PtcTemplate& ptc_template,
+                  const devlib::DeviceLibrary& lib,
+                  const workload::Model& model, const DseSpace& space,
+                  const DseOptions& options,
+                  const std::function<void(const DsePoint&)>& progress) {
+  return explore(std::vector<arch::PtcTemplate>{ptc_template}, lib, model,
+                 space, options, progress);
 }
 
 DseResult explore(const arch::PtcTemplate& ptc_template,

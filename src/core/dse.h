@@ -61,6 +61,16 @@ struct DseOptions {
   /// point).  Callbacks are serialized behind a mutex but fire in
   /// completion order, which is nondeterministic under num_threads > 1.
   int progress_every = 1;
+
+  /// Optional mapping strategy: each design point is costed under the
+  /// mapping this strategy picks for it (layer-to-sub-arch search per
+  /// point) instead of the fixed route-everything-to-sub-arch-0 default.
+  /// Most useful with the multi-template explore() overload, where every
+  /// point materializes one sub-architecture per template.  Not owned;
+  /// must be thread-safe (Mapper::map is const) and outlive the call.
+  /// Prefer serial mappers (e.g. BeamMapper's default num_threads = 1)
+  /// so pool workers are not oversubscribed.
+  const Mapper* mapper = nullptr;
 };
 
 struct DsePoint {
@@ -107,6 +117,17 @@ void mark_pareto_frontier(std::vector<DsePoint>& points);
 [[nodiscard]] DseResult explore(
     const arch::PtcTemplate& ptc_template, const devlib::DeviceLibrary& lib,
     const workload::Model& model, const DseSpace& space,
+    const std::function<void(const DsePoint&)>& progress = nullptr);
+
+/// Heterogeneous exploration: every design point materializes one
+/// sub-architecture per template (all at the same ArchParams) sharing one
+/// memory hierarchy, and the workload is routed across them by
+/// DseOptions::mapper (sub-arch 0 carries everything when no mapper is
+/// set).  Throws std::invalid_argument on an empty template list.
+[[nodiscard]] DseResult explore(
+    const std::vector<arch::PtcTemplate>& ptc_templates,
+    const devlib::DeviceLibrary& lib, const workload::Model& model,
+    const DseSpace& space, const DseOptions& options,
     const std::function<void(const DsePoint&)>& progress = nullptr);
 
 }  // namespace simphony::core

@@ -1,0 +1,386 @@
+#include "core/mapper.h"
+
+#include <algorithm>
+#include <future>
+#include <stdexcept>
+
+#include "util/thread_pool.h"
+
+namespace simphony::core {
+
+namespace {
+
+constexpr double kInfeasible = std::numeric_limits<double>::infinity();
+
+/// Per-layer objective terms of one feasible cost-matrix entry.
+struct PairCost {
+  double energy_pJ = 0.0;
+  double latency_ns = 0.0;
+};
+
+PairCost pair_cost(const CostMatrix::Entry& entry) {
+  return {entry.report.energy_pJ(), entry.report.runtime_ns()};
+}
+
+[[noreturn]] void throw_unmappable(const MappingProblem& problem,
+                                   size_t gemm_index) {
+  const workload::GemmWorkload& gemm = (*problem.gemms)[gemm_index];
+  std::string message = "no sub-architecture can run GEMM '" + gemm.name +
+                        "' (layer " + std::to_string(gemm_index) + ")";
+  for (size_t s = 0; s < problem.costs->num_subarchs(); ++s) {
+    message += "; sub-arch " + std::to_string(s) + ": " +
+               problem.costs->at(gemm_index, s).error;
+  }
+  throw std::invalid_argument(message);
+}
+
+void require_costs(const MappingProblem& problem, const char* who) {
+  if (problem.gemms == nullptr) {
+    throw std::invalid_argument(std::string(who) +
+                                " needs a MappingProblem with gemms");
+  }
+  if (problem.costs == nullptr) {
+    throw std::invalid_argument(std::string(who) +
+                                " needs a MappingProblem with a cost matrix");
+  }
+}
+
+Mapping finalize(MappingObjective objective, std::vector<size_t> assignment,
+                 double energy_pJ, double latency_ns) {
+  Mapping mapping;
+  mapping.assignment = std::move(assignment);
+  mapping.predicted_energy_pJ = energy_pJ;
+  mapping.predicted_latency_ns = latency_ns;
+  mapping.predicted_cost = objective_value(objective, energy_pJ, latency_ns);
+  return mapping;
+}
+
+}  // namespace
+
+const char* to_string(MappingObjective objective) {
+  switch (objective) {
+    case MappingObjective::kLatency:
+      return "latency";
+    case MappingObjective::kEnergy:
+      return "energy";
+    case MappingObjective::kEdp:
+      return "edp";
+  }
+  return "?";
+}
+
+std::optional<MappingObjective> parse_objective(const std::string& text) {
+  if (text == "latency") return MappingObjective::kLatency;
+  if (text == "energy") return MappingObjective::kEnergy;
+  if (text == "edp") return MappingObjective::kEdp;
+  return std::nullopt;
+}
+
+double objective_value(MappingObjective objective, double energy_pJ,
+                       double latency_ns) {
+  switch (objective) {
+    case MappingObjective::kLatency:
+      return latency_ns;
+    case MappingObjective::kEnergy:
+      return energy_pJ;
+    case MappingObjective::kEdp:
+      return energy_pJ * latency_ns;
+  }
+  return kInfeasible;
+}
+
+// ------------------------------------------------------------- CostMatrix
+
+CostMatrix::CostMatrix(size_t num_gemms, size_t num_subarchs)
+    : num_gemms_(num_gemms),
+      num_subarchs_(num_subarchs),
+      entries_(num_gemms * num_subarchs) {}
+
+const CostMatrix::Entry& CostMatrix::at(size_t gemm, size_t subarch) const {
+  if (gemm >= num_gemms_ || subarch >= num_subarchs_) {
+    throw std::out_of_range("CostMatrix::at(" + std::to_string(gemm) + ", " +
+                            std::to_string(subarch) + ") out of range");
+  }
+  return entries_[gemm * num_subarchs_ + subarch];
+}
+
+CostMatrix::Entry& CostMatrix::at(size_t gemm, size_t subarch) {
+  return const_cast<Entry&>(
+      static_cast<const CostMatrix&>(*this).at(gemm, subarch));
+}
+
+double CostMatrix::cost(size_t gemm, size_t subarch,
+                        MappingObjective objective) const {
+  const Entry& entry = at(gemm, subarch);
+  if (!entry.feasible) return kInfeasible;
+  const PairCost c = pair_cost(entry);
+  return objective_value(objective, c.energy_pJ, c.latency_ns);
+}
+
+std::vector<size_t> CostMatrix::feasible_subarchs(size_t gemm) const {
+  std::vector<size_t> out;
+  for (size_t s = 0; s < num_subarchs_; ++s) {
+    if (at(gemm, s).feasible) out.push_back(s);
+  }
+  return out;
+}
+
+// ----------------------------------------------------------------- Mapper
+
+std::vector<std::string> Mapper::validate(const arch::Architecture&) const {
+  return {};
+}
+
+// ------------------------------------------------------------- RuleMapper
+
+RuleMapper::RuleMapper(MappingConfig config) : config_(std::move(config)) {}
+
+std::vector<std::string> RuleMapper::validate(
+    const arch::Architecture& architecture) const {
+  return config_.validate(architecture);
+}
+
+Mapping RuleMapper::map(const MappingProblem& problem) const {
+  if (problem.gemms == nullptr) {
+    throw std::invalid_argument(
+        "RuleMapper needs a MappingProblem with gemms");
+  }
+  Mapping mapping;
+  mapping.assignment.reserve(problem.gemms->size());
+  for (const auto& gemm : *problem.gemms) {
+    mapping.assignment.push_back(config_.resolve(gemm));
+  }
+  return mapping;  // no costs consulted: predictions stay 0
+}
+
+// ----------------------------------------------------------- GreedyMapper
+
+GreedyMapper::GreedyMapper(MappingObjective objective)
+    : objective_(objective) {}
+
+Mapping GreedyMapper::map(const MappingProblem& problem) const {
+  require_costs(problem, "GreedyMapper");
+  const CostMatrix& costs = *problem.costs;
+
+  std::vector<size_t> assignment;
+  assignment.reserve(costs.num_gemms());
+  double energy = 0.0;
+  double latency = 0.0;
+  for (size_t g = 0; g < costs.num_gemms(); ++g) {
+    size_t best = costs.num_subarchs();
+    double best_cost = kInfeasible;
+    for (size_t s = 0; s < costs.num_subarchs(); ++s) {
+      const double c = costs.cost(g, s, objective_);
+      if (c < best_cost) {
+        best_cost = c;
+        best = s;
+      }
+    }
+    if (best == costs.num_subarchs()) throw_unmappable(problem, g);
+    const PairCost c = pair_cost(costs.at(g, best));
+    energy += c.energy_pJ;
+    latency += c.latency_ns;
+    assignment.push_back(best);
+  }
+  return finalize(objective_, std::move(assignment), energy, latency);
+}
+
+// ------------------------------------------------------------- BeamMapper
+
+namespace {
+
+/// A beam state: an assignment prefix with its objective-term sums.
+struct BeamState {
+  std::vector<size_t> assignment;
+  double energy_pJ = 0.0;
+  double latency_ns = 0.0;
+};
+
+/// One expansion of a state by one sub-arch choice.  `valid` is false for
+/// infeasible pairs (and for padding slots of the indexed write array).
+struct Candidate {
+  bool valid = false;
+  size_t state = 0;    // index into the previous beam
+  size_t subarch = 0;  // the appended choice
+  double energy_pJ = 0.0;
+  double latency_ns = 0.0;
+  double score = kInfeasible;
+};
+
+/// Strict total order: score, then the candidate's full assignment
+/// (prefix, then appended sub-arch) lexicographically.  Distinct
+/// candidates always differ in assignment, so the order — and therefore
+/// the pruned beam — is unique regardless of evaluation or sort order.
+bool candidate_less(const Candidate& a, const Candidate& b,
+                    const std::vector<BeamState>& states) {
+  if (a.score != b.score) return a.score < b.score;
+  const auto& pa = states[a.state].assignment;
+  const auto& pb = states[b.state].assignment;
+  if (pa != pb) {
+    return std::lexicographical_compare(pa.begin(), pa.end(), pb.begin(),
+                                        pb.end());
+  }
+  return a.subarch < b.subarch;
+}
+
+}  // namespace
+
+BeamMapper::BeamMapper(size_t width, MappingObjective objective,
+                       int num_threads)
+    : width_(width), objective_(objective), num_threads_(num_threads) {
+  if (width_ == 0) {
+    throw std::invalid_argument("BeamMapper width must be >= 1");
+  }
+  if (num_threads_ < 0) {
+    throw std::invalid_argument("BeamMapper num_threads must be >= 0");
+  }
+}
+
+Mapping BeamMapper::map(const MappingProblem& problem) const {
+  require_costs(problem, "BeamMapper");
+  const CostMatrix& costs = *problem.costs;
+  const size_t S = costs.num_subarchs();
+
+  const unsigned pool_threads =
+      num_threads_ == 0 ? util::ThreadPool::hardware_threads()
+                        : static_cast<unsigned>(num_threads_);
+  // 1 thread means "serial": inline execution on the calling thread.
+  util::ThreadPool pool(pool_threads <= 1 ? 0 : pool_threads);
+
+  std::vector<BeamState> beam(1);  // the empty prefix
+  std::vector<Candidate> candidates;
+  std::vector<size_t> order;
+  for (size_t g = 0; g < costs.num_gemms(); ++g) {
+    // Expand every beam state by every sub-arch choice.  Each task owns an
+    // indexed slot range, so the candidate array is identical for any
+    // thread count; scoring a pair is pure arithmetic on the cost matrix.
+    candidates.assign(beam.size() * S, Candidate{});
+    {
+      std::vector<std::future<void>> pending;
+      pending.reserve(beam.size());
+      for (size_t b = 0; b < beam.size(); ++b) {
+        pending.push_back(pool.submit([&, b, g] {
+          for (size_t s = 0; s < S; ++s) {
+            const CostMatrix::Entry& entry = costs.at(g, s);
+            if (!entry.feasible) continue;
+            const PairCost c = pair_cost(entry);
+            Candidate& cand = candidates[b * S + s];
+            cand.valid = true;
+            cand.state = b;
+            cand.subarch = s;
+            cand.energy_pJ = beam[b].energy_pJ + c.energy_pJ;
+            cand.latency_ns = beam[b].latency_ns + c.latency_ns;
+            cand.score =
+                objective_value(objective_, cand.energy_pJ, cand.latency_ns);
+          }
+        }));
+      }
+      for (auto& f : pending) f.get();
+    }
+
+    order.clear();
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (candidates[i].valid) order.push_back(i);
+    }
+    if (order.empty()) throw_unmappable(problem, g);
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return candidate_less(candidates[a], candidates[b], beam);
+    });
+    if (order.size() > width_) order.resize(width_);
+
+    std::vector<BeamState> next;
+    next.reserve(order.size());
+    for (size_t idx : order) {
+      const Candidate& cand = candidates[idx];
+      BeamState state;
+      state.assignment = beam[cand.state].assignment;
+      state.assignment.push_back(cand.subarch);
+      state.energy_pJ = cand.energy_pJ;
+      state.latency_ns = cand.latency_ns;
+      next.push_back(std::move(state));
+    }
+    beam = std::move(next);
+  }
+
+  // The beam is sorted by (score, lexicographic assignment); front() is
+  // the deterministic winner.  (With no GEMMs the empty prefix survives.)
+  const BeamState& best = beam.front();
+  return finalize(objective_, best.assignment, best.energy_pJ,
+                  best.latency_ns);
+}
+
+// ------------------------------------------------------ ExhaustiveMapper
+
+ExhaustiveMapper::ExhaustiveMapper(MappingObjective objective)
+    : objective_(objective) {}
+
+Mapping ExhaustiveMapper::map(const MappingProblem& problem) const {
+  require_costs(problem, "ExhaustiveMapper");
+  const CostMatrix& costs = *problem.costs;
+  const size_t n = costs.num_gemms();
+  const size_t S = costs.num_subarchs();
+
+  constexpr size_t kMaxCandidates = size_t{1} << 20;
+  double total = 1.0;
+  for (size_t g = 0; g < n; ++g) total *= static_cast<double>(S);
+  if (total > static_cast<double>(kMaxCandidates)) {
+    throw std::invalid_argument(
+        "ExhaustiveMapper: " + std::to_string(S) + "^" + std::to_string(n) +
+        " candidate assignments exceed the enumeration limit; use "
+        "BeamMapper");
+  }
+
+  // Every GEMM must be runnable somewhere, otherwise no assignment is
+  // feasible; report the first stuck layer with per-sub-arch diagnostics.
+  for (size_t g = 0; g < n; ++g) {
+    if (costs.feasible_subarchs(g).empty()) throw_unmappable(problem, g);
+  }
+
+  // Mixed-radix counter with the last GEMM as the least significant digit:
+  // enumeration order is lexicographic, so keeping the first strictly
+  // better assignment yields the lexicographically smallest optimum — the
+  // same tie-break BeamMapper uses.
+  std::vector<size_t> digits(n, 0);
+  std::vector<size_t> best_assignment;
+  double best_score = kInfeasible;
+  double best_energy = 0.0;
+  double best_latency = 0.0;
+  bool done = n == 0;
+  while (!done) {
+    double energy = 0.0;
+    double latency = 0.0;
+    bool feasible = true;
+    for (size_t g = 0; g < n && feasible; ++g) {
+      const CostMatrix::Entry& entry = costs.at(g, digits[g]);
+      if (!entry.feasible) {
+        feasible = false;
+        break;
+      }
+      const PairCost c = pair_cost(entry);
+      energy += c.energy_pJ;
+      latency += c.latency_ns;
+    }
+    if (feasible) {
+      const double score = objective_value(objective_, energy, latency);
+      if (score < best_score) {
+        best_score = score;
+        best_assignment = digits;
+        best_energy = energy;
+        best_latency = latency;
+      }
+    }
+
+    size_t pos = n;
+    while (pos > 0) {
+      --pos;
+      if (++digits[pos] < S) break;
+      digits[pos] = 0;
+      if (pos == 0) done = true;
+    }
+  }
+
+  return finalize(objective_, std::move(best_assignment), best_energy,
+                  best_latency);
+}
+
+}  // namespace simphony::core

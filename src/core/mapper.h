@@ -1,0 +1,215 @@
+// Cost-driven layer-to-sub-architecture mapping search (paper §III-C1,
+// §IV-B4 heterogeneous computing).
+//
+// The paper's headline heterogeneous results come from running each layer
+// on the sub-architecture that suits it.  This subsystem turns the fixed
+// first-match rule list of MappingConfig into a searched decision: a
+// Mapper consumes a MappingProblem (the extracted GEMMs plus a simulated
+// per-(GEMM, sub-arch) CostMatrix) and produces a Mapping — one sub-arch
+// index per GEMM plus the predicted totals of that assignment.
+//
+// Strategies:
+//   * RuleMapper       — wraps a MappingConfig; exactly today's fixed
+//                        routing (no costs consulted).
+//   * GreedyMapper     — per-layer argmin of the per-layer objective.
+//                        Globally optimal for additive objectives
+//                        (latency, energy); a heuristic for EDP.
+//   * BeamMapper       — width-k beam over the layer order, tracking
+//                        prefix (energy, latency) sums.  Equivalent to
+//                        exhaustive search whenever k >= S^(n-1) for S
+//                        sub-arches and n GEMMs; parallelized on
+//                        util::ThreadPool with results bit-identical for
+//                        any thread count.
+//   * ExhaustiveMapper — full S^n enumeration; the oracle the beam is
+//                        tested against (small problems only).
+#pragma once
+
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/mapping.h"
+#include "core/report.h"
+#include "workload/gemm.h"
+
+namespace simphony::core {
+
+/// What "best" means when scalarizing a candidate assignment.
+enum class MappingObjective {
+  kLatency,  // minimize total runtime
+  kEnergy,   // minimize total energy
+  kEdp,      // minimize energy-delay product of the whole model
+};
+
+[[nodiscard]] const char* to_string(MappingObjective objective);
+
+/// Parses "latency" | "energy" | "edp"; nullopt on anything else.
+[[nodiscard]] std::optional<MappingObjective> parse_objective(
+    const std::string& text);
+
+/// Scalarizes totals under an objective (lower is better).
+[[nodiscard]] double objective_value(MappingObjective objective,
+                                     double energy_pJ, double latency_ns);
+
+/// Simulated cost of every (GEMM, sub-arch) pair, built once per mapping
+/// search so strategies never re-simulate a pair.  Entries keep the full
+/// LayerReport: after the search the Simulator assembles the ModelReport
+/// from the matrix instead of simulating the chosen pairs again.
+class CostMatrix {
+ public:
+  struct Entry {
+    /// False when the sub-arch cannot run the GEMM at all (e.g. a
+    /// dynamic tensor product on a weight-stationary mesh).
+    bool feasible = false;
+    std::string error;   // the simulator's diagnostic when infeasible
+    LayerReport report;  // valid only when feasible
+  };
+
+  CostMatrix(size_t num_gemms, size_t num_subarchs);
+
+  [[nodiscard]] size_t num_gemms() const { return num_gemms_; }
+  [[nodiscard]] size_t num_subarchs() const { return num_subarchs_; }
+
+  [[nodiscard]] const Entry& at(size_t gemm, size_t subarch) const;
+  [[nodiscard]] Entry& at(size_t gemm, size_t subarch);
+
+  /// Per-layer objective value of one pair; +infinity when infeasible.
+  [[nodiscard]] double cost(size_t gemm, size_t subarch,
+                            MappingObjective objective) const;
+
+  /// Sub-arch indices able to run a GEMM, ascending.
+  [[nodiscard]] std::vector<size_t> feasible_subarchs(size_t gemm) const;
+
+ private:
+  size_t num_gemms_;
+  size_t num_subarchs_;
+  std::vector<Entry> entries_;  // row-major: [gemm * num_subarchs_ + subarch]
+};
+
+/// Everything a Mapper sees.  `costs` is null iff the strategy declared
+/// needs_costs() == false (the Simulator skips building the matrix then);
+/// `subarch_count` is the valid assignment range — it duplicates
+/// costs->num_subarchs() when a matrix is present, but is the only
+/// architecture information a costless strategy gets.
+struct MappingProblem {
+  const std::vector<workload::GemmWorkload>* gemms = nullptr;
+  const CostMatrix* costs = nullptr;
+  size_t subarch_count = 0;
+};
+
+/// A chosen assignment plus its predicted totals.  Predictions come from
+/// the cost matrix; a costless strategy (RuleMapper) leaves them at 0.
+struct Mapping {
+  std::vector<size_t> assignment;  // one sub-arch index per GEMM
+  double predicted_energy_pJ = 0.0;
+  double predicted_latency_ns = 0.0;
+  /// objective_value() of the predicted totals (0 for costless strategies).
+  double predicted_cost = 0.0;
+};
+
+/// Strategy interface.  map() must be const and thread-safe: the DSE
+/// engine shares one Mapper across concurrent design-point evaluations.
+class Mapper {
+ public:
+  virtual ~Mapper() = default;
+
+  /// Strategy name for reports and tables ("rules", "greedy", ...).
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Whether map() consults MappingProblem::costs; the Simulator only
+  /// builds the cost matrix when it will be used.
+  [[nodiscard]] virtual bool needs_costs() const { return true; }
+
+  /// Pre-flight check against a concrete architecture (e.g. rule targets
+  /// in range).  Non-empty problems abort the simulation with a clear
+  /// error before anything is costed.
+  [[nodiscard]] virtual std::vector<std::string> validate(
+      const arch::Architecture& architecture) const;
+
+  [[nodiscard]] virtual Mapping map(const MappingProblem& problem) const = 0;
+};
+
+/// Fixed first-match rule routing — today's MappingConfig behavior,
+/// bit-identical to the legacy simulate_model(model, config) path.
+class RuleMapper final : public Mapper {
+ public:
+  explicit RuleMapper(MappingConfig config);
+
+  [[nodiscard]] std::string name() const override { return "rules"; }
+  [[nodiscard]] bool needs_costs() const override { return false; }
+  [[nodiscard]] std::vector<std::string> validate(
+      const arch::Architecture& architecture) const override;
+  [[nodiscard]] Mapping map(const MappingProblem& problem) const override;
+
+  [[nodiscard]] const MappingConfig& config() const { return config_; }
+
+ private:
+  MappingConfig config_;
+};
+
+/// Per-layer argmin of the per-layer objective.  Optimal for additive
+/// objectives (latency, energy: the model total is the sum of per-layer
+/// terms); for EDP — (sum E) * (sum L), non-additive — it is a fast
+/// heuristic that BeamMapper can beat.  Ties go to the lowest sub-arch
+/// index.
+class GreedyMapper final : public Mapper {
+ public:
+  explicit GreedyMapper(
+      MappingObjective objective = MappingObjective::kEdp);
+
+  [[nodiscard]] std::string name() const override { return "greedy"; }
+  [[nodiscard]] MappingObjective objective() const { return objective_; }
+  [[nodiscard]] Mapping map(const MappingProblem& problem) const override;
+
+ private:
+  MappingObjective objective_;
+};
+
+/// Width-k beam search over the layer order.  Each beam state is an
+/// assignment prefix with its (energy, latency) sums; states are scored by
+/// objective_value() of the prefix and pruned to the best k with a
+/// deterministic tie-break (score, then lexicographic assignment).
+///
+/// Exhaustive-equivalence guarantee: with S sub-arches and n GEMMs the
+/// number of distinct prefixes after layer i is S^i, so any width
+/// k >= S^(n-1) never prunes and the result equals full enumeration.
+///
+/// Candidate expansion is parallelized on util::ThreadPool with indexed
+/// writes followed by a total-order sort, so the chosen mapping is
+/// bit-identical for any num_threads (0 = one worker per hardware thread,
+/// 1 = serial; serial is the default so nesting inside DSE workers does
+/// not oversubscribe).
+class BeamMapper final : public Mapper {
+ public:
+  explicit BeamMapper(size_t width = 8,
+                      MappingObjective objective = MappingObjective::kEdp,
+                      int num_threads = 1);
+
+  [[nodiscard]] std::string name() const override { return "beam"; }
+  [[nodiscard]] size_t width() const { return width_; }
+  [[nodiscard]] MappingObjective objective() const { return objective_; }
+  [[nodiscard]] Mapping map(const MappingProblem& problem) const override;
+
+ private:
+  size_t width_;
+  MappingObjective objective_;
+  int num_threads_;
+};
+
+/// Full S^n enumeration — exact but exponential; the oracle used to test
+/// BeamMapper's equivalence guarantee.  Refuses problems with more than
+/// ~2^20 candidate assignments.
+class ExhaustiveMapper final : public Mapper {
+ public:
+  explicit ExhaustiveMapper(
+      MappingObjective objective = MappingObjective::kEdp);
+
+  [[nodiscard]] std::string name() const override { return "exhaustive"; }
+  [[nodiscard]] Mapping map(const MappingProblem& problem) const override;
+
+ private:
+  MappingObjective objective_;
+};
+
+}  // namespace simphony::core

@@ -27,13 +27,19 @@ size_t MappingConfig::resolve(const workload::GemmWorkload& gemm) const {
 std::vector<std::string> MappingConfig::validate(
     const arch::Architecture& architecture) const {
   std::vector<std::string> problems;
+  const std::string range =
+      " (architecture '" + architecture.name() + "' has " +
+      std::to_string(architecture.subarch_count()) + " sub-architecture(s))";
   if (default_subarch_ >= architecture.subarch_count()) {
-    problems.push_back("default sub-arch index out of range");
+    problems.push_back("default sub-arch index " +
+                       std::to_string(default_subarch_) + " out of range" +
+                       range);
   }
-  for (const auto& rule : rules_) {
-    if (rule.subarch_index >= architecture.subarch_count()) {
-      problems.push_back("rule targets out-of-range sub-arch index " +
-                         std::to_string(rule.subarch_index));
+  for (size_t i = 0; i < rules_.size(); ++i) {
+    if (rules_[i].subarch_index >= architecture.subarch_count()) {
+      problems.push_back("rule " + std::to_string(i) +
+                         " targets out-of-range sub-arch index " +
+                         std::to_string(rules_[i].subarch_index) + range);
     }
   }
   return problems;

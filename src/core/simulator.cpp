@@ -1,5 +1,6 @@
 #include "core/simulator.h"
 
+#include <optional>
 #include <stdexcept>
 
 #include "workload/gemm.h"
@@ -41,6 +42,13 @@ LayerReport Simulator::simulate_one(
 
 LayerReport Simulator::simulate_gemm(size_t subarch_index,
                                      const workload::GemmWorkload& gemm) const {
+  if (subarch_index >= architecture_.subarch_count()) {
+    throw std::invalid_argument(
+        "simulate_gemm: sub-arch index " + std::to_string(subarch_index) +
+        " out of range (architecture '" + architecture_.name() + "' has " +
+        std::to_string(architecture_.subarch_count()) +
+        " sub-architecture(s))");
+  }
   const arch::SubArchitecture& subarch =
       architecture_.subarch(subarch_index);
   const memory::MemoryHierarchy memory = memory::build_memory_hierarchy(
@@ -48,25 +56,98 @@ LayerReport Simulator::simulate_gemm(size_t subarch_index,
   return simulate_one(subarch_index, gemm, memory);
 }
 
+memory::MemoryHierarchy Simulator::build_shared_memory(
+    const std::vector<workload::GemmWorkload>& gemms) const {
+  std::vector<const arch::SubArchitecture*> subarch_ptrs;
+  for (size_t i = 0; i < architecture_.subarch_count(); ++i) {
+    subarch_ptrs.push_back(&architecture_.subarch(i));
+  }
+  return memory::build_memory_hierarchy(subarch_ptrs, gemms,
+                                        options_.memory);
+}
+
+CostMatrix Simulator::build_cost_matrix(
+    const std::vector<workload::GemmWorkload>& gemms,
+    const memory::MemoryHierarchy& memory) const {
+  CostMatrix costs(gemms.size(), architecture_.subarch_count());
+  for (size_t g = 0; g < gemms.size(); ++g) {
+    for (size_t s = 0; s < architecture_.subarch_count(); ++s) {
+      CostMatrix::Entry& entry = costs.at(g, s);
+      try {
+        entry.report = simulate_one(s, gemms[g], memory);
+        entry.feasible = true;
+      } catch (const std::invalid_argument& e) {
+        // The simulator rejects workload/hardware mismatches (e.g. a
+        // dynamic tensor product on a static mesh) with invalid_argument;
+        // that is an infeasible pair the search routes around.  Anything
+        // else is a genuine failure and must propagate, not silently
+        // become a routing decision.
+        entry.error = e.what();
+      }
+    }
+  }
+  return costs;
+}
+
+CostMatrix Simulator::build_cost_matrix(
+    const std::vector<workload::GemmWorkload>& gemms) const {
+  return build_cost_matrix(gemms, build_shared_memory(gemms));
+}
+
 ModelReport Simulator::simulate_model(const workload::Model& model,
                                       const MappingConfig& mapping) const {
   return simulate_gemms(workload::extract_gemms(model), mapping, model.name);
 }
 
+ModelReport Simulator::simulate_model(const workload::Model& model,
+                                      const Mapper& mapper,
+                                      Mapping* chosen) const {
+  return simulate_gemms(workload::extract_gemms(model), mapper, model.name,
+                        chosen);
+}
+
 ModelReport Simulator::simulate_gemms(
     const std::vector<workload::GemmWorkload>& gemms,
     const MappingConfig& mapping, const std::string& model_name) const {
-  const auto problems = mapping.validate(architecture_);
+  return simulate_gemms(gemms, RuleMapper(mapping), model_name);
+}
+
+ModelReport Simulator::simulate_gemms(
+    const std::vector<workload::GemmWorkload>& gemms, const Mapper& mapper,
+    const std::string& model_name, Mapping* chosen) const {
+  const auto problems = mapper.validate(architecture_);
   if (!problems.empty()) {
     throw std::invalid_argument("invalid mapping config: " + problems[0]);
   }
 
-  std::vector<const arch::SubArchitecture*> subarch_ptrs;
-  for (size_t i = 0; i < architecture_.subarch_count(); ++i) {
-    subarch_ptrs.push_back(&architecture_.subarch(i));
+  const memory::MemoryHierarchy memory = build_shared_memory(gemms);
+
+  MappingProblem problem;
+  problem.gemms = &gemms;
+  problem.subarch_count = architecture_.subarch_count();
+  std::optional<CostMatrix> costs;
+  if (mapper.needs_costs()) {
+    costs.emplace(build_cost_matrix(gemms, memory));
+    problem.costs = &*costs;
   }
-  const memory::MemoryHierarchy memory =
-      memory::build_memory_hierarchy(subarch_ptrs, gemms, options_.memory);
+
+  Mapping mapping = mapper.map(problem);
+  if (mapping.assignment.size() != gemms.size()) {
+    throw std::logic_error(
+        "mapper '" + mapper.name() + "' returned " +
+        std::to_string(mapping.assignment.size()) + " assignments for " +
+        std::to_string(gemms.size()) + " GEMMs");
+  }
+  for (size_t g = 0; g < gemms.size(); ++g) {
+    if (mapping.assignment[g] >= architecture_.subarch_count()) {
+      throw std::invalid_argument(
+          "mapper '" + mapper.name() + "' routed GEMM '" + gemms[g].name +
+          "' to sub-arch index " + std::to_string(mapping.assignment[g]) +
+          " but architecture '" + architecture_.name() + "' has only " +
+          std::to_string(architecture_.subarch_count()) +
+          " sub-architecture(s)");
+    }
+  }
 
   ModelReport report;
   report.model_name = model_name;
@@ -74,9 +155,15 @@ ModelReport Simulator::simulate_gemms(
   report.memory = memory;
   report.memory_area_mm2 = memory.total_sram_area_mm2();
 
-  for (const auto& gemm : gemms) {
-    const size_t target = mapping.resolve(gemm);
-    LayerReport layer = simulate_one(target, gemm, memory);
+  for (size_t g = 0; g < gemms.size(); ++g) {
+    const size_t target = mapping.assignment[g];
+    // The cost matrix already simulated every feasible pair; reuse that
+    // result instead of re-simulating the chosen pair.  A rule-driven
+    // route to an infeasible pair still surfaces the simulator's own
+    // diagnostic via simulate_one.
+    LayerReport layer = costs && costs->at(g, target).feasible
+                            ? costs->at(g, target).report
+                            : simulate_one(target, gemms[g], memory);
     report.total_energy.merge(layer.energy);
     report.total_runtime_ns += layer.runtime_ns();
     report.layers.push_back(std::move(layer));
@@ -85,6 +172,7 @@ ModelReport Simulator::simulate_gemms(
   for (size_t i = 0; i < architecture_.subarch_count(); ++i) {
     report.subarch_area.push_back(analyze_area(i));
   }
+  if (chosen != nullptr) *chosen = std::move(mapping);
   return report;
 }
 

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "arch/hierarchy.h"
+#include "core/mapper.h"
 #include "core/mapping.h"
 #include "core/report.h"
 #include "devlib/power_model.h"
@@ -38,14 +39,26 @@ class Simulator {
   [[nodiscard]] const SimulationOptions& options() const { return options_; }
 
   /// Simulate one GEMM on a specific sub-architecture, sizing a dedicated
-  /// memory hierarchy for it.
+  /// memory hierarchy for it.  Throws std::invalid_argument when
+  /// `subarch_index` is out of range.
   [[nodiscard]] LayerReport simulate_gemm(
       size_t subarch_index, const workload::GemmWorkload& gemm) const;
 
   /// Simulate a whole model under a mapping config: extract GEMMs, size the
   /// shared memory hierarchy, map + cost every layer, aggregate.
+  /// Equivalent to the Mapper overload with RuleMapper(mapping).
   [[nodiscard]] ModelReport simulate_model(const workload::Model& model,
                                            const MappingConfig& mapping) const;
+
+  /// Simulate a whole model under a mapping *strategy*: extract GEMMs,
+  /// size the shared memory hierarchy, build the per-(sub-arch, GEMM)
+  /// CostMatrix (when the strategy consults costs), let the Mapper choose
+  /// the assignment, and assemble the report from the matrix so chosen
+  /// pairs are never simulated twice.  `chosen` (optional) receives the
+  /// selected Mapping.
+  [[nodiscard]] ModelReport simulate_model(const workload::Model& model,
+                                           const Mapper& mapper,
+                                           Mapping* chosen = nullptr) const;
 
   /// Same flow for GEMMs that were already extracted (the DSE engine
   /// extracts once and re-costs the same workloads at many parameter
@@ -54,6 +67,19 @@ class Simulator {
   [[nodiscard]] ModelReport simulate_gemms(
       const std::vector<workload::GemmWorkload>& gemms,
       const MappingConfig& mapping, const std::string& model_name = "") const;
+
+  /// Mapper-strategy variant of simulate_gemms (see the simulate_model
+  /// overload above).
+  [[nodiscard]] ModelReport simulate_gemms(
+      const std::vector<workload::GemmWorkload>& gemms, const Mapper& mapper,
+      const std::string& model_name = "", Mapping* chosen = nullptr) const;
+
+  /// Simulates every (GEMM, sub-arch) pair against a shared memory
+  /// hierarchy sized for `gemms`.  Pairs the architecture cannot run (e.g.
+  /// dynamic tensor products on a static mesh) come back infeasible with
+  /// the simulator's diagnostic instead of throwing.
+  [[nodiscard]] CostMatrix build_cost_matrix(
+      const std::vector<workload::GemmWorkload>& gemms) const;
 
   /// Area-only analysis (used by the Fig. 7a/8a/10a benches).
   [[nodiscard]] layout::AreaBreakdown analyze_area(size_t subarch_index) const;
@@ -64,6 +90,13 @@ class Simulator {
 
   [[nodiscard]] LayerReport simulate_one(
       size_t subarch_index, const workload::GemmWorkload& gemm,
+      const memory::MemoryHierarchy& memory) const;
+
+  [[nodiscard]] memory::MemoryHierarchy build_shared_memory(
+      const std::vector<workload::GemmWorkload>& gemms) const;
+
+  [[nodiscard]] CostMatrix build_cost_matrix(
+      const std::vector<workload::GemmWorkload>& gemms,
       const memory::MemoryHierarchy& memory) const;
 };
 
