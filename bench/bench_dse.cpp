@@ -86,6 +86,58 @@ BENCHMARK(BM_ExploreCachedDuplicates)
     ->Arg(1)
     ->Unit(benchmark::kMillisecond);
 
+/// Point-list generation cost of the samplers (no simulation): how fast
+/// the engine can draw N design points from a 7-axis space.
+void BM_SamplerDraw(benchmark::State& state) {
+  core::DseSpace space = sweep_3axis();
+  space.cores_per_tile = {1, 2, 4};
+  space.core_widths = {2, 4, 8};
+  const size_t n = static_cast<size_t>(state.range(1));
+  const core::RandomSampler random(n, 7);
+  const core::LatinHypercubeSampler lhs(n, 7);
+  const core::DseSampler& sampler =
+      state.range(0) == 0 ? static_cast<const core::DseSampler&>(random)
+                          : static_cast<const core::DseSampler&>(lhs);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.sample(space));
+  }
+  state.SetLabel(sampler.name());
+  state.counters["points"] = static_cast<double>(n);
+}
+BENCHMARK(BM_SamplerDraw)
+    ->Args({0, 4096})
+    ->Args({0, 65536})
+    ->Args({1, 4096})
+    ->Args({1, 65536})
+    ->Unit(benchmark::kMillisecond);
+
+/// Recombining K shards of an N-point sweep: concatenate, restore
+/// canonical order, recompute the frontier.
+void BM_MergeShards(benchmark::State& state) {
+  const size_t n = 65536;
+  const size_t shard_count = static_cast<size_t>(state.range(0));
+  util::Rng rng(7);
+  std::vector<core::DseResult> shards(shard_count);
+  for (size_t g = 0; g < n; ++g) {
+    core::DsePoint p;
+    p.index = g;
+    p.energy_pJ = rng.uniform(1.0, 1000.0);
+    p.latency_ns = rng.uniform(1.0, 1000.0);
+    p.area_mm2 = rng.uniform(1.0, 1000.0);
+    shards[g % shard_count].points.push_back(p);
+  }
+  for (auto _ : state) {
+    std::vector<core::DseResult> copy = shards;
+    benchmark::DoNotOptimize(core::merge(std::move(copy)));
+  }
+  state.counters["points"] = static_cast<double>(n);
+}
+BENCHMARK(BM_MergeShards)
+    ->Arg(2)
+    ->Arg(8)
+    ->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_ParetoFrontier(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
   util::Rng rng(7);

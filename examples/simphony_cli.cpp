@@ -11,10 +11,24 @@
 //     --objective latency|energy|edp  what greedy/beam minimize (default edp)
 //     --beam-width K         beam width for --mapping beam (default 8)
 //     --sweep AXIS=V1,V2,..  DSE mode: sweep an axis (repeatable); axes are
-//                            tiles|cores|size|wavelengths|bits|output
+//                            tiles|cores|size|width|wavelengths|bits|output
+//     --sample grid|random|lhs  how to draw points from the swept space
+//                            (default grid = full cross product)
+//     --samples N            point count for --sample random|lhs
+//     --seed S               sampler seed (default 1, reproducible)
+//     --shard I/N            evaluate only slice I of N (canonical index
+//                            mod N == I); combine shard files with --merge
+//     --out FILE             stream completed points to FILE as JSON
 //     --threads N            DSE worker threads (0 = all hardware threads)
 //     --no-dse-cache         disable the duplicate-point evaluation cache
 //     --json | --csv         machine-readable output
+//
+//   example_simphony_cli --merge a.json b.json ...
+//     merge mode: recombine shard files written by --out (or --json
+//     output) into one canonical result with a recomputed Pareto
+//     frontier, printed as JSON to stdout (or --out FILE).  Merging every
+//     shard of a sweep reproduces the unsharded --json output byte for
+//     byte.
 //
 // All options also accept --flag=value syntax.  Without a description file
 // or --arch the built-in TeMPO template is used; with a description file
@@ -67,6 +81,22 @@ int parse_int(const std::string& text) {
     throw std::invalid_argument("bad integer '" + text + "'");
   }
   return value;
+}
+
+uint64_t parse_uint64(const std::string& text) {
+  size_t parsed = 0;
+  unsigned long long value = 0;
+  try {
+    // stoull accepts a leading '-' (wrapping); reject it explicitly.
+    if (text.empty() || text[0] == '-') throw std::invalid_argument(text);
+    value = std::stoull(text, &parsed);
+  } catch (const std::exception&) {
+    parsed = 0;
+  }
+  if (text.empty() || parsed != text.size()) {
+    throw std::invalid_argument("bad non-negative integer '" + text + "'");
+  }
+  return static_cast<uint64_t>(value);
 }
 
 std::vector<int> parse_int_list(const std::string& csv) {
@@ -122,6 +152,8 @@ void apply_sweep_axis(core::DseSpace& space, const std::string& spec) {
     target = &space.cores_per_tile;
   } else if (axis == "size") {
     target = &space.core_sizes;
+  } else if (axis == "width") {
+    target = &space.core_widths;
   } else if (axis == "wavelengths") {
     target = &space.wavelengths;
   } else if (axis == "bits") {
@@ -141,53 +173,176 @@ void apply_sweep_axis(core::DseSpace& space, const std::string& spec) {
   *target = values;
 }
 
+core::DseShard parse_shard(const std::string& spec) {
+  const size_t slash = spec.find('/');
+  if (slash == std::string::npos) {
+    throw std::invalid_argument("--shard expects I/N, got '" + spec + "'");
+  }
+  core::DseShard shard;
+  shard.index = parse_int(spec.substr(0, slash));
+  shard.count = parse_int(spec.substr(slash + 1));
+  if (shard.count < 1 || shard.index < 0 || shard.index >= shard.count) {
+    throw std::invalid_argument("--shard " + spec +
+                                " out of range (need 0 <= I < N)");
+  }
+  return shard;
+}
+
+/// The canonical DSE result document: metadata + the point list.  The
+/// --json output of an unsharded run and the --merge of its shards render
+/// this identically, so the two can be diff'd byte for byte.
+util::Json result_root(const std::string& model_name,
+                       const std::string& arch_label,
+                       const std::string& sampler_name, size_t total_points,
+                       const core::DseShard& shard,
+                       const core::DseResult& result) {
+  util::Json root = core::to_json(result);
+  root["model"] = model_name;
+  root["arch"] = arch_label;
+  root["sampler"] = sampler_name;
+  root["total_points"] = total_points;
+  if (shard.count > 1) {
+    util::Json shard_json;
+    shard_json["index"] = shard.index;
+    shard_json["count"] = shard.count;
+    root["shard"] = std::move(shard_json);
+  }
+  return root;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::invalid_argument("cannot open " + path);
+  std::stringstream buf;
+  buf << f.rdbuf();
+  return buf.str();
+}
+
+std::string metadata_string(const util::Json& root, const std::string& key,
+                            const std::string& fallback) {
+  return root.contains(key) ? root.at(key).as_string() : fallback;
+}
+
+/// --merge mode: recombine shard files into the canonical order with a
+/// recomputed global Pareto frontier.
+int run_merge(const std::vector<std::string>& files,
+              const std::string& out_path) {
+  std::vector<core::DseResult> shards;
+  std::string model_name;
+  std::string arch_label;
+  std::string sampler_name;
+  size_t total_points = 0;
+  for (size_t i = 0; i < files.size(); ++i) {
+    const util::Json root = util::Json::parse(read_file(files[i]));
+    shards.push_back(core::dse_result_from_json(root));
+    const std::string model = metadata_string(root, "model", "");
+    const std::string arch = metadata_string(root, "arch", "");
+    const std::string sampler = metadata_string(root, "sampler", "grid");
+    const size_t total =
+        root.contains("total_points")
+            ? static_cast<size_t>(root.at("total_points").as_number())
+            : 0;
+    if (i == 0) {
+      model_name = model;
+      arch_label = arch;
+      sampler_name = sampler;
+      total_points = total;
+    } else if (model != model_name || arch != arch_label ||
+               sampler != sampler_name || total != total_points) {
+      throw std::invalid_argument(
+          "--merge: " + files[i] + " is from a different sweep than " +
+          files[0] + " (model/arch/sampler/total_points mismatch)");
+    }
+  }
+  const core::DseResult merged = core::merge(std::move(shards));
+  if (total_points == 0) total_points = merged.points.size();
+  if (merged.points.size() != total_points) {
+    std::cerr << "simphony_cli: warning: merged " << merged.points.size()
+              << " of " << total_points
+              << " points — missing shard file(s)?\n";
+  }
+  const util::Json root =
+      result_root(model_name, arch_label, sampler_name, total_points,
+                  core::DseShard{}, merged);
+  if (out_path.empty()) {
+    std::cout << root.dump(2) << "\n";
+  } else {
+    std::ofstream out(out_path);
+    if (!out) throw std::invalid_argument("cannot open --out " + out_path);
+    out << root.dump(2) << "\n";
+  }
+  return 0;
+}
+
 int run_dse(const std::vector<arch::PtcTemplate>& ptcs,
             const devlib::DeviceLibrary& lib, const workload::Model& model,
             const core::DseSpace& space, const core::DseOptions& options,
-            bool as_json, bool as_csv) {
+            const std::string& sampler_name, size_t total_points,
+            const std::string& out_path, bool as_json, bool as_csv) {
   std::string arch_label = ptcs.front().name;
   for (size_t t = 1; t < ptcs.size(); ++t) arch_label += "+" + ptcs[t].name;
+
+  // --out streams each point the moment it completes (completion order;
+  // the "index" field is the canonical position), re-terminating the
+  // array after every point and seeking back over the footer, so the
+  // file stays parseable (and mergeable) even if a long sweep is killed
+  // mid-run.  --merge restores canonical order and recomputes the
+  // frontier.
+  std::ofstream out_stream;
+  std::function<void(const core::DsePoint&)> progress;
+  bool first_point = true;
+  if (!out_path.empty()) {
+    out_stream.open(out_path);
+    if (!out_stream) {
+      throw std::invalid_argument("cannot open --out " + out_path);
+    }
+    out_stream << "{\n\"arch\": " << util::Json(arch_label).dump(-1)
+               << ",\n\"model\": " << util::Json(model.name).dump(-1)
+               << ",\n\"sampler\": " << util::Json(sampler_name).dump(-1)
+               << ",\n\"shard\": {\"count\": " << options.shard.count
+               << ", \"index\": " << options.shard.index
+               << "},\n\"total_points\": " << total_points
+               << ",\n\"points\": [";
+    progress = [&](const core::DsePoint& pt) {
+      if (!first_point) out_stream << ",";
+      first_point = false;
+      out_stream << "\n" << core::to_json(pt).dump(-1);
+      const std::ofstream::pos_type point_end = out_stream.tellp();
+      out_stream << "\n]\n}\n";
+      out_stream.flush();
+      out_stream.seekp(point_end);
+    };
+  }
+
   const core::DseResult result =
-      core::explore(ptcs, lib, model, space, options);
+      core::explore(ptcs, lib, model, space, options, progress);
+
+  if (out_stream.is_open()) {
+    // An empty shard never wrote the footer; otherwise it is already on
+    // disk past the put pointer from the last point's write.
+    if (first_point) out_stream << "\n]\n}\n";
+    out_stream.flush();
+  }
 
   if (as_json) {
-    util::Json points{util::Json::Array{}};
-    for (const auto& pt : result.points) {
-      util::Json j;
-      j["tiles"] = pt.params.tiles;
-      j["cores_per_tile"] = pt.params.cores_per_tile;
-      j["core_height"] = pt.params.core_height;
-      j["core_width"] = pt.params.core_width;
-      j["wavelengths"] = pt.params.wavelengths;
-      j["input_bits"] = pt.params.input_bits;
-      j["weight_bits"] = pt.params.weight_bits;
-      j["output_bits"] = pt.params.output_bits;
-      j["energy_pJ"] = pt.energy_pJ;
-      j["latency_ns"] = pt.latency_ns;
-      j["area_mm2"] = pt.area_mm2;
-      j["power_W"] = pt.power_W;
-      j["tops"] = pt.tops;
-      j["pareto"] = pt.pareto;
-      points.push_back(std::move(j));
-    }
-    util::Json root;
-    root["model"] = model.name;
-    root["arch"] = arch_label;
-    root["points"] = std::move(points);
-    std::cout << root.dump(2) << "\n";
+    std::cout << result_root(model.name, arch_label, sampler_name,
+                             total_points, options.shard, result)
+                     .dump(2)
+              << "\n";
     return 0;
   }
   if (as_csv) {
     std::ostringstream csv;
-    csv.precision(12);  // match the JSON writer; 6 digits merges points
-    csv << "tiles,cores,height,width,wavelengths,in_bits,w_bits,out_bits,"
-           "energy_pJ,latency_ns,area_mm2,power_W,tops,pareto\n";
+    csv.precision(12);  // default 6 digits would merge distinct points
+                        // (JSON output is round-trip exact; CSV is not)
+    csv << "index,tiles,cores,height,width,wavelengths,in_bits,w_bits,"
+           "out_bits,energy_pJ,latency_ns,area_mm2,power_W,tops,pareto\n";
     for (const auto& pt : result.points) {
-      csv << pt.params.tiles << "," << pt.params.cores_per_tile << ","
-          << pt.params.core_height << "," << pt.params.core_width << ","
-          << pt.params.wavelengths << "," << pt.params.input_bits << ","
-          << pt.params.weight_bits << "," << pt.params.output_bits << ","
-          << pt.energy_pJ << ","
+      csv << pt.index << "," << pt.params.tiles << ","
+          << pt.params.cores_per_tile << "," << pt.params.core_height << ","
+          << pt.params.core_width << "," << pt.params.wavelengths << ","
+          << pt.params.input_bits << "," << pt.params.weight_bits << ","
+          << pt.params.output_bits << "," << pt.energy_pJ << ","
           << pt.latency_ns << "," << pt.area_mm2 << "," << pt.power_W << ","
           << pt.tops << "," << (pt.pareto ? 1 : 0) << "\n";
     }
@@ -196,16 +351,23 @@ int run_dse(const std::vector<arch::PtcTemplate>& ptcs,
   }
 
   std::cout << "== DSE: " << model.name << " on " << arch_label << " ("
-            << result.points.size() << " points) ==\n";
-  util::Table table({"R", "C", "HxW", "L", "bits(in/w/out)", "energy (uJ)",
-                     "latency (us)", "area (mm^2)", "Pareto"});
+            << result.points.size() << " of " << total_points
+            << " points, sampler " << sampler_name;
+  if (options.shard.count > 1) {
+    std::cout << ", shard " << options.shard.index << "/"
+              << options.shard.count;
+  }
+  std::cout << ") ==\n";
+  util::Table table({"#", "R", "C", "HxW", "L", "bits(in/w/out)",
+                     "energy (uJ)", "latency (us)", "area (mm^2)", "Pareto"});
   auto bits_label = [](const arch::ArchParams& p) {
     return std::to_string(p.input_bits) + "/" +
            std::to_string(p.weight_bits) + "/" +
            std::to_string(p.output_bits);
   };
   for (const auto& pt : result.points) {
-    table.add_row({std::to_string(pt.params.tiles),
+    table.add_row({std::to_string(pt.index),
+                   std::to_string(pt.params.tiles),
                    std::to_string(pt.params.cores_per_tile),
                    std::to_string(pt.params.core_height) + "x" +
                        std::to_string(pt.params.core_width),
@@ -223,6 +385,10 @@ int run_dse(const std::vector<arch::PtcTemplate>& ptcs,
             << best.params.core_height << "x" << best.params.core_width
             << " L=" << best.params.wavelengths << " bits="
             << bits_label(best.params) << "\n";
+  if (options.shard.count > 1) {
+    std::cout << "(shard-local frontier; --merge the shard files for the "
+                 "global one)\n";
+  }
   return 0;
 }
 
@@ -238,6 +404,11 @@ int run(int argc, char** argv) {
   core::DseSpace sweep_space;
   core::DseOptions dse_options;
   std::string dse_flag_seen;
+  std::string sample_spec = "grid";
+  int samples = 0;
+  uint64_t seed = 1;
+  std::string out_path;
+  std::vector<std::string> merge_files;
   bool sweeping = false;
   bool as_json = false;
   bool as_csv = false;
@@ -324,6 +495,37 @@ int run(int argc, char** argv) {
     } else if (arg == "--sweep") {
       apply_sweep_axis(sweep_space, next());
       sweeping = true;
+    } else if (arg == "--sample") {
+      sample_spec = next();
+      if (sample_spec != "grid" && sample_spec != "random" &&
+          sample_spec != "lhs") {
+        throw std::invalid_argument("--sample expects grid|random|lhs, got '" +
+                                    sample_spec + "'");
+      }
+      dse_flag_seen = arg;
+    } else if (arg == "--samples") {
+      samples = parse_int(next());
+      if (samples < 1) {
+        throw std::invalid_argument("--samples expects a positive integer");
+      }
+      dse_flag_seen = arg;
+    } else if (arg == "--seed") {
+      seed = parse_uint64(next());
+      dse_flag_seen = arg;
+    } else if (arg == "--shard") {
+      dse_options.shard = parse_shard(next());
+      dse_flag_seen = arg;
+    } else if (arg == "--out") {
+      out_path = next();
+    } else if (arg == "--merge") {
+      // Merge mode: the following non-flag arguments are shard files.
+      while (i + 1 < args.size() && args[i + 1].rfind("--", 0) != 0) {
+        merge_files.push_back(args[++i]);
+      }
+      if (merge_files.empty()) {
+        throw std::invalid_argument("--merge expects one or more shard "
+                                    "files");
+      }
     } else if (arg == "--threads") {
       dse_options.num_threads = parse_int(next());
       if (dse_options.num_threads < 0) {
@@ -347,9 +549,11 @@ int run(int argc, char** argv) {
                    "mrr|butterfly|pcm|wdm) "
                    "[--mapping rules|greedy|beam] "
                    "[--objective latency|energy|edp] [--beam-width K] "
-                   "[--sweep AXIS=V1,V2,...] (axes: tiles|cores|size|"
-                   "wavelengths|bits|output) [--threads N] [--no-dse-cache] "
-                   "[--json|--csv]\n";
+                   "[--sweep AXIS=V1,V2,...] (axes: tiles|cores|size|width|"
+                   "wavelengths|bits|output) [--sample grid|random|lhs] "
+                   "[--samples N] [--seed S] [--shard I/N] [--out FILE] "
+                   "[--threads N] [--no-dse-cache] [--json|--csv]\n"
+                   "       simphony_cli --merge a.json b.json ...\n";
       return 0;
     } else if (arg.rfind("--", 0) == 0) {
       throw std::invalid_argument("unknown option " + arg);
@@ -362,11 +566,18 @@ int run(int argc, char** argv) {
       }
       std::ifstream f(arg);
       if (!f) throw std::invalid_argument("cannot open " + arg);
-      std::stringstream buf;
-      buf << f.rdbuf();
-      ptcs = {arch::parse_description(buf.str())};
+      ptcs = {arch::parse_description(read_file(arg))};
       arch_from_file = true;
     }
+  }
+
+  if (!merge_files.empty()) {
+    if (sweeping || !dse_flag_seen.empty()) {
+      throw std::invalid_argument(
+          "--merge is a standalone mode; it does not combine with --sweep "
+          "or other DSE flags");
+    }
+    return run_merge(merge_files, out_path);
   }
 
   devlib::DeviceLibrary lib = devlib::DeviceLibrary::standard();
@@ -393,13 +604,37 @@ int run(int argc, char** argv) {
   if (sweeping) {
     sweep_space.base = params;
     dse_options.mapper = mapper.get();
-    return run_dse(ptcs, lib, model, sweep_space, dse_options, as_json,
-                   as_csv);
+    std::unique_ptr<core::DseSampler> sampler;
+    if (sample_spec == "random" || sample_spec == "lhs") {
+      if (samples < 1) {
+        throw std::invalid_argument("--sample " + sample_spec +
+                                    " needs --samples N");
+      }
+      if (sample_spec == "random") {
+        sampler = std::make_unique<core::RandomSampler>(
+            static_cast<size_t>(samples), seed);
+      } else {
+        sampler = std::make_unique<core::LatinHypercubeSampler>(
+            static_cast<size_t>(samples), seed);
+      }
+    } else if (samples > 0) {
+      throw std::invalid_argument(
+          "--samples only applies to --sample random|lhs");
+    }
+    dse_options.sampler = sampler.get();
+    const size_t total_points = sampler != nullptr
+                                    ? static_cast<size_t>(samples)
+                                    : sweep_space.size();
+    return run_dse(ptcs, lib, model, sweep_space, dse_options, sample_spec,
+                   total_points, out_path, as_json, as_csv);
   }
   if (!dse_flag_seen.empty()) {
     throw std::invalid_argument(dse_flag_seen +
                                 " only applies to DSE mode; add at least "
                                 "one --sweep axis");
+  }
+  if (!out_path.empty()) {
+    throw std::invalid_argument("--out only applies to DSE or merge mode");
   }
 
   std::string arch_label = ptcs.front().name;

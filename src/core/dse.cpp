@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <future>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -12,6 +14,7 @@
 #include <utility>
 
 #include "util/hash.h"
+#include "util/rng.h"
 #include "util/thread_pool.h"
 #include "workload/gemm.h"
 
@@ -21,6 +24,65 @@ namespace {
 
 std::vector<int> axis_or(const std::vector<int>& axis, int fallback) {
   return axis.empty() ? std::vector<int>{fallback} : axis;
+}
+
+void require_positive(const std::vector<int>& axis, const char* name) {
+  for (int v : axis) {
+    if (v <= 0) {
+      throw std::invalid_argument(std::string(name) +
+                                  " values must be positive");
+    }
+  }
+}
+
+/// The candidate values of the seven axes in canonical order, with the
+/// "keep base" sentinel semantics shared by grid enumeration and the
+/// samplers.  0 marks "axis not swept" (rejected above as a user value)
+/// for the size/width/bits axes: the base core_height/core_width pair is
+/// kept as-is so a non-square base architecture survives other sweeps,
+/// and per-layer operand/output bits stay with the workload.
+struct ResolvedAxes {
+  std::vector<int> tiles;
+  std::vector<int> cores;
+  std::vector<int> sizes;
+  std::vector<int> widths;
+  std::vector<int> wavelengths;
+  std::vector<int> in_bits;
+  std::vector<int> out_bits;
+};
+
+ResolvedAxes resolve_axes(const DseSpace& space) {
+  require_positive(space.core_sizes, "core_sizes");
+  require_positive(space.core_widths, "core_widths");
+  require_positive(space.input_bits, "input_bits");
+  require_positive(space.output_bits, "output_bits");
+  return ResolvedAxes{axis_or(space.tiles, space.base.tiles),
+                      axis_or(space.cores_per_tile, space.base.cores_per_tile),
+                      axis_or(space.core_sizes, 0),
+                      axis_or(space.core_widths, 0),
+                      axis_or(space.wavelengths, space.base.wavelengths),
+                      axis_or(space.input_bits, 0),
+                      axis_or(space.output_bits, 0)};
+}
+
+arch::ArchParams make_point(const DseSpace& space, int tiles, int cores,
+                            int hw, int width, int lambda, int bits,
+                            int out_bits) {
+  arch::ArchParams p = space.base;
+  p.tiles = tiles;
+  p.cores_per_tile = cores;
+  if (hw > 0) {
+    p.core_height = hw;
+    p.core_width = hw;
+  }
+  if (width > 0) p.core_width = width;  // decoupled W wins over H = W
+  p.wavelengths = lambda;
+  if (bits > 0) {
+    p.input_bits = bits;
+    p.weight_bits = bits;
+  }  // unswept: keep base input/weight bits, which may differ
+  if (out_bits > 0) p.output_bits = out_bits;
+  return p;
 }
 
 struct ParamsHash {
@@ -101,46 +163,18 @@ DsePoint evaluate_point(
 }  // namespace
 
 std::vector<arch::ArchParams> DseSpace::enumerate() const {
-  for (int hw : core_sizes) {
-    if (hw <= 0) {
-      throw std::invalid_argument("core_sizes values must be positive");
-    }
-  }
-  for (int bits : input_bits) {
-    if (bits <= 0) {
-      throw std::invalid_argument("input_bits values must be positive");
-    }
-  }
-  for (int bits : output_bits) {
-    if (bits <= 0) {
-      throw std::invalid_argument("output_bits values must be positive");
-    }
-  }
+  const ResolvedAxes axes = resolve_axes(*this);
   std::vector<arch::ArchParams> grid;
-  // 0 marks "axis not swept" (rejected above as a user value): the base
-  // core_height/core_width pair is kept as-is so a non-square base
-  // architecture survives other sweeps, and per-layer output bits stay
-  // with the workload.
-  for (int tiles : axis_or(this->tiles, base.tiles)) {
-    for (int cores : axis_or(cores_per_tile, base.cores_per_tile)) {
-      for (int hw : axis_or(core_sizes, 0)) {
-        for (int lambda : axis_or(wavelengths, base.wavelengths)) {
-          for (int bits : axis_or(input_bits, 0)) {
-            for (int out_bits : axis_or(output_bits, 0)) {
-              arch::ArchParams p = base;
-              p.tiles = tiles;
-              p.cores_per_tile = cores;
-              if (hw > 0) {
-                p.core_height = hw;
-                p.core_width = hw;
+  for (int tiles : axes.tiles) {
+    for (int cores : axes.cores) {
+      for (int hw : axes.sizes) {
+        for (int width : axes.widths) {
+          for (int lambda : axes.wavelengths) {
+            for (int bits : axes.in_bits) {
+              for (int out_bits : axes.out_bits) {
+                grid.push_back(make_point(*this, tiles, cores, hw, width,
+                                          lambda, bits, out_bits));
               }
-              p.wavelengths = lambda;
-              if (bits > 0) {
-                p.input_bits = bits;
-                p.weight_bits = bits;
-              }  // unswept: keep base input/weight bits, which may differ
-              if (out_bits > 0) p.output_bits = out_bits;
-              grid.push_back(p);
             }
           }
         }
@@ -148,6 +182,98 @@ std::vector<arch::ArchParams> DseSpace::enumerate() const {
     }
   }
   return grid;
+}
+
+size_t DseSpace::size() const {
+  const ResolvedAxes axes = resolve_axes(*this);
+  size_t total = 1;
+  for (size_t axis : {axes.tiles.size(), axes.cores.size(),
+                      axes.sizes.size(), axes.widths.size(),
+                      axes.wavelengths.size(), axes.in_bits.size(),
+                      axes.out_bits.size()}) {
+    // The whole point of size() is gauging spaces too big to
+    // materialize; a silently wrapped product would report them tiny.
+    if (__builtin_mul_overflow(total, axis, &total)) {
+      throw std::overflow_error("DseSpace::size() overflows size_t");
+    }
+  }
+  return total;
+}
+
+std::vector<arch::ArchParams> GridSampler::sample(
+    const DseSpace& space) const {
+  return space.enumerate();
+}
+
+std::vector<arch::ArchParams> RandomSampler::sample(
+    const DseSpace& space) const {
+  const ResolvedAxes axes = resolve_axes(space);
+  util::Rng rng(seed_);
+  auto pick = [&rng](const std::vector<int>& axis) {
+    return axis[static_cast<size_t>(
+        rng.uniform_int(0, static_cast<int64_t>(axis.size()) - 1))];
+  };
+  std::vector<arch::ArchParams> points;
+  points.reserve(samples_);
+  for (size_t i = 0; i < samples_; ++i) {
+    // Sequential named draws: one rng call per axis in canonical order,
+    // so the stream (and thus the sample list) is stable for a seed.
+    const int tiles = pick(axes.tiles);
+    const int cores = pick(axes.cores);
+    const int hw = pick(axes.sizes);
+    const int width = pick(axes.widths);
+    const int lambda = pick(axes.wavelengths);
+    const int bits = pick(axes.in_bits);
+    const int out_bits = pick(axes.out_bits);
+    points.push_back(
+        make_point(space, tiles, cores, hw, width, lambda, bits, out_bits));
+  }
+  return points;
+}
+
+std::vector<arch::ArchParams> LatinHypercubeSampler::sample(
+    const DseSpace& space) const {
+  const ResolvedAxes axes = resolve_axes(space);
+  util::Rng rng(seed_);
+  const size_t n = samples_;
+  // One stratified-then-permuted column per axis: sample j lands in
+  // stratum j of [0, 1), maps to a value index, and a seeded Fisher-Yates
+  // shuffle decorrelates the axes.  Marginal coverage of every axis is
+  // near-uniform even when n is far below the grid size.
+  auto column = [&rng, n](const std::vector<int>& axis) {
+    std::vector<int> values(n);
+    const double k = static_cast<double>(axis.size());
+    for (size_t j = 0; j < n; ++j) {
+      const double pos =
+          (static_cast<double>(j) + rng.uniform(0.0, 1.0)) /
+          static_cast<double>(n);
+      const size_t idx = std::min(axis.size() - 1,
+                                  static_cast<size_t>(pos * k));
+      values[j] = axis[idx];
+    }
+    for (size_t j = n; j > 1; --j) {  // hand-rolled: std::shuffle's
+      const size_t other = static_cast<size_t>(  // draws are unspecified
+          rng.uniform_int(0, static_cast<int64_t>(j) - 1));
+      std::swap(values[j - 1], values[other]);
+    }
+    return values;
+  };
+  const std::vector<int> tiles = column(axes.tiles);
+  const std::vector<int> cores = column(axes.cores);
+  const std::vector<int> sizes = column(axes.sizes);
+  const std::vector<int> widths = column(axes.widths);
+  const std::vector<int> wavelengths = column(axes.wavelengths);
+  const std::vector<int> in_bits = column(axes.in_bits);
+  const std::vector<int> out_bits = column(axes.out_bits);
+
+  std::vector<arch::ArchParams> points;
+  points.reserve(n);
+  for (size_t j = 0; j < n; ++j) {
+    points.push_back(make_point(space, tiles[j], cores[j], sizes[j],
+                                widths[j], wavelengths[j], in_bits[j],
+                                out_bits[j]));
+  }
+  return points;
 }
 
 std::vector<DsePoint> DseResult::frontier() const {
@@ -168,7 +294,24 @@ const DsePoint& DseResult::best_edap() const {
 }
 
 void mark_pareto_frontier(std::vector<DsePoint>& points) {
-  const size_t n = points.size();
+  // Non-finite metrics are never on the frontier and do not enter the
+  // sort below: NaN (e.g. parsed back from a shard file's null) breaks
+  // the comparator's strict weak ordering (undefined behavior in
+  // std::sort), and inf must get the same verdict as NaN because
+  // serialization collapses both to null — otherwise a merged shard
+  // file could disagree with the unsharded in-memory run.
+  std::vector<size_t> order;
+  order.reserve(points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    DsePoint& p = points[i];
+    if (!std::isfinite(p.energy_pJ) || !std::isfinite(p.latency_ns) ||
+        !std::isfinite(p.area_mm2)) {
+      p.pareto = false;
+    } else {
+      order.push_back(i);
+    }
+  }
+  const size_t n = order.size();
   if (n == 0) return;
 
   // Sort indices lexicographically by (energy, latency, area) ascending.
@@ -176,8 +319,6 @@ void mark_pareto_frontier(std::vector<DsePoint>& points) {
   // dominated iff an earlier point with a *different* objective triple has
   // latency <= p's and area <= p's (lexicographic order makes at least one
   // inequality strict).
-  std::vector<size_t> order(n);
-  std::iota(order.begin(), order.end(), size_t{0});
   std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
     const DsePoint& pa = points[a];
     const DsePoint& pb = points[b];
@@ -227,6 +368,135 @@ void mark_pareto_frontier(std::vector<DsePoint>& points) {
   }
 }
 
+DseResult merge(std::vector<DseResult> shards) {
+  DseResult merged;
+  size_t total = 0;
+  for (const auto& shard : shards) total += shard.points.size();
+  merged.points.reserve(total);
+  for (auto& shard : shards) {
+    for (auto& point : shard.points) {
+      merged.points.push_back(std::move(point));
+    }
+  }
+  std::stable_sort(
+      merged.points.begin(), merged.points.end(),
+      [](const DsePoint& a, const DsePoint& b) { return a.index < b.index; });
+  for (size_t i = 1; i < merged.points.size(); ++i) {
+    if (merged.points[i - 1].index == merged.points[i].index) {
+      throw std::invalid_argument(
+          "merge: duplicate canonical point index " +
+          std::to_string(merged.points[i].index) + " (overlapping shards?)");
+    }
+  }
+  mark_pareto_frontier(merged.points);
+  return merged;
+}
+
+namespace {
+
+const util::Json& require_field(const util::Json& j, const std::string& key) {
+  if (!j.is_object() || !j.contains(key)) {
+    throw std::invalid_argument("DSE point JSON missing field '" + key +
+                                "'");
+  }
+  return j.at(key);
+}
+
+/// Metric field: the writer emits null for non-finite values, so null
+/// parses back as NaN.
+double metric_from(const util::Json& j, const std::string& key) {
+  const util::Json& v = require_field(j, key);
+  if (v.is_null()) return std::numeric_limits<double>::quiet_NaN();
+  return v.as_number();
+}
+
+int int_from(const util::Json& j, const std::string& key) {
+  const double d = require_field(j, key).as_number();
+  if (d != std::floor(d) || d < std::numeric_limits<int>::min() ||
+      d > std::numeric_limits<int>::max()) {
+    throw std::invalid_argument("DSE point JSON field '" + key +
+                                "' is not an integer");
+  }
+  return static_cast<int>(d);
+}
+
+}  // namespace
+
+util::Json to_json(const DsePoint& point) {
+  util::Json j;
+  j["index"] = point.index;
+  j["tiles"] = point.params.tiles;
+  j["cores_per_tile"] = point.params.cores_per_tile;
+  j["core_height"] = point.params.core_height;
+  j["core_width"] = point.params.core_width;
+  j["wavelengths"] = point.params.wavelengths;
+  j["clock_GHz"] = point.params.clock_GHz;
+  j["input_bits"] = point.params.input_bits;
+  j["weight_bits"] = point.params.weight_bits;
+  j["output_bits"] = point.params.output_bits;
+  j["energy_pJ"] = point.energy_pJ;
+  j["latency_ns"] = point.latency_ns;
+  j["area_mm2"] = point.area_mm2;
+  j["power_W"] = point.power_W;
+  j["tops"] = point.tops;
+  j["pareto"] = point.pareto;
+  return j;
+}
+
+DsePoint dse_point_from_json(const util::Json& j) {
+  DsePoint point;
+  if (j.contains("index")) {
+    const double index = j.at("index").as_number();
+    if (index < 0.0 || index != std::floor(index) || index >= 0x1p53) {
+      throw std::invalid_argument(
+          "DSE point JSON field 'index' is not a non-negative integer");
+    }
+    point.index = static_cast<size_t>(index);
+  }
+  point.params.tiles = int_from(j, "tiles");
+  point.params.cores_per_tile = int_from(j, "cores_per_tile");
+  point.params.core_height = int_from(j, "core_height");
+  point.params.core_width = int_from(j, "core_width");
+  point.params.wavelengths = int_from(j, "wavelengths");
+  // Pre-sharding files never recorded the clock; keep the ArchParams
+  // default so they stay loadable (like the missing-"index" fallback).
+  if (j.contains("clock_GHz")) {
+    point.params.clock_GHz = j.at("clock_GHz").as_number();
+  }
+  point.params.input_bits = int_from(j, "input_bits");
+  point.params.weight_bits = int_from(j, "weight_bits");
+  point.params.output_bits = int_from(j, "output_bits");
+  point.energy_pJ = metric_from(j, "energy_pJ");
+  point.latency_ns = metric_from(j, "latency_ns");
+  point.area_mm2 = metric_from(j, "area_mm2");
+  point.power_W = metric_from(j, "power_W");
+  point.tops = metric_from(j, "tops");
+  point.pareto = j.contains("pareto") && j.at("pareto").as_bool();
+  return point;
+}
+
+util::Json to_json(const DseResult& result) {
+  util::Json points{util::Json::Array{}};
+  for (const auto& point : result.points) points.push_back(to_json(point));
+  util::Json j;
+  j["points"] = std::move(points);
+  return j;
+}
+
+DseResult dse_result_from_json(const util::Json& j) {
+  const util::Json::Array& array =
+      j.is_array() ? j.as_array() : require_field(j, "points").as_array();
+  DseResult result;
+  result.points.reserve(array.size());
+  for (size_t i = 0; i < array.size(); ++i) {
+    DsePoint point = dse_point_from_json(array[i]);
+    // Pre-sharding files carry no index: the array position is canonical.
+    if (!array[i].contains("index")) point.index = i;
+    result.points.push_back(std::move(point));
+  }
+  return result;
+}
+
 DseResult explore(const std::vector<arch::PtcTemplate>& ptc_templates,
                   const devlib::DeviceLibrary& lib,
                   const workload::Model& model, const DseSpace& space,
@@ -235,7 +505,29 @@ DseResult explore(const std::vector<arch::PtcTemplate>& ptc_templates,
   if (ptc_templates.empty()) {
     throw std::invalid_argument("explore needs at least one PTC template");
   }
-  const std::vector<arch::ArchParams> grid = space.enumerate();
+  if (options.shard.count < 1 || options.shard.index < 0 ||
+      options.shard.index >= options.shard.count) {
+    throw std::invalid_argument(
+        "invalid DSE shard " + std::to_string(options.shard.index) + "/" +
+        std::to_string(options.shard.count) +
+        " (need count >= 1 and 0 <= index < count)");
+  }
+  const std::vector<arch::ArchParams> all_points =
+      options.sampler != nullptr ? options.sampler->sample(space)
+                                 : space.enumerate();
+  // This process's slice: canonical indices congruent to the shard index
+  // modulo the shard count (round-robin, so shards stay load-balanced
+  // even when cost grows along the grid).
+  std::vector<arch::ArchParams> grid;
+  std::vector<size_t> canonical;
+  grid.reserve(all_points.size() / static_cast<size_t>(options.shard.count) +
+               1);
+  for (size_t g = static_cast<size_t>(options.shard.index);
+       g < all_points.size(); g += static_cast<size_t>(options.shard.count)) {
+    grid.push_back(all_points[g]);
+    canonical.push_back(g);
+  }
+
   const bool override_input_bits = !space.input_bits.empty();
   const bool override_output_bits = !space.output_bits.empty();
 
@@ -316,6 +608,7 @@ DseResult explore(const std::vector<arch::PtcTemplate>& ptc_templates,
                                         override_input_bits,
                                         override_output_bits,
                                         options.mapper);
+          evaluated[u].index = canonical[unique_grid_index[u]];
           report_progress(evaluated[u]);  // a throwing callback also aborts
         } catch (...) {
           failed.store(true, std::memory_order_relaxed);
@@ -337,6 +630,7 @@ DseResult explore(const std::vector<arch::PtcTemplate>& ptc_templates,
   result.points.reserve(grid.size());
   for (size_t g = 0; g < grid.size(); ++g) {
     result.points.push_back(evaluated[eval_of[g]]);
+    result.points.back().index = canonical[g];
     // Cache hits complete here, not on a worker; count them for progress
     // so callers see every grid point exactly once.
     if (options.cache && unique_grid_index[eval_of[g]] != g) {

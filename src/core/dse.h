@@ -3,24 +3,33 @@
 // that combines the strengths of different photonic computing
 // architectures").
 //
-// Grid-searches ArchParams over user-supplied axes, simulates the workload
+// Searches ArchParams over user-supplied axes, simulates the workload
 // at every point, and extracts the Pareto frontier in
 // (energy, latency, area).
 //
-// The engine is parallel: the grid is enumerated up front, points are
-// evaluated on a util::ThreadPool with indexed result writes (the output
-// order is the grid order, independent of thread count and bit-identical
-// to a serial run), per-point invariants (PTC template, device library,
-// extracted GEMMs) are shared immutably across workers, and duplicate
-// parameter points — collapsed axes, repeated sweep values — are evaluated
-// once through an ArchParams-keyed memo cache.
+// The engine is parallel: the point list is enumerated (or sampled) up
+// front, points are evaluated on a util::ThreadPool with indexed result
+// writes (the output order is the canonical point order, independent of
+// thread count and bit-identical to a serial run), per-point invariants
+// (PTC template, device library, extracted GEMMs) are shared immutably
+// across workers, and duplicate parameter points — collapsed axes,
+// repeated sweep values — are evaluated once through an ArchParams-keyed
+// memo cache.
+//
+// The engine also scales beyond one process: DseOptions::shard
+// deterministically partitions the point list so N processes each
+// evaluate a disjoint slice, DsePoint/DseResult serialize to JSON
+// (util/json.h) so shards can be written to disk, and merge() recombines
+// shard results into the canonical order with a recomputed frontier.
 #pragma once
 
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "arch/node.h"
 #include "core/simulator.h"
+#include "util/json.h"
 #include "workload/model.h"
 
 namespace simphony::core {
@@ -29,8 +38,12 @@ namespace simphony::core {
 struct DseSpace {
   std::vector<int> tiles;
   std::vector<int> cores_per_tile;
-  std::vector<int> core_sizes;   // H = W; empty keeps base H and W (which
-                                 // may be non-square)
+  std::vector<int> core_sizes;   // H (and W while core_widths is empty);
+                                 // empty keeps base H and W (which may be
+                                 // non-square)
+  std::vector<int> core_widths;  // W, decoupled from H so non-square cores
+                                 // become reachable; empty makes core_sizes
+                                 // (or base) drive W as before
   std::vector<int> wavelengths;
   std::vector<int> input_bits;   // swept values set input AND weight bits;
                                  // empty keeps base input/weight bits
@@ -40,11 +53,80 @@ struct DseSpace {
                                  // then merely echoes base)
   arch::ArchParams base;
 
-  /// The swept parameter points in grid order (tiles outermost, output
-  /// bits innermost) — the order of DseResult.points.  Throws
-  /// std::invalid_argument on non-positive core_sizes, input_bits, or
-  /// output_bits values.
+  /// The swept parameter points in grid order (tiles outermost, then
+  /// cores, sizes, widths, wavelengths, bits; output bits innermost) —
+  /// the order of DseResult.points.  Throws std::invalid_argument on
+  /// non-positive core_sizes, core_widths, input_bits, or output_bits
+  /// values.
   [[nodiscard]] std::vector<arch::ArchParams> enumerate() const;
+
+  /// Number of grid points enumerate() would produce (product of the
+  /// resolved axis sizes) without materializing them.  Validates axis
+  /// values like enumerate().
+  [[nodiscard]] size_t size() const;
+};
+
+/// Deterministic 1-of-N partition of the point list: shard {i, n}
+/// evaluates exactly the points whose canonical index g satisfies
+/// g % n == i.  The default {0, 1} is the whole space.
+struct DseShard {
+  int index = 0;
+  int count = 1;
+};
+
+/// Strategy producing the ordered list of parameter points explore()
+/// evaluates.  The position of a point in this list is its canonical
+/// index (DsePoint::index), which sharding partitions on and merge()
+/// restores order by.
+class DseSampler {
+ public:
+  virtual ~DseSampler() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual std::vector<arch::ArchParams> sample(
+      const DseSpace& space) const = 0;
+};
+
+/// Full cross product of the axes — bit-identical to DseSpace::enumerate()
+/// (the engine's default when no sampler is set).
+class GridSampler final : public DseSampler {
+ public:
+  [[nodiscard]] std::string name() const override { return "grid"; }
+  [[nodiscard]] std::vector<arch::ArchParams> sample(
+      const DseSpace& space) const override;
+};
+
+/// `samples` points drawn uniformly and independently per axis from a
+/// seeded util::Rng — reproducible run-to-run for a given seed, for
+/// spaces too large to enumerate.
+class RandomSampler final : public DseSampler {
+ public:
+  explicit RandomSampler(size_t samples, uint64_t seed = 1)
+      : samples_(samples), seed_(seed) {}
+  [[nodiscard]] std::string name() const override { return "random"; }
+  [[nodiscard]] std::vector<arch::ArchParams> sample(
+      const DseSpace& space) const override;
+
+ private:
+  size_t samples_;
+  uint64_t seed_;
+};
+
+/// Latin-hypercube design over the axes: each axis's value list is
+/// stratified into `samples` bins and the bins are permuted independently
+/// per axis (seeded Fisher–Yates), so every axis is covered near-uniformly
+/// even when `samples` is far below the grid size.  Reproducible for a
+/// given seed.
+class LatinHypercubeSampler final : public DseSampler {
+ public:
+  explicit LatinHypercubeSampler(size_t samples, uint64_t seed = 1)
+      : samples_(samples), seed_(seed) {}
+  [[nodiscard]] std::string name() const override { return "lhs"; }
+  [[nodiscard]] std::vector<arch::ArchParams> sample(
+      const DseSpace& space) const override;
+
+ private:
+  size_t samples_;
+  uint64_t seed_;
 };
 
 /// Knobs for the exploration engine.
@@ -71,9 +153,26 @@ struct DseOptions {
   /// Prefer serial mappers (e.g. BeamMapper's default num_threads = 1)
   /// so pool workers are not oversubscribed.
   const Mapper* mapper = nullptr;
+
+  /// Optional point-list strategy (random / Latin-hypercube sampling for
+  /// spaces too large to enumerate).  Not owned; must outlive the call.
+  /// nullptr = grid enumeration, bit-identical to the pre-sampler engine.
+  const DseSampler* sampler = nullptr;
+
+  /// Which 1-of-N slice of the point list this process evaluates.  The
+  /// returned points keep their canonical DsePoint::index, and the
+  /// shard-local Pareto flags are provisional until merge() recomputes
+  /// them over all shards.  Throws std::invalid_argument from explore()
+  /// when count < 1 or index is outside [0, count).
+  DseShard shard;
 };
 
 struct DsePoint {
+  /// Canonical position in the full (unsharded) point list: the grid
+  /// index for grid exploration, the sample index for sampled runs.
+  /// merge() restores canonical order by sorting on it.
+  size_t index = 0;
+
   arch::ArchParams params;
   double energy_pJ = 0.0;
   double latency_ns = 0.0;
@@ -103,10 +202,34 @@ struct DseResult {
 /// O(n log n): sort by energy, then sweep a latency->min-area staircase.
 void mark_pareto_frontier(std::vector<DsePoint>& points);
 
+/// Recombines shard results: concatenates all points, restores canonical
+/// order by DsePoint::index, and re-runs mark_pareto_frontier over the
+/// union (the staircase sweep composes).  Merging every shard of an
+/// explore() yields a result bit-identical to the unsharded run.  Throws
+/// std::invalid_argument when two points carry the same index
+/// (overlapping shards).
+[[nodiscard]] DseResult merge(std::vector<DseResult> shards);
+
+/// DsePoint <-> JSON.  Non-finite metrics serialize as null and parse
+/// back as NaN; from_json throws std::invalid_argument on missing fields
+/// or type mismatches, except the fields pre-sharding files never wrote:
+/// a missing "pareto" defaults to false, a missing "clock_GHz" keeps the
+/// ArchParams default (and see from_json below for "index").
+[[nodiscard]] util::Json to_json(const DsePoint& point);
+[[nodiscard]] DsePoint dse_point_from_json(const util::Json& j);
+
+/// DseResult <-> JSON: {"points": [...]}.  from_json also accepts a bare
+/// point array, and a missing per-point "index" defaults to the array
+/// position (pre-sharding files).
+[[nodiscard]] util::Json to_json(const DseResult& result);
+[[nodiscard]] DseResult dse_result_from_json(const util::Json& j);
+
 /// Runs the exploration of one PTC template on one workload.
 /// `progress` (optional) is invoked as points complete (see
-/// DseOptions::progress_every).  Result order is the grid order of
-/// DseSpace::enumerate() regardless of thread count.
+/// DseOptions::progress_every); the points it receives carry their
+/// canonical index but not the final pareto flag.  Result order is the
+/// canonical point order (grid order, or the sampler's sample order)
+/// regardless of thread count.
 [[nodiscard]] DseResult explore(
     const arch::PtcTemplate& ptc_template, const devlib::DeviceLibrary& lib,
     const workload::Model& model, const DseSpace& space,

@@ -1,12 +1,15 @@
 #include "util/json.h"
 
 #include <cmath>
+#include <cstdlib>
 #include <sstream>
+#include <stdexcept>
 
 namespace simphony::util {
 
 namespace {
 void append_escaped(std::string& out, const std::string& s) {
+  static const char* hex = "0123456789abcdef";
   out += '"';
   for (char c : s) {
     switch (c) {
@@ -15,7 +18,18 @@ void append_escaped(std::string& out, const std::string& s) {
       case '\n': out += "\\n"; break;
       case '\t': out += "\\t"; break;
       case '\r': out += "\\r"; break;
-      default: out += c;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        // Remaining control characters must be \u-escaped or the output
+        // is rejected by strict parsers — including this file's own.
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += "\\u00";
+          out += hex[(static_cast<unsigned char>(c) >> 4) & 0xF];
+          out += hex[static_cast<unsigned char>(c) & 0xF];
+        } else {
+          out += c;
+        }
     }
   }
   out += '"';
@@ -30,12 +44,312 @@ void append_number(std::string& out, double d) {
     out += std::to_string(static_cast<long long>(d));
     return;
   }
-  std::ostringstream os;
-  os.precision(12);
-  os << d;
-  out += os.str();
+  // Shortest representation that parses back to exactly `d`, so result
+  // files (DSE shards) survive a write -> parse -> write cycle untouched.
+  for (int precision : {15, 16, 17}) {
+    std::ostringstream os;
+    os.precision(precision);
+    os << d;
+    if (precision == 17 || std::strtod(os.str().c_str(), nullptr) == d) {
+      out += os.str();
+      return;
+    }
+  }
+}
+
+/// Recursive-descent parser over a raw byte range.
+class Parser {
+ public:
+  Parser(const char* begin, const char* end) : cur_(begin), begin_(begin),
+                                               end_(end) {}
+
+  Json parse_document() {
+    Json value = parse_value(0);
+    skip_whitespace();
+    if (cur_ != end_) fail("trailing characters after JSON value");
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 512;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::invalid_argument(
+        "JSON parse error at offset " +
+        std::to_string(static_cast<size_t>(cur_ - begin_)) + ": " + what);
+  }
+
+  void skip_whitespace() {
+    while (cur_ != end_ && (*cur_ == ' ' || *cur_ == '\t' || *cur_ == '\n' ||
+                            *cur_ == '\r')) {
+      ++cur_;
+    }
+  }
+
+  char peek() {
+    if (cur_ == end_) fail("unexpected end of input");
+    return *cur_;
+  }
+
+  void expect(char c) {
+    if (cur_ == end_ || *cur_ != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++cur_;
+  }
+
+  bool consume_keyword(const char* word) {
+    const char* p = cur_;
+    for (const char* w = word; *w != '\0'; ++w, ++p) {
+      if (p == end_ || *p != *w) return false;
+    }
+    cur_ = p;
+    return true;
+  }
+
+  Json parse_value(int depth) {
+    if (depth > kMaxDepth) fail("nesting too deep");
+    skip_whitespace();
+    switch (peek()) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"': return Json(parse_string());
+      case 't':
+        if (consume_keyword("true")) return Json(true);
+        fail("invalid literal");
+      case 'f':
+        if (consume_keyword("false")) return Json(false);
+        fail("invalid literal");
+      case 'n':
+        if (consume_keyword("null")) return Json(nullptr);
+        fail("invalid literal");
+      default: return Json(parse_number());
+    }
+  }
+
+  Json parse_object(int depth) {
+    expect('{');
+    Json::Object object;
+    skip_whitespace();
+    if (peek() == '}') {
+      ++cur_;
+      return Json(std::move(object));
+    }
+    while (true) {
+      skip_whitespace();
+      if (peek() != '"') fail("expected object key string");
+      std::string key = parse_string();
+      skip_whitespace();
+      expect(':');
+      object[std::move(key)] = parse_value(depth + 1);  // last duplicate wins
+      skip_whitespace();
+      if (peek() == ',') {
+        ++cur_;
+        continue;
+      }
+      expect('}');
+      return Json(std::move(object));
+    }
+  }
+
+  Json parse_array(int depth) {
+    expect('[');
+    Json::Array array;
+    skip_whitespace();
+    if (peek() == ']') {
+      ++cur_;
+      return Json(std::move(array));
+    }
+    while (true) {
+      array.push_back(parse_value(depth + 1));
+      skip_whitespace();
+      if (peek() == ',') {
+        ++cur_;
+        continue;
+      }
+      expect(']');
+      return Json(std::move(array));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (cur_ == end_) fail("unterminated string");
+      const char c = *cur_++;
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (cur_ == end_) fail("unterminated escape");
+      const char esc = *cur_++;
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': append_utf8(out, parse_codepoint()); break;
+        default: fail("invalid escape character");
+      }
+    }
+  }
+
+  unsigned parse_codepoint() {
+    unsigned code = parse_hex4();
+    // Surrogate pair: a high surrogate must be followed by \uDC00-\uDFFF.
+    if (code >= 0xD800 && code <= 0xDBFF) {
+      if (end_ - cur_ < 2 || cur_[0] != '\\' || cur_[1] != 'u') {
+        fail("unpaired high surrogate");
+      }
+      cur_ += 2;
+      const unsigned low = parse_hex4();
+      if (low < 0xDC00 || low > 0xDFFF) fail("invalid low surrogate");
+      code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+    } else if (code >= 0xDC00 && code <= 0xDFFF) {
+      fail("unpaired low surrogate");
+    }
+    return code;
+  }
+
+  unsigned parse_hex4() {
+    unsigned value = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (cur_ == end_) fail("truncated \\u escape");
+      const char c = *cur_++;
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        fail("invalid hex digit in \\u escape");
+      }
+    }
+    return value;
+  }
+
+  static void append_utf8(std::string& out, unsigned code) {
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xC0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else if (code < 0x10000) {
+      out += static_cast<char>(0xE0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (code >> 18));
+      out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+  }
+
+  double parse_number() {
+    const char* start = cur_;
+    if (cur_ != end_ && *cur_ == '-') ++cur_;
+    if (cur_ == end_ || *cur_ < '0' || *cur_ > '9') fail("invalid number");
+    if (*cur_ == '0') {
+      ++cur_;  // no leading zeros
+    } else {
+      while (cur_ != end_ && *cur_ >= '0' && *cur_ <= '9') ++cur_;
+    }
+    if (cur_ != end_ && *cur_ == '.') {
+      ++cur_;
+      if (cur_ == end_ || *cur_ < '0' || *cur_ > '9') {
+        fail("digit expected after decimal point");
+      }
+      while (cur_ != end_ && *cur_ >= '0' && *cur_ <= '9') ++cur_;
+    }
+    if (cur_ != end_ && (*cur_ == 'e' || *cur_ == 'E')) {
+      ++cur_;
+      if (cur_ != end_ && (*cur_ == '+' || *cur_ == '-')) ++cur_;
+      if (cur_ == end_ || *cur_ < '0' || *cur_ > '9') {
+        fail("digit expected in exponent");
+      }
+      while (cur_ != end_ && *cur_ >= '0' && *cur_ <= '9') ++cur_;
+    }
+    // The grammar above admits exactly what strtod consumes, and the text
+    // is NUL-terminated only at end_, so copy the token.
+    const std::string token(start, cur_);
+    return std::strtod(token.c_str(), nullptr);
+  }
+
+  const char* cur_;
+  const char* begin_;
+  const char* end_;
+};
+
+[[noreturn]] void type_error(const char* expected) {
+  throw std::invalid_argument(std::string("JSON value is not ") + expected);
 }
 }  // namespace
+
+Json Json::parse(const std::string& text) {
+  return Parser(text.data(), text.data() + text.size()).parse_document();
+}
+
+bool Json::is_null() const {
+  return std::holds_alternative<std::nullptr_t>(value_);
+}
+bool Json::is_bool() const { return std::holds_alternative<bool>(value_); }
+bool Json::is_number() const { return std::holds_alternative<double>(value_); }
+bool Json::is_string() const {
+  return std::holds_alternative<std::string>(value_);
+}
+bool Json::is_array() const { return std::holds_alternative<Array>(value_); }
+bool Json::is_object() const { return std::holds_alternative<Object>(value_); }
+
+bool Json::as_bool() const {
+  if (const bool* b = std::get_if<bool>(&value_)) return *b;
+  type_error("a bool");
+}
+
+double Json::as_number() const {
+  if (const double* d = std::get_if<double>(&value_)) return *d;
+  type_error("a number");
+}
+
+const std::string& Json::as_string() const {
+  if (const std::string* s = std::get_if<std::string>(&value_)) return *s;
+  type_error("a string");
+}
+
+const Json::Array& Json::as_array() const {
+  if (const Array* a = std::get_if<Array>(&value_)) return *a;
+  type_error("an array");
+}
+
+const Json::Object& Json::as_object() const {
+  if (const Object* o = std::get_if<Object>(&value_)) return *o;
+  type_error("an object");
+}
+
+bool Json::contains(const std::string& key) const {
+  const Object* o = std::get_if<Object>(&value_);
+  return o != nullptr && o->count(key) > 0;
+}
+
+const Json& Json::at(const std::string& key) const {
+  const Object& o = as_object();
+  const auto it = o.find(key);
+  if (it == o.end()) {
+    throw std::invalid_argument("JSON object has no key '" + key + "'");
+  }
+  return it->second;
+}
 
 Json& Json::operator[](const std::string& key) {
   if (std::holds_alternative<std::nullptr_t>(value_)) value_ = Object{};

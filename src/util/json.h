@@ -1,5 +1,7 @@
-// Tiny JSON *writer* (no parser needed: all configs are C++ structs).
-// Reports can be serialized for downstream plotting.
+// Tiny JSON writer *and* parser — enough for the repo's own result files
+// (DSE shards, reports, bench trajectories) without an external dependency.
+// The writer emits round-trip-exact numbers (a double survives
+// dump -> parse bit-for-bit); non-finite values serialize as null.
 #pragma once
 
 #include <map>
@@ -27,6 +29,33 @@ class Json {
   Json(std::string s) : value_(std::move(s)) {}
   Json(Array a) : value_(std::move(a)) {}
   Json(Object o) : value_(std::move(o)) {}
+
+  /// Parses one JSON document (trailing garbage rejected).  Throws
+  /// std::invalid_argument with an offset-annotated message on malformed
+  /// input; nesting deeper than 512 levels is rejected rather than
+  /// overflowing the stack.
+  [[nodiscard]] static Json parse(const std::string& text);
+
+  [[nodiscard]] bool is_null() const;
+  [[nodiscard]] bool is_bool() const;
+  [[nodiscard]] bool is_number() const;
+  [[nodiscard]] bool is_string() const;
+  [[nodiscard]] bool is_array() const;
+  [[nodiscard]] bool is_object() const;
+
+  /// Typed accessors; throw std::invalid_argument on a type mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+
+  /// True iff this is an object holding `key`.
+  [[nodiscard]] bool contains(const std::string& key) const;
+
+  /// Object member lookup; throws std::invalid_argument if this is not an
+  /// object or the key is absent.
+  [[nodiscard]] const Json& at(const std::string& key) const;
 
   /// Object element access (creates object if null).
   Json& operator[](const std::string& key);

@@ -293,9 +293,77 @@ TEST(Dse, EnumerateRejectsNonPositiveAxisValues) {
   DseSpace zero_size;
   zero_size.core_sizes = {0, 8};
   EXPECT_THROW((void)zero_size.enumerate(), std::invalid_argument);
+  DseSpace zero_width;
+  zero_width.core_widths = {8, -2};
+  EXPECT_THROW((void)zero_width.enumerate(), std::invalid_argument);
   DseSpace zero_output;
   zero_output.output_bits = {4, 0};
   EXPECT_THROW((void)zero_output.enumerate(), std::invalid_argument);
+}
+
+TEST(Dse, SizeMatchesEnumerateWithoutMaterializing) {
+  DseSpace space;
+  space.tiles = {1, 2, 4};
+  space.core_sizes = {4, 8};
+  space.core_widths = {2, 4};
+  space.output_bits = {4, 8};
+  EXPECT_EQ(space.size(), space.enumerate().size());
+  EXPECT_EQ(DseSpace{}.size(), 1u);
+  DseSpace bad;
+  bad.input_bits = {0};
+  EXPECT_THROW((void)bad.size(), std::invalid_argument);
+  // A space too big for size_t must throw, not wrap to a tiny count.
+  DseSpace huge;
+  const std::vector<int> axis(1 << 20, 1);
+  huge.tiles = axis;
+  huge.cores_per_tile = axis;
+  huge.wavelengths = axis;
+  huge.core_sizes = axis;
+  EXPECT_THROW((void)huge.size(), std::overflow_error);
+}
+
+TEST(Dse, WidthAxisDecouplesWFromH) {
+  // core_sizes alone forces H = W; a core_widths axis sweeps W
+  // independently, making non-square points reachable.
+  DseSpace space;
+  space.core_sizes = {4, 8};
+  space.core_widths = {2, 16};
+  const std::vector<arch::ArchParams> grid = space.enumerate();
+  ASSERT_EQ(grid.size(), 4u);  // widths vary innermost of the pair
+  EXPECT_EQ(grid[0].core_height, 4);
+  EXPECT_EQ(grid[0].core_width, 2);
+  EXPECT_EQ(grid[1].core_height, 4);
+  EXPECT_EQ(grid[1].core_width, 16);
+  EXPECT_EQ(grid[2].core_height, 8);
+  EXPECT_EQ(grid[2].core_width, 2);
+  EXPECT_EQ(grid[3].core_height, 8);
+  EXPECT_EQ(grid[3].core_width, 16);
+}
+
+TEST(Dse, WidthAxisAloneKeepsBaseHeight) {
+  DseSpace space;
+  space.base.core_height = 6;
+  space.core_widths = {2, 4};
+  const std::vector<arch::ArchParams> grid = space.enumerate();
+  ASSERT_EQ(grid.size(), 2u);
+  for (const auto& p : grid) EXPECT_EQ(p.core_height, 6);
+  EXPECT_EQ(grid[0].core_width, 2);
+  EXPECT_EQ(grid[1].core_width, 4);
+}
+
+TEST(Dse, NonSquareSweepReachesTheSimulation) {
+  // The non-square path end to end: wider cores at fixed height must
+  // change latency/area, and the params labels must track H != W.
+  DseSpace space;
+  space.core_widths = {2, 8};
+  const DseResult r = explore(arch::tempo_template(), g_lib,
+                              workload::mlp_mnist(), space);
+  ASSERT_EQ(r.points.size(), 2u);
+  EXPECT_EQ(r.points[0].params.core_height, 4);  // base H survives
+  EXPECT_EQ(r.points[0].params.core_width, 2);
+  EXPECT_EQ(r.points[1].params.core_width, 8);
+  EXPECT_GT(r.points[0].latency_ns, r.points[1].latency_ns);
+  EXPECT_LT(r.points[0].area_mm2, r.points[1].area_mm2);
 }
 
 TEST(Dse, InvalidPointFailsTheWholeSweep) {

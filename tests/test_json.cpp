@@ -1,0 +1,157 @@
+// Round-trip and malformed-input coverage for the JSON parser/writer
+// (util/json.h), which DSE shard files depend on.
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace simphony::util {
+namespace {
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_TRUE(Json::parse("true").as_bool());
+  EXPECT_FALSE(Json::parse("false").as_bool());
+  EXPECT_EQ(Json::parse("42").as_number(), 42.0);
+  EXPECT_EQ(Json::parse("-7").as_number(), -7.0);
+  EXPECT_EQ(Json::parse("2.5e3").as_number(), 2500.0);
+  EXPECT_EQ(Json::parse("\"hi\"").as_string(), "hi");
+  EXPECT_EQ(Json::parse("  0  ").as_number(), 0.0);
+}
+
+TEST(JsonParse, ContainersAndAccessors) {
+  const Json j = Json::parse(
+      R"({"name": "tempo", "tiles": 2, "ok": true, "values": [1, 2.5, null]})");
+  ASSERT_TRUE(j.is_object());
+  EXPECT_TRUE(j.contains("name"));
+  EXPECT_FALSE(j.contains("absent"));
+  EXPECT_EQ(j.at("name").as_string(), "tempo");
+  EXPECT_EQ(j.at("tiles").as_number(), 2.0);
+  EXPECT_TRUE(j.at("ok").as_bool());
+  const Json::Array& values = j.at("values").as_array();
+  ASSERT_EQ(values.size(), 3u);
+  EXPECT_EQ(values[1].as_number(), 2.5);
+  EXPECT_TRUE(values[2].is_null());
+  EXPECT_THROW((void)j.at("absent"), std::invalid_argument);
+  EXPECT_THROW((void)j.at("tiles").as_string(), std::invalid_argument);
+  EXPECT_THROW((void)values[0].as_object(), std::invalid_argument);
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(Json::parse(R"("a\"b\\c\n\t\r\/d")").as_string(),
+            "a\"b\\c\n\t\r/d");
+  EXPECT_EQ(Json::parse(R"("\u0041\u00e9")").as_string(), "A\xc3\xa9");
+  // Surrogate pair: U+1D11E (musical G clef) in UTF-8.
+  EXPECT_EQ(Json::parse(R"("\ud834\udd1e")").as_string(),
+            "\xf0\x9d\x84\x9e");
+}
+
+TEST(JsonParse, RoundTripThroughDump) {
+  Json j;
+  j["name"] = "a \"quoted\"\nname";
+  j["count"] = 3;
+  j["ratio"] = 0.1;
+  j["exact"] = 1.0 / 3.0;
+  j["tiny"] = 5e-324;  // denormal min
+  j["big"] = 1.7976931348623157e308;
+  j["flag"] = false;
+  j["nothing"] = nullptr;
+  Json arr;
+  arr.push_back(1);
+  arr.push_back(2.5);
+  arr.push_back("x");
+  j["values"] = std::move(arr);
+  for (int indent : {-1, 0, 2}) {
+    const Json parsed = Json::parse(j.dump(indent));
+    EXPECT_EQ(parsed.at("name").as_string(), "a \"quoted\"\nname");
+    EXPECT_EQ(parsed.at("count").as_number(), 3.0);
+    EXPECT_EQ(parsed.at("ratio").as_number(), 0.1);
+    EXPECT_EQ(parsed.at("exact").as_number(), 1.0 / 3.0);
+    EXPECT_EQ(parsed.at("tiny").as_number(), 5e-324);
+    EXPECT_EQ(parsed.at("big").as_number(), 1.7976931348623157e308);
+    EXPECT_FALSE(parsed.at("flag").as_bool());
+    EXPECT_TRUE(parsed.at("nothing").is_null());
+    EXPECT_EQ(parsed.at("values").as_array().size(), 3u);
+    // Idempotence: dump(parse(dump(x))) == dump(x), the property shard
+    // merging relies on for byte-identical outputs.
+    EXPECT_EQ(parsed.dump(indent), j.dump(indent));
+  }
+}
+
+TEST(JsonParse, ControlCharactersRoundTrip) {
+  // The writer must \u-escape every control byte, or its own parser
+  // (and any strict one) rejects the output.
+  std::string all_ctl = "a";
+  for (char c = 1; c < 0x20; ++c) all_ctl += c;
+  all_ctl += "z";
+  const Json dumped = Json(all_ctl);
+  EXPECT_EQ(Json::parse(dumped.dump(-1)).as_string(), all_ctl);
+  EXPECT_EQ(Json(std::string("\b\f")).dump(-1), "\"\\b\\f\"");
+  EXPECT_EQ(Json(std::string(1, '\x01')).dump(-1), "\"\\u0001\"");
+}
+
+TEST(JsonParse, NonFiniteWritesAsNullAndParsesBack) {
+  Json j;
+  j["nan"] = std::numeric_limits<double>::quiet_NaN();
+  j["inf"] = std::numeric_limits<double>::infinity();
+  const Json parsed = Json::parse(j.dump(-1));
+  EXPECT_TRUE(parsed.at("nan").is_null());
+  EXPECT_TRUE(parsed.at("inf").is_null());
+}
+
+TEST(JsonParse, EmptyContainersRoundTrip) {
+  EXPECT_TRUE(Json::parse("{}").as_object().empty());
+  EXPECT_TRUE(Json::parse("[]").as_array().empty());
+  EXPECT_EQ(Json::parse("{}").dump(-1), "{}");
+  EXPECT_EQ(Json::parse("[]").dump(2), "[]");
+}
+
+TEST(JsonParse, MalformedInputThrows) {
+  for (const char* bad :
+       {"", "   ", "{", "[", "[1,", "[1 2]", "{\"a\"}", "{\"a\":}",
+        "{\"a\":1,}", "{a:1}", "tru", "nul", "+1", "01", "1.", ".5", "1e",
+        "1e+", "--1", "\"unterminated", "\"bad \\x escape\"",
+        "\"ctrl \n char\"", "\"\\u12g4\"", "\"\\ud834\"", "\"\\udd1e\"",
+        "[1] trailing", "{} {}", "nullnull"}) {
+    EXPECT_THROW((void)Json::parse(bad), std::invalid_argument) << bad;
+  }
+}
+
+TEST(JsonParse, ParseErrorMentionsOffset) {
+  try {
+    (void)Json::parse("[1, 2, oops]");
+    FAIL() << "expected parse error";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("offset 7"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(JsonParse, DuplicateKeysLastWins) {
+  EXPECT_EQ(Json::parse(R"({"a": 1, "a": 2})").at("a").as_number(), 2.0);
+}
+
+TEST(JsonParse, DeepNestingIsRejectedNotACrash) {
+  std::string deep;
+  for (int i = 0; i < 600; ++i) deep += '[';
+  for (int i = 0; i < 600; ++i) deep += ']';
+  EXPECT_THROW((void)Json::parse(deep), std::invalid_argument);
+  // Within the depth limit still parses.
+  std::string ok;
+  for (int i = 0; i < 100; ++i) ok += '[';
+  for (int i = 0; i < 100; ++i) ok += ']';
+  EXPECT_TRUE(Json::parse(ok).is_array());
+}
+
+TEST(JsonParse, NumberGrammarEdges) {
+  EXPECT_EQ(Json::parse("0").as_number(), 0.0);
+  EXPECT_EQ(Json::parse("-0.5").as_number(), -0.5);
+  EXPECT_EQ(Json::parse("1e-3").as_number(), 1e-3);
+  EXPECT_EQ(Json::parse("1E+2").as_number(), 100.0);
+  EXPECT_EQ(Json::parse("[0,1]").as_array()[1].as_number(), 1.0);
+}
+
+}  // namespace
+}  // namespace simphony::util
