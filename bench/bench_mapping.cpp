@@ -1,13 +1,16 @@
 // Benchmarks of the mapping subsystem (core/mapper.h): fixed rules vs
-// greedy vs beam search on the VGG8 heterogeneous scenario (SCATTER
-// crossbar + Clements MZI mesh sharing one memory hierarchy), plus the
-// search-only cost of the beam at growing widths on a prebuilt cost
-// matrix.  Each end-to-end benchmark also reports the EDP the strategy
-// achieved, so the perf trajectory tracks mapping quality alongside
-// throughput.
+// greedy vs beam vs branch-and-bound on the VGG8 heterogeneous scenario
+// (SCATTER crossbar + Clements MZI mesh sharing one memory hierarchy),
+// the search-only cost of beam widths and of the exact branch-and-bound
+// on a prebuilt cost matrix, and the cost-matrix cache on the fig11
+// heterogeneous DseSpace sweep.  Each end-to-end benchmark also reports
+// the EDP the strategy achieved, so the perf trajectory tracks mapping
+// quality alongside throughput; the cache benchmark reports measured
+// hit/miss counters.
 #include <benchmark/benchmark.h>
 
 #include "arch/prebuilt.h"
+#include "core/dse.h"
 #include "core/simulator.h"
 #include "workload/onn_convert.h"
 
@@ -84,6 +87,18 @@ void BM_MapBeam(benchmark::State& state) {
 }
 BENCHMARK(BM_MapBeam)->Arg(2)->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond);
 
+void BM_MapBranchBound(benchmark::State& state) {
+  const core::Simulator sim = make_hetero_sim();
+  const core::BranchBoundMapper bnb(core::MappingObjective::kEdp);
+  core::ModelReport report;
+  for (auto _ : state) {
+    report = sim.simulate_model(vgg8_model(), bnb);
+    benchmark::DoNotOptimize(report);
+  }
+  report_edp(state, report);
+}
+BENCHMARK(BM_MapBranchBound)->Unit(benchmark::kMillisecond);
+
 /// Search-only cost: the matrix is built once outside the loop, so this
 /// isolates the beam itself (the end-to-end runs above are dominated by
 /// the per-pair simulations).
@@ -103,6 +118,66 @@ BENCHMARK(BM_BeamSearchOnly)
     ->Arg(64)
     ->Arg(256)
     ->Unit(benchmark::kMicrosecond);
+
+/// Exact search on a prebuilt matrix: branch-and-bound against the S^n
+/// tree it prunes.  Counters report how much of the tree was actually
+/// expanded (visited + pruned roots << total assignments).
+void BM_BnbSearchOnly(benchmark::State& state) {
+  const core::Simulator sim = make_hetero_sim();
+  const auto gemms = workload::extract_gemms(vgg8_model());
+  const core::CostMatrix costs = sim.build_cost_matrix(gemms);
+  core::MappingProblem problem{&gemms, &costs, costs.num_subarchs()};
+  const core::BranchBoundMapper bnb(
+      core::MappingObjective::kEdp,
+      /*num_threads=*/static_cast<int>(state.range(0)));
+  core::BranchBoundMapper::Stats stats;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bnb.map_counted(problem, &stats));
+  }
+  state.counters["nodes_visited"] = static_cast<double>(stats.visited);
+  state.counters["nodes_pruned"] = static_cast<double>(stats.pruned);
+  state.counters["total_assignments"] = stats.total_assignments;
+}
+BENCHMARK(BM_BnbSearchOnly)->Arg(1)->Arg(0)->Unit(benchmark::kMicrosecond);
+
+/// The fig11 heterogeneous sweep (SCATTER + MZI over a DseSpace) with the
+/// cost-matrix cache off (arg 0) vs shared across the whole run (arg 1).
+/// With the cache every repetition after the first costs only hash
+/// lookups for the pair simulations; the hits/misses/hit_rate counters
+/// surface the measured reuse.
+void BM_HeteroSweepCostCache(benchmark::State& state) {
+  const std::vector<arch::PtcTemplate> templates = {
+      arch::scatter_template(), arch::clements_mzi_template()};
+  core::DseSpace space;
+  space.wavelengths = {1, 2};
+  space.tiles = {2, 4};
+  const core::GreedyMapper greedy(core::MappingObjective::kEdp);
+  core::CostMatrixCache cache;
+  core::DseOptions options;
+  options.num_threads = 1;
+  options.mapper = &greedy;
+  options.cost_cache = state.range(0) != 0 ? &cache : nullptr;
+  if (options.cost_cache != nullptr) {
+    // Warm-up sweep: the timed loop then measures the marginal cost of a
+    // repeat sweep (the cross-point reuse the cache exists for), and the
+    // hit counters are meaningful even at a single timed iteration.
+    benchmark::DoNotOptimize(core::explore(templates, standard_lib(),
+                                           vgg8_model(), space, options));
+  }
+  for (auto _ : state) {
+    const core::DseResult result = core::explore(
+        templates, standard_lib(), vgg8_model(), space, options);
+    benchmark::DoNotOptimize(result);
+  }
+  const core::CostMatrixCache::Stats stats = cache.stats();
+  state.counters["cache_hits"] = static_cast<double>(stats.hits);
+  state.counters["cache_misses"] = static_cast<double>(stats.misses);
+  state.counters["cache_hit_rate"] = stats.hit_rate();
+}
+BENCHMARK(BM_HeteroSweepCostCache)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -7,9 +7,17 @@
 //     --arch T1,T2,..        build a (heterogeneous) system from prebuilt
 //                            templates: tempo|lt|mzi|scatter|mrr|butterfly|
 //                            pcm|wdm (default: the description file or tempo)
-//     --mapping rules|greedy|beam   layer-to-sub-arch mapping strategy
-//     --objective latency|energy|edp  what greedy/beam minimize (default edp)
+//     --mapping rules|greedy|beam|bnb  layer-to-sub-arch mapping strategy
+//                            (bnb = exact branch-and-bound, equal to
+//                            exhaustive search with pruning)
+//     --objective latency|energy|edp  what greedy/beam/bnb minimize
+//                            (default edp)
 //     --beam-width K         beam width for --mapping beam (default 8)
+//     --no-cost-cache        disable the cross-point cost-matrix cache
+//                            (DSE mode with a searched mapping memoizes
+//                            per-(sub-arch, GEMM) simulations by default;
+//                            hit/miss counters appear in the summary and
+//                            under "cost_cache" in --json)
 //     --sweep AXIS=V1,V2,..  DSE mode: sweep an axis (repeatable); axes are
 //                            tiles|cores|size|width|wavelengths|bits|output
 //     --sample grid|random|lhs  how to draw points from the swept space
@@ -283,52 +291,55 @@ int run_dse(const std::vector<arch::PtcTemplate>& ptcs,
   for (size_t t = 1; t < ptcs.size(); ++t) arch_label += "+" + ptcs[t].name;
 
   // --out streams each point the moment it completes (completion order;
-  // the "index" field is the canonical position), re-terminating the
-  // array after every point and seeking back over the footer, so the
-  // file stays parseable (and mergeable) even if a long sweep is killed
-  // mid-run.  --merge restores canonical order and recomputes the
-  // frontier.
+  // the "index" field is the canonical position) through DseShardWriter,
+  // which re-terminates the document after every point, so the file stays
+  // parseable (and mergeable) even if a long sweep is killed mid-run.
+  // --merge restores canonical order and recomputes the frontier.
   std::ofstream out_stream;
+  std::unique_ptr<core::DseShardWriter> shard_writer;
   std::function<void(const core::DsePoint&)> progress;
-  bool first_point = true;
   if (!out_path.empty()) {
     out_stream.open(out_path);
     if (!out_stream) {
       throw std::invalid_argument("cannot open --out " + out_path);
     }
-    out_stream << "{\n\"arch\": " << util::Json(arch_label).dump(-1)
-               << ",\n\"model\": " << util::Json(model.name).dump(-1)
-               << ",\n\"sampler\": " << util::Json(sampler_name).dump(-1)
-               << ",\n\"shard\": {\"count\": " << options.shard.count
-               << ", \"index\": " << options.shard.index
-               << "},\n\"total_points\": " << total_points
-               << ",\n\"points\": [";
-    progress = [&](const core::DsePoint& pt) {
-      if (!first_point) out_stream << ",";
-      first_point = false;
-      out_stream << "\n" << core::to_json(pt).dump(-1);
-      const std::ofstream::pos_type point_end = out_stream.tellp();
-      out_stream << "\n]\n}\n";
-      out_stream.flush();
-      out_stream.seekp(point_end);
-    };
+    shard_writer = std::make_unique<core::DseShardWriter>(
+        out_stream, core::DseShardWriter::Metadata{arch_label, model.name,
+                                                   sampler_name,
+                                                   options.shard,
+                                                   total_points});
+    progress = [&](const core::DsePoint& pt) { shard_writer->add_point(pt); };
   }
 
   const core::DseResult result =
       core::explore(ptcs, lib, model, space, options, progress);
 
-  if (out_stream.is_open()) {
-    // An empty shard never wrote the footer; otherwise it is already on
-    // disk past the put pointer from the last point's write.
-    if (first_point) out_stream << "\n]\n}\n";
-    out_stream.flush();
+  if (shard_writer != nullptr) {
+    shard_writer->finish();
+    // A full disk or I/O error during streaming must not masquerade as a
+    // successful sweep — the shard on disk is truncated or corrupt.
+    if (!out_stream) {
+      throw std::runtime_error("write failure on --out " + out_path);
+    }
   }
 
+  // Cost-matrix cache telemetry: how often a point's mapping search found
+  // its per-(sub-arch, GEMM) simulations already memoized.
+  const core::CostMatrixCache::Stats cache_stats =
+      options.cost_cache != nullptr ? options.cost_cache->stats()
+                                    : core::CostMatrixCache::Stats{};
+
   if (as_json) {
-    std::cout << result_root(model.name, arch_label, sampler_name,
-                             total_points, options.shard, result)
-                     .dump(2)
-              << "\n";
+    util::Json root = result_root(model.name, arch_label, sampler_name,
+                                  total_points, options.shard, result);
+    if (options.cost_cache != nullptr) {
+      util::Json cache_json;
+      cache_json["hits"] = cache_stats.hits;
+      cache_json["misses"] = cache_stats.misses;
+      cache_json["hit_rate"] = cache_stats.hit_rate();
+      root["cost_cache"] = std::move(cache_json);
+    }
+    std::cout << root.dump(2) << "\n";
     return 0;
   }
   if (as_csv) {
@@ -385,6 +396,12 @@ int run_dse(const std::vector<arch::PtcTemplate>& ptcs,
             << best.params.core_height << "x" << best.params.core_width
             << " L=" << best.params.wavelengths << " bits="
             << bits_label(best.params) << "\n";
+  if (options.cost_cache != nullptr) {
+    std::cout << "cost-matrix cache: " << cache_stats.hits << " hit(s) / "
+              << cache_stats.misses << " miss(es) ("
+              << util::Table::fmt(100.0 * cache_stats.hit_rate(), 1)
+              << "% hit rate)\n";
+  }
   if (options.shard.count > 1) {
     std::cout << "(shard-local frontier; --merge the shard files for the "
                  "global one)\n";
@@ -401,6 +418,7 @@ int run(int argc, char** argv) {
   std::string mapping_spec = "rules";
   std::string objective_spec = "edp";
   int beam_width = 8;
+  bool cost_cache_enabled = true;
   core::DseSpace sweep_space;
   core::DseOptions dse_options;
   std::string dse_flag_seen;
@@ -475,9 +493,10 @@ int run(int argc, char** argv) {
     } else if (arg == "--mapping") {
       mapping_spec = next();
       if (mapping_spec != "rules" && mapping_spec != "greedy" &&
-          mapping_spec != "beam") {
-        throw std::invalid_argument("--mapping expects rules|greedy|beam, "
-                                    "got '" + mapping_spec + "'");
+          mapping_spec != "beam" && mapping_spec != "bnb") {
+        throw std::invalid_argument(
+            "--mapping expects rules|greedy|beam|bnb, got '" + mapping_spec +
+            "'");
       }
     } else if (arg == "--objective") {
       objective_spec = next();
@@ -537,6 +556,9 @@ int run(int argc, char** argv) {
     } else if (arg == "--no-dse-cache") {
       dse_options.cache = false;
       dse_flag_seen = arg;
+    } else if (arg == "--no-cost-cache") {
+      cost_cache_enabled = false;
+      dse_flag_seen = arg;
     } else if (arg == "--json") {
       as_json = true;
     } else if (arg == "--csv") {
@@ -547,12 +569,13 @@ int run(int argc, char** argv) {
                    "[--clock GHz] [--bits in,w,out] "
                    "[--arch T1,T2,...] (templates: tempo|lt|mzi|scatter|"
                    "mrr|butterfly|pcm|wdm) "
-                   "[--mapping rules|greedy|beam] "
+                   "[--mapping rules|greedy|beam|bnb] "
                    "[--objective latency|energy|edp] [--beam-width K] "
                    "[--sweep AXIS=V1,V2,...] (axes: tiles|cores|size|width|"
                    "wavelengths|bits|output) [--sample grid|random|lhs] "
                    "[--samples N] [--seed S] [--shard I/N] [--out FILE] "
-                   "[--threads N] [--no-dse-cache] [--json|--csv]\n"
+                   "[--threads N] [--no-dse-cache] [--no-cost-cache] "
+                   "[--json|--csv]\n"
                    "       simphony_cli --merge a.json b.json ...\n";
       return 0;
     } else if (arg.rfind("--", 0) == 0) {
@@ -599,11 +622,20 @@ int run(int argc, char** argv) {
   } else if (mapping_spec == "beam") {
     mapper = std::make_unique<core::BeamMapper>(
         static_cast<size_t>(beam_width), objective);
+  } else if (mapping_spec == "bnb") {
+    mapper = std::make_unique<core::BranchBoundMapper>(objective);
   }
 
   if (sweeping) {
     sweep_space.base = params;
     dse_options.mapper = mapper.get();
+    // The cost-matrix cache only pays off when a searched mapping builds
+    // per-point cost matrices; keep it off otherwise so the summary never
+    // reports a cache that could not be consulted.
+    core::CostMatrixCache cost_cache;
+    if (cost_cache_enabled && mapper != nullptr && mapper->needs_costs()) {
+      dse_options.cost_cache = &cost_cache;
+    }
     std::unique_ptr<core::DseSampler> sampler;
     if (sample_spec == "random" || sample_spec == "lhs") {
       if (samples < 1) {

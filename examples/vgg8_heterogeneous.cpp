@@ -5,10 +5,11 @@
 // hierarchy: a SCATTER crossbar and a Clements MZI mesh.  The fixed
 // hand-written rule (convs -> SCATTER, linears -> MZI) is compared against
 // cost-driven mapping search: GreedyMapper (per-layer argmin) and
-// BeamMapper (width-k beam over the layer order), both minimizing the
-// model-level energy-delay product.  The chosen assignment table and the
-// EDP of each strategy are printed.  Also demonstrates what happens if you
-// try to route a dynamic workload to a static mesh.
+// BeamMapper (width-k beam over the layer order) and the exact
+// BranchBoundMapper, all minimizing the model-level energy-delay product.
+// The chosen assignment table and the EDP of each strategy are printed.
+// Also demonstrates what happens if you try to route a dynamic workload
+// to a static mesh.
 #include <iostream>
 
 #include "arch/prebuilt.h"
@@ -44,6 +45,7 @@ int main() {
   const core::RuleMapper rule_mapper(rules);
   const core::GreedyMapper greedy(core::MappingObjective::kEdp);
   const core::BeamMapper beam(/*width=*/8, core::MappingObjective::kEdp);
+  const core::BranchBoundMapper bnb(core::MappingObjective::kEdp);
 
   struct Run {
     const char* label;
@@ -53,19 +55,21 @@ int main() {
   };
   Run runs[] = {{"rules", &rule_mapper, {}, {}},
                 {"greedy", &greedy, {}, {}},
-                {"beam-8", &beam, {}, {}}};
+                {"beam-8", &beam, {}, {}},
+                {"bnb", &bnb, {}, {}}};
   for (auto& run : runs) {
     run.report = sim.simulate_model(model, *run.mapper, &run.mapping);
   }
 
   // Where did each strategy put each layer?
-  util::Table assignment({"layer", "rules", "greedy", "beam-8"});
+  util::Table assignment({"layer", "rules", "greedy", "beam-8", "bnb"});
   const auto& layers = runs[0].report.layers;
   for (size_t i = 0; i < layers.size(); ++i) {
     assignment.add_row({layers[i].layer_name,
                         runs[0].report.layers[i].subarch_name,
                         runs[1].report.layers[i].subarch_name,
-                        runs[2].report.layers[i].subarch_name});
+                        runs[2].report.layers[i].subarch_name,
+                        runs[3].report.layers[i].subarch_name});
   }
   std::cout << "layer-to-sub-arch assignment (objective: EDP)\n"
             << assignment.render();
@@ -83,10 +87,10 @@ int main() {
   }
   std::cout << summary.render();
 
-  const double beam_edp = runs[2].report.total_energy.total_pJ() *
-                          runs[2].report.total_runtime_ns;
-  std::cout << "searched mapping improves EDP by "
-            << util::Table::fmt(100.0 * (1.0 - beam_edp / rules_edp), 1)
+  const double bnb_edp = runs[3].report.total_energy.total_pJ() *
+                         runs[3].report.total_runtime_ns;
+  std::cout << "searched mapping (exact bnb) improves EDP by "
+            << util::Table::fmt(100.0 * (1.0 - bnb_edp / rules_edp), 1)
             << "% over the fixed rules\n";
 
   std::cout << "\nshared GLB: "

@@ -9,6 +9,7 @@
 #include <memory>
 #include <mutex>
 #include <numeric>
+#include <ostream>
 #include <stdexcept>
 #include <unordered_map>
 #include <utility>
@@ -115,7 +116,7 @@ DsePoint evaluate_point(
     const std::vector<workload::GemmWorkload>& base_gemms,
     const std::string& model_name, const arch::ArchParams& params,
     bool override_input_bits, bool override_output_bits,
-    const Mapper* mapper) {
+    const Mapper* mapper, CostMatrixCache* cost_cache) {
   std::string arch_name = "dse-" + ptc_templates.front()->name;
   for (size_t t = 1; t < ptc_templates.size(); ++t) {
     arch_name += "+" + ptc_templates[t]->name;
@@ -124,7 +125,9 @@ DsePoint evaluate_point(
   for (const auto& ptc_template : ptc_templates) {
     system.add_subarch(arch::SubArchitecture(ptc_template, params, lib));
   }
-  const Simulator sim(std::move(system));
+  SimulationOptions sim_options;
+  sim_options.cost_cache = cost_cache;
+  const Simulator sim(std::move(system), sim_options);
 
   auto simulate = [&](const std::vector<workload::GemmWorkload>& gemms) {
     if (mapper != nullptr) {
@@ -475,6 +478,60 @@ DsePoint dse_point_from_json(const util::Json& j) {
   return point;
 }
 
+// ---------------------------------------------------------- DseShardWriter
+
+DseShardWriter::DseShardWriter(std::ostream& out, Metadata metadata)
+    : out_(&out) {
+  *out_ << "{\n\"arch\": " << util::Json(metadata.arch).dump(-1)
+        << ",\n\"model\": " << util::Json(metadata.model).dump(-1)
+        << ",\n\"sampler\": " << util::Json(metadata.sampler).dump(-1)
+        << ",\n\"shard\": {\"count\": " << metadata.shard.count
+        << ", \"index\": " << metadata.shard.index
+        << "},\n\"total_points\": " << metadata.total_points
+        << ",\n\"points\": [";
+  // Terminate the document immediately: a sweep killed while its first
+  // (possibly expensive) point is still simulating must already leave a
+  // parseable zero-point shard on disk.
+  const std::ostream::pos_type header_end = out_->tellp();
+  *out_ << "\n]\n}\n";
+  out_->flush();
+  out_->seekp(header_end);
+}
+
+void DseShardWriter::add_point(const DsePoint& point) {
+  if (finished_) {
+    throw std::logic_error("DseShardWriter: add_point after finish");
+  }
+  if (any_points_) *out_ << ",";
+  any_points_ = true;
+  *out_ << "\n" << to_json(point).dump(-1);
+  // Re-terminate the document, flush it, then seek the put pointer back
+  // over the footer: the bytes on disk always form a complete document,
+  // and the next point simply overwrites the footer.
+  const std::ostream::pos_type point_end = out_->tellp();
+  *out_ << "\n]\n}\n";
+  out_->flush();
+  out_->seekp(point_end);
+}
+
+void DseShardWriter::finish() {
+  if (finished_) return;
+  finished_ = true;
+  // The footer is already in the stream past the put pointer — the
+  // constructor wrote it for the zero-point state and every add_point
+  // rewrote it; only the flush is owed.
+  out_->flush();
+}
+
+DseShardWriter::~DseShardWriter() {
+  try {
+    finish();
+  } catch (...) {
+    // Destructors must not throw; a failed final flush surfaces through
+    // the stream's state instead.
+  }
+}
+
 util::Json to_json(const DseResult& result) {
   util::Json points{util::Json::Array{}};
   for (const auto& point : result.points) points.push_back(to_json(point));
@@ -607,7 +664,7 @@ DseResult explore(const std::vector<arch::PtcTemplate>& ptc_templates,
                                         grid[unique_grid_index[u]],
                                         override_input_bits,
                                         override_output_bits,
-                                        options.mapper);
+                                        options.mapper, options.cost_cache);
           evaluated[u].index = canonical[unique_grid_index[u]];
           report_progress(evaluated[u]);  // a throwing callback also aborts
         } catch (...) {

@@ -24,6 +24,7 @@
 #pragma once
 
 #include <functional>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -159,6 +160,17 @@ struct DseOptions {
   /// nullptr = grid enumeration, bit-identical to the pre-sampler engine.
   const DseSampler* sampler = nullptr;
 
+  /// Optional cross-point cost-matrix memoization (CostMatrixCache in
+  /// core/mapper.h): the per-(sub-arch, GEMM) LayerReports behind each
+  /// point's mapping search are keyed on a canonical (sub-arch
+  /// parameterization, GEMM) fingerprint, so points sharing a sub-arch
+  /// parameterization — and repeated explore() calls sharing one cache —
+  /// never re-simulate a pair.  Only consulted when `mapper` needs costs.
+  /// Not owned; must outlive the call.  The cache is thread-safe and
+  /// first-writer-wins over bit-identical entries, so results are
+  /// bit-identical with and without it, for any thread count.
+  CostMatrixCache* cost_cache = nullptr;
+
   /// Which 1-of-N slice of the point list this process evaluates.  The
   /// returned points keep their canonical DsePoint::index, and the
   /// shard-local Pareto flags are provisional until merge() recomputes
@@ -209,6 +221,53 @@ void mark_pareto_frontier(std::vector<DsePoint>& points);
 /// std::invalid_argument when two points carry the same index
 /// (overlapping shards).
 [[nodiscard]] DseResult merge(std::vector<DseResult> shards);
+
+/// Streams completed DsePoints to an output stream as a canonical shard
+/// document (the format `--out` writes and `--merge` reads):
+///
+///   {"arch": ..., "model": ..., "sampler": ..., "shard": {...},
+///    "total_points": N, "points": [ <point>, ... ]}
+///
+/// The constructor and every add_point() terminate the document and
+/// flush before seeking the put pointer back over the footer — so the
+/// stream holds a complete, parseable document from the moment the
+/// writer exists (a zero-point shard while the first point simulates),
+/// and a sweep killed between writes leaves a recoverable shard file
+/// (see tests/test_dse_stream.cpp).  The stream must support
+/// seekp/tellp (files and stringstreams do).
+class DseShardWriter {
+ public:
+  struct Metadata {
+    std::string arch;
+    std::string model;
+    std::string sampler = "grid";
+    DseShard shard;
+    size_t total_points = 0;
+  };
+
+  /// Writes the document header immediately.  The stream is not owned and
+  /// must outlive the writer.
+  DseShardWriter(std::ostream& out, Metadata metadata);
+
+  /// Appends one point (completion order; the point's canonical index
+  /// travels in its "index" field) and re-terminates the document.
+  void add_point(const DsePoint& point);
+
+  /// Flushes the final state.  The document is already complete — the
+  /// constructor and every add_point() terminate it — so this only
+  /// guarantees the last bytes reach the stream.  Called implicitly by
+  /// the destructor; add_point() afterwards throws std::logic_error.
+  void finish();
+
+  ~DseShardWriter();
+  DseShardWriter(const DseShardWriter&) = delete;
+  DseShardWriter& operator=(const DseShardWriter&) = delete;
+
+ private:
+  std::ostream* out_;
+  bool any_points_ = false;
+  bool finished_ = false;
+};
 
 /// DsePoint <-> JSON.  Non-finite metrics serialize as null and parse
 /// back as NaN; from_json throws std::invalid_argument on missing fields

@@ -1,6 +1,8 @@
 #include "core/mapper.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cmath>
 #include <future>
 #include <stdexcept>
 
@@ -22,16 +24,25 @@ PairCost pair_cost(const CostMatrix::Entry& entry) {
   return {entry.report.energy_pJ(), entry.report.runtime_ns()};
 }
 
-[[noreturn]] void throw_unmappable(const MappingProblem& problem,
-                                   size_t gemm_index) {
-  const workload::GemmWorkload& gemm = (*problem.gemms)[gemm_index];
-  std::string message = "no sub-architecture can run GEMM '" + gemm.name +
-                        "' (layer " + std::to_string(gemm_index) + ")";
-  for (size_t s = 0; s < problem.costs->num_subarchs(); ++s) {
-    message += "; sub-arch " + std::to_string(s) + ": " +
-               problem.costs->at(gemm_index, s).error;
+/// Throws when any layer has no feasible sub-arch, aggregating *every*
+/// stuck layer's per-sub-arch diagnostics into one message — a model with
+/// several unmappable layers reports them all at once instead of only the
+/// first one found.
+void require_mappable(const MappingProblem& problem) {
+  const CostMatrix& costs = *problem.costs;
+  std::string message;
+  for (size_t g = 0; g < costs.num_gemms(); ++g) {
+    if (!costs.feasible_subarchs(g).empty()) continue;
+    if (!message.empty()) message += "\n";
+    message += "no sub-architecture can run GEMM '" +
+               (*problem.gemms)[g].name + "' (layer " + std::to_string(g) +
+               ")";
+    for (size_t s = 0; s < costs.num_subarchs(); ++s) {
+      message += "; sub-arch " + std::to_string(s) + ": " +
+                 costs.at(g, s).error;
+    }
   }
-  throw std::invalid_argument(message);
+  if (!message.empty()) throw std::invalid_argument(message);
 }
 
 void require_costs(const MappingProblem& problem, const char* who) {
@@ -125,6 +136,46 @@ std::vector<size_t> CostMatrix::feasible_subarchs(size_t gemm) const {
   return out;
 }
 
+// -------------------------------------------------------- CostMatrixCache
+
+std::shared_ptr<const CostMatrix::Entry> CostMatrixCache::find(
+    const Key& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  return it->second;
+}
+
+std::shared_ptr<const CostMatrix::Entry> CostMatrixCache::insert(
+    const Key& key, CostMatrix::Entry entry) {
+  auto stored = std::make_shared<const CostMatrix::Entry>(std::move(entry));
+  std::lock_guard<std::mutex> lock(mutex_);
+  // First writer wins: concurrent writers of one key carry bit-identical
+  // entries (same key => same simulation inputs), so which one lands is
+  // immaterial for determinism.
+  return entries_.try_emplace(key, std::move(stored)).first->second;
+}
+
+CostMatrixCache::Stats CostMatrixCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+size_t CostMatrixCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+void CostMatrixCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  stats_ = Stats{};
+}
+
 // ----------------------------------------------------------------- Mapper
 
 std::vector<std::string> Mapper::validate(const arch::Architecture&) const {
@@ -160,6 +211,7 @@ GreedyMapper::GreedyMapper(MappingObjective objective)
 
 Mapping GreedyMapper::map(const MappingProblem& problem) const {
   require_costs(problem, "GreedyMapper");
+  require_mappable(problem);
   const CostMatrix& costs = *problem.costs;
 
   std::vector<size_t> assignment;
@@ -176,7 +228,7 @@ Mapping GreedyMapper::map(const MappingProblem& problem) const {
         best = s;
       }
     }
-    if (best == costs.num_subarchs()) throw_unmappable(problem, g);
+    // require_mappable guarantees a feasible sub-arch per layer.
     const PairCost c = pair_cost(costs.at(g, best));
     energy += c.energy_pJ;
     latency += c.latency_ns;
@@ -238,6 +290,7 @@ BeamMapper::BeamMapper(size_t width, MappingObjective objective,
 
 Mapping BeamMapper::map(const MappingProblem& problem) const {
   require_costs(problem, "BeamMapper");
+  require_mappable(problem);
   const CostMatrix& costs = *problem.costs;
   const size_t S = costs.num_subarchs();
 
@@ -282,7 +335,12 @@ Mapping BeamMapper::map(const MappingProblem& problem) const {
     for (size_t i = 0; i < candidates.size(); ++i) {
       if (candidates[i].valid) order.push_back(i);
     }
-    if (order.empty()) throw_unmappable(problem, g);
+    if (order.empty()) {
+      // Unreachable: require_mappable guarantees every layer expands at
+      // least one candidate from a non-empty beam.
+      throw std::logic_error("BeamMapper: beam emptied at layer " +
+                             std::to_string(g));
+    }
     std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
       return candidate_less(candidates[a], candidates[b], beam);
     });
@@ -309,6 +367,279 @@ Mapping BeamMapper::map(const MappingProblem& problem) const {
                   best.latency_ns);
 }
 
+// ----------------------------------------------------- BranchBoundMapper
+
+namespace {
+
+/// State shared by every subtree of one branch-and-bound search.
+struct BnbContext {
+  const CostMatrix* costs = nullptr;
+  MappingObjective objective = MappingObjective::kEdp;
+  size_t n = 0;
+  size_t S = 0;
+  /// suffix_min_*[g] = sum over layers k >= g of the feasible minimum of
+  /// that component (suffix_min_*[n] = 0).
+  std::vector<double> suffix_min_energy;
+  std::vector<double> suffix_min_latency;
+};
+
+/// A full-assignment candidate: score + the totals it was scored from.
+struct BnbBest {
+  bool valid = false;
+  double score = kInfeasible;
+  double energy_pJ = 0.0;
+  double latency_ns = 0.0;
+  std::vector<size_t> assignment;
+};
+
+/// The ExhaustiveMapper tie-break: lower score, then lexicographically
+/// smaller assignment.
+bool bnb_better(double score, const std::vector<size_t>& assignment,
+                const BnbBest& than) {
+  if (!than.valid) return true;
+  if (score != than.score) return score < than.score;
+  return assignment < than.assignment;
+}
+
+/// Lower bound on the score of any completion of a prefix with sums
+/// (energy, latency) at `depth`.  Latency/energy are additive, so prefix
+/// + suffix-of-minima bounds the relaxation that picks each remaining
+/// layer independently; for EDP the component-wise minima bound applies
+/// because EDP is monotone in both totals and every completion satisfies
+/// E >= E_lb and L >= L_lb.
+///
+/// The raw value is admissible only in real arithmetic: the suffix sums
+/// accumulate right-to-left while a DFS completion sums left-to-right,
+/// so non-associative floating-point addition (and the EDP product) can
+/// push the computed bound a few ulps above a completion's true score.
+/// The caller therefore prunes against a slightly deflated bound — see
+/// bnb_safe_bound — trading ulp-marginal extra exploration for the
+/// bit-for-bit ExhaustiveMapper equivalence the class guarantees.
+double bnb_bound(const BnbContext& ctx, size_t depth, double energy,
+                 double latency) {
+  switch (ctx.objective) {
+    case MappingObjective::kLatency:
+      return latency + ctx.suffix_min_latency[depth];
+    case MappingObjective::kEnergy:
+      return energy + ctx.suffix_min_energy[depth];
+    case MappingObjective::kEdp:
+      return (energy + ctx.suffix_min_energy[depth]) *
+             (latency + ctx.suffix_min_latency[depth]);
+  }
+  return 0.0;
+}
+
+/// Deflates a bound by a relative margin comfortably above the
+/// accumulated rounding error of an n-term sum (or product of two such
+/// sums): error <= ~(n + 2) * eps relative, margin = 1e-12 covers
+/// thousands of layers.  Always moves toward -infinity, so pruning only
+/// ever gets more conservative, never unsound.
+double bnb_safe_bound(double bound) {
+  constexpr double kSlack = 1e-12;
+  return bound - std::abs(bound) * kSlack;
+}
+
+/// Lock-free monotone minimum on the shared pruning bound.  The bound only
+/// ever tightens, and pruning is strict (> only), so the timing of updates
+/// affects how much work is skipped but never which mapping wins.
+void bnb_relax(std::atomic<double>& bound, double score) {
+  double current = bound.load(std::memory_order_relaxed);
+  while (score < current &&
+         !bound.compare_exchange_weak(current, score,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+/// Serial DFS under one subtree.  `path` holds the assignment prefix;
+/// prefix sums accumulate left to right, which keeps the floating-point
+/// summation order identical to ExhaustiveMapper's per-candidate loop.
+void bnb_dfs(const BnbContext& ctx, size_t depth, double energy,
+             double latency, std::vector<size_t>& path, BnbBest& local,
+             std::atomic<double>& bound, BranchBoundMapper::Stats& stats) {
+  if (bnb_safe_bound(bnb_bound(ctx, depth, energy, latency)) >
+      bound.load(std::memory_order_relaxed)) {
+    ++stats.pruned;
+    return;
+  }
+  ++stats.visited;  // expanded nodes only — disjoint from pruned
+  if (depth == ctx.n) {
+    const double score = objective_value(ctx.objective, energy, latency);
+    if (bnb_better(score, path, local)) {
+      local.valid = true;
+      local.score = score;
+      local.energy_pJ = energy;
+      local.latency_ns = latency;
+      local.assignment = path;
+      bnb_relax(bound, score);
+    }
+    return;
+  }
+  for (size_t s = 0; s < ctx.S; ++s) {
+    const CostMatrix::Entry& entry = ctx.costs->at(depth, s);
+    if (!entry.feasible) continue;
+    const PairCost c = pair_cost(entry);
+    path.push_back(s);
+    bnb_dfs(ctx, depth + 1, energy + c.energy_pJ, latency + c.latency_ns,
+            path, local, bound, stats);
+    path.pop_back();
+  }
+}
+
+}  // namespace
+
+BranchBoundMapper::BranchBoundMapper(MappingObjective objective,
+                                     int num_threads)
+    : objective_(objective), num_threads_(num_threads) {
+  if (num_threads_ < 0) {
+    throw std::invalid_argument(
+        "BranchBoundMapper num_threads must be >= 0");
+  }
+}
+
+Mapping BranchBoundMapper::map(const MappingProblem& problem) const {
+  return map_counted(problem, nullptr);
+}
+
+Mapping BranchBoundMapper::map_counted(const MappingProblem& problem,
+                                       Stats* stats) const {
+  require_costs(problem, "BranchBoundMapper");
+  require_mappable(problem);
+  const CostMatrix& costs = *problem.costs;
+
+  BnbContext ctx;
+  ctx.costs = &costs;
+  ctx.objective = objective_;
+  ctx.n = costs.num_gemms();
+  ctx.S = costs.num_subarchs();
+  ctx.suffix_min_energy.assign(ctx.n + 1, 0.0);
+  ctx.suffix_min_latency.assign(ctx.n + 1, 0.0);
+  for (size_t g = ctx.n; g > 0; --g) {
+    double min_energy = kInfeasible;
+    double min_latency = kInfeasible;
+    for (size_t s = 0; s < ctx.S; ++s) {
+      const CostMatrix::Entry& entry = costs.at(g - 1, s);
+      if (!entry.feasible) continue;
+      const PairCost c = pair_cost(entry);
+      min_energy = std::min(min_energy, c.energy_pJ);
+      min_latency = std::min(min_latency, c.latency_ns);
+    }
+    ctx.suffix_min_energy[g - 1] = min_energy + ctx.suffix_min_energy[g];
+    ctx.suffix_min_latency[g - 1] = min_latency + ctx.suffix_min_latency[g];
+  }
+
+  Stats local_stats;
+  local_stats.total_assignments =
+      std::pow(static_cast<double>(ctx.S), static_cast<double>(ctx.n));
+
+  // Incumbent seed: GreedyMapper's per-layer argmin (optimal for
+  // additive objectives, a strong start for EDP) — reused outright so
+  // its tie-break and left-to-right summation order can never drift
+  // from the pruning argument that relies on them.  The seed's score
+  // enters the shared pruning bound; the assignment itself joins the
+  // final reduction, though the DFS always re-finds it (no ancestor of
+  // an incumbent-score leaf can exceed the bound, and pruning is
+  // strict).
+  BnbBest seed;
+  {
+    Mapping greedy = GreedyMapper(objective_).map(problem);
+    seed.valid = true;
+    seed.score = greedy.predicted_cost;
+    seed.energy_pJ = greedy.predicted_energy_pJ;
+    seed.latency_ns = greedy.predicted_latency_ns;
+    seed.assignment = std::move(greedy.assignment);
+  }
+  std::atomic<double> bound{seed.score};
+
+  const unsigned pool_threads =
+      num_threads_ == 0 ? util::ThreadPool::hardware_threads()
+                        : static_cast<unsigned>(num_threads_);
+
+  BnbBest winner = seed;
+  if (pool_threads <= 1 || ctx.n == 0) {
+    BnbBest local;
+    std::vector<size_t> path;
+    path.reserve(ctx.n);
+    bnb_dfs(ctx, 0, 0.0, 0.0, path, local, bound, local_stats);
+    if (local.valid &&
+        bnb_better(local.score, local.assignment, winner)) {
+      winner = std::move(local);
+    }
+  } else {
+    // Split the tree at a fixed small depth into its lex-ordered feasible
+    // prefixes; each prefix's subtree runs as one pool task.  Workers
+    // share only the monotone pruning bound, so each subtree's winner is
+    // independent of scheduling, and the reduction below is a pure
+    // (score, lexicographic) fold — bit-identical for any thread count.
+    size_t depth = 0;
+    size_t width = 1;
+    while (depth < ctx.n && width < 4 * static_cast<size_t>(pool_threads) &&
+           width <= 4096 / std::max<size_t>(ctx.S, 1)) {
+      ++depth;
+      width *= ctx.S;
+    }
+    struct SubtreeRoot {
+      std::vector<size_t> path;
+      double energy_pJ = 0.0;
+      double latency_ns = 0.0;
+    };
+    std::vector<SubtreeRoot> roots;
+    {
+      SubtreeRoot root;
+      std::vector<SubtreeRoot> frontier{root};
+      for (size_t level = 0; level < depth; ++level) {
+        std::vector<SubtreeRoot> next;
+        next.reserve(frontier.size() * ctx.S);
+        for (const SubtreeRoot& r : frontier) {
+          for (size_t s = 0; s < ctx.S; ++s) {
+            const CostMatrix::Entry& entry = costs.at(level, s);
+            if (!entry.feasible) continue;
+            const PairCost c = pair_cost(entry);
+            SubtreeRoot child;
+            child.path = r.path;
+            child.path.push_back(s);
+            child.energy_pJ = r.energy_pJ + c.energy_pJ;
+            child.latency_ns = r.latency_ns + c.latency_ns;
+            next.push_back(std::move(child));
+          }
+        }
+        frontier = std::move(next);
+      }
+      roots = std::move(frontier);
+    }
+
+    // Everything the tasks touch must outlive the pool: workers are only
+    // joined by the pool's destructor, so these live before it in case an
+    // exception unwinds this block mid-submission.
+    std::vector<BnbBest> locals(roots.size());
+    std::vector<Stats> task_stats(roots.size());
+    std::vector<std::future<void>> pending;
+    util::ThreadPool pool(pool_threads);
+    pending.reserve(roots.size());
+    for (size_t r = 0; r < roots.size(); ++r) {
+      pending.push_back(pool.submit([&, r] {
+        std::vector<size_t> path = roots[r].path;
+        path.reserve(ctx.n);
+        bnb_dfs(ctx, depth, roots[r].energy_pJ, roots[r].latency_ns, path,
+                locals[r], bound, task_stats[r]);
+      }));
+    }
+    for (auto& f : pending) f.get();
+
+    for (size_t r = 0; r < roots.size(); ++r) {
+      local_stats.visited += task_stats[r].visited;
+      local_stats.pruned += task_stats[r].pruned;
+      if (locals[r].valid &&
+          bnb_better(locals[r].score, locals[r].assignment, winner)) {
+        winner = std::move(locals[r]);
+      }
+    }
+  }
+
+  if (stats != nullptr) *stats = local_stats;
+  return finalize(objective_, std::move(winner.assignment),
+                  winner.energy_pJ, winner.latency_ns);
+}
+
 // ------------------------------------------------------ ExhaustiveMapper
 
 ExhaustiveMapper::ExhaustiveMapper(MappingObjective objective)
@@ -331,10 +662,8 @@ Mapping ExhaustiveMapper::map(const MappingProblem& problem) const {
   }
 
   // Every GEMM must be runnable somewhere, otherwise no assignment is
-  // feasible; report the first stuck layer with per-sub-arch diagnostics.
-  for (size_t g = 0; g < n; ++g) {
-    if (costs.feasible_subarchs(g).empty()) throw_unmappable(problem, g);
-  }
+  // feasible; report every stuck layer with per-sub-arch diagnostics.
+  require_mappable(problem);
 
   // Mixed-radix counter with the last GEMM as the least significant digit:
   // enumeration order is lexicographic, so keeping the first strictly

@@ -20,13 +20,26 @@
 //                        sub-arches and n GEMMs; parallelized on
 //                        util::ThreadPool with results bit-identical for
 //                        any thread count.
-//   * ExhaustiveMapper — full S^n enumeration; the oracle the beam is
-//                        tested against (small problems only).
+//   * BranchBoundMapper — depth-first assignment search with admissible
+//                        lower bounds and a greedy incumbent.  Exact (equal
+//                        to ExhaustiveMapper bit for bit on every
+//                        objective) while pruning most of the S^n tree.
+//   * ExhaustiveMapper — full S^n enumeration; the oracle the beam and
+//                        branch-and-bound are tested against (small
+//                        problems only).
+//
+// CostMatrixCache memoizes per-(sub-arch, GEMM) LayerReports across cost
+// matrices, so DSE points sharing a sub-arch parameterization — or
+// repeated searches over the same architecture — never re-simulate a pair.
 #pragma once
 
+#include <cstdint>
 #include <limits>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/mapping.h"
@@ -85,6 +98,75 @@ class CostMatrix {
   size_t num_gemms_;
   size_t num_subarchs_;
   std::vector<Entry> entries_;  // row-major: [gemm * num_subarchs_ + subarch]
+};
+
+/// Cross-point memoization of per-(sub-arch, GEMM) cost-matrix entries.
+///
+/// A key is a canonical fingerprint pair: one hash over everything the
+/// per-pair simulation reads on the hardware side (PTC template structure,
+/// materialized groups, ArchParams, device library identity, energy
+/// options, and the shared memory hierarchy) and one over the workload
+/// side (GEMM shape, batch, bit widths, dynamic/sparsity flags, and the
+/// weight tensor's *content* — the energy model is data-aware).  Layer
+/// name and sub-arch index are deliberately excluded: identical layers on
+/// identical hardware share one entry, and the Simulator rewrites the
+/// identity fields on every hit.  Only feasible entries are stored:
+/// infeasibility diagnostics embed the layer's own name, which the
+/// canonical key cannot distinguish (and rejecting an infeasible pair is
+/// cheap to redo).
+///
+/// Thread-safe: find/insert take an internal mutex, so one cache can be
+/// shared by every worker of a DSE sweep (DseOptions::cost_cache) and
+/// across explore() calls.  Insertion is first-writer-wins; since a given
+/// key is always produced by the same instruction sequence, every writer
+/// carries a bit-identical entry and cached results equal uncached ones
+/// exactly.  Keys are compared by their two 64-bit fingerprints only; a
+/// false hit needs a simultaneous collision of both, which is negligible
+/// at any realistic sweep size.
+class CostMatrixCache {
+ public:
+  struct Key {
+    uint64_t subarch = 0;  // hardware-side fingerprint
+    uint64_t gemm = 0;     // workload-side fingerprint
+    [[nodiscard]] bool operator==(const Key&) const = default;
+  };
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    /// hits / (hits + misses); 0 when nothing was looked up.
+    [[nodiscard]] double hit_rate() const {
+      const uint64_t total = hits + misses;
+      return total == 0 ? 0.0 : static_cast<double>(hits) /
+                                    static_cast<double>(total);
+    }
+  };
+
+  /// Cached entry for `key`, or nullptr (counted as hit/miss).
+  [[nodiscard]] std::shared_ptr<const CostMatrix::Entry> find(
+      const Key& key) const;
+
+  /// Stores `entry` under `key` (first writer wins) and returns the
+  /// stored entry.
+  std::shared_ptr<const CostMatrix::Entry> insert(const Key& key,
+                                                  CostMatrix::Entry entry);
+
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] size_t size() const;
+  void clear();  // drops entries and resets the counters
+
+ private:
+  struct KeyHash {
+    size_t operator()(const Key& key) const {
+      return static_cast<size_t>(key.subarch ^
+                                 (key.gemm * 0x9e3779b97f4a7c15ULL));
+    }
+  };
+
+  mutable std::mutex mutex_;
+  std::unordered_map<Key, std::shared_ptr<const CostMatrix::Entry>, KeyHash>
+      entries_;
+  mutable Stats stats_;
 };
 
 /// Everything a Mapper sees.  `costs` is null iff the strategy declared
@@ -193,6 +275,62 @@ class BeamMapper final : public Mapper {
 
  private:
   size_t width_;
+  MappingObjective objective_;
+  int num_threads_;
+};
+
+/// Exact depth-first branch-and-bound over the layer order.
+///
+/// The search walks assignment prefixes in lexicographic order, tracking
+/// prefix (energy, latency) sums, and prunes a subtree when an admissible
+/// lower bound on any completion exceeds the incumbent:
+///   * latency / energy (additive): prefix sum + the suffix sum of each
+///     remaining layer's feasible minimum — exact, so with the greedy
+///     incumbent (optimal for additive objectives) only tie subtrees
+///     survive;
+///   * EDP: (E_prefix + sum min E) * (L_prefix + sum min L) — the
+///     component-wise-minima bound.  EDP is monotone in both totals and
+///     every completion satisfies both component inequalities, so the
+///     bound never exceeds a reachable score (admissible).
+/// Pruning is strict (bound > incumbent only, with the bound deflated by
+/// an ulp-scale margin so floating-point reassociation in the suffix
+/// sums can never make it inadmissible) and the incumbent is replaced on
+/// (score, lexicographic assignment), so the result equals
+/// ExhaustiveMapper bit for bit on every objective — including the
+/// lexicographically-smallest-optimum tie-break and the exact
+/// floating-point summation order — without the S^n enumeration limit.
+///
+/// The incumbent is seeded from GreedyMapper's assignment before the
+/// search starts.  With num_threads != 1 the tree is split into the
+/// lex-ordered feasible prefixes of a small fixed depth, subtrees are
+/// searched on a util::ThreadPool against a shared atomic bound, and the
+/// per-subtree winners are reduced in prefix order — the chosen mapping is
+/// bit-identical for any thread count (0 = one worker per hardware
+/// thread; the default 1 stays serial so nesting inside DSE workers does
+/// not oversubscribe).
+class BranchBoundMapper final : public Mapper {
+ public:
+  /// Search effort counters (map_counted): subtree roots the DFS expanded
+  /// vs. pruned against the bound, plus the full S^n leaf count for scale.
+  struct Stats {
+    uint64_t visited = 0;
+    uint64_t pruned = 0;
+    double total_assignments = 0.0;
+  };
+
+  explicit BranchBoundMapper(
+      MappingObjective objective = MappingObjective::kEdp,
+      int num_threads = 1);
+
+  [[nodiscard]] std::string name() const override { return "bnb"; }
+  [[nodiscard]] MappingObjective objective() const { return objective_; }
+  [[nodiscard]] Mapping map(const MappingProblem& problem) const override;
+
+  /// map() variant that also reports how much of the tree was explored.
+  [[nodiscard]] Mapping map_counted(const MappingProblem& problem,
+                                    Stats* stats) const;
+
+ private:
   MappingObjective objective_;
   int num_threads_;
 };

@@ -1,11 +1,134 @@
 #include "core/simulator.h"
 
+#include <cstdint>
 #include <optional>
 #include <stdexcept>
 
+#include "util/hash.h"
 #include "workload/gemm.h"
 
 namespace simphony::core {
+
+namespace {
+
+/// Hardware-side half of a CostMatrixCache key: everything simulate_one
+/// reads that is not the GEMM itself.  The materialized instance groups
+/// stand in for the template's symbolic scaling rules evaluated at this
+/// parameter point; the device library enters by identity (its records
+/// are assumed immutable while a cache is alive).
+uint64_t subarch_fingerprint(const arch::SubArchitecture& subarch,
+                             const memory::MemoryHierarchy& memory,
+                             const SimulationOptions& options) {
+  size_t seed = 0;
+  const arch::PtcTemplate& t = subarch.ptc();
+  util::hash_combine_value(seed, t.name);
+  util::hash_combine_value(seed, t.node_instance);
+  util::hash_combine_value(seed, t.reconfig_latency_ns);
+  util::hash_combine_value(seed, t.output_stationary);
+  util::hash_combine_value(seed, t.core_routing_overhead);
+  util::hash_combine_value(seed,
+                           static_cast<int>(t.taxonomy.operand_a.range));
+  util::hash_combine_value(seed,
+                           static_cast<int>(t.taxonomy.operand_a.reconfig));
+  util::hash_combine_value(seed,
+                           static_cast<int>(t.taxonomy.operand_b.range));
+  util::hash_combine_value(seed,
+                           static_cast<int>(t.taxonomy.operand_b.reconfig));
+  util::hash_combine_value(seed, static_cast<int>(t.taxonomy.method));
+  // The arch-level connectivity feeds the link-budget DAG; endpoint names
+  // are enough to tell templates apart alongside the group list below.
+  util::hash_combine_value(seed, t.nets.size());
+  for (const auto& net : t.nets) {
+    util::hash_combine_value(seed, net.src);
+    util::hash_combine_value(seed, net.dst);
+  }
+  for (const auto& group : subarch.groups()) {
+    util::hash_combine_value(seed, group.spec->name);
+    util::hash_combine_value(seed, group.spec->device);
+    util::hash_combine_value(seed, static_cast<int>(group.spec->role));
+    util::hash_combine_value(seed, group.spec->on_optical_path);
+    util::hash_combine_value(seed, group.count);
+    util::hash_combine_value(seed, group.unit_area_um2);
+    util::hash_combine_value(seed, group.path_loss_dB);
+  }
+  const arch::ArchParams& p = subarch.params();
+  util::hash_combine_value(seed, p.tiles);
+  util::hash_combine_value(seed, p.cores_per_tile);
+  util::hash_combine_value(seed, p.core_height);
+  util::hash_combine_value(seed, p.core_width);
+  util::hash_combine_value(seed, p.wavelengths);
+  util::hash_combine_value(seed, p.clock_GHz);
+  util::hash_combine_value(seed, p.input_bits);
+  util::hash_combine_value(seed, p.weight_bits);
+  util::hash_combine_value(seed, p.output_bits);
+  // The device library enters by *content*, not address: a sweep loop
+  // rebuilding library variants at a recycled address while sharing one
+  // cache must never collide with an earlier variant's costs.
+  const devlib::DeviceLibrary& lib = subarch.library();
+  util::hash_combine_value(seed, lib.size());
+  for (const std::string& device_name : lib.names()) {
+    const devlib::DeviceParams& device = lib.get(device_name);
+    util::hash_combine_value(seed, device.name);
+    util::hash_combine_value(seed, static_cast<int>(device.category));
+    util::hash_combine_value(seed, device.footprint.width_um);
+    util::hash_combine_value(seed, device.footprint.height_um);
+    util::hash_combine_value(seed, device.insertion_loss_dB);
+    util::hash_combine_value(seed, device.static_power_mW);
+    util::hash_combine_value(seed, device.dynamic_energy_fJ);
+    util::hash_combine_value(seed, device.latency_ns);
+    util::hash_combine_value(seed, device.bandwidth_GHz);
+    for (const auto& [key, value] : device.extra) {
+      util::hash_combine_value(seed, key);
+      util::hash_combine_value(seed, value);
+    }
+  }
+  util::hash_combine_value(seed,
+                           static_cast<int>(options.energy.fidelity));
+  util::hash_combine_value(seed, options.energy.data_aware);
+  util::hash_combine_value(seed, options.energy.include_data_movement);
+  for (const memory::MemoryLevel* level :
+       {&memory.hbm, &memory.glb, &memory.lb, &memory.rf}) {
+    util::hash_combine_value(seed, level->capacity_kB);
+    util::hash_combine_value(seed, level->bandwidth_GBps);
+    util::hash_combine_value(seed, level->read_energy_pJ_per_bit);
+    util::hash_combine_value(seed, level->write_energy_pJ_per_bit);
+    util::hash_combine_value(seed, level->leakage_mW);
+    util::hash_combine_value(seed, level->blocks);
+    util::hash_combine_value(seed, level->cycle_ns);
+  }
+  util::hash_combine_value(seed, memory.glb_demand_GBps);
+  return static_cast<uint64_t>(seed);
+}
+
+/// Workload-side half of the key.  The layer *name* is deliberately
+/// excluded (identical layers share an entry; identity fields are
+/// rewritten on every hit), while the weight tensor's content is included
+/// because the energy model is data-aware.
+uint64_t gemm_fingerprint(const workload::GemmWorkload& gemm) {
+  size_t seed = 0x67656d6d;  // "gemm": decorrelates from the subarch side
+  util::hash_combine_value(seed, gemm.n);
+  util::hash_combine_value(seed, gemm.d);
+  util::hash_combine_value(seed, gemm.m);
+  util::hash_combine_value(seed, gemm.batch);
+  util::hash_combine_value(seed, gemm.input_bits);
+  util::hash_combine_value(seed, gemm.weight_bits);
+  util::hash_combine_value(seed, gemm.output_bits);
+  util::hash_combine_value(seed, gemm.b_dynamic);
+  util::hash_combine_value(seed, gemm.sparsity);
+  util::hash_combine_value(seed, static_cast<int>(gemm.source_type));
+  util::hash_combine_value(seed, gemm.weights != nullptr);
+  if (gemm.weights != nullptr) {
+    for (int64_t dim : gemm.weights->shape()) {
+      util::hash_combine_value(seed, dim);
+    }
+    const std::vector<float>& data = gemm.weights->data();
+    util::hash_combine(
+        seed, util::fnv1a_bytes(data.data(), data.size() * sizeof(float)));
+  }
+  return static_cast<uint64_t>(seed);
+}
+
+}  // namespace
 
 Simulator::Simulator(arch::Architecture architecture,
                      SimulationOptions options)
@@ -69,10 +192,41 @@ memory::MemoryHierarchy Simulator::build_shared_memory(
 CostMatrix Simulator::build_cost_matrix(
     const std::vector<workload::GemmWorkload>& gemms,
     const memory::MemoryHierarchy& memory) const {
+  CostMatrixCache* cache = options_.cost_cache;
+  // Fingerprints are computed once per side, not once per pair: the
+  // workload side hashes the weight tensors' content, which would
+  // otherwise dominate matrix assembly.
+  std::vector<uint64_t> subarch_keys;
+  std::vector<uint64_t> gemm_keys;
+  if (cache != nullptr) {
+    subarch_keys.reserve(architecture_.subarch_count());
+    for (size_t s = 0; s < architecture_.subarch_count(); ++s) {
+      subarch_keys.push_back(
+          subarch_fingerprint(architecture_.subarch(s), memory, options_));
+    }
+    gemm_keys.reserve(gemms.size());
+    for (const auto& gemm : gemms) {
+      gemm_keys.push_back(gemm_fingerprint(gemm));
+    }
+  }
+
   CostMatrix costs(gemms.size(), architecture_.subarch_count());
   for (size_t g = 0; g < gemms.size(); ++g) {
     for (size_t s = 0; s < architecture_.subarch_count(); ++s) {
       CostMatrix::Entry& entry = costs.at(g, s);
+      const CostMatrixCache::Key key{cache ? subarch_keys[s] : 0,
+                                     cache ? gemm_keys[g] : 0};
+      if (cache != nullptr) {
+        if (auto cached = cache->find(key)) {
+          // The canonical key excludes the report's identity fields;
+          // restore them for this architecture and layer.
+          entry = *cached;
+          entry.report.layer_name = gemms[g].name;
+          entry.report.subarch_name = architecture_.subarch(s).name();
+          entry.report.subarch_index = s;
+          continue;
+        }
+      }
       try {
         entry.report = simulate_one(s, gemms[g], memory);
         entry.feasible = true;
@@ -84,6 +238,12 @@ CostMatrix Simulator::build_cost_matrix(
         // become a routing decision.
         entry.error = e.what();
       }
+      // Only feasible entries are memoized: infeasibility diagnostics
+      // embed the layer's own name (which the canonical key excludes),
+      // and a cached copy would cite the donor layer.  Detecting
+      // infeasibility is cheap — the simulator rejects the pair before
+      // any costly analysis.
+      if (cache != nullptr && entry.feasible) cache->insert(key, entry);
     }
   }
   return costs;
@@ -117,7 +277,12 @@ ModelReport Simulator::simulate_gemms(
     const std::string& model_name, Mapping* chosen) const {
   const auto problems = mapper.validate(architecture_);
   if (!problems.empty()) {
-    throw std::invalid_argument("invalid mapping config: " + problems[0]);
+    // Report every validation problem, not just the first one found.
+    std::string message = "invalid mapping config: " + problems[0];
+    for (size_t i = 1; i < problems.size(); ++i) {
+      message += "; " + problems[i];
+    }
+    throw std::invalid_argument(message);
   }
 
   const memory::MemoryHierarchy memory = build_shared_memory(gemms);

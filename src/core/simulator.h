@@ -27,6 +27,13 @@ struct SimulationOptions {
   energy::EnergyOptions energy;
   layout::AreaOptions area;
   memory::MemoryOptions memory;
+
+  /// Optional cross-call memoization of per-(sub-arch, GEMM) cost-matrix
+  /// entries (see CostMatrixCache in core/mapper.h).  Not owned; must
+  /// outlive the Simulator.  Thread-safe, so one cache may back every
+  /// Simulator of a DSE sweep; results are bit-identical with and
+  /// without it.
+  CostMatrixCache* cost_cache = nullptr;
 };
 
 class Simulator {
@@ -77,7 +84,11 @@ class Simulator {
   /// Simulates every (GEMM, sub-arch) pair against a shared memory
   /// hierarchy sized for `gemms`.  Pairs the architecture cannot run (e.g.
   /// dynamic tensor products on a static mesh) come back infeasible with
-  /// the simulator's diagnostic instead of throwing.
+  /// the simulator's diagnostic instead of throwing.  With
+  /// SimulationOptions::cost_cache set, pairs whose canonical
+  /// (sub-arch parameterization, GEMM) fingerprint was already simulated —
+  /// by this Simulator or any other sharing the cache — are fetched
+  /// instead of re-simulated.
   [[nodiscard]] CostMatrix build_cost_matrix(
       const std::vector<workload::GemmWorkload>& gemms) const;
 

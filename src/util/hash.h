@@ -20,4 +20,18 @@ void hash_combine_value(std::size_t& seed, const T& value) {
   hash_combine(seed, std::hash<T>{}(value));
 }
 
+/// FNV-1a over a raw byte range — cheap content fingerprinting of bulk
+/// data (e.g. weight tensors feeding the cost-matrix cache key, where
+/// per-element std::hash mixing would dominate).
+inline std::uint64_t fnv1a_bytes(const void* data, std::size_t size,
+                                 std::uint64_t seed = 0xcbf29ce484222325ULL) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint64_t hash = seed;
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
 }  // namespace simphony::util
