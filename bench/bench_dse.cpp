@@ -86,6 +86,60 @@ BENCHMARK(BM_ExploreCachedDuplicates)
     ->Arg(1)
     ->Unit(benchmark::kMillisecond);
 
+/// Batched exploration of K models against K separate explore() calls
+/// over the same space: the batched engine materializes each design
+/// point's architecture once for the whole batch.
+void BM_ExploreBatched(benchmark::State& state) {
+  core::DseSpace space;
+  space.tiles = {1, 2};
+  space.wavelengths = {1, 2, 4};
+  const size_t k = static_cast<size_t>(state.range(0));
+  core::WorkloadSet set;
+  set.add(workload::mlp_mnist(), "mlp");
+  for (size_t i = 1; i < k; ++i) {
+    const int n = 64 << (i % 3);
+    set.add(workload::single_gemm_model(n, 32, n),
+            "gemm" + std::to_string(i));
+  }
+  core::DseOptions options;
+  options.num_threads = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::explore(arch::tempo_template(),
+                                           standard_lib(), set, space,
+                                           options));
+  }
+  state.counters["models"] = static_cast<double>(k);
+  state.counters["points"] = static_cast<double>(space.size());
+}
+BENCHMARK(BM_ExploreBatched)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+/// The pre-batch way to cost K models: one full explore() per model,
+/// re-materializing every design point's architecture K times.
+void BM_ExploreSeparatePerModel(benchmark::State& state) {
+  core::DseSpace space;
+  space.tiles = {1, 2};
+  space.wavelengths = {1, 2, 4};
+  const size_t k = static_cast<size_t>(state.range(0));
+  std::vector<workload::Model> models;
+  models.push_back(workload::mlp_mnist());
+  for (size_t i = 1; i < k; ++i) {
+    const int n = 64 << (i % 3);
+    models.push_back(workload::single_gemm_model(n, 32, n));
+  }
+  core::DseOptions options;
+  options.num_threads = 1;
+  for (auto _ : state) {
+    for (const workload::Model& model : models) {
+      benchmark::DoNotOptimize(core::explore(
+          arch::tempo_template(), standard_lib(), model, space, options));
+    }
+  }
+  state.counters["models"] = static_cast<double>(k);
+  state.counters["points"] = static_cast<double>(space.size());
+}
+BENCHMARK(BM_ExploreSeparatePerModel)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
 /// Point-list generation cost of the samplers (no simulation): how fast
 /// the engine can draw N design points from a 7-axis space.
 void BM_SamplerDraw(benchmark::State& state) {

@@ -6,6 +6,7 @@
 #include "arch/link_budget.h"
 #include "arch/prebuilt.h"
 #include "core/simulator.h"
+#include "core/workload_set.h"
 #include "layout/floorplan.h"
 #include "workload/gemm.h"
 
@@ -68,6 +69,122 @@ void BM_EndToEndLayer(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EndToEndLayer);
+
+/// A K-model batch of small distinct workloads (the serve-many-models
+/// scenario): one MLP plus K-1 GEMM variants.
+core::WorkloadSet batch_workloads(size_t k) {
+  core::WorkloadSet set;
+  set.add(workload::mlp_mnist(), "mlp");
+  for (size_t i = 1; i < k; ++i) {
+    const int n = 64 << (i % 3);
+    set.add(workload::single_gemm_model(n, 32, n),
+            "gemm" + std::to_string(i));
+  }
+  return set;
+}
+
+/// Cold baseline: each of the K models pays full architecture
+/// construction (template materialization, device groups) plus its own
+/// simulation — what K independent simulate_model calls cost today.
+void BM_BatchColdPerModel(benchmark::State& state) {
+  const devlib::DeviceLibrary lib = devlib::DeviceLibrary::standard();
+  const size_t k = static_cast<size_t>(state.range(0));
+  const core::WorkloadSet set = batch_workloads(k);
+  const core::GreedyMapper mapper;
+  for (auto _ : state) {
+    for (size_t i = 0; i < set.size(); ++i) {
+      arch::ArchParams p;
+      arch::Architecture system("tempo");
+      system.add_subarch(
+          arch::SubArchitecture(arch::tempo_template(), p, lib));
+      const core::Simulator sim(std::move(system));
+      benchmark::DoNotOptimize(sim.simulate_model(set.at(i).model, mapper));
+    }
+  }
+  state.counters["models"] = static_cast<double>(k);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(k));
+}
+BENCHMARK(BM_BatchColdPerModel)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+/// Warm batch: the Simulator (architecture, device groups) is built once
+/// outside the loop and simulate_batch amortizes it across the K models,
+/// with the same serial execution and no cache — so items_per_second of
+/// this vs BM_BatchColdPerModel is exactly the construction amortization
+/// the batch subsystem buys.
+void BM_BatchWarmSimulate(benchmark::State& state) {
+  const devlib::DeviceLibrary lib = devlib::DeviceLibrary::standard();
+  const size_t k = static_cast<size_t>(state.range(0));
+  const core::WorkloadSet set = batch_workloads(k);
+  const core::GreedyMapper mapper;
+  arch::ArchParams p;
+  arch::Architecture system("tempo");
+  system.add_subarch(arch::SubArchitecture(arch::tempo_template(), p, lib));
+  const core::Simulator sim(std::move(system));
+  core::BatchOptions batch_options;
+  batch_options.num_threads = 1;  // serial, like the cold baseline
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.simulate_batch(set, mapper, batch_options));
+  }
+  state.counters["models"] = static_cast<double>(k);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(k));
+}
+BENCHMARK(BM_BatchWarmSimulate)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+/// The warm batch with the cross-model CostMatrixCache attached.  Pays
+/// canonical fingerprinting (which hashes weight-tensor contents) to buy
+/// cross-model and cross-call hits — a win once per-pair simulation
+/// outweighs hashing; the hit-rate counter tracks sharing either way.
+void BM_BatchWarmCostCache(benchmark::State& state) {
+  const devlib::DeviceLibrary lib = devlib::DeviceLibrary::standard();
+  const size_t k = static_cast<size_t>(state.range(0));
+  const core::WorkloadSet set = batch_workloads(k);
+  const core::GreedyMapper mapper;
+  core::CostMatrixCache cache;
+  arch::ArchParams p;
+  arch::Architecture system("tempo");
+  system.add_subarch(arch::SubArchitecture(arch::tempo_template(), p, lib));
+  core::SimulationOptions options;
+  options.cost_cache = &cache;
+  const core::Simulator sim(std::move(system), options);
+  core::BatchOptions batch_options;
+  batch_options.num_threads = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.simulate_batch(set, mapper, batch_options));
+  }
+  state.counters["models"] = static_cast<double>(k);
+  state.counters["cache_hit_rate"] = cache.stats().hit_rate();
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(k));
+}
+BENCHMARK(BM_BatchWarmCostCache)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+/// The same warm batch with per-model parallelism (0 = all hardware
+/// threads): how much wall-clock the pool buys on top of amortization.
+void BM_BatchWarmParallel(benchmark::State& state) {
+  const devlib::DeviceLibrary lib = devlib::DeviceLibrary::standard();
+  const size_t k = static_cast<size_t>(state.range(0));
+  const core::WorkloadSet set = batch_workloads(k);
+  const core::GreedyMapper mapper;
+  arch::ArchParams p;
+  arch::Architecture system("tempo");
+  system.add_subarch(arch::SubArchitecture(arch::tempo_template(), p, lib));
+  const core::Simulator sim(std::move(system));
+  core::BatchOptions batch_options;
+  batch_options.num_threads = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.simulate_batch(set, mapper, batch_options));
+  }
+  state.counters["models"] = static_cast<double>(k);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(k));
+}
+BENCHMARK(BM_BatchWarmParallel)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 void BM_VGG8FullModel(benchmark::State& state) {
   devlib::DeviceLibrary lib = devlib::DeviceLibrary::standard();

@@ -1,7 +1,16 @@
 // simphony_cli — drive the whole flow from the command line:
 //
 //   example_simphony_cli [description.sphy] [options]
-//     --model vgg8|resnet20|bert|mlp|gemm:NxDxM   (default gemm:280x28x280)
+//     --model vgg8|resnet20|bert|mlp|gemm:NxDxM   (default gemm:280x28x280;
+//                            repeatable — two or more --model flags switch
+//                            to batched multi-model simulation on one
+//                            shared architecture)
+//     --models file.json     batch from a workload-set file:
+//                            {"models": [{"spec": "vgg8", "name": "cnn",
+//                            "weight": 2.0}, ...]}; combines with --model
+//     --aggregate sum|max|weighted  how per-model metrics fold into the
+//                            batch objective (default sum; weighted uses
+//                            the per-model weights, default 1)
 //     --tiles R --cores C --size H --wavelengths L --clock GHz
 //     --bits in,w,out        operand bitwidths
 //     --arch T1,T2,..        build a (heterogeneous) system from prebuilt
@@ -42,9 +51,11 @@
 // or --arch the built-in TeMPO template is used; with a description file
 // the PTC is loaded from the circuit description format
 // (arch/description.h).
+#include <cmath>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <memory>
 #include <sstream>
 
@@ -52,28 +63,13 @@
 #include "arch/prebuilt.h"
 #include "core/dse.h"
 #include "core/simulator.h"
+#include "core/workload_set.h"
 #include "util/table.h"
 #include "workload/onn_convert.h"
 
 namespace {
 
 using namespace simphony;
-
-workload::Model parse_model(const std::string& spec) {
-  if (spec == "vgg8") return workload::vgg8_cifar10();
-  if (spec == "resnet20") return workload::resnet20_cifar10();
-  if (spec == "bert") return workload::bert_base_image224();
-  if (spec == "mlp") return workload::mlp_mnist();
-  if (spec.rfind("gemm:", 0) == 0) {
-    int n = 0;
-    int d = 0;
-    int m = 0;
-    if (std::sscanf(spec.c_str() + 5, "%dx%dx%d", &n, &d, &m) == 3) {
-      return workload::single_gemm_model(n, d, m);
-    }
-  }
-  throw std::invalid_argument("unknown --model spec '" + spec + "'");
-}
 
 // Whole-string integer parse: rejects trailing garbage ("4x", "1;2") that
 // bare stoi would silently truncate.
@@ -105,6 +101,27 @@ uint64_t parse_uint64(const std::string& text) {
     throw std::invalid_argument("bad non-negative integer '" + text + "'");
   }
   return static_cast<uint64_t>(value);
+}
+
+// Whole-string float parse with the same hardening as parse_int: trailing
+// garbage ("2.5GHz"), NaN/inf spellings (stod accepts both), and — for the
+// physical quantities every float flag carries — non-positive values are
+// all rejected with one uniform error.
+double parse_positive_double(const std::string& text,
+                             const std::string& flag) {
+  size_t parsed = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(text, &parsed);
+  } catch (const std::exception&) {
+    parsed = 0;
+  }
+  if (text.empty() || parsed != text.size() || !std::isfinite(value) ||
+      value <= 0.0) {
+    throw std::invalid_argument(flag + " expects a positive finite number, "
+                                "got '" + text + "'");
+  }
+  return value;
 }
 
 std::vector<int> parse_int_list(const std::string& csv) {
@@ -201,13 +218,17 @@ core::DseShard parse_shard(const std::string& spec) {
 /// this identically, so the two can be diff'd byte for byte.
 util::Json result_root(const std::string& model_name,
                        const std::string& arch_label,
-                       const std::string& sampler_name, size_t total_points,
+                       const std::string& sampler_name,
+                       const std::string& aggregate, size_t total_points,
                        const core::DseShard& shard,
                        const core::DseResult& result) {
   util::Json root = core::to_json(result);
   root["model"] = model_name;
   root["arch"] = arch_label;
   root["sampler"] = sampler_name;
+  // Batched sweeps carry their aggregate mode; single-model documents
+  // omit the field (pre-batch byte-compatibility).
+  if (!aggregate.empty()) root["aggregate"] = aggregate;
   root["total_points"] = total_points;
   if (shard.count > 1) {
     util::Json shard_json;
@@ -239,6 +260,7 @@ int run_merge(const std::vector<std::string>& files,
   std::string model_name;
   std::string arch_label;
   std::string sampler_name;
+  std::string aggregate_name;
   size_t total_points = 0;
   for (size_t i = 0; i < files.size(); ++i) {
     const util::Json root = util::Json::parse(read_file(files[i]));
@@ -246,6 +268,7 @@ int run_merge(const std::vector<std::string>& files,
     const std::string model = metadata_string(root, "model", "");
     const std::string arch = metadata_string(root, "arch", "");
     const std::string sampler = metadata_string(root, "sampler", "grid");
+    const std::string aggregate = metadata_string(root, "aggregate", "");
     const size_t total =
         root.contains("total_points")
             ? static_cast<size_t>(root.at("total_points").as_number())
@@ -254,12 +277,15 @@ int run_merge(const std::vector<std::string>& files,
       model_name = model;
       arch_label = arch;
       sampler_name = sampler;
+      aggregate_name = aggregate;
       total_points = total;
     } else if (model != model_name || arch != arch_label ||
-               sampler != sampler_name || total != total_points) {
+               sampler != sampler_name || aggregate != aggregate_name ||
+               total != total_points) {
       throw std::invalid_argument(
           "--merge: " + files[i] + " is from a different sweep than " +
-          files[0] + " (model/arch/sampler/total_points mismatch)");
+          files[0] +
+          " (model/arch/sampler/aggregate/total_points mismatch)");
     }
   }
   const core::DseResult merged = core::merge(std::move(shards));
@@ -270,8 +296,8 @@ int run_merge(const std::vector<std::string>& files,
               << " points — missing shard file(s)?\n";
   }
   const util::Json root =
-      result_root(model_name, arch_label, sampler_name, total_points,
-                  core::DseShard{}, merged);
+      result_root(model_name, arch_label, sampler_name, aggregate_name,
+                  total_points, core::DseShard{}, merged);
   if (out_path.empty()) {
     std::cout << root.dump(2) << "\n";
   } else {
@@ -282,9 +308,14 @@ int run_merge(const std::vector<std::string>& files,
   return 0;
 }
 
+/// DSE mode.  With `workloads` set (>= 2 models), every design point is
+/// costed over the whole batch — the table and CSV show the aggregate
+/// metrics, `--json`/`--out` points additionally carry per-model rows.
 int run_dse(const std::vector<arch::PtcTemplate>& ptcs,
             const devlib::DeviceLibrary& lib, const workload::Model& model,
-            const core::DseSpace& space, const core::DseOptions& options,
+            const core::WorkloadSet* workloads,
+            const std::string& model_label, const core::DseSpace& space,
+            const core::DseOptions& options,
             const std::string& sampler_name, size_t total_points,
             const std::string& out_path, bool as_json, bool as_csv) {
   std::string arch_label = ptcs.front().name;
@@ -303,16 +334,24 @@ int run_dse(const std::vector<arch::PtcTemplate>& ptcs,
     if (!out_stream) {
       throw std::invalid_argument("cannot open --out " + out_path);
     }
-    shard_writer = std::make_unique<core::DseShardWriter>(
-        out_stream, core::DseShardWriter::Metadata{arch_label, model.name,
-                                                   sampler_name,
-                                                   options.shard,
-                                                   total_points});
+    core::DseShardWriter::Metadata metadata;
+    metadata.arch = arch_label;
+    metadata.model = model_label;
+    metadata.sampler = sampler_name;
+    if (workloads != nullptr) {
+      metadata.aggregate = core::to_string(options.aggregate);
+    }
+    metadata.shard = options.shard;
+    metadata.total_points = total_points;
+    shard_writer = std::make_unique<core::DseShardWriter>(out_stream,
+                                                          metadata);
     progress = [&](const core::DsePoint& pt) { shard_writer->add_point(pt); };
   }
 
   const core::DseResult result =
-      core::explore(ptcs, lib, model, space, options, progress);
+      workloads != nullptr
+          ? core::explore(ptcs, lib, *workloads, space, options, progress)
+          : core::explore(ptcs, lib, model, space, options, progress);
 
   if (shard_writer != nullptr) {
     shard_writer->finish();
@@ -329,9 +368,12 @@ int run_dse(const std::vector<arch::PtcTemplate>& ptcs,
       options.cost_cache != nullptr ? options.cost_cache->stats()
                                     : core::CostMatrixCache::Stats{};
 
+  const std::string aggregate_label =
+      workloads != nullptr ? core::to_string(options.aggregate) : "";
   if (as_json) {
-    util::Json root = result_root(model.name, arch_label, sampler_name,
-                                  total_points, options.shard, result);
+    util::Json root =
+        result_root(model_label, arch_label, sampler_name, aggregate_label,
+                    total_points, options.shard, result);
     if (options.cost_cache != nullptr) {
       util::Json cache_json;
       cache_json["hits"] = cache_stats.hits;
@@ -361,7 +403,7 @@ int run_dse(const std::vector<arch::PtcTemplate>& ptcs,
     return 0;
   }
 
-  std::cout << "== DSE: " << model.name << " on " << arch_label << " ("
+  std::cout << "== DSE: " << model_label << " on " << arch_label << " ("
             << result.points.size() << " of " << total_points
             << " points, sampler " << sampler_name;
   if (options.shard.count > 1) {
@@ -369,6 +411,11 @@ int run_dse(const std::vector<arch::PtcTemplate>& ptcs,
               << options.shard.count;
   }
   std::cout << ") ==\n";
+  if (workloads != nullptr) {
+    std::cout << "batch of " << workloads->size() << " model(s), aggregate "
+              << core::to_string(options.aggregate)
+              << " (per-model rows in --json / --out)\n";
+  }
   util::Table table({"#", "R", "C", "HxW", "L", "bits(in/w/out)",
                      "energy (uJ)", "latency (us)", "area (mm^2)", "Pareto"});
   auto bits_label = [](const arch::ArchParams& p) {
@@ -409,12 +456,132 @@ int run_dse(const std::vector<arch::PtcTemplate>& ptcs,
   return 0;
 }
 
+/// Batched multi-model mode (no sweep): the architecture is constructed
+/// once, every model of the set runs on it (simulate_batch), and the
+/// output carries per-model rows plus the aggregate batch totals.
+int run_batch(const core::Simulator& sim, const core::WorkloadSet& workloads,
+              const core::Mapper* searched_mapper,
+              core::MappingObjective objective,
+              core::BatchAggregate aggregate, int num_threads,
+              const std::string& arch_label, bool as_json, bool as_csv) {
+  // No --mapping keeps the legacy fixed route-to-sub-arch-0 default.
+  const core::RuleMapper fallback((core::MappingConfig(0)));
+  const core::Mapper& mapper =
+      searched_mapper != nullptr
+          ? static_cast<const core::Mapper&>(*searched_mapper)
+          : fallback;
+  core::BatchOptions batch_options;
+  batch_options.num_threads = num_threads;
+  const core::BatchReport batch =
+      sim.simulate_batch(workloads, mapper, batch_options);
+  const core::BatchReport::Totals totals = batch.totals(aggregate);
+
+  if (as_json) {
+    util::Json root;
+    root["arch"] = arch_label;
+    root["aggregate"] = std::string(core::to_string(aggregate));
+    util::Json models{util::Json::Array{}};
+    for (const core::BatchReport::ModelResult& m : batch.models) {
+      util::Json mj = m.report.to_json();
+      mj["weight"] = m.weight;
+      if (searched_mapper != nullptr) {
+        util::Json mapping_json;
+        mapping_json["strategy"] = mapper.name();
+        mapping_json["objective"] =
+            std::string(core::to_string(objective));
+        mapping_json["predicted_energy_pJ"] = m.mapping.predicted_energy_pJ;
+        mapping_json["predicted_latency_ns"] = m.mapping.predicted_latency_ns;
+        mapping_json["predicted_cost"] = m.mapping.predicted_cost;
+        util::Json assignment{util::Json::Array{}};
+        for (size_t a : m.mapping.assignment) {
+          assignment.push_back(static_cast<double>(a));
+        }
+        mapping_json["assignment"] = std::move(assignment);
+        mj["mapping"] = std::move(mapping_json);
+      }
+      models.push_back(std::move(mj));
+    }
+    root["models"] = std::move(models);
+    util::Json totals_json;
+    totals_json["energy_pJ"] = totals.energy_pJ;
+    totals_json["latency_ns"] = totals.latency_ns;
+    totals_json["area_mm2"] = totals.area_mm2;
+    totals_json["power_W"] = totals.power_W;
+    totals_json["tops"] = totals.tops;
+    root["totals"] = std::move(totals_json);
+    std::cout << root.dump(2) << "\n";
+    return 0;
+  }
+  if (as_csv) {
+    std::ostringstream csv;
+    csv.precision(12);
+    csv << "model,weight,runtime_ns,energy_pJ,avg_power_W,area_mm2,tops\n";
+    for (const core::BatchReport::ModelResult& m : batch.models) {
+      csv << m.name << "," << m.weight << "," << m.report.total_runtime_ns
+          << "," << m.report.total_energy.total_pJ() << ","
+          << m.report.average_power_W() << "," << m.report.total_area_mm2()
+          << "," << m.report.tops() << "\n";
+    }
+    csv << "batch(" << core::to_string(aggregate) << "),,"
+        << totals.latency_ns << "," << totals.energy_pJ << ","
+        << totals.power_W << "," << totals.area_mm2 << "," << totals.tops
+        << "\n";
+    std::cout << csv.str();
+    return 0;
+  }
+
+  std::cout << "== batch: " << batch.models.size() << " models on "
+            << arch_label << " (aggregate "
+            << core::to_string(aggregate);
+  if (searched_mapper != nullptr) {
+    std::cout << ", mapping " << mapper.name() << "/"
+              << core::to_string(objective);
+  }
+  std::cout << ") ==\n";
+  if (searched_mapper != nullptr) {
+    util::Table assignment({"model", "layer", "sub-arch", "runtime (us)",
+                            "energy (uJ)"});
+    for (const core::BatchReport::ModelResult& m : batch.models) {
+      for (const auto& layer : m.report.layers) {
+        assignment.add_row({m.name, layer.layer_name,
+                            std::to_string(layer.subarch_index) + ":" +
+                                layer.subarch_name,
+                            util::Table::fmt(layer.runtime_ns() / 1e3, 2),
+                            util::Table::fmt(layer.energy_pJ() / 1e6, 3)});
+      }
+    }
+    std::cout << assignment.render();
+  }
+  util::Table summary({"model", "weight", "runtime (us)", "energy (uJ)",
+                       "power (W)", "area (mm^2)", "TOPS"});
+  for (const core::BatchReport::ModelResult& m : batch.models) {
+    summary.add_row({m.name, util::Table::fmt(m.weight, 2),
+                     util::Table::fmt(m.report.total_runtime_ns / 1e3, 2),
+                     util::Table::fmt(
+                         m.report.total_energy.total_pJ() / 1e6, 2),
+                     util::Table::fmt(m.report.average_power_W(), 3),
+                     util::Table::fmt(m.report.total_area_mm2(), 3),
+                     util::Table::fmt(m.report.tops(), 2)});
+  }
+  summary.add_row({"batch(" + std::string(core::to_string(aggregate)) + ")",
+                   "", util::Table::fmt(totals.latency_ns / 1e3, 2),
+                   util::Table::fmt(totals.energy_pJ / 1e6, 2),
+                   util::Table::fmt(totals.power_W, 3),
+                   util::Table::fmt(totals.area_mm2, 3),
+                   util::Table::fmt(totals.tops, 2)});
+  std::cout << summary.render();
+  return 0;
+}
+
 int run(int argc, char** argv) {
   std::vector<arch::PtcTemplate> ptcs = {arch::tempo_template()};
   bool arch_from_file = false;  // a positional description file was given
   bool arch_from_flag = false;  // --arch was given
   arch::ArchParams params;
-  std::string model_spec = "gemm:280x28x280";
+  std::vector<std::string> model_specs;  // --model, repeatable
+  std::string models_file;               // --models workload-set JSON
+  std::string aggregate_spec = "sum";
+  bool aggregate_seen = false;
   std::string mapping_spec = "rules";
   std::string objective_spec = "edp";
   int beam_width = 8;
@@ -422,6 +589,7 @@ int run(int argc, char** argv) {
   core::DseSpace sweep_space;
   core::DseOptions dse_options;
   std::string dse_flag_seen;
+  bool threads_seen = false;
   std::string sample_spec = "grid";
   int samples = 0;
   uint64_t seed = 1;
@@ -454,7 +622,17 @@ int run(int argc, char** argv) {
       return args[++i];
     };
     if (arg == "--model") {
-      model_spec = next();
+      model_specs.push_back(next());
+    } else if (arg == "--models") {
+      models_file = next();
+    } else if (arg == "--aggregate") {
+      aggregate_spec = next();
+      if (!core::parse_aggregate(aggregate_spec)) {
+        throw std::invalid_argument(
+            "--aggregate expects sum|max|weighted, got '" + aggregate_spec +
+            "'");
+      }
+      aggregate_seen = true;
     } else if (arg == "--tiles") {
       params.tiles = parse_int(next());
     } else if (arg == "--cores") {
@@ -464,17 +642,7 @@ int run(int argc, char** argv) {
     } else if (arg == "--wavelengths") {
       params.wavelengths = parse_int(next());
     } else if (arg == "--clock") {
-      const std::string value = next();
-      size_t parsed = 0;
-      try {
-        params.clock_GHz = std::stod(value, &parsed);
-      } catch (const std::exception&) {
-        parsed = 0;
-      }
-      if (value.empty() || parsed != value.size()) {
-        throw std::invalid_argument("bad number '" + value +
-                                    "' for --clock");
-      }
+      params.clock_GHz = parse_positive_double(next(), "--clock");
     } else if (arg == "--bits") {
       const std::vector<int> bits = parse_int_list(next());
       if (bits.size() != 3) {
@@ -552,7 +720,9 @@ int run(int argc, char** argv) {
             "--threads expects a non-negative integer (0 = all hardware "
             "threads)");
       }
-      dse_flag_seen = arg;
+      // Tracked apart from the DSE-only flags: --threads also applies to
+      // a non-sweep multi-model batch.
+      threads_seen = true;
     } else if (arg == "--no-dse-cache") {
       dse_options.cache = false;
       dse_flag_seen = arg;
@@ -564,7 +734,8 @@ int run(int argc, char** argv) {
     } else if (arg == "--csv") {
       as_csv = true;
     } else if (arg == "--help") {
-      std::cout << "usage: simphony_cli [description.sphy] [--model SPEC] "
+      std::cout << "usage: simphony_cli [description.sphy] [--model SPEC]... "
+                   "[--models file.json] [--aggregate sum|max|weighted] "
                    "[--tiles R] [--cores C] [--size HW] [--wavelengths L] "
                    "[--clock GHz] [--bits in,w,out] "
                    "[--arch T1,T2,...] (templates: tempo|lt|mzi|scatter|"
@@ -595,23 +766,69 @@ int run(int argc, char** argv) {
   }
 
   if (!merge_files.empty()) {
-    if (sweeping || !dse_flag_seen.empty()) {
+    if (sweeping || !dse_flag_seen.empty() || threads_seen ||
+        !model_specs.empty() || !models_file.empty() || aggregate_seen) {
+      // Silently ignoring a model or aggregate request would look like it
+      // took effect; the merged document's metadata comes from the shard
+      // files alone.
       throw std::invalid_argument(
-          "--merge is a standalone mode; it does not combine with --sweep "
-          "or other DSE flags");
+          "--merge is a standalone mode; it does not combine with --sweep, "
+          "--model/--models/--aggregate, or other DSE flags");
     }
     return run_merge(merge_files, out_path);
   }
 
   devlib::DeviceLibrary lib = devlib::DeviceLibrary::standard();
 
-  workload::Model model = parse_model(model_spec);
-  for (auto& layer : model.layers) {
-    layer.input_bits = params.input_bits;
-    layer.weight_bits = params.weight_bits;
-    layer.output_bits = params.output_bits;
+  // Assemble the model requests: the --models file first, then every
+  // --model flag (weight 1); neither given keeps the historical
+  // single-GEMM default.  Two or more requests switch to batched
+  // multi-model mode on one shared architecture.
+  std::vector<core::WorkloadSpec> requests;
+  if (!models_file.empty()) {
+    requests = core::workload_specs_from_json(
+        util::Json::parse(read_file(models_file)));
   }
-  workload::convert_model_in_place(model);
+  for (const std::string& spec : model_specs) {
+    requests.push_back(core::WorkloadSpec{spec, "", 1.0});
+  }
+  if (requests.empty()) {
+    requests.push_back(core::WorkloadSpec{"gemm:280x28x280", "", 1.0});
+  }
+  const bool batch = requests.size() > 1;
+  if (!batch && aggregate_seen) {
+    throw std::invalid_argument(
+        "--aggregate only applies to a multi-model batch (repeat --model "
+        "or give --models)");
+  }
+  const core::BatchAggregate aggregate =
+      *core::parse_aggregate(aggregate_spec);
+
+  // --bits / operand widths apply uniformly to every model of the batch.
+  auto build_model = [&](const std::string& spec) {
+    workload::Model built = workload::model_from_spec(spec);
+    for (auto& layer : built.layers) {
+      layer.input_bits = params.input_bits;
+      layer.weight_bits = params.weight_bits;
+      layer.output_bits = params.output_bits;
+    }
+    workload::convert_model_in_place(built);
+    return built;
+  };
+
+  core::WorkloadSet workloads;
+  std::map<std::string, int> name_uses;  // repeated specs become #2, #3...
+  std::string model_label;
+  for (const core::WorkloadSpec& request : requests) {
+    workload::Model built = build_model(request.spec);
+    std::string name = request.name.empty() ? built.name : request.name;
+    const int uses = ++name_uses[name];
+    if (uses > 1) name += "#" + std::to_string(uses);
+    if (!model_label.empty()) model_label += "+";
+    model_label += name;
+    workloads.add(std::move(built), std::move(name), request.weight);
+  }
+  const workload::Model& model = workloads.at(0).model;
 
   // The chosen strategy; null means the legacy fixed route-to-0 default.
   std::unique_ptr<core::Mapper> mapper;
@@ -629,6 +846,7 @@ int run(int argc, char** argv) {
   if (sweeping) {
     sweep_space.base = params;
     dse_options.mapper = mapper.get();
+    dse_options.aggregate = aggregate;
     // The cost-matrix cache only pays off when a searched mapping builds
     // per-point cost matrices; keep it off otherwise so the summary never
     // reports a cache that could not be consulted.
@@ -657,13 +875,20 @@ int run(int argc, char** argv) {
     const size_t total_points = sampler != nullptr
                                     ? static_cast<size_t>(samples)
                                     : sweep_space.size();
-    return run_dse(ptcs, lib, model, sweep_space, dse_options, sample_spec,
+    return run_dse(ptcs, lib, model, batch ? &workloads : nullptr,
+                   model_label, sweep_space, dse_options, sample_spec,
                    total_points, out_path, as_json, as_csv);
   }
   if (!dse_flag_seen.empty()) {
     throw std::invalid_argument(dse_flag_seen +
                                 " only applies to DSE mode; add at least "
                                 "one --sweep axis");
+  }
+  // --threads additionally applies to a non-sweep multi-model batch
+  // (models simulated concurrently).
+  if (threads_seen && !batch) {
+    throw std::invalid_argument(
+        "--threads only applies to DSE mode or a multi-model batch");
   }
   if (!out_path.empty()) {
     throw std::invalid_argument("--out only applies to DSE or merge mode");
@@ -676,6 +901,11 @@ int run(int argc, char** argv) {
     system.add_subarch(arch::SubArchitecture(ptc, params, lib));
   }
   core::Simulator sim(std::move(system));
+
+  if (batch) {
+    return run_batch(sim, workloads, mapper.get(), objective, aggregate,
+                     dse_options.num_threads, arch_label, as_json, as_csv);
+  }
   core::Mapping chosen;
   const core::ModelReport report =
       mapper ? sim.simulate_model(model, *mapper, &chosen)

@@ -1,6 +1,11 @@
 #!/usr/bin/env bash
 # Runs the perf-trajectory benchmarks (bench_perf, bench_dse,
 # bench_mapping) and emits google-benchmark JSON under bench_results/.
+# The batch-amortization counters ride along: bench_perf records
+# BM_BatchColdPerModel / BM_BatchWarmSimulate / BM_BatchWarmParallel /
+# BM_BatchWarmCostCache (models, items_per_second, cache_hit_rate) and
+# bench_dse records BM_ExploreBatched vs BM_ExploreSeparatePerModel —
+# the warm-vs-cold per-model trajectory of docs/batch.md.
 #
 # usage: scripts/bench.sh [build-dir]   (default: build)
 set -euo pipefail

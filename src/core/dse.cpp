@@ -102,6 +102,57 @@ struct ParamsHash {
   }
 };
 
+/// Materializes one design point's architecture (one sub-architecture per
+/// template, all at `params`) and wraps it in a Simulator sharing the
+/// cross-point cost cache.  This construction is the per-point cost the
+/// batched overloads amortize across models.
+Simulator make_point_simulator(
+    const std::vector<std::shared_ptr<const arch::PtcTemplate>>&
+        ptc_templates,
+    const devlib::DeviceLibrary& lib, const arch::ArchParams& params,
+    CostMatrixCache* cost_cache) {
+  std::string arch_name = "dse-" + ptc_templates.front()->name;
+  for (size_t t = 1; t < ptc_templates.size(); ++t) {
+    arch_name += "+" + ptc_templates[t]->name;
+  }
+  arch::Architecture system(std::move(arch_name));
+  for (const auto& ptc_template : ptc_templates) {
+    system.add_subarch(arch::SubArchitecture(ptc_template, params, lib));
+  }
+  SimulationOptions sim_options;
+  sim_options.cost_cache = cost_cache;
+  return Simulator(std::move(system), sim_options);
+}
+
+/// Runs one model's GEMMs on a point's Simulator, applying the swept bit
+/// axes (only an explicitly swept axis overrides the per-layer operand
+/// resolutions the model carries).
+ModelReport simulate_point_model(
+    const Simulator& sim, const std::vector<workload::GemmWorkload>& base_gemms,
+    const std::string& model_name, const arch::ArchParams& params,
+    bool override_input_bits, bool override_output_bits,
+    const Mapper* mapper) {
+  auto simulate = [&](const std::vector<workload::GemmWorkload>& gemms) {
+    if (mapper != nullptr) {
+      return sim.simulate_gemms(gemms, *mapper, model_name);
+    }
+    return sim.simulate_gemms(gemms, MappingConfig(0), model_name);
+  };
+
+  if (!override_input_bits && !override_output_bits) {
+    return simulate(base_gemms);
+  }
+  std::vector<workload::GemmWorkload> gemms = base_gemms;
+  for (auto& gemm : gemms) {
+    if (override_input_bits) {
+      gemm.input_bits = params.input_bits;
+      gemm.weight_bits = params.weight_bits;
+    }
+    if (override_output_bits) gemm.output_bits = params.output_bits;
+  }
+  return simulate(gemms);
+}
+
 /// Costs one parameter point.  All heavyweight inputs (templates, library,
 /// extracted GEMMs) are shared immutably across concurrent callers; the
 /// only per-point allocations are the materialized sub-architectures and a
@@ -117,41 +168,11 @@ DsePoint evaluate_point(
     const std::string& model_name, const arch::ArchParams& params,
     bool override_input_bits, bool override_output_bits,
     const Mapper* mapper, CostMatrixCache* cost_cache) {
-  std::string arch_name = "dse-" + ptc_templates.front()->name;
-  for (size_t t = 1; t < ptc_templates.size(); ++t) {
-    arch_name += "+" + ptc_templates[t]->name;
-  }
-  arch::Architecture system(std::move(arch_name));
-  for (const auto& ptc_template : ptc_templates) {
-    system.add_subarch(arch::SubArchitecture(ptc_template, params, lib));
-  }
-  SimulationOptions sim_options;
-  sim_options.cost_cache = cost_cache;
-  const Simulator sim(std::move(system), sim_options);
-
-  auto simulate = [&](const std::vector<workload::GemmWorkload>& gemms) {
-    if (mapper != nullptr) {
-      return sim.simulate_gemms(gemms, *mapper, model_name);
-    }
-    return sim.simulate_gemms(gemms, MappingConfig(0), model_name);
-  };
-
-  ModelReport report;
-  if (!override_input_bits && !override_output_bits) {
-    report = simulate(base_gemms);
-  } else {
-    std::vector<workload::GemmWorkload> gemms = base_gemms;
-    for (auto& gemm : gemms) {
-      // Only an explicitly swept bits axis overrides the per-layer operand
-      // resolutions the model carries.
-      if (override_input_bits) {
-        gemm.input_bits = params.input_bits;
-        gemm.weight_bits = params.weight_bits;
-      }
-      if (override_output_bits) gemm.output_bits = params.output_bits;
-    }
-    report = simulate(gemms);
-  }
+  const Simulator sim =
+      make_point_simulator(ptc_templates, lib, params, cost_cache);
+  const ModelReport report =
+      simulate_point_model(sim, base_gemms, model_name, params,
+                           override_input_bits, override_output_bits, mapper);
 
   DsePoint point;
   point.params = params;
@@ -160,6 +181,66 @@ DsePoint evaluate_point(
   point.area_mm2 = report.total_area_mm2();
   point.power_W = report.average_power_W();
   point.tops = report.tops();
+  return point;
+}
+
+/// Costs one parameter point for a whole WorkloadSet: the architecture is
+/// materialized ONCE and every model runs on it (per-model memory sizing
+/// and mapping search, exactly the simulate_point_model flow — per-model
+/// metrics are bit-identical to a single-model explore of that model).
+/// The point's objective metrics are the aggregate fold over the batch;
+/// area is the per-model max (one chip must fit every model's memory
+/// sizing).
+DsePoint evaluate_batch_point(
+    const std::vector<std::shared_ptr<const arch::PtcTemplate>>&
+        ptc_templates,
+    const devlib::DeviceLibrary& lib, const WorkloadSet& workloads,
+    const arch::ArchParams& params, bool override_input_bits,
+    bool override_output_bits, const Mapper* mapper,
+    CostMatrixCache* cost_cache, BatchAggregate aggregate) {
+  const Simulator sim =
+      make_point_simulator(ptc_templates, lib, params, cost_cache);
+
+  DsePoint point;
+  point.params = params;
+  point.per_model.reserve(workloads.size());
+  std::vector<double> energies;
+  std::vector<double> latencies;
+  std::vector<double> macs;
+  std::vector<double> weights;
+  std::vector<double> powers;
+  std::vector<double> tops;
+  for (size_t i = 0; i < workloads.size(); ++i) {
+    const WorkloadSet::Entry& entry = workloads.at(i);
+    const ModelReport report =
+        simulate_point_model(sim, entry.gemms, entry.name, params,
+                             override_input_bits, override_output_bits,
+                             mapper);
+    DseModelMetrics metrics;
+    metrics.model = entry.name;
+    metrics.weight = entry.weight;
+    metrics.energy_pJ = report.total_energy.total_pJ();
+    metrics.latency_ns = report.total_runtime_ns;
+    metrics.area_mm2 = report.total_area_mm2();
+    metrics.power_W = report.average_power_W();
+    metrics.tops = report.tops();
+    energies.push_back(metrics.energy_pJ);
+    latencies.push_back(metrics.latency_ns);
+    macs.push_back(report.total_macs());
+    weights.push_back(entry.weight);
+    powers.push_back(metrics.power_W);
+    tops.push_back(metrics.tops);
+    point.area_mm2 = std::max(point.area_mm2, metrics.area_mm2);
+    point.per_model.push_back(std::move(metrics));
+  }
+  point.energy_pJ = aggregate_values(aggregate, energies, weights);
+  point.latency_ns = aggregate_values(aggregate, latencies, weights);
+  const double aggregate_macs = aggregate_values(aggregate, macs, weights);
+  const BatchDerivedMetrics derived =
+      derive_batch_metrics(aggregate, point.energy_pJ, point.latency_ns,
+                           aggregate_macs, powers, tops);
+  point.power_W = derived.power_W;
+  point.tops = derived.tops;
   return point;
 }
 
@@ -443,6 +524,23 @@ util::Json to_json(const DsePoint& point) {
   j["power_W"] = point.power_W;
   j["tops"] = point.tops;
   j["pareto"] = point.pareto;
+  // Batched points carry their per-model rows; single-model points omit
+  // the field entirely, keeping pre-batch documents byte-identical.
+  if (!point.per_model.empty()) {
+    util::Json models{util::Json::Array{}};
+    for (const DseModelMetrics& m : point.per_model) {
+      util::Json mj;
+      mj["model"] = m.model;
+      mj["weight"] = m.weight;
+      mj["energy_pJ"] = m.energy_pJ;
+      mj["latency_ns"] = m.latency_ns;
+      mj["area_mm2"] = m.area_mm2;
+      mj["power_W"] = m.power_W;
+      mj["tops"] = m.tops;
+      models.push_back(std::move(mj));
+    }
+    j["models"] = std::move(models);
+  }
   return j;
 }
 
@@ -475,6 +573,21 @@ DsePoint dse_point_from_json(const util::Json& j) {
   point.power_W = metric_from(j, "power_W");
   point.tops = metric_from(j, "tops");
   point.pareto = j.contains("pareto") && j.at("pareto").as_bool();
+  if (j.contains("models")) {
+    const util::Json::Array& models = j.at("models").as_array();
+    point.per_model.reserve(models.size());
+    for (const util::Json& mj : models) {
+      DseModelMetrics m;
+      m.model = require_field(mj, "model").as_string();
+      m.weight = require_field(mj, "weight").as_number();
+      m.energy_pJ = metric_from(mj, "energy_pJ");
+      m.latency_ns = metric_from(mj, "latency_ns");
+      m.area_mm2 = metric_from(mj, "area_mm2");
+      m.power_W = metric_from(mj, "power_W");
+      m.tops = metric_from(mj, "tops");
+      point.per_model.push_back(std::move(m));
+    }
+  }
   return point;
 }
 
@@ -484,8 +597,11 @@ DseShardWriter::DseShardWriter(std::ostream& out, Metadata metadata)
     : out_(&out) {
   *out_ << "{\n\"arch\": " << util::Json(metadata.arch).dump(-1)
         << ",\n\"model\": " << util::Json(metadata.model).dump(-1)
-        << ",\n\"sampler\": " << util::Json(metadata.sampler).dump(-1)
-        << ",\n\"shard\": {\"count\": " << metadata.shard.count
+        << ",\n\"sampler\": " << util::Json(metadata.sampler).dump(-1);
+  if (!metadata.aggregate.empty()) {
+    *out_ << ",\n\"aggregate\": " << util::Json(metadata.aggregate).dump(-1);
+  }
+  *out_ << ",\n\"shard\": {\"count\": " << metadata.shard.count
         << ", \"index\": " << metadata.shard.index
         << "},\n\"total_points\": " << metadata.total_points
         << ",\n\"points\": [";
@@ -554,14 +670,18 @@ DseResult dse_result_from_json(const util::Json& j) {
   return result;
 }
 
-DseResult explore(const std::vector<arch::PtcTemplate>& ptc_templates,
-                  const devlib::DeviceLibrary& lib,
-                  const workload::Model& model, const DseSpace& space,
-                  const DseOptions& options,
-                  const std::function<void(const DsePoint&)>& progress) {
-  if (ptc_templates.empty()) {
-    throw std::invalid_argument("explore needs at least one PTC template");
-  }
+namespace {
+
+/// The exploration engine shared by the single-model and batched
+/// overloads: canonical point list, shard slicing, duplicate-point
+/// dedup, pooled evaluation with indexed writes, progress accounting,
+/// assembly in canonical order, frontier marking.  `evaluate` costs one
+/// parameter point (it must be thread-safe; the engine shares it across
+/// workers).
+DseResult run_engine(
+    const DseSpace& space, const DseOptions& options,
+    const std::function<void(const DsePoint&)>& progress,
+    const std::function<DsePoint(const arch::ArchParams&)>& evaluate) {
   if (options.shard.count < 1 || options.shard.index < 0 ||
       options.shard.index >= options.shard.count) {
     throw std::invalid_argument(
@@ -585,19 +705,6 @@ DseResult explore(const std::vector<arch::PtcTemplate>& ptc_templates,
     canonical.push_back(g);
   }
 
-  const bool override_input_bits = !space.input_bits.empty();
-  const bool override_output_bits = !space.output_bits.empty();
-
-  // Hoisted per-point invariants: shared templates, one GEMM extraction.
-  std::vector<std::shared_ptr<const arch::PtcTemplate>> shared_templates;
-  shared_templates.reserve(ptc_templates.size());
-  for (const auto& ptc_template : ptc_templates) {
-    shared_templates.push_back(
-        std::make_shared<const arch::PtcTemplate>(ptc_template));
-  }
-  const std::vector<workload::GemmWorkload> base_gemms =
-      workload::extract_gemms(model);
-
   // Collapse duplicate parameter points: eval_of[g] is the slot in
   // `evaluated` holding grid point g's result; only the first occurrence
   // of each distinct ArchParams is actually simulated.
@@ -618,23 +725,28 @@ DseResult explore(const std::vector<arch::PtcTemplate>& ptc_templates,
     std::iota(eval_of.begin(), eval_of.end(), size_t{0});
   }
 
-  const int requested = options.num_threads;
   // More workers than unique points would just be idle threads (or a
-  // resource-exhaustion failure for absurd requests); clamp.
-  const unsigned pool_threads = std::min<unsigned>(
-      requested <= 0 ? util::ThreadPool::hardware_threads()
-                     : static_cast<unsigned>(requested),
-      static_cast<unsigned>(
-          std::min<size_t>(unique_grid_index.size(), 1024)));
-  const int progress_every = std::max(1, options.progress_every);
+  // resource-exhaustion failure for absurd requests): workers_for clamps,
+  // resolves 0 to the hardware thread count, maps 1 (and a clamp to 1) to
+  // inline execution, and rejects negative requests.
+  const unsigned pool_threads = util::ThreadPool::workers_for(
+      options.num_threads, unique_grid_index.size());
+  const size_t progress_every =
+      static_cast<size_t>(std::max(1, options.progress_every));
 
+  const size_t n_total = grid.size();
   std::mutex progress_mutex;
   size_t completed = 0;
   auto report_progress = [&](const DsePoint& point) {
-    if (!progress) return;
+    if (!progress && !options.on_progress) return;
     std::lock_guard<std::mutex> lock(progress_mutex);
-    if (++completed % static_cast<size_t>(progress_every) == 0) {
-      progress(point);
+    ++completed;
+    // Milestones: every Nth completion plus — exactly once, since the
+    // mutex makes `completed` monotone — the final point of the shard.
+    if (completed % progress_every != 0 && completed != n_total) return;
+    if (progress) progress(point);
+    if (options.on_progress) {
+      options.on_progress(DseProgress{completed, n_total, &point});
     }
   };
 
@@ -649,9 +761,7 @@ DseResult explore(const std::vector<arch::PtcTemplate>& ptc_templates,
     // be declared before it to survive an exception unwinding this block.
     std::atomic<bool> failed{false};
     std::vector<std::future<void>> pending;
-    // 1 thread means "serial": run on the calling thread via the pool's
-    // inline mode rather than paying for a worker + queue.
-    util::ThreadPool pool(pool_threads <= 1 ? 0 : pool_threads);
+    util::ThreadPool pool(pool_threads);
     pending.reserve(unique_grid_index.size());
     for (size_t u = 0; u < unique_grid_index.size(); ++u) {
       // One failed point fails the whole sweep: stop feeding the pool (and,
@@ -659,12 +769,7 @@ DseResult explore(const std::vector<arch::PtcTemplate>& ptc_templates,
       if (failed.load(std::memory_order_relaxed)) break;
       pending.push_back(pool.submit([&, u] {
         try {
-          evaluated[u] = evaluate_point(shared_templates, lib, base_gemms,
-                                        model.name,
-                                        grid[unique_grid_index[u]],
-                                        override_input_bits,
-                                        override_output_bits,
-                                        options.mapper, options.cost_cache);
+          evaluated[u] = evaluate(grid[unique_grid_index[u]]);
           evaluated[u].index = canonical[unique_grid_index[u]];
           report_progress(evaluated[u]);  // a throwing callback also aborts
         } catch (...) {
@@ -689,7 +794,8 @@ DseResult explore(const std::vector<arch::PtcTemplate>& ptc_templates,
     result.points.push_back(evaluated[eval_of[g]]);
     result.points.back().index = canonical[g];
     // Cache hits complete here, not on a worker; count them for progress
-    // so callers see every grid point exactly once.
+    // so callers see every grid point exactly once and the final callback
+    // lands at completed == n_total.
     if (options.cache && unique_grid_index[eval_of[g]] != g) {
       report_progress(result.points.back());
     }
@@ -699,6 +805,64 @@ DseResult explore(const std::vector<arch::PtcTemplate>& ptc_templates,
   return result;
 }
 
+std::vector<std::shared_ptr<const arch::PtcTemplate>> share_templates(
+    const std::vector<arch::PtcTemplate>& ptc_templates) {
+  if (ptc_templates.empty()) {
+    throw std::invalid_argument("explore needs at least one PTC template");
+  }
+  std::vector<std::shared_ptr<const arch::PtcTemplate>> shared_templates;
+  shared_templates.reserve(ptc_templates.size());
+  for (const auto& ptc_template : ptc_templates) {
+    shared_templates.push_back(
+        std::make_shared<const arch::PtcTemplate>(ptc_template));
+  }
+  return shared_templates;
+}
+
+}  // namespace
+
+DseResult explore(const std::vector<arch::PtcTemplate>& ptc_templates,
+                  const devlib::DeviceLibrary& lib,
+                  const workload::Model& model, const DseSpace& space,
+                  const DseOptions& options,
+                  const std::function<void(const DsePoint&)>& progress) {
+  // Hoisted per-point invariants: shared templates, one GEMM extraction.
+  const std::vector<std::shared_ptr<const arch::PtcTemplate>>
+      shared_templates = share_templates(ptc_templates);
+  const std::vector<workload::GemmWorkload> base_gemms =
+      workload::extract_gemms(model);
+  const bool override_input_bits = !space.input_bits.empty();
+  const bool override_output_bits = !space.output_bits.empty();
+  return run_engine(
+      space, options, progress, [&](const arch::ArchParams& params) {
+        return evaluate_point(shared_templates, lib, base_gemms, model.name,
+                              params, override_input_bits,
+                              override_output_bits, options.mapper,
+                              options.cost_cache);
+      });
+}
+
+DseResult explore(const std::vector<arch::PtcTemplate>& ptc_templates,
+                  const devlib::DeviceLibrary& lib,
+                  const WorkloadSet& workloads, const DseSpace& space,
+                  const DseOptions& options,
+                  const std::function<void(const DsePoint&)>& progress) {
+  const std::vector<std::shared_ptr<const arch::PtcTemplate>>
+      shared_templates = share_templates(ptc_templates);
+  if (workloads.empty()) {
+    throw std::invalid_argument("explore needs a non-empty WorkloadSet");
+  }
+  const bool override_input_bits = !space.input_bits.empty();
+  const bool override_output_bits = !space.output_bits.empty();
+  return run_engine(
+      space, options, progress, [&](const arch::ArchParams& params) {
+        return evaluate_batch_point(shared_templates, lib, workloads, params,
+                                    override_input_bits, override_output_bits,
+                                    options.mapper, options.cost_cache,
+                                    options.aggregate);
+      });
+}
+
 DseResult explore(const arch::PtcTemplate& ptc_template,
                   const devlib::DeviceLibrary& lib,
                   const workload::Model& model, const DseSpace& space,
@@ -706,6 +870,15 @@ DseResult explore(const arch::PtcTemplate& ptc_template,
                   const std::function<void(const DsePoint&)>& progress) {
   return explore(std::vector<arch::PtcTemplate>{ptc_template}, lib, model,
                  space, options, progress);
+}
+
+DseResult explore(const arch::PtcTemplate& ptc_template,
+                  const devlib::DeviceLibrary& lib,
+                  const WorkloadSet& workloads, const DseSpace& space,
+                  const DseOptions& options,
+                  const std::function<void(const DsePoint&)>& progress) {
+  return explore(std::vector<arch::PtcTemplate>{ptc_template}, lib,
+                 workloads, space, options, progress);
 }
 
 DseResult explore(const arch::PtcTemplate& ptc_template,

@@ -30,6 +30,7 @@
 
 #include "arch/node.h"
 #include "core/simulator.h"
+#include "core/workload_set.h"
 #include "util/json.h"
 #include "workload/model.h"
 
@@ -130,20 +131,52 @@ class LatinHypercubeSampler final : public DseSampler {
   uint64_t seed_;
 };
 
+struct DsePoint;  // defined below
+
+/// Progress snapshot handed to DseOptions::on_progress: the point that
+/// just completed plus the monotone completed-count.  `completed` is
+/// counted under one mutex, so consecutive callbacks always see strictly
+/// increasing values (1, 2, ..., total under progress_every = 1) even
+/// though points complete in a nondeterministic order across workers.
+struct DseProgress {
+  size_t completed = 0;        // shard-local points completed so far
+  size_t total = 0;            // shard-local point count
+  const DsePoint* point = nullptr;  // the point that just completed
+};
+
 /// Knobs for the exploration engine.
 struct DseOptions {
-  /// Worker threads evaluating design points.  0 = one per hardware
-  /// thread; 1 = serial evaluation on the calling thread (no pool).
+  /// Worker threads evaluating design points.  Resolved through
+  /// util::ThreadPool::workers_for — the engine-wide convention: 0 = one
+  /// per hardware thread; 1 = serial evaluation on the calling thread
+  /// (no pool); negative throws std::invalid_argument from explore().
   int num_threads = 0;
 
   /// Memoize evaluations by ArchParams so duplicate grid points (collapsed
   /// axes, repeated sweep values) are simulated once.
   bool cache = true;
 
-  /// Invoke the progress callback every N completed points (1 = every
-  /// point).  Callbacks are serialized behind a mutex but fire in
-  /// completion order, which is nondeterministic under num_threads > 1.
+  /// Invoke the progress callbacks every N completed points (1 = every
+  /// point).  Callbacks are serialized behind a mutex; the completed
+  /// count is monotone, and — whatever N is — the final point of a
+  /// non-empty shard always fires exactly one callback at
+  /// completed == total.  The *point* passed at a milestone is whichever
+  /// one completed there, which is nondeterministic under
+  /// num_threads > 1.
   int progress_every = 1;
+
+  /// Optional richer progress observer: fires at the same milestones as
+  /// the positional `progress` callback (both fire when both are set)
+  /// with the monotone completed count and the shard-local total.
+  std::function<void(const DseProgress&)> on_progress;
+
+  /// How the per-model metrics of a WorkloadSet explore() fold into the
+  /// design point's objective metrics (energy, latency, MACs):
+  /// sum | max | weighted (WorkloadSet entry weights).  Area is always
+  /// the per-model max — one chip must fit the largest per-model memory
+  /// sizing — and kMax reports per-model worst-case power / TOPS (see
+  /// BatchReport::Totals).  Ignored by the single-model overloads.
+  BatchAggregate aggregate = BatchAggregate::kSum;
 
   /// Optional mapping strategy: each design point is costed under the
   /// mapping this strategy picks for it (layer-to-sub-arch search per
@@ -179,6 +212,19 @@ struct DseOptions {
   DseShard shard;
 };
 
+/// Per-model metrics of one batched design point (the WorkloadSet
+/// explore() overloads); identical to what a single-model explore of that
+/// model would have produced at the same point.
+struct DseModelMetrics {
+  std::string model;   // WorkloadSet entry name
+  double weight = 1.0; // the entry's kWeighted coefficient
+  double energy_pJ = 0.0;
+  double latency_ns = 0.0;
+  double area_mm2 = 0.0;
+  double power_W = 0.0;
+  double tops = 0.0;
+};
+
 struct DsePoint {
   /// Canonical position in the full (unsharded) point list: the grid
   /// index for grid exploration, the sample index for sampled runs.
@@ -192,6 +238,11 @@ struct DsePoint {
   double power_W = 0.0;
   double tops = 0.0;
   bool pareto = false;
+
+  /// Batched exploration only: the per-model rows behind the aggregate
+  /// metrics above, in WorkloadSet order.  Empty for single-model
+  /// exploration; serialized as a "models" array in JSON when non-empty.
+  std::vector<DseModelMetrics> per_model;
 
   /// Scalarized figure of merit: energy-delay-area product (lower better).
   [[nodiscard]] double edap() const {
@@ -241,6 +292,10 @@ class DseShardWriter {
     std::string arch;
     std::string model;
     std::string sampler = "grid";
+    /// Batched sweeps record their BatchAggregate mode ("sum" | "max" |
+    /// "weighted") so --merge can reproduce the unsharded document;
+    /// empty (single-model sweeps) omits the field entirely.
+    std::string aggregate;
     DseShard shard;
     size_t total_points = 0;
   };
@@ -310,6 +365,30 @@ class DseShardWriter {
     const std::vector<arch::PtcTemplate>& ptc_templates,
     const devlib::DeviceLibrary& lib, const workload::Model& model,
     const DseSpace& space, const DseOptions& options,
+    const std::function<void(const DsePoint&)>& progress = nullptr);
+
+/// Batched multi-model exploration: every design point constructs the
+/// (possibly heterogeneous) architecture and sizes its device groups
+/// ONCE, then simulates every model of the set on it — the
+/// serve-many-models amortization that separate per-model explore()
+/// calls cannot get.  Per-model metrics land in DsePoint::per_model
+/// (bit-identical to what a single-model explore of that model would
+/// produce at the same point) and the point's objective metrics are the
+/// DseOptions::aggregate fold over them.  The mapping search stays
+/// per-model; DseOptions::cost_cache is shared across models, so
+/// repeated layers across the batch are simulated once per design
+/// point.  Throws std::invalid_argument on an empty set.
+[[nodiscard]] DseResult explore(
+    const std::vector<arch::PtcTemplate>& ptc_templates,
+    const devlib::DeviceLibrary& lib, const WorkloadSet& workloads,
+    const DseSpace& space, const DseOptions& options,
+    const std::function<void(const DsePoint&)>& progress = nullptr);
+
+/// Single-template convenience overload of the batched exploration.
+[[nodiscard]] DseResult explore(
+    const arch::PtcTemplate& ptc_template, const devlib::DeviceLibrary& lib,
+    const WorkloadSet& workloads, const DseSpace& space,
+    const DseOptions& options,
     const std::function<void(const DsePoint&)>& progress = nullptr);
 
 }  // namespace simphony::core

@@ -294,11 +294,10 @@ Mapping BeamMapper::map(const MappingProblem& problem) const {
   const CostMatrix& costs = *problem.costs;
   const size_t S = costs.num_subarchs();
 
-  const unsigned pool_threads =
-      num_threads_ == 0 ? util::ThreadPool::hardware_threads()
-                        : static_cast<unsigned>(num_threads_);
-  // 1 thread means "serial": inline execution on the calling thread.
-  util::ThreadPool pool(pool_threads <= 1 ? 0 : pool_threads);
+  // Engine-wide thread-count convention (0 = one worker per hardware
+  // thread, 1 = serial inline execution).
+  util::ThreadPool pool(util::ThreadPool::workers_for(
+      num_threads_, std::numeric_limits<size_t>::max()));
 
   std::vector<BeamState> beam(1);  // the empty prefix
   std::vector<Candidate> candidates;
@@ -550,12 +549,13 @@ Mapping BranchBoundMapper::map_counted(const MappingProblem& problem,
   }
   std::atomic<double> bound{seed.score};
 
-  const unsigned pool_threads =
-      num_threads_ == 0 ? util::ThreadPool::hardware_threads()
-                        : static_cast<unsigned>(num_threads_);
+  // Engine-wide thread-count convention (0 = one worker per hardware
+  // thread; workers_for returns 0 — inline — for a serial request).
+  const unsigned pool_threads = util::ThreadPool::workers_for(
+      num_threads_, std::numeric_limits<size_t>::max());
 
   BnbBest winner = seed;
-  if (pool_threads <= 1 || ctx.n == 0) {
+  if (pool_threads == 0 || ctx.n == 0) {
     BnbBest local;
     std::vector<size_t> path;
     path.reserve(ctx.n);

@@ -1,10 +1,13 @@
 #include "core/simulator.h"
 
+#include <algorithm>
 #include <cstdint>
+#include <future>
 #include <optional>
 #include <stdexcept>
 
 #include "util/hash.h"
+#include "util/thread_pool.h"
 #include "workload/gemm.h"
 
 namespace simphony::core {
@@ -339,6 +342,80 @@ ModelReport Simulator::simulate_gemms(
   }
   if (chosen != nullptr) *chosen = std::move(mapping);
   return report;
+}
+
+BatchReport::Totals BatchReport::totals(BatchAggregate aggregate) const {
+  std::vector<double> energies;
+  std::vector<double> latencies;
+  std::vector<double> macs;
+  std::vector<double> weights;
+  std::vector<double> powers;
+  std::vector<double> tops;
+  energies.reserve(models.size());
+  latencies.reserve(models.size());
+  macs.reserve(models.size());
+  weights.reserve(models.size());
+  powers.reserve(models.size());
+  tops.reserve(models.size());
+  Totals totals;
+  for (const ModelResult& m : models) {
+    energies.push_back(m.report.total_energy.total_pJ());
+    latencies.push_back(m.report.total_runtime_ns);
+    macs.push_back(m.report.total_macs());
+    weights.push_back(m.weight);
+    powers.push_back(m.report.average_power_W());
+    tops.push_back(m.report.tops());
+    totals.area_mm2 = std::max(totals.area_mm2, m.report.total_area_mm2());
+  }
+  totals.energy_pJ = aggregate_values(aggregate, energies, weights);
+  totals.latency_ns = aggregate_values(aggregate, latencies, weights);
+  totals.macs = aggregate_values(aggregate, macs, weights);
+  const BatchDerivedMetrics derived =
+      derive_batch_metrics(aggregate, totals.energy_pJ, totals.latency_ns,
+                           totals.macs, powers, tops);
+  totals.power_W = derived.power_W;
+  totals.tops = derived.tops;
+  return totals;
+}
+
+BatchReport Simulator::simulate_batch(const WorkloadSet& workloads,
+                                      const Mapper& mapper,
+                                      const BatchOptions& options) const {
+  if (workloads.empty()) {
+    throw std::invalid_argument("simulate_batch needs a non-empty "
+                                "WorkloadSet");
+  }
+  BatchReport batch;
+  batch.models.resize(workloads.size());
+
+  // One task per model; each task is exactly an independent
+  // simulate_gemms call (per-model memory sizing, per-model mapping
+  // search), so results are bit-identical to K separate runs whichever
+  // worker picks a model up.  The architecture, the thread-safe
+  // cost-matrix cache (options_.cost_cache), and the Mapper (const,
+  // thread-safe per its contract) are the shared, read-only state.
+  std::vector<std::future<void>> pending;
+  util::ThreadPool pool(
+      util::ThreadPool::workers_for(options.num_threads, workloads.size()));
+  pending.reserve(workloads.size());
+  for (size_t i = 0; i < workloads.size(); ++i) {
+    pending.push_back(pool.submit([&, i] {
+      const WorkloadSet::Entry& entry = workloads.at(i);
+      BatchReport::ModelResult& slot = batch.models[i];
+      slot.name = entry.name;
+      slot.weight = entry.weight;
+      slot.report =
+          simulate_gemms(entry.gemms, mapper, entry.name, &slot.mapping);
+    }));
+  }
+  try {
+    for (auto& f : pending) f.get();  // rethrows worker exceptions
+  } catch (...) {
+    // Drop queued models so the first failure reaches the caller now.
+    pool.cancel();
+    throw;
+  }
+  return batch;
 }
 
 layout::AreaBreakdown Simulator::analyze_area(size_t subarch_index) const {

@@ -15,6 +15,7 @@
 #include "core/mapper.h"
 #include "core/mapping.h"
 #include "core/report.h"
+#include "core/workload_set.h"
 #include "devlib/power_model.h"
 #include "energy/energy_model.h"
 #include "layout/area.h"
@@ -34,6 +35,50 @@ struct SimulationOptions {
   /// Simulator of a DSE sweep; results are bit-identical with and
   /// without it.
   CostMatrixCache* cost_cache = nullptr;
+};
+
+/// Knobs for Simulator::simulate_batch.
+struct BatchOptions {
+  /// Models simulated concurrently on a util::ThreadPool.  Follows the
+  /// engine-wide convention (util::ThreadPool::workers_for): 0 = one
+  /// worker per hardware thread, 1 = serial on the calling thread,
+  /// negative throws.  Never more workers than models.  With a parallel
+  /// batch, prefer serial mappers (BeamMapper's and BranchBoundMapper's
+  /// default num_threads = 1): a mapper running its own pool inside
+  /// every batch worker oversubscribes the machine.
+  int num_threads = 0;
+};
+
+/// Result of simulating a WorkloadSet: one ModelReport + chosen Mapping
+/// per model (in set order) plus aggregate batch totals.
+struct BatchReport {
+  struct ModelResult {
+    std::string name;
+    double weight = 1.0;
+    ModelReport report;
+    Mapping mapping;  // the assignment the Mapper chose for this model
+  };
+
+  /// Aggregate figures of the whole batch.  energy / latency / macs fold
+  /// per-model values under the chosen BatchAggregate; area is the MAX
+  /// over per-model areas for every mode (one chip must fit the largest
+  /// per-model memory sizing — areas do not add across models).  Power
+  /// and TOPS are derived from the aggregated energy / latency / macs
+  /// for kSum / kWeighted; under kMax they are the per-model worst cases
+  /// (max power, min TOPS) — a ratio of independently-maxed energy and
+  /// latency would be a figure no model exhibits.
+  struct Totals {
+    double energy_pJ = 0.0;
+    double latency_ns = 0.0;
+    double area_mm2 = 0.0;
+    double macs = 0.0;
+    double power_W = 0.0;  // 0 when latency is 0 and the batch is empty
+    double tops = 0.0;
+  };
+
+  std::vector<ModelResult> models;  // WorkloadSet order
+
+  [[nodiscard]] Totals totals(BatchAggregate aggregate) const;
 };
 
 class Simulator {
@@ -80,6 +125,22 @@ class Simulator {
   [[nodiscard]] ModelReport simulate_gemms(
       const std::vector<workload::GemmWorkload>& gemms, const Mapper& mapper,
       const std::string& model_name = "", Mapping* chosen = nullptr) const;
+
+  /// Batched multi-model simulation: every model of the set runs against
+  /// THIS architecture — constructed (sub-arches materialized, device
+  /// groups resolved) once, when the Simulator was built — with per-model
+  /// parallelism on a util::ThreadPool and SimulationOptions::cost_cache
+  /// (when set) shared across the whole batch.
+  ///
+  /// Each model follows exactly the simulate_gemms flow on its
+  /// pre-extracted GEMMs: the mapping search and the memory-hierarchy
+  /// sizing stay per-model, so the batch is bit-identical to K
+  /// independent simulate_model calls on this architecture, for every
+  /// mapper, objective, and thread count (tests/test_batch.cpp).  One
+  /// failing model fails the batch with that model's diagnostic.
+  [[nodiscard]] BatchReport simulate_batch(
+      const WorkloadSet& workloads, const Mapper& mapper,
+      const BatchOptions& options = {}) const;
 
   /// Simulates every (GEMM, sub-arch) pair against a shared memory
   /// hierarchy sized for `gemms`.  Pairs the architecture cannot run (e.g.

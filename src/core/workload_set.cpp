@@ -1,0 +1,174 @@
+#include "core/workload_set.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace simphony::core {
+
+const char* to_string(BatchAggregate aggregate) {
+  switch (aggregate) {
+    case BatchAggregate::kSum:
+      return "sum";
+    case BatchAggregate::kMax:
+      return "max";
+    case BatchAggregate::kWeighted:
+      return "weighted";
+  }
+  return "?";
+}
+
+std::optional<BatchAggregate> parse_aggregate(const std::string& text) {
+  if (text == "sum") return BatchAggregate::kSum;
+  if (text == "max") return BatchAggregate::kMax;
+  if (text == "weighted") return BatchAggregate::kWeighted;
+  return std::nullopt;
+}
+
+double aggregate_values(BatchAggregate aggregate,
+                        const std::vector<double>& values,
+                        const std::vector<double>& weights) {
+  if (values.empty()) return 0.0;
+  switch (aggregate) {
+    case BatchAggregate::kSum: {
+      double total = 0.0;
+      for (double v : values) total += v;
+      return total;
+    }
+    case BatchAggregate::kMax:
+      return *std::max_element(values.begin(), values.end());
+    case BatchAggregate::kWeighted: {
+      if (weights.size() != values.size()) {
+        throw std::invalid_argument(
+            "aggregate_values: kWeighted needs one weight per value (" +
+            std::to_string(weights.size()) + " weights for " +
+            std::to_string(values.size()) + " values)");
+      }
+      double total = 0.0;
+      for (size_t i = 0; i < values.size(); ++i) {
+        total += weights[i] * values[i];
+      }
+      return total;
+    }
+  }
+  return 0.0;
+}
+
+BatchDerivedMetrics derive_batch_metrics(
+    BatchAggregate aggregate, double energy_pJ, double latency_ns,
+    double macs, const std::vector<double>& model_power_W,
+    const std::vector<double>& model_tops) {
+  BatchDerivedMetrics derived;
+  if (aggregate == BatchAggregate::kMax) {
+    if (model_power_W.empty() || model_tops.empty()) return derived;
+    derived.power_W =
+        *std::max_element(model_power_W.begin(), model_power_W.end());
+    // min_element, not a 0-sentinel fold: a model legitimately reporting
+    // 0 TOPS (degenerate zero-runtime workload) IS the worst case.
+    derived.tops = *std::min_element(model_tops.begin(), model_tops.end());
+    return derived;
+  }
+  if (latency_ns > 0.0) {
+    derived.power_W = energy_pJ / latency_ns * 1e-3;
+    derived.tops = 2.0 * macs / latency_ns * 1e-3;
+  }
+  return derived;
+}
+
+const WorkloadSet::Entry& WorkloadSet::add(workload::Model model,
+                                           std::string name, double weight) {
+  if (name.empty()) name = model.name;
+  if (name.empty()) {
+    throw std::invalid_argument("WorkloadSet entry needs a non-empty name");
+  }
+  if (!std::isfinite(weight) || weight <= 0.0) {
+    throw std::invalid_argument("WorkloadSet weight for '" + name +
+                                "' must be a positive finite number");
+  }
+  for (const auto& entry : entries_) {
+    if (entry->name == name) {
+      throw std::invalid_argument("WorkloadSet already holds a model named '" +
+                                  name + "'");
+    }
+  }
+  auto entry = std::make_shared<Entry>();
+  entry->name = std::move(name);
+  entry->weight = weight;
+  entry->model = std::move(model);
+  // Extract AFTER the model reached its final address: the GemmWorkloads
+  // point into entry->model's weight tensors.
+  entry->gemms = workload::extract_gemms(entry->model);
+  entries_.push_back(std::move(entry));
+  return *entries_.back();
+}
+
+const WorkloadSet::Entry& WorkloadSet::at(size_t index) const {
+  if (index >= entries_.size()) {
+    throw std::out_of_range("WorkloadSet::at(" + std::to_string(index) +
+                            "): set holds " +
+                            std::to_string(entries_.size()) + " model(s)");
+  }
+  return *entries_[index];
+}
+
+size_t WorkloadSet::total_gemms() const {
+  size_t total = 0;
+  for (const auto& entry : entries_) total += entry->gemms.size();
+  return total;
+}
+
+std::vector<double> WorkloadSet::weights() const {
+  std::vector<double> out;
+  out.reserve(entries_.size());
+  for (const auto& entry : entries_) out.push_back(entry->weight);
+  return out;
+}
+
+std::vector<WorkloadSpec> workload_specs_from_json(const util::Json& j) {
+  const util::Json::Array* array = nullptr;
+  if (j.is_array()) {
+    array = &j.as_array();
+  } else if (j.is_object() && j.contains("models")) {
+    array = &j.at("models").as_array();
+  } else {
+    throw std::invalid_argument(
+        "workload set JSON must be {\"models\": [...]} or a bare array");
+  }
+  std::vector<WorkloadSpec> specs;
+  specs.reserve(array->size());
+  for (size_t i = 0; i < array->size(); ++i) {
+    const util::Json& m = (*array)[i];
+    WorkloadSpec spec;
+    if (!m.is_object() || !m.contains("spec")) {
+      throw std::invalid_argument("workload set model #" +
+                                  std::to_string(i) +
+                                  " needs a \"spec\" field");
+    }
+    spec.spec = m.at("spec").as_string();
+    if (m.contains("name")) spec.name = m.at("name").as_string();
+    if (m.contains("weight")) {
+      spec.weight = m.at("weight").as_number();
+      if (!std::isfinite(spec.weight) || spec.weight <= 0.0) {
+        throw std::invalid_argument(
+            "workload set model #" + std::to_string(i) +
+            " weight must be a positive finite number");
+      }
+    }
+    specs.push_back(std::move(spec));
+  }
+  if (specs.empty()) {
+    throw std::invalid_argument("workload set JSON lists no models");
+  }
+  return specs;
+}
+
+WorkloadSet workload_set_from_json(const util::Json& j) {
+  WorkloadSet set;
+  for (WorkloadSpec& spec : workload_specs_from_json(j)) {
+    set.add(workload::model_from_spec(spec.spec), std::move(spec.name),
+            spec.weight);
+  }
+  return set;
+}
+
+}  // namespace simphony::core

@@ -1,0 +1,129 @@
+// Batched multi-model simulation, part 1: the workload side.
+//
+// The serve-many-models scenario (ROADMAP "batched multi-model
+// simulation") runs K workloads against ONE design point.  Today each
+// simulate_model call re-extracts the GEMMs and — in a DSE sweep — the
+// caller re-materializes the architecture per model.  A WorkloadSet is
+// the batch: named models with per-model weights whose GEMM lowering is
+// done exactly once at add() time, so a Simulator (or the batched
+// explore() overloads in core/dse.h) can reuse one constructed
+// architecture, one thread pool, and one CostMatrixCache across every
+// model of the batch.
+//
+// Entries are immutable and address-stable after add(): each stored
+// Model owns the weight tensors its extracted GemmWorkloads point into,
+// and lives behind a shared_ptr so growing or copying the set never
+// moves it.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+#include "workload/gemm.h"
+#include "workload/model.h"
+
+namespace simphony::core {
+
+/// How a batch of per-model metrics folds into one objective value.
+enum class BatchAggregate {
+  kSum,       // Σ value_i   — total serve-everything cost
+  kMax,       // max value_i — worst case over the batch
+  kWeighted,  // Σ weight_i * value_i — traffic-share weighting
+};
+
+[[nodiscard]] const char* to_string(BatchAggregate aggregate);
+
+/// Parses "sum" | "max" | "weighted"; nullopt on anything else.
+[[nodiscard]] std::optional<BatchAggregate> parse_aggregate(
+    const std::string& text);
+
+/// Folds per-model values under an aggregate mode.  `weights` is read
+/// only for kWeighted and must then be the same length as `values`;
+/// empty input folds to 0.
+[[nodiscard]] double aggregate_values(BatchAggregate aggregate,
+                                      const std::vector<double>& values,
+                                      const std::vector<double>& weights);
+
+/// The derived figures of an aggregated batch, shared by
+/// BatchReport::totals and the batched DSE point evaluator so the
+/// semantics cannot drift: for kSum / kWeighted, power and TOPS come
+/// from the aggregated energy / latency / MACs; for kMax they are the
+/// per-model worst cases (max power, min TOPS) — a ratio of
+/// independently-maxed energy and latency would be a figure no model
+/// exhibits.  Empty batches (and zero aggregate latency) fold to 0.
+struct BatchDerivedMetrics {
+  double power_W = 0.0;
+  double tops = 0.0;
+};
+[[nodiscard]] BatchDerivedMetrics derive_batch_metrics(
+    BatchAggregate aggregate, double energy_pJ, double latency_ns,
+    double macs, const std::vector<double>& model_power_W,
+    const std::vector<double>& model_tops);
+
+/// A batch of named models whose GEMMs are extracted once, up front.
+class WorkloadSet {
+ public:
+  struct Entry {
+    std::string name;    // unique within the set; labels per-model rows
+    double weight = 1.0; // used by BatchAggregate::kWeighted
+    workload::Model model;
+    /// extract_gemms(model), computed once at add(); the weight tensors
+    /// point into `model` above (same lifetime as this Entry).
+    std::vector<workload::GemmWorkload> gemms;
+  };
+
+  /// Moves `model` into the set and extracts its GEMMs.  An empty `name`
+  /// defaults to model.name.  Throws std::invalid_argument on a duplicate
+  /// name (names key per-model result rows) or a non-finite / non-positive
+  /// weight.  Returns the stored entry.
+  const Entry& add(workload::Model model, std::string name = "",
+                   double weight = 1.0);
+
+  [[nodiscard]] size_t size() const { return entries_.size(); }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+
+  /// Entry i in add() order; throws std::out_of_range.
+  [[nodiscard]] const Entry& at(size_t index) const;
+
+  /// Sum of per-model GEMM counts (total per-design-point work items).
+  [[nodiscard]] size_t total_gemms() const;
+
+  /// Per-model weights in add() order (the kWeighted coefficients).
+  [[nodiscard]] std::vector<double> weights() const;
+
+ private:
+  // shared_ptr gives address stability under vector growth and makes
+  // copies of the set cheap (entries are immutable once added).
+  std::vector<std::shared_ptr<const Entry>> entries_;
+};
+
+/// One model request parsed from a WorkloadSet JSON document — the
+/// `--models file.json` format:
+///
+///   {"models": [{"spec": "vgg8", "name": "cnn", "weight": 2.0},
+///               {"spec": "gemm:256x64x256"}]}
+///
+/// (a bare array is also accepted).  "spec" is required and must be a
+/// workload::model_from_spec string; "name" defaults to the built model's
+/// name; "weight" defaults to 1 and must be a positive finite number.
+struct WorkloadSpec {
+  std::string spec;
+  std::string name;     // empty = use the built model's name
+  double weight = 1.0;
+};
+
+/// Parses the request list without building the (potentially large)
+/// models, so callers can rewrite layer bit-widths or apply conversions
+/// before WorkloadSet::add.  Throws std::invalid_argument on structural
+/// problems (missing "spec", bad weight, wrong types).
+[[nodiscard]] std::vector<WorkloadSpec> workload_specs_from_json(
+    const util::Json& j);
+
+/// Builds the full set: workload_specs_from_json + model_from_spec + add,
+/// in document order.
+[[nodiscard]] WorkloadSet workload_set_from_json(const util::Json& j);
+
+}  // namespace simphony::core

@@ -1,5 +1,8 @@
 #include "util/thread_pool.h"
 
+#include <algorithm>
+#include <stdexcept>
+
 namespace simphony::util {
 
 ThreadPool::ThreadPool(unsigned num_threads) {
@@ -31,6 +34,18 @@ void ThreadPool::cancel() {
 unsigned ThreadPool::hardware_threads() {
   const unsigned n = std::thread::hardware_concurrency();
   return n == 0 ? 1u : n;
+}
+
+unsigned ThreadPool::workers_for(int requested, size_t max_useful) {
+  if (requested < 0) {
+    throw std::invalid_argument(
+        "num_threads must be >= 0 (0 = one worker per hardware thread, "
+        "1 = serial)");
+  }
+  size_t resolved = requested == 0 ? hardware_threads()
+                                   : static_cast<size_t>(requested);
+  resolved = std::min({resolved, max_useful, size_t{1024}});
+  return resolved <= 1 ? 0u : static_cast<unsigned>(resolved);
 }
 
 void ThreadPool::worker_loop() {

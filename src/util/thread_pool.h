@@ -47,6 +47,23 @@ class ThreadPool {
   /// allows it to return 0 when undetectable).
   [[nodiscard]] static unsigned hardware_threads();
 
+  /// Maps an options-level thread-count request onto a ThreadPool
+  /// constructor argument.  Every subsystem exposing a `num_threads` knob
+  /// (DseOptions, BatchOptions, BeamMapper, BranchBoundMapper) resolves it
+  /// through this one function, so `0` means exactly one thing at the
+  /// options layer — "one worker per hardware thread" — and the pool's own
+  /// `0 = inline` convention never leaks upward:
+  ///
+  ///   requested <  0  ->  std::invalid_argument
+  ///   requested == 0  ->  hardware_threads()
+  ///   requested == 1  ->  0 (serial: inline execution, no workers)
+  ///   requested >= 2  ->  requested
+  ///
+  /// The result is clamped to `max_useful` (never more workers than work
+  /// items) and to a hard cap of 1024; a clamp down to <= 1 also
+  /// degenerates to inline execution.
+  [[nodiscard]] static unsigned workers_for(int requested, size_t max_useful);
+
   /// Enqueues a nullary callable; the returned future yields its result or
   /// rethrows its exception.  Safe to call from multiple threads.
   template <typename F>

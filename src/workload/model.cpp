@@ -1,5 +1,8 @@
 #include "workload/model.h"
 
+#include <cstdio>
+#include <stdexcept>
+
 namespace simphony::workload {
 
 int64_t Model::total_macs() const {
@@ -131,6 +134,27 @@ Model single_gemm_model(int n, int d, int m, uint64_t seed,
   }
   model.layers.push_back(layer);
   return model;
+}
+
+Model model_from_spec(const std::string& spec) {
+  if (spec == "vgg8") return vgg8_cifar10();
+  if (spec == "resnet20") return resnet20_cifar10();
+  if (spec == "bert") return bert_base_image224();
+  if (spec == "mlp") return mlp_mnist();
+  if (spec.rfind("gemm:", 0) == 0) {
+    int n = 0;
+    int d = 0;
+    int m = 0;
+    char trailing = '\0';
+    if (std::sscanf(spec.c_str() + 5, "%dx%dx%d%c", &n, &d, &m, &trailing) ==
+            3 &&
+        n > 0 && d > 0 && m > 0) {
+      return single_gemm_model(n, d, m);
+    }
+  }
+  throw std::invalid_argument(
+      "unknown model spec '" + spec +
+      "' (expected vgg8|resnet20|bert|mlp|gemm:NxDxM)");
 }
 
 }  // namespace simphony::workload

@@ -43,4 +43,10 @@ Model resnet20_cifar10(uint64_t seed = 42, double prune_ratio = 0.0);
 /// realistic workload, handy for tests and tutorials.
 Model mlp_mnist(uint64_t seed = 42);
 
+/// Builds a model from a spec string — the format the CLI's `--model`
+/// flag and WorkloadSet JSON files share:
+///   "vgg8" | "resnet20" | "bert" | "mlp" | "gemm:NxDxM"
+/// Throws std::invalid_argument on anything else.
+Model model_from_spec(const std::string& spec);
+
 }  // namespace simphony::workload

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <mutex>
 
 #include "arch/prebuilt.h"
 #include "util/rng.h"
@@ -194,7 +196,83 @@ TEST(Dse, ProgressEveryThrottlesCallbacks) {
   int calls = 0;
   (void)explore(arch::tempo_template(), g_lib, workload::mlp_mnist(), space,
                 options, [&](const DsePoint&) { ++calls; });
-  EXPECT_EQ(calls, 2);  // after points 2 and 4
+  // After points 2 and 4, plus the guaranteed final callback at 5.
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(Dse, ProgressCountIsMonotoneWithExactlyOneFinalCallback) {
+  DseSpace space;
+  space.wavelengths = {1, 2, 3, 4, 5, 6, 7};
+  for (int threads : {0, 1, 2, 4}) {
+    for (int every : {1, 2, 3, 7, 100}) {
+      DseOptions options;
+      options.num_threads = threads;
+      options.progress_every = every;
+      std::vector<size_t> counts;
+      std::mutex mutex;
+      options.on_progress = [&](const DseProgress& p) {
+        std::lock_guard<std::mutex> lock(mutex);
+        EXPECT_EQ(p.total, 7u);
+        ASSERT_NE(p.point, nullptr);
+        counts.push_back(p.completed);
+      };
+      (void)explore(arch::tempo_template(), g_lib, workload::mlp_mnist(),
+                    space, options);
+      // Counts are strictly increasing (monotone even under completion
+      // reordering across workers) ...
+      for (size_t i = 1; i < counts.size(); ++i) {
+        EXPECT_LT(counts[i - 1], counts[i])
+            << "threads=" << threads << " every=" << every;
+      }
+      // ... and the run ends with exactly one callback at n_total,
+      // whatever the milestone stride is.
+      ASSERT_FALSE(counts.empty());
+      EXPECT_EQ(counts.back(), 7u)
+          << "threads=" << threads << " every=" << every;
+      EXPECT_EQ(std::count(counts.begin(), counts.end(), size_t{7}), 1)
+          << "threads=" << threads << " every=" << every;
+      // Milestone schedule: every Nth point plus the final one.
+      const size_t expected = 7 / static_cast<size_t>(every) + (7 % every
+                              != 0 ? 1 : 0);
+      EXPECT_EQ(counts.size(), expected)
+          << "threads=" << threads << " every=" << every;
+    }
+  }
+}
+
+TEST(Dse, BothProgressCallbacksFireAtTheSameMilestones) {
+  DseSpace space;
+  space.wavelengths = {1, 2, 3, 4, 5};
+  DseOptions options;
+  options.num_threads = 2;
+  options.progress_every = 2;
+  int positional = 0;
+  int structured = 0;
+  std::mutex mutex;
+  options.on_progress = [&](const DseProgress&) {
+    std::lock_guard<std::mutex> lock(mutex);
+    ++structured;
+  };
+  (void)explore(arch::tempo_template(), g_lib, workload::mlp_mnist(), space,
+                options, [&](const DsePoint&) {
+                  std::lock_guard<std::mutex> lock(mutex);
+                  ++positional;
+                });
+  EXPECT_EQ(positional, 3);  // points 2 and 4, plus the final at 5
+  EXPECT_EQ(structured, 3);
+}
+
+TEST(Dse, NegativeThreadCountIsRejected) {
+  DseSpace space;
+  space.wavelengths = {1, 2};
+  DseOptions options;
+  options.num_threads = -1;
+  // The engine-wide convention (util::ThreadPool::workers_for): 0 = one
+  // worker per hardware thread, 1 = serial, negative is an error rather
+  // than a silent alias for "auto".
+  EXPECT_THROW((void)explore(arch::tempo_template(), g_lib,
+                             workload::mlp_mnist(), space, options),
+               std::invalid_argument);
 }
 
 TEST(Dse, UnsweptSizeAxisKeepsNonSquareBaseCore) {

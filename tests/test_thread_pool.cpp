@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <limits>
 #include <numeric>
 #include <stdexcept>
 #include <thread>
@@ -123,6 +124,36 @@ TEST(ThreadPool, CancelDiscardsQueuedTasksAndBreaksTheirPromises) {
 
 TEST(ThreadPool, HardwareThreadsIsAtLeastOne) {
   EXPECT_GE(ThreadPool::hardware_threads(), 1u);
+}
+
+// Pins the engine-wide `num_threads` convention every subsystem
+// (DseOptions, BatchOptions, BeamMapper, BranchBoundMapper) resolves
+// through: 0 = one worker per hardware thread, 1 = serial (inline pool),
+// negative = error — never the ThreadPool constructor's own 0 = inline.
+TEST(ThreadPool, WorkersForResolvesTheSharedConvention) {
+  const size_t unbounded = std::numeric_limits<size_t>::max();
+  EXPECT_THROW((void)ThreadPool::workers_for(-1, unbounded),
+               std::invalid_argument);
+  // 0 = auto: all hardware threads (inline only if the machine has one).
+  const unsigned hw = ThreadPool::hardware_threads();
+  EXPECT_EQ(ThreadPool::workers_for(0, unbounded), hw <= 1 ? 0u : hw);
+  // 1 = serial: the inline pool, not a one-worker pool.
+  EXPECT_EQ(ThreadPool::workers_for(1, unbounded), 0u);
+  EXPECT_EQ(ThreadPool::workers_for(2, unbounded), 2u);
+  EXPECT_EQ(ThreadPool::workers_for(7, unbounded), 7u);
+}
+
+TEST(ThreadPool, WorkersForClampsToUsefulWorkAndHardCap) {
+  // Never more workers than work items...
+  EXPECT_EQ(ThreadPool::workers_for(8, 3), 3u);
+  // ...a clamp down to <= 1 degenerates to inline execution...
+  EXPECT_EQ(ThreadPool::workers_for(8, 1), 0u);
+  EXPECT_EQ(ThreadPool::workers_for(8, 0), 0u);
+  // ...and absurd requests hit the 1024 safety cap instead of exhausting
+  // process resources.
+  EXPECT_EQ(ThreadPool::workers_for(1 << 20,
+                                    std::numeric_limits<size_t>::max()),
+            1024u);
 }
 
 }  // namespace
