@@ -9,9 +9,12 @@
 // hit/miss counters.
 #include <benchmark/benchmark.h>
 
+#include <string>
+
 #include "arch/prebuilt.h"
 #include "core/dse.h"
 #include "core/simulator.h"
+#include "util/binio.h"
 #include "workload/onn_convert.h"
 
 namespace {
@@ -178,6 +181,52 @@ BENCHMARK(BM_HeteroSweepCostCache)
     ->Arg(0)
     ->Arg(1)
     ->Unit(benchmark::kMillisecond);
+
+/// The warm-start path behind --cache-file: a sweep fills a cache, the
+/// cache round-trips through the binary store, and a fresh cache loaded
+/// from that image serves a repeat sweep.  The counters report the reuse
+/// the persisted image delivers on the second host (reload_hit_rate
+/// should sit at ~1.0 — every pair cost comes from disk, none are
+/// recomputed).
+void BM_HeteroSweepReloadedCache(benchmark::State& state) {
+  const std::vector<arch::PtcTemplate> templates = {
+      arch::scatter_template(), arch::clements_mzi_template()};
+  core::DseSpace space;
+  space.wavelengths = {1, 2};
+  space.tiles = {2, 4};
+  const core::GreedyMapper greedy(core::MappingObjective::kEdp);
+
+  core::CostMatrixCache warm;
+  core::DseOptions options;
+  options.num_threads = 1;
+  options.mapper = &greedy;
+  options.cost_cache = &warm;
+  benchmark::DoNotOptimize(
+      core::explore(templates, standard_lib(), vgg8_model(), space, options));
+  std::string image;
+  {
+    util::MemoryOutputStream out(image);
+    warm.save_to(out);
+  }
+
+  core::CostMatrixCache reloaded;
+  {
+    util::MemoryInputStream in(image);
+    benchmark::DoNotOptimize(reloaded.load_from(in));
+  }
+  options.cost_cache = &reloaded;
+  for (auto _ : state) {
+    const core::DseResult result = core::explore(
+        templates, standard_lib(), vgg8_model(), space, options);
+    benchmark::DoNotOptimize(result);
+  }
+  const core::CostMatrixCache::Stats stats = reloaded.stats();
+  state.counters["reload_hits"] = static_cast<double>(stats.hits);
+  state.counters["reload_misses"] = static_cast<double>(stats.misses);
+  state.counters["reload_hit_rate"] = stats.hit_rate();
+  state.counters["image_bytes"] = static_cast<double>(image.size());
+}
+BENCHMARK(BM_HeteroSweepReloadedCache)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

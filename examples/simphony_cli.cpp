@@ -35,7 +35,23 @@
 //     --seed S               sampler seed (default 1, reproducible)
 //     --shard I/N            evaluate only slice I of N (canonical index
 //                            mod N == I); combine shard files with --merge
-//     --out FILE             stream completed points to FILE as JSON
+//     --out FILE             stream completed points to FILE as JSON; the
+//                            writer streams to FILE.tmp (fsynced after
+//                            every point) and atomically renames onto FILE
+//                            when the sweep finishes, so FILE is only ever
+//                            a complete document
+//     --resume               with --out FILE: recover the completed points
+//                            of an interrupted sweep from FILE (or
+//                            FILE.tmp after a hard kill), verify they
+//                            belong to this exact sweep, skip them, and
+//                            continue — the finished output is
+//                            bit-identical to an uninterrupted run
+//     --cache-file FILE      persistent cost-matrix cache: load FILE
+//                            before the run and save it back after (also
+//                            on SIGINT/SIGTERM), in the versioned SPCC
+//                            binary format (docs/persistence.md).  Needs a
+//                            costed --mapping (greedy|beam|bnb); corrupt
+//                            or stale files degrade to a cold start
 //     --threads N            DSE worker threads (0 = all hardware threads)
 //     --no-dse-cache         disable the duplicate-point evaluation cache
 //     --json | --csv         machine-readable output
@@ -52,12 +68,14 @@
 // the PTC is loaded from the circuit description format
 // (arch/description.h).
 #include <cmath>
+#include <csignal>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
 #include <sstream>
+#include <unordered_set>
 
 #include "arch/description.h"
 #include "arch/prebuilt.h"
@@ -70,6 +88,27 @@
 namespace {
 
 using namespace simphony;
+
+// ----------------------------------------------------- interrupt handling
+
+// SIGINT/SIGTERM request a *cooperative* shutdown: the handler only sets
+// a flag (the only thing that is async-signal-safe here), and the sweep's
+// progress callback converts it into a CliInterrupt unwind at the next
+// completed point — after that point has been streamed to --out, so the
+// shard file and the cost cache capture every finished evaluation.
+volatile std::sig_atomic_t g_interrupted = 0;
+
+extern "C" void cli_signal_handler(int) { g_interrupted = 1; }
+
+/// Deliberately NOT derived from std::exception: main's catch-all turns
+/// exceptions into exit code 1, but an interrupt is not an error — it is
+/// caught by run_dse, which finalizes the partial outputs and exits 130.
+struct CliInterrupt {};
+
+void install_interrupt_handlers() {
+  std::signal(SIGINT, cli_signal_handler);
+  std::signal(SIGTERM, cli_signal_handler);
+}
 
 // Whole-string integer parse: rejects trailing garbage ("4x", "1;2") that
 // bare stoi would silently truncate.
@@ -247,6 +286,22 @@ std::string read_file(const std::string& path) {
   return buf.str();
 }
 
+bool file_exists(const std::string& path) {
+  return static_cast<bool>(std::ifstream(path));
+}
+
+/// Json::parse with the file name prepended to the error — the parser's
+/// bare "JSON parse error at offset N" is useless across many shard
+/// files.
+util::Json parse_json_file(const std::string& path) {
+  const std::string text = read_file(path);
+  try {
+    return util::Json::parse(text);
+  } catch (const std::invalid_argument& error) {
+    throw std::invalid_argument(path + ": " + error.what());
+  }
+}
+
 std::string metadata_string(const util::Json& root, const std::string& key,
                             const std::string& fallback) {
   return root.contains(key) ? root.at(key).as_string() : fallback;
@@ -263,8 +318,14 @@ int run_merge(const std::vector<std::string>& files,
   std::string aggregate_name;
   size_t total_points = 0;
   for (size_t i = 0; i < files.size(); ++i) {
-    const util::Json root = util::Json::parse(read_file(files[i]));
-    shards.push_back(core::dse_result_from_json(root));
+    const util::Json root = parse_json_file(files[i]);
+    try {
+      shards.push_back(core::dse_result_from_json(root));
+    } catch (const std::invalid_argument& error) {
+      // Validation errors name the offending file too, not just the
+      // field: across N shard files the bare message is not actionable.
+      throw std::invalid_argument(files[i] + ": " + error.what());
+    }
     const std::string model = metadata_string(root, "model", "");
     const std::string arch = metadata_string(root, "arch", "");
     const std::string sampler = metadata_string(root, "sampler", "grid");
@@ -286,6 +347,21 @@ int run_merge(const std::vector<std::string>& files,
           "--merge: " + files[i] + " is from a different sweep than " +
           files[0] +
           " (model/arch/sampler/aggregate/total_points mismatch)");
+    }
+  }
+  // Attribute duplicate canonical indices to the files carrying them:
+  // core::merge() rejects overlaps, but only the CLI knows which shard
+  // files collided.
+  std::map<size_t, const std::string*> file_of_index;
+  for (size_t i = 0; i < files.size(); ++i) {
+    for (const core::DsePoint& pt : shards[i].points) {
+      const auto [it, inserted] = file_of_index.emplace(pt.index, &files[i]);
+      if (!inserted) {
+        throw std::invalid_argument(
+            "--merge: canonical point index " + std::to_string(pt.index) +
+            " appears in both " + *it->second + " and " + files[i] +
+            " (overlapping shard files?)");
+      }
     }
   }
   const core::DseResult merged = core::merge(std::move(shards));
@@ -315,52 +391,171 @@ int run_dse(const std::vector<arch::PtcTemplate>& ptcs,
             const devlib::DeviceLibrary& lib, const workload::Model& model,
             const core::WorkloadSet* workloads,
             const std::string& model_label, const core::DseSpace& space,
-            const core::DseOptions& options,
-            const std::string& sampler_name, size_t total_points,
-            const std::string& out_path, bool as_json, bool as_csv) {
+            core::DseOptions options, const std::string& sampler_name,
+            size_t total_points, const std::string& out_path,
+            const std::string& cache_file, bool resume, bool as_json,
+            bool as_csv) {
   std::string arch_label = ptcs.front().name;
   for (size_t t = 1; t < ptcs.size(); ++t) arch_label += "+" + ptcs[t].name;
 
+  core::DseShardWriter::Metadata metadata;
+  metadata.arch = arch_label;
+  metadata.model = model_label;
+  metadata.sampler = sampler_name;
+  if (workloads != nullptr) {
+    metadata.aggregate = core::to_string(options.aggregate);
+  }
+  metadata.shard = options.shard;
+  metadata.total_points = total_points;
+
+  // --cache-file: warm-start the cost-matrix cache.  A missing file is a
+  // cold start; a damaged one degrades (valid prefix kept, corrupt
+  // records skipped, wrong version abandoned) with a warning — a bad
+  // cache may only ever cost time, never correctness.
+  if (!cache_file.empty()) {
+    const core::CostMatrixCache::LoadReport loaded =
+        options.cost_cache->load(cache_file);
+    if (!loaded.message.empty()) {
+      std::cerr << "simphony_cli: " << cache_file << ": " << loaded.message
+                << "\n";
+    }
+    if (loaded.found) {
+      std::cerr << "simphony_cli: loaded " << loaded.loaded
+                << " cached cost entr" << (loaded.loaded == 1 ? "y" : "ies")
+                << " from " << cache_file << "\n";
+    }
+  }
+
+  // --resume: salvage the completed points of an interrupted run from
+  // the finalized file (clean interrupt) or its .tmp (hard kill), verify
+  // they belong to THIS sweep, and exclude their canonical indices from
+  // the new exploration.
+  core::DseResult recovered;
+  std::unordered_set<size_t> skip_indices;
+  if (resume) {
+    std::string source;
+    if (file_exists(out_path)) {
+      source = out_path;
+    } else if (file_exists(out_path + ".tmp")) {
+      source = out_path + ".tmp";
+    }
+    if (source.empty()) {
+      std::cerr << "simphony_cli: --resume: no " << out_path << " or "
+                << out_path << ".tmp to recover; starting fresh\n";
+    } else {
+      const core::ShardRecovery salvage =
+          core::recover_shard_text(read_file(source), source);
+      if (!salvage.message.empty()) {
+        std::cerr << "simphony_cli: " << salvage.message << "\n";
+      }
+      const core::DseShardWriter::Metadata& got = salvage.metadata;
+      if (got.arch != metadata.arch || got.model != metadata.model ||
+          got.sampler != metadata.sampler ||
+          got.aggregate != metadata.aggregate ||
+          got.shard.index != metadata.shard.index ||
+          got.shard.count != metadata.shard.count ||
+          got.total_points != metadata.total_points) {
+        throw std::invalid_argument(
+            source + ": --resume metadata mismatch (file: arch=" + got.arch +
+            " model=" + got.model + " sampler=" + got.sampler +
+            " total_points=" + std::to_string(got.total_points) +
+            "; current run: arch=" + metadata.arch + " model=" +
+            metadata.model + " sampler=" + metadata.sampler +
+            " total_points=" + std::to_string(metadata.total_points) + ")");
+      }
+      // Per-index parameter verification: the sampled point list is a
+      // pure function of (space, sampler, seed), so matching every
+      // recovered point against it subsumes a space/seed check without
+      // any extra metadata in the file format.
+      const std::vector<arch::ArchParams> all_points =
+          options.sampler != nullptr ? options.sampler->sample(space)
+                                     : space.enumerate();
+      for (const core::DsePoint& pt : salvage.result.points) {
+        if (pt.index >= all_points.size() ||
+            !(pt.params == all_points[pt.index])) {
+          throw std::invalid_argument(
+              source + ": --resume point " + std::to_string(pt.index) +
+              " does not match the current sweep's parameters at that "
+              "index (different --sweep/--sample/--samples/--seed?)");
+        }
+        if (!skip_indices.insert(pt.index).second) {
+          throw std::invalid_argument(
+              source + ": --resume found canonical index " +
+              std::to_string(pt.index) + " twice (damaged shard file?)");
+        }
+      }
+      recovered = std::move(salvage.result);
+      std::cerr << "simphony_cli: resuming " << out_path << ": "
+                << recovered.points.size() << " of " << total_points
+                << " point(s) recovered\n";
+    }
+    if (!skip_indices.empty()) options.skip_indices = &skip_indices;
+  }
+
   // --out streams each point the moment it completes (completion order;
-  // the "index" field is the canonical position) through DseShardWriter,
-  // which re-terminates the document after every point, so the file stays
-  // parseable (and mergeable) even if a long sweep is killed mid-run.
-  // --merge restores canonical order and recomputes the frontier.
-  std::ofstream out_stream;
+  // the "index" field is the canonical position) through DseShardWriter's
+  // durable file sink: bytes land in FILE.tmp with an fsync per point and
+  // finish() atomically renames onto FILE — the final path only ever
+  // holds a complete document, and the .tmp survives a hard kill for
+  // --resume.  --merge restores canonical order and recomputes the
+  // frontier.
   std::unique_ptr<core::DseShardWriter> shard_writer;
   std::function<void(const core::DsePoint&)> progress;
   if (!out_path.empty()) {
-    out_stream.open(out_path);
-    if (!out_stream) {
-      throw std::invalid_argument("cannot open --out " + out_path);
+    shard_writer = std::make_unique<core::DseShardWriter>(out_path, metadata);
+    // Re-emit the recovered prefix first: with --threads 1 the resumed
+    // file is then byte-identical to an uninterrupted run's.
+    for (const core::DsePoint& pt : recovered.points) {
+      shard_writer->add_point(pt);
     }
-    core::DseShardWriter::Metadata metadata;
-    metadata.arch = arch_label;
-    metadata.model = model_label;
-    metadata.sampler = sampler_name;
-    if (workloads != nullptr) {
-      metadata.aggregate = core::to_string(options.aggregate);
-    }
-    metadata.shard = options.shard;
-    metadata.total_points = total_points;
-    shard_writer = std::make_unique<core::DseShardWriter>(out_stream,
-                                                          metadata);
     progress = [&](const core::DsePoint& pt) { shard_writer->add_point(pt); };
   }
 
-  const core::DseResult result =
-      workloads != nullptr
-          ? core::explore(ptcs, lib, *workloads, space, options, progress)
-          : core::explore(ptcs, lib, model, space, options, progress);
+  // SIGINT/SIGTERM unwind cooperatively at the next completed point (the
+  // point itself is streamed before the check fires), so the shard file
+  // and the cache capture every finished evaluation.
+  install_interrupt_handlers();
+  options.on_progress = [](const core::DseProgress&) {
+    if (g_interrupted != 0) throw CliInterrupt{};
+  };
 
-  if (shard_writer != nullptr) {
-    shard_writer->finish();
-    // A full disk or I/O error during streaming must not masquerade as a
-    // successful sweep — the shard on disk is truncated or corrupt.
-    if (!out_stream) {
-      throw std::runtime_error("write failure on --out " + out_path);
-    }
+  core::DseResult explored;
+  bool interrupted = false;
+  try {
+    explored =
+        workloads != nullptr
+            ? core::explore(ptcs, lib, *workloads, space, options, progress)
+            : core::explore(ptcs, lib, model, space, options, progress);
+  } catch (const CliInterrupt&) {
+    interrupted = true;
   }
+
+  // Finalize the partial (or complete) outputs in both exits: the shard
+  // file commits atomically, the cache saves atomically.
+  if (shard_writer != nullptr) shard_writer->finish();
+  if (!cache_file.empty()) options.cost_cache->save(cache_file);
+
+  if (interrupted) {
+    std::cerr << "simphony_cli: interrupted";
+    if (!out_path.empty()) {
+      std::cerr << "; completed points saved to " << out_path
+                << " (rerun with --resume to continue)";
+    }
+    if (!cache_file.empty()) {
+      std::cerr << "; cost cache saved to " << cache_file;
+    }
+    std::cerr << "\n";
+    return 130;
+  }
+
+  // A resumed sweep's canonical document is the merge of the recovered
+  // prefix with the freshly explored remainder — bit-identical to the
+  // uninterrupted run (merge restores canonical order and recomputes the
+  // frontier exactly as an unsharded explore would have).
+  const core::DseResult result =
+      recovered.points.empty()
+          ? std::move(explored)
+          : core::merge({std::move(recovered), std::move(explored)});
 
   // Cost-matrix cache telemetry: how often a point's mapping search found
   // its per-(sub-arch, GEMM) simulations already memoized.
@@ -594,6 +789,8 @@ int run(int argc, char** argv) {
   int samples = 0;
   uint64_t seed = 1;
   std::string out_path;
+  std::string cache_file;
+  bool resume = false;
   std::vector<std::string> merge_files;
   bool sweeping = false;
   bool as_json = false;
@@ -704,6 +901,10 @@ int run(int argc, char** argv) {
       dse_flag_seen = arg;
     } else if (arg == "--out") {
       out_path = next();
+    } else if (arg == "--resume") {
+      resume = true;
+    } else if (arg == "--cache-file") {
+      cache_file = next();
     } else if (arg == "--merge") {
       // Merge mode: the following non-flag arguments are shard files.
       while (i + 1 < args.size() && args[i + 1].rfind("--", 0) != 0) {
@@ -745,6 +946,7 @@ int run(int argc, char** argv) {
                    "[--sweep AXIS=V1,V2,...] (axes: tiles|cores|size|width|"
                    "wavelengths|bits|output) [--sample grid|random|lhs] "
                    "[--samples N] [--seed S] [--shard I/N] [--out FILE] "
+                   "[--resume] [--cache-file FILE] "
                    "[--threads N] [--no-dse-cache] [--no-cost-cache] "
                    "[--json|--csv]\n"
                    "       simphony_cli --merge a.json b.json ...\n";
@@ -767,7 +969,8 @@ int run(int argc, char** argv) {
 
   if (!merge_files.empty()) {
     if (sweeping || !dse_flag_seen.empty() || threads_seen ||
-        !model_specs.empty() || !models_file.empty() || aggregate_seen) {
+        !model_specs.empty() || !models_file.empty() || aggregate_seen ||
+        resume || !cache_file.empty()) {
       // Silently ignoring a model or aggregate request would look like it
       // took effect; the merged document's metadata comes from the shard
       // files alone.
@@ -786,8 +989,7 @@ int run(int argc, char** argv) {
   // multi-model mode on one shared architecture.
   std::vector<core::WorkloadSpec> requests;
   if (!models_file.empty()) {
-    requests = core::workload_specs_from_json(
-        util::Json::parse(read_file(models_file)));
+    requests = core::workload_specs_from_json(parse_json_file(models_file));
   }
   for (const std::string& spec : model_specs) {
     requests.push_back(core::WorkloadSpec{spec, "", 1.0});
@@ -843,6 +1045,30 @@ int run(int argc, char** argv) {
     mapper = std::make_unique<core::BranchBoundMapper>(objective);
   }
 
+  // --cache-file persists the cost-matrix cache, so it needs a mapping
+  // that consults costs — and conflicts with disabling the cache.
+  if (!cache_file.empty()) {
+    if (!cost_cache_enabled) {
+      throw std::invalid_argument(
+          "--cache-file conflicts with --no-cost-cache");
+    }
+    if (mapper == nullptr || !mapper->needs_costs()) {
+      throw std::invalid_argument(
+          "--cache-file needs a costed mapping strategy; add --mapping "
+          "greedy|beam|bnb");
+    }
+  }
+  if (resume) {
+    if (!sweeping) {
+      throw std::invalid_argument(
+          "--resume only applies to DSE mode; add at least one --sweep "
+          "axis");
+    }
+    if (out_path.empty()) {
+      throw std::invalid_argument("--resume needs --out FILE");
+    }
+  }
+
   if (sweeping) {
     sweep_space.base = params;
     dse_options.mapper = mapper.get();
@@ -877,7 +1103,8 @@ int run(int argc, char** argv) {
                                     : sweep_space.size();
     return run_dse(ptcs, lib, model, batch ? &workloads : nullptr,
                    model_label, sweep_space, dse_options, sample_spec,
-                   total_points, out_path, as_json, as_csv);
+                   total_points, out_path, cache_file, resume, as_json,
+                   as_csv);
   }
   if (!dse_flag_seen.empty()) {
     throw std::invalid_argument(dse_flag_seen +
@@ -900,16 +1127,35 @@ int run(int argc, char** argv) {
   for (const auto& ptc : ptcs) {
     system.add_subarch(arch::SubArchitecture(ptc, params, lib));
   }
-  core::Simulator sim(std::move(system));
+
+  // --cache-file outside a sweep: the same persistent warm start for a
+  // one-shot costed-mapping simulation (e.g. re-running a batch after a
+  // model edit only re-simulates the changed layers).
+  core::CostMatrixCache persistent_cache;
+  core::SimulationOptions sim_options;
+  if (!cache_file.empty()) {
+    const core::CostMatrixCache::LoadReport loaded =
+        persistent_cache.load(cache_file);
+    if (!loaded.message.empty()) {
+      std::cerr << "simphony_cli: " << cache_file << ": " << loaded.message
+                << "\n";
+    }
+    sim_options.cost_cache = &persistent_cache;
+  }
+  core::Simulator sim(std::move(system), sim_options);
 
   if (batch) {
-    return run_batch(sim, workloads, mapper.get(), objective, aggregate,
-                     dse_options.num_threads, arch_label, as_json, as_csv);
+    const int code =
+        run_batch(sim, workloads, mapper.get(), objective, aggregate,
+                  dse_options.num_threads, arch_label, as_json, as_csv);
+    if (!cache_file.empty()) persistent_cache.save(cache_file);
+    return code;
   }
   core::Mapping chosen;
   const core::ModelReport report =
       mapper ? sim.simulate_model(model, *mapper, &chosen)
              : sim.simulate_model(model, core::MappingConfig(0));
+  if (!cache_file.empty()) persistent_cache.save(cache_file);
 
   if (as_json) {
     util::Json root = report.to_json();

@@ -1,0 +1,322 @@
+// Persistent binary store for CostMatrixCache (docs/persistence.md).
+//
+// File layout (all multi-byte integers LEB128 varints unless noted):
+//
+//   magic "SPCC" (4 bytes, LE uint32)  |  version varint
+//   record*  where record = payload_len varint | crc32(payload) varint
+//                           | payload
+//
+// Payloads begin with a record-kind varint; unknown kinds are skipped on
+// load so later versions can add record types without breaking old
+// readers.  kMeta carries the entry count (diagnostics only); each
+// kEntry carries one (Key, CostMatrix::Entry) pair with every numeric
+// field either zigzag-varint (integers) or a raw LE 64-bit pattern
+// (doubles and the two key fingerprints — fingerprints are uniformly
+// random 64-bit values, which LEB128 would inflate to 10 bytes).
+//
+// Loading is deliberately forgiving: a CRC-failed record is skipped, a
+// truncated tail keeps every record before it, and a wrong magic or
+// version abandons the file and starts cold.  It never throws on damaged
+// input — the cache is an accelerator, so the worst acceptable outcome
+// of a bad file is a slower (cold) run, never a wrong or aborted one.
+#include <algorithm>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/mapper.h"
+#include "util/binio.h"
+
+namespace simphony::core {
+namespace {
+
+// Record kinds.  New kinds must be appended, never renumbered.
+constexpr uint64_t kMetaRecord = 0;
+constexpr uint64_t kEntryRecord = 1;
+
+void append_u64_raw(std::string& out, uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+  }
+}
+
+uint64_t read_u64_raw(util::ByteReader& reader) {
+  const std::string_view bytes = reader.read_raw(8);
+  uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<uint64_t>(static_cast<uint8_t>(bytes[i]))
+             << (8 * i);
+  }
+  return value;
+}
+
+void append_string_map(std::string& out,
+                       const std::map<std::string, double>& map) {
+  util::append_varint(out, map.size());
+  for (const auto& [key, value] : map) {
+    util::append_bytes(out, key);
+    util::append_f64(out, value);
+  }
+}
+
+std::map<std::string, double> read_string_map(util::ByteReader& reader) {
+  std::map<std::string, double> map;
+  const uint64_t count = reader.read_varint();
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string key(reader.read_bytes());
+    const double value = reader.read_f64();
+    map.emplace(std::move(key), value);
+  }
+  return map;
+}
+
+void append_entry(std::string& out, const CostMatrixCache::Key& key,
+                  const CostMatrix::Entry& entry) {
+  util::append_varint(out, kEntryRecord);
+  append_u64_raw(out, key.subarch);
+  append_u64_raw(out, key.gemm);
+
+  util::append_varint(out, entry.feasible ? 1 : 0);
+  util::append_bytes(out, entry.error);
+
+  const LayerReport& report = entry.report;
+  util::append_bytes(out, report.layer_name);
+  util::append_bytes(out, report.subarch_name);
+  util::append_varint(out, report.subarch_index);
+
+  const dataflow::DataflowResult& df = report.dataflow;
+  util::append_varint_signed(out, df.tiling.n_tile);
+  util::append_varint_signed(out, df.tiling.d_tile);
+  util::append_varint_signed(out, df.tiling.m_tile);
+  util::append_varint_signed(out, df.tiling.n_blocks);
+  util::append_varint_signed(out, df.tiling.d_blocks);
+  util::append_varint_signed(out, df.tiling.m_blocks);
+  util::append_varint_signed(out, df.range_penalty_I);
+  util::append_varint_signed(out, df.base_compute_cycles);
+  util::append_varint_signed(out, df.compute_cycles);
+  util::append_varint_signed(out, df.reconfig_events);
+  util::append_varint_signed(out, df.reconfig_cycles);
+  util::append_varint_signed(out, df.load_cycles);
+  util::append_varint_signed(out, df.writeout_cycles);
+  util::append_varint_signed(out, df.total_cycles);
+  util::append_f64(out, df.runtime_ns);
+  util::append_f64(out, df.adc_rate_GHz);
+  util::append_varint_signed(out, df.adc_conversions);
+  util::append_varint_signed(out, df.encoder_a_symbols);
+  util::append_varint_signed(out, df.encoder_b_symbols);
+  util::append_f64(out, df.utilization);
+
+  const arch::LinkBudgetReport& link = report.link;
+  util::append_f64(out, link.critical_path_loss_dB);
+  util::append_varint(out, link.critical_path.size());
+  for (const std::string& name : link.critical_path) {
+    util::append_bytes(out, name);
+  }
+  util::append_f64(out, link.laser_power_per_wavelength_mW);
+  util::append_f64(out, link.total_laser_power_mW);
+  util::append_f64(out, link.pd_sensitivity_dBm);
+  util::append_f64(out, link.snr_margin_dB);
+  util::append_varint_signed(out, link.input_bits);
+
+  const memory::TrafficResult& traffic = report.traffic;
+  util::append_f64(out, traffic.hbm_bytes);
+  util::append_f64(out, traffic.glb_bytes);
+  util::append_f64(out, traffic.lb_bytes);
+  util::append_f64(out, traffic.rf_bytes);
+  append_string_map(out, traffic.energy_pJ);
+
+  append_string_map(out, report.energy.entries());
+
+  util::append_f64(out, report.macs);
+}
+
+/// Decodes one kEntry payload (the kind varint already consumed).
+/// Throws std::invalid_argument on any structural damage — the caller
+/// counts that as a skipped record.
+std::pair<CostMatrixCache::Key, CostMatrix::Entry> read_entry(
+    util::ByteReader& reader) {
+  CostMatrixCache::Key key;
+  key.subarch = read_u64_raw(reader);
+  key.gemm = read_u64_raw(reader);
+
+  CostMatrix::Entry entry;
+  entry.feasible = reader.read_varint() != 0;
+  entry.error = std::string(reader.read_bytes());
+
+  LayerReport& report = entry.report;
+  report.layer_name = std::string(reader.read_bytes());
+  report.subarch_name = std::string(reader.read_bytes());
+  report.subarch_index = reader.read_varint();
+
+  dataflow::DataflowResult& df = report.dataflow;
+  df.tiling.n_tile = reader.read_varint_signed();
+  df.tiling.d_tile = reader.read_varint_signed();
+  df.tiling.m_tile = reader.read_varint_signed();
+  df.tiling.n_blocks = reader.read_varint_signed();
+  df.tiling.d_blocks = reader.read_varint_signed();
+  df.tiling.m_blocks = reader.read_varint_signed();
+  df.range_penalty_I = static_cast<int>(reader.read_varint_signed());
+  df.base_compute_cycles = reader.read_varint_signed();
+  df.compute_cycles = reader.read_varint_signed();
+  df.reconfig_events = reader.read_varint_signed();
+  df.reconfig_cycles = reader.read_varint_signed();
+  df.load_cycles = reader.read_varint_signed();
+  df.writeout_cycles = reader.read_varint_signed();
+  df.total_cycles = reader.read_varint_signed();
+  df.runtime_ns = reader.read_f64();
+  df.adc_rate_GHz = reader.read_f64();
+  df.adc_conversions = reader.read_varint_signed();
+  df.encoder_a_symbols = reader.read_varint_signed();
+  df.encoder_b_symbols = reader.read_varint_signed();
+  df.utilization = reader.read_f64();
+
+  arch::LinkBudgetReport& link = report.link;
+  link.critical_path_loss_dB = reader.read_f64();
+  const uint64_t path_length = reader.read_varint();
+  link.critical_path.reserve(
+      static_cast<size_t>(std::min<uint64_t>(path_length, 1024)));
+  for (uint64_t i = 0; i < path_length; ++i) {
+    link.critical_path.emplace_back(reader.read_bytes());
+  }
+  link.laser_power_per_wavelength_mW = reader.read_f64();
+  link.total_laser_power_mW = reader.read_f64();
+  link.pd_sensitivity_dBm = reader.read_f64();
+  link.snr_margin_dB = reader.read_f64();
+  link.input_bits = static_cast<int>(reader.read_varint_signed());
+
+  memory::TrafficResult& traffic = report.traffic;
+  traffic.hbm_bytes = reader.read_f64();
+  traffic.glb_bytes = reader.read_f64();
+  traffic.lb_bytes = reader.read_f64();
+  traffic.rf_bytes = reader.read_f64();
+  traffic.energy_pJ = read_string_map(reader);
+
+  for (const auto& [category, pJ] : read_string_map(reader)) {
+    report.energy.add(category, pJ);
+  }
+
+  report.macs = reader.read_f64();
+
+  if (!reader.at_end()) {
+    throw std::invalid_argument("trailing bytes after entry");
+  }
+  return {key, std::move(entry)};
+}
+
+}  // namespace
+
+void CostMatrixCache::save_to(util::OutputStream& out) const {
+  // Snapshot under the lock, serialize outside it: entries are
+  // shared_ptr<const>, so the copies stay valid and concurrent inserts
+  // are not blocked by I/O.
+  std::vector<std::pair<Key, std::shared_ptr<const CostMatrix::Entry>>>
+      snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    snapshot.assign(entries_.begin(), entries_.end());
+  }
+  std::sort(snapshot.begin(), snapshot.end(),
+            [](const auto& a, const auto& b) {
+              return a.first.subarch != b.first.subarch
+                         ? a.first.subarch < b.first.subarch
+                         : a.first.gemm < b.first.gemm;
+            });
+
+  util::RecordWriter writer(out, kFileMagic, kFileVersion);
+  std::string payload;
+  util::append_varint(payload, kMetaRecord);
+  util::append_varint(payload, snapshot.size());
+  writer.write_record(payload);
+
+  for (const auto& [key, entry] : snapshot) {
+    payload.clear();
+    append_entry(payload, key, *entry);
+    writer.write_record(payload);
+  }
+  out.flush();
+}
+
+void CostMatrixCache::save(const std::string& path) const {
+  util::AtomicFileOutputStream out(path);
+  save_to(out);
+  out.commit();
+}
+
+CostMatrixCache::LoadReport CostMatrixCache::load_from(
+    util::InputStream& in) {
+  LoadReport result;
+  result.found = true;
+
+  util::RecordReader reader(in);
+  if (!reader.header_ok(kFileMagic) || reader.version() != kFileVersion) {
+    if (reader.io_error()) {
+      // The device failed before the header could even be read; this is
+      // damage, not a foreign file format.
+      result.truncated = true;
+      result.message = "I/O error while reading cache; kept the prefix";
+      return result;
+    }
+    result.version_mismatch = true;
+    result.message = "unrecognized cache file (magic/version mismatch, "
+                     "expected SPCC v" +
+                     std::to_string(kFileVersion) + "); starting cold";
+    return result;
+  }
+
+  std::string_view payload;
+  for (;;) {
+    const size_t record_offset = reader.offset();
+    const util::RecordStatus status = reader.next(&payload);
+    if (status == util::RecordStatus::kEnd) break;
+    if (status == util::RecordStatus::kTruncated) {
+      result.truncated = true;
+      result.message = "cache file truncated at byte " +
+                       std::to_string(record_offset) +
+                       "; kept the valid prefix";
+      break;
+    }
+    if (status == util::RecordStatus::kCorrupt) {
+      ++result.skipped;
+      continue;
+    }
+    util::ByteReader body(payload);
+    try {
+      const uint64_t kind = body.read_varint();
+      if (kind == kEntryRecord) {
+        auto [key, entry] = read_entry(body);
+        insert(key, std::move(entry));
+        ++result.loaded;
+      }
+      // kMetaRecord and unknown kinds: informational / forward compat.
+    } catch (const std::invalid_argument&) {
+      // CRC passed but the payload does not decode (a record written by
+      // a same-version writer cannot do this; treat as damage).
+      ++result.skipped;
+    }
+  }
+  if (reader.io_error()) {
+    result.truncated = true;
+    if (result.message.empty()) {
+      result.message = "I/O error while reading cache; kept the prefix";
+    }
+  }
+  if (result.skipped > 0 && result.message.empty()) {
+    result.message = "skipped " + std::to_string(result.skipped) +
+                     " checksum-failed record(s)";
+  }
+  return result;
+}
+
+CostMatrixCache::LoadReport CostMatrixCache::load(const std::string& path) {
+  try {
+    util::FileInputStream in(path);
+    return load_from(in);
+  } catch (const util::IoError&) {
+    LoadReport result;  // missing/unreadable file: cold start
+    return result;
+  }
+}
+
+}  // namespace simphony::core

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <cmath>
+#include <cstdio>
+#include <cstring>
 #include <future>
 #include <limits>
 #include <map>
@@ -14,6 +17,11 @@
 #include <unordered_map>
 #include <utility>
 
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+#include "util/binio.h"
 #include "util/hash.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -593,41 +601,171 @@ DsePoint dse_point_from_json(const util::Json& j) {
 
 // ---------------------------------------------------------- DseShardWriter
 
-DseShardWriter::DseShardWriter(std::ostream& out, Metadata metadata)
-    : out_(&out) {
-  *out_ << "{\n\"arch\": " << util::Json(metadata.arch).dump(-1)
-        << ",\n\"model\": " << util::Json(metadata.model).dump(-1)
-        << ",\n\"sampler\": " << util::Json(metadata.sampler).dump(-1);
-  if (!metadata.aggregate.empty()) {
-    *out_ << ",\n\"aggregate\": " << util::Json(metadata.aggregate).dump(-1);
+namespace {
+
+/// Back-compat sink over a caller-owned std::ostream (stringstreams in
+/// tests, pre-durability file streams).  No commit step.
+class OstreamSink final : public ShardSink {
+ public:
+  explicit OstreamSink(std::ostream& out) : out_(&out) {}
+  void write(const std::string& text) override { *out_ << text; }
+  uint64_t tell() override {
+    return static_cast<uint64_t>(out_->tellp());
   }
-  *out_ << ",\n\"shard\": {\"count\": " << metadata.shard.count
-        << ", \"index\": " << metadata.shard.index
-        << "},\n\"total_points\": " << metadata.total_points
-        << ",\n\"points\": [";
+  void seek(uint64_t pos) override {
+    out_->seekp(static_cast<std::ostream::pos_type>(pos));
+  }
+  void flush() override { out_->flush(); }
+
+ private:
+  std::ostream* out_;
+};
+
+/// Durable file sink: all bytes land in `path + ".tmp"`; every flush()
+/// is an fflush + fsync (the in-progress file survives a hard kill up to
+/// the last completed point); commit() renames the temp file onto
+/// `path`, so the final document appears atomically.  Reuses
+/// util::AtomicFileOutputStream's open/rename plumbing indirectly via
+/// plain stdio here because the shard writer needs seek support, which
+/// the append-only binio stream deliberately does not offer.
+class AtomicFileSink final : public ShardSink {
+ public:
+  explicit AtomicFileSink(std::string path)
+      : path_(std::move(path)), temp_path_(path_ + ".tmp") {
+    file_ = std::fopen(temp_path_.c_str(), "wb");
+    if (file_ == nullptr) {
+      throw util::IoError("cannot open '" + temp_path_ +
+                          "' for writing: " + std::strerror(errno));
+    }
+  }
+
+  ~AtomicFileSink() override {
+    // Uncommitted: keep the temp file — it is the --resume artifact.
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  void write(const std::string& text) override {
+    require_open("write");
+    if (std::fwrite(text.data(), 1, text.size(), file_) != text.size()) {
+      throw util::IoError("write failed on '" + temp_path_ + "' at byte " +
+                          std::to_string(tell_raw()) + ": " +
+                          std::strerror(errno));
+    }
+  }
+
+  uint64_t tell() override {
+    require_open("tell");
+    return tell_raw();
+  }
+
+  void seek(uint64_t pos) override {
+    require_open("seek");
+    if (std::fseek(file_, static_cast<long>(pos), SEEK_SET) != 0) {
+      throw util::IoError("seek failed on '" + temp_path_ + "' to byte " +
+                          std::to_string(pos) + ": " + std::strerror(errno));
+    }
+  }
+
+  void flush() override {
+    require_open("flush");
+    if (std::fflush(file_) != 0) {
+      throw util::IoError("flush failed on '" + temp_path_ +
+                          "': " + std::strerror(errno));
+    }
+#ifndef _WIN32
+    if (::fsync(fileno(file_)) != 0) {
+      throw util::IoError("fsync failed on '" + temp_path_ +
+                          "': " + std::strerror(errno));
+    }
+#endif
+  }
+
+  void commit() override {
+    require_open("commit");
+    flush();
+    std::FILE* file = std::exchange(file_, nullptr);
+    if (std::fclose(file) != 0) {
+      throw util::IoError("close failed on '" + temp_path_ +
+                          "': " + std::strerror(errno));
+    }
+    if (std::rename(temp_path_.c_str(), path_.c_str()) != 0) {
+      throw util::IoError("rename '" + temp_path_ + "' -> '" + path_ +
+                          "' failed: " + std::strerror(errno));
+    }
+  }
+
+ private:
+  uint64_t tell_raw() {
+    const long pos = std::ftell(file_);
+    if (pos < 0) {
+      throw util::IoError("tell failed on '" + temp_path_ +
+                          "': " + std::strerror(errno));
+    }
+    return static_cast<uint64_t>(pos);
+  }
+
+  void require_open(const char* op) {
+    if (file_ == nullptr) {
+      throw util::IoError(std::string(op) + " on '" + path_ +
+                          "' after commit");
+    }
+  }
+
+  std::string path_;
+  std::string temp_path_;
+  std::FILE* file_ = nullptr;
+};
+
+}  // namespace
+
+DseShardWriter::DseShardWriter(std::unique_ptr<ShardSink> sink,
+                               Metadata metadata)
+    : sink_(std::move(sink)) {
+  std::string header;
+  header += "{\n\"arch\": " + util::Json(metadata.arch).dump(-1);
+  header += ",\n\"model\": " + util::Json(metadata.model).dump(-1);
+  header += ",\n\"sampler\": " + util::Json(metadata.sampler).dump(-1);
+  if (!metadata.aggregate.empty()) {
+    header += ",\n\"aggregate\": " + util::Json(metadata.aggregate).dump(-1);
+  }
+  header += ",\n\"shard\": {\"count\": " + std::to_string(metadata.shard.count) +
+            ", \"index\": " + std::to_string(metadata.shard.index) + "}";
+  header += ",\n\"total_points\": " + std::to_string(metadata.total_points);
+  header += ",\n\"points\": [";
+  sink_->write(header);
   // Terminate the document immediately: a sweep killed while its first
   // (possibly expensive) point is still simulating must already leave a
   // parseable zero-point shard on disk.
-  const std::ostream::pos_type header_end = out_->tellp();
-  *out_ << "\n]\n}\n";
-  out_->flush();
-  out_->seekp(header_end);
+  const uint64_t header_end = sink_->tell();
+  sink_->write("\n]\n}\n");
+  sink_->flush();
+  sink_->seek(header_end);
 }
+
+DseShardWriter::DseShardWriter(std::ostream& out, Metadata metadata)
+    : DseShardWriter(std::make_unique<OstreamSink>(out),
+                     std::move(metadata)) {}
+
+DseShardWriter::DseShardWriter(const std::string& path, Metadata metadata)
+    : DseShardWriter(std::make_unique<AtomicFileSink>(path),
+                     std::move(metadata)) {}
 
 void DseShardWriter::add_point(const DsePoint& point) {
   if (finished_) {
     throw std::logic_error("DseShardWriter: add_point after finish");
   }
-  if (any_points_) *out_ << ",";
+  std::string text;
+  if (any_points_) text += ",";
   any_points_ = true;
-  *out_ << "\n" << to_json(point).dump(-1);
+  text += "\n" + to_json(point).dump(-1);
+  sink_->write(text);
   // Re-terminate the document, flush it, then seek the put pointer back
   // over the footer: the bytes on disk always form a complete document,
   // and the next point simply overwrites the footer.
-  const std::ostream::pos_type point_end = out_->tellp();
-  *out_ << "\n]\n}\n";
-  out_->flush();
-  out_->seekp(point_end);
+  const uint64_t point_end = sink_->tell();
+  sink_->write("\n]\n}\n");
+  sink_->flush();
+  sink_->seek(point_end);
 }
 
 void DseShardWriter::finish() {
@@ -635,17 +773,108 @@ void DseShardWriter::finish() {
   finished_ = true;
   // The footer is already in the stream past the put pointer — the
   // constructor wrote it for the zero-point state and every add_point
-  // rewrote it; only the flush is owed.
-  out_->flush();
+  // rewrote it; flush the last bytes, then let the sink finalize (atomic
+  // rename for the file-backed writer).
+  sink_->flush();
+  sink_->commit();
 }
 
 DseShardWriter::~DseShardWriter() {
   try {
     finish();
   } catch (...) {
-    // Destructors must not throw; a failed final flush surfaces through
-    // the stream's state instead.
+    // Destructors must not throw; an uncommitted file sink keeps its
+    // temp file on disk as the recovery artifact.
   }
+}
+
+// --------------------------------------------------------- shard recovery
+
+namespace {
+
+[[noreturn]] void recovery_fail(const std::string& origin,
+                                const std::string& what) {
+  throw std::invalid_argument(
+      (origin.empty() ? std::string() : origin + ": ") + what);
+}
+
+DseShardWriter::Metadata metadata_from_header(const util::Json& root) {
+  DseShardWriter::Metadata meta;
+  meta.arch = root.at("arch").as_string();
+  meta.model = root.at("model").as_string();
+  meta.sampler = root.at("sampler").as_string();
+  if (root.contains("aggregate")) {
+    meta.aggregate = root.at("aggregate").as_string();
+  }
+  const util::Json& shard = root.at("shard");
+  meta.shard.count = static_cast<int>(shard.at("count").as_number());
+  meta.shard.index = static_cast<int>(shard.at("index").as_number());
+  meta.total_points = static_cast<size_t>(root.at("total_points").as_number());
+  return meta;
+}
+
+}  // namespace
+
+ShardRecovery recover_shard_text(const std::string& text,
+                                 const std::string& origin) {
+  ShardRecovery recovery;
+
+  // Fast path: an untorn document (every between-points kill state the
+  // writer can leave behind, and every finished file) parses whole.
+  try {
+    const util::Json root = util::Json::parse(text);
+    recovery.metadata = metadata_from_header(root);
+    recovery.result = dse_result_from_json(root);
+    recovery.complete = true;
+    return recovery;
+  } catch (const std::invalid_argument&) {
+    // Torn inside a write: fall through to line-based salvage.
+  }
+
+  // The writer emits "points": [ then one point per line, so the header
+  // is everything before the marker and each body line is one point.
+  static const std::string kMarker = "\"points\": [";
+  const size_t marker = text.find(kMarker);
+  if (marker == std::string::npos) {
+    recovery_fail(origin,
+                  "shard document unrecoverable: torn before the "
+                  "\"points\" array (no metadata salvageable)");
+  }
+  const size_t body_start = marker + kMarker.size();
+  try {
+    const util::Json header =
+        util::Json::parse(text.substr(0, body_start) + "]}");
+    recovery.metadata = metadata_from_header(header);
+  } catch (const std::invalid_argument& error) {
+    recovery_fail(origin, std::string("shard header unrecoverable: ") +
+                              error.what());
+  }
+
+  // Greedy per-line point parse; the first torn line ends the salvage.
+  size_t cursor = body_start;
+  size_t valid_end = body_start;
+  while (cursor < text.size()) {
+    size_t line_end = text.find('\n', cursor);
+    if (line_end == std::string::npos) line_end = text.size();
+    std::string line = text.substr(cursor, line_end - cursor);
+    if (!line.empty() && line.back() == ',') line.pop_back();
+    if (!line.empty() && line != "]" && line != "}") {
+      try {
+        recovery.result.points.push_back(
+            dse_point_from_json(util::Json::parse(line)));
+        valid_end = line_end;
+      } catch (const std::invalid_argument&) {
+        break;  // torn (or foreign) line: keep the prefix before it
+      }
+    }
+    cursor = line_end + 1;
+  }
+  recovery.truncated_at = valid_end;
+  recovery.message =
+      (origin.empty() ? std::string("shard document") : origin) +
+      " torn at byte " + std::to_string(valid_end) + "; recovered " +
+      std::to_string(recovery.result.points.size()) + " point(s)";
+  return recovery;
 }
 
 util::Json to_json(const DseResult& result) {
@@ -701,6 +930,12 @@ DseResult run_engine(
                1);
   for (size_t g = static_cast<size_t>(options.shard.index);
        g < all_points.size(); g += static_cast<size_t>(options.shard.count)) {
+    // Resume: indices already recovered from an interrupted run are not
+    // re-evaluated; the caller merges the recovered points back in.
+    if (options.skip_indices != nullptr &&
+        options.skip_indices->count(g) != 0) {
+      continue;
+    }
     grid.push_back(all_points[g]);
     canonical.push_back(g);
   }

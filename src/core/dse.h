@@ -25,7 +25,9 @@
 
 #include <functional>
 #include <iosfwd>
+#include <memory>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "arch/node.h"
@@ -210,6 +212,14 @@ struct DseOptions {
   /// them over all shards.  Throws std::invalid_argument from explore()
   /// when count < 1 or index is outside [0, count).
   DseShard shard;
+
+  /// Resume support: canonical point indices already evaluated (e.g.
+  /// recovered from an interrupted --out shard file), excluded from this
+  /// run's slice.  The surviving points keep their canonical indices, so
+  /// merge()-ing the recovered points with this run's result reproduces
+  /// the uninterrupted sweep bit for bit.  Not owned; nullptr skips
+  /// nothing.
+  const std::unordered_set<size_t>* skip_indices = nullptr;
 };
 
 /// Per-model metrics of one batched design point (the WorkloadSet
@@ -286,6 +296,22 @@ void mark_pareto_frontier(std::vector<DsePoint>& points);
 /// and a sweep killed between writes leaves a recoverable shard file
 /// (see tests/test_dse_stream.cpp).  The stream must support
 /// seekp/tellp (files and stringstreams do).
+/// Byte sink behind DseShardWriter.  The writer's footer trick needs
+/// random access (seek back over the footer before the next point), so
+/// the interface is a seekable text sink rather than a pure appender.
+/// flush() is the durability point; commit() finalizes (atomic rename
+/// for file-backed sinks, no-op otherwise).  Implementations report
+/// failures as util::IoError carrying the file name and byte offset.
+class ShardSink {
+ public:
+  virtual ~ShardSink() = default;
+  virtual void write(const std::string& text) = 0;
+  [[nodiscard]] virtual uint64_t tell() = 0;
+  virtual void seek(uint64_t pos) = 0;
+  virtual void flush() = 0;
+  virtual void commit() {}
+};
+
 class DseShardWriter {
  public:
   struct Metadata {
@@ -304,14 +330,26 @@ class DseShardWriter {
   /// must outlive the writer.
   DseShardWriter(std::ostream& out, Metadata metadata);
 
+  /// Durable file-backed writer: streams to `path + ".tmp"` with an
+  /// fsync on every flushed point, and finish() atomically renames the
+  /// temp file onto `path` — a kill can never leave a torn *final*
+  /// document (the temp file holds the always-parseable in-progress
+  /// state for --resume).  Throws util::IoError naming the file when the
+  /// temp file cannot be created.
+  DseShardWriter(const std::string& path, Metadata metadata);
+
+  /// Caller-supplied sink (tests, custom transports).
+  DseShardWriter(std::unique_ptr<ShardSink> sink, Metadata metadata);
+
   /// Appends one point (completion order; the point's canonical index
   /// travels in its "index" field) and re-terminates the document.
   void add_point(const DsePoint& point);
 
-  /// Flushes the final state.  The document is already complete — the
-  /// constructor and every add_point() terminate it — so this only
-  /// guarantees the last bytes reach the stream.  Called implicitly by
-  /// the destructor; add_point() afterwards throws std::logic_error.
+  /// Flushes the final state and commits the sink (for the file-backed
+  /// writer: fsync + atomic rename onto the target path).  The document
+  /// is already complete — the constructor and every add_point()
+  /// terminate it.  Called implicitly by the destructor; add_point()
+  /// afterwards throws std::logic_error.
   void finish();
 
   ~DseShardWriter();
@@ -319,10 +357,34 @@ class DseShardWriter {
   DseShardWriter& operator=(const DseShardWriter&) = delete;
 
  private:
-  std::ostream* out_;
+  std::unique_ptr<ShardSink> sink_;
   bool any_points_ = false;
   bool finished_ = false;
 };
+
+/// What recover_shard_text() salvaged from a shard document (--resume,
+/// and --merge's damaged-input path).
+struct ShardRecovery {
+  DseShardWriter::Metadata metadata;
+  /// The valid point prefix, in file order (completion order of the
+  /// interrupted run), canonical indices preserved.
+  DseResult result;
+  /// True when the whole document parsed cleanly (nothing torn).
+  bool complete = false;
+  /// Approximate byte offset where salvage stopped (0 when complete).
+  size_t truncated_at = 0;
+  std::string message;  // human-readable description of the damage
+};
+
+/// Salvages a DseShardWriter document, torn or not: a clean document
+/// parses fully; a document cut anywhere — mid-record included — yields
+/// its metadata plus the maximal valid point prefix (the writer emits
+/// one point per line, so recovery is a per-line parse that stops at the
+/// first torn line).  Throws std::invalid_argument — prefixed with
+/// `origin` (a file name) when non-empty — only when not even the header
+/// is recoverable.
+[[nodiscard]] ShardRecovery recover_shard_text(const std::string& text,
+                                               const std::string& origin = "");
 
 /// DsePoint <-> JSON.  Non-finite metrics serialize as null and parse
 /// back as NaN; from_json throws std::invalid_argument on missing fields

@@ -44,6 +44,7 @@
 
 #include "core/mapping.h"
 #include "core/report.h"
+#include "util/binio.h"
 #include "workload/gemm.h"
 
 namespace simphony::core {
@@ -141,6 +142,47 @@ class CostMatrixCache {
                                     static_cast<double>(total);
     }
   };
+
+  /// File-format identity of the persistent store (docs/persistence.md):
+  /// magic "SPCC" read little-endian, format version bumped on any
+  /// incompatible layout change.
+  static constexpr uint32_t kFileMagic = 0x43435053u;  // "SPCC"
+  static constexpr uint32_t kFileVersion = 1;
+
+  /// What load() recovered — and what it had to give up.  Loading never
+  /// throws on damaged input: corrupt records are skipped, a truncated
+  /// tail keeps the valid prefix, and a wrong magic/version starts cold;
+  /// `message` carries the human-readable warning for each degradation.
+  struct LoadReport {
+    size_t loaded = 0;    // entries inserted into the cache
+    size_t skipped = 0;   // records dropped (CRC mismatch / undecodable)
+    bool found = false;   // a file existed and was opened
+    bool version_mismatch = false;  // wrong magic or version: started cold
+    bool truncated = false;         // stream ended inside a record
+    std::string message;            // empty when the load was clean
+
+    [[nodiscard]] bool clean() const {
+      return skipped == 0 && !version_mismatch && !truncated;
+    }
+  };
+
+  /// Serializes every entry to `out` in the versioned, CRC-framed binary
+  /// format.  Deterministic: entries are written sorted by key, so
+  /// save -> load -> save reproduces the file byte for byte.
+  void save_to(util::OutputStream& out) const;
+
+  /// Atomic save: writes `path + ".tmp"`, fsyncs, renames onto `path`.
+  /// Throws util::IoError on I/O failure (never leaves a torn `path`).
+  void save(const std::string& path) const;
+
+  /// Merges entries from `in` (first writer wins against existing
+  /// entries; hit/miss counters untouched).  See LoadReport for the
+  /// degradation contract.
+  LoadReport load_from(util::InputStream& in);
+
+  /// load_from() over a file; a missing file is a cold start
+  /// (found == false), not an error.
+  LoadReport load(const std::string& path);
 
   /// Cached entry for `key`, or nullptr (counted as hit/miss).
   [[nodiscard]] std::shared_ptr<const CostMatrix::Entry> find(

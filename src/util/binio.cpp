@@ -1,0 +1,328 @@
+#include "util/binio.h"
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#ifdef _WIN32
+#include <io.h>
+#else
+#include <unistd.h>
+#endif
+
+namespace simphony::util {
+namespace {
+
+constexpr size_t kMaxVarintBytes = 10;  // ceil(64 / 7)
+
+std::string errno_text() {
+  return std::strerror(errno);
+}
+
+/// fsync the underlying descriptor of an open FILE*.  Best effort on
+/// platforms without fsync semantics; failure throws so callers never
+/// believe unflushed data is durable.
+void sync_file(std::FILE* file, const std::string& path) {
+#ifdef _WIN32
+  if (_commit(_fileno(file)) != 0) {
+    throw IoError("fsync failed for '" + path + "': " + errno_text());
+  }
+#else
+  if (::fsync(fileno(file)) != 0) {
+    throw IoError("fsync failed for '" + path + "': " + errno_text());
+  }
+#endif
+}
+
+}  // namespace
+
+// ------------------------------------------------- buffer-level encoding
+
+void append_varint(std::string& out, uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<char>((value & 0x7f) | 0x80));
+    value >>= 7;
+  }
+  out.push_back(static_cast<char>(value));
+}
+
+void append_varint_signed(std::string& out, int64_t value) {
+  const auto raw = static_cast<uint64_t>(value);
+  append_varint(out, (raw << 1) ^ static_cast<uint64_t>(value >> 63));
+}
+
+void append_f64(std::string& out, double value) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((bits >> (8 * i)) & 0xff));
+  }
+}
+
+void append_bytes(std::string& out, std::string_view bytes) {
+  append_varint(out, bytes.size());
+  out.append(bytes);
+}
+
+void ByteReader::fail(const char* what) const {
+  throw std::invalid_argument(std::string(what) + " at byte offset " +
+                              std::to_string(pos_));
+}
+
+uint64_t ByteReader::read_varint() {
+  uint64_t value = 0;
+  for (size_t i = 0; i < kMaxVarintBytes; ++i) {
+    if (pos_ >= data_.size()) fail("truncated varint");
+    const auto byte = static_cast<uint8_t>(data_[pos_++]);
+    // Byte 10 may only contribute the final bit of a 64-bit value.
+    if (i == kMaxVarintBytes - 1 && byte > 1) fail("varint overflows 64 bits");
+    value |= static_cast<uint64_t>(byte & 0x7f) << (7 * i);
+    if ((byte & 0x80) == 0) return value;
+  }
+  fail("varint too long");
+}
+
+int64_t ByteReader::read_varint_signed() {
+  const uint64_t raw = read_varint();
+  return static_cast<int64_t>((raw >> 1) ^ (~(raw & 1) + 1));
+}
+
+double ByteReader::read_f64() {
+  if (remaining() < 8) fail("truncated f64");
+  uint64_t bits = 0;
+  for (int i = 0; i < 8; ++i) {
+    bits |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i]))
+            << (8 * i);
+  }
+  pos_ += 8;
+  double value;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+std::string_view ByteReader::read_raw(size_t count) {
+  if (count > remaining()) fail("truncated raw bytes");
+  const std::string_view view = data_.substr(pos_, count);
+  pos_ += count;
+  return view;
+}
+
+std::string_view ByteReader::read_bytes() {
+  const uint64_t length = read_varint();
+  if (length > remaining()) fail("truncated byte string");
+  const std::string_view view = data_.substr(pos_, length);
+  pos_ += length;
+  return view;
+}
+
+// --------------------------------------------------------------- CRC32
+
+namespace {
+
+std::array<uint32_t, 256> make_crc_table() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1) ? 0xEDB88320u : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t crc32(const void* data, size_t size, uint32_t seed) {
+  static const std::array<uint32_t, 256> table = make_crc_table();
+  const auto* bytes = static_cast<const uint8_t*>(data);
+  uint32_t crc = ~seed;
+  for (size_t i = 0; i < size; ++i) {
+    crc = (crc >> 8) ^ table[(crc ^ bytes[i]) & 0xff];
+  }
+  return ~crc;
+}
+
+// --------------------------------------------------------------- streams
+
+size_t MemoryInputStream::read(void* data, size_t size) {
+  const size_t available = data_.size() - pos_;
+  const size_t count = size < available ? size : available;
+  std::memcpy(data, data_.data() + pos_, count);
+  pos_ += count;
+  return count;
+}
+
+FileInputStream::FileInputStream(const std::string& path) : path_(path) {
+  file_ = std::fopen(path.c_str(), "rb");
+  if (file_ == nullptr) {
+    throw IoError("cannot open '" + path + "' for reading: " + errno_text());
+  }
+}
+
+FileInputStream::~FileInputStream() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+size_t FileInputStream::read(void* data, size_t size) {
+  const size_t count = std::fread(data, 1, size, file_);
+  if (count < size && std::ferror(file_) != 0) {
+    throw IoError("read failed on '" + path_ + "': " + errno_text());
+  }
+  return count;
+}
+
+AtomicFileOutputStream::AtomicFileOutputStream(const std::string& path)
+    : path_(path), temp_path_(path + ".tmp") {
+  file_ = std::fopen(temp_path_.c_str(), "wb");
+  if (file_ == nullptr) {
+    throw IoError("cannot open '" + temp_path_ +
+                  "' for writing: " + errno_text());
+  }
+}
+
+AtomicFileOutputStream::~AtomicFileOutputStream() {
+  // Uncommitted: close but keep the temp file as the recovery artifact.
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void AtomicFileOutputStream::write(const void* data, size_t size) {
+  if (file_ == nullptr) {
+    throw IoError("write to '" + temp_path_ + "' after commit");
+  }
+  if (std::fwrite(data, 1, size, file_) != size) {
+    throw IoError("write failed on '" + temp_path_ + "' at byte " +
+                  std::to_string(written_) + ": " + errno_text());
+  }
+  written_ += size;
+}
+
+void AtomicFileOutputStream::flush() {
+  if (file_ == nullptr) return;
+  if (std::fflush(file_) != 0) {
+    throw IoError("flush failed on '" + temp_path_ + "': " + errno_text());
+  }
+  sync_file(file_, temp_path_);
+}
+
+void AtomicFileOutputStream::commit() {
+  if (file_ == nullptr) {
+    throw IoError("commit of '" + path_ + "' after commit");
+  }
+  flush();
+  std::FILE* file = std::exchange(file_, nullptr);
+  if (std::fclose(file) != 0) {
+    throw IoError("close failed on '" + temp_path_ + "': " + errno_text());
+  }
+  if (std::rename(temp_path_.c_str(), path_.c_str()) != 0) {
+    throw IoError("rename '" + temp_path_ + "' -> '" + path_ +
+                  "' failed: " + errno_text());
+  }
+}
+
+// ------------------------------------------------------ record framing
+
+RecordWriter::RecordWriter(OutputStream& out, uint32_t magic,
+                           uint32_t version)
+    : out_(&out) {
+  std::string header;
+  for (int i = 0; i < 4; ++i) {
+    header.push_back(static_cast<char>((magic >> (8 * i)) & 0xff));
+  }
+  append_varint(header, version);
+  out_->write(header);
+}
+
+void RecordWriter::write_record(std::string_view payload) {
+  std::string frame;
+  frame.reserve(payload.size() + 16);
+  append_varint(frame, payload.size());
+  append_varint(frame, crc32(payload));
+  frame.append(payload);
+  out_->write(frame);
+  ++records_;
+}
+
+RecordReader::RecordReader(InputStream& in) {
+  char chunk[1 << 16];
+  try {
+    for (;;) {
+      const size_t count = in.read(chunk, sizeof(chunk));
+      if (count == 0) break;
+      data_.append(chunk, count);
+    }
+  } catch (const IoError&) {
+    // Keep whatever prefix was read; the tail reads as truncated.
+    io_error_ = true;
+  }
+  parse_header();
+}
+
+RecordReader::RecordReader(std::string data) : data_(std::move(data)) {
+  parse_header();
+}
+
+void RecordReader::parse_header() {
+  ByteReader reader(data_);
+  try {
+    if (reader.remaining() < 4) throw std::invalid_argument("short magic");
+    uint32_t magic = 0;
+    for (int i = 0; i < 4; ++i) {
+      magic |= static_cast<uint32_t>(
+                   static_cast<uint8_t>(data_[reader.offset() + i]))
+               << (8 * i);
+    }
+    const uint64_t version = [&] {
+      ByteReader tail(std::string_view(data_).substr(4));
+      const uint64_t v = tail.read_varint();
+      pos_ = 4 + tail.offset();
+      return v;
+    }();
+    magic_ = magic;
+    version_ = static_cast<uint32_t>(version);
+    header_complete_ = true;
+  } catch (const std::invalid_argument&) {
+    terminal_ = true;  // header torn: no records recoverable
+  }
+}
+
+bool RecordReader::header_ok(uint32_t expected_magic) const {
+  return header_complete_ && magic_ == expected_magic;
+}
+
+RecordStatus RecordReader::next(std::string_view* payload) {
+  if (terminal_) return RecordStatus::kEnd;
+  if (pos_ >= data_.size()) return RecordStatus::kEnd;
+
+  ByteReader reader(std::string_view(data_).substr(pos_));
+  uint64_t length = 0;
+  uint64_t stored_crc = 0;
+  try {
+    length = reader.read_varint();
+    stored_crc = reader.read_varint();
+  } catch (const std::invalid_argument&) {
+    terminal_ = true;
+    return RecordStatus::kTruncated;
+  }
+  if (length > reader.remaining()) {
+    terminal_ = true;
+    return RecordStatus::kTruncated;
+  }
+  const size_t payload_start = pos_ + reader.offset();
+  const std::string_view view =
+      std::string_view(data_).substr(payload_start, length);
+  pos_ = payload_start + length;
+  if (crc32(view) != static_cast<uint32_t>(stored_crc)) {
+    // Fully framed but damaged: skip this record, keep scanning.  A
+    // flipped bit in the *length* field lands here too (the CRC of the
+    // mis-sliced payload fails) or in kTruncated above — either way the
+    // damage is detected, never silently delivered.
+    return RecordStatus::kCorrupt;
+  }
+  if (payload != nullptr) *payload = view;
+  return RecordStatus::kOk;
+}
+
+}  // namespace simphony::util

@@ -1,0 +1,260 @@
+// Crash-safe binary I/O primitives: LEB128 varints, CRC32, and a
+// versioned, length-prefixed, per-record-checksummed framing layer over a
+// minimal stream abstraction.
+//
+// This is the substrate of every persistent store in the engine (the
+// CostMatrixCache file behind --cache-file, and whatever binary shard
+// formats come next).  The design goals, in order:
+//
+//   1. *Detectable* corruption: every record carries a CRC32 of its
+//      payload, so a flipped bit anywhere in a record is caught on load
+//      (a silent wrong-cost cache entry would poison every sweep that
+//      reloads it).
+//   2. *Graceful* degradation: the reader classifies damage instead of
+//      throwing — a truncated tail (kill -9 mid-write) yields the valid
+//      record prefix, a checksum-failed record is skipped, and callers
+//      decide how much recovered state to keep.
+//   3. *Atomic* replacement: AtomicFileOutputStream writes `path.tmp`,
+//      fsyncs, and renames onto `path` at commit(), so readers only ever
+//      see the old complete file or the new complete file.
+//
+// Encoding: unsigned LEB128 varints (7 bits per byte, high bit =
+// continuation) for counts and small integers, zigzag LEB128 for signed
+// integers, raw little-endian 64-bit bit patterns for doubles (bit-exact
+// round trip — reloaded costs must equal recomputed ones exactly), and
+// varint-length-prefixed byte strings.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace simphony::util {
+
+/// Thrown by streams on real (or fault-injected) I/O failures.
+class IoError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// ------------------------------------------------- buffer-level encoding
+
+/// Appends `value` as an unsigned LEB128 varint (1..10 bytes).
+void append_varint(std::string& out, uint64_t value);
+
+/// Appends `value` zigzag-mapped ((v << 1) ^ (v >> 63)) as a varint, so
+/// small negative numbers stay small on disk.
+void append_varint_signed(std::string& out, int64_t value);
+
+/// Appends the 8-byte little-endian bit pattern of `value` (bit-exact,
+/// NaN payloads and signed zeros included).
+void append_f64(std::string& out, double value);
+
+/// Appends a varint length prefix followed by the raw bytes.
+void append_bytes(std::string& out, std::string_view bytes);
+
+/// Sequential decoder over an in-memory buffer.  Every read_* throws
+/// std::invalid_argument — carrying the byte offset — on truncation or a
+/// malformed varint (more than 10 bytes, or dangling continuation bit),
+/// so framing-layer callers can classify the damage.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  [[nodiscard]] uint64_t read_varint();
+  [[nodiscard]] int64_t read_varint_signed();
+  [[nodiscard]] double read_f64();
+  [[nodiscard]] std::string_view read_bytes();
+  /// Exactly `count` raw bytes (no length prefix), or throws.
+  [[nodiscard]] std::string_view read_raw(size_t count);
+
+  [[nodiscard]] bool at_end() const { return pos_ >= data_.size(); }
+  [[nodiscard]] size_t offset() const { return pos_; }
+  [[nodiscard]] size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  [[noreturn]] void fail(const char* what) const;
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+// --------------------------------------------------------------- CRC32
+
+/// CRC-32 (ISO 3309 / zlib polynomial 0xEDB88320).  crc32("123456789")
+/// == 0xCBF43926.  Chainable: pass a previous result as `seed` to extend.
+[[nodiscard]] uint32_t crc32(const void* data, size_t size,
+                             uint32_t seed = 0);
+
+[[nodiscard]] inline uint32_t crc32(std::string_view data,
+                                    uint32_t seed = 0) {
+  return crc32(data.data(), data.size(), seed);
+}
+
+// ------------------------------------------------- stream abstraction
+
+/// Byte sink.  write() is all-or-nothing at the interface level: it
+/// either accepts every byte or throws IoError (fault-injection wrappers
+/// simulate short writes by persisting a prefix and then throwing).
+class OutputStream {
+ public:
+  virtual ~OutputStream() = default;
+  virtual void write(const void* data, size_t size) = 0;
+  /// Durability point: pushes buffered bytes toward stable storage
+  /// (fsync for file-backed streams, no-op for memory).
+  virtual void flush() {}
+
+  void write(std::string_view bytes) { write(bytes.data(), bytes.size()); }
+};
+
+/// Byte source.  read() returns the number of bytes produced (possibly
+/// short); 0 means end of stream.  Throws IoError on device failure.
+class InputStream {
+ public:
+  virtual ~InputStream() = default;
+  [[nodiscard]] virtual size_t read(void* data, size_t size) = 0;
+};
+
+/// Appends to a caller-owned std::string (not owned; must outlive).
+class MemoryOutputStream final : public OutputStream {
+ public:
+  explicit MemoryOutputStream(std::string& buffer) : buffer_(&buffer) {}
+  using OutputStream::write;
+  void write(const void* data, size_t size) override {
+    buffer_->append(static_cast<const char*>(data), size);
+  }
+
+ private:
+  std::string* buffer_;
+};
+
+/// Reads from an in-memory buffer (copied in, so callers can hand over
+/// temporaries).
+class MemoryInputStream final : public InputStream {
+ public:
+  explicit MemoryInputStream(std::string data) : data_(std::move(data)) {}
+  [[nodiscard]] size_t read(void* data, size_t size) override;
+
+ private:
+  std::string data_;
+  size_t pos_ = 0;
+};
+
+/// Buffered file reader.  Throws IoError from the constructor when the
+/// file cannot be opened (callers that treat a missing file as
+/// "start cold" should check existence first or catch IoError).
+class FileInputStream final : public InputStream {
+ public:
+  explicit FileInputStream(const std::string& path);
+  ~FileInputStream() override;
+  FileInputStream(const FileInputStream&) = delete;
+  FileInputStream& operator=(const FileInputStream&) = delete;
+
+  [[nodiscard]] size_t read(void* data, size_t size) override;
+
+ private:
+  std::string path_;
+  std::FILE* file_ = nullptr;
+};
+
+/// Crash-safe file writer: all bytes go to `path + ".tmp"`; commit()
+/// flushes, fsyncs, closes, and atomically renames the temp file onto
+/// `path`.  Destruction without commit() closes the temp file but leaves
+/// it on disk — after a crash (or an abandoned write) the temp file *is*
+/// the recovery artifact, and the target path still holds the previous
+/// complete version.  Every failure throws IoError naming the file and
+/// the byte offset.
+class AtomicFileOutputStream final : public OutputStream {
+ public:
+  explicit AtomicFileOutputStream(const std::string& path);
+  ~AtomicFileOutputStream() override;
+  AtomicFileOutputStream(const AtomicFileOutputStream&) = delete;
+  AtomicFileOutputStream& operator=(const AtomicFileOutputStream&) = delete;
+
+  using OutputStream::write;
+  void write(const void* data, size_t size) override;
+  /// fflush + fsync of the temp file (durability without publication).
+  void flush() override;
+  /// flush(), close, and rename the temp file onto the target path.
+  /// Further writes throw.
+  void commit();
+
+  [[nodiscard]] const std::string& temp_path() const { return temp_path_; }
+
+ private:
+  std::string path_;
+  std::string temp_path_;
+  std::FILE* file_ = nullptr;
+  uint64_t written_ = 0;
+};
+
+// ------------------------------------------------------ record framing
+
+/// One record on the wire:  varint payload length | varint CRC32 of the
+/// payload | payload bytes.  A stream of records is preceded once by a
+/// 4-byte magic (little-endian) and a varint format version.
+class RecordWriter {
+ public:
+  /// Writes the magic + version header immediately.
+  RecordWriter(OutputStream& out, uint32_t magic, uint32_t version);
+
+  void write_record(std::string_view payload);
+
+  [[nodiscard]] size_t records_written() const { return records_; }
+
+ private:
+  OutputStream* out_;
+  size_t records_ = 0;
+};
+
+/// Damage classification of one framing-layer read.
+enum class RecordStatus {
+  kOk,         // payload delivered, CRC verified
+  kEnd,        // clean end of stream (no bytes after the last record)
+  kCorrupt,    // record fully framed but CRC mismatch — skippable
+  kTruncated,  // stream ends inside a record (or a malformed length):
+               // nothing after this point is recoverable
+};
+
+/// Reads a record stream previously written by RecordWriter.  The whole
+/// input is buffered up front (cache files are small relative to the
+/// sweeps they save); an IoError mid-read degrades to a truncated tail
+/// rather than throwing, so callers always get the maximal valid prefix.
+class RecordReader {
+ public:
+  explicit RecordReader(InputStream& in);
+  explicit RecordReader(std::string data);
+
+  /// Header verdict.  When false, version() reports what was found (0 if
+  /// the header itself was truncated) and next() always returns kEnd.
+  [[nodiscard]] bool header_ok(uint32_t expected_magic) const;
+  [[nodiscard]] uint32_t magic() const { return magic_; }
+  [[nodiscard]] uint32_t version() const { return version_; }
+  /// True when the underlying stream failed mid-read (prefix kept).
+  [[nodiscard]] bool io_error() const { return io_error_; }
+
+  /// Advances to the next record.  kOk sets `payload` (a view into the
+  /// reader's buffer, valid until destruction); kCorrupt skips exactly
+  /// one fully-framed record (call next() again to continue); kTruncated
+  /// and kEnd are terminal.
+  [[nodiscard]] RecordStatus next(std::string_view* payload);
+
+  /// Byte offset of the cursor (diagnostics: "record at byte N").
+  [[nodiscard]] size_t offset() const { return pos_; }
+
+ private:
+  void parse_header();
+
+  std::string data_;
+  size_t pos_ = 0;
+  uint32_t magic_ = 0;
+  uint32_t version_ = 0;
+  bool header_complete_ = false;
+  bool io_error_ = false;
+  bool terminal_ = false;
+};
+
+}  // namespace simphony::util

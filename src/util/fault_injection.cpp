@@ -1,0 +1,110 @@
+#include "util/fault_injection.h"
+
+#include <cstring>
+#include <string>
+
+namespace simphony::util {
+namespace {
+
+std::string at_text(size_t offset) {
+  return "injected fault at byte " + std::to_string(offset);
+}
+
+}  // namespace
+
+void FaultyOutputStream::write(const void* data, size_t size) {
+  const auto* bytes = static_cast<const char*>(data);
+  const size_t start = offered_;
+  offered_ += size;
+
+  // Fault offset outside this chunk: pass through untouched.
+  if (fired_ || size == 0 || fault_.at_byte >= start + size ||
+      fault_.at_byte < start) {
+    switch (fault_.kind) {
+      case FaultSpec::Kind::kTruncate:
+      case FaultSpec::Kind::kShortWrite:
+        if (fired_) return;  // everything after the fault is dropped
+        break;
+      default:
+        break;
+    }
+    inner_->write(bytes, size);
+    return;
+  }
+
+  const size_t split = fault_.at_byte - start;
+  fired_ = true;
+  switch (fault_.kind) {
+    case FaultSpec::Kind::kTruncate:
+      // Persist the prefix; the tail of this chunk and every later
+      // chunk silently vanish.
+      inner_->write(bytes, split);
+      return;
+    case FaultSpec::Kind::kShortWrite:
+      inner_->write(bytes, split);
+      throw IoError(at_text(fault_.at_byte) + ": short write");
+    case FaultSpec::Kind::kIoError:
+      throw IoError(at_text(fault_.at_byte) + ": write error");
+    case FaultSpec::Kind::kByteFlip: {
+      std::string copy(bytes, size);
+      copy[split] = static_cast<char>(copy[split] ^ fault_.flip_mask);
+      inner_->write(copy.data(), copy.size());
+      return;
+    }
+  }
+}
+
+size_t FaultyInputStream::read(void* data, size_t size) {
+  if (size == 0) return 0;
+  if (fired_ && (fault_.kind == FaultSpec::Kind::kTruncate ||
+                 fault_.kind == FaultSpec::Kind::kShortWrite)) {
+    return 0;  // stream ends at the fault offset
+  }
+
+  const size_t start = delivered_;
+  const bool fault_ahead =
+      !fired_ && fault_.at_byte >= start && fault_.at_byte < start + size;
+
+  if (fault_ahead && fault_.at_byte == start) {
+    switch (fault_.kind) {
+      case FaultSpec::Kind::kIoError:
+        fired_ = true;
+        throw IoError(at_text(fault_.at_byte) + ": read error");
+      case FaultSpec::Kind::kShortWrite:
+        fired_ = true;
+        throw IoError(at_text(fault_.at_byte) + ": short read");
+      case FaultSpec::Kind::kTruncate:
+        fired_ = true;
+        return 0;  // stream ends exactly here
+      case FaultSpec::Kind::kByteFlip:
+        break;  // handled after the read below
+    }
+  }
+
+  // Cap the read so a mid-chunk fault lands exactly on a call boundary
+  // next time around (keeps the logic per-offset exact).
+  size_t want = size;
+  if (fault_ahead && fault_.at_byte > start &&
+      fault_.kind != FaultSpec::Kind::kByteFlip) {
+    want = fault_.at_byte - start;
+  }
+  const size_t count = inner_->read(data, want);
+  if (count == 0) return 0;
+
+  if (!fired_ && fault_.kind == FaultSpec::Kind::kByteFlip &&
+      fault_.at_byte >= start && fault_.at_byte < start + count) {
+    auto* bytes = static_cast<char*>(data);
+    bytes[fault_.at_byte - start] =
+        static_cast<char>(bytes[fault_.at_byte - start] ^ fault_.flip_mask);
+    fired_ = true;
+  }
+  delivered_ += count;
+
+  if (!fired_ && delivered_ == fault_.at_byte &&
+      fault_.kind == FaultSpec::Kind::kTruncate) {
+    fired_ = true;
+  }
+  return count;
+}
+
+}  // namespace simphony::util

@@ -1,0 +1,81 @@
+// Deterministic fault injection for the persistence layer.
+//
+// A FaultyOutputStream / FaultyInputStream wraps a real binio stream and
+// injects exactly one fault at a chosen absolute byte offset:
+//
+//   kTruncate   — bytes at offset >= N are silently dropped (the write
+//                 "succeeds" but the tail never reaches the device);
+//                 models a kernel page-cache loss on power failure.
+//   kShortWrite — the prefix up to byte N is persisted, then the write
+//                 throws IoError; models ENOSPC / EIO mid-write.
+//   kByteFlip   — the byte at offset N is XORed with `flip_mask` in
+//                 flight; models media corruption.  (On the input side
+//                 the flip is applied to the bytes read.)
+//   kIoError    — the operation touching byte N throws IoError without
+//                 transferring anything from that operation; models a
+//                 failing device.
+//
+// Offsets are absolute across the stream's lifetime, not per-call, so a
+// test harness can sweep `at_byte` over every position of a known-size
+// artifact and prove recovery at every injection point.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/binio.h"
+
+namespace simphony::util {
+
+struct FaultSpec {
+  enum class Kind : uint8_t { kTruncate, kShortWrite, kByteFlip, kIoError };
+
+  Kind kind = Kind::kTruncate;
+  /// Absolute byte offset the fault fires at.
+  size_t at_byte = 0;
+  /// XOR mask for kByteFlip (must be non-zero to have any effect).
+  uint8_t flip_mask = 0x01;
+};
+
+/// Wraps an OutputStream and applies `fault` to the outgoing byte
+/// stream.  The wrapped stream is not owned and must outlive this one.
+class FaultyOutputStream final : public OutputStream {
+ public:
+  FaultyOutputStream(OutputStream& inner, FaultSpec fault)
+      : inner_(&inner), fault_(fault) {}
+
+  using OutputStream::write;
+  void write(const void* data, size_t size) override;
+  void flush() override { inner_->flush(); }
+
+  /// Total bytes offered by callers (before truncation).
+  [[nodiscard]] size_t bytes_offered() const { return offered_; }
+  [[nodiscard]] bool fired() const { return fired_; }
+
+ private:
+  OutputStream* inner_;
+  FaultSpec fault_;
+  size_t offered_ = 0;
+  bool fired_ = false;
+};
+
+/// Wraps an InputStream and applies `fault` to the incoming byte stream.
+/// kShortWrite on the read side behaves like kTruncate-then-IoError:
+/// bytes before the offset are delivered, then the read throws.
+class FaultyInputStream final : public InputStream {
+ public:
+  FaultyInputStream(InputStream& inner, FaultSpec fault)
+      : inner_(&inner), fault_(fault) {}
+
+  [[nodiscard]] size_t read(void* data, size_t size) override;
+
+  [[nodiscard]] bool fired() const { return fired_; }
+
+ private:
+  InputStream* inner_;
+  FaultSpec fault_;
+  size_t delivered_ = 0;
+  bool fired_ = false;
+};
+
+}  // namespace simphony::util

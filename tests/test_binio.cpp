@@ -1,0 +1,389 @@
+// The binary I/O substrate of every persistent store (util/binio.h):
+// LEB128 varints, zigzag signed varints, bit-exact doubles, CRC32, the
+// stream abstraction, and the versioned CRC-framed record layer.  The
+// properties under test are the ones the crash-safety story rests on:
+//
+//   * every encoder round-trips bit for bit through its decoder;
+//   * every decoder failure is std::invalid_argument carrying a byte
+//     offset — never a crash, never a silent mis-read;
+//   * the record reader classifies damage (kCorrupt = skippable,
+//     kTruncated = terminal) and always yields the maximal valid prefix,
+//     for a truncation or byte flip at *every* offset of a real stream;
+//   * AtomicFileOutputStream publishes all-or-nothing via temp + rename.
+#include "util/binio.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace simphony::util {
+namespace {
+
+// ------------------------------------------------------------- varints
+
+TEST(BinIo, VarintRoundTripsEdgeValues) {
+  const std::vector<uint64_t> values = {
+      0,
+      1,
+      127,
+      128,
+      255,
+      300,
+      16383,
+      16384,
+      (1ull << 32) - 1,
+      1ull << 32,
+      (1ull << 63) - 1,
+      1ull << 63,
+      std::numeric_limits<uint64_t>::max()};
+  for (uint64_t value : values) {
+    std::string buffer;
+    append_varint(buffer, value);
+    EXPECT_LE(buffer.size(), 10u) << value;
+    ByteReader reader(buffer);
+    EXPECT_EQ(reader.read_varint(), value);
+    EXPECT_TRUE(reader.at_end()) << value;
+  }
+  // Canonical sizes at the 7-bit boundaries.
+  std::string one;
+  append_varint(one, 127);
+  EXPECT_EQ(one.size(), 1u);
+  std::string two;
+  append_varint(two, 128);
+  EXPECT_EQ(two.size(), 2u);
+  std::string ten;
+  append_varint(ten, std::numeric_limits<uint64_t>::max());
+  EXPECT_EQ(ten.size(), 10u);
+}
+
+TEST(BinIo, SignedVarintRoundTripsAndKeepsSmallNegativesSmall) {
+  const std::vector<int64_t> values = {
+      0,  -1, 1,  -2, 2,  63, -64, 64, -65,
+      std::numeric_limits<int64_t>::min(),
+      std::numeric_limits<int64_t>::max()};
+  for (int64_t value : values) {
+    std::string buffer;
+    append_varint_signed(buffer, value);
+    ByteReader reader(buffer);
+    EXPECT_EQ(reader.read_varint_signed(), value);
+    EXPECT_TRUE(reader.at_end()) << value;
+  }
+  // Zigzag's point: -1 must not cost 10 bytes.
+  std::string minus_one;
+  append_varint_signed(minus_one, -1);
+  EXPECT_EQ(minus_one.size(), 1u);
+}
+
+TEST(BinIo, MalformedVarintsThrowWithByteOffset) {
+  // Dangling continuation bit at end of input.
+  for (size_t len = 1; len <= 9; ++len) {
+    const std::string dangling(len, '\x80');
+    ByteReader reader(dangling);
+    try {
+      (void)reader.read_varint();
+      FAIL() << "accepted a truncated varint of " << len << " bytes";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("byte offset"), std::string::npos);
+    }
+  }
+  // Ten continuation bytes: byte 10 may only contribute the 64th bit.
+  std::string overflow(9, '\x80');
+  overflow.push_back('\x02');
+  EXPECT_THROW((void)ByteReader(overflow).read_varint(),
+               std::invalid_argument);
+  // Exactly the 64th bit is fine (max uint64 encodes as 9 * 0xff + 0x01).
+  std::string max_ok;
+  append_varint(max_ok, std::numeric_limits<uint64_t>::max());
+  EXPECT_EQ(static_cast<uint8_t>(max_ok.back()), 0x01u);
+}
+
+// -------------------------------------------------------------- doubles
+
+TEST(BinIo, F64RoundTripsBitForBit) {
+  // A NaN with a distinctive payload: value comparison cannot check it,
+  // so compare the bit patterns.
+  uint64_t nan_bits = 0x7ff8dead'beef0001ull;
+  double weird_nan = 0.0;
+  std::memcpy(&weird_nan, &nan_bits, sizeof(weird_nan));
+
+  const std::vector<double> values = {0.0,
+                                      -0.0,
+                                      1.0,
+                                      -1.0,
+                                      1e300,
+                                      -1e-300,
+                                      5e-324,  // smallest denormal
+                                      std::numeric_limits<double>::infinity(),
+                                      -std::numeric_limits<double>::infinity(),
+                                      weird_nan};
+  for (double value : values) {
+    std::string buffer;
+    append_f64(buffer, value);
+    ASSERT_EQ(buffer.size(), 8u);
+    const double back = ByteReader(buffer).read_f64();
+    uint64_t in_bits = 0;
+    uint64_t out_bits = 0;
+    std::memcpy(&in_bits, &value, 8);
+    std::memcpy(&out_bits, &back, 8);
+    EXPECT_EQ(out_bits, in_bits);
+  }
+}
+
+TEST(BinIo, BytesRoundTripIncludingEmbeddedNulsAndTruncationThrows) {
+  const std::string payload = std::string("a\0b", 3) + "\xff\x80 tail";
+  std::string buffer;
+  append_bytes(buffer, payload);
+  ByteReader reader(buffer);
+  EXPECT_EQ(reader.read_bytes(), payload);
+  EXPECT_TRUE(reader.at_end());
+
+  // Length prefix promising more bytes than exist.
+  ByteReader torn(std::string_view(buffer).substr(0, buffer.size() - 1));
+  EXPECT_THROW((void)torn.read_bytes(), std::invalid_argument);
+
+  ByteReader raw(buffer);
+  EXPECT_THROW((void)raw.read_raw(buffer.size() + 1), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- CRC32
+
+TEST(BinIo, Crc32MatchesReferenceVectorAndChains) {
+  EXPECT_EQ(crc32(std::string_view("123456789")), 0xCBF43926u);
+  EXPECT_EQ(crc32(std::string_view("")), 0u);
+  // Chaining via the seed equals one pass over the concatenation.
+  const std::string a = "hello, ";
+  const std::string b = "world";
+  EXPECT_EQ(crc32(b, crc32(a)), crc32(a + b));
+  // Single-bit sensitivity.
+  EXPECT_NE(crc32(std::string_view("123456789")),
+            crc32(std::string_view("123456788")));
+}
+
+// ------------------------------------------------------- record framing
+
+std::vector<std::string> test_payloads() {
+  return {std::string(),                     // empty payload is legal
+          "alpha",
+          std::string("\x00\x80\xff", 3),    // binary content
+          std::string(1000, 'z')};           // spans the length boundary
+}
+
+std::string framed_stream(const std::vector<std::string>& payloads,
+                          uint32_t magic = 0x31545354u /* "TST1" */) {
+  std::string bytes;
+  MemoryOutputStream out(bytes);
+  RecordWriter writer(out, magic, 7);
+  for (const std::string& payload : payloads) writer.write_record(payload);
+  return bytes;
+}
+
+TEST(BinIo, RecordStreamRoundTrips) {
+  const std::vector<std::string> payloads = test_payloads();
+  const std::string bytes = framed_stream(payloads);
+
+  RecordReader reader(bytes);
+  ASSERT_TRUE(reader.header_ok(0x31545354u));
+  EXPECT_EQ(reader.magic(), 0x31545354u);
+  EXPECT_EQ(reader.version(), 7u);
+  EXPECT_FALSE(reader.io_error());
+
+  std::string_view payload;
+  for (const std::string& expected : payloads) {
+    ASSERT_EQ(reader.next(&payload), RecordStatus::kOk);
+    EXPECT_EQ(payload, expected);
+  }
+  EXPECT_EQ(reader.next(&payload), RecordStatus::kEnd);
+  EXPECT_EQ(reader.next(&payload), RecordStatus::kEnd);  // stable
+}
+
+TEST(BinIo, WrongMagicOrTornHeaderYieldsNoRecords) {
+  const std::string bytes = framed_stream(test_payloads());
+  RecordReader wrong(bytes);
+  EXPECT_FALSE(wrong.header_ok(0x32545354u));
+
+  std::string_view payload;
+  for (size_t cut = 0; cut < 5; ++cut) {  // header is 4-byte magic + version
+    RecordReader torn(bytes.substr(0, cut));
+    EXPECT_FALSE(torn.header_ok(0x31545354u)) << cut;
+    EXPECT_EQ(torn.next(&payload), RecordStatus::kEnd) << cut;
+  }
+}
+
+/// Replays a (possibly damaged) stream and returns the payloads of every
+/// kOk record, asserting only legal status transitions along the way.
+std::vector<std::string> replay(const std::string& bytes,
+                                bool* truncated = nullptr) {
+  RecordReader reader(bytes);
+  std::vector<std::string> delivered;
+  if (!reader.header_ok(0x31545354u)) return delivered;
+  std::string_view payload;
+  for (;;) {
+    const RecordStatus status = reader.next(&payload);
+    if (status == RecordStatus::kEnd) break;
+    if (status == RecordStatus::kTruncated) {
+      if (truncated != nullptr) *truncated = true;
+      break;
+    }
+    if (status == RecordStatus::kOk) delivered.emplace_back(payload);
+    // kCorrupt: skip and continue.
+  }
+  return delivered;
+}
+
+// The crash-safety core: cut the stream at EVERY byte offset.  No crash,
+// and the reader must deliver exactly the records that lie entirely
+// within the prefix (maximal valid prefix, nothing invented).
+TEST(BinIo, TruncationAtEveryOffsetYieldsExactlyTheCompletePrefix) {
+  const std::vector<std::string> payloads = test_payloads();
+  const std::string bytes = framed_stream(payloads);
+
+  // Record end offsets on the undamaged stream.
+  std::vector<size_t> record_ends;
+  {
+    RecordReader reader(bytes);
+    ASSERT_TRUE(reader.header_ok(0x31545354u));
+    std::string_view payload;
+    while (reader.next(&payload) == RecordStatus::kOk) {
+      record_ends.push_back(reader.offset());
+    }
+    ASSERT_EQ(record_ends.size(), payloads.size());
+  }
+
+  for (size_t cut = 0; cut <= bytes.size(); ++cut) {
+    size_t expected = 0;
+    while (expected < record_ends.size() && record_ends[expected] <= cut) {
+      ++expected;
+    }
+    const std::vector<std::string> got = replay(bytes.substr(0, cut));
+    ASSERT_EQ(got.size(), expected) << "cut=" << cut;
+    for (size_t i = 0; i < expected; ++i) {
+      EXPECT_EQ(got[i], payloads[i]) << "cut=" << cut;
+    }
+  }
+}
+
+// Flip one bit at EVERY byte offset: no crash, and — the "no silent
+// corruption" guarantee — every payload the reader still delivers is
+// byte-identical to a payload the writer actually wrote.
+TEST(BinIo, ByteFlipAtEveryOffsetNeverDeliversACorruptPayload) {
+  const std::vector<std::string> payloads = test_payloads();
+  const std::string bytes = framed_stream(payloads);
+
+  for (size_t at = 0; at < bytes.size(); ++at) {
+    for (uint8_t mask : {uint8_t{0x01}, uint8_t{0x80}}) {
+      std::string damaged = bytes;
+      damaged[at] = static_cast<char>(damaged[at] ^ mask);
+      const std::vector<std::string> got = replay(damaged);
+      for (const std::string& payload : got) {
+        bool known = false;
+        for (const std::string& original : payloads) {
+          if (payload == original) known = true;
+        }
+        EXPECT_TRUE(known) << "flip at byte " << at
+                           << " delivered a payload the writer never wrote";
+      }
+      EXPECT_LE(got.size(), payloads.size()) << at;
+    }
+  }
+}
+
+TEST(BinIo, CorruptRecordIsSkippedAndScanningContinues) {
+  const std::vector<std::string> payloads = {"first", "second", "third"};
+  std::string bytes = framed_stream(payloads);
+  // Flip a byte inside the middle record's payload ("second" is unique).
+  const size_t at = bytes.find("second");
+  ASSERT_NE(at, std::string::npos);
+  bytes[at] ^= 0x01;
+
+  RecordReader reader(bytes);
+  ASSERT_TRUE(reader.header_ok(0x31545354u));
+  std::string_view payload;
+  EXPECT_EQ(reader.next(&payload), RecordStatus::kOk);
+  EXPECT_EQ(payload, "first");
+  EXPECT_EQ(reader.next(&payload), RecordStatus::kCorrupt);
+  EXPECT_EQ(reader.next(&payload), RecordStatus::kOk);
+  EXPECT_EQ(payload, "third");
+  EXPECT_EQ(reader.next(&payload), RecordStatus::kEnd);
+}
+
+// --------------------------------------------------------------- streams
+
+TEST(BinIo, MemoryStreamsRoundTripThroughShortReads) {
+  std::string bytes;
+  MemoryOutputStream out(bytes);
+  out.write(std::string_view("0123456789"));
+  ASSERT_EQ(bytes.size(), 10u);
+
+  MemoryInputStream in(bytes);
+  char chunk[3];
+  std::string reassembled;
+  for (;;) {
+    const size_t n = in.read(chunk, sizeof(chunk));
+    if (n == 0) break;
+    reassembled.append(chunk, n);
+  }
+  EXPECT_EQ(reassembled, bytes);
+}
+
+bool file_exists(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return false;
+  std::fclose(file);
+  return true;
+}
+
+std::string slurp(const std::string& path) {
+  FileInputStream in(path);
+  std::string out;
+  char chunk[256];
+  for (;;) {
+    const size_t n = in.read(chunk, sizeof(chunk));
+    if (n == 0) break;
+    out.append(chunk, n);
+  }
+  return out;
+}
+
+TEST(BinIo, AtomicFileOutputStreamPublishesOnCommitOnly) {
+  const std::string path = ::testing::TempDir() + "binio_atomic.bin";
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+
+  {
+    AtomicFileOutputStream out(path);
+    out.write(std::string_view("v1 content"));
+    // Not committed yet: the target must not exist.
+    EXPECT_FALSE(file_exists(path));
+    EXPECT_TRUE(file_exists(out.temp_path()));
+    out.commit();
+    EXPECT_THROW(out.write(std::string_view("late")), IoError);
+  }
+  EXPECT_TRUE(file_exists(path));
+  EXPECT_FALSE(file_exists(path + ".tmp"));
+  EXPECT_EQ(slurp(path), "v1 content");
+
+  // An abandoned write (no commit) keeps the previous version intact and
+  // leaves the temp file behind as the recovery artifact.
+  {
+    AtomicFileOutputStream out(path);
+    out.write(std::string_view("v2 partial"));
+  }
+  EXPECT_EQ(slurp(path), "v1 content");
+  EXPECT_TRUE(file_exists(path + ".tmp"));
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+}
+
+TEST(BinIo, FileInputStreamThrowsIoErrorOnMissingFile) {
+  EXPECT_THROW(FileInputStream(::testing::TempDir() + "binio_no_such_file"),
+               IoError);
+}
+
+}  // namespace
+}  // namespace simphony::util

@@ -1,0 +1,355 @@
+// The fault-injection harness (util/fault_injection.h) and the
+// crash-safety acceptance sweep it exists for: every fault kind
+// (truncation, short write, byte flip, I/O error) injected at EVERY byte
+// offset of a real cost-cache artifact, through both the save and the
+// load path.  The properties proven at each injection point:
+//
+//   * no crash and no exception other than util::IoError from the
+//     faulted stream itself (loading never throws at all);
+//   * no silent corruption — every entry that survives the reload is
+//     byte-identical to one the writer actually serialized (the CRC
+//     catches every flip);
+//   * maximal-valid-prefix recovery — every record that lies entirely
+//     before the damage is recovered.
+#include "util/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/mapper.h"
+#include "util/binio.h"
+
+namespace simphony::util {
+namespace {
+
+// ------------------------------------------------ wrapper unit semantics
+
+std::string drive_output(FaultSpec fault, std::string* captured,
+                         bool* threw) {
+  std::string inner_bytes;
+  MemoryOutputStream inner(inner_bytes);
+  FaultyOutputStream out(inner, fault);
+  *threw = false;
+  try {
+    out.write(std::string_view("0123"));
+    out.write(std::string_view("4567"));
+    out.write(std::string_view("89"));
+  } catch (const IoError&) {
+    *threw = true;
+  }
+  *captured = inner_bytes;
+  return inner_bytes;
+}
+
+TEST(FaultInjection, OutputTruncateDropsEverythingFromTheOffsetOn) {
+  std::string bytes;
+  bool threw = false;
+  drive_output({FaultSpec::Kind::kTruncate, 5}, &bytes, &threw);
+  EXPECT_FALSE(threw);
+  EXPECT_EQ(bytes, "01234");  // byte 5 and later silently vanish
+}
+
+TEST(FaultInjection, OutputShortWritePersistsThePrefixThenThrows) {
+  std::string bytes;
+  bool threw = false;
+  drive_output({FaultSpec::Kind::kShortWrite, 5}, &bytes, &threw);
+  EXPECT_TRUE(threw);
+  EXPECT_EQ(bytes, "01234");
+}
+
+TEST(FaultInjection, OutputIoErrorThrowsWithoutTransferringTheChunk) {
+  std::string bytes;
+  bool threw = false;
+  drive_output({FaultSpec::Kind::kIoError, 5}, &bytes, &threw);
+  EXPECT_TRUE(threw);
+  EXPECT_EQ(bytes, "0123");  // the chunk containing byte 5 never lands
+}
+
+TEST(FaultInjection, OutputByteFlipFlipsExactlyOneByteInFlight) {
+  std::string bytes;
+  bool threw = false;
+  drive_output({FaultSpec::Kind::kByteFlip, 5, 0xFF}, &bytes, &threw);
+  EXPECT_FALSE(threw);
+  ASSERT_EQ(bytes.size(), 10u);
+  EXPECT_EQ(bytes[5], static_cast<char>('5' ^ 0xFF));
+  std::string expected = "0123456789";
+  expected[5] = static_cast<char>('5' ^ 0xFF);
+  EXPECT_EQ(bytes, expected);
+}
+
+TEST(FaultInjection, OutputFaultBeyondTheStreamNeverFires) {
+  std::string bytes;
+  bool threw = false;
+  drive_output({FaultSpec::Kind::kIoError, 100}, &bytes, &threw);
+  EXPECT_FALSE(threw);
+  EXPECT_EQ(bytes, "0123456789");
+}
+
+std::string drive_input(FaultSpec fault, bool* threw) {
+  MemoryInputStream inner("0123456789");
+  FaultyInputStream in(inner, fault);
+  std::string delivered;
+  *threw = false;
+  char chunk[3];
+  try {
+    for (;;) {
+      const size_t n = in.read(chunk, sizeof(chunk));
+      if (n == 0) break;
+      delivered.append(chunk, n);
+    }
+  } catch (const IoError&) {
+    *threw = true;
+  }
+  return delivered;
+}
+
+TEST(FaultInjection, InputTruncateEndsTheStreamAtTheOffset) {
+  bool threw = false;
+  EXPECT_EQ(drive_input({FaultSpec::Kind::kTruncate, 5}, &threw), "01234");
+  EXPECT_FALSE(threw);
+}
+
+TEST(FaultInjection, InputShortWriteAndIoErrorDeliverThePrefixThenThrow) {
+  for (const auto kind :
+       {FaultSpec::Kind::kShortWrite, FaultSpec::Kind::kIoError}) {
+    bool threw = false;
+    EXPECT_EQ(drive_input({kind, 5}, &threw), "01234");
+    EXPECT_TRUE(threw);
+  }
+}
+
+TEST(FaultInjection, InputByteFlipFlipsExactlyOneByte) {
+  bool threw = false;
+  const std::string got =
+      drive_input({FaultSpec::Kind::kByteFlip, 7, 0x20}, &threw);
+  EXPECT_FALSE(threw);
+  std::string expected = "0123456789";
+  expected[7] = static_cast<char>('7' ^ 0x20);
+  EXPECT_EQ(got, expected);
+}
+
+// ------------------------------------- the cache save/load fault sweep
+
+/// A fully populated synthetic cache entry, deterministic in `i`, so the
+/// sweep exercises every field codec of the store.
+core::CostMatrix::Entry make_entry(size_t i) {
+  core::CostMatrix::Entry entry;
+  entry.feasible = true;
+  auto& report = entry.report;
+  report.layer_name = "layer_" + std::to_string(i);
+  report.subarch_name = i % 2 == 0 ? "scatter" : "mzi";
+  report.subarch_index = i % 3;
+  report.dataflow.tiling = {4, 8, 16, 2, static_cast<int64_t>(i) + 1, 3};
+  report.dataflow.range_penalty_I = static_cast<int>(i % 5);
+  report.dataflow.compute_cycles = 1000 + static_cast<int64_t>(i);
+  report.dataflow.total_cycles = 2000 + static_cast<int64_t>(i);
+  report.dataflow.runtime_ns = 1.5 * static_cast<double>(i + 1);
+  report.dataflow.adc_rate_GHz = 5.0;
+  report.dataflow.utilization = 0.25 * static_cast<double>(i % 4);
+  report.link.critical_path_loss_dB = 3.25 + static_cast<double>(i);
+  report.link.critical_path = {"laser", "mzm_" + std::to_string(i), "pd"};
+  report.link.total_laser_power_mW = 12.0;
+  report.link.input_bits = 8;
+  report.traffic.hbm_bytes = 4096.0 * static_cast<double>(i + 1);
+  report.traffic.energy_pJ = {{"HBM", 10.5}, {"GLB", 2.25}};
+  report.energy.add("MAC", 100.0 + static_cast<double>(i));
+  report.energy.add("ADC", 40.0);
+  report.macs = 1e6 * static_cast<double>(i + 1);
+  return entry;
+}
+
+// (CostMatrixCache owns a mutex, so it is filled in place, not returned.)
+void fill_reference(core::CostMatrixCache& cache, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    (void)cache.insert({i + 1, 1000 + i}, make_entry(i));
+  }
+}
+
+std::string save_bytes(const core::CostMatrixCache& cache) {
+  std::string bytes;
+  MemoryOutputStream out(bytes);
+  cache.save_to(out);
+  return bytes;
+}
+
+/// Payloads of every kEntry record in a saved cache image (the meta
+/// record counts entries, so it legitimately differs between a full and
+/// a partially recovered cache and is excluded from the oracle).
+std::set<std::string> entry_payloads(const std::string& bytes) {
+  RecordReader reader(bytes);
+  EXPECT_TRUE(reader.header_ok(core::CostMatrixCache::kFileMagic));
+  std::set<std::string> payloads;
+  std::string_view payload;
+  while (reader.next(&payload) == RecordStatus::kOk) {
+    ByteReader body(payload);
+    if (body.read_varint() == 1) payloads.emplace(payload);
+  }
+  return payloads;
+}
+
+/// End offset of every kEntry record in file order (the maximal-prefix
+/// arithmetic: a fault at byte N must preserve every record ending <= N).
+std::vector<size_t> entry_record_ends(const std::string& bytes) {
+  RecordReader reader(bytes);
+  EXPECT_TRUE(reader.header_ok(core::CostMatrixCache::kFileMagic));
+  std::vector<size_t> ends;
+  std::string_view payload;
+  while (reader.next(&payload) == RecordStatus::kOk) {
+    ByteReader body(payload);
+    if (body.read_varint() == 1) ends.push_back(reader.offset());
+  }
+  return ends;
+}
+
+size_t records_ending_by(const std::vector<size_t>& ends, size_t offset) {
+  size_t count = 0;
+  while (count < ends.size() && ends[count] <= offset) ++count;
+  return count;
+}
+
+/// Common verdict at one injection point: reloaded entries must be a
+/// byte-identical subset of the originals, at least `min_loaded` strong.
+void expect_recovered(const std::string& damaged,
+                      const std::set<std::string>& originals,
+                      size_t min_loaded, const std::string& context) {
+  core::CostMatrixCache reloaded;
+  MemoryInputStream in(damaged);
+  core::CostMatrixCache::LoadReport report;
+  ASSERT_NO_THROW(report = reloaded.load_from(in)) << context;
+  EXPECT_GE(report.loaded, min_loaded) << context;
+  EXPECT_EQ(report.loaded, reloaded.size()) << context;
+  if (report.loaded == 0) return;
+  for (const std::string& payload : entry_payloads(save_bytes(reloaded))) {
+    EXPECT_EQ(originals.count(payload), 1u)
+        << context << ": a reloaded entry differs from every written one";
+  }
+}
+
+TEST(FaultInjection, SaveFaultsAtEveryOffsetRecoverTheMaximalPrefix) {
+  core::CostMatrixCache cache;
+  fill_reference(cache, 6);
+  const std::string reference = save_bytes(cache);
+  const std::set<std::string> originals = entry_payloads(reference);
+  const std::vector<size_t> ends = entry_record_ends(reference);
+  ASSERT_EQ(originals.size(), 6u);
+
+  for (const auto kind :
+       {FaultSpec::Kind::kTruncate, FaultSpec::Kind::kShortWrite,
+        FaultSpec::Kind::kIoError, FaultSpec::Kind::kByteFlip}) {
+    for (size_t at = 0; at <= reference.size() + 1; ++at) {
+      const std::string context = "kind=" + std::to_string(int(kind)) +
+                                  " at=" + std::to_string(at);
+      std::string damaged;
+      MemoryOutputStream inner(damaged);
+      FaultyOutputStream out(inner, {kind, at, 0x40});
+      bool threw = false;
+      try {
+        cache.save_to(out);
+      } catch (const IoError&) {
+        threw = true;
+      }
+      const bool fires = at < reference.size();
+      if (kind == FaultSpec::Kind::kShortWrite ||
+          kind == FaultSpec::Kind::kIoError) {
+        EXPECT_EQ(threw, fires) << context;
+      } else {
+        EXPECT_FALSE(threw) << context;
+      }
+      if (!fires) {
+        EXPECT_EQ(damaged, reference) << context;
+      }
+
+      // Byte flips cannot guarantee more than "everything before the
+      // damaged record survives" (a flipped length field may take the
+      // tail with it); the losing kinds recover the prefix exactly.
+      const size_t before_damage = records_ending_by(ends, at);
+      expect_recovered(damaged, originals, before_damage, context);
+      if (fires && kind != FaultSpec::Kind::kByteFlip) {
+        core::CostMatrixCache reloaded;
+        MemoryInputStream in(damaged);
+        EXPECT_EQ(reloaded.load_from(in).loaded, before_damage) << context;
+      }
+    }
+  }
+}
+
+TEST(FaultInjection, LoadFaultsAtEveryOffsetRecoverTheMaximalPrefix) {
+  core::CostMatrixCache cache;
+  fill_reference(cache, 6);
+  const std::string reference = save_bytes(cache);
+  const std::set<std::string> originals = entry_payloads(reference);
+  const std::vector<size_t> ends = entry_record_ends(reference);
+
+  for (const auto kind :
+       {FaultSpec::Kind::kTruncate, FaultSpec::Kind::kShortWrite,
+        FaultSpec::Kind::kIoError, FaultSpec::Kind::kByteFlip}) {
+    for (size_t at = 0; at <= reference.size() + 1; ++at) {
+      const std::string context = "kind=" + std::to_string(int(kind)) +
+                                  " at=" + std::to_string(at);
+      MemoryInputStream inner(reference);
+      FaultyInputStream in(inner, {kind, at, 0x40});
+      core::CostMatrixCache reloaded;
+      core::CostMatrixCache::LoadReport report;
+      // The load path NEVER throws — a device error mid-read degrades to
+      // a truncated tail (the cache is an accelerator; the worst
+      // acceptable outcome of a bad read is a cold run).
+      ASSERT_NO_THROW(report = reloaded.load_from(in)) << context;
+
+      const size_t before_damage = records_ending_by(ends, at);
+      EXPECT_GE(report.loaded, before_damage) << context;
+      EXPECT_EQ(report.loaded, reloaded.size()) << context;
+      if (kind != FaultSpec::Kind::kByteFlip && at < reference.size()) {
+        EXPECT_EQ(report.loaded, before_damage) << context;
+        if (kind != FaultSpec::Kind::kTruncate) {
+          EXPECT_TRUE(report.truncated) << context;  // IoError mid-read
+        }
+      }
+      if (report.loaded > 0) {
+        for (const std::string& payload :
+             entry_payloads(save_bytes(reloaded))) {
+          EXPECT_EQ(originals.count(payload), 1u) << context;
+        }
+      }
+    }
+  }
+}
+
+// A failed save must never tear the published file: save_to through a
+// faulted stream over the atomic writer throws before commit, so the
+// previous complete version stays readable in full.
+TEST(FaultInjection, FailedSaveLeavesThePublishedFileIntact) {
+  const std::string path = ::testing::TempDir() + "fault_cache.spcc";
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+
+  core::CostMatrixCache cache;
+  fill_reference(cache, 4);
+  cache.save(path);
+
+  core::CostMatrixCache bigger;
+  fill_reference(bigger, 8);
+  {
+    AtomicFileOutputStream file(path);
+    FaultyOutputStream out(file, {FaultSpec::Kind::kShortWrite, 40});
+    EXPECT_THROW(bigger.save_to(out), IoError);
+    // No commit: the temp file holds the torn write, the target the old
+    // complete version.
+  }
+
+  core::CostMatrixCache reloaded;
+  const auto report = reloaded.load(path);
+  EXPECT_TRUE(report.found);
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.loaded, 4u);
+  EXPECT_EQ(save_bytes(reloaded), save_bytes(cache));
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+}
+
+}  // namespace
+}  // namespace simphony::util
