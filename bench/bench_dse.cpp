@@ -9,11 +9,35 @@
 #include "arch/prebuilt.h"
 #include "core/dse.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 #include "workload/model.h"
 
 namespace {
 
 using namespace simphony;
+
+/// Attaches the parallel_for scheduling counters (docs/performance.md)
+/// accumulated since `before` — per-iteration chunk/steal traffic plus an
+/// items/sec rate the thread-scaling harness compares across -j values.
+void set_scheduling_counters(benchmark::State& state,
+                             const util::ThreadPool::BulkStats& before) {
+  const util::ThreadPool::BulkStats after =
+      util::ThreadPool::global_bulk_stats();
+  const double iters = static_cast<double>(state.iterations());
+  const double dispatches =
+      static_cast<double>(after.dispatches - before.dispatches);
+  state.counters["pf_items"] =
+      static_cast<double>(after.items - before.items) / iters;
+  state.counters["pf_steals"] =
+      static_cast<double>(after.steals - before.steals) / iters;
+  state.counters["pf_tasks_per_dispatch"] =
+      dispatches > 0
+          ? static_cast<double>(after.tasks - before.tasks) / dispatches
+          : 0.0;
+  state.counters["pf_items_per_s"] =
+      benchmark::Counter(static_cast<double>(after.items - before.items),
+                         benchmark::Counter::kIsRate);
+}
 
 const devlib::DeviceLibrary& standard_lib() {
   static devlib::DeviceLibrary lib = devlib::DeviceLibrary::standard();
@@ -53,14 +77,18 @@ void BM_ExploreParallel(benchmark::State& state) {
   const core::DseSpace space = sweep_3axis();
   core::DseOptions options;
   options.num_threads = static_cast<int>(state.range(0));
+  const util::ThreadPool::BulkStats before =
+      util::ThreadPool::global_bulk_stats();
   for (auto _ : state) {
     benchmark::DoNotOptimize(core::explore(
         arch::tempo_template(), standard_lib(), mlp_model(), space, options));
   }
+  set_scheduling_counters(state, before);
   state.counters["points"] =
       static_cast<double>(space.enumerate().size());
 }
 BENCHMARK(BM_ExploreParallel)
+    ->Arg(1)  // serial baseline for the thread-scaling check
     ->Arg(2)
     ->Arg(4)
     ->Arg(0)  // 0 = one worker per hardware thread

@@ -3,16 +3,43 @@
 // end-to-end layer simulation.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cmath>
+
 #include "arch/link_budget.h"
 #include "arch/prebuilt.h"
 #include "core/simulator.h"
 #include "core/workload_set.h"
 #include "layout/floorplan.h"
+#include "util/thread_pool.h"
 #include "workload/gemm.h"
 
 namespace {
 
 using namespace simphony;
+
+/// parallel_for scheduling counters accumulated since `before` (see
+/// docs/performance.md): per-iteration steal/chunk traffic plus an
+/// items/sec rate the thread-scaling harness compares across -j values.
+void set_scheduling_counters(benchmark::State& state,
+                             const util::ThreadPool::BulkStats& before) {
+  const util::ThreadPool::BulkStats after =
+      util::ThreadPool::global_bulk_stats();
+  const double iters = static_cast<double>(state.iterations());
+  const double dispatches =
+      static_cast<double>(after.dispatches - before.dispatches);
+  state.counters["pf_items"] =
+      static_cast<double>(after.items - before.items) / iters;
+  state.counters["pf_steals"] =
+      static_cast<double>(after.steals - before.steals) / iters;
+  state.counters["pf_tasks_per_dispatch"] =
+      dispatches > 0
+          ? static_cast<double>(after.tasks - before.tasks) / dispatches
+          : 0.0;
+  state.counters["pf_items_per_s"] =
+      benchmark::Counter(static_cast<double>(after.items - before.items),
+                         benchmark::Counter::kIsRate);
+}
 
 arch::SubArchitecture make_tempo() {
   static devlib::DeviceLibrary lib = devlib::DeviceLibrary::standard();
@@ -163,8 +190,11 @@ void BM_BatchWarmCostCache(benchmark::State& state) {
 BENCHMARK(BM_BatchWarmCostCache)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
-/// The same warm batch with per-model parallelism (0 = all hardware
-/// threads): how much wall-clock the pool buys on top of amortization.
+/// The same warm batch with per-model parallelism.  Args are
+/// {models, num_threads} with the engine-wide thread convention
+/// (1 = serial baseline, 0 = all hardware threads), so the thread-scaling
+/// harness (scripts/check_bench_scaling.py) can ratio the {8,0} row
+/// against {8,1} on the same binary.
 void BM_BatchWarmParallel(benchmark::State& state) {
   const devlib::DeviceLibrary lib = devlib::DeviceLibrary::standard();
   const size_t k = static_cast<size_t>(state.range(0));
@@ -175,16 +205,57 @@ void BM_BatchWarmParallel(benchmark::State& state) {
   system.add_subarch(arch::SubArchitecture(arch::tempo_template(), p, lib));
   const core::Simulator sim(std::move(system));
   core::BatchOptions batch_options;
-  batch_options.num_threads = 0;
+  batch_options.num_threads = static_cast<int>(state.range(1));
+  const util::ThreadPool::BulkStats before =
+      util::ThreadPool::global_bulk_stats();
   for (auto _ : state) {
     benchmark::DoNotOptimize(sim.simulate_batch(set, mapper, batch_options));
   }
+  set_scheduling_counters(state, before);
   state.counters["models"] = static_cast<double>(k);
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(k));
 }
-BENCHMARK(BM_BatchWarmParallel)->Arg(4)->Arg(8)
-    ->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_BatchWarmParallel)
+    ->Args({4, 0})
+    ->Args({8, 0})
+    ->Args({8, 1})  // serial baseline for the thread-scaling check
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/// Scheduler-only scaling probe: parallel_for over a fixed amount of
+/// pure CPU work (no simulator, no allocation), so the measured speedup
+/// at T threads is an upper bound for what any simulator loop can get on
+/// this machine — and the steal counter shows the balancing traffic.
+/// Arg is the engine-wide thread convention (1 = serial, 0 = all).
+void BM_ParallelForScaling(benchmark::State& state) {
+  constexpr size_t kItems = 1024;
+  constexpr int kSpin = 2000;
+  util::ThreadPool pool(
+      util::ThreadPool::workers_for(static_cast<int>(state.range(0)),
+                                    kItems));
+  std::atomic<double> sink{0.0};
+  const util::ThreadPool::BulkStats before =
+      util::ThreadPool::global_bulk_stats();
+  for (auto _ : state) {
+    std::atomic<double>* acc = &sink;
+    pool.parallel_for(kItems, [acc](size_t i) {
+      double x = static_cast<double>(i % 97) + 1.0;
+      for (int r = 0; r < kSpin; ++r) x = std::sqrt(x * x + 1.0);
+      acc->store(x, std::memory_order_relaxed);
+    });
+    benchmark::DoNotOptimize(sink);
+  }
+  set_scheduling_counters(state, before);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kItems));
+}
+BENCHMARK(BM_ParallelForScaling)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(0)
+    ->UseRealTime();
 
 void BM_VGG8FullModel(benchmark::State& state) {
   devlib::DeviceLibrary lib = devlib::DeviceLibrary::standard();

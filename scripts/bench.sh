@@ -7,6 +7,13 @@
 # bench_dse records BM_ExploreBatched vs BM_ExploreSeparatePerModel —
 # the warm-vs-cold per-model trajectory of docs/batch.md.
 #
+# Thread-scaling counters (docs/performance.md) also land in the JSON:
+# BM_ParallelForScaling / BM_ExploreParallel / BM_BatchWarmParallel carry
+# pf_items_per_s, pf_steals and pf_tasks_per_dispatch per thread count,
+# and bench_results/host.json records the machine they were measured on
+# (scripts/check_bench_scaling.py compares the serial and parallel rows
+# against the committed bench_baselines/scaling.json expectations).
+#
 # usage: scripts/bench.sh [build-dir]   (default: build)
 set -euo pipefail
 
@@ -22,12 +29,36 @@ if [[ ! -x "$BUILD_DIR/bench_perf" || ! -x "$BUILD_DIR/bench_dse" ||
 fi
 
 mkdir -p "$OUT_DIR"
+
+# Host snapshot: scaling numbers are meaningless without the core count
+# they were measured on.
+NPROC="$(nproc)"
+cat > "$OUT_DIR/host.json" <<EOF
+{
+  "nproc": $NPROC,
+  "uname": "$(uname -srm)",
+  "date_utc": "$(date -u +%Y-%m-%dT%H:%M:%SZ)",
+  "bench_repetitions": ${BENCH_REPETITIONS:-1}
+}
+EOF
+echo "== host: $NPROC cpu(s) -> $OUT_DIR/host.json"
+
+# BENCH_FILTER (optional, a google-benchmark regex) restricts every
+# binary to matching benchmarks — the CI bench-scaling job uses it to run
+# only the serial-vs-parallel pairs the scaling gate compares.
+FILTER_ARGS=()
+if [[ -n "${BENCH_FILTER:-}" ]]; then
+  FILTER_ARGS=(--benchmark_filter="$BENCH_FILTER")
+  echo "== filter: $BENCH_FILTER"
+fi
+
 for bench in bench_perf bench_dse bench_mapping; do
   out="$OUT_DIR/$bench.json"
   echo "== $bench -> $out"
   "$BUILD_DIR/$bench" \
     --benchmark_out="$out" \
     --benchmark_out_format=json \
-    --benchmark_repetitions="${BENCH_REPETITIONS:-1}"
+    --benchmark_repetitions="${BENCH_REPETITIONS:-1}" \
+    "${FILTER_ARGS[@]}"
 done
 echo "done: $(ls "$OUT_DIR")"

@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Gate the thread-scaling of the parallel hot paths against a baseline.
+
+Reads google-benchmark JSON emitted by scripts/bench.sh under
+bench_results/ and the committed expectations in
+bench_baselines/scaling.json, computes the serial/parallel real-time
+speedup of each configured benchmark pair, and fails (exit 1) when any
+measured speedup falls below the baseline's min_speedup for the
+measuring machine's cpu tier — i.e. a >20% throughput regression
+against the committed expectation.
+
+Machines with fewer cores than the smallest baseline tier (notably
+1-core dev containers) are skipped with a notice: parallel speedup
+cannot be measured there.
+
+usage: scripts/check_bench_scaling.py [--results bench_results]
+                                      [--baseline bench_baselines/scaling.json]
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def load_json(path: pathlib.Path):
+    try:
+        with path.open() as f:
+            return json.load(f)
+    except FileNotFoundError:
+        sys.exit(f"error: {path} not found — run scripts/bench.sh first")
+    except json.JSONDecodeError as e:
+        sys.exit(f"error: {path} is not valid JSON: {e}")
+
+
+def real_time_of(doc, name: str, path: pathlib.Path) -> float:
+    """Per-iteration real time of the named benchmark, normalized to ns.
+
+    With --benchmark_repetitions > 1 google-benchmark appends aggregate
+    rows; prefer the mean aggregate, else the plain iteration row.
+    """
+    unit_ns = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+    iteration = None
+    for bench in doc.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            if bench.get("name") == f"{name}_mean":
+                return bench["real_time"] * unit_ns[bench.get("time_unit", "ns")]
+            continue
+        if bench.get("name") == name and iteration is None:
+            iteration = bench["real_time"] * unit_ns[bench.get("time_unit", "ns")]
+    if iteration is None:
+        sys.exit(f"error: benchmark '{name}' not found in {path}")
+    return iteration
+
+
+def pick_tier(tiers: dict, nproc: int):
+    """Largest tier key <= nproc, or None when nproc is below all tiers."""
+    eligible = [int(k) for k in tiers if int(k) <= nproc]
+    return str(max(eligible)) if eligible else None
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--results", default="bench_results",
+                        type=pathlib.Path)
+    parser.add_argument("--baseline",
+                        default=pathlib.Path("bench_baselines/scaling.json"),
+                        type=pathlib.Path)
+    args = parser.parse_args()
+
+    baseline = load_json(args.baseline)
+    host = load_json(args.results / "host.json")
+    nproc = int(host["nproc"])
+    print(f"checking thread scaling on a {nproc}-cpu host "
+          f"({host.get('uname', '?')})")
+
+    failures = []
+    skipped = 0
+    docs = {}
+    for check in baseline["checks"]:
+        path = args.results / check["file"]
+        if path not in docs:
+            docs[path] = load_json(path)
+        serial_ns = real_time_of(docs[path], check["serial"], path)
+        parallel_ns = real_time_of(docs[path], check["parallel"], path)
+        speedup = serial_ns / parallel_ns if parallel_ns > 0 else 0.0
+
+        tier = pick_tier(check["min_speedup"], nproc)
+        label = f"{check['serial']} vs {check['parallel']}"
+        if tier is None:
+            print(f"  SKIP {label}: {nproc} cpu(s) is below every baseline "
+                  f"tier (measured {speedup:.2f}x)")
+            skipped += 1
+            continue
+        minimum = float(check["min_speedup"][tier])
+        expected = float(check.get("expected_speedup", {}).get(tier, minimum))
+        verdict = "ok" if speedup >= minimum else "FAIL"
+        print(f"  {verdict:4} {label}: {speedup:.2f}x "
+              f"(tier {tier}cpu: expected ~{expected:.2f}x, "
+              f"minimum {minimum:.2f}x)")
+        if speedup < minimum:
+            failures.append(
+                f"{label}: {speedup:.2f}x < {minimum:.2f}x "
+                f"(>20% below the committed {expected:.2f}x expectation)")
+
+    if failures:
+        print("\nthread-scaling regression:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    if skipped == len(baseline["checks"]):
+        print("all checks skipped (not enough cores) — nothing gated")
+    else:
+        print("thread scaling within the committed baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

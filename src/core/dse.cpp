@@ -6,7 +6,6 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
-#include <future>
 #include <limits>
 #include <map>
 #include <memory>
@@ -21,6 +20,7 @@
 #include <unistd.h>
 #endif
 
+#include "core/fingerprint.h"
 #include "util/binio.h"
 #include "util/hash.h"
 #include "util/rng.h"
@@ -134,21 +134,24 @@ Simulator make_point_simulator(
 
 /// Runs one model's GEMMs on a point's Simulator, applying the swept bit
 /// axes (only an explicitly swept axis overrides the per-layer operand
-/// resolutions the model carries).
-ModelReport simulate_point_model(
+/// resolutions the model carries).  Totals-only: the DSE objective needs
+/// just the aggregate figures, so the per-layer reports are never
+/// materialized (simulate_gemms_totals accumulates straight off the cost
+/// matrix, bit-identically to the full-report path).  `base_gemm_keys`
+/// (optional) are precomputed fingerprints of `base_gemms`; they are only
+/// consulted when no bit axis rewrites the GEMMs.
+ModelTotals simulate_point_model(
     const Simulator& sim, const std::vector<workload::GemmWorkload>& base_gemms,
-    const std::string& model_name, const arch::ArchParams& params,
-    bool override_input_bits, bool override_output_bits,
-    const Mapper* mapper) {
-  auto simulate = [&](const std::vector<workload::GemmWorkload>& gemms) {
-    if (mapper != nullptr) {
-      return sim.simulate_gemms(gemms, *mapper, model_name);
-    }
-    return sim.simulate_gemms(gemms, MappingConfig(0), model_name);
-  };
+    const arch::ArchParams& params, bool override_input_bits,
+    bool override_output_bits, const Mapper* mapper,
+    const uint64_t* base_gemm_keys) {
+  const RuleMapper subarch0{MappingConfig(0)};  // the pre-mapper behavior
+  const Mapper& chosen_mapper =
+      mapper != nullptr ? *mapper : static_cast<const Mapper&>(subarch0);
 
   if (!override_input_bits && !override_output_bits) {
-    return simulate(base_gemms);
+    return sim.simulate_gemms_totals(base_gemms, chosen_mapper, nullptr,
+                                     base_gemm_keys);
   }
   std::vector<workload::GemmWorkload> gemms = base_gemms;
   for (auto& gemm : gemms) {
@@ -158,7 +161,8 @@ ModelReport simulate_point_model(
     }
     if (override_output_bits) gemm.output_bits = params.output_bits;
   }
-  return simulate(gemms);
+  // The rewrite changes the GEMMs' fingerprints: recompute, never reuse.
+  return sim.simulate_gemms_totals(gemms, chosen_mapper, nullptr, nullptr);
 }
 
 /// Costs one parameter point.  All heavyweight inputs (templates, library,
@@ -173,22 +177,22 @@ DsePoint evaluate_point(
         ptc_templates,
     const devlib::DeviceLibrary& lib,
     const std::vector<workload::GemmWorkload>& base_gemms,
-    const std::string& model_name, const arch::ArchParams& params,
-    bool override_input_bits, bool override_output_bits,
-    const Mapper* mapper, CostMatrixCache* cost_cache) {
+    const arch::ArchParams& params, bool override_input_bits,
+    bool override_output_bits, const Mapper* mapper,
+    CostMatrixCache* cost_cache, const uint64_t* base_gemm_keys) {
   const Simulator sim =
       make_point_simulator(ptc_templates, lib, params, cost_cache);
-  const ModelReport report =
-      simulate_point_model(sim, base_gemms, model_name, params,
-                           override_input_bits, override_output_bits, mapper);
+  const ModelTotals totals =
+      simulate_point_model(sim, base_gemms, params, override_input_bits,
+                           override_output_bits, mapper, base_gemm_keys);
 
   DsePoint point;
   point.params = params;
-  point.energy_pJ = report.total_energy.total_pJ();
-  point.latency_ns = report.total_runtime_ns;
-  point.area_mm2 = report.total_area_mm2();
-  point.power_W = report.average_power_W();
-  point.tops = report.tops();
+  point.energy_pJ = totals.energy_pJ();
+  point.latency_ns = totals.runtime_ns;
+  point.area_mm2 = totals.total_area_mm2();
+  point.power_W = totals.average_power_W();
+  point.tops = totals.tops();
   return point;
 }
 
@@ -220,21 +224,21 @@ DsePoint evaluate_batch_point(
   std::vector<double> tops;
   for (size_t i = 0; i < workloads.size(); ++i) {
     const WorkloadSet::Entry& entry = workloads.at(i);
-    const ModelReport report =
-        simulate_point_model(sim, entry.gemms, entry.name, params,
-                             override_input_bits, override_output_bits,
-                             mapper);
+    const ModelTotals totals =
+        simulate_point_model(sim, entry.gemms, params, override_input_bits,
+                             override_output_bits, mapper,
+                             entry.gemm_fingerprints.data());
     DseModelMetrics metrics;
     metrics.model = entry.name;
     metrics.weight = entry.weight;
-    metrics.energy_pJ = report.total_energy.total_pJ();
-    metrics.latency_ns = report.total_runtime_ns;
-    metrics.area_mm2 = report.total_area_mm2();
-    metrics.power_W = report.average_power_W();
-    metrics.tops = report.tops();
+    metrics.energy_pJ = totals.energy_pJ();
+    metrics.latency_ns = totals.runtime_ns;
+    metrics.area_mm2 = totals.total_area_mm2();
+    metrics.power_W = totals.average_power_W();
+    metrics.tops = totals.tops();
     energies.push_back(metrics.energy_pJ);
     latencies.push_back(metrics.latency_ns);
-    macs.push_back(report.total_macs());
+    macs.push_back(totals.macs);
     weights.push_back(entry.weight);
     powers.push_back(metrics.power_W);
     tops.push_back(metrics.tops);
@@ -985,42 +989,23 @@ DseResult run_engine(
     }
   };
 
-  // Evaluate the unique points.  Results are written to indexed slots, so
-  // the assembled order below is the grid order no matter which worker
-  // finishes first; a given point runs the same instruction sequence on
-  // any thread, so results are bit-identical across thread counts.
+  // Evaluate the unique points with one chunked parallel_for (the caller
+  // participates; workers steal chunks of points as their own run dry).
+  // Results are written to indexed slots, so the assembled order below is
+  // the grid order no matter which participant finishes first; a given
+  // point runs the same instruction sequence on any thread, so results
+  // are bit-identical across thread counts.  One failed point fails the
+  // whole sweep: no new chunks are claimed after a throw (a throwing
+  // progress callback also aborts) and the lowest failing point's
+  // exception reaches the caller.
   std::vector<DsePoint> evaluated(unique_grid_index.size());
   {
-    // Everything the tasks touch must outlive the pool: workers are only
-    // joined by the pool's destructor, so `failed` (and `pending`) have to
-    // be declared before it to survive an exception unwinding this block.
-    std::atomic<bool> failed{false};
-    std::vector<std::future<void>> pending;
     util::ThreadPool pool(pool_threads);
-    pending.reserve(unique_grid_index.size());
-    for (size_t u = 0; u < unique_grid_index.size(); ++u) {
-      // One failed point fails the whole sweep: stop feeding the pool (and,
-      // in inline mode, stop evaluating) as soon as any task has thrown.
-      if (failed.load(std::memory_order_relaxed)) break;
-      pending.push_back(pool.submit([&, u] {
-        try {
-          evaluated[u] = evaluate(grid[unique_grid_index[u]]);
-          evaluated[u].index = canonical[unique_grid_index[u]];
-          report_progress(evaluated[u]);  // a throwing callback also aborts
-        } catch (...) {
-          failed.store(true, std::memory_order_relaxed);
-          throw;  // lands in this task's future
-        }
-      }));
-    }
-    try {
-      for (auto& f : pending) f.get();  // rethrows worker exceptions
-    } catch (...) {
-      // Drop everything still queued so the error reaches the caller now,
-      // not after the remaining grid.
-      pool.cancel();
-      throw;
-    }
+    pool.parallel_for(unique_grid_index.size(), [&](size_t u) {
+      evaluated[u] = evaluate(grid[unique_grid_index[u]]);
+      evaluated[u].index = canonical[unique_grid_index[u]];
+      report_progress(evaluated[u]);
+    });
   }
 
   DseResult result;
@@ -1068,12 +1053,23 @@ DseResult explore(const std::vector<arch::PtcTemplate>& ptc_templates,
       workload::extract_gemms(model);
   const bool override_input_bits = !space.input_bits.empty();
   const bool override_output_bits = !space.output_bits.empty();
+  // With no swept bit axis every point costs the identical GEMMs, so the
+  // workload-side cache fingerprints (which content-hash the weight
+  // tensors) are computed once for the whole sweep instead of per point.
+  std::vector<uint64_t> base_keys;
+  if (options.cost_cache != nullptr && !override_input_bits &&
+      !override_output_bits) {
+    base_keys.reserve(base_gemms.size());
+    for (const auto& gemm : base_gemms) {
+      base_keys.push_back(gemm_fingerprint(gemm));
+    }
+  }
   return run_engine(
       space, options, progress, [&](const arch::ArchParams& params) {
-        return evaluate_point(shared_templates, lib, base_gemms, model.name,
-                              params, override_input_bits,
-                              override_output_bits, options.mapper,
-                              options.cost_cache);
+        return evaluate_point(shared_templates, lib, base_gemms, params,
+                              override_input_bits, override_output_bits,
+                              options.mapper, options.cost_cache,
+                              base_keys.empty() ? nullptr : base_keys.data());
       });
 }
 

@@ -1,0 +1,22 @@
+// Canonical workload-side fingerprint of a GEMM (the CostMatrixCache key
+// half that hashes shapes, bit widths, flags, and the weight tensor's
+// *content* — the energy model is data-aware, so two layers share a cost
+// entry only when their weights match bit for bit).
+//
+// Declared here, separately from the Simulator, so WorkloadSet::add can
+// compute each model's fingerprints once per sweep instead of once per
+// design point: content-hashing the weight tensors is the expensive part
+// of cost-matrix assembly on the warm-cache path.  The definition lives
+// in simulator.cpp next to the hardware-side half; persisted cost caches
+// (docs/persistence.md) depend on the produced values never changing.
+#pragma once
+
+#include <cstdint>
+
+#include "workload/gemm.h"
+
+namespace simphony::core {
+
+[[nodiscard]] uint64_t gemm_fingerprint(const workload::GemmWorkload& gemm);
+
+}  // namespace simphony::core

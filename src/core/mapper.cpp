@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
-#include <future>
 #include <stdexcept>
 
+#include "util/arena.h"
 #include "util/thread_pool.h"
 
 namespace simphony::core {
@@ -14,25 +14,21 @@ namespace {
 
 constexpr double kInfeasible = std::numeric_limits<double>::infinity();
 
-/// Per-layer objective terms of one feasible cost-matrix entry.
-struct PairCost {
-  double energy_pJ = 0.0;
-  double latency_ns = 0.0;
-};
-
-PairCost pair_cost(const CostMatrix::Entry& entry) {
-  return {entry.report.energy_pJ(), entry.report.runtime_ns()};
-}
-
 /// Throws when any layer has no feasible sub-arch, aggregating *every*
 /// stuck layer's per-sub-arch diagnostics into one message — a model with
 /// several unmappable layers reports them all at once instead of only the
-/// first one found.
+/// first one found.  Allocation-free on the happy path (it sits on the
+/// per-design-point critical path of every search strategy).
 void require_mappable(const MappingProblem& problem) {
   const CostMatrix& costs = *problem.costs;
   std::string message;
   for (size_t g = 0; g < costs.num_gemms(); ++g) {
-    if (!costs.feasible_subarchs(g).empty()) continue;
+    const std::uint8_t* feasible = costs.feasible_row(g);
+    bool any = false;
+    for (size_t s = 0; s < costs.num_subarchs() && !any; ++s) {
+      any = feasible[s] != 0;
+    }
+    if (any) continue;
     if (!message.empty()) message += "\n";
     message += "no sub-architecture can run GEMM '" +
                (*problem.gemms)[g].name + "' (layer " + std::to_string(g) +
@@ -105,33 +101,67 @@ double objective_value(MappingObjective objective, double energy_pJ,
 CostMatrix::CostMatrix(size_t num_gemms, size_t num_subarchs)
     : num_gemms_(num_gemms),
       num_subarchs_(num_subarchs),
-      entries_(num_gemms * num_subarchs) {}
+      entries_(num_gemms * num_subarchs),
+      feasible_(num_gemms * num_subarchs, 0),
+      energy_pJ_(num_gemms * num_subarchs, kInfeasible),
+      latency_ns_(num_gemms * num_subarchs, kInfeasible) {}
 
 const CostMatrix::Entry& CostMatrix::at(size_t gemm, size_t subarch) const {
   if (gemm >= num_gemms_ || subarch >= num_subarchs_) {
     throw std::out_of_range("CostMatrix::at(" + std::to_string(gemm) + ", " +
                             std::to_string(subarch) + ") out of range");
   }
-  return entries_[gemm * num_subarchs_ + subarch];
+  static const Entry empty;
+  const auto& entry = entries_[gemm * num_subarchs_ + subarch];
+  return entry != nullptr ? *entry : empty;
 }
 
-CostMatrix::Entry& CostMatrix::at(size_t gemm, size_t subarch) {
-  return const_cast<Entry&>(
-      static_cast<const CostMatrix&>(*this).at(gemm, subarch));
+void CostMatrix::set_soa(size_t index, const Entry& entry) {
+  feasible_[index] = entry.feasible ? 1 : 0;
+  // The scalar objective terms are extracted once at store time (the
+  // search loops would otherwise re-sum the energy breakdown per read).
+  energy_pJ_[index] = entry.feasible ? entry.report.energy_pJ() : kInfeasible;
+  latency_ns_[index] =
+      entry.feasible ? entry.report.runtime_ns() : kInfeasible;
+}
+
+void CostMatrix::set(size_t gemm, size_t subarch, Entry entry) {
+  set(gemm, subarch,
+      std::make_shared<const Entry>(std::move(entry)));
+}
+
+void CostMatrix::set(size_t gemm, size_t subarch,
+                     std::shared_ptr<const Entry> entry) {
+  if (gemm >= num_gemms_ || subarch >= num_subarchs_) {
+    throw std::out_of_range("CostMatrix::set(" + std::to_string(gemm) + ", " +
+                            std::to_string(subarch) + ") out of range");
+  }
+  const size_t index = gemm * num_subarchs_ + subarch;
+  set_soa(index, *entry);
+  entries_[index] = std::move(entry);
 }
 
 double CostMatrix::cost(size_t gemm, size_t subarch,
                         MappingObjective objective) const {
-  const Entry& entry = at(gemm, subarch);
-  if (!entry.feasible) return kInfeasible;
-  const PairCost c = pair_cost(entry);
-  return objective_value(objective, c.energy_pJ, c.latency_ns);
+  if (gemm >= num_gemms_ || subarch >= num_subarchs_) {
+    throw std::out_of_range("CostMatrix::cost(" + std::to_string(gemm) +
+                            ", " + std::to_string(subarch) +
+                            ") out of range");
+  }
+  const size_t index = gemm * num_subarchs_ + subarch;
+  if (feasible_[index] == 0) return kInfeasible;
+  return objective_value(objective, energy_pJ_[index], latency_ns_[index]);
 }
 
 std::vector<size_t> CostMatrix::feasible_subarchs(size_t gemm) const {
+  if (gemm >= num_gemms_) {
+    throw std::out_of_range("CostMatrix::feasible_subarchs(" +
+                            std::to_string(gemm) + ") out of range");
+  }
   std::vector<size_t> out;
+  const std::uint8_t* row = feasible_row(gemm);
   for (size_t s = 0; s < num_subarchs_; ++s) {
-    if (at(gemm, s).feasible) out.push_back(s);
+    if (row[s] != 0) out.push_back(s);
   }
   return out;
 }
@@ -214,24 +244,29 @@ Mapping GreedyMapper::map(const MappingProblem& problem) const {
   require_mappable(problem);
   const CostMatrix& costs = *problem.costs;
 
+  const size_t S = costs.num_subarchs();
   std::vector<size_t> assignment;
   assignment.reserve(costs.num_gemms());
   double energy = 0.0;
   double latency = 0.0;
   for (size_t g = 0; g < costs.num_gemms(); ++g) {
-    size_t best = costs.num_subarchs();
+    const std::uint8_t* feasible = costs.feasible_row(g);
+    const double* row_energy = costs.energy_row(g);
+    const double* row_latency = costs.latency_row(g);
+    size_t best = S;
     double best_cost = kInfeasible;
-    for (size_t s = 0; s < costs.num_subarchs(); ++s) {
-      const double c = costs.cost(g, s, objective_);
+    for (size_t s = 0; s < S; ++s) {
+      if (feasible[s] == 0) continue;
+      const double c =
+          objective_value(objective_, row_energy[s], row_latency[s]);
       if (c < best_cost) {
         best_cost = c;
         best = s;
       }
     }
     // require_mappable guarantees a feasible sub-arch per layer.
-    const PairCost c = pair_cost(costs.at(g, best));
-    energy += c.energy_pJ;
-    latency += c.latency_ns;
+    energy += row_energy[best];
+    latency += row_latency[best];
     assignment.push_back(best);
   }
   return finalize(objective_, std::move(assignment), energy, latency);
@@ -241,18 +276,12 @@ Mapping GreedyMapper::map(const MappingProblem& problem) const {
 
 namespace {
 
-/// A beam state: an assignment prefix with its objective-term sums.
-struct BeamState {
-  std::vector<size_t> assignment;
-  double energy_pJ = 0.0;
-  double latency_ns = 0.0;
-};
-
-/// One expansion of a state by one sub-arch choice.  `valid` is false for
-/// infeasible pairs (and for padding slots of the indexed write array).
+/// One expansion of a beam state by one sub-arch choice.  `valid` is false
+/// for infeasible pairs.  Trivially destructible by design: candidate
+/// buffers live in the thread-local scratch arena.
 struct Candidate {
   bool valid = false;
-  size_t state = 0;    // index into the previous beam
+  size_t state = 0;    // row index into the previous beam
   size_t subarch = 0;  // the appended choice
   double energy_pJ = 0.0;
   double latency_ns = 0.0;
@@ -260,17 +289,19 @@ struct Candidate {
 };
 
 /// Strict total order: score, then the candidate's full assignment
-/// (prefix, then appended sub-arch) lexicographically.  Distinct
-/// candidates always differ in assignment, so the order — and therefore
-/// the pruned beam — is unique regardless of evaluation or sort order.
+/// (prefix, then appended sub-arch) lexicographically.  Prefixes are rows
+/// of `stride` elements in the flat beam-assignment array, all
+/// `prefix_len` long at a given layer.  Distinct candidates always differ
+/// in assignment, so the order — and therefore the pruned beam — is
+/// unique regardless of evaluation or sort order.
 bool candidate_less(const Candidate& a, const Candidate& b,
-                    const std::vector<BeamState>& states) {
+                    const size_t* assignments, size_t prefix_len,
+                    size_t stride) {
   if (a.score != b.score) return a.score < b.score;
-  const auto& pa = states[a.state].assignment;
-  const auto& pb = states[b.state].assignment;
-  if (pa != pb) {
-    return std::lexicographical_compare(pa.begin(), pa.end(), pb.begin(),
-                                        pb.end());
+  const size_t* pa = assignments + a.state * stride;
+  const size_t* pb = assignments + b.state * stride;
+  for (size_t i = 0; i < prefix_len; ++i) {
+    if (pa[i] != pb[i]) return pa[i] < pb[i];
   }
   return a.subarch < b.subarch;
 }
@@ -292,78 +323,95 @@ Mapping BeamMapper::map(const MappingProblem& problem) const {
   require_costs(problem, "BeamMapper");
   require_mappable(problem);
   const CostMatrix& costs = *problem.costs;
+  const size_t n = costs.num_gemms();
   const size_t S = costs.num_subarchs();
 
   // Engine-wide thread-count convention (0 = one worker per hardware
-  // thread, 1 = serial inline execution).
-  util::ThreadPool pool(util::ThreadPool::workers_for(
-      num_threads_, std::numeric_limits<size_t>::max()));
+  // thread, 1 = serial inline execution); never more workers than beam
+  // states to expand.
+  util::ThreadPool pool(util::ThreadPool::workers_for(num_threads_, width_));
 
-  std::vector<BeamState> beam(1);  // the empty prefix
-  std::vector<Candidate> candidates;
-  std::vector<size_t> order;
-  for (size_t g = 0; g < costs.num_gemms(); ++g) {
-    // Expand every beam state by every sub-arch choice.  Each task owns an
-    // indexed slot range, so the candidate array is identical for any
-    // thread count; scoring a pair is pure arithmetic on the cost matrix.
-    candidates.assign(beam.size() * S, Candidate{});
-    {
-      std::vector<std::future<void>> pending;
-      pending.reserve(beam.size());
-      for (size_t b = 0; b < beam.size(); ++b) {
-        pending.push_back(pool.submit([&, b, g] {
-          for (size_t s = 0; s < S; ++s) {
-            const CostMatrix::Entry& entry = costs.at(g, s);
-            if (!entry.feasible) continue;
-            const PairCost c = pair_cost(entry);
-            Candidate& cand = candidates[b * S + s];
-            cand.valid = true;
-            cand.state = b;
-            cand.subarch = s;
-            cand.energy_pJ = beam[b].energy_pJ + c.energy_pJ;
-            cand.latency_ns = beam[b].latency_ns + c.latency_ns;
-            cand.score =
-                objective_value(objective_, cand.energy_pJ, cand.latency_ns);
-          }
-        }));
+  // The whole search state lives in the thread-local scratch arena as flat
+  // rows — beam assignments are `width_` rows of `n` slots, so a layer
+  // transition is pointer swaps plus row copies, with zero steady-state
+  // heap traffic.  Nothing allocated here escapes the scope: the winning
+  // row is copied into the Mapping before return.
+  util::Arena& arena = util::thread_scratch();
+  util::ArenaScope scope(arena);
+  size_t* cur_assign = arena.allocate_array<size_t>(width_ * n);
+  size_t* next_assign = arena.allocate_array<size_t>(width_ * n);
+  double* cur_energy = arena.allocate_array<double>(width_);
+  double* cur_latency = arena.allocate_array<double>(width_);
+  double* next_energy = arena.allocate_array<double>(width_);
+  double* next_latency = arena.allocate_array<double>(width_);
+  Candidate* candidates = arena.allocate_array<Candidate>(width_ * S);
+  size_t* order = arena.allocate_array<size_t>(width_ * S);
+
+  size_t beam_size = 1;  // the empty prefix
+  cur_energy[0] = 0.0;
+  cur_latency[0] = 0.0;
+
+  for (size_t g = 0; g < n; ++g) {
+    const std::uint8_t* feasible = costs.feasible_row(g);
+    const double* row_energy = costs.energy_row(g);
+    const double* row_latency = costs.latency_row(g);
+
+    // Expand every beam state by every sub-arch choice.  Each state owns
+    // an indexed slot range of the candidate array (every slot written,
+    // valid or not), so the array contents are identical for any thread
+    // count; scoring a pair is pure arithmetic on the SoA cost rows.
+    pool.parallel_for(beam_size, [&](size_t b) {
+      for (size_t s = 0; s < S; ++s) {
+        Candidate& cand = candidates[b * S + s];
+        if (feasible[s] == 0) {
+          cand = Candidate{};
+          continue;
+        }
+        cand.valid = true;
+        cand.state = b;
+        cand.subarch = s;
+        cand.energy_pJ = cur_energy[b] + row_energy[s];
+        cand.latency_ns = cur_latency[b] + row_latency[s];
+        cand.score =
+            objective_value(objective_, cand.energy_pJ, cand.latency_ns);
       }
-      for (auto& f : pending) f.get();
-    }
+    });
 
-    order.clear();
-    for (size_t i = 0; i < candidates.size(); ++i) {
-      if (candidates[i].valid) order.push_back(i);
+    size_t num_valid = 0;
+    for (size_t i = 0; i < beam_size * S; ++i) {
+      if (candidates[i].valid) order[num_valid++] = i;
     }
-    if (order.empty()) {
+    if (num_valid == 0) {
       // Unreachable: require_mappable guarantees every layer expands at
       // least one candidate from a non-empty beam.
       throw std::logic_error("BeamMapper: beam emptied at layer " +
                              std::to_string(g));
     }
-    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-      return candidate_less(candidates[a], candidates[b], beam);
+    std::sort(order, order + num_valid, [&](size_t a, size_t b) {
+      return candidate_less(candidates[a], candidates[b], cur_assign, g, n);
     });
-    if (order.size() > width_) order.resize(width_);
+    const size_t next_size = std::min(num_valid, width_);
 
-    std::vector<BeamState> next;
-    next.reserve(order.size());
-    for (size_t idx : order) {
-      const Candidate& cand = candidates[idx];
-      BeamState state;
-      state.assignment = beam[cand.state].assignment;
-      state.assignment.push_back(cand.subarch);
-      state.energy_pJ = cand.energy_pJ;
-      state.latency_ns = cand.latency_ns;
-      next.push_back(std::move(state));
+    for (size_t r = 0; r < next_size; ++r) {
+      const Candidate& cand = candidates[order[r]];
+      const size_t* src = cur_assign + cand.state * n;
+      size_t* dst = next_assign + r * n;
+      std::copy(src, src + g, dst);
+      dst[g] = cand.subarch;
+      next_energy[r] = cand.energy_pJ;
+      next_latency[r] = cand.latency_ns;
     }
-    beam = std::move(next);
+    std::swap(cur_assign, next_assign);
+    std::swap(cur_energy, next_energy);
+    std::swap(cur_latency, next_latency);
+    beam_size = next_size;
   }
 
-  // The beam is sorted by (score, lexicographic assignment); front() is
-  // the deterministic winner.  (With no GEMMs the empty prefix survives.)
-  const BeamState& best = beam.front();
-  return finalize(objective_, best.assignment, best.energy_pJ,
-                  best.latency_ns);
+  // The beam is sorted by (score, lexicographic assignment); row 0 is the
+  // deterministic winner.  (With no GEMMs the empty prefix survives.)
+  return finalize(objective_,
+                  std::vector<size_t>(cur_assign, cur_assign + n),
+                  cur_energy[0], cur_latency[0]);
 }
 
 // ----------------------------------------------------- BranchBoundMapper
@@ -473,12 +521,13 @@ void bnb_dfs(const BnbContext& ctx, size_t depth, double energy,
     }
     return;
   }
+  const std::uint8_t* feasible = ctx.costs->feasible_row(depth);
+  const double* row_energy = ctx.costs->energy_row(depth);
+  const double* row_latency = ctx.costs->latency_row(depth);
   for (size_t s = 0; s < ctx.S; ++s) {
-    const CostMatrix::Entry& entry = ctx.costs->at(depth, s);
-    if (!entry.feasible) continue;
-    const PairCost c = pair_cost(entry);
+    if (feasible[s] == 0) continue;
     path.push_back(s);
-    bnb_dfs(ctx, depth + 1, energy + c.energy_pJ, latency + c.latency_ns,
+    bnb_dfs(ctx, depth + 1, energy + row_energy[s], latency + row_latency[s],
             path, local, bound, stats);
     path.pop_back();
   }
@@ -513,14 +562,15 @@ Mapping BranchBoundMapper::map_counted(const MappingProblem& problem,
   ctx.suffix_min_energy.assign(ctx.n + 1, 0.0);
   ctx.suffix_min_latency.assign(ctx.n + 1, 0.0);
   for (size_t g = ctx.n; g > 0; --g) {
+    const std::uint8_t* feasible = costs.feasible_row(g - 1);
+    const double* row_energy = costs.energy_row(g - 1);
+    const double* row_latency = costs.latency_row(g - 1);
     double min_energy = kInfeasible;
     double min_latency = kInfeasible;
     for (size_t s = 0; s < ctx.S; ++s) {
-      const CostMatrix::Entry& entry = costs.at(g - 1, s);
-      if (!entry.feasible) continue;
-      const PairCost c = pair_cost(entry);
-      min_energy = std::min(min_energy, c.energy_pJ);
-      min_latency = std::min(min_latency, c.latency_ns);
+      if (feasible[s] == 0) continue;
+      min_energy = std::min(min_energy, row_energy[s]);
+      min_latency = std::min(min_latency, row_latency[s]);
     }
     ctx.suffix_min_energy[g - 1] = min_energy + ctx.suffix_min_energy[g];
     ctx.suffix_min_latency[g - 1] = min_latency + ctx.suffix_min_latency[g];
@@ -587,18 +637,19 @@ Mapping BranchBoundMapper::map_counted(const MappingProblem& problem,
       SubtreeRoot root;
       std::vector<SubtreeRoot> frontier{root};
       for (size_t level = 0; level < depth; ++level) {
+        const std::uint8_t* feasible = costs.feasible_row(level);
+        const double* row_energy = costs.energy_row(level);
+        const double* row_latency = costs.latency_row(level);
         std::vector<SubtreeRoot> next;
         next.reserve(frontier.size() * ctx.S);
         for (const SubtreeRoot& r : frontier) {
           for (size_t s = 0; s < ctx.S; ++s) {
-            const CostMatrix::Entry& entry = costs.at(level, s);
-            if (!entry.feasible) continue;
-            const PairCost c = pair_cost(entry);
+            if (feasible[s] == 0) continue;
             SubtreeRoot child;
             child.path = r.path;
             child.path.push_back(s);
-            child.energy_pJ = r.energy_pJ + c.energy_pJ;
-            child.latency_ns = r.latency_ns + c.latency_ns;
+            child.energy_pJ = r.energy_pJ + row_energy[s];
+            child.latency_ns = r.latency_ns + row_latency[s];
             next.push_back(std::move(child));
           }
         }
@@ -607,23 +658,19 @@ Mapping BranchBoundMapper::map_counted(const MappingProblem& problem,
       roots = std::move(frontier);
     }
 
-    // Everything the tasks touch must outlive the pool: workers are only
-    // joined by the pool's destructor, so these live before it in case an
-    // exception unwinds this block mid-submission.
+    // One chunked parallel_for over the subtree roots (the caller
+    // participates; participants steal chunks of roots as their own run
+    // dry).  Each root writes only its own indexed slots, so the reduction
+    // below sees the same per-root winners for any thread count.
     std::vector<BnbBest> locals(roots.size());
     std::vector<Stats> task_stats(roots.size());
-    std::vector<std::future<void>> pending;
     util::ThreadPool pool(pool_threads);
-    pending.reserve(roots.size());
-    for (size_t r = 0; r < roots.size(); ++r) {
-      pending.push_back(pool.submit([&, r] {
-        std::vector<size_t> path = roots[r].path;
-        path.reserve(ctx.n);
-        bnb_dfs(ctx, depth, roots[r].energy_pJ, roots[r].latency_ns, path,
-                locals[r], bound, task_stats[r]);
-      }));
-    }
-    for (auto& f : pending) f.get();
+    pool.parallel_for(roots.size(), [&](size_t r) {
+      std::vector<size_t> path = roots[r].path;
+      path.reserve(ctx.n);
+      bnb_dfs(ctx, depth, roots[r].energy_pJ, roots[r].latency_ns, path,
+              locals[r], bound, task_stats[r]);
+    });
 
     for (size_t r = 0; r < roots.size(); ++r) {
       local_stats.visited += task_stats[r].visited;
@@ -680,14 +727,13 @@ Mapping ExhaustiveMapper::map(const MappingProblem& problem) const {
     double latency = 0.0;
     bool feasible = true;
     for (size_t g = 0; g < n && feasible; ++g) {
-      const CostMatrix::Entry& entry = costs.at(g, digits[g]);
-      if (!entry.feasible) {
+      const size_t s = digits[g];
+      if (costs.feasible_row(g)[s] == 0) {
         feasible = false;
         break;
       }
-      const PairCost c = pair_cost(entry);
-      energy += c.energy_pJ;
-      latency += c.latency_ns;
+      energy += costs.energy_row(g)[s];
+      latency += costs.latency_row(g)[s];
     }
     if (feasible) {
       const double score = objective_value(objective_, energy, latency);

@@ -70,6 +70,17 @@ enum class MappingObjective {
 /// search so strategies never re-simulate a pair.  Entries keep the full
 /// LayerReport: after the search the Simulator assembles the ModelReport
 /// from the matrix instead of simulating the chosen pairs again.
+///
+/// Storage is structure-of-arrays: the search inner loops (Greedy's
+/// per-layer argmin, Beam's candidate expansion, branch-and-bound's DFS)
+/// read only (feasible, energy, latency) per pair, so those live in
+/// contiguous parallel arrays — energy_row()/latency_row()/feasible_row()
+/// hand a strategy one cache-dense row per layer.  The full Entry (with
+/// its LayerReport and infeasibility diagnostic) sits behind a shared_ptr
+/// per pair, reachable through the at() view; cache hits alias the
+/// CostMatrixCache's own entry instead of deep-copying it, which is why
+/// a cached entry's report keeps the *donor's* identity fields — the
+/// Simulator rewrites layer/sub-arch identity at report-assembly time.
 class CostMatrix {
  public:
   struct Entry {
@@ -85,8 +96,16 @@ class CostMatrix {
   [[nodiscard]] size_t num_gemms() const { return num_gemms_; }
   [[nodiscard]] size_t num_subarchs() const { return num_subarchs_; }
 
+  /// Full-entry view of one pair (an unset pair reads as a default —
+  /// infeasible — Entry).  Identity fields of a cache-hit entry are the
+  /// donor's; see the class comment.
   [[nodiscard]] const Entry& at(size_t gemm, size_t subarch) const;
-  [[nodiscard]] Entry& at(size_t gemm, size_t subarch);
+
+  /// Stores a locally produced entry.
+  void set(size_t gemm, size_t subarch, Entry entry);
+
+  /// Stores a shared entry (a CostMatrixCache hit) without copying it.
+  void set(size_t gemm, size_t subarch, std::shared_ptr<const Entry> entry);
 
   /// Per-layer objective value of one pair; +infinity when infeasible.
   [[nodiscard]] double cost(size_t gemm, size_t subarch,
@@ -95,10 +114,28 @@ class CostMatrix {
   /// Sub-arch indices able to run a GEMM, ascending.
   [[nodiscard]] std::vector<size_t> feasible_subarchs(size_t gemm) const;
 
+  /// SoA rows of one GEMM, indexed by sub-arch (num_subarchs() wide).
+  /// Energy/latency hold +infinity for infeasible pairs.
+  [[nodiscard]] const std::uint8_t* feasible_row(size_t gemm) const {
+    return feasible_.data() + gemm * num_subarchs_;
+  }
+  [[nodiscard]] const double* energy_row(size_t gemm) const {
+    return energy_pJ_.data() + gemm * num_subarchs_;
+  }
+  [[nodiscard]] const double* latency_row(size_t gemm) const {
+    return latency_ns_.data() + gemm * num_subarchs_;
+  }
+
  private:
+  void set_soa(size_t index, const Entry& entry);
+
   size_t num_gemms_;
   size_t num_subarchs_;
-  std::vector<Entry> entries_;  // row-major: [gemm * num_subarchs_ + subarch]
+  // Row-major [gemm * num_subarchs_ + subarch] throughout.
+  std::vector<std::shared_ptr<const Entry>> entries_;
+  std::vector<std::uint8_t> feasible_;
+  std::vector<double> energy_pJ_;
+  std::vector<double> latency_ns_;
 };
 
 /// Cross-point memoization of per-(sub-arch, GEMM) cost-matrix entries.

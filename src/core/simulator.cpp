@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <future>
-#include <optional>
 #include <stdexcept>
 
+#include "core/fingerprint.h"
+#include "util/arena.h"
 #include "util/hash.h"
 #include "util/thread_pool.h"
 #include "workload/gemm.h"
@@ -14,14 +14,17 @@ namespace simphony::core {
 
 namespace {
 
-/// Hardware-side half of a CostMatrixCache key: everything simulate_one
-/// reads that is not the GEMM itself.  The materialized instance groups
-/// stand in for the template's symbolic scaling rules evaluated at this
-/// parameter point; the device library enters by identity (its records
-/// are assumed immutable while a cache is alive).
-uint64_t subarch_fingerprint(const arch::SubArchitecture& subarch,
-                             const memory::MemoryHierarchy& memory,
-                             const SimulationOptions& options) {
+/// Construction-invariant prefix of the hardware-side half of a
+/// CostMatrixCache key: everything simulate_one reads that is fixed once
+/// the Simulator exists — template structure, materialized instance
+/// groups (the symbolic scaling rules evaluated at this parameter point),
+/// ArchParams, device-library content, and the energy options.  The
+/// per-call memory-hierarchy suffix is appended by
+/// finish_subarch_fingerprint; the two-step sequence hashes exactly the
+/// same values in exactly the same order as the original one-pass
+/// fingerprint, so persisted caches (docs/persistence.md) stay valid.
+size_t subarch_static_fingerprint(const arch::SubArchitecture& subarch,
+                                  const SimulationOptions& options) {
   size_t seed = 0;
   const arch::PtcTemplate& t = subarch.ptc();
   util::hash_combine_value(seed, t.name);
@@ -89,6 +92,13 @@ uint64_t subarch_fingerprint(const arch::SubArchitecture& subarch,
                            static_cast<int>(options.energy.fidelity));
   util::hash_combine_value(seed, options.energy.data_aware);
   util::hash_combine_value(seed, options.energy.include_data_movement);
+  return seed;
+}
+
+/// Appends the per-call memory-hierarchy suffix to a static prefix seed,
+/// producing the full hardware-side fingerprint.
+uint64_t finish_subarch_fingerprint(size_t seed,
+                                    const memory::MemoryHierarchy& memory) {
   for (const memory::MemoryLevel* level :
        {&memory.hbm, &memory.glb, &memory.lb, &memory.rf}) {
     util::hash_combine_value(seed, level->capacity_kB);
@@ -103,10 +113,13 @@ uint64_t subarch_fingerprint(const arch::SubArchitecture& subarch,
   return static_cast<uint64_t>(seed);
 }
 
-/// Workload-side half of the key.  The layer *name* is deliberately
-/// excluded (identical layers share an entry; identity fields are
-/// rewritten on every hit), while the weight tensor's content is included
-/// because the energy model is data-aware.
+}  // namespace
+
+/// Workload-side half of the key (declared in core/fingerprint.h so
+/// WorkloadSet::add can pre-compute it once per sweep).  The layer *name*
+/// is deliberately excluded (identical layers share an entry; identity
+/// fields are rewritten at report-assembly time), while the weight
+/// tensor's content is included because the energy model is data-aware.
 uint64_t gemm_fingerprint(const workload::GemmWorkload& gemm) {
   size_t seed = 0x67656d6d;  // "gemm": decorrelates from the subarch side
   util::hash_combine_value(seed, gemm.n);
@@ -131,14 +144,19 @@ uint64_t gemm_fingerprint(const workload::GemmWorkload& gemm) {
   return static_cast<uint64_t>(seed);
 }
 
-}  // namespace
-
 Simulator::Simulator(arch::Architecture architecture,
                      SimulationOptions options)
     : architecture_(std::move(architecture)), options_(std::move(options)) {
   if (architecture_.subarch_count() == 0) {
     throw std::invalid_argument(
         "Simulator needs an architecture with >= 1 sub-architecture");
+  }
+  if (options_.cost_cache != nullptr) {
+    subarch_static_seeds_.reserve(architecture_.subarch_count());
+    for (size_t s = 0; s < architecture_.subarch_count(); ++s) {
+      subarch_static_seeds_.push_back(
+          subarch_static_fingerprint(architecture_.subarch(s), options_));
+    }
   }
 }
 
@@ -194,42 +212,51 @@ memory::MemoryHierarchy Simulator::build_shared_memory(
 
 CostMatrix Simulator::build_cost_matrix(
     const std::vector<workload::GemmWorkload>& gemms,
-    const memory::MemoryHierarchy& memory) const {
+    const memory::MemoryHierarchy& memory,
+    const uint64_t* gemm_keys) const {
   CostMatrixCache* cache = options_.cost_cache;
-  // Fingerprints are computed once per side, not once per pair: the
-  // workload side hashes the weight tensors' content, which would
-  // otherwise dominate matrix assembly.
-  std::vector<uint64_t> subarch_keys;
-  std::vector<uint64_t> gemm_keys;
+  const size_t S = architecture_.subarch_count();
+
+  // Fingerprints are computed once per side, not once per pair; the key
+  // arrays are thread-local arena scratch so the warm-cache path touches
+  // the heap only for genuinely new matrix entries.
+  util::Arena& arena = util::thread_scratch();
+  util::ArenaScope scope(arena);
+  uint64_t* subarch_keys = nullptr;
   if (cache != nullptr) {
-    subarch_keys.reserve(architecture_.subarch_count());
-    for (size_t s = 0; s < architecture_.subarch_count(); ++s) {
-      subarch_keys.push_back(
-          subarch_fingerprint(architecture_.subarch(s), memory, options_));
+    subarch_keys = arena.allocate_array<uint64_t>(S);
+    for (size_t s = 0; s < S; ++s) {
+      subarch_keys[s] =
+          finish_subarch_fingerprint(subarch_static_seeds_[s], memory);
     }
-    gemm_keys.reserve(gemms.size());
-    for (const auto& gemm : gemms) {
-      gemm_keys.push_back(gemm_fingerprint(gemm));
+    if (gemm_keys == nullptr) {
+      // The workload side hashes the weight tensors' content, which would
+      // otherwise dominate matrix assembly; callers that sweep the same
+      // GEMMs across many points pass precomputed keys instead.
+      uint64_t* local = arena.allocate_array<uint64_t>(gemms.size());
+      for (size_t g = 0; g < gemms.size(); ++g) {
+        local[g] = gemm_fingerprint(gemms[g]);
+      }
+      gemm_keys = local;
     }
   }
 
-  CostMatrix costs(gemms.size(), architecture_.subarch_count());
+  CostMatrix costs(gemms.size(), S);
   for (size_t g = 0; g < gemms.size(); ++g) {
-    for (size_t s = 0; s < architecture_.subarch_count(); ++s) {
-      CostMatrix::Entry& entry = costs.at(g, s);
+    for (size_t s = 0; s < S; ++s) {
       const CostMatrixCache::Key key{cache ? subarch_keys[s] : 0,
                                      cache ? gemm_keys[g] : 0};
       if (cache != nullptr) {
         if (auto cached = cache->find(key)) {
-          // The canonical key excludes the report's identity fields;
-          // restore them for this architecture and layer.
-          entry = *cached;
-          entry.report.layer_name = gemms[g].name;
-          entry.report.subarch_name = architecture_.subarch(s).name();
-          entry.report.subarch_index = s;
+          // Hits alias the cache's entry — no deep copy of the
+          // LayerReport.  The canonical key excludes identity fields, so
+          // the shared entry keeps the donor's; report assembly rewrites
+          // them for this architecture and layer.
+          costs.set(g, s, std::move(cached));
           continue;
         }
       }
+      CostMatrix::Entry entry;
       try {
         entry.report = simulate_one(s, gemms[g], memory);
         entry.feasible = true;
@@ -245,8 +272,13 @@ CostMatrix Simulator::build_cost_matrix(
       // embed the layer's own name (which the canonical key excludes),
       // and a cached copy would cite the donor layer.  Detecting
       // infeasibility is cheap — the simulator rejects the pair before
-      // any costly analysis.
-      if (cache != nullptr && entry.feasible) cache->insert(key, entry);
+      // any costly analysis.  The matrix stores the cache's own pointer,
+      // so a later hit in this same sweep shares it too.
+      if (cache != nullptr && entry.feasible) {
+        costs.set(g, s, cache->insert(key, std::move(entry)));
+      } else {
+        costs.set(g, s, std::move(entry));
+      }
     }
   }
   return costs;
@@ -254,7 +286,7 @@ CostMatrix Simulator::build_cost_matrix(
 
 CostMatrix Simulator::build_cost_matrix(
     const std::vector<workload::GemmWorkload>& gemms) const {
-  return build_cost_matrix(gemms, build_shared_memory(gemms));
+  return build_cost_matrix(gemms, build_shared_memory(gemms), nullptr);
 }
 
 ModelReport Simulator::simulate_model(const workload::Model& model,
@@ -278,6 +310,12 @@ ModelReport Simulator::simulate_gemms(
 ModelReport Simulator::simulate_gemms(
     const std::vector<workload::GemmWorkload>& gemms, const Mapper& mapper,
     const std::string& model_name, Mapping* chosen) const {
+  return simulate_gemms_report(gemms, mapper, model_name, chosen, nullptr);
+}
+
+Simulator::MappingPlan Simulator::plan_mapping(
+    const std::vector<workload::GemmWorkload>& gemms, const Mapper& mapper,
+    const uint64_t* gemm_keys) const {
   const auto problems = mapper.validate(architecture_);
   if (!problems.empty()) {
     // Report every validation problem, not just the first one found.
@@ -288,50 +326,64 @@ ModelReport Simulator::simulate_gemms(
     throw std::invalid_argument(message);
   }
 
-  const memory::MemoryHierarchy memory = build_shared_memory(gemms);
+  MappingPlan plan;
+  plan.memory = build_shared_memory(gemms);
 
   MappingProblem problem;
   problem.gemms = &gemms;
   problem.subarch_count = architecture_.subarch_count();
-  std::optional<CostMatrix> costs;
   if (mapper.needs_costs()) {
-    costs.emplace(build_cost_matrix(gemms, memory));
-    problem.costs = &*costs;
+    plan.costs.emplace(build_cost_matrix(gemms, plan.memory, gemm_keys));
+    problem.costs = &*plan.costs;
   }
 
-  Mapping mapping = mapper.map(problem);
-  if (mapping.assignment.size() != gemms.size()) {
+  plan.mapping = mapper.map(problem);
+  if (plan.mapping.assignment.size() != gemms.size()) {
     throw std::logic_error(
         "mapper '" + mapper.name() + "' returned " +
-        std::to_string(mapping.assignment.size()) + " assignments for " +
+        std::to_string(plan.mapping.assignment.size()) + " assignments for " +
         std::to_string(gemms.size()) + " GEMMs");
   }
   for (size_t g = 0; g < gemms.size(); ++g) {
-    if (mapping.assignment[g] >= architecture_.subarch_count()) {
+    if (plan.mapping.assignment[g] >= architecture_.subarch_count()) {
       throw std::invalid_argument(
           "mapper '" + mapper.name() + "' routed GEMM '" + gemms[g].name +
-          "' to sub-arch index " + std::to_string(mapping.assignment[g]) +
+          "' to sub-arch index " + std::to_string(plan.mapping.assignment[g]) +
           " but architecture '" + architecture_.name() + "' has only " +
           std::to_string(architecture_.subarch_count()) +
           " sub-architecture(s)");
     }
   }
+  return plan;
+}
+
+ModelReport Simulator::simulate_gemms_report(
+    const std::vector<workload::GemmWorkload>& gemms, const Mapper& mapper,
+    const std::string& model_name, Mapping* chosen,
+    const uint64_t* gemm_keys) const {
+  MappingPlan plan = plan_mapping(gemms, mapper, gemm_keys);
+  const std::optional<CostMatrix>& costs = plan.costs;
 
   ModelReport report;
   report.model_name = model_name;
   report.arch_name = architecture_.name();
-  report.memory = memory;
-  report.memory_area_mm2 = memory.total_sram_area_mm2();
+  report.memory = plan.memory;
+  report.memory_area_mm2 = plan.memory.total_sram_area_mm2();
 
   for (size_t g = 0; g < gemms.size(); ++g) {
-    const size_t target = mapping.assignment[g];
+    const size_t target = plan.mapping.assignment[g];
     // The cost matrix already simulated every feasible pair; reuse that
     // result instead of re-simulating the chosen pair.  A rule-driven
     // route to an infeasible pair still surfaces the simulator's own
     // diagnostic via simulate_one.
     LayerReport layer = costs && costs->at(g, target).feasible
                             ? costs->at(g, target).report
-                            : simulate_one(target, gemms[g], memory);
+                            : simulate_one(target, gemms[g], plan.memory);
+    // A cache-hit matrix entry keeps its donor's identity (the canonical
+    // key excludes identity fields); restore this layer's.
+    layer.layer_name = gemms[g].name;
+    layer.subarch_name = architecture_.subarch(target).name();
+    layer.subarch_index = target;
     report.total_energy.merge(layer.energy);
     report.total_runtime_ns += layer.runtime_ns();
     report.layers.push_back(std::move(layer));
@@ -340,8 +392,42 @@ ModelReport Simulator::simulate_gemms(
   for (size_t i = 0; i < architecture_.subarch_count(); ++i) {
     report.subarch_area.push_back(analyze_area(i));
   }
-  if (chosen != nullptr) *chosen = std::move(mapping);
+  if (chosen != nullptr) *chosen = std::move(plan.mapping);
   return report;
+}
+
+ModelTotals Simulator::simulate_gemms_totals(
+    const std::vector<workload::GemmWorkload>& gemms, const Mapper& mapper,
+    Mapping* chosen, const uint64_t* gemm_keys) const {
+  MappingPlan plan = plan_mapping(gemms, mapper, gemm_keys);
+  const std::optional<CostMatrix>& costs = plan.costs;
+
+  ModelTotals totals;
+  totals.memory_area_mm2 = plan.memory.total_sram_area_mm2();
+
+  // Accumulation order (GEMM order, then sub-arch-area order) matches
+  // simulate_gemms_report exactly, so the floating-point totals are
+  // bit-identical to the full-report path.
+  for (size_t g = 0; g < gemms.size(); ++g) {
+    const size_t target = plan.mapping.assignment[g];
+    if (costs && costs->at(g, target).feasible) {
+      const CostMatrix::Entry& entry = costs->at(g, target);
+      totals.energy.merge(entry.report.energy);
+      totals.runtime_ns += entry.report.runtime_ns();
+      totals.macs += entry.report.macs;
+    } else {
+      const LayerReport layer = simulate_one(target, gemms[g], plan.memory);
+      totals.energy.merge(layer.energy);
+      totals.runtime_ns += layer.runtime_ns();
+      totals.macs += layer.macs;
+    }
+  }
+
+  for (size_t i = 0; i < architecture_.subarch_count(); ++i) {
+    totals.subarch_area_mm2 += analyze_area(i).total_mm2();
+  }
+  if (chosen != nullptr) *chosen = std::move(plan.mapping);
+  return totals;
 }
 
 BatchReport::Totals BatchReport::totals(BatchAggregate aggregate) const {
@@ -388,33 +474,26 @@ BatchReport Simulator::simulate_batch(const WorkloadSet& workloads,
   BatchReport batch;
   batch.models.resize(workloads.size());
 
-  // One task per model; each task is exactly an independent
-  // simulate_gemms call (per-model memory sizing, per-model mapping
-  // search), so results are bit-identical to K separate runs whichever
-  // worker picks a model up.  The architecture, the thread-safe
-  // cost-matrix cache (options_.cost_cache), and the Mapper (const,
-  // thread-safe per its contract) are the shared, read-only state.
-  std::vector<std::future<void>> pending;
+  // One chunked parallel_for over the models (the caller participates;
+  // each index is exactly an independent simulate_gemms call — per-model
+  // memory sizing, per-model mapping search — writing its own slot), so
+  // results are bit-identical to K separate runs whichever participant
+  // picks a model up.  The architecture, the thread-safe cost-matrix
+  // cache (options_.cost_cache), and the Mapper (const, thread-safe per
+  // its contract) are the shared, read-only state.  On a failure no new
+  // models start and the lowest failing model's diagnostic reaches the
+  // caller.
   util::ThreadPool pool(
       util::ThreadPool::workers_for(options.num_threads, workloads.size()));
-  pending.reserve(workloads.size());
-  for (size_t i = 0; i < workloads.size(); ++i) {
-    pending.push_back(pool.submit([&, i] {
-      const WorkloadSet::Entry& entry = workloads.at(i);
-      BatchReport::ModelResult& slot = batch.models[i];
-      slot.name = entry.name;
-      slot.weight = entry.weight;
-      slot.report =
-          simulate_gemms(entry.gemms, mapper, entry.name, &slot.mapping);
-    }));
-  }
-  try {
-    for (auto& f : pending) f.get();  // rethrows worker exceptions
-  } catch (...) {
-    // Drop queued models so the first failure reaches the caller now.
-    pool.cancel();
-    throw;
-  }
+  pool.parallel_for(workloads.size(), [&](size_t i) {
+    const WorkloadSet::Entry& entry = workloads.at(i);
+    BatchReport::ModelResult& slot = batch.models[i];
+    slot.name = entry.name;
+    slot.weight = entry.weight;
+    slot.report =
+        simulate_gemms_report(entry.gemms, mapper, entry.name, &slot.mapping,
+                              entry.gemm_fingerprints.data());
+  });
   return batch;
 }
 

@@ -8,7 +8,9 @@
 // models under a MappingConfig.
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "arch/hierarchy.h"
@@ -47,6 +49,34 @@ struct BatchOptions {
   /// default num_threads = 1): a mapper running its own pool inside
   /// every batch worker oversubscribes the machine.
   int num_threads = 0;
+};
+
+/// Totals-only result of the simulate_gemms flow: exactly the figures the
+/// DSE engine folds into a DsePoint, accumulated straight from the cost
+/// matrix without materializing (or copying) per-layer reports — the
+/// per-design-point hot path of a sweep.  Every accumulation runs in the
+/// same order as ModelReport assembly and every derived formula mirrors
+/// ModelReport's, so the figures are bit-identical to the full-report
+/// path (tests/test_dse.cpp, tests/test_alloc_count.cpp).
+struct ModelTotals {
+  energy::EnergyBreakdown energy;
+  double runtime_ns = 0.0;
+  double macs = 0.0;
+  double memory_area_mm2 = 0.0;
+  double subarch_area_mm2 = 0.0;  // sum of per-sub-arch breakdown totals
+
+  [[nodiscard]] double energy_pJ() const { return energy.total_pJ(); }
+  [[nodiscard]] double total_area_mm2() const {
+    return memory_area_mm2 + subarch_area_mm2;
+  }
+  [[nodiscard]] double average_power_W() const {
+    if (runtime_ns <= 0) return 0.0;
+    return energy.total_pJ() / runtime_ns * 1e-3;  // pJ/ns = mW; * 1e-3 = W
+  }
+  [[nodiscard]] double tops() const {
+    if (runtime_ns <= 0) return 0.0;
+    return 2.0 * macs / runtime_ns * 1e-3;  // 2 ops per MAC
+  }
 };
 
 /// Result of simulating a WorkloadSet: one ModelReport + chosen Mapping
@@ -126,6 +156,18 @@ class Simulator {
       const std::vector<workload::GemmWorkload>& gemms, const Mapper& mapper,
       const std::string& model_name = "", Mapping* chosen = nullptr) const;
 
+  /// The simulate_gemms flow reduced to its totals (see ModelTotals): the
+  /// same memory sizing, cost matrix, and mapping search, but energy /
+  /// runtime / MACs are accumulated directly from the matrix entries
+  /// instead of copying every chosen LayerReport into a ModelReport.
+  /// `gemm_keys` (optional) are precomputed core::gemm_fingerprint values
+  /// for `gemms` in order — e.g. WorkloadSet::Entry::gemm_fingerprints —
+  /// sparing the per-call weight-content hashing when a cost cache is
+  /// attached; pass nullptr to compute them on the fly.
+  [[nodiscard]] ModelTotals simulate_gemms_totals(
+      const std::vector<workload::GemmWorkload>& gemms, const Mapper& mapper,
+      Mapping* chosen = nullptr, const uint64_t* gemm_keys = nullptr) const;
+
   /// Batched multi-model simulation: every model of the set runs against
   /// THIS architecture — constructed (sub-arches materialized, device
   /// groups resolved) once, when the Simulator was built — with per-model
@@ -159,6 +201,21 @@ class Simulator {
  private:
   arch::Architecture architecture_;
   SimulationOptions options_;
+  /// Per-sub-arch prefix of the hardware-side cache fingerprint: the
+  /// template / groups / params / device-library / energy-option hash,
+  /// which never changes after construction.  Only the memory-hierarchy
+  /// suffix (per GEMM set) is hashed per call.  Computed iff a cost cache
+  /// is attached — the values, and the final fingerprints they produce,
+  /// are identical to hashing everything in one pass.
+  std::vector<size_t> subarch_static_seeds_;
+
+  /// Everything shared by full-report and totals-only assembly: sized
+  /// memory, optional cost matrix, and the checked mapping.
+  struct MappingPlan {
+    memory::MemoryHierarchy memory;
+    std::optional<CostMatrix> costs;
+    Mapping mapping;
+  };
 
   [[nodiscard]] LayerReport simulate_one(
       size_t subarch_index, const workload::GemmWorkload& gemm,
@@ -169,7 +226,19 @@ class Simulator {
 
   [[nodiscard]] CostMatrix build_cost_matrix(
       const std::vector<workload::GemmWorkload>& gemms,
-      const memory::MemoryHierarchy& memory) const;
+      const memory::MemoryHierarchy& memory,
+      const uint64_t* gemm_keys) const;
+
+  /// validate + build_shared_memory + build_cost_matrix (when the
+  /// strategy consults costs) + map + assignment size/range checks.
+  [[nodiscard]] MappingPlan plan_mapping(
+      const std::vector<workload::GemmWorkload>& gemms, const Mapper& mapper,
+      const uint64_t* gemm_keys) const;
+
+  [[nodiscard]] ModelReport simulate_gemms_report(
+      const std::vector<workload::GemmWorkload>& gemms, const Mapper& mapper,
+      const std::string& model_name, Mapping* chosen,
+      const uint64_t* gemm_keys) const;
 };
 
 }  // namespace simphony::core

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/fingerprint.h"
+
 namespace simphony::core {
 
 const char* to_string(BatchAggregate aggregate) {
@@ -98,6 +100,10 @@ const WorkloadSet::Entry& WorkloadSet::add(workload::Model model,
   // Extract AFTER the model reached its final address: the GemmWorkloads
   // point into entry->model's weight tensors.
   entry->gemms = workload::extract_gemms(entry->model);
+  entry->gemm_fingerprints.reserve(entry->gemms.size());
+  for (const auto& gemm : entry->gemms) {
+    entry->gemm_fingerprints.push_back(gemm_fingerprint(gemm));
+  }
   entries_.push_back(std::move(entry));
   return *entries_.back();
 }

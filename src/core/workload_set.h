@@ -16,6 +16,7 @@
 // moves it.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
@@ -73,6 +74,12 @@ class WorkloadSet {
     /// extract_gemms(model), computed once at add(); the weight tensors
     /// point into `model` above (same lifetime as this Entry).
     std::vector<workload::GemmWorkload> gemms;
+    /// core::gemm_fingerprint of each GEMM (same order as `gemms`),
+    /// computed once at add() so a sweep sharing a CostMatrixCache never
+    /// re-hashes the weight tensors per design point.  Valid only for the
+    /// GEMMs exactly as stored — a caller that overrides bit widths
+    /// per-point must re-fingerprint.
+    std::vector<uint64_t> gemm_fingerprints;
   };
 
   /// Moves `model` into the set and extracts its GEMMs.  An empty `name`

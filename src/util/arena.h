@@ -1,0 +1,182 @@
+// Monotonic scratch arena for the per-design-point hot path.
+//
+// The mapping search and cost-matrix assembly need short-lived arrays
+// (beam rows, candidate buffers, fingerprint keys) whose sizes repeat
+// from point to point.  Allocating them from the general heap puts
+// malloc/free on the per-point critical path; a thread-local Arena hands
+// out pointer-bumped slices instead and recycles the same block forever:
+// after warmup (the block grew to the sweep's high-water mark) a design
+// point costs zero heap allocations for scratch — the property
+// tests/test_alloc_count.cpp pins.
+//
+// Lifetime rules (see docs/performance.md):
+//   * Arena memory is scratch: nothing allocated from it may escape the
+//     ArenaScope it was allocated under.
+//   * Scopes nest (BranchBoundMapper seeds from GreedyMapper on the same
+//     thread-local arena); a scope's destructor rewinds the cursor to
+//     where the scope opened, keeping the capacity.
+//   * Element types must be trivially destructible — rewinding runs no
+//     destructors.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+namespace simphony::util {
+
+class Arena {
+ public:
+  explicit Arena(size_t initial_capacity = 0) {
+    if (initial_capacity > 0) add_block(initial_capacity);
+  }
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Pointer-bumped storage for `bytes` at `alignment`.  Falls back to a
+  /// fresh block (geometric growth) when the current one is full; reset()
+  /// later coalesces, so steady-state calls never reach the heap.
+  void* allocate(size_t bytes,
+                 size_t alignment = alignof(std::max_align_t)) {
+    if (bytes == 0) bytes = 1;
+    if (!blocks_.empty()) {
+      Block& block = blocks_.back();
+      const size_t aligned = align_up(block.used, alignment);
+      if (aligned + bytes <= block.size) {
+        block.used = aligned + bytes;
+        return block.data.get() + aligned;
+      }
+    }
+    add_block(std::max(bytes + alignment, grow_hint()));
+    Block& block = blocks_.back();
+    const size_t aligned = align_up(block.used, alignment);
+    block.used = aligned + bytes;
+    return block.data.get() + aligned;
+  }
+
+  /// Uninitialized storage for `count` objects of trivially destructible
+  /// T, default-constructed in place (no-op for trivial T like double).
+  template <typename T>
+  T* allocate_array(size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena rewind runs no destructors");
+    T* data = static_cast<T*>(
+        allocate(count * sizeof(T), alignof(T)));
+    for (size_t i = 0; i < count; ++i) ::new (data + i) T();
+    return data;
+  }
+
+  /// Rewinds to empty.  When the arena overflowed into multiple blocks,
+  /// they are coalesced into one block sized to the high-water mark, so
+  /// subsequent identical workloads stay heap-free.
+  void reset() {
+    if (blocks_.size() > 1) {
+      const size_t target = align_up(high_water_, alignof(std::max_align_t));
+      blocks_.clear();
+      add_block(target);
+    }
+    for (Block& block : blocks_) block.used = 0;
+  }
+
+  /// Bytes currently handed out (sum over blocks).
+  [[nodiscard]] size_t used() const {
+    size_t total = 0;
+    for (const Block& block : blocks_) total += block.used;
+    return total;
+  }
+
+  [[nodiscard]] size_t capacity() const {
+    size_t total = 0;
+    for (const Block& block : blocks_) total += block.size;
+    return total;
+  }
+
+  /// Largest concurrently-live footprint ever observed (bench counter).
+  [[nodiscard]] size_t high_water() const { return high_water_; }
+
+  /// Heap blocks this arena ever requested — constant once warm.
+  [[nodiscard]] size_t heap_blocks() const { return heap_blocks_; }
+
+ private:
+  friend class ArenaScope;
+
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    size_t size = 0;
+    size_t used = 0;
+  };
+
+  static size_t align_up(size_t value, size_t alignment) {
+    return (value + alignment - 1) & ~(alignment - 1);
+  }
+
+  [[nodiscard]] size_t grow_hint() const {
+    constexpr size_t kMinBlock = 4096;
+    return blocks_.empty() ? kMinBlock
+                           : std::max(kMinBlock, blocks_.back().size * 2);
+  }
+
+  void add_block(size_t size) {
+    Block block;
+    block.data = std::make_unique<std::byte[]>(size);
+    block.size = size;
+    blocks_.push_back(std::move(block));
+    ++heap_blocks_;
+  }
+
+  void note_high_water() {
+    const size_t current = used();
+    if (current > high_water_) high_water_ = current;
+  }
+
+  std::vector<Block> blocks_;
+  size_t high_water_ = 0;
+  size_t heap_blocks_ = 0;
+};
+
+/// RAII rewind point — itself allocation-free.  allocate() only ever
+/// writes the cursor of the *last* block (earlier blocks are effectively
+/// sealed), so a rewind needs just two words: the block count and the
+/// last block's cursor at open time.  Blocks added while the scope was
+/// open stay allocated but are emptied — the next reset() coalesces them.
+class ArenaScope {
+ public:
+  explicit ArenaScope(Arena& arena)
+      : arena_(arena),
+        open_blocks_(arena.blocks_.size()),
+        open_back_used_(arena.blocks_.empty() ? 0
+                                              : arena.blocks_.back().used) {}
+
+  ArenaScope(const ArenaScope&) = delete;
+  ArenaScope& operator=(const ArenaScope&) = delete;
+
+  ~ArenaScope() {
+    arena_.note_high_water();
+    for (size_t i = open_blocks_; i < arena_.blocks_.size(); ++i) {
+      arena_.blocks_[i].used = 0;
+    }
+    if (open_blocks_ > 0) {
+      arena_.blocks_[open_blocks_ - 1].used = open_back_used_;
+    }
+  }
+
+ private:
+  Arena& arena_;
+  size_t open_blocks_;
+  size_t open_back_used_;
+};
+
+/// The per-thread scratch arena the mapper and simulator hot paths share.
+/// Worker threads each get their own instance (thread_local), so no
+/// synchronization is needed; callers must bracket use with an ArenaScope.
+inline Arena& thread_scratch() {
+  thread_local Arena arena;
+  return arena;
+}
+
+}  // namespace simphony::util

@@ -1,9 +1,61 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <exception>
 #include <stdexcept>
 
 namespace simphony::util {
+
+namespace {
+
+/// The pool whose worker_loop is running on this thread (nullptr on
+/// non-worker threads).  Lets parallel_for detect nesting into its own
+/// pool, which must degrade to inline execution instead of waiting on a
+/// queue only this thread could drain.
+thread_local const ThreadPool* t_current_pool = nullptr;
+
+struct GlobalBulkCounters {
+  std::atomic<uint64_t> dispatches{0};
+  std::atomic<uint64_t> tasks{0};
+  std::atomic<uint64_t> chunks{0};
+  std::atomic<uint64_t> steals{0};
+  std::atomic<uint64_t> items{0};
+};
+
+GlobalBulkCounters& global_counters() {
+  static GlobalBulkCounters counters;
+  return counters;
+}
+
+}  // namespace
+
+/// Shared state of one parallel_for dispatch.  Stack-allocated by
+/// run_bulk, which outlives every participant (the caller participates,
+/// then joins the worker futures), so raw references are safe.
+struct ThreadPool::BulkControl {
+  /// One contiguous slice of [0, n) owned by one participant.  The cursor
+  /// is padded to its own cache line: neighbors' fetch_adds must not
+  /// false-share.
+  struct alignas(64) Segment {
+    std::atomic<size_t> next{0};
+    size_t end = 0;
+  };
+
+  void (*invoke)(void*, size_t) = nullptr;
+  void* ctx = nullptr;
+  size_t chunk = 1;
+  std::vector<Segment> segments;  // one per participant (workers + caller)
+
+  std::atomic<bool> failed{false};
+  std::mutex error_mutex;
+  std::exception_ptr error;
+  size_t error_index = 0;
+  bool has_error = false;
+
+  std::atomic<uint64_t> chunks{0};
+  std::atomic<uint64_t> steals{0};
+  std::atomic<uint64_t> items{0};
+};
 
 ThreadPool::ThreadPool(unsigned num_threads) {
   workers_.reserve(num_threads);
@@ -22,7 +74,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::cancel() {
-  std::queue<std::function<void()>> discarded;
+  std::queue<MoveOnlyTask> discarded;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     tasks_.swap(discarded);
@@ -49,8 +101,9 @@ unsigned ThreadPool::workers_for(int requested, size_t max_useful) {
 }
 
 void ThreadPool::worker_loop() {
+  t_current_pool = this;
   for (;;) {
-    std::function<void()> task;
+    MoveOnlyTask task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       task_ready_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
@@ -60,6 +113,144 @@ void ThreadPool::worker_loop() {
     }
     task();  // exceptions land in the task's promise, never escape here
   }
+}
+
+void ThreadPool::bulk_work(BulkControl& control, size_t participant) noexcept {
+  const size_t participants = control.segments.size();
+  // Own segment first (offset 0), then steal round-robin from the others.
+  for (size_t offset = 0; offset < participants; ++offset) {
+    BulkControl::Segment& segment =
+        control.segments[(participant + offset) % participants];
+    for (;;) {
+      if (control.failed.load(std::memory_order_relaxed)) return;
+      const size_t begin =
+          segment.next.fetch_add(control.chunk, std::memory_order_relaxed);
+      if (begin >= segment.end) break;
+      const size_t end = std::min(begin + control.chunk, segment.end);
+      control.chunks.fetch_add(1, std::memory_order_relaxed);
+      if (offset != 0) control.steals.fetch_add(1, std::memory_order_relaxed);
+      control.items.fetch_add(end - begin, std::memory_order_relaxed);
+      for (size_t i = begin; i < end; ++i) {
+        try {
+          control.invoke(control.ctx, i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(control.error_mutex);
+          if (!control.has_error || i < control.error_index) {
+            control.has_error = true;
+            control.error_index = i;
+            control.error = std::current_exception();
+          }
+          control.failed.store(true, std::memory_order_relaxed);
+          return;
+        }
+      }
+    }
+  }
+}
+
+void ThreadPool::run_bulk(size_t n, void (*invoke)(void*, size_t), void* ctx,
+                          size_t min_chunk) {
+  if (n == 0) return;
+  if (min_chunk == 0) min_chunk = 1;
+  bulk_dispatches_.fetch_add(1, std::memory_order_relaxed);
+  global_counters().dispatches.fetch_add(1, std::memory_order_relaxed);
+
+  if (workers_.empty() || t_current_pool == this || n <= min_chunk) {
+    // Inline: one "chunk" on the calling thread; an exception propagates
+    // directly, so indices after it never run (same contract as pooled).
+    bulk_chunks_.fetch_add(1, std::memory_order_relaxed);
+    bulk_items_.fetch_add(n, std::memory_order_relaxed);
+    global_counters().chunks.fetch_add(1, std::memory_order_relaxed);
+    global_counters().items.fetch_add(n, std::memory_order_relaxed);
+    for (size_t i = 0; i < n; ++i) invoke(ctx, i);
+    return;
+  }
+
+  const size_t participants = workers_.size() + 1;  // workers + this thread
+  BulkControl control;
+  control.invoke = invoke;
+  control.ctx = ctx;
+  // ~8 chunks per participant balances steal granularity against cursor
+  // traffic; min_chunk caps how finely the caller's work may be split.
+  control.chunk =
+      std::max(min_chunk, n / (participants * 8) + (n % (participants * 8) != 0));
+  control.segments = std::vector<BulkControl::Segment>(participants);
+  for (size_t p = 0; p < participants; ++p) {
+    control.segments[p].next.store(n * p / participants,
+                                   std::memory_order_relaxed);
+    control.segments[p].end = n * (p + 1) / participants;
+  }
+
+  std::vector<std::future<void>> pending;
+  pending.reserve(workers_.size());
+  for (size_t p = 0; p < workers_.size(); ++p) {
+    pending.push_back(submit([&control, p] { bulk_work(control, p); }));
+  }
+  bulk_work(control, participants - 1);  // the caller participates
+
+  for (auto& f : pending) {
+    try {
+      f.get();
+    } catch (const std::future_error&) {
+      // A concurrent cancel() discarded this bulk task before it started;
+      // its segment was drained by the surviving participants (the caller
+      // above does not return until every segment is empty or a failure
+      // stops the dispatch).
+    }
+  }
+
+  const uint64_t chunks = control.chunks.load(std::memory_order_relaxed);
+  const uint64_t steals = control.steals.load(std::memory_order_relaxed);
+  const uint64_t items = control.items.load(std::memory_order_relaxed);
+  bulk_tasks_.fetch_add(workers_.size(), std::memory_order_relaxed);
+  bulk_chunks_.fetch_add(chunks, std::memory_order_relaxed);
+  bulk_steals_.fetch_add(steals, std::memory_order_relaxed);
+  bulk_items_.fetch_add(items, std::memory_order_relaxed);
+  GlobalBulkCounters& global = global_counters();
+  global.tasks.fetch_add(workers_.size(), std::memory_order_relaxed);
+  global.chunks.fetch_add(chunks, std::memory_order_relaxed);
+  global.steals.fetch_add(steals, std::memory_order_relaxed);
+  global.items.fetch_add(items, std::memory_order_relaxed);
+
+  if (control.has_error) std::rethrow_exception(control.error);
+}
+
+ThreadPool::BulkStats ThreadPool::bulk_stats() const {
+  BulkStats stats;
+  stats.dispatches = bulk_dispatches_.load(std::memory_order_relaxed);
+  stats.tasks = bulk_tasks_.load(std::memory_order_relaxed);
+  stats.chunks = bulk_chunks_.load(std::memory_order_relaxed);
+  stats.steals = bulk_steals_.load(std::memory_order_relaxed);
+  stats.items = bulk_items_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void ThreadPool::reset_bulk_stats() {
+  bulk_dispatches_.store(0, std::memory_order_relaxed);
+  bulk_tasks_.store(0, std::memory_order_relaxed);
+  bulk_chunks_.store(0, std::memory_order_relaxed);
+  bulk_steals_.store(0, std::memory_order_relaxed);
+  bulk_items_.store(0, std::memory_order_relaxed);
+}
+
+ThreadPool::BulkStats ThreadPool::global_bulk_stats() {
+  GlobalBulkCounters& global = global_counters();
+  BulkStats stats;
+  stats.dispatches = global.dispatches.load(std::memory_order_relaxed);
+  stats.tasks = global.tasks.load(std::memory_order_relaxed);
+  stats.chunks = global.chunks.load(std::memory_order_relaxed);
+  stats.steals = global.steals.load(std::memory_order_relaxed);
+  stats.items = global.items.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void ThreadPool::reset_global_bulk_stats() {
+  GlobalBulkCounters& global = global_counters();
+  global.dispatches.store(0, std::memory_order_relaxed);
+  global.tasks.store(0, std::memory_order_relaxed);
+  global.chunks.store(0, std::memory_order_relaxed);
+  global.steals.store(0, std::memory_order_relaxed);
+  global.items.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace simphony::util

@@ -1,19 +1,39 @@
-// A minimal fixed-size thread pool (no work stealing): one FIFO task queue,
-// N worker threads, futures for results and exception propagation.
+// A fixed-size thread pool with two dispatch shapes: a FIFO queue of
+// move-only tasks (submit) and a chunked bulk loop with work stealing
+// (parallel_for).
 //
-// Built for the DSE engine's embarrassingly parallel sweeps (core/dse.cpp),
-// where tasks are independent, similarly sized, and submitted up front — a
-// single shared queue is contention-free enough and keeps completion
-// semantics simple.  A pool constructed with 0 workers degenerates to
-// inline execution on the submitting thread, which makes "serial" and
-// "parallel" callers share one code path.
+// submit() serves coarse, independent jobs.  The queue stores move-only
+// callables directly (small-buffer storage, no shared_ptr + std::function
+// double indirection), so the per-task overhead is one lock plus the
+// future's shared state.
+//
+// parallel_for() serves the many-small-tasks regime (per-point DSE
+// evaluation, beam expansion, branch-and-bound subtrees): the index range
+// is split into one contiguous segment per participant (every worker plus
+// the calling thread), each participant claims fixed-size chunks from its
+// own segment through an atomic cursor, and a participant whose segment
+// runs dry steals chunks from the others.  No per-item allocation, no
+// per-item lock.  The calling thread participates, so progress never
+// depends on workers being free.  Determinism contract: body(i) runs
+// exactly once for every i < n (no exception), and callers that write to
+// index i's slot get bit-identical results for any worker count — which
+// indices share a chunk affects timing only.
+//
+// A pool constructed with 0 workers degenerates to inline execution on
+// the submitting thread, which makes "serial" and "parallel" callers
+// share one code path.  A parallel_for issued from inside one of this
+// pool's own workers also runs inline (a nested wait on the shared queue
+// could deadlock).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
-#include <functional>
+#include <cstddef>
+#include <cstdint>
 #include <future>
 #include <memory>
 #include <mutex>
+#include <new>
 #include <queue>
 #include <thread>
 #include <type_traits>
@@ -22,10 +42,121 @@
 
 namespace simphony::util {
 
+/// Type-erased move-only nullary callable with small-buffer storage.
+/// Callables up to kInlineBytes that are nothrow-move-constructible live
+/// inside the task object (no heap allocation — a std::packaged_task
+/// handle fits); larger ones fall back to a single heap allocation.
+class MoveOnlyTask {
+ public:
+  MoveOnlyTask() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, MoveOnlyTask>>>
+  MoveOnlyTask(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(inline_)) Fn(std::forward<F>(f));
+      vtable_ = inline_vtable<Fn>();
+    } else {
+      heap_ = new Fn(std::forward<F>(f));
+      vtable_ = heap_vtable<Fn>();
+    }
+  }
+
+  MoveOnlyTask(MoveOnlyTask&& other) noexcept : vtable_(other.vtable_) {
+    if (vtable_ == nullptr) return;
+    if (vtable_->relocate != nullptr) {
+      vtable_->relocate(other.inline_, inline_);
+    } else {
+      heap_ = other.heap_;
+      other.heap_ = nullptr;
+    }
+    other.vtable_ = nullptr;
+  }
+
+  MoveOnlyTask& operator=(MoveOnlyTask&& other) noexcept {
+    if (this == &other) return *this;
+    destroy();
+    ::new (static_cast<void*>(this)) MoveOnlyTask(std::move(other));
+    return *this;
+  }
+
+  MoveOnlyTask(const MoveOnlyTask&) = delete;
+  MoveOnlyTask& operator=(const MoveOnlyTask&) = delete;
+
+  ~MoveOnlyTask() { destroy(); }
+
+  void operator()() {
+    vtable_->call(vtable_->relocate != nullptr ? inline_ : heap_);
+  }
+
+  [[nodiscard]] explicit operator bool() const { return vtable_ != nullptr; }
+
+ private:
+  struct VTable {
+    void (*call)(void* obj);
+    void (*destroy)(void* obj);
+    /// Move-construct into dst and destroy src; null for heap storage
+    /// (the heap pointer is stolen instead).
+    void (*relocate)(void* src, void* dst);
+  };
+
+  template <typename Fn>
+  static const VTable* inline_vtable() {
+    static constexpr VTable table = {
+        [](void* obj) { (*static_cast<Fn*>(obj))(); },
+        [](void* obj) { static_cast<Fn*>(obj)->~Fn(); },
+        [](void* src, void* dst) {
+          ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+          static_cast<Fn*>(src)->~Fn();
+        },
+    };
+    return &table;
+  }
+
+  template <typename Fn>
+  static const VTable* heap_vtable() {
+    static constexpr VTable table = {
+        [](void* obj) { (*static_cast<Fn*>(obj))(); },
+        [](void* obj) { delete static_cast<Fn*>(obj); },
+        nullptr,
+    };
+    return &table;
+  }
+
+  void destroy() {
+    if (vtable_ == nullptr) return;
+    vtable_->destroy(vtable_->relocate != nullptr ? inline_ : heap_);
+    vtable_ = nullptr;
+  }
+
+  static constexpr size_t kInlineBytes = 56;
+  alignas(std::max_align_t) unsigned char inline_[kInlineBytes];
+  void* heap_ = nullptr;
+  const VTable* vtable_ = nullptr;
+};
+
 class ThreadPool {
  public:
-  /// Spawns `num_threads` workers.  0 means no workers: submit() runs the
-  /// task inline on the calling thread before returning.
+  /// Cumulative parallel_for accounting (for the thread-scaling bench
+  /// counters — see docs/performance.md).  `tasks` counts the bulk worker
+  /// jobs enqueued (tasks / dispatches is the per-dispatch fan-out, W for
+  /// a pooled dispatch, 0 inline); `chunks` the chunk claims that yielded
+  /// work; `steals` the chunks a participant claimed from another
+  /// participant's segment; `items` the body invocations.
+  struct BulkStats {
+    uint64_t dispatches = 0;
+    uint64_t tasks = 0;
+    uint64_t chunks = 0;
+    uint64_t steals = 0;
+    uint64_t items = 0;
+  };
+
+  /// Spawns `num_threads` workers.  0 means no workers: submit() and
+  /// parallel_for() run inline on the calling thread.
   explicit ThreadPool(unsigned num_threads);
 
   /// Joins all workers; tasks already queued are drained first.
@@ -65,35 +196,78 @@ class ThreadPool {
   [[nodiscard]] static unsigned workers_for(int requested, size_t max_useful);
 
   /// Enqueues a nullary callable; the returned future yields its result or
-  /// rethrows its exception.  Safe to call from multiple threads.
+  /// rethrows its exception.  Safe to call from multiple threads.  The
+  /// callable may be move-only (e.g. capture a unique_ptr).
   template <typename F>
   auto submit(F&& task) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
-    // packaged_task is move-only; std::function needs copyable targets, so
-    // the task lives behind a shared_ptr.
-    auto packaged =
-        std::make_shared<std::packaged_task<R()>>(std::forward<F>(task));
-    std::future<R> result = packaged->get_future();
+    std::packaged_task<R()> packaged(std::forward<F>(task));
+    std::future<R> result = packaged.get_future();
     if (workers_.empty()) {
-      (*packaged)();
+      packaged();
       return result;
     }
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      tasks_.emplace([packaged] { (*packaged)(); });
+      tasks_.emplace(std::move(packaged));
     }
     task_ready_.notify_one();
     return result;
   }
 
+  /// Runs body(i) exactly once for every i in [0, n), distributing chunks
+  /// of at least `min_chunk` consecutive indices across the workers and
+  /// the calling thread; returns when every index has run.  `body` must be
+  /// invocable concurrently from multiple threads; writes it makes to
+  /// index-addressed slots are bit-identical for any worker count.
+  ///
+  /// Runs inline (plain serial loop) when the pool has no workers, when
+  /// n <= min_chunk, or when called from inside one of this pool's own
+  /// worker threads (a nested pooled wait could deadlock on the shared
+  /// queue).
+  ///
+  /// On an exception from `body`, no new chunks are claimed, in-flight
+  /// chunks stop at their next index boundary, and the exception of the
+  /// lowest failing index is rethrown here; indices after the failure may
+  /// never run.
+  template <typename F>
+  void parallel_for(size_t n, F&& body, size_t min_chunk = 1) {
+    using Fn = std::remove_reference_t<F>;
+    run_bulk(
+        n, [](void* ctx, size_t i) { (*static_cast<Fn*>(ctx))(i); },
+        const_cast<void*>(static_cast<const void*>(std::addressof(body))),
+        min_chunk);
+  }
+
+  /// This pool's cumulative parallel_for counters.
+  [[nodiscard]] BulkStats bulk_stats() const;
+  void reset_bulk_stats();
+
+  /// Process-wide counters aggregated over every pool (benchmarks read
+  /// these to report scheduling behavior of pools buried inside the DSE
+  /// engine or a mapper).
+  [[nodiscard]] static BulkStats global_bulk_stats();
+  static void reset_global_bulk_stats();
+
  private:
+  struct BulkControl;
+
   void worker_loop();
+  void run_bulk(size_t n, void (*invoke)(void*, size_t), void* ctx,
+                size_t min_chunk);
+  static void bulk_work(BulkControl& control, size_t participant) noexcept;
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
+  std::queue<MoveOnlyTask> tasks_;
   std::mutex mutex_;
   std::condition_variable task_ready_;
   bool stopping_ = false;
+
+  std::atomic<uint64_t> bulk_dispatches_{0};
+  std::atomic<uint64_t> bulk_tasks_{0};
+  std::atomic<uint64_t> bulk_chunks_{0};
+  std::atomic<uint64_t> bulk_steals_{0};
+  std::atomic<uint64_t> bulk_items_{0};
 };
 
 }  // namespace simphony::util

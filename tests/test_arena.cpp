@@ -1,0 +1,98 @@
+#include "util/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+
+namespace simphony::util {
+namespace {
+
+TEST(Arena, BumpsWithinOneBlockAndRespectsAlignment) {
+  Arena arena(1024);
+  EXPECT_EQ(arena.heap_blocks(), 1u);
+  char* a = arena.allocate_array<char>(3);
+  double* d = arena.allocate_array<double>(4);
+  EXPECT_NE(static_cast<void*>(a), static_cast<void*>(d));
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(d) % alignof(double), 0u);
+  EXPECT_GE(arena.used(), 3u + 4u * sizeof(double));
+  // Still the original block: no heap traffic for in-capacity requests.
+  EXPECT_EQ(arena.heap_blocks(), 1u);
+  // Zero-byte requests still return a unique valid pointer.
+  EXPECT_NE(arena.allocate(0), arena.allocate(0));
+}
+
+TEST(Arena, OverflowGrowsAndResetCoalescesToHighWater) {
+  Arena arena(64);
+  for (int i = 0; i < 8; ++i) (void)arena.allocate_array<double>(100);
+  const size_t grown_blocks = arena.heap_blocks();
+  EXPECT_GT(grown_blocks, 1u);
+  { ArenaScope mark(arena); }  // note_high_water fires on scope close
+  const size_t peak = arena.high_water();
+  EXPECT_GE(peak, 8u * 100u * sizeof(double));
+
+  arena.reset();  // coalesce: one block sized to the peak
+  EXPECT_EQ(arena.heap_blocks(), grown_blocks + 1);
+  EXPECT_EQ(arena.used(), 0u);
+  EXPECT_GE(arena.capacity(), peak);
+  // The coalesced block absorbs the same workload with zero heap calls.
+  for (int i = 0; i < 8; ++i) (void)arena.allocate_array<double>(100);
+  EXPECT_EQ(arena.heap_blocks(), grown_blocks + 1);
+}
+
+TEST(Arena, ScopeRewindsAndNests) {
+  Arena arena(4096);
+  (void)arena.allocate_array<int>(10);
+  const size_t outer_used = arena.used();
+  {
+    ArenaScope outer(arena);
+    (void)arena.allocate_array<int>(50);
+    const size_t mid_used = arena.used();
+    {
+      ArenaScope inner(arena);
+      (void)arena.allocate_array<int>(70);
+      EXPECT_GT(arena.used(), mid_used);
+    }
+    EXPECT_EQ(arena.used(), mid_used);
+    (void)arena.allocate_array<int>(5);
+  }
+  EXPECT_EQ(arena.used(), outer_used);
+}
+
+TEST(Arena, ScopeRewindSpansOverflowBlocks) {
+  // A scope that pushed the arena into fresh blocks must empty them on
+  // close and restore the sealed block's cursor exactly.
+  Arena arena(64);
+  (void)arena.allocate(16);
+  const size_t before = arena.used();
+  {
+    ArenaScope scope(arena);
+    for (int i = 0; i < 16; ++i) (void)arena.allocate(512);
+  }
+  EXPECT_EQ(arena.used(), before);
+  EXPECT_GE(arena.high_water(), before + 16u * 512u);
+}
+
+TEST(Arena, RepeatedScopedWorkloadReachesHeapFreeSteadyState) {
+  Arena arena;
+  size_t warm_blocks = 0;
+  for (int iteration = 0; iteration < 10; ++iteration) {
+    ArenaScope scope(arena);
+    for (int i = 0; i < 8; ++i) (void)arena.allocate_array<double>(257);
+    if (iteration == 4) warm_blocks = arena.heap_blocks();
+  }
+  // Geometric block growth converges: once one block holds the whole
+  // workload, later iterations never touch the heap.
+  EXPECT_EQ(arena.heap_blocks(), warm_blocks);
+}
+
+TEST(Arena, ThreadScratchIsPerThread) {
+  Arena* mine = &thread_scratch();
+  EXPECT_EQ(mine, &thread_scratch());  // stable within a thread
+  Arena* theirs = nullptr;
+  std::thread([&] { theirs = &thread_scratch(); }).join();
+  EXPECT_NE(mine, theirs);
+}
+
+}  // namespace
+}  // namespace simphony::util

@@ -72,9 +72,9 @@ SyntheticProblem random_problem(util::Rng& rng, size_t n, size_t S,
         static_cast<size_t>(rng.uniform_int(0, static_cast<int64_t>(S) - 1));
     for (size_t s = 0; s < S; ++s) {
       if (s != guaranteed && rng.coin(p_infeasible)) {
-        sp.costs.at(g, s) = infeasible_entry("synthetic: pair (" +
-                                             std::to_string(g) + ", " +
-                                             std::to_string(s) + ")");
+        sp.costs.set(g, s, infeasible_entry("synthetic: pair (" +
+                                            std::to_string(g) + ", " +
+                                            std::to_string(s) + ")"));
         continue;
       }
       const double energy = tie_heavy
@@ -83,7 +83,7 @@ SyntheticProblem random_problem(util::Rng& rng, size_t n, size_t S,
       const double latency = tie_heavy
                                  ? static_cast<double>(rng.uniform_int(1, 3))
                                  : rng.uniform(1.0, 100.0);
-      sp.costs.at(g, s) = feasible_entry(energy, latency);
+      sp.costs.set(g, s, feasible_entry(energy, latency));
     }
   }
   return sp;
@@ -154,7 +154,7 @@ TEST(MapperOracle, BranchBoundPrunesMostOfTheTree) {
   const size_t S = 3;
   SyntheticProblem sp = random_problem(rng, n, S, 0.0, /*tie_heavy=*/false);
   for (size_t g = 0; g < n; ++g) {
-    sp.costs.at(g, 0) = feasible_entry(1.0, 1.0);  // dominant everywhere
+    sp.costs.set(g, 0, feasible_entry(1.0, 1.0));  // dominant everywhere
   }
   const MappingProblem problem = sp.problem();
 
@@ -235,12 +235,12 @@ TEST(MapperOracle, UnmappableAggregatesEveryStuckLayer) {
   for (size_t g = 0; g < 3; ++g) {
     sp.gemms[g].name = "layer" + std::to_string(g);
   }
-  sp.costs.at(0, 0) = infeasible_entry("reason-0-0");
-  sp.costs.at(0, 1) = infeasible_entry("reason-0-1");
-  sp.costs.at(1, 0) = feasible_entry(1.0, 1.0);
-  sp.costs.at(1, 1) = feasible_entry(2.0, 2.0);
-  sp.costs.at(2, 0) = infeasible_entry("reason-2-0");
-  sp.costs.at(2, 1) = infeasible_entry("reason-2-1");
+  sp.costs.set(0, 0, infeasible_entry("reason-0-0"));
+  sp.costs.set(0, 1, infeasible_entry("reason-0-1"));
+  sp.costs.set(1, 0, feasible_entry(1.0, 1.0));
+  sp.costs.set(1, 1, feasible_entry(2.0, 2.0));
+  sp.costs.set(2, 0, infeasible_entry("reason-2-0"));
+  sp.costs.set(2, 1, infeasible_entry("reason-2-1"));
   const MappingProblem problem = sp.problem();
 
   const GreedyMapper greedy;

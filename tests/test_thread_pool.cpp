@@ -2,11 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <limits>
+#include <memory>
+#include <mutex>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -154,6 +158,233 @@ TEST(ThreadPool, WorkersForClampsToUsefulWorkAndHardCap) {
   EXPECT_EQ(ThreadPool::workers_for(1 << 20,
                                     std::numeric_limits<size_t>::max()),
             1024u);
+}
+
+// ---------------------------------------------------------------------------
+// parallel_for: chunked bulk dispatch with work stealing.
+// ---------------------------------------------------------------------------
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  for (unsigned workers : {0u, 1u, 3u, 8u}) {
+    ThreadPool pool(workers);
+    for (size_t n : {size_t{0}, size_t{1}, size_t{7}, size_t{1000}}) {
+      std::vector<std::atomic<int>> hits(n);
+      for (auto& h : hits) h.store(0);
+      pool.parallel_for(n, [&hits](size_t i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+      });
+      for (size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(hits[i].load(), 1)
+            << "index " << i << " with " << workers << " workers, n=" << n;
+      }
+    }
+  }
+}
+
+TEST(ParallelFor, InlineWithNoWorkers) {
+  ThreadPool pool(0);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::atomic<int> off_thread{0};
+  pool.parallel_for(64, [&](size_t) {
+    if (std::this_thread::get_id() != caller) {
+      off_thread.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  EXPECT_EQ(off_thread.load(), 0);
+}
+
+TEST(ParallelFor, InlineWhenRangeFitsOneChunk) {
+  // n <= min_chunk is not worth a dispatch: plain serial loop, caller's
+  // thread, no bulk tasks enqueued.
+  ThreadPool pool(4);
+  pool.reset_bulk_stats();
+  const std::thread::id caller = std::this_thread::get_id();
+  std::atomic<int> off_thread{0};
+  pool.parallel_for(
+      10,
+      [&](size_t) {
+        if (std::this_thread::get_id() != caller) {
+          off_thread.fetch_add(1, std::memory_order_relaxed);
+        }
+      },
+      /*min_chunk=*/16);
+  EXPECT_EQ(off_thread.load(), 0);
+  EXPECT_EQ(pool.bulk_stats().tasks, 0u);
+  EXPECT_EQ(pool.bulk_stats().items, 10u);
+}
+
+TEST(ParallelFor, RethrowsTheLowestFailingIndex) {
+  for (unsigned workers : {0u, 3u}) {
+    ThreadPool pool(workers);
+    std::mutex mu;
+    std::vector<size_t> threw;  // every index whose body threw
+    try {
+      pool.parallel_for(512, [&](size_t i) {
+        if (i % 3 == 0) {
+          {
+            std::lock_guard<std::mutex> lock(mu);
+            threw.push_back(i);
+          }
+          throw std::runtime_error("fail@" + std::to_string(i));
+        }
+      });
+      FAIL() << "parallel_for swallowed the exception";
+    } catch (const std::runtime_error& e) {
+      std::lock_guard<std::mutex> lock(mu);
+      ASSERT_FALSE(threw.empty());
+      const size_t lowest = *std::min_element(threw.begin(), threw.end());
+      EXPECT_EQ(std::string(e.what()), "fail@" + std::to_string(lowest))
+          << "with " << workers << " workers";
+    }
+  }
+}
+
+TEST(ParallelFor, ExceptionStopsNewChunkClaims) {
+  // After a failure no NEW chunks are claimed, so far fewer than n bodies
+  // run; the pool stays usable afterwards.
+  ThreadPool pool(2);
+  std::atomic<size_t> ran{0};
+  constexpr size_t kN = 1u << 20;
+  EXPECT_THROW(pool.parallel_for(kN,
+                                 [&](size_t i) {
+                                   ran.fetch_add(1,
+                                                 std::memory_order_relaxed);
+                                   if (i == 0) {
+                                     throw std::runtime_error("early");
+                                   }
+                                 }),
+               std::runtime_error);
+  EXPECT_LT(ran.load(), kN);
+  std::atomic<size_t> after{0};
+  pool.parallel_for(100, [&](size_t) {
+    after.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(after.load(), 100u);
+}
+
+TEST(ParallelFor, NestedCallFromBodyCompletes) {
+  // A parallel_for issued from inside a bulk body must not deadlock:
+  // on a worker thread it degrades to an inline loop; on the calling
+  // thread it redispatches, and the caller's own participation guarantees
+  // progress even while the workers drain outer chunks.
+  ThreadPool pool(3);
+  constexpr size_t kOuter = 16;
+  constexpr size_t kInner = 32;
+  std::atomic<size_t> total{0};
+  pool.parallel_for(kOuter, [&](size_t) {
+    pool.parallel_for(kInner, [&](size_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(total.load(), kOuter * kInner);
+}
+
+TEST(ParallelFor, StealsFromAnUnbalancedSegment) {
+  // Segment ownership is contiguous, so a slow first segment (every index
+  // in it sleeps) forces the other participants to finish their own fast
+  // segments and steal the remainder.  Asserting steals > 0 pins that the
+  // stealing path exists and is counted; exact counts are timing-dependent.
+  ThreadPool pool(3);
+  pool.reset_bulk_stats();
+  constexpr size_t kN = 256;  // 4 participants -> segment 0 = [0, 64)
+  std::vector<std::atomic<int>> hits(kN);
+  for (auto& h : hits) h.store(0);
+  pool.parallel_for(kN, [&](size_t i) {
+    if (i < kN / 4) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t i = 0; i < kN; ++i) ASSERT_EQ(hits[i].load(), 1);
+  const ThreadPool::BulkStats stats = pool.bulk_stats();
+  EXPECT_EQ(stats.items, kN);
+  EXPECT_GT(stats.steals, 0u);
+}
+
+TEST(ParallelFor, BulkStatsCountDispatchesTasksAndItems) {
+  ThreadPool pool(3);
+  pool.reset_bulk_stats();
+  std::atomic<size_t> ran{0};
+  pool.parallel_for(1000, [&](size_t) {
+    ran.fetch_add(1, std::memory_order_relaxed);
+  });
+  pool.parallel_for(500, [&](size_t) {
+    ran.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(ran.load(), 1500u);
+  const ThreadPool::BulkStats stats = pool.bulk_stats();
+  EXPECT_EQ(stats.dispatches, 2u);
+  EXPECT_EQ(stats.tasks, 2u * pool.size());  // one bulk job per worker
+  EXPECT_EQ(stats.items, 1500u);
+  EXPECT_GE(stats.chunks, 2u);
+  pool.reset_bulk_stats();
+  EXPECT_EQ(pool.bulk_stats().dispatches, 0u);
+  EXPECT_EQ(pool.bulk_stats().items, 0u);
+}
+
+TEST(ParallelFor, GlobalBulkStatsAggregateAcrossPools) {
+  const ThreadPool::BulkStats before = ThreadPool::global_bulk_stats();
+  {
+    ThreadPool a(2);
+    ThreadPool b(0);
+    std::atomic<size_t> ran{0};
+    a.parallel_for(300, [&](size_t) {
+      ran.fetch_add(1, std::memory_order_relaxed);
+    });
+    b.parallel_for(200, [&](size_t) {
+      ran.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(ran.load(), 500u);
+  }
+  const ThreadPool::BulkStats after = ThreadPool::global_bulk_stats();
+  EXPECT_GE(after.items - before.items, 500u);
+  EXPECT_GE(after.dispatches - before.dispatches, 2u);
+}
+
+TEST(ParallelFor, SurvivesCancelDiscardingItsBulkTasks) {
+  // cancel() may discard the bulk worker jobs while they still sit behind
+  // a long-running task; the dispatching thread keeps claiming chunks
+  // itself and must treat the broken futures as "worker contributed
+  // nothing", not as an error.
+  ThreadPool pool(1);
+  std::promise<void> started;
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  auto blocker = pool.submit([&started, gate] {
+    started.set_value();
+    gate.wait();
+  });
+  started.get_future().wait();
+
+  std::atomic<size_t> ran{0};
+  std::thread dispatcher([&] {
+    pool.parallel_for(100, [&](size_t) {
+      ran.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  pool.cancel();
+  release.set_value();
+  dispatcher.join();
+  blocker.get();
+  EXPECT_EQ(ran.load(), 100u);
+}
+
+TEST(ThreadPool, SubmitAcceptsMoveOnlyCallables) {
+  // The queue stores tasks directly (MoveOnlyTask), so a callable owning
+  // a unique_ptr — and an oversized one that needs the heap fallback —
+  // must both flow through.
+  ThreadPool pool(2);
+  auto small = pool.submit(
+      [p = std::make_unique<int>(7)] { return *p * 6; });
+  struct Big {
+    std::unique_ptr<int> p;
+    unsigned char pad[96];  // > MoveOnlyTask's inline buffer
+  };
+  Big big{std::make_unique<int>(21), {}};
+  auto large = pool.submit([b = std::move(big)] { return *b.p * 2; });
+  EXPECT_EQ(small.get(), 42);
+  EXPECT_EQ(large.get(), 42);
 }
 
 }  // namespace
