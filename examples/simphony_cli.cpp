@@ -67,9 +67,14 @@
 // or --arch the built-in TeMPO template is used; with a description file
 // the PTC is loaded from the circuit description format
 // (arch/description.h).
+//
+// The CLI is a thin client of core::Engine (the same facade simphonyd
+// serves over a socket): flags build a typed SimulateRequest /
+// ExploreRequest, the engine evaluates it, and this file only renders the
+// response — so CLI and server answers are byte-identical by
+// construction.  Flag handling sits on util::FlagParser and interrupt
+// handling on util::ScopedSignalGuard, both shared with simphonyd.
 #include <cmath>
-#include <csignal>
-#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -78,12 +83,11 @@
 #include <unordered_set>
 
 #include "arch/description.h"
-#include "arch/prebuilt.h"
 #include "core/dse.h"
-#include "core/simulator.h"
-#include "core/workload_set.h"
+#include "core/engine.h"
+#include "util/flags.h"
+#include "util/signals.h"
 #include "util/table.h"
-#include "workload/onn_convert.h"
 
 namespace {
 
@@ -91,24 +95,16 @@ using namespace simphony;
 
 // ----------------------------------------------------- interrupt handling
 
-// SIGINT/SIGTERM request a *cooperative* shutdown: the handler only sets
-// a flag (the only thing that is async-signal-safe here), and the sweep's
-// progress callback converts it into a CliInterrupt unwind at the next
-// completed point — after that point has been streamed to --out, so the
-// shard file and the cost cache capture every finished evaluation.
-volatile std::sig_atomic_t g_interrupted = 0;
-
-extern "C" void cli_signal_handler(int) { g_interrupted = 1; }
-
-/// Deliberately NOT derived from std::exception: main's catch-all turns
-/// exceptions into exit code 1, but an interrupt is not an error — it is
-/// caught by run_dse, which finalizes the partial outputs and exits 130.
+// SIGINT/SIGTERM request a *cooperative* shutdown (util/signals.h): the
+// guard's handler only sets a flag, and the sweep's progress callback
+// converts it into a CliInterrupt unwind at the next completed point —
+// after that point has been streamed to --out, so the shard file and the
+// cost cache capture every finished evaluation.
+//
+// Deliberately NOT derived from std::exception: main's catch-all turns
+// exceptions into exit code 1, but an interrupt is not an error — it is
+// caught by run_dse, which finalizes the partial outputs and exits 130.
 struct CliInterrupt {};
-
-void install_interrupt_handlers() {
-  std::signal(SIGINT, cli_signal_handler);
-  std::signal(SIGTERM, cli_signal_handler);
-}
 
 // Whole-string integer parse: rejects trailing garbage ("4x", "1;2") that
 // bare stoi would silently truncate.
@@ -174,31 +170,20 @@ std::vector<int> parse_int_list(const std::string& csv) {
   return values;
 }
 
-arch::PtcTemplate parse_template_name(const std::string& name) {
-  if (name == "tempo") return arch::tempo_template();
-  if (name == "lt") return arch::lightening_transformer_template();
-  if (name == "mzi") return arch::clements_mzi_template();
-  if (name == "scatter") return arch::scatter_template();
-  if (name == "mrr") return arch::mrr_bank_template();
-  if (name == "butterfly") return arch::butterfly_template();
-  if (name == "pcm") return arch::pcm_crossbar_template();
-  if (name == "wdm") return arch::wdm_link_template();
-  throw std::invalid_argument(
-      "unknown --arch template '" + name +
-      "' (expected tempo|lt|mzi|scatter|mrr|butterfly|pcm|wdm)");
-}
-
-std::vector<arch::PtcTemplate> parse_arch_list(const std::string& csv) {
-  std::vector<arch::PtcTemplate> templates;
+std::vector<std::string> parse_arch_list(const std::string& csv) {
+  std::vector<std::string> names;
   std::stringstream stream(csv);
   std::string item;
-  while (std::getline(stream, item, ',')) {
-    templates.push_back(parse_template_name(item));
-  }
-  if (templates.empty()) {
+  while (std::getline(stream, item, ',')) names.push_back(item);
+  if (names.empty()) {
     throw std::invalid_argument("empty --arch template list");
   }
-  return templates;
+  // Validate each name now (flag-time diagnostics) through the engine's
+  // own resolver, so the accepted vocabulary can never drift from it.
+  core::SimulateRequest probe;
+  probe.arch = names;
+  (void)core::resolve_templates(probe);
+  return names;
 }
 
 void apply_sweep_axis(core::DseSpace& space, const std::string& spec) {
@@ -254,7 +239,9 @@ core::DseShard parse_shard(const std::string& spec) {
 
 /// The canonical DSE result document: metadata + the point list.  The
 /// --json output of an unsharded run and the --merge of its shards render
-/// this identically, so the two can be diff'd byte for byte.
+/// this identically, so the two can be diff'd byte for byte.  (The
+/// non-merge DSE path renders the same document through
+/// core::ExploreResponse::to_json.)
 util::Json result_root(const std::string& model_name,
                        const std::string& arch_label,
                        const std::string& sampler_name,
@@ -384,37 +371,26 @@ int run_merge(const std::vector<std::string>& files,
   return 0;
 }
 
-/// DSE mode.  With `workloads` set (>= 2 models), every design point is
-/// costed over the whole batch — the table and CSV show the aggregate
-/// metrics, `--json`/`--out` points additionally carry per-model rows.
-int run_dse(const std::vector<arch::PtcTemplate>& ptcs,
-            const devlib::DeviceLibrary& lib, const workload::Model& model,
-            const core::WorkloadSet* workloads,
-            const std::string& model_label, const core::DseSpace& space,
-            core::DseOptions options, const std::string& sampler_name,
-            size_t total_points, const std::string& out_path,
+/// DSE mode.  Builds the ExploreRequest's outputs from the engine
+/// response: the table and CSV show the aggregate metrics, `--json` /
+/// `--out` points additionally carry per-model rows (batched sweeps).
+int run_dse(core::Engine& engine, const core::ExploreRequest& request,
+            bool batch, size_t total_points, const std::string& out_path,
             const std::string& cache_file, bool resume, bool as_json,
             bool as_csv) {
-  std::string arch_label = ptcs.front().name;
-  for (size_t t = 1; t < ptcs.size(); ++t) arch_label += "+" + ptcs[t].name;
+  // The engine owns these as ground truth; deriving the CLI's metadata
+  // and resume verification from the same helpers means the labels (and
+  // the --resume point check) can never drift from what it evaluates.
+  const core::DseShardWriter::Metadata metadata =
+      core::explore_metadata(request);
 
-  core::DseShardWriter::Metadata metadata;
-  metadata.arch = arch_label;
-  metadata.model = model_label;
-  metadata.sampler = sampler_name;
-  if (workloads != nullptr) {
-    metadata.aggregate = core::to_string(options.aggregate);
-  }
-  metadata.shard = options.shard;
-  metadata.total_points = total_points;
-
-  // --cache-file: warm-start the cost-matrix cache.  A missing file is a
-  // cold start; a damaged one degrades (valid prefix kept, corrupt
-  // records skipped, wrong version abandoned) with a warning — a bad
-  // cache may only ever cost time, never correctness.
+  // --cache-file: warm-start the cost-matrix cache.  The engine loaded
+  // it at construction (a missing file is a cold start; a damaged one
+  // degrades with a warning — a bad cache may only ever cost time, never
+  // correctness); report what it found.
   if (!cache_file.empty()) {
-    const core::CostMatrixCache::LoadReport loaded =
-        options.cost_cache->load(cache_file);
+    const core::CostMatrixCache::LoadReport& loaded =
+        engine.cache_load_report();
     if (!loaded.message.empty()) {
       std::cerr << "simphony_cli: " << cache_file << ": " << loaded.message
                 << "\n";
@@ -468,8 +444,7 @@ int run_dse(const std::vector<arch::PtcTemplate>& ptcs,
       // recovered point against it subsumes a space/seed check without
       // any extra metadata in the file format.
       const std::vector<arch::ArchParams> all_points =
-          options.sampler != nullptr ? options.sampler->sample(space)
-                                     : space.enumerate();
+          core::resolve_points(request);
       for (const core::DsePoint& pt : salvage.result.points) {
         if (pt.index >= all_points.size() ||
             !(pt.params == all_points[pt.index])) {
@@ -489,7 +464,6 @@ int run_dse(const std::vector<arch::PtcTemplate>& ptcs,
                 << recovered.points.size() << " of " << total_points
                 << " point(s) recovered\n";
     }
-    if (!skip_indices.empty()) options.skip_indices = &skip_indices;
   }
 
   // --out streams each point the moment it completes (completion order;
@@ -500,7 +474,7 @@ int run_dse(const std::vector<arch::PtcTemplate>& ptcs,
   // --resume.  --merge restores canonical order and recomputes the
   // frontier.
   std::unique_ptr<core::DseShardWriter> shard_writer;
-  std::function<void(const core::DsePoint&)> progress;
+  core::Engine::ExploreHooks hooks;
   if (!out_path.empty()) {
     shard_writer = std::make_unique<core::DseShardWriter>(out_path, metadata);
     // Re-emit the recovered prefix first: with --threads 1 the resumed
@@ -508,24 +482,24 @@ int run_dse(const std::vector<arch::PtcTemplate>& ptcs,
     for (const core::DsePoint& pt : recovered.points) {
       shard_writer->add_point(pt);
     }
-    progress = [&](const core::DsePoint& pt) { shard_writer->add_point(pt); };
+    hooks.on_point = [&](const core::DsePoint& pt) {
+      shard_writer->add_point(pt);
+    };
   }
+  if (!skip_indices.empty()) hooks.skip_indices = &skip_indices;
 
   // SIGINT/SIGTERM unwind cooperatively at the next completed point (the
   // point itself is streamed before the check fires), so the shard file
   // and the cache capture every finished evaluation.
-  install_interrupt_handlers();
-  options.on_progress = [](const core::DseProgress&) {
-    if (g_interrupted != 0) throw CliInterrupt{};
+  util::ScopedSignalGuard signal_guard;
+  hooks.on_progress = [](const core::Progress&) {
+    if (util::ScopedSignalGuard::interrupted()) throw CliInterrupt{};
   };
 
-  core::DseResult explored;
+  core::ExploreResponse response;
   bool interrupted = false;
   try {
-    explored =
-        workloads != nullptr
-            ? core::explore(ptcs, lib, *workloads, space, options, progress)
-            : core::explore(ptcs, lib, model, space, options, progress);
+    response = engine.explore(request, hooks);
   } catch (const CliInterrupt&) {
     interrupted = true;
   }
@@ -533,7 +507,7 @@ int run_dse(const std::vector<arch::PtcTemplate>& ptcs,
   // Finalize the partial (or complete) outputs in both exits: the shard
   // file commits atomically, the cache saves atomically.
   if (shard_writer != nullptr) shard_writer->finish();
-  if (!cache_file.empty()) options.cost_cache->save(cache_file);
+  if (!cache_file.empty()) engine.save_cache();
 
   if (interrupted) {
     std::cerr << "simphony_cli: interrupted";
@@ -552,31 +526,14 @@ int run_dse(const std::vector<arch::PtcTemplate>& ptcs,
   // prefix with the freshly explored remainder — bit-identical to the
   // uninterrupted run (merge restores canonical order and recomputes the
   // frontier exactly as an unsharded explore would have).
-  const core::DseResult result =
-      recovered.points.empty()
-          ? std::move(explored)
-          : core::merge({std::move(recovered), std::move(explored)});
+  if (!recovered.points.empty()) {
+    response.result = core::merge(
+        {std::move(recovered), std::move(response.result)});
+  }
+  const core::DseResult& result = response.result;
 
-  // Cost-matrix cache telemetry: how often a point's mapping search found
-  // its per-(sub-arch, GEMM) simulations already memoized.
-  const core::CostMatrixCache::Stats cache_stats =
-      options.cost_cache != nullptr ? options.cost_cache->stats()
-                                    : core::CostMatrixCache::Stats{};
-
-  const std::string aggregate_label =
-      workloads != nullptr ? core::to_string(options.aggregate) : "";
   if (as_json) {
-    util::Json root =
-        result_root(model_label, arch_label, sampler_name, aggregate_label,
-                    total_points, options.shard, result);
-    if (options.cost_cache != nullptr) {
-      util::Json cache_json;
-      cache_json["hits"] = cache_stats.hits;
-      cache_json["misses"] = cache_stats.misses;
-      cache_json["hit_rate"] = cache_stats.hit_rate();
-      root["cost_cache"] = std::move(cache_json);
-    }
-    std::cout << root.dump(2) << "\n";
+    std::cout << response.to_json().dump(2) << "\n";
     return 0;
   }
   if (as_csv) {
@@ -598,17 +555,17 @@ int run_dse(const std::vector<arch::PtcTemplate>& ptcs,
     return 0;
   }
 
-  std::cout << "== DSE: " << model_label << " on " << arch_label << " ("
-            << result.points.size() << " of " << total_points
-            << " points, sampler " << sampler_name;
-  if (options.shard.count > 1) {
-    std::cout << ", shard " << options.shard.index << "/"
-              << options.shard.count;
+  std::cout << "== DSE: " << response.model_label << " on "
+            << response.arch_label << " (" << result.points.size() << " of "
+            << total_points << " points, sampler " << response.sampler_name;
+  if (request.shard.count > 1) {
+    std::cout << ", shard " << request.shard.index << "/"
+              << request.shard.count;
   }
   std::cout << ") ==\n";
-  if (workloads != nullptr) {
-    std::cout << "batch of " << workloads->size() << " model(s), aggregate "
-              << core::to_string(options.aggregate)
+  if (batch) {
+    std::cout << "batch of " << request.base.models.size()
+              << " model(s), aggregate " << response.aggregate_label
               << " (per-model rows in --json / --out)\n";
   }
   util::Table table({"#", "R", "C", "HxW", "L", "bits(in/w/out)",
@@ -638,13 +595,13 @@ int run_dse(const std::vector<arch::PtcTemplate>& ptcs,
             << best.params.core_height << "x" << best.params.core_width
             << " L=" << best.params.wavelengths << " bits="
             << bits_label(best.params) << "\n";
-  if (options.cost_cache != nullptr) {
-    std::cout << "cost-matrix cache: " << cache_stats.hits << " hit(s) / "
-              << cache_stats.misses << " miss(es) ("
-              << util::Table::fmt(100.0 * cache_stats.hit_rate(), 1)
+  if (response.cache_attached) {
+    std::cout << "cost-matrix cache: " << response.cache.hits << " hit(s) / "
+              << response.cache.misses << " miss(es) ("
+              << util::Table::fmt(100.0 * response.cache.hit_rate(), 1)
               << "% hit rate)\n";
   }
-  if (options.shard.count > 1) {
+  if (request.shard.count > 1) {
     std::cout << "(shard-local frontier; --merge the shard files for the "
                  "global one)\n";
   }
@@ -652,59 +609,16 @@ int run_dse(const std::vector<arch::PtcTemplate>& ptcs,
 }
 
 /// Batched multi-model mode (no sweep): the architecture is constructed
-/// once, every model of the set runs on it (simulate_batch), and the
-/// output carries per-model rows plus the aggregate batch totals.
-int run_batch(const core::Simulator& sim, const core::WorkloadSet& workloads,
-              const core::Mapper* searched_mapper,
-              core::MappingObjective objective,
-              core::BatchAggregate aggregate, int num_threads,
-              const std::string& arch_label, bool as_json, bool as_csv) {
-  // No --mapping keeps the legacy fixed route-to-sub-arch-0 default.
-  const core::RuleMapper fallback((core::MappingConfig(0)));
-  const core::Mapper& mapper =
-      searched_mapper != nullptr
-          ? static_cast<const core::Mapper&>(*searched_mapper)
-          : fallback;
-  core::BatchOptions batch_options;
-  batch_options.num_threads = num_threads;
-  const core::BatchReport batch =
-      sim.simulate_batch(workloads, mapper, batch_options);
-  const core::BatchReport::Totals totals = batch.totals(aggregate);
+/// once, every model of the set runs on it, and the output carries
+/// per-model rows plus the aggregate batch totals.
+int run_batch(const core::SimulateResponse& response,
+              const std::string& objective_spec, bool as_json, bool as_csv) {
+  const core::BatchReport& batch = response.batch;
+  const core::BatchReport::Totals totals =
+      batch.totals(response.aggregate);
 
   if (as_json) {
-    util::Json root;
-    root["arch"] = arch_label;
-    root["aggregate"] = std::string(core::to_string(aggregate));
-    util::Json models{util::Json::Array{}};
-    for (const core::BatchReport::ModelResult& m : batch.models) {
-      util::Json mj = m.report.to_json();
-      mj["weight"] = m.weight;
-      if (searched_mapper != nullptr) {
-        util::Json mapping_json;
-        mapping_json["strategy"] = mapper.name();
-        mapping_json["objective"] =
-            std::string(core::to_string(objective));
-        mapping_json["predicted_energy_pJ"] = m.mapping.predicted_energy_pJ;
-        mapping_json["predicted_latency_ns"] = m.mapping.predicted_latency_ns;
-        mapping_json["predicted_cost"] = m.mapping.predicted_cost;
-        util::Json assignment{util::Json::Array{}};
-        for (size_t a : m.mapping.assignment) {
-          assignment.push_back(static_cast<double>(a));
-        }
-        mapping_json["assignment"] = std::move(assignment);
-        mj["mapping"] = std::move(mapping_json);
-      }
-      models.push_back(std::move(mj));
-    }
-    root["models"] = std::move(models);
-    util::Json totals_json;
-    totals_json["energy_pJ"] = totals.energy_pJ;
-    totals_json["latency_ns"] = totals.latency_ns;
-    totals_json["area_mm2"] = totals.area_mm2;
-    totals_json["power_W"] = totals.power_W;
-    totals_json["tops"] = totals.tops;
-    root["totals"] = std::move(totals_json);
-    std::cout << root.dump(2) << "\n";
+    std::cout << response.to_json().dump(2) << "\n";
     return 0;
   }
   if (as_csv) {
@@ -717,7 +631,7 @@ int run_batch(const core::Simulator& sim, const core::WorkloadSet& workloads,
           << m.report.average_power_W() << "," << m.report.total_area_mm2()
           << "," << m.report.tops() << "\n";
     }
-    csv << "batch(" << core::to_string(aggregate) << "),,"
+    csv << "batch(" << core::to_string(response.aggregate) << "),,"
         << totals.latency_ns << "," << totals.energy_pJ << ","
         << totals.power_W << "," << totals.area_mm2 << "," << totals.tops
         << "\n";
@@ -726,14 +640,14 @@ int run_batch(const core::Simulator& sim, const core::WorkloadSet& workloads,
   }
 
   std::cout << "== batch: " << batch.models.size() << " models on "
-            << arch_label << " (aggregate "
-            << core::to_string(aggregate);
-  if (searched_mapper != nullptr) {
-    std::cout << ", mapping " << mapper.name() << "/"
-              << core::to_string(objective);
+            << response.arch_label << " (aggregate "
+            << core::to_string(response.aggregate);
+  if (response.mapped) {
+    std::cout << ", mapping " << response.mapping_name << "/"
+              << objective_spec;
   }
   std::cout << ") ==\n";
-  if (searched_mapper != nullptr) {
+  if (response.mapped) {
     util::Table assignment({"model", "layer", "sub-arch", "runtime (us)",
                             "energy (uJ)"});
     for (const core::BatchReport::ModelResult& m : batch.models) {
@@ -758,7 +672,9 @@ int run_batch(const core::Simulator& sim, const core::WorkloadSet& workloads,
                      util::Table::fmt(m.report.total_area_mm2(), 3),
                      util::Table::fmt(m.report.tops(), 2)});
   }
-  summary.add_row({"batch(" + std::string(core::to_string(aggregate)) + ")",
+  summary.add_row({"batch(" +
+                       std::string(core::to_string(response.aggregate)) +
+                       ")",
                    "", util::Table::fmt(totals.latency_ns / 1e3, 2),
                    util::Table::fmt(totals.energy_pJ / 1e6, 2),
                    util::Table::fmt(totals.power_W, 3),
@@ -769,25 +685,15 @@ int run_batch(const core::Simulator& sim, const core::WorkloadSet& workloads,
 }
 
 int run(int argc, char** argv) {
-  std::vector<arch::PtcTemplate> ptcs = {arch::tempo_template()};
+  core::SimulateRequest request;
+  core::ExploreRequest explore_request;  // .base filled from request later
   bool arch_from_file = false;  // a positional description file was given
   bool arch_from_flag = false;  // --arch was given
-  arch::ArchParams params;
   std::vector<std::string> model_specs;  // --model, repeatable
   std::string models_file;               // --models workload-set JSON
-  std::string aggregate_spec = "sum";
   bool aggregate_seen = false;
-  std::string mapping_spec = "rules";
-  std::string objective_spec = "edp";
-  int beam_width = 8;
-  bool cost_cache_enabled = true;
-  core::DseSpace sweep_space;
-  core::DseOptions dse_options;
   std::string dse_flag_seen;
   bool threads_seen = false;
-  std::string sample_spec = "grid";
-  int samples = 0;
-  uint64_t seed = 1;
   std::string out_path;
   std::string cache_file;
   bool resume = false;
@@ -796,175 +702,180 @@ int run(int argc, char** argv) {
   bool as_json = false;
   bool as_csv = false;
 
-  // Expand --flag=value into two tokens so both spellings work (the CI
-  // smoke test and docs use --mapping=greedy style).
-  std::vector<std::string> args;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    const size_t eq = arg.find('=');
-    if (arg.rfind("--", 0) == 0 && eq != std::string::npos) {
-      args.push_back(arg.substr(0, eq));
-      args.push_back(arg.substr(eq + 1));
-    } else {
-      args.push_back(arg);
+  // The declarative flag table (util/flags.h): registration order is
+  // usage order; the parser owns --flag=value expansion, the
+  // unknown-option / missing-value diagnostics, and --help.
+  util::FlagParser flags;
+  flags.set_usage_prefix("usage: simphony_cli [description.sphy]");
+  flags.add_usage_line("       simphony_cli --merge a.json b.json ...");
+  flags.add_flag("--model", "[--model SPEC]...",
+                 [&](const std::string& v) { model_specs.push_back(v); });
+  flags.add_flag("--models", "[--models file.json]",
+                 [&](const std::string& v) { models_file = v; });
+  flags.add_flag("--aggregate", "[--aggregate sum|max|weighted]",
+                 [&](const std::string& v) {
+                   if (!core::parse_aggregate(v)) {
+                     throw std::invalid_argument(
+                         "--aggregate expects sum|max|weighted, got '" + v +
+                         "'");
+                   }
+                   request.aggregate = v;
+                   aggregate_seen = true;
+                 });
+  flags.add_flag("--tiles", "[--tiles R]", [&](const std::string& v) {
+    request.params.tiles = parse_int(v);
+  });
+  flags.add_flag("--cores", "[--cores C]", [&](const std::string& v) {
+    request.params.cores_per_tile = parse_int(v);
+  });
+  flags.add_flag("--size", "[--size HW]", [&](const std::string& v) {
+    request.params.core_height = request.params.core_width = parse_int(v);
+  });
+  flags.add_flag("--wavelengths", "[--wavelengths L]",
+                 [&](const std::string& v) {
+                   request.params.wavelengths = parse_int(v);
+                 });
+  flags.add_flag("--clock", "[--clock GHz]", [&](const std::string& v) {
+    request.params.clock_GHz = parse_positive_double(v, "--clock");
+  });
+  flags.add_flag("--bits", "[--bits in,w,out]", [&](const std::string& v) {
+    const std::vector<int> bits = parse_int_list(v);
+    if (bits.size() != 3) {
+      throw std::invalid_argument("--bits expects in,w,out (3 values)");
     }
-  }
-
-  for (size_t i = 0; i < args.size(); ++i) {
-    const std::string arg = args[i];
-    auto next = [&]() -> std::string {
-      if (i + 1 >= args.size()) {
-        throw std::invalid_argument("missing value after " + arg);
-      }
-      return args[++i];
-    };
-    if (arg == "--model") {
-      model_specs.push_back(next());
-    } else if (arg == "--models") {
-      models_file = next();
-    } else if (arg == "--aggregate") {
-      aggregate_spec = next();
-      if (!core::parse_aggregate(aggregate_spec)) {
-        throw std::invalid_argument(
-            "--aggregate expects sum|max|weighted, got '" + aggregate_spec +
-            "'");
-      }
-      aggregate_seen = true;
-    } else if (arg == "--tiles") {
-      params.tiles = parse_int(next());
-    } else if (arg == "--cores") {
-      params.cores_per_tile = parse_int(next());
-    } else if (arg == "--size") {
-      params.core_height = params.core_width = parse_int(next());
-    } else if (arg == "--wavelengths") {
-      params.wavelengths = parse_int(next());
-    } else if (arg == "--clock") {
-      params.clock_GHz = parse_positive_double(next(), "--clock");
-    } else if (arg == "--bits") {
-      const std::vector<int> bits = parse_int_list(next());
-      if (bits.size() != 3) {
-        throw std::invalid_argument("--bits expects in,w,out (3 values)");
-      }
-      params.input_bits = bits[0];
-      params.weight_bits = bits[1];
-      params.output_bits = bits[2];
-    } else if (arg == "--arch") {
-      if (arch_from_file) {
-        throw std::invalid_argument(
-            "give either a description file or --arch, not both");
-      }
-      ptcs = parse_arch_list(next());
-      arch_from_flag = true;
-    } else if (arg == "--mapping") {
-      mapping_spec = next();
-      if (mapping_spec != "rules" && mapping_spec != "greedy" &&
-          mapping_spec != "beam" && mapping_spec != "bnb") {
-        throw std::invalid_argument(
-            "--mapping expects rules|greedy|beam|bnb, got '" + mapping_spec +
-            "'");
-      }
-    } else if (arg == "--objective") {
-      objective_spec = next();
-      if (!core::parse_objective(objective_spec)) {
-        throw std::invalid_argument(
-            "--objective expects latency|energy|edp, got '" +
-            objective_spec + "'");
-      }
-    } else if (arg == "--beam-width") {
-      beam_width = parse_int(next());
-      if (beam_width < 1) {
-        throw std::invalid_argument("--beam-width expects a positive "
-                                    "integer");
-      }
-    } else if (arg == "--sweep") {
-      apply_sweep_axis(sweep_space, next());
-      sweeping = true;
-    } else if (arg == "--sample") {
-      sample_spec = next();
-      if (sample_spec != "grid" && sample_spec != "random" &&
-          sample_spec != "lhs") {
-        throw std::invalid_argument("--sample expects grid|random|lhs, got '" +
-                                    sample_spec + "'");
-      }
-      dse_flag_seen = arg;
-    } else if (arg == "--samples") {
-      samples = parse_int(next());
-      if (samples < 1) {
-        throw std::invalid_argument("--samples expects a positive integer");
-      }
-      dse_flag_seen = arg;
-    } else if (arg == "--seed") {
-      seed = parse_uint64(next());
-      dse_flag_seen = arg;
-    } else if (arg == "--shard") {
-      dse_options.shard = parse_shard(next());
-      dse_flag_seen = arg;
-    } else if (arg == "--out") {
-      out_path = next();
-    } else if (arg == "--resume") {
-      resume = true;
-    } else if (arg == "--cache-file") {
-      cache_file = next();
-    } else if (arg == "--merge") {
-      // Merge mode: the following non-flag arguments are shard files.
-      while (i + 1 < args.size() && args[i + 1].rfind("--", 0) != 0) {
-        merge_files.push_back(args[++i]);
-      }
-      if (merge_files.empty()) {
-        throw std::invalid_argument("--merge expects one or more shard "
-                                    "files");
-      }
-    } else if (arg == "--threads") {
-      dse_options.num_threads = parse_int(next());
-      if (dse_options.num_threads < 0) {
-        throw std::invalid_argument(
-            "--threads expects a non-negative integer (0 = all hardware "
-            "threads)");
-      }
-      // Tracked apart from the DSE-only flags: --threads also applies to
-      // a non-sweep multi-model batch.
-      threads_seen = true;
-    } else if (arg == "--no-dse-cache") {
-      dse_options.cache = false;
-      dse_flag_seen = arg;
-    } else if (arg == "--no-cost-cache") {
-      cost_cache_enabled = false;
-      dse_flag_seen = arg;
-    } else if (arg == "--json") {
-      as_json = true;
-    } else if (arg == "--csv") {
-      as_csv = true;
-    } else if (arg == "--help") {
-      std::cout << "usage: simphony_cli [description.sphy] [--model SPEC]... "
-                   "[--models file.json] [--aggregate sum|max|weighted] "
-                   "[--tiles R] [--cores C] [--size HW] [--wavelengths L] "
-                   "[--clock GHz] [--bits in,w,out] "
-                   "[--arch T1,T2,...] (templates: tempo|lt|mzi|scatter|"
-                   "mrr|butterfly|pcm|wdm) "
-                   "[--mapping rules|greedy|beam|bnb] "
-                   "[--objective latency|energy|edp] [--beam-width K] "
-                   "[--sweep AXIS=V1,V2,...] (axes: tiles|cores|size|width|"
-                   "wavelengths|bits|output) [--sample grid|random|lhs] "
-                   "[--samples N] [--seed S] [--shard I/N] [--out FILE] "
-                   "[--resume] [--cache-file FILE] "
-                   "[--threads N] [--no-dse-cache] [--no-cost-cache] "
-                   "[--json|--csv]\n"
-                   "       simphony_cli --merge a.json b.json ...\n";
-      return 0;
-    } else if (arg.rfind("--", 0) == 0) {
-      throw std::invalid_argument("unknown option " + arg);
-    } else {
-      if (arch_from_flag || arch_from_file) {
-        throw std::invalid_argument(
-            arch_from_flag
-                ? "give either a description file or --arch, not both"
-                : "only one description file is supported");
-      }
-      std::ifstream f(arg);
-      if (!f) throw std::invalid_argument("cannot open " + arg);
-      ptcs = {arch::parse_description(read_file(arg))};
-      arch_from_file = true;
+    request.params.input_bits = bits[0];
+    request.params.weight_bits = bits[1];
+    request.params.output_bits = bits[2];
+  });
+  flags.add_flag(
+      "--arch",
+      "[--arch T1,T2,...] (templates: tempo|lt|mzi|scatter|"
+      "mrr|butterfly|pcm|wdm)",
+      [&](const std::string& v) {
+        if (arch_from_file) {
+          throw std::invalid_argument(
+              "give either a description file or --arch, not both");
+        }
+        request.arch = parse_arch_list(v);
+        arch_from_flag = true;
+      });
+  flags.add_flag("--mapping", "[--mapping rules|greedy|beam|bnb]",
+                 [&](const std::string& v) {
+                   if (v != "rules" && v != "greedy" && v != "beam" &&
+                       v != "bnb") {
+                     throw std::invalid_argument(
+                         "--mapping expects rules|greedy|beam|bnb, got '" +
+                         v + "'");
+                   }
+                   request.mapping = v;
+                 });
+  flags.add_flag("--objective", "[--objective latency|energy|edp]",
+                 [&](const std::string& v) {
+                   if (!core::parse_objective(v)) {
+                     throw std::invalid_argument(
+                         "--objective expects latency|energy|edp, got '" +
+                         v + "'");
+                   }
+                   request.objective = v;
+                 });
+  flags.add_flag("--beam-width", "[--beam-width K]",
+                 [&](const std::string& v) {
+                   request.beam_width = parse_int(v);
+                   if (request.beam_width < 1) {
+                     throw std::invalid_argument(
+                         "--beam-width expects a positive integer");
+                   }
+                 });
+  flags.add_flag(
+      "--sweep",
+      "[--sweep AXIS=V1,V2,...] (axes: tiles|cores|size|width|"
+      "wavelengths|bits|output)",
+      [&](const std::string& v) {
+        apply_sweep_axis(explore_request.space, v);
+        sweeping = true;
+      });
+  flags.add_flag("--sample", "[--sample grid|random|lhs]",
+                 [&](const std::string& v) {
+                   if (v != "grid" && v != "random" && v != "lhs") {
+                     throw std::invalid_argument(
+                         "--sample expects grid|random|lhs, got '" + v +
+                         "'");
+                   }
+                   explore_request.sample = v;
+                   dse_flag_seen = "--sample";
+                 });
+  flags.add_flag("--samples", "[--samples N]", [&](const std::string& v) {
+    explore_request.samples = parse_int(v);
+    if (explore_request.samples < 1) {
+      throw std::invalid_argument("--samples expects a positive integer");
     }
+    dse_flag_seen = "--samples";
+  });
+  flags.add_flag("--seed", "[--seed S]", [&](const std::string& v) {
+    explore_request.seed = parse_uint64(v);
+    dse_flag_seen = "--seed";
+  });
+  flags.add_flag("--shard", "[--shard I/N]", [&](const std::string& v) {
+    explore_request.shard = parse_shard(v);
+    dse_flag_seen = "--shard";
+  });
+  flags.add_flag("--out", "[--out FILE]",
+                 [&](const std::string& v) { out_path = v; });
+  flags.add_switch("--resume", "[--resume]",
+                   [&](const std::string&) { resume = true; });
+  flags.add_flag("--cache-file", "[--cache-file FILE]",
+                 [&](const std::string& v) { cache_file = v; });
+  flags.add_flag("--threads", "[--threads N]", [&](const std::string& v) {
+    request.num_threads = parse_int(v);
+    if (request.num_threads < 0) {
+      throw std::invalid_argument(
+          "--threads expects a non-negative integer (0 = all hardware "
+          "threads)");
+    }
+    // Tracked apart from the DSE-only flags: --threads also applies to
+    // a non-sweep multi-model batch.
+    threads_seen = true;
+  });
+  flags.add_switch("--no-dse-cache", "[--no-dse-cache]",
+                   [&](const std::string&) {
+                     explore_request.dse_cache = false;
+                     dse_flag_seen = "--no-dse-cache";
+                   });
+  flags.add_switch("--no-cost-cache", "[--no-cost-cache]",
+                   [&](const std::string&) {
+                     request.cost_cache = false;
+                     dse_flag_seen = "--no-cost-cache";
+                   });
+  flags.add_switch("--json", "[--json|--csv]",
+                   [&](const std::string&) { as_json = true; });
+  flags.add_switch("--csv", "",
+                   [&](const std::string&) { as_csv = true; });
+  flags.add_list_flag("--merge", "", [&](std::vector<std::string> files) {
+    merge_files = std::move(files);
+    if (merge_files.empty()) {
+      throw std::invalid_argument("--merge expects one or more shard "
+                                  "files");
+    }
+  });
+  flags.set_positional([&](const std::string& arg) {
+    if (arch_from_flag || arch_from_file) {
+      throw std::invalid_argument(
+          arch_from_flag
+              ? "give either a description file or --arch, not both"
+              : "only one description file is supported");
+    }
+    const std::string text = read_file(arg);
+    // Validate now (flag-time diagnostics, like every other flag); the
+    // request carries the TEXT so it is self-contained — exactly what a
+    // remote simphonyd receives.
+    (void)arch::parse_description(text);
+    request.description = text;
+    arch_from_file = true;
+  });
+  flags.add_help();
+  if (!flags.parse(argc, argv)) {
+    std::cout << flags.usage();
+    return 0;
   }
 
   if (!merge_files.empty()) {
@@ -981,74 +892,35 @@ int run(int argc, char** argv) {
     return run_merge(merge_files, out_path);
   }
 
-  devlib::DeviceLibrary lib = devlib::DeviceLibrary::standard();
-
   // Assemble the model requests: the --models file first, then every
   // --model flag (weight 1); neither given keeps the historical
-  // single-GEMM default.  Two or more requests switch to batched
-  // multi-model mode on one shared architecture.
-  std::vector<core::WorkloadSpec> requests;
+  // single-GEMM default (the engine's own default — an empty model list).
   if (!models_file.empty()) {
-    requests = core::workload_specs_from_json(parse_json_file(models_file));
+    request.models = core::workload_specs_from_json(
+        parse_json_file(models_file));
   }
   for (const std::string& spec : model_specs) {
-    requests.push_back(core::WorkloadSpec{spec, "", 1.0});
+    request.models.push_back(core::WorkloadSpec{spec, "", 1.0});
   }
-  if (requests.empty()) {
-    requests.push_back(core::WorkloadSpec{"gemm:280x28x280", "", 1.0});
-  }
-  const bool batch = requests.size() > 1;
+  const bool batch = request.models.size() > 1;
   if (!batch && aggregate_seen) {
     throw std::invalid_argument(
         "--aggregate only applies to a multi-model batch (repeat --model "
         "or give --models)");
   }
-  const core::BatchAggregate aggregate =
-      *core::parse_aggregate(aggregate_spec);
 
-  // --bits / operand widths apply uniformly to every model of the batch.
-  auto build_model = [&](const std::string& spec) {
-    workload::Model built = workload::model_from_spec(spec);
-    for (auto& layer : built.layers) {
-      layer.input_bits = params.input_bits;
-      layer.weight_bits = params.weight_bits;
-      layer.output_bits = params.output_bits;
-    }
-    workload::convert_model_in_place(built);
-    return built;
-  };
-
-  core::WorkloadSet workloads;
-  std::map<std::string, int> name_uses;  // repeated specs become #2, #3...
-  std::string model_label;
-  for (const core::WorkloadSpec& request : requests) {
-    workload::Model built = build_model(request.spec);
-    std::string name = request.name.empty() ? built.name : request.name;
-    const int uses = ++name_uses[name];
-    if (uses > 1) name += "#" + std::to_string(uses);
-    if (!model_label.empty()) model_label += "+";
-    model_label += name;
-    workloads.add(std::move(built), std::move(name), request.weight);
-  }
-  const workload::Model& model = workloads.at(0).model;
+  // Resolve the models now, through the engine's own resolver: the spec
+  // diagnostics fire here (same order the hand-rolled CLI produced them)
+  // and the single-model human header below needs the built model's name.
+  const core::ResolvedModels resolved = core::resolve_models(request);
 
   // The chosen strategy; null means the legacy fixed route-to-0 default.
-  std::unique_ptr<core::Mapper> mapper;
-  const core::MappingObjective objective = *core::parse_objective(
-      objective_spec);
-  if (mapping_spec == "greedy") {
-    mapper = std::make_unique<core::GreedyMapper>(objective);
-  } else if (mapping_spec == "beam") {
-    mapper = std::make_unique<core::BeamMapper>(
-        static_cast<size_t>(beam_width), objective);
-  } else if (mapping_spec == "bnb") {
-    mapper = std::make_unique<core::BranchBoundMapper>(objective);
-  }
+  const std::unique_ptr<core::Mapper> mapper = core::make_mapper(request);
 
   // --cache-file persists the cost-matrix cache, so it needs a mapping
   // that consults costs — and conflicts with disabling the cache.
   if (!cache_file.empty()) {
-    if (!cost_cache_enabled) {
+    if (!request.cost_cache) {
       throw std::invalid_argument(
           "--cache-file conflicts with --no-cost-cache");
     }
@@ -1070,41 +942,25 @@ int run(int argc, char** argv) {
   }
 
   if (sweeping) {
-    sweep_space.base = params;
-    dse_options.mapper = mapper.get();
-    dse_options.aggregate = aggregate;
-    // The cost-matrix cache only pays off when a searched mapping builds
-    // per-point cost matrices; keep it off otherwise so the summary never
-    // reports a cache that could not be consulted.
-    core::CostMatrixCache cost_cache;
-    if (cost_cache_enabled && mapper != nullptr && mapper->needs_costs()) {
-      dse_options.cost_cache = &cost_cache;
-    }
-    std::unique_ptr<core::DseSampler> sampler;
-    if (sample_spec == "random" || sample_spec == "lhs") {
-      if (samples < 1) {
-        throw std::invalid_argument("--sample " + sample_spec +
-                                    " needs --samples N");
-      }
-      if (sample_spec == "random") {
-        sampler = std::make_unique<core::RandomSampler>(
-            static_cast<size_t>(samples), seed);
-      } else {
-        sampler = std::make_unique<core::LatinHypercubeSampler>(
-            static_cast<size_t>(samples), seed);
-      }
-    } else if (samples > 0) {
-      throw std::invalid_argument(
-          "--samples only applies to --sample random|lhs");
-    }
-    dse_options.sampler = sampler.get();
-    const size_t total_points = sampler != nullptr
-                                    ? static_cast<size_t>(samples)
-                                    : sweep_space.size();
-    return run_dse(ptcs, lib, model, batch ? &workloads : nullptr,
-                   model_label, sweep_space, dse_options, sample_spec,
-                   total_points, out_path, cache_file, resume, as_json,
-                   as_csv);
+    explore_request.base = request;
+    // Sampler validation (e.g. "--sample random needs --samples N") fires
+    // before the engine loads the cache file, like the hand-rolled flow.
+    (void)core::make_sampler(explore_request);
+    const size_t total_points =
+        explore_request.samples > 0
+            ? static_cast<size_t>(explore_request.samples)
+            : [&] {
+                core::DseSpace space = explore_request.space;
+                space.base = request.params;
+                return space.size();
+              }();
+
+    core::Engine::Options engine_options;
+    engine_options.num_threads = 1;  // the CLI evaluates synchronously
+    engine_options.cache_file = cache_file;
+    core::Engine engine(engine_options);
+    return run_dse(engine, explore_request, batch, total_points, out_path,
+                   cache_file, resume, as_json, as_csv);
   }
   if (!dse_flag_seen.empty()) {
     throw std::invalid_argument(dse_flag_seen +
@@ -1121,59 +977,30 @@ int run(int argc, char** argv) {
     throw std::invalid_argument("--out only applies to DSE or merge mode");
   }
 
-  std::string arch_label = ptcs.front().name;
-  for (size_t t = 1; t < ptcs.size(); ++t) arch_label += "+" + ptcs[t].name;
-  arch::Architecture system(arch_label);
-  for (const auto& ptc : ptcs) {
-    system.add_subarch(arch::SubArchitecture(ptc, params, lib));
-  }
-
   // --cache-file outside a sweep: the same persistent warm start for a
   // one-shot costed-mapping simulation (e.g. re-running a batch after a
-  // model edit only re-simulates the changed layers).
-  core::CostMatrixCache persistent_cache;
-  core::SimulationOptions sim_options;
-  if (!cache_file.empty()) {
-    const core::CostMatrixCache::LoadReport loaded =
-        persistent_cache.load(cache_file);
-    if (!loaded.message.empty()) {
-      std::cerr << "simphony_cli: " << cache_file << ": " << loaded.message
-                << "\n";
-    }
-    sim_options.cost_cache = &persistent_cache;
+  // model edit only re-simulates the changed layers).  The engine loaded
+  // it at construction; save it back after the run.
+  core::Engine::Options engine_options;
+  engine_options.num_threads = 1;
+  engine_options.cache_file = cache_file;
+  core::Engine engine(engine_options);
+  if (!cache_file.empty() && !engine.cache_load_report().message.empty()) {
+    std::cerr << "simphony_cli: " << cache_file << ": "
+              << engine.cache_load_report().message << "\n";
   }
-  core::Simulator sim(std::move(system), sim_options);
+
+  const core::SimulateResponse response = engine.simulate(request);
+  if (!cache_file.empty()) engine.save_cache();
 
   if (batch) {
-    const int code =
-        run_batch(sim, workloads, mapper.get(), objective, aggregate,
-                  dse_options.num_threads, arch_label, as_json, as_csv);
-    if (!cache_file.empty()) persistent_cache.save(cache_file);
-    return code;
+    return run_batch(response, request.objective, as_json, as_csv);
   }
-  core::Mapping chosen;
-  const core::ModelReport report =
-      mapper ? sim.simulate_model(model, *mapper, &chosen)
-             : sim.simulate_model(model, core::MappingConfig(0));
-  if (!cache_file.empty()) persistent_cache.save(cache_file);
+  const core::BatchReport::ModelResult& m = response.batch.models.front();
+  const core::ModelReport& report = m.report;
 
   if (as_json) {
-    util::Json root = report.to_json();
-    if (mapper) {
-      util::Json mapping_json;
-      mapping_json["strategy"] = mapper->name();
-      mapping_json["objective"] = std::string(core::to_string(objective));
-      mapping_json["predicted_energy_pJ"] = chosen.predicted_energy_pJ;
-      mapping_json["predicted_latency_ns"] = chosen.predicted_latency_ns;
-      mapping_json["predicted_cost"] = chosen.predicted_cost;
-      util::Json assignment{util::Json::Array{}};
-      for (size_t a : chosen.assignment) {
-        assignment.push_back(static_cast<double>(a));
-      }
-      mapping_json["assignment"] = std::move(assignment);
-      root["mapping"] = std::move(mapping_json);
-    }
-    std::cout << root.dump(2) << "\n";
+    std::cout << response.to_json().dump(2) << "\n";
     return 0;
   }
   if (as_csv) {
@@ -1181,9 +1008,9 @@ int run(int argc, char** argv) {
     return 0;
   }
 
-  if (mapper) {
-    std::cout << "== mapping: " << mapper->name() << " (objective "
-              << core::to_string(objective) << ") ==\n";
+  if (response.mapped) {
+    std::cout << "== mapping: " << response.mapping_name << " (objective "
+              << request.objective << ") ==\n";
     util::Table assignment({"layer", "sub-arch", "runtime (us)",
                             "energy (uJ)"});
     for (const auto& layer : report.layers) {
@@ -1196,11 +1023,12 @@ int run(int argc, char** argv) {
     std::cout << assignment.render();
   }
 
-  std::cout << "== " << model.name << " on " << arch_label << " (R="
-            << params.tiles << " C=" << params.cores_per_tile << " "
-            << params.core_height << "x" << params.core_width << " L="
-            << params.wavelengths << " @ " << params.clock_GHz
-            << " GHz) ==\n";
+  const arch::ArchParams& params = request.params;
+  std::cout << "== " << resolved.workloads.at(0).model.name << " on "
+            << response.arch_label << " (R=" << params.tiles
+            << " C=" << params.cores_per_tile << " " << params.core_height
+            << "x" << params.core_width << " L=" << params.wavelengths
+            << " @ " << params.clock_GHz << " GHz) ==\n";
   util::Table summary({"metric", "value"});
   summary.add_row({"runtime",
                    util::Table::fmt(report.total_runtime_ns / 1e3, 2) +

@@ -1,0 +1,160 @@
+// simphony_client — a minimal client of the simphonyd NDJSON protocol.
+//
+//   simphony_client --connect unix:/tmp/simphonyd.sock --op ping
+//   simphony_client --connect tcp:127.0.0.1:7474 --op simulate \
+//       --request job.json
+//   echo '{}' | simphony_client --connect ... --op explore --request -
+//
+// The request JSON (a SimulateRequest/ExploreRequest document; "{}" is a
+// valid all-defaults simulate) is read from --request FILE or stdin
+// ("-").  The server's "result" document prints to stdout re-indented
+// with dump(2) — byte-identical to the one-shot CLI's --json output, the
+// property the CI smoke test diffs.  Progress events (--progress) and
+// busy/retry chatter go to stderr.
+//
+// Exit codes: 0 ok, 1 error (including a busy queue after --retries
+// attempts).
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "util/flags.h"
+#include "util/json.h"
+#include "util/socket.h"
+
+namespace {
+
+using namespace simphony;
+
+std::string read_request_text(const std::string& path) {
+  if (path == "-") {
+    std::stringstream buffer;
+    buffer << std::cin.rdbuf();
+    return buffer.str();
+  }
+  std::ifstream file(path);
+  if (!file) throw std::invalid_argument("cannot open --request " + path);
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
+}
+
+int run(int argc, char** argv) {
+  std::string connect_spec;
+  std::string op;
+  std::string request_path;
+  std::string id;
+  bool want_progress = false;
+  int retries = 10;
+
+  util::FlagParser flags;
+  flags.set_usage_prefix("usage: simphony_client");
+  flags.add_flag("--connect", "--connect unix:/path|tcp:host:port",
+                 [&](const std::string& value) { connect_spec = value; });
+  flags.add_flag("--op", "--op simulate|explore|ping|stats|shutdown",
+                 [&](const std::string& value) { op = value; });
+  flags.add_flag("--request", "[--request FILE|-]",
+                 [&](const std::string& value) { request_path = value; });
+  flags.add_flag("--id", "[--id ID]",
+                 [&](const std::string& value) { id = value; });
+  flags.add_switch("--progress", "[--progress]",
+                   [&](const std::string&) { want_progress = true; });
+  flags.add_flag("--retries", "[--retries N]",
+                 [&](const std::string& value) {
+                   retries = std::stoi(value);
+                   if (retries < 0) {
+                     throw std::invalid_argument(
+                         "--retries expects a non-negative integer");
+                   }
+                 });
+  flags.add_help();
+  if (!flags.parse(argc, argv)) {
+    std::cout << flags.usage();
+    return 0;
+  }
+  if (connect_spec.empty()) {
+    throw std::invalid_argument("--connect is required");
+  }
+  if (op.empty()) throw std::invalid_argument("--op is required");
+
+  util::Json envelope;
+  envelope["op"] = op;
+  if (!id.empty()) envelope["id"] = id;
+  if (op == "simulate" || op == "explore") {
+    const std::string text =
+        request_path.empty() ? "{}" : read_request_text(request_path);
+    envelope["request"] = util::Json::parse(text);
+    if (want_progress) envelope["progress"] = true;
+  }
+
+  const util::SocketAddress address =
+      util::SocketAddress::parse(connect_spec);
+
+  // A busy server answers immediately with a retry hint; honor it up to
+  // --retries times (each attempt is a fresh connection, so a drained
+  // slot is genuinely re-tested).
+  for (int attempt = 0; attempt <= retries; ++attempt) {
+    util::Socket socket = util::Socket::connect(address);
+    util::LineChannel channel(socket, socket);
+    channel.write_line(envelope.dump(-1));
+    socket.shutdown_write();
+
+    bool retry = false;
+    std::string line;
+    while (channel.read_line(&line)) {
+      if (line.empty()) continue;
+      const util::Json response = util::Json::parse(line);
+      const std::string status = response.at("status").as_string();
+      if (status == "progress") {
+        std::cerr << "simphony_client: progress "
+                  << response.at("completed").as_number() << "/"
+                  << response.at("total").as_number() << "\n";
+        continue;
+      }
+      if (status == "busy") {
+        const int wait_ms =
+            static_cast<int>(response.at("retry_after_ms").as_number());
+        if (attempt == retries) {
+          std::cerr << "simphony_client: server busy, giving up after "
+                    << (retries + 1) << " attempt(s)\n";
+          return 1;
+        }
+        std::cerr << "simphony_client: server busy, retrying in " << wait_ms
+                  << " ms\n";
+        std::this_thread::sleep_for(std::chrono::milliseconds(wait_ms));
+        retry = true;
+        break;  // reconnect and resend
+      }
+      if (status == "error") {
+        std::cerr << "simphony_client: " << response.at("error").as_string()
+                  << "\n";
+        return 1;
+      }
+      // "ok": print the result document exactly as the one-shot CLI
+      // would (dump(2) + trailing newline); ops without a result payload
+      // (shutdown) just succeed quietly.
+      if (response.contains("result")) {
+        std::cout << response.at("result").dump(2) << "\n";
+      }
+      return 0;
+    }
+    if (!retry) break;  // EOF without a terminal response
+  }
+  std::cerr << "simphony_client: connection closed without a response\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "simphony_client: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,130 @@
+// simphonyd — the long-lived DSE-as-a-service daemon.
+//
+// Owns one core::Engine (shared cost-matrix cache, Simulator memo,
+// bounded admission queue) and serves the NDJSON protocol of
+// core/server.h over a Unix-domain or TCP socket:
+//
+//   simphonyd --listen unix:/tmp/simphony.sock --cache-file costs.spcc
+//   simphonyd --listen tcp:127.0.0.1:7474 --queue 32 --threads 4
+//
+// SIGINT/SIGTERM (or a client "shutdown" op) wind the server down
+// gracefully: accepted connections finish, the engine drains, and the
+// cost cache is persisted to --cache-file — the same crash-safe store
+// the one-shot CLI reads, so a warm daemon cache carries over to CLI
+// runs and back.  See docs/server.md for the protocol.
+#include <cstdlib>
+#include <iostream>
+#include <stdexcept>
+#include <string>
+
+#include "core/engine.h"
+#include "core/server.h"
+#include "util/flags.h"
+#include "util/signals.h"
+#include "util/socket.h"
+
+namespace {
+
+using namespace simphony;
+
+int positive_int(const std::string& value, const std::string& flag) {
+  size_t used = 0;
+  int parsed = 0;
+  try {
+    parsed = std::stoi(value, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  if (used != value.size() || parsed < 1) {
+    throw std::invalid_argument(flag + " expects a positive integer, got '" +
+                                value + "'");
+  }
+  return parsed;
+}
+
+int run(int argc, char** argv) {
+  std::string listen_spec = "unix:/tmp/simphonyd.sock";
+  core::Engine::Options engine_options;
+  int poll_interval_ms = 200;
+
+  util::FlagParser flags;
+  flags.set_usage_prefix("usage: simphonyd");
+  flags.add_flag("--listen", "[--listen unix:/path|tcp:host:port]",
+                 [&](const std::string& value) { listen_spec = value; });
+  flags.add_flag("--queue", "[--queue N]", [&](const std::string& value) {
+    engine_options.queue_capacity =
+        static_cast<size_t>(positive_int(value, "--queue"));
+  });
+  flags.add_flag("--threads", "[--threads N]",
+                 [&](const std::string& value) {
+                   engine_options.num_threads =
+                       positive_int(value, "--threads");
+                 });
+  flags.add_flag("--cache-file", "[--cache-file FILE]",
+                 [&](const std::string& value) {
+                   engine_options.cache_file = value;
+                 });
+  flags.add_flag("--retry-after", "[--retry-after MS]",
+                 [&](const std::string& value) {
+                   engine_options.retry_after_ms =
+                       positive_int(value, "--retry-after");
+                 });
+  flags.add_flag("--poll", "[--poll MS]", [&](const std::string& value) {
+    poll_interval_ms = positive_int(value, "--poll");
+  });
+  flags.add_help();
+  if (!flags.parse(argc, argv)) {
+    std::cout << flags.usage();
+    return 0;
+  }
+
+  const util::SocketAddress address = util::SocketAddress::parse(listen_spec);
+
+  core::Engine engine(engine_options);
+  if (!engine.cache_load_report().message.empty()) {
+    std::cerr << "simphonyd: " << engine_options.cache_file << ": "
+              << engine.cache_load_report().message << "\n";
+  }
+  if (engine.cache_load_report().found) {
+    std::cerr << "simphonyd: loaded " << engine.cache_load_report().loaded
+              << " cached cost entr"
+              << (engine.cache_load_report().loaded == 1 ? "y" : "ies")
+              << " from " << engine_options.cache_file << "\n";
+  }
+
+  // The guard routes SIGINT/SIGTERM to a flag the accept loop polls —
+  // the daemon never dies mid-evaluation or mid-cache-write.
+  util::ScopedSignalGuard guard;
+  core::Server::Options server_options;
+  server_options.poll_interval_ms = poll_interval_ms;
+  server_options.should_stop = [] {
+    return util::ScopedSignalGuard::interrupted();
+  };
+  server_options.log = [](const std::string& message) {
+    std::cerr << "simphonyd: " << message << "\n";
+  };
+  core::Server server(engine, address, server_options);
+  std::cerr << "simphonyd: listening on " << server.address().to_string()
+            << "\n";
+
+  server.serve();  // returns drained: no evaluation in flight
+
+  std::cerr << "simphonyd: shutting down";
+  if (!engine_options.cache_file.empty()) {
+    engine.save_cache();
+    std::cerr << "; cost cache saved to " << engine_options.cache_file;
+  }
+  std::cerr << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "simphonyd: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -977,7 +977,10 @@ DseResult run_engine(
   std::mutex progress_mutex;
   size_t completed = 0;
   auto report_progress = [&](const DsePoint& point) {
-    if (!progress && !options.on_progress) return;
+    if (!progress && !options.on_progress &&
+        !options.CommonOptions::on_progress) {
+      return;
+    }
     std::lock_guard<std::mutex> lock(progress_mutex);
     ++completed;
     // Milestones: every Nth completion plus — exactly once, since the
@@ -985,7 +988,10 @@ DseResult run_engine(
     if (completed % progress_every != 0 && completed != n_total) return;
     if (progress) progress(point);
     if (options.on_progress) {
-      options.on_progress(DseProgress{completed, n_total, &point});
+      options.on_progress(DseProgress{{completed, n_total}, &point});
+    }
+    if (options.CommonOptions::on_progress) {
+      options.CommonOptions::on_progress(Progress{completed, n_total});
     }
   };
 

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "arch/node.h"
+#include "core/options.h"
 #include "core/simulator.h"
 #include "core/workload_set.h"
 #include "util/json.h"
@@ -135,41 +136,34 @@ class LatinHypercubeSampler final : public DseSampler {
 
 struct DsePoint;  // defined below
 
-/// Progress snapshot handed to DseOptions::on_progress: the point that
-/// just completed plus the monotone completed-count.  `completed` is
-/// counted under one mutex, so consecutive callbacks always see strictly
-/// increasing values (1, 2, ..., total under progress_every = 1) even
-/// though points complete in a nondeterministic order across workers.
-struct DseProgress {
-  size_t completed = 0;        // shard-local points completed so far
-  size_t total = 0;            // shard-local point count
+/// Progress snapshot handed to DseOptions::on_progress: the generic
+/// Progress counters (monotone `completed` under one mutex, shard-local
+/// `total`) plus the point that just completed.  Consecutive callbacks
+/// always see strictly increasing `completed` values (1, 2, ..., total
+/// under progress_every = 1) even though points complete in a
+/// nondeterministic order across workers.
+struct DseProgress : Progress {
   const DsePoint* point = nullptr;  // the point that just completed
 };
 
-/// Knobs for the exploration engine.
-struct DseOptions {
-  /// Worker threads evaluating design points.  Resolved through
-  /// util::ThreadPool::workers_for — the engine-wide convention: 0 = one
-  /// per hardware thread; 1 = serial evaluation on the calling thread
-  /// (no pool); negative throws std::invalid_argument from explore().
-  int num_threads = 0;
-
+/// Knobs for the exploration engine.  The inherited CommonOptions block
+/// (core/options.h) carries num_threads (worker threads evaluating
+/// design points), cost_cache (cross-point cost-matrix memoization — see
+/// the field's doc in CommonOptions; only consulted when `mapper` needs
+/// costs), progress_every, and the generic on_progress observer.
+struct DseOptions : CommonOptions {
   /// Memoize evaluations by ArchParams so duplicate grid points (collapsed
   /// axes, repeated sweep values) are simulated once.
   bool cache = true;
 
-  /// Invoke the progress callbacks every N completed points (1 = every
-  /// point).  Callbacks are serialized behind a mutex; the completed
-  /// count is monotone, and — whatever N is — the final point of a
-  /// non-empty shard always fires exactly one callback at
-  /// completed == total.  The *point* passed at a milestone is whichever
-  /// one completed there, which is nondeterministic under
-  /// num_threads > 1.
-  int progress_every = 1;
-
-  /// Optional richer progress observer: fires at the same milestones as
-  /// the positional `progress` callback (both fire when both are set)
-  /// with the monotone completed count and the shard-local total.
+  /// Richer, DSE-typed progress observer; deliberately shadows
+  /// CommonOptions::on_progress (the generic hook serves callers like
+  /// core::Engine that need no DsePoint payload).  Both fire — at the
+  /// same milestones — when both are set.  Milestones follow
+  /// CommonOptions::progress_every: every Nth completion plus exactly
+  /// one final callback at completed == total for a non-empty shard.
+  /// The *point* passed at a milestone is whichever one completed
+  /// there, which is nondeterministic under num_threads > 1.
   std::function<void(const DseProgress&)> on_progress;
 
   /// How the per-model metrics of a WorkloadSet explore() fold into the
@@ -194,17 +188,6 @@ struct DseOptions {
   /// spaces too large to enumerate).  Not owned; must outlive the call.
   /// nullptr = grid enumeration, bit-identical to the pre-sampler engine.
   const DseSampler* sampler = nullptr;
-
-  /// Optional cross-point cost-matrix memoization (CostMatrixCache in
-  /// core/mapper.h): the per-(sub-arch, GEMM) LayerReports behind each
-  /// point's mapping search are keyed on a canonical (sub-arch
-  /// parameterization, GEMM) fingerprint, so points sharing a sub-arch
-  /// parameterization — and repeated explore() calls sharing one cache —
-  /// never re-simulate a pair.  Only consulted when `mapper` needs costs.
-  /// Not owned; must outlive the call.  The cache is thread-safe and
-  /// first-writer-wins over bit-identical entries, so results are
-  /// bit-identical with and without it, for any thread count.
-  CostMatrixCache* cost_cache = nullptr;
 
   /// Which 1-of-N slice of the point list this process evaluates.  The
   /// returned points keep their canonical DsePoint::index, and the

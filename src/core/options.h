@@ -1,0 +1,61 @@
+// The shared execution knobs of every long-running engine entry point.
+//
+// SimulationOptions (core/simulator.h), BatchOptions (simulate_batch) and
+// DseOptions (core/dse.h) grew the same three knobs independently —
+// num_threads, cost_cache, and progress hooks — and the request types of
+// the service facade (core/engine.h) would have inherited that drift.
+// CommonOptions is the single definition all of them embed: one
+// num_threads convention (util::ThreadPool::workers_for), one cost-cache
+// attachment point, one progress-milestone contract.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace simphony::core {
+
+class CostMatrixCache;
+
+/// Generic progress snapshot: how many work items (design points, batch
+/// models, ...) have completed out of how many.  Subsystems with richer
+/// payloads derive from it (DseProgress adds the completed point) so
+/// generic observers — the engine facade, the server's streaming
+/// progress — can consume every entry point through one type.
+struct Progress {
+  size_t completed = 0;
+  size_t total = 0;
+};
+
+/// Shared knobs embedded by SimulationOptions, BatchOptions and
+/// DseOptions (and mirrored, value-only, by the serializable request
+/// types in core/engine.h).
+struct CommonOptions {
+  /// Worker threads, resolved through util::ThreadPool::workers_for —
+  /// the engine-wide convention: 0 = one per hardware thread, 1 = serial
+  /// on the calling thread, negative throws std::invalid_argument from
+  /// the entry point.
+  int num_threads = 0;
+
+  /// Optional cross-call memoization of per-(sub-arch, GEMM) cost-matrix
+  /// entries (CostMatrixCache in core/mapper.h).  Not owned; must outlive
+  /// the call.  Thread-safe and first-writer-wins, so results are
+  /// bit-identical with and without it for any thread count.  Per-call
+  /// options (BatchOptions, DseOptions) override a Simulator-level
+  /// attachment when non-null.
+  CostMatrixCache* cost_cache = nullptr;
+
+  /// Invoke the progress observers every N completed work items (1 =
+  /// every item).  Observers are serialized behind a mutex, the completed
+  /// count is monotone, and — whatever N is — the final item of a
+  /// non-empty run always fires exactly one callback at
+  /// completed == total.
+  int progress_every = 1;
+
+  /// Generic progress observer (see Progress above).  Subsystems with a
+  /// richer typed observer (DseOptions::on_progress) fire BOTH when both
+  /// are set; this one exists so generic callers — core::Engine, the
+  /// simphonyd progress stream — need not know the subsystem's payload.
+  std::function<void(const Progress&)> on_progress;
+};
+
+}  // namespace simphony::core

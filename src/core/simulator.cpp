@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <mutex>
 #include <stdexcept>
 
 #include "core/fingerprint.h"
@@ -151,12 +152,14 @@ Simulator::Simulator(arch::Architecture architecture,
     throw std::invalid_argument(
         "Simulator needs an architecture with >= 1 sub-architecture");
   }
-  if (options_.cost_cache != nullptr) {
-    subarch_static_seeds_.reserve(architecture_.subarch_count());
-    for (size_t s = 0; s < architecture_.subarch_count(); ++s) {
-      subarch_static_seeds_.push_back(
-          subarch_static_fingerprint(architecture_.subarch(s), options_));
-    }
+  // Static cache-key prefixes are computed even without a construction-
+  // time cache attachment: BatchOptions::cost_cache may attach one
+  // per-call, and the one-time hash of the template structure is cheap
+  // next to materializing the architecture.
+  subarch_static_seeds_.reserve(architecture_.subarch_count());
+  for (size_t s = 0; s < architecture_.subarch_count(); ++s) {
+    subarch_static_seeds_.push_back(
+        subarch_static_fingerprint(architecture_.subarch(s), options_));
   }
 }
 
@@ -212,9 +215,10 @@ memory::MemoryHierarchy Simulator::build_shared_memory(
 
 CostMatrix Simulator::build_cost_matrix(
     const std::vector<workload::GemmWorkload>& gemms,
-    const memory::MemoryHierarchy& memory,
-    const uint64_t* gemm_keys) const {
-  CostMatrixCache* cache = options_.cost_cache;
+    const memory::MemoryHierarchy& memory, const uint64_t* gemm_keys,
+    CostMatrixCache* cache_override) const {
+  CostMatrixCache* cache =
+      cache_override != nullptr ? cache_override : options_.cost_cache;
   const size_t S = architecture_.subarch_count();
 
   // Fingerprints are computed once per side, not once per pair; the key
@@ -315,7 +319,7 @@ ModelReport Simulator::simulate_gemms(
 
 Simulator::MappingPlan Simulator::plan_mapping(
     const std::vector<workload::GemmWorkload>& gemms, const Mapper& mapper,
-    const uint64_t* gemm_keys) const {
+    const uint64_t* gemm_keys, CostMatrixCache* cache_override) const {
   const auto problems = mapper.validate(architecture_);
   if (!problems.empty()) {
     // Report every validation problem, not just the first one found.
@@ -333,7 +337,8 @@ Simulator::MappingPlan Simulator::plan_mapping(
   problem.gemms = &gemms;
   problem.subarch_count = architecture_.subarch_count();
   if (mapper.needs_costs()) {
-    plan.costs.emplace(build_cost_matrix(gemms, plan.memory, gemm_keys));
+    plan.costs.emplace(
+        build_cost_matrix(gemms, plan.memory, gemm_keys, cache_override));
     problem.costs = &*plan.costs;
   }
 
@@ -360,8 +365,8 @@ Simulator::MappingPlan Simulator::plan_mapping(
 ModelReport Simulator::simulate_gemms_report(
     const std::vector<workload::GemmWorkload>& gemms, const Mapper& mapper,
     const std::string& model_name, Mapping* chosen,
-    const uint64_t* gemm_keys) const {
-  MappingPlan plan = plan_mapping(gemms, mapper, gemm_keys);
+    const uint64_t* gemm_keys, CostMatrixCache* cache_override) const {
+  MappingPlan plan = plan_mapping(gemms, mapper, gemm_keys, cache_override);
   const std::optional<CostMatrix>& costs = plan.costs;
 
   ModelReport report;
@@ -485,6 +490,24 @@ BatchReport Simulator::simulate_batch(const WorkloadSet& workloads,
   // caller.
   util::ThreadPool pool(
       util::ThreadPool::workers_for(options.num_threads, workloads.size()));
+
+  // Progress milestones follow the CommonOptions contract: one mutex
+  // keeps the completed count monotone, and the final model always fires
+  // exactly one callback at completed == size() for any progress_every.
+  const size_t progress_every =
+      static_cast<size_t>(std::max(1, options.progress_every));
+  std::mutex progress_mutex;
+  size_t completed = 0;
+  auto report_progress = [&]() {
+    if (!options.on_progress) return;
+    std::lock_guard<std::mutex> lock(progress_mutex);
+    ++completed;
+    if (completed % progress_every != 0 && completed != workloads.size()) {
+      return;
+    }
+    options.on_progress(Progress{completed, workloads.size()});
+  };
+
   pool.parallel_for(workloads.size(), [&](size_t i) {
     const WorkloadSet::Entry& entry = workloads.at(i);
     BatchReport::ModelResult& slot = batch.models[i];
@@ -492,7 +515,9 @@ BatchReport Simulator::simulate_batch(const WorkloadSet& workloads,
     slot.weight = entry.weight;
     slot.report =
         simulate_gemms_report(entry.gemms, mapper, entry.name, &slot.mapping,
-                              entry.gemm_fingerprints.data());
+                              entry.gemm_fingerprints.data(),
+                              options.cost_cache);
+    report_progress();
   });
   return batch;
 }

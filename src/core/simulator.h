@@ -16,6 +16,7 @@
 #include "arch/hierarchy.h"
 #include "core/mapper.h"
 #include "core/mapping.h"
+#include "core/options.h"
 #include "core/report.h"
 #include "core/workload_set.h"
 #include "devlib/power_model.h"
@@ -26,30 +27,30 @@
 
 namespace simphony::core {
 
-struct SimulationOptions {
+/// Construction-time knobs of a Simulator.  The inherited CommonOptions
+/// block (core/options.h) is the Simulator-level default: cost_cache is
+/// the cross-call memoization every simulation of this Simulator
+/// consults (see CostMatrixCache in core/mapper.h — not owned, must
+/// outlive the Simulator, thread-safe, results bit-identical with and
+/// without it); num_threads and the progress hooks are defaults for
+/// entry points that take no per-call options.  Per-call options
+/// (BatchOptions) override the inherited fields where documented.
+struct SimulationOptions : CommonOptions {
   energy::EnergyOptions energy;
   layout::AreaOptions area;
   memory::MemoryOptions memory;
-
-  /// Optional cross-call memoization of per-(sub-arch, GEMM) cost-matrix
-  /// entries (see CostMatrixCache in core/mapper.h).  Not owned; must
-  /// outlive the Simulator.  Thread-safe, so one cache may back every
-  /// Simulator of a DSE sweep; results are bit-identical with and
-  /// without it.
-  CostMatrixCache* cost_cache = nullptr;
 };
 
-/// Knobs for Simulator::simulate_batch.
-struct BatchOptions {
-  /// Models simulated concurrently on a util::ThreadPool.  Follows the
-  /// engine-wide convention (util::ThreadPool::workers_for): 0 = one
-  /// worker per hardware thread, 1 = serial on the calling thread,
-  /// negative throws.  Never more workers than models.  With a parallel
-  /// batch, prefer serial mappers (BeamMapper's and BranchBoundMapper's
-  /// default num_threads = 1): a mapper running its own pool inside
-  /// every batch worker oversubscribes the machine.
-  int num_threads = 0;
-};
+/// Per-call knobs for Simulator::simulate_batch — exactly the shared
+/// CommonOptions block.  num_threads: models simulated concurrently on a
+/// util::ThreadPool (never more workers than models; with a parallel
+/// batch, prefer serial mappers — a mapper running its own pool inside
+/// every batch worker oversubscribes the machine).  cost_cache: when
+/// non-null, overrides the Simulator's SimulationOptions attachment for
+/// this batch.  on_progress fires per completed model (monotone count
+/// under one mutex, final callback at completed == size() — see
+/// CommonOptions::progress_every).
+struct BatchOptions : CommonOptions {};
 
 /// Totals-only result of the simulate_gemms flow: exactly the figures the
 /// DSE engine folds into a DsePoint, accumulated straight from the cost
@@ -224,21 +225,26 @@ class Simulator {
   [[nodiscard]] memory::MemoryHierarchy build_shared_memory(
       const std::vector<workload::GemmWorkload>& gemms) const;
 
+  /// `cache_override` (here and below): non-null replaces the
+  /// construction-time SimulationOptions::cost_cache for this call — the
+  /// BatchOptions::cost_cache per-call override.
   [[nodiscard]] CostMatrix build_cost_matrix(
       const std::vector<workload::GemmWorkload>& gemms,
-      const memory::MemoryHierarchy& memory,
-      const uint64_t* gemm_keys) const;
+      const memory::MemoryHierarchy& memory, const uint64_t* gemm_keys,
+      CostMatrixCache* cache_override = nullptr) const;
 
   /// validate + build_shared_memory + build_cost_matrix (when the
   /// strategy consults costs) + map + assignment size/range checks.
   [[nodiscard]] MappingPlan plan_mapping(
       const std::vector<workload::GemmWorkload>& gemms, const Mapper& mapper,
-      const uint64_t* gemm_keys) const;
+      const uint64_t* gemm_keys,
+      CostMatrixCache* cache_override = nullptr) const;
 
   [[nodiscard]] ModelReport simulate_gemms_report(
       const std::vector<workload::GemmWorkload>& gemms, const Mapper& mapper,
       const std::string& model_name, Mapping* chosen,
-      const uint64_t* gemm_keys) const;
+      const uint64_t* gemm_keys,
+      CostMatrixCache* cache_override = nullptr) const;
 };
 
 }  // namespace simphony::core

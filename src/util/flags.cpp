@@ -1,0 +1,110 @@
+#include "util/flags.h"
+
+#include <stdexcept>
+
+namespace simphony::util {
+
+void FlagParser::add_flag(std::string name, std::string usage,
+                          Handler handler) {
+  flags_.push_back(Flag{std::move(name), std::move(usage), Kind::kValue,
+                        std::move(handler), nullptr});
+}
+
+void FlagParser::add_switch(std::string name, std::string usage,
+                            Handler handler) {
+  flags_.push_back(Flag{std::move(name), std::move(usage), Kind::kSwitch,
+                        std::move(handler), nullptr});
+}
+
+void FlagParser::add_list_flag(std::string name, std::string usage,
+                               ListHandler handler) {
+  flags_.push_back(Flag{std::move(name), std::move(usage), Kind::kGreedy,
+                        nullptr, std::move(handler)});
+}
+
+const FlagParser::Flag* FlagParser::find(const std::string& name) const {
+  for (const Flag& flag : flags_) {
+    if (flag.name == name) return &flag;
+  }
+  return nullptr;
+}
+
+bool FlagParser::parse(int argc, char** argv) const {
+  std::vector<std::string> args;
+  args.reserve(argc > 0 ? static_cast<size_t>(argc) - 1 : 0);
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  return parse(args);
+}
+
+bool FlagParser::parse(const std::vector<std::string>& argv) const {
+  // Expand --flag=value into two tokens so both spellings work — for
+  // every "--"-prefixed token, known or not, exactly like the
+  // hand-rolled loop did (so "--bogus=3" still reports unknown option
+  // "--bogus", and "--json=1" still parses as the switch plus a
+  // positional "1").
+  std::vector<std::string> args;
+  args.reserve(argv.size());
+  for (const std::string& arg : argv) {
+    const size_t eq = arg.find('=');
+    if (arg.rfind("--", 0) == 0 && eq != std::string::npos) {
+      args.push_back(arg.substr(0, eq));
+      args.push_back(arg.substr(eq + 1));
+    } else {
+      args.push_back(arg);
+    }
+  }
+
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (help_enabled_ && arg == "--help") return false;
+    const Flag* flag =
+        arg.rfind("--", 0) == 0 ? find(arg) : nullptr;
+    if (flag == nullptr) {
+      if (arg.rfind("--", 0) == 0) {
+        throw std::invalid_argument("unknown option " + arg);
+      }
+      if (!positional_) {
+        throw std::invalid_argument("unexpected argument '" + arg + "'");
+      }
+      positional_(arg);
+      continue;
+    }
+    switch (flag->kind) {
+      case Kind::kSwitch:
+        flag->handler("");
+        break;
+      case Kind::kValue:
+        if (i + 1 >= args.size()) {
+          throw std::invalid_argument("missing value after " + arg);
+        }
+        flag->handler(args[++i]);
+        break;
+      case Kind::kGreedy: {
+        std::vector<std::string> values;
+        while (i + 1 < args.size() && args[i + 1].rfind("--", 0) != 0) {
+          values.push_back(args[++i]);
+        }
+        flag->list_handler(std::move(values));
+        break;
+      }
+    }
+  }
+  return true;
+}
+
+std::string FlagParser::usage() const {
+  std::string text = usage_prefix_;
+  for (const Flag& flag : flags_) {
+    if (flag.usage.empty()) continue;
+    if (!text.empty()) text += " ";
+    text += flag.usage;
+  }
+  text += "\n";
+  for (const std::string& line : usage_lines_) {
+    text += line;
+    text += "\n";
+  }
+  return text;
+}
+
+}  // namespace simphony::util

@@ -1,0 +1,38 @@
+#include "util/signals.h"
+
+namespace simphony::util {
+namespace {
+
+// sig_atomic_t is the only type the standard guarantees a handler may
+// write; both fields are single writes, so torn reads are impossible.
+volatile std::sig_atomic_t g_interrupted = 0;
+volatile std::sig_atomic_t g_signal_number = 0;
+
+extern "C" void guard_signal_handler(int signum) {
+  g_signal_number = signum;
+  g_interrupted = 1;
+}
+
+}  // namespace
+
+ScopedSignalGuard::ScopedSignalGuard()
+    : previous_int_(std::signal(SIGINT, guard_signal_handler)),
+      previous_term_(std::signal(SIGTERM, guard_signal_handler)) {}
+
+ScopedSignalGuard::~ScopedSignalGuard() {
+  std::signal(SIGINT, previous_int_ == SIG_ERR ? SIG_DFL : previous_int_);
+  std::signal(SIGTERM, previous_term_ == SIG_ERR ? SIG_DFL : previous_term_);
+}
+
+bool ScopedSignalGuard::interrupted() { return g_interrupted != 0; }
+
+int ScopedSignalGuard::signal_number() {
+  return static_cast<int>(g_signal_number);
+}
+
+void ScopedSignalGuard::reset() {
+  g_interrupted = 0;
+  g_signal_number = 0;
+}
+
+}  // namespace simphony::util

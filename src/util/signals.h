@@ -1,0 +1,49 @@
+// Cooperative-shutdown signal handling, shared by the CLI's
+// save-cache-on-SIGINT path and simphonyd's graceful drain.
+//
+// The contract both callers need is the same: SIGINT/SIGTERM must not
+// kill the process mid-write — the handler only sets a flag (the only
+// async-signal-safe thing to do here), and the long-running loop polls
+// the flag at safe points (a completed design point, a server accept
+// timeout) to unwind cooperatively, finalizing partial outputs first.
+#pragma once
+
+#include <csignal>
+
+namespace simphony::util {
+
+/// RAII guard that routes SIGINT and SIGTERM to a process-wide
+/// interrupted flag for its lifetime and restores the previous handlers
+/// on destruction.  Guards nest: the flag is shared (any guard's
+/// interrupted() sees a delivery during any enclosing guard), handlers
+/// are restored innermost-out, and the flag is NOT cleared on
+/// destruction — an interrupt observed once stays observed, so a caller
+/// that unwinds through several guards cannot lose the shutdown request.
+///
+/// Not thread-safe to construct/destroy concurrently (install it once
+/// near the top of main, or of the thread that owns shutdown); reading
+/// interrupted() from any thread is fine.
+class ScopedSignalGuard {
+ public:
+  ScopedSignalGuard();
+  ~ScopedSignalGuard();
+  ScopedSignalGuard(const ScopedSignalGuard&) = delete;
+  ScopedSignalGuard& operator=(const ScopedSignalGuard&) = delete;
+
+  /// True once SIGINT or SIGTERM has been delivered under any guard.
+  [[nodiscard]] static bool interrupted();
+
+  /// Which signal was delivered (SIGINT or SIGTERM), 0 if none yet.
+  /// With multiple deliveries, the most recent wins.
+  [[nodiscard]] static int signal_number();
+
+  /// Clears the flag (tests, or a server that handled one drain request
+  /// and wants to observe a second).
+  static void reset();
+
+ private:
+  void (*previous_int_)(int);
+  void (*previous_term_)(int);
+};
+
+}  // namespace simphony::util

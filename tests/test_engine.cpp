@@ -1,0 +1,394 @@
+// core::Engine (the DSE-as-a-service facade): strict JSON round-trips of
+// the typed requests, the canonical-normal-form property the coalescing
+// key relies on, admission (backpressure + coalescing) through the
+// counters, the warm-cache acceptance bar (>= 90% hits for a repeated
+// request), and — when SIMPHONY_CLI_PATH is defined — bit-identity of
+// the facade's documents against the real one-shot CLI's --json output.
+#include "core/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#ifdef SIMPHONY_CLI_PATH
+#include <sys/wait.h>
+#endif
+
+#include "util/json.h"
+
+namespace simphony::core {
+namespace {
+
+std::string error_of(const std::function<void()>& thunk) {
+  try {
+    thunk();
+  } catch (const std::exception& error) {
+    return error.what();
+  }
+  return "";
+}
+
+// ------------------------------------------------------ JSON round trips
+
+TEST(EngineRequestJson, SimulateDefaultsRoundTripExactly) {
+  const SimulateRequest request;
+  const util::Json document = request.to_json();
+  const SimulateRequest back = SimulateRequest::from_json(document);
+  EXPECT_EQ(back.to_json().dump(-1), document.dump(-1));
+}
+
+TEST(EngineRequestJson, SimulatePopulatedRoundTripExactly) {
+  SimulateRequest request;
+  request.arch = {"tempo", "mzi"};
+  request.params.tiles = 3;
+  request.params.wavelengths = 8;
+  request.params.clock_GHz = 2.5;
+  request.models.push_back(WorkloadSpec{"gemm:64x32x64", "a", 2.0});
+  request.models.push_back(WorkloadSpec{"mlp", "", 1.0});
+  request.aggregate = "weighted";
+  request.mapping = "beam";
+  request.objective = "energy";
+  request.beam_width = 4;
+  request.cost_cache = false;
+  request.num_threads = 2;
+
+  const util::Json document = request.to_json();
+  const SimulateRequest back = SimulateRequest::from_json(document);
+  EXPECT_EQ(back.to_json().dump(-1), document.dump(-1));
+  EXPECT_EQ(back.arch, request.arch);
+  EXPECT_EQ(back.models.size(), 2u);
+  EXPECT_EQ(back.models[0].name, "a");
+  EXPECT_EQ(back.models[0].weight, 2.0);
+  EXPECT_EQ(back.params.clock_GHz, 2.5);
+}
+
+TEST(EngineRequestJson, ExploreRoundTripExactly) {
+  ExploreRequest request;
+  request.base.mapping = "greedy";
+  request.space.tiles = {1, 2};
+  request.space.wavelengths = {4, 8};
+  request.sample = "random";
+  request.samples = 3;
+  request.seed = 42;
+  request.shard.index = 1;
+  request.shard.count = 2;
+  request.dse_cache = false;
+
+  const util::Json document = request.to_json();
+  const ExploreRequest back = ExploreRequest::from_json(document);
+  EXPECT_EQ(back.to_json().dump(-1), document.dump(-1));
+  EXPECT_EQ(back.space.tiles, request.space.tiles);
+  EXPECT_EQ(back.samples, 3);
+  EXPECT_EQ(back.seed, 42u);
+  EXPECT_EQ(back.shard.index, 1u);
+  EXPECT_EQ(back.shard.count, 2u);
+}
+
+// The coalescing key is the canonical dump: a sparse spelling and the
+// full default document must serialize identically after one parse.
+TEST(EngineRequestJson, SparseSpellingCanonicalizesToDefaults) {
+  const SimulateRequest sparse =
+      SimulateRequest::from_json(util::Json::parse("{}"));
+  EXPECT_EQ(sparse.to_json().dump(-1), SimulateRequest{}.to_json().dump(-1));
+
+  const ExploreRequest sparse_explore =
+      ExploreRequest::from_json(util::Json::parse("{}"));
+  EXPECT_EQ(sparse_explore.to_json().dump(-1),
+            ExploreRequest{}.to_json().dump(-1));
+}
+
+// ------------------------------------------------------ malformed corpus
+
+TEST(EngineRequestJson, UnknownKeysAreRejectedEverywhere) {
+  EXPECT_NE(error_of([] {
+              (void)SimulateRequest::from_json(
+                  util::Json::parse(R"({"mappnig": "beam"})"));
+            }).find("unexpected key 'mappnig'"),
+            std::string::npos);
+  EXPECT_NE(error_of([] {
+              (void)SimulateRequest::from_json(
+                  util::Json::parse(R"({"params": {"tiless": 2}})"));
+            }).find("unexpected key 'tiless'"),
+            std::string::npos);
+  EXPECT_NE(error_of([] {
+              (void)SimulateRequest::from_json(util::Json::parse(
+                  R"({"models": [{"spec": "mlp", "wieght": 2}]})"));
+            }).find("unexpected key 'wieght'"),
+            std::string::npos);
+  EXPECT_NE(error_of([] {
+              (void)ExploreRequest::from_json(
+                  util::Json::parse(R"({"sweeep": {}})"));
+            }).find("unexpected key 'sweeep'"),
+            std::string::npos);
+}
+
+TEST(EngineRequestJson, WrongTypesAndRangesAreRejected) {
+  // Non-integer where an integer is required.
+  EXPECT_FALSE(error_of([] {
+                 (void)SimulateRequest::from_json(
+                     util::Json::parse(R"({"params": {"tiles": 1.5}})"));
+               }).empty());
+  EXPECT_FALSE(error_of([] {
+                 (void)SimulateRequest::from_json(
+                     util::Json::parse(R"({"params": {"tiles": "two"}})"));
+               }).empty());
+  // Negative worker count.
+  EXPECT_FALSE(error_of([] {
+                 (void)SimulateRequest::from_json(
+                     util::Json::parse(R"({"num_threads": -1})"));
+               }).empty());
+  // Non-positive / non-finite clock.
+  EXPECT_FALSE(error_of([] {
+                 (void)SimulateRequest::from_json(
+                     util::Json::parse(R"({"params": {"clock_GHz": 0}})"));
+               }).empty());
+  // Shard index out of range.
+  EXPECT_FALSE(error_of([] {
+                 (void)ExploreRequest::from_json(util::Json::parse(
+                     R"({"shard": {"index": 2, "count": 2}})"));
+               }).empty());
+  // Negative seed.
+  EXPECT_FALSE(error_of([] {
+                 (void)ExploreRequest::from_json(
+                     util::Json::parse(R"({"seed": -1})"));
+               }).empty());
+}
+
+TEST(EngineRequestJson, EvaluationValidationKeepsCliDiagnostics) {
+  SimulateRequest both;
+  both.arch = {"tempo"};
+  both.description = "ptc x\n  core 4x4\n";
+  EXPECT_NE(error_of([&] { (void)resolve_templates(both); })
+                .find("not both"),
+            std::string::npos);
+
+  SimulateRequest bad_mapping;
+  bad_mapping.mapping = "quantum";
+  EXPECT_NE(error_of([&] { (void)make_mapper(bad_mapping); })
+                .find("--mapping expects rules|greedy|beam|bnb"),
+            std::string::npos);
+
+  ExploreRequest no_samples;
+  no_samples.sample = "random";
+  EXPECT_NE(error_of([&] { (void)make_sampler(no_samples); })
+                .find("--samples"),
+            std::string::npos);
+}
+
+// ------------------------------------------------------------- admission
+
+SimulateRequest tiny_request() {
+  SimulateRequest request;
+  request.models.push_back(WorkloadSpec{"gemm:32x16x32", "", 1.0});
+  request.num_threads = 1;
+  return request;
+}
+
+TEST(EngineAdmission, QueueFullRejectsWithRetryHint) {
+  Engine::Options options;
+  options.queue_capacity = 0;  // reject everything
+  options.retry_after_ms = 123;
+  Engine engine(options);
+
+  const Engine::Admission admission = engine.submit(tiny_request());
+  EXPECT_FALSE(admission.accepted);
+  EXPECT_EQ(admission.retry_after_ms, 123);
+  EXPECT_EQ(engine.counters().rejected, 1u);
+  EXPECT_EQ(engine.counters().accepted, 0u);
+  EXPECT_EQ(engine.pending(), 0u);
+}
+
+TEST(EngineAdmission, ConcurrentIdenticalRequestsCoalesce) {
+  std::mutex mutex;
+  std::condition_variable started_cv;
+  std::condition_variable release_cv;
+  bool started = false;
+  bool released = false;
+
+  Engine::Options options;
+  options.num_threads = 2;  // a real pool, so evaluation blocks off-thread
+  options.queue_capacity = 4;
+  options.evaluation_hook = [&] {
+    std::unique_lock<std::mutex> lock(mutex);
+    started = true;
+    started_cv.notify_all();
+    release_cv.wait(lock, [&] { return released; });
+  };
+  Engine engine(options);
+
+  const SimulateRequest request = tiny_request();
+  const Engine::Admission first = engine.submit(request);
+  ASSERT_TRUE(first.accepted);
+  EXPECT_FALSE(first.coalesced);
+  {
+    // Only join once the evaluation is demonstrably in flight.
+    std::unique_lock<std::mutex> lock(mutex);
+    started_cv.wait(lock, [&] { return started; });
+  }
+
+  // Same request, spelled through a JSON round trip: still one flight.
+  const Engine::Admission twin = engine.submit(
+      SimulateRequest::from_json(request.to_json()));
+  ASSERT_TRUE(twin.accepted);
+  EXPECT_TRUE(twin.coalesced);
+  EXPECT_EQ(engine.pending(), 1u);
+
+  // A different request is admitted independently (hook blocks it too).
+  SimulateRequest other = tiny_request();
+  other.objective = "energy";
+  const Engine::Admission distinct = engine.submit(other);
+  ASSERT_TRUE(distinct.accepted);
+  EXPECT_FALSE(distinct.coalesced);
+
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    released = true;
+  }
+  release_cv.notify_all();
+
+  const Engine::Outcome a = first.outcome.get();
+  const Engine::Outcome b = twin.outcome.get();
+  ASSERT_TRUE(a.ok) << a.error;
+  EXPECT_EQ(a.document.dump(-1), b.document.dump(-1));
+
+  engine.drain();
+  const Engine::Counters counters = engine.counters();
+  EXPECT_EQ(counters.accepted, 2u);
+  EXPECT_EQ(counters.coalesced, 1u);
+  EXPECT_EQ(counters.rejected, 0u);
+  EXPECT_EQ(counters.completed, 2u);
+  EXPECT_EQ(engine.pending(), 0u);
+}
+
+TEST(EngineAdmission, EvaluationErrorsLandInOutcomeNotExceptions) {
+  Engine engine;
+  SimulateRequest bad = tiny_request();
+  bad.mapping = "quantum";
+  const Engine::Admission admission = engine.submit(bad);
+  ASSERT_TRUE(admission.accepted);
+  const Engine::Outcome outcome = admission.outcome.get();
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_NE(outcome.error.find("--mapping expects"), std::string::npos);
+  engine.drain();
+  EXPECT_EQ(engine.counters().completed, 1u);
+}
+
+// ------------------------------------------------------------ warm cache
+
+ExploreRequest costed_sweep() {
+  ExploreRequest request;
+  request.base = tiny_request();
+  request.base.mapping = "greedy";
+  request.space.tiles = {1, 2};
+  return request;
+}
+
+TEST(EngineWarmCache, RepeatedExploreServesAtLeastNinetyPercentHits) {
+  Engine engine;
+  const ExploreRequest request = costed_sweep();
+
+  const ExploreResponse cold = engine.explore(request);
+  ASSERT_TRUE(cold.cache_attached);
+  EXPECT_GT(cold.cache.misses, 0u);
+  EXPECT_EQ(cold.cache.hits, 0u);
+
+  const ExploreResponse warm = engine.explore(request);
+  ASSERT_TRUE(warm.cache_attached);
+  EXPECT_EQ(warm.cache.misses, 0u);
+  EXPECT_GE(warm.cache.hit_rate(), 0.9);
+
+  // Warm results are bit-identical to cold ones.
+  EXPECT_EQ(to_json(warm.result).dump(-1), to_json(cold.result).dump(-1));
+}
+
+TEST(EngineWarmCache, SimulateReusesTheSharedCacheAcrossRequests) {
+  Engine engine;
+  SimulateRequest request = tiny_request();
+  request.mapping = "greedy";
+
+  const SimulateResponse cold = engine.simulate(request);
+  ASSERT_TRUE(cold.cache_attached);
+  EXPECT_GT(cold.cache.misses, 0u);
+
+  const SimulateResponse warm = engine.simulate(request);
+  ASSERT_TRUE(warm.cache_attached);
+  EXPECT_EQ(warm.cache.misses, 0u);
+  EXPECT_GE(warm.cache.hit_rate(), 0.9);
+  EXPECT_EQ(warm.to_json().dump(-1), cold.to_json().dump(-1));
+}
+
+// --------------------------------------------------- CLI byte-identity
+//
+// The acceptance bar of the facade: the documents the Engine returns are
+// byte-for-byte what the one-shot CLI prints with --json.
+#ifdef SIMPHONY_CLI_PATH
+
+std::string run_cli_stdout(const std::string& args) {
+  const std::string command = std::string(SIMPHONY_CLI_PATH) + " " + args +
+                              " 2>/dev/null";
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) throw std::runtime_error("popen failed");
+  std::string output;
+  char buffer[4096];
+  size_t n = 0;
+  while ((n = fread(buffer, 1, sizeof(buffer), pipe)) > 0) {
+    output.append(buffer, n);
+  }
+  const int status = pclose(pipe);
+  if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+    throw std::runtime_error("CLI exited non-zero for: " + args);
+  }
+  return output;
+}
+
+TEST(EngineCliIdentity, SimulateMatchesOneShotCliJson) {
+  SimulateRequest request;
+  request.models.push_back(WorkloadSpec{"gemm:64x32x64", "", 1.0});
+  request.mapping = "greedy";
+  Engine engine;
+  const SimulateResponse response = engine.simulate(request);
+  EXPECT_EQ(response.to_json().dump(2) + "\n",
+            run_cli_stdout("--model gemm:64x32x64 --mapping greedy --json"));
+}
+
+TEST(EngineCliIdentity, BatchSimulateMatchesOneShotCliJson) {
+  const std::string models_path =
+      testing::TempDir() + "engine_cli_models.json";
+  {
+    std::ofstream file(models_path);
+    file << R"({"models": [{"spec": "gemm:64x32x64"},)"
+         << R"( {"spec": "gemm:32x16x32", "weight": 2.0}]})";
+  }
+  SimulateRequest request;
+  request.models.push_back(WorkloadSpec{"gemm:64x32x64", "", 1.0});
+  request.models.push_back(WorkloadSpec{"gemm:32x16x32", "", 2.0});
+  request.aggregate = "weighted";
+  Engine engine;
+  const SimulateResponse response = engine.simulate(request);
+  EXPECT_EQ(response.to_json().dump(2) + "\n",
+            run_cli_stdout("--models " + models_path +
+                           " --aggregate weighted --json"));
+  std::remove(models_path.c_str());
+}
+
+TEST(EngineCliIdentity, ExploreMatchesOneShotCliJsonOnFreshEngine) {
+  ExploreRequest request = costed_sweep();
+  // Fresh engine: the per-request cache delta equals the CLI's
+  // process-cumulative counters, so even "cost_cache" matches.
+  Engine engine;
+  const ExploreResponse response = engine.explore(request);
+  EXPECT_EQ(response.to_json().dump(2) + "\n",
+            run_cli_stdout("--model gemm:32x16x32 --mapping greedy"
+                           " --sweep tiles=1,2 --threads 1 --json"));
+}
+
+#endif  // SIMPHONY_CLI_PATH
+
+}  // namespace
+}  // namespace simphony::core
