@@ -8,6 +8,8 @@
 
 #include "arch/prebuilt.h"
 #include "core/dse.h"
+#include "core/mapper.h"
+#include "core/strategy.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 #include "workload/model.h"
@@ -94,6 +96,54 @@ BENCHMARK(BM_ExploreParallel)
     ->Arg(0)  // 0 = one worker per hardware thread
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
+
+/// Multi-fidelity successive halving vs. the one-shot engine on the same
+/// costed sweep: rung 0 scores every point under the cheap greedy
+/// mapper, then only the ceil(n / eta) survivors pay the full beam
+/// search.  The counters record the schedule (full_evals / low_evals /
+/// points), which scripts/bench.sh archives alongside the timings.
+void BM_ExploreHalving(benchmark::State& state) {
+  const core::DseSpace space = sweep_3axis();
+  const core::BeamMapper full(4);
+  const core::GreedyMapper low;
+  const bool halving = state.range(0) != 0;
+  size_t full_evals = 0;
+  size_t low_evals = 0;
+  size_t result_points = 0;
+  for (auto _ : state) {
+    core::SuccessiveHalvingStrategy strategy;  // eta 3, rungs 2
+    core::DseOptions options;
+    options.num_threads = 1;
+    options.mapper = &full;
+    if (halving) {
+      options.strategy = &strategy;
+      options.low_fidelity_mapper = &low;
+    }
+    const core::DseResult result = core::explore(
+        arch::tempo_template(), standard_lib(), mlp_model(), space, options);
+    benchmark::DoNotOptimize(result);
+    result_points = result.points.size();
+    full_evals = 0;
+    low_evals = 0;
+    if (halving) {
+      for (const core::RungStats& rung : strategy.rung_stats()) {
+        (rung.fidelity == core::FidelityLevel::kFull ? full_evals
+                                                     : low_evals) +=
+            rung.evaluated;
+      }
+    } else {
+      full_evals = result.points.size();
+    }
+  }
+  state.SetLabel(halving ? "halving" : "one-shot");
+  state.counters["points"] = static_cast<double>(result_points);
+  state.counters["full_evals"] = static_cast<double>(full_evals);
+  state.counters["low_evals"] = static_cast<double>(low_evals);
+}
+BENCHMARK(BM_ExploreHalving)
+    ->Arg(0)  // one-shot baseline under the same beam mapper
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
 
 /// Duplicate sweep values: the cache collapses 4x redundancy to one
 /// evaluation per distinct point.

@@ -33,6 +33,20 @@
 //                            (default grid = full cross product)
 //     --samples N            point count for --sample random|lhs
 //     --seed S               sampler seed (default 1, reproducible)
+//     --strategy one-shot|halving|frontier  exploration strategy (default
+//                            one-shot = every point at full fidelity;
+//                            halving = multi-fidelity successive halving:
+//                            cheap greedy-mapper rungs cull the space,
+//                            then the survivors re-run at full fidelity;
+//                            frontier = one-shot plus axis-neighbor
+//                            refinement rounds around the Pareto
+//                            frontier; see docs/strategies.md)
+//     --eta N                halving cull factor (default 3; needs
+//                            --strategy halving)
+//     --rungs N              halving rung count (default 2; needs
+//                            --strategy halving)
+//     --refine-rounds N      frontier refinement rounds (default 1;
+//                            needs --strategy frontier)
 //     --shard I/N            evaluate only slice I of N (canonical index
 //                            mod N == I); combine shard files with --merge
 //     --out FILE             stream completed points to FILE as JSON; the
@@ -294,6 +308,31 @@ std::string metadata_string(const util::Json& root, const std::string& key,
   return root.contains(key) ? root.at(key).as_string() : fallback;
 }
 
+/// One comparable label for a result document's exploration strategy:
+/// "one-shot" when absent (pre-strategy files), else the name with its
+/// knobs ("halving eta=3 rungs=2").  Shard headers and --json responses
+/// spell the same strategy identically here, so mixed-source merges
+/// still compare.
+std::string strategy_label_of(const util::Json& root) {
+  if (!root.contains("strategy")) return "one-shot";
+  const util::Json& s = root.at("strategy");
+  std::string label = s.at("name").as_string();
+  if (s.contains("eta")) {
+    label += " eta=" +
+             std::to_string(static_cast<int>(s.at("eta").as_number()));
+  }
+  if (s.contains("rungs")) {
+    label += " rungs=" +
+             std::to_string(static_cast<int>(s.at("rungs").as_number()));
+  }
+  if (s.contains("refine_rounds")) {
+    label += " refine_rounds=" +
+             std::to_string(
+                 static_cast<int>(s.at("refine_rounds").as_number()));
+  }
+  return label;
+}
+
 /// --merge mode: recombine shard files into the canonical order with a
 /// recomputed global Pareto frontier.
 int run_merge(const std::vector<std::string>& files,
@@ -303,6 +342,10 @@ int run_merge(const std::vector<std::string>& files,
   std::string arch_label;
   std::string sampler_name;
   std::string aggregate_name;
+  std::string strategy_label;
+  util::Json strategy_json;  // first file's strategy knobs, re-emitted
+  bool report_distinct = false;  // random-sampled sweeps: header-carried
+  size_t distinct = 0;           // distinct-point count, re-emitted
   size_t total_points = 0;
   for (size_t i = 0; i < files.size(); ++i) {
     const util::Json root = parse_json_file(files[i]);
@@ -317,6 +360,11 @@ int run_merge(const std::vector<std::string>& files,
     const std::string arch = metadata_string(root, "arch", "");
     const std::string sampler = metadata_string(root, "sampler", "grid");
     const std::string aggregate = metadata_string(root, "aggregate", "");
+    const std::string strategy = strategy_label_of(root);
+    const bool has_distinct = root.contains("distinct");
+    const size_t file_distinct =
+        has_distinct ? static_cast<size_t>(root.at("distinct").as_number())
+                     : 0;
     const size_t total =
         root.contains("total_points")
             ? static_cast<size_t>(root.at("total_points").as_number())
@@ -326,14 +374,33 @@ int run_merge(const std::vector<std::string>& files,
       arch_label = arch;
       sampler_name = sampler;
       aggregate_name = aggregate;
+      strategy_label = strategy;
+      if (root.contains("strategy")) {
+        // Carry only the identifying knobs into the merged document —
+        // per-shard rung_stats are shard-local accounting, not sweep
+        // metadata.
+        const util::Json& s = root.at("strategy");
+        strategy_json["name"] = s.at("name").as_string();
+        if (s.contains("eta")) strategy_json["eta"] = s.at("eta");
+        if (s.contains("rungs")) strategy_json["rungs"] = s.at("rungs");
+        if (s.contains("refine_rounds")) {
+          strategy_json["refine_rounds"] = s.at("refine_rounds");
+        }
+      }
+      report_distinct = has_distinct;
+      distinct = file_distinct;
       total_points = total;
     } else if (model != model_name || arch != arch_label ||
                sampler != sampler_name || aggregate != aggregate_name ||
-               total != total_points) {
+               strategy != strategy_label || has_distinct != report_distinct ||
+               file_distinct != distinct || total != total_points) {
+      // A distinct-count mismatch between random-sampled shards means a
+      // different seed or sample size — a different point list entirely.
       throw std::invalid_argument(
           "--merge: " + files[i] + " is from a different sweep than " +
           files[0] +
-          " (model/arch/sampler/aggregate/total_points mismatch)");
+          " (model/arch/sampler/aggregate/strategy/distinct/total_points "
+          "mismatch)");
     }
   }
   // Attribute duplicate canonical indices to the files carrying them:
@@ -353,14 +420,20 @@ int run_merge(const std::vector<std::string>& files,
   }
   const core::DseResult merged = core::merge(std::move(shards));
   if (total_points == 0) total_points = merged.points.size();
-  if (merged.points.size() != total_points) {
+  // Adaptive strategies legitimately emit fewer (halving: survivors
+  // only) or more (frontier: refined neighbors) points than the sampled
+  // space holds, so the missing-shard heuristic only applies to
+  // exhaustive one-shot sweeps.
+  if (merged.points.size() != total_points && strategy_label == "one-shot") {
     std::cerr << "simphony_cli: warning: merged " << merged.points.size()
               << " of " << total_points
               << " points — missing shard file(s)?\n";
   }
-  const util::Json root =
+  util::Json root =
       result_root(model_name, arch_label, sampler_name, aggregate_name,
                   total_points, core::DseShard{}, merged);
+  if (strategy_label != "one-shot") root["strategy"] = strategy_json;
+  if (report_distinct) root["distinct"] = distinct;
   if (out_path.empty()) {
     std::cout << root.dump(2) << "\n";
   } else {
@@ -428,15 +501,22 @@ int run_dse(core::Engine& engine, const core::ExploreRequest& request,
       if (got.arch != metadata.arch || got.model != metadata.model ||
           got.sampler != metadata.sampler ||
           got.aggregate != metadata.aggregate ||
+          got.strategy != metadata.strategy || got.eta != metadata.eta ||
+          got.rungs != metadata.rungs ||
           got.shard.index != metadata.shard.index ||
           got.shard.count != metadata.shard.count ||
           got.total_points != metadata.total_points) {
+        const auto strategy_or = [](const std::string& name) {
+          return name.empty() ? std::string("one-shot") : name;
+        };
         throw std::invalid_argument(
             source + ": --resume metadata mismatch (file: arch=" + got.arch +
             " model=" + got.model + " sampler=" + got.sampler +
+            " strategy=" + strategy_or(got.strategy) +
             " total_points=" + std::to_string(got.total_points) +
             "; current run: arch=" + metadata.arch + " model=" +
             metadata.model + " sampler=" + metadata.sampler +
+            " strategy=" + strategy_or(metadata.strategy) +
             " total_points=" + std::to_string(metadata.total_points) + ")");
       }
       // Per-index parameter verification: the sampled point list is a
@@ -558,6 +638,9 @@ int run_dse(core::Engine& engine, const core::ExploreRequest& request,
   std::cout << "== DSE: " << response.model_label << " on "
             << response.arch_label << " (" << result.points.size() << " of "
             << total_points << " points, sampler " << response.sampler_name;
+  if (request.strategy != "one-shot") {
+    std::cout << ", strategy " << request.strategy;
+  }
   if (request.shard.count > 1) {
     std::cout << ", shard " << request.shard.index << "/"
               << request.shard.count;
@@ -693,6 +776,9 @@ int run(int argc, char** argv) {
   std::string models_file;               // --models workload-set JSON
   bool aggregate_seen = false;
   std::string dse_flag_seen;
+  bool eta_seen = false;
+  bool rungs_seen = false;
+  bool refine_rounds_seen = false;
   bool threads_seen = false;
   std::string out_path;
   std::string cache_file;
@@ -815,6 +901,29 @@ int run(int argc, char** argv) {
     explore_request.seed = parse_uint64(v);
     dse_flag_seen = "--seed";
   });
+  flags.add_flag("--strategy", "[--strategy one-shot|halving|frontier]",
+                 [&](const std::string& v) {
+                   // Name and knob validation live in core::make_strategy
+                   // (shared with simphonyd); it runs flag-time below.
+                   explore_request.strategy = v;
+                   dse_flag_seen = "--strategy";
+                 });
+  flags.add_flag("--eta", "[--eta N]", [&](const std::string& v) {
+    explore_request.eta = parse_int(v);
+    eta_seen = true;
+    dse_flag_seen = "--eta";
+  });
+  flags.add_flag("--rungs", "[--rungs N]", [&](const std::string& v) {
+    explore_request.rungs = parse_int(v);
+    rungs_seen = true;
+    dse_flag_seen = "--rungs";
+  });
+  flags.add_flag("--refine-rounds", "[--refine-rounds N]",
+                 [&](const std::string& v) {
+                   explore_request.refine_rounds = parse_int(v);
+                   refine_rounds_seen = true;
+                   dse_flag_seen = "--refine-rounds";
+                 });
   flags.add_flag("--shard", "[--shard I/N]", [&](const std::string& v) {
     explore_request.shard = parse_shard(v);
     dse_flag_seen = "--shard";
@@ -939,13 +1048,32 @@ int run(int argc, char** argv) {
     if (out_path.empty()) {
       throw std::invalid_argument("--resume needs --out FILE");
     }
+    if (explore_request.strategy == "frontier") {
+      throw std::invalid_argument(
+          "--strategy frontier does not support --resume: refined points "
+          "fall outside the canonical point list, so a recovered file "
+          "cannot be verified against the sweep");
+    }
+  }
+  // The halving/frontier knobs silently defaulting on the wrong strategy
+  // would look like they took effect.
+  if ((eta_seen || rungs_seen) && explore_request.strategy != "halving") {
+    throw std::invalid_argument(
+        std::string(eta_seen ? "--eta" : "--rungs") +
+        " only applies to --strategy halving");
+  }
+  if (refine_rounds_seen && explore_request.strategy != "frontier") {
+    throw std::invalid_argument(
+        "--refine-rounds only applies to --strategy frontier");
   }
 
   if (sweeping) {
     explore_request.base = request;
-    // Sampler validation (e.g. "--sample random needs --samples N") fires
-    // before the engine loads the cache file, like the hand-rolled flow.
+    // Sampler and strategy validation (e.g. "--sample random needs
+    // --samples N", "--eta expects an integer >= 2") fires before the
+    // engine loads the cache file, like the hand-rolled flow.
     (void)core::make_sampler(explore_request);
+    (void)core::make_strategy(explore_request);
     const size_t total_points =
         explore_request.samples > 0
             ? static_cast<size_t>(explore_request.samples)

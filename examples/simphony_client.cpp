@@ -12,8 +12,9 @@
 // property the CI smoke test diffs.  Progress events (--progress) and
 // busy/retry chatter go to stderr.
 //
-// Exit codes: 0 ok, 1 error (including a busy queue after --retries
-// attempts).
+// Exit codes: 0 ok, 1 error, 75 still busy after --max-retries retries
+// (EX_TEMPFAIL — distinct from evaluation errors, so schedulers can
+// requeue busy rejections without masking real failures).
 #include <chrono>
 #include <fstream>
 #include <iostream>
@@ -49,7 +50,7 @@ int run(int argc, char** argv) {
   std::string request_path;
   std::string id;
   bool want_progress = false;
-  int retries = 10;
+  int max_retries = 5;
 
   util::FlagParser flags;
   flags.set_usage_prefix("usage: simphony_client");
@@ -63,14 +64,16 @@ int run(int argc, char** argv) {
                  [&](const std::string& value) { id = value; });
   flags.add_switch("--progress", "[--progress]",
                    [&](const std::string&) { want_progress = true; });
-  flags.add_flag("--retries", "[--retries N]",
-                 [&](const std::string& value) {
-                   retries = std::stoi(value);
-                   if (retries < 0) {
-                     throw std::invalid_argument(
-                         "--retries expects a non-negative integer");
-                   }
-                 });
+  const auto parse_retries = [&](const std::string& value) {
+    max_retries = std::stoi(value);
+    if (max_retries < 0) {
+      throw std::invalid_argument(
+          "--max-retries expects a non-negative integer");
+    }
+  };
+  flags.add_flag("--max-retries", "[--max-retries N]", parse_retries);
+  // Historical spelling of --max-retries; kept so existing scripts work.
+  flags.add_flag("--retries", "", parse_retries);
   flags.add_help();
   if (!flags.parse(argc, argv)) {
     std::cout << flags.usage();
@@ -95,9 +98,9 @@ int run(int argc, char** argv) {
       util::SocketAddress::parse(connect_spec);
 
   // A busy server answers immediately with a retry hint; honor it up to
-  // --retries times (each attempt is a fresh connection, so a drained
-  // slot is genuinely re-tested).
-  for (int attempt = 0; attempt <= retries; ++attempt) {
+  // --max-retries times (each attempt is a fresh connection, so a
+  // drained slot is genuinely re-tested).
+  for (int attempt = 0; attempt <= max_retries; ++attempt) {
     util::Socket socket = util::Socket::connect(address);
     util::LineChannel channel(socket, socket);
     channel.write_line(envelope.dump(-1));
@@ -118,10 +121,12 @@ int run(int argc, char** argv) {
       if (status == "busy") {
         const int wait_ms =
             static_cast<int>(response.at("retry_after_ms").as_number());
-        if (attempt == retries) {
+        if (attempt == max_retries) {
+          // 75 = EX_TEMPFAIL: "try again later", not an evaluation
+          // failure.
           std::cerr << "simphony_client: server busy, giving up after "
-                    << (retries + 1) << " attempt(s)\n";
-          return 1;
+                    << (max_retries + 1) << " attempt(s)\n";
+          return 75;
         }
         std::cerr << "simphony_client: server busy, retrying in " << wait_ms
                   << " ms\n";

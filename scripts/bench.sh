@@ -14,6 +14,11 @@
 # (scripts/check_bench_scaling.py compares the serial and parallel rows
 # against the committed bench_baselines/scaling.json expectations).
 #
+# Adaptive-search accounting (docs/strategies.md): bench_dse records
+# BM_ExploreHalving — one-shot vs. successive-halving on the same costed
+# sweep, with full_evals / low_evals / points counters showing the
+# full-fidelity budget the halving schedule actually spent.
+#
 # usage: scripts/bench.sh [build-dir]   (default: build)
 set -euo pipefail
 

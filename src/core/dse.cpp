@@ -14,6 +14,7 @@
 #include <ostream>
 #include <stdexcept>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 
 #ifndef _WIN32
@@ -21,6 +22,7 @@
 #endif
 
 #include "core/fingerprint.h"
+#include "core/strategy.h"
 #include "util/binio.h"
 #include "util/hash.h"
 #include "util/rng.h"
@@ -28,6 +30,20 @@
 #include "workload/gemm.h"
 
 namespace simphony::core {
+
+size_t ArchParamsHash::operator()(const arch::ArchParams& p) const {
+  size_t seed = 0;
+  util::hash_combine_value(seed, p.tiles);
+  util::hash_combine_value(seed, p.cores_per_tile);
+  util::hash_combine_value(seed, p.core_height);
+  util::hash_combine_value(seed, p.core_width);
+  util::hash_combine_value(seed, p.wavelengths);
+  util::hash_combine_value(seed, p.clock_GHz);
+  util::hash_combine_value(seed, p.input_bits);
+  util::hash_combine_value(seed, p.weight_bits);
+  util::hash_combine_value(seed, p.output_bits);
+  return seed;
+}
 
 namespace {
 
@@ -93,22 +109,6 @@ arch::ArchParams make_point(const DseSpace& space, int tiles, int cores,
   if (out_bits > 0) p.output_bits = out_bits;
   return p;
 }
-
-struct ParamsHash {
-  size_t operator()(const arch::ArchParams& p) const {
-    size_t seed = 0;
-    util::hash_combine_value(seed, p.tiles);
-    util::hash_combine_value(seed, p.cores_per_tile);
-    util::hash_combine_value(seed, p.core_height);
-    util::hash_combine_value(seed, p.core_width);
-    util::hash_combine_value(seed, p.wavelengths);
-    util::hash_combine_value(seed, p.clock_GHz);
-    util::hash_combine_value(seed, p.input_bits);
-    util::hash_combine_value(seed, p.weight_bits);
-    util::hash_combine_value(seed, p.output_bits);
-    return seed;
-  }
-};
 
 /// Materializes one design point's architecture (one sub-architecture per
 /// template, all at `params`) and wraps it in a Simulator sharing the
@@ -309,9 +309,7 @@ std::vector<arch::ArchParams> RandomSampler::sample(
     return axis[static_cast<size_t>(
         rng.uniform_int(0, static_cast<int64_t>(axis.size()) - 1))];
   };
-  std::vector<arch::ArchParams> points;
-  points.reserve(samples_);
-  for (size_t i = 0; i < samples_; ++i) {
+  auto draw = [&] {
     // Sequential named draws: one rng call per axis in canonical order,
     // so the stream (and thus the sample list) is stable for a seed.
     const int tiles = pick(axes.tiles);
@@ -321,8 +319,36 @@ std::vector<arch::ArchParams> RandomSampler::sample(
     const int lambda = pick(axes.wavelengths);
     const int bits = pick(axes.in_bits);
     const int out_bits = pick(axes.out_bits);
-    points.push_back(
-        make_point(space, tiles, cores, hw, width, lambda, bits, out_bits));
+    return make_point(space, tiles, cores, hw, width, lambda, bits, out_bits);
+  };
+  // Redraw on duplicate so `--samples N` means N *distinct* design points
+  // whenever the space affords them (the eval cache silently collapsed
+  // repeats before).  The retry budget is bounded: on spaces with fewer
+  // than N reachable points the sampler falls back to keeping duplicates
+  // rather than looping forever, and says so once on stderr.  Redraws
+  // consume the rng stream deterministically, so a fixed seed still
+  // reproduces the exact sample list.
+  constexpr int kMaxRedraws = 64;
+  std::unordered_set<arch::ArchParams, ArchParamsHash> seen;
+  seen.reserve(samples_);
+  std::vector<arch::ArchParams> points;
+  points.reserve(samples_);
+  size_t duplicates = 0;
+  for (size_t i = 0; i < samples_; ++i) {
+    arch::ArchParams point = draw();
+    for (int retry = 0; retry < kMaxRedraws && seen.count(point) != 0;
+         ++retry) {
+      point = draw();
+    }
+    if (!seen.insert(point).second) ++duplicates;
+    points.push_back(std::move(point));
+  }
+  if (duplicates > 0) {
+    std::fprintf(stderr,
+                 "warning: random sampler kept %zu duplicate point(s) after "
+                 "%d redraws each; the space offers fewer than %zu "
+                 "easy-to-reach distinct points\n",
+                 duplicates, kMaxRedraws, samples_);
   }
   return points;
 }
@@ -536,6 +562,9 @@ util::Json to_json(const DsePoint& point) {
   j["power_W"] = point.power_W;
   j["tops"] = point.tops;
   j["pareto"] = point.pareto;
+  // Strategy provenance: only points a multi-rung strategy produced carry
+  // a rung, so one-shot documents stay byte-identical to older files.
+  if (point.rung >= 0) j["rung"] = point.rung;
   // Batched points carry their per-model rows; single-model points omit
   // the field entirely, keeping pre-batch documents byte-identical.
   if (!point.per_model.empty()) {
@@ -585,6 +614,7 @@ DsePoint dse_point_from_json(const util::Json& j) {
   point.power_W = metric_from(j, "power_W");
   point.tops = metric_from(j, "tops");
   point.pareto = j.contains("pareto") && j.at("pareto").as_bool();
+  if (j.contains("rung")) point.rung = int_from(j, "rung");
   if (j.contains("models")) {
     const util::Json::Array& models = j.at("models").as_array();
     point.per_model.reserve(models.size());
@@ -729,8 +759,23 @@ DseShardWriter::DseShardWriter(std::unique_ptr<ShardSink> sink,
   header += "{\n\"arch\": " + util::Json(metadata.arch).dump(-1);
   header += ",\n\"model\": " + util::Json(metadata.model).dump(-1);
   header += ",\n\"sampler\": " + util::Json(metadata.sampler).dump(-1);
+  if (metadata.report_distinct) {
+    header += ",\n\"distinct\": " + std::to_string(metadata.distinct);
+  }
   if (!metadata.aggregate.empty()) {
     header += ",\n\"aggregate\": " + util::Json(metadata.aggregate).dump(-1);
+  }
+  // Strategy runs record how the sweep was driven so --resume / --merge
+  // can refuse mismatched shards; one-shot sweeps omit the object
+  // entirely, keeping their documents byte-identical to older files.
+  if (!metadata.strategy.empty()) {
+    header += ",\n\"strategy\": {\"name\": " +
+              util::Json(metadata.strategy).dump(-1);
+    if (metadata.eta > 0) header += ", \"eta\": " + std::to_string(metadata.eta);
+    if (metadata.rungs > 0) {
+      header += ", \"rungs\": " + std::to_string(metadata.rungs);
+    }
+    header += "}";
   }
   header += ",\n\"shard\": {\"count\": " + std::to_string(metadata.shard.count) +
             ", \"index\": " + std::to_string(metadata.shard.index) + "}";
@@ -807,8 +852,22 @@ DseShardWriter::Metadata metadata_from_header(const util::Json& root) {
   meta.arch = root.at("arch").as_string();
   meta.model = root.at("model").as_string();
   meta.sampler = root.at("sampler").as_string();
+  if (root.contains("distinct")) {
+    meta.distinct = static_cast<size_t>(root.at("distinct").as_number());
+    meta.report_distinct = true;
+  }
   if (root.contains("aggregate")) {
     meta.aggregate = root.at("aggregate").as_string();
+  }
+  if (root.contains("strategy")) {
+    const util::Json& strategy = root.at("strategy");
+    meta.strategy = strategy.at("name").as_string();
+    if (strategy.contains("eta")) {
+      meta.eta = static_cast<int>(strategy.at("eta").as_number());
+    }
+    if (strategy.contains("rungs")) {
+      meta.rungs = static_cast<int>(strategy.at("rungs").as_number());
+    }
   }
   const util::Json& shard = root.at("shard");
   meta.shard.count = static_cast<int>(shard.at("count").as_number());
@@ -905,16 +964,164 @@ DseResult dse_result_from_json(const util::Json& j) {
 
 namespace {
 
+/// The strategy-driven engine loop (DseOptions::strategy != nullptr):
+/// hands the strategy this shard's slice of the canonical point list,
+/// then alternates next_batch() / consume() — deduplicating identical
+/// (params, fidelity) evaluations across batches, evaluating fresh
+/// candidates on the pool — until the strategy is done, and restores
+/// canonical index order over finish().
+DseResult run_strategy_engine(
+    const std::vector<arch::ArchParams>& all_points,
+    const DseOptions& options,
+    const std::function<void(const DsePoint&)>& progress,
+    const std::function<DsePoint(const arch::ArchParams&, FidelityLevel)>&
+        evaluate) {
+  ExploreStrategy& strategy = *options.strategy;
+  ExploreStrategy::Context context;
+  context.total_points = all_points.size();
+  context.skip_indices = options.skip_indices;
+  context.slice.reserve(
+      all_points.size() / static_cast<size_t>(options.shard.count) + 1);
+  size_t skipped = 0;
+  for (size_t g = static_cast<size_t>(options.shard.index);
+       g < all_points.size(); g += static_cast<size_t>(options.shard.count)) {
+    // Skipped (resumed) indices stay in the slice — a strategy may need
+    // them for rank consistency — but count as completed up front, and
+    // the strategy never re-proposes them at full fidelity.
+    if (options.skip_indices != nullptr &&
+        options.skip_indices->count(g) != 0) {
+      ++skipped;
+    }
+    context.slice.push_back(ExploreStrategy::Candidate{
+        g, all_points[g], FidelityLevel::kFull});
+  }
+  strategy.begin(std::move(context));
+
+  const size_t progress_every =
+      static_cast<size_t>(std::max(1, options.progress_every));
+  std::mutex progress_mutex;
+  size_t completed = skipped;
+  size_t scheduled = skipped;
+  // Milestones work as in the one-shot path, except the denominator is
+  // the evaluations scheduled so far (a strategy's total work is not
+  // known up front), so every batch boundary lands a callback.  The
+  // positional `progress` hook is the result stream (--out shard files):
+  // only full-fidelity completions reach it — low-fidelity probes are
+  // engine-internal and never part of the result.
+  auto report_progress = [&](const DsePoint& point, FidelityLevel fidelity) {
+    if (!progress && !options.on_progress &&
+        !options.CommonOptions::on_progress) {
+      return;
+    }
+    std::lock_guard<std::mutex> lock(progress_mutex);
+    ++completed;
+    if (completed % progress_every != 0 && completed != scheduled) return;
+    if (progress && fidelity == FidelityLevel::kFull) progress(point);
+    if (options.on_progress) {
+      options.on_progress(DseProgress{{completed, scheduled}, &point});
+    }
+    if (options.CommonOptions::on_progress) {
+      options.CommonOptions::on_progress(Progress{completed, scheduled});
+    }
+  };
+
+  // Cross-batch memo: one evaluation per distinct (params, fidelity),
+  // so e.g. halving's full-fidelity rung reuses nothing from its
+  // low-fidelity rungs but repeated parameter points cost once.
+  struct FidelityParamsKey {
+    arch::ArchParams params;
+    FidelityLevel fidelity;
+    bool operator==(const FidelityParamsKey& other) const {
+      return fidelity == other.fidelity && params == other.params;
+    }
+  };
+  struct FidelityParamsKeyHash {
+    size_t operator()(const FidelityParamsKey& key) const {
+      size_t seed = ArchParamsHash{}(key.params);
+      util::hash_combine_value(seed, static_cast<int>(key.fidelity));
+      return seed;
+    }
+  };
+  std::unordered_map<FidelityParamsKey, size_t, FidelityParamsKeyHash> memo;
+  std::vector<DsePoint> store;
+
+  while (true) {
+    const std::vector<ExploreStrategy::Candidate> batch =
+        strategy.next_batch();
+    if (batch.empty()) break;
+
+    std::vector<size_t> slot_of(batch.size());
+    std::vector<size_t> fresh_slot;       // store slots to fill this batch
+    std::vector<size_t> fresh_candidate;  // batch positions owning them
+    for (size_t b = 0; b < batch.size(); ++b) {
+      if (options.cache) {
+        const auto [it, inserted] = memo.try_emplace(
+            FidelityParamsKey{batch[b].params, batch[b].fidelity},
+            store.size());
+        slot_of[b] = it->second;
+        if (!inserted) continue;  // memo hit: reported at assembly below
+      } else {
+        slot_of[b] = store.size();
+      }
+      fresh_slot.push_back(store.size());
+      fresh_candidate.push_back(b);
+      store.emplace_back();
+    }
+    {
+      std::lock_guard<std::mutex> lock(progress_mutex);
+      scheduled += batch.size();
+    }
+
+    const unsigned pool_threads = util::ThreadPool::workers_for(
+        options.num_threads, fresh_candidate.size());
+    {
+      util::ThreadPool pool(pool_threads);
+      pool.parallel_for(fresh_candidate.size(), [&](size_t u) {
+        const ExploreStrategy::Candidate& c = batch[fresh_candidate[u]];
+        DsePoint& out = store[fresh_slot[u]];
+        out = evaluate(c.params, c.fidelity);
+        out.index = c.index;
+        report_progress(out, c.fidelity);
+      });
+    }
+
+    std::vector<DsePoint> results;
+    results.reserve(batch.size());
+    size_t next_fresh = 0;
+    for (size_t b = 0; b < batch.size(); ++b) {
+      results.push_back(store[slot_of[b]]);
+      results.back().index = batch[b].index;
+      if (next_fresh < fresh_candidate.size() &&
+          fresh_candidate[next_fresh] == b) {
+        ++next_fresh;  // evaluated (and reported) on a worker above
+      } else {
+        report_progress(results.back(), batch[b].fidelity);
+      }
+    }
+    strategy.consume(results, fresh_candidate.size());
+  }
+
+  DseResult result;
+  result.points = strategy.finish();
+  std::stable_sort(
+      result.points.begin(), result.points.end(),
+      [](const DsePoint& a, const DsePoint& b) { return a.index < b.index; });
+  mark_pareto_frontier(result.points);
+  return result;
+}
+
 /// The exploration engine shared by the single-model and batched
 /// overloads: canonical point list, shard slicing, duplicate-point
 /// dedup, pooled evaluation with indexed writes, progress accounting,
 /// assembly in canonical order, frontier marking.  `evaluate` costs one
-/// parameter point (it must be thread-safe; the engine shares it across
-/// workers).
+/// parameter point at a requested fidelity (it must be thread-safe; the
+/// engine shares it across workers).  With DseOptions::strategy set the
+/// strategy loop above drives the evaluations instead.
 DseResult run_engine(
     const DseSpace& space, const DseOptions& options,
     const std::function<void(const DsePoint&)>& progress,
-    const std::function<DsePoint(const arch::ArchParams&)>& evaluate) {
+    const std::function<DsePoint(const arch::ArchParams&, FidelityLevel)>&
+        evaluate) {
   if (options.shard.count < 1 || options.shard.index < 0 ||
       options.shard.index >= options.shard.count) {
     throw std::invalid_argument(
@@ -925,6 +1132,9 @@ DseResult run_engine(
   const std::vector<arch::ArchParams> all_points =
       options.sampler != nullptr ? options.sampler->sample(space)
                                  : space.enumerate();
+  if (options.strategy != nullptr) {
+    return run_strategy_engine(all_points, options, progress, evaluate);
+  }
   // This process's slice: canonical indices congruent to the shard index
   // modulo the shard count (round-robin, so shards stay load-balanced
   // even when cost grows along the grid).
@@ -932,12 +1142,14 @@ DseResult run_engine(
   std::vector<size_t> canonical;
   grid.reserve(all_points.size() / static_cast<size_t>(options.shard.count) +
                1);
+  size_t skipped = 0;
   for (size_t g = static_cast<size_t>(options.shard.index);
        g < all_points.size(); g += static_cast<size_t>(options.shard.count)) {
     // Resume: indices already recovered from an interrupted run are not
     // re-evaluated; the caller merges the recovered points back in.
     if (options.skip_indices != nullptr &&
         options.skip_indices->count(g) != 0) {
+      ++skipped;
       continue;
     }
     grid.push_back(all_points[g]);
@@ -950,7 +1162,7 @@ DseResult run_engine(
   std::vector<size_t> eval_of(grid.size());
   std::vector<size_t> unique_grid_index;
   if (options.cache) {
-    std::unordered_map<arch::ArchParams, size_t, ParamsHash> slot_of_params;
+    std::unordered_map<arch::ArchParams, size_t, ArchParamsHash> slot_of_params;
     slot_of_params.reserve(grid.size());
     for (size_t g = 0; g < grid.size(); ++g) {
       const auto [it, inserted] =
@@ -973,9 +1185,13 @@ DseResult run_engine(
   const size_t progress_every =
       static_cast<size_t>(std::max(1, options.progress_every));
 
-  const size_t n_total = grid.size();
+  // Skipped (resumed) indices count as completed up front: their results
+  // already exist, so progress keeps the monotone completed/n_total
+  // invariant and the final callback lands at n_total instead of a
+  // stuck-looking fraction of it.
+  const size_t n_total = grid.size() + skipped;
   std::mutex progress_mutex;
-  size_t completed = 0;
+  size_t completed = skipped;
   auto report_progress = [&](const DsePoint& point) {
     if (!progress && !options.on_progress &&
         !options.CommonOptions::on_progress) {
@@ -1008,7 +1224,7 @@ DseResult run_engine(
   {
     util::ThreadPool pool(pool_threads);
     pool.parallel_for(unique_grid_index.size(), [&](size_t u) {
-      evaluated[u] = evaluate(grid[unique_grid_index[u]]);
+      evaluated[u] = evaluate(grid[unique_grid_index[u]], FidelityLevel::kFull);
       evaluated[u].index = canonical[unique_grid_index[u]];
       report_progress(evaluated[u]);
     });
@@ -1071,10 +1287,18 @@ DseResult explore(const std::vector<arch::PtcTemplate>& ptc_templates,
     }
   }
   return run_engine(
-      space, options, progress, [&](const arch::ArchParams& params) {
+      space, options, progress,
+      [&](const arch::ArchParams& params, FidelityLevel fidelity) {
+        // kLow substitutes the cheap mapper; with none configured the
+        // full mapper runs (correct, just saves nothing).
+        const Mapper* mapper =
+            fidelity == FidelityLevel::kLow &&
+                    options.low_fidelity_mapper != nullptr
+                ? options.low_fidelity_mapper
+                : options.mapper;
         return evaluate_point(shared_templates, lib, base_gemms, params,
                               override_input_bits, override_output_bits,
-                              options.mapper, options.cost_cache,
+                              mapper, options.cost_cache,
                               base_keys.empty() ? nullptr : base_keys.data());
       });
 }
@@ -1092,10 +1316,16 @@ DseResult explore(const std::vector<arch::PtcTemplate>& ptc_templates,
   const bool override_input_bits = !space.input_bits.empty();
   const bool override_output_bits = !space.output_bits.empty();
   return run_engine(
-      space, options, progress, [&](const arch::ArchParams& params) {
+      space, options, progress,
+      [&](const arch::ArchParams& params, FidelityLevel fidelity) {
+        const Mapper* mapper =
+            fidelity == FidelityLevel::kLow &&
+                    options.low_fidelity_mapper != nullptr
+                ? options.low_fidelity_mapper
+                : options.mapper;
         return evaluate_batch_point(shared_templates, lib, workloads, params,
                                     override_input_bits, override_output_bits,
-                                    options.mapper, options.cost_cache,
+                                    mapper, options.cost_cache,
                                     options.aggregate);
       });
 }

@@ -134,7 +134,22 @@ class LatinHypercubeSampler final : public DseSampler {
   uint64_t seed_;
 };
 
-struct DsePoint;  // defined below
+struct DsePoint;     // defined below
+class ExploreStrategy;  // core/strategy.h
+
+/// Evaluation fidelity of one candidate evaluation.  kFull is the
+/// ordinary evaluation under DseOptions::mapper; kLow substitutes
+/// DseOptions::low_fidelity_mapper (falling back to the full mapper when
+/// none is set), trading mapping quality for speed.  Only the
+/// strategy-driven engine (DseOptions::strategy) ever requests kLow.
+enum class FidelityLevel { kLow, kFull };
+
+/// Hash over every ArchParams field the engine's duplicate-point memo
+/// keys on (all nine parameters, clock included) — shared by the
+/// samplers, the evaluation memo, and the strategies' seen-point sets.
+struct ArchParamsHash {
+  [[nodiscard]] size_t operator()(const arch::ArchParams& p) const;
+};
 
 /// Progress snapshot handed to DseOptions::on_progress: the generic
 /// Progress counters (monotone `completed` under one mutex, shard-local
@@ -200,9 +215,28 @@ struct DseOptions : CommonOptions {
   /// recovered from an interrupted --out shard file), excluded from this
   /// run's slice.  The surviving points keep their canonical indices, so
   /// merge()-ing the recovered points with this run's result reproduces
-  /// the uninterrupted sweep bit for bit.  Not owned; nullptr skips
-  /// nothing.
+  /// the uninterrupted sweep bit for bit.  Skipped indices count as
+  /// completed up front in the progress observers, so a resumed sweep
+  /// reports its true position instead of restarting from zero.  Not
+  /// owned; nullptr skips nothing.
   const std::unordered_set<size_t>* skip_indices = nullptr;
+
+  /// Optional exploration strategy (core/strategy.h): when set, explore()
+  /// runs the propose-evaluate-consume loop the strategy drives
+  /// (successive halving, frontier refinement, ...) instead of the
+  /// one-shot evaluate-everything pass.  Strategies are stateful and
+  /// single-use — construct a fresh one per explore() call.  Not owned.
+  /// nullptr keeps the legacy one-shot engine, byte-identical to the
+  /// pre-strategy code.
+  ExploreStrategy* strategy = nullptr;
+
+  /// The cheap evaluator behind FidelityLevel::kLow — typically a
+  /// GreedyMapper sharing the full mapper's objective.  Low-fidelity
+  /// candidates are costed under this mapper instead of `mapper`; nullptr
+  /// makes kLow fall back to `mapper` (adaptive strategies stay correct
+  /// but save nothing).  Not owned; must be thread-safe and outlive the
+  /// call, like `mapper`.
+  const Mapper* low_fidelity_mapper = nullptr;
 };
 
 /// Per-model metrics of one batched design point (the WorkloadSet
@@ -231,6 +265,12 @@ struct DsePoint {
   double power_W = 0.0;
   double tops = 0.0;
   bool pareto = false;
+
+  /// Strategy provenance: the rung (core/strategy.h) this point's metrics
+  /// were produced at, or -1 for one-shot exploration.  Serialized as
+  /// "rung" only when >= 0, keeping one-shot documents byte-identical to
+  /// pre-strategy files.
+  int rung = -1;
 
   /// Batched exploration only: the per-model rows behind the aggregate
   /// metrics above, in WorkloadSet order.  Empty for single-model
@@ -305,6 +345,20 @@ class DseShardWriter {
     /// "weighted") so --merge can reproduce the unsharded document;
     /// empty (single-model sweeps) omits the field entirely.
     std::string aggregate;
+    /// Strategy-driven sweeps record the strategy identity so --resume
+    /// can verify the interrupted run's schedule and --merge can check
+    /// shard consistency; empty (one-shot sweeps) omits the "strategy"
+    /// header object entirely, keeping pre-strategy documents
+    /// byte-identical.  eta/rungs are meaningful for "halving" only.
+    std::string strategy;
+    int eta = 0;
+    int rungs = 0;
+    /// Random-sampled sweeps record the sample's distinct-point count
+    /// (a pure function of space/samples/seed, so identical across the
+    /// shards of one sweep) so --merge reproduces the unsharded
+    /// document's "distinct" field; other samplers omit it.
+    size_t distinct = 0;
+    bool report_distinct = false;
     DseShard shard;
     size_t total_points = 0;
   };

@@ -269,6 +269,10 @@ util::Json ExploreRequest::to_json() const {
   shard_json["count"] = shard.count;
   j["shard"] = std::move(shard_json);
   j["dse_cache"] = dse_cache;
+  j["strategy"] = strategy;
+  j["eta"] = eta;
+  j["rungs"] = rungs;
+  j["refine_rounds"] = refine_rounds;
   return j;
 }
 
@@ -277,7 +281,7 @@ ExploreRequest ExploreRequest::from_json(const util::Json& j) {
              {"arch", "description", "params", "models", "aggregate",
               "mapping", "objective", "beam_width", "cost_cache",
               "num_threads", "sweep", "sample", "samples", "seed", "shard",
-              "dse_cache"},
+              "dse_cache", "strategy", "eta", "rungs", "refine_rounds"},
              "explore request");
   ExploreRequest request;
   request.base = SimulateRequest::from_json([&] {
@@ -286,7 +290,9 @@ ExploreRequest ExploreRequest::from_json(const util::Json& j) {
     util::Json base;
     for (const auto& [key, value] : j.as_object()) {
       if (key != "sweep" && key != "sample" && key != "samples" &&
-          key != "seed" && key != "shard" && key != "dse_cache") {
+          key != "seed" && key != "shard" && key != "dse_cache" &&
+          key != "strategy" && key != "eta" && key != "rungs" &&
+          key != "refine_rounds") {
         base[key] = value;
       }
     }
@@ -328,6 +334,10 @@ ExploreRequest ExploreRequest::from_json(const util::Json& j) {
     }
   }
   request.dse_cache = bool_field(j, "dse_cache", request.dse_cache);
+  request.strategy = string_field(j, "strategy", request.strategy);
+  request.eta = int_field(j, "eta", request.eta);
+  request.rungs = int_field(j, "rungs", request.rungs);
+  request.refine_rounds = int_field(j, "refine_rounds", request.refine_rounds);
   return request;
 }
 
@@ -439,12 +449,66 @@ std::unique_ptr<DseSampler> make_sampler(const ExploreRequest& request) {
   return nullptr;
 }
 
+std::unique_ptr<ExploreStrategy> make_strategy(
+    const ExploreRequest& request) {
+  if (request.strategy == "one-shot") return nullptr;
+  if (request.strategy == "halving") {
+    if (request.eta < 2) {
+      throw std::invalid_argument("--eta expects an integer >= 2, got " +
+                                  std::to_string(request.eta));
+    }
+    if (request.rungs < 1) {
+      throw std::invalid_argument("--rungs expects a positive integer, got " +
+                                  std::to_string(request.rungs));
+    }
+    return std::make_unique<SuccessiveHalvingStrategy>(request.eta,
+                                                       request.rungs);
+  }
+  if (request.strategy == "frontier") {
+    if (request.refine_rounds < 1) {
+      throw std::invalid_argument(
+          "--refine-rounds expects a positive integer, got " +
+          std::to_string(request.refine_rounds));
+    }
+    if (request.shard.count > 1) {
+      throw std::invalid_argument(
+          "--strategy frontier does not support sharding: refined points "
+          "fall outside the canonical point list, so shards cannot merge");
+    }
+    DseSpace space = request.space;
+    space.base = request.base.params;
+    return std::make_unique<FrontierRefineStrategy>(std::move(space),
+                                                    request.refine_rounds);
+  }
+  throw std::invalid_argument(
+      "--strategy expects one-shot|halving|frontier, got '" +
+      request.strategy + "'");
+}
+
 std::vector<arch::ArchParams> resolve_points(const ExploreRequest& request) {
   DseSpace space = request.space;
   space.base = request.base.params;
   const std::unique_ptr<DseSampler> sampler = make_sampler(request);
   return sampler != nullptr ? sampler->sample(space) : space.enumerate();
 }
+
+namespace {
+
+/// Distinct-point count of the redrawing random sampler's list: a cheap
+/// deterministic re-sample (no evaluation), a pure function of
+/// space/samples/seed — so every shard of one sweep computes the same
+/// value.  Only meaningful when the request uses the random sampler.
+size_t random_sample_distinct(const ExploreRequest& request) {
+  DseSpace space = request.space;
+  space.base = request.base.params;
+  const std::unique_ptr<DseSampler> sampler = make_sampler(request);
+  const std::vector<arch::ArchParams> drawn = sampler->sample(space);
+  const std::unordered_set<arch::ArchParams, ArchParamsHash> unique_points(
+      drawn.begin(), drawn.end());
+  return unique_points.size();
+}
+
+}  // namespace
 
 DseShardWriter::Metadata explore_metadata(const ExploreRequest& request) {
   const ResolvedModels resolved = resolve_models(request.base);
@@ -453,6 +517,10 @@ DseShardWriter::Metadata explore_metadata(const ExploreRequest& request) {
   metadata.model = resolved.label;
   metadata.sampler = make_sampler(request) != nullptr ? request.sample
                                                       : "grid";
+  if (metadata.sampler == "random") {
+    metadata.distinct = random_sample_distinct(request);
+    metadata.report_distinct = true;
+  }
   if (resolved.workloads.size() > 1) {
     const std::optional<BatchAggregate> aggregate =
         parse_aggregate(request.base.aggregate);
@@ -461,6 +529,16 @@ DseShardWriter::Metadata explore_metadata(const ExploreRequest& request) {
                                   "got '" + request.base.aggregate + "'");
     }
     metadata.aggregate = to_string(*aggregate);
+  }
+  if (request.strategy != "one-shot") {
+    // Surfaces range/name errors with the CLI's wording before any
+    // header bytes are written; the instance itself is not needed here.
+    static_cast<void>(make_strategy(request));
+    metadata.strategy = request.strategy;
+    if (request.strategy == "halving") {
+      metadata.eta = request.eta;
+      metadata.rungs = request.rungs;
+    }
   }
   metadata.shard = request.shard;
   if (request.samples > 0) {
@@ -515,6 +593,10 @@ util::Json ExploreResponse::to_json() const {
   root["model"] = model_label;
   root["arch"] = arch_label;
   root["sampler"] = sampler_name;
+  // The distinct-point count of a random sample (satellite of the
+  // redraw-on-duplicate sampler fix); other samplers draw no duplicates
+  // by construction and omit the field.
+  if (report_distinct) root["distinct"] = distinct;
   if (!aggregate_label.empty()) root["aggregate"] = aggregate_label;
   root["total_points"] = total_points;
   if (shard.count > 1) {
@@ -522,6 +604,26 @@ util::Json ExploreResponse::to_json() const {
     shard_json["index"] = shard.index;
     shard_json["count"] = shard.count;
     root["shard"] = std::move(shard_json);
+  }
+  // Strategy section only for strategy-driven sweeps: one-shot documents
+  // stay byte-identical to pre-strategy responses.
+  if (strategy_name != "one-shot") {
+    util::Json strategy_json;
+    strategy_json["name"] = strategy_name;
+    if (eta > 0) strategy_json["eta"] = eta;
+    if (rungs > 0) strategy_json["rungs"] = rungs;
+    if (refine_rounds > 0) strategy_json["refine_rounds"] = refine_rounds;
+    util::Json stats{util::Json::Array{}};
+    for (const RungStats& r : rung_stats) {
+      util::Json rj;
+      rj["rung"] = r.rung;
+      rj["fidelity"] = std::string(to_string(r.fidelity));
+      rj["candidates"] = r.candidates;
+      rj["evaluated"] = r.evaluated;
+      stats.push_back(std::move(rj));
+    }
+    strategy_json["rung_stats"] = std::move(stats);
+    root["strategy"] = std::move(strategy_json);
   }
   if (cache_attached) root["cost_cache"] = cache_stats_to_json(cache);
   return root;
@@ -628,6 +730,16 @@ ExploreResponse Engine::evaluate_explore(const ExploreRequest& request,
   const bool batch = resolved.workloads.size() > 1;
   const std::unique_ptr<Mapper> mapper = make_mapper(request.base);
   const std::unique_ptr<DseSampler> sampler = make_sampler(request);
+  const std::unique_ptr<ExploreStrategy> strategy = make_strategy(request);
+  // Halving's cheap tier: a greedy pass under the request's objective.
+  // Only worth substituting when the full mapper actually searches (a
+  // costed mapping); under "rules" kLow falls back to the same fixed
+  // routing and the rungs merely subset the space.
+  std::unique_ptr<Mapper> low_fidelity;
+  if (strategy != nullptr && mapper != nullptr && mapper->needs_costs()) {
+    low_fidelity = std::make_unique<GreedyMapper>(
+        *parse_objective(request.base.objective));
+  }
 
   DseSpace space = request.space;
   space.base = request.base.params;
@@ -640,6 +752,8 @@ ExploreResponse Engine::evaluate_explore(const ExploreRequest& request,
   options.sampler = sampler.get();
   options.shard = request.shard;
   options.skip_indices = hooks.skip_indices;
+  options.strategy = strategy.get();
+  options.low_fidelity_mapper = low_fidelity.get();
   options.CommonOptions::on_progress = hooks.on_progress;
   const bool attach = request.base.cost_cache && mapper != nullptr &&
                       mapper->needs_costs();
@@ -664,6 +778,24 @@ ExploreResponse Engine::evaluate_explore(const ExploreRequest& request,
   response.shard = request.shard;
   response.cache_attached = attach;
   if (attach) response.cache = stats_delta(before, cache_.stats());
+  response.strategy_name = request.strategy;
+  if (strategy != nullptr) {
+    response.rung_stats = strategy->rung_stats();
+    if (request.strategy == "halving") {
+      response.eta = request.eta;
+      response.rungs = request.rungs;
+    }
+    if (request.strategy == "frontier") {
+      response.refine_rounds = request.refine_rounds;
+    }
+  }
+  if (sampler != nullptr && request.sample == "random") {
+    // Distinct-point accounting for the redrawing random sampler (the
+    // same cheap deterministic re-sample explore_metadata() stamps into
+    // shard headers, so --merge reproduces this field).
+    response.distinct = random_sample_distinct(request);
+    response.report_distinct = true;
+  }
   return response;
 }
 

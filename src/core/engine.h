@@ -44,6 +44,7 @@
 #include "core/mapper.h"
 #include "core/options.h"
 #include "core/simulator.h"
+#include "core/strategy.h"
 #include "core/workload_set.h"
 #include "devlib/library.h"
 #include "util/json.h"
@@ -100,6 +101,13 @@ struct ExploreRequest {
   uint64_t seed = 1;
   DseShard shard;
   bool dse_cache = true;  // ArchParams-keyed duplicate-point memo
+  /// Exploration strategy (core/strategy.h): one-shot|halving|frontier.
+  /// "one-shot" is the legacy evaluate-everything engine, byte-identical
+  /// to pre-strategy documents.
+  std::string strategy = "one-shot";
+  int eta = 3;            // halving: survivor fraction 1/eta per rung
+  int rungs = 2;          // halving: rung count (last rung is full fidelity)
+  int refine_rounds = 1;  // frontier: refinement rounds after the base pass
 
   [[nodiscard]] util::Json to_json() const;
   [[nodiscard]] static ExploreRequest from_json(const util::Json& j);
@@ -145,6 +153,20 @@ struct ExploreResponse {
   DseShard shard;
   CostMatrixCache::Stats cache;  // per-request delta (see above)
   bool cache_attached = false;
+  /// Strategy identity + per-rung evaluation accounting.  "one-shot"
+  /// (with empty rung_stats) omits the whole "strategy" section from
+  /// to_json(), keeping one-shot documents byte-identical to pre-strategy
+  /// responses.
+  std::string strategy_name = "one-shot";
+  int eta = 0;            // halving only; 0 omits the field
+  int rungs = 0;          // halving only; 0 omits the field
+  int refine_rounds = 0;  // frontier only; 0 omits the field
+  std::vector<RungStats> rung_stats;
+  /// Random-sampler sweeps report how many of the drawn points were
+  /// distinct (the redraw-on-duplicate sampler makes this == samples on
+  /// all but tiny spaces); other samplers omit the "distinct" field.
+  size_t distinct = 0;
+  bool report_distinct = false;
 
   [[nodiscard]] util::Json to_json() const;
 };
@@ -181,6 +203,16 @@ struct ResolvedModels {
 /// The sampler an explore request asks for; nullptr for "grid".  Throws
 /// when random|lhs lacks a positive `samples`, or grid carries one.
 [[nodiscard]] std::unique_ptr<DseSampler> make_sampler(
+    const ExploreRequest& request);
+
+/// The exploration strategy a request asks for; nullptr for "one-shot"
+/// (the legacy engine).  Throws on an unknown strategy name, halving
+/// parameters out of range (eta >= 2, rungs >= 1), a non-positive
+/// refine_rounds, or "frontier" combined with sharding (refined points
+/// fall outside the canonical point list, so shards cannot merge).
+/// Strategies are stateful and single-use: make a fresh one per
+/// explore() evaluation.
+[[nodiscard]] std::unique_ptr<ExploreStrategy> make_strategy(
     const ExploreRequest& request);
 
 /// The canonical (unsharded) point list of an explore request — the

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cmath>
 #include <mutex>
+#include <unordered_set>
 
 #include "arch/prebuilt.h"
 #include "util/rng.h"
@@ -236,6 +237,53 @@ TEST(Dse, ProgressCountIsMonotoneWithExactlyOneFinalCallback) {
                               != 0 ? 1 : 0);
       EXPECT_EQ(counts.size(), expected)
           << "threads=" << threads << " every=" << every;
+    }
+  }
+}
+
+TEST(Dse, SkippedIndicesCountAsCompletedUpFront) {
+  // A resumed sweep (skip_indices) reports its true position: the three
+  // recovered points count as completed before the first evaluation, so
+  // progress runs skipped+1..total instead of restarting from 1 — and
+  // the guaranteed final callback still lands exactly once at total.
+  DseSpace space;
+  space.wavelengths = {1, 2, 3, 4, 5, 6, 7};
+  const std::unordered_set<size_t> skip = {0, 3, 6};
+  for (int threads : {1, 4}) {
+    for (int every : {1, 7}) {
+      DseOptions options;
+      options.num_threads = threads;
+      options.progress_every = every;
+      options.skip_indices = &skip;
+      std::vector<size_t> counts;
+      std::mutex mutex;
+      options.on_progress = [&](const DseProgress& p) {
+        std::lock_guard<std::mutex> lock(mutex);
+        EXPECT_EQ(p.total, 7u);
+        counts.push_back(p.completed);
+      };
+      const DseResult result = explore(arch::tempo_template(), g_lib,
+                                       workload::mlp_mnist(), space, options);
+      EXPECT_EQ(result.points.size(), 4u);
+      ASSERT_FALSE(counts.empty())
+          << "threads=" << threads << " every=" << every;
+      for (size_t i = 1; i < counts.size(); ++i) {
+        EXPECT_LT(counts[i - 1], counts[i])
+            << "threads=" << threads << " every=" << every;
+      }
+      // Every reported count already includes the 3 skipped points ...
+      EXPECT_GT(counts.front(), 3u)
+          << "threads=" << threads << " every=" << every;
+      // ... and the run still ends at total, exactly once.
+      EXPECT_EQ(counts.back(), 7u)
+          << "threads=" << threads << " every=" << every;
+      EXPECT_EQ(std::count(counts.begin(), counts.end(), size_t{7}), 1)
+          << "threads=" << threads << " every=" << every;
+      if (every == 1) {
+        // One callback per fresh evaluation: 4, 5, 6, 7.
+        EXPECT_EQ(counts, (std::vector<size_t>{4, 5, 6, 7}))
+            << "threads=" << threads;
+      }
     }
   }
 }

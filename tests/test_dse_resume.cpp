@@ -302,6 +302,82 @@ TEST(CliResume, ResumedSweepIsByteIdenticalToUninterrupted) {
   std::remove((resumed_path + ".tmp").c_str());
 }
 
+// The same contract for an adaptive sweep: a torn halving run resumes to
+// the identical bytes — the low-fidelity rungs re-rank the whole slice,
+// so the recovered survivors and the fresh remainder line back up.
+TEST(CliResume, ResumedHalvingSweepIsByteIdenticalToUninterrupted) {
+  const std::string dir = ::testing::TempDir();
+  const std::string full_path = dir + "halving_full.json";
+  const std::string resumed_path = dir + "halving_torn.json";
+  std::remove(full_path.c_str());
+  std::remove(resumed_path.c_str());
+  std::remove((resumed_path + ".tmp").c_str());
+
+  const std::string args =
+      std::string(kSweepArgs) + " --strategy halving --eta 2 --rungs 2";
+  const CliResult full = run_cli(args + " --out " + full_path);
+  ASSERT_EQ(full.exit_code, 0) << full.output;
+  const std::string full_bytes = read_file(full_path);
+  ASSERT_FALSE(full_bytes.empty());
+  EXPECT_NE(full_bytes.find("\"strategy\""), std::string::npos);
+
+  write_file(resumed_path + ".tmp",
+             full_bytes.substr(0, full_bytes.size() * 3 / 5));
+
+  const CliResult resumed =
+      run_cli(args + " --resume --out " + resumed_path);
+  EXPECT_EQ(resumed.exit_code, 0) << resumed.output;
+  EXPECT_EQ(read_file(resumed_path), full_bytes);
+
+  // The torn file belongs to a *halving* schedule; resuming it with
+  // different strategy flags must be rejected, not silently mixed.
+  write_file(resumed_path + ".tmp",
+             full_bytes.substr(0, full_bytes.size() * 3 / 5));
+  std::remove(resumed_path.c_str());
+  const CliResult mismatched = run_cli(std::string(kSweepArgs) +
+                                       " --resume --out " + resumed_path);
+  EXPECT_EQ(mismatched.exit_code, 1);
+  EXPECT_NE(mismatched.output.find("metadata mismatch"), std::string::npos)
+      << mismatched.output;
+
+  std::remove(full_path.c_str());
+  std::remove(resumed_path.c_str());
+  std::remove((resumed_path + ".tmp").c_str());
+}
+
+TEST(CliResume, FrontierStrategyRejectsResume) {
+  const CliResult result =
+      run_cli(std::string(kSweepArgs) +
+              " --strategy frontier --resume --out ignored.json");
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.output.find("frontier does not support --resume"),
+            std::string::npos)
+      << result.output;
+}
+
+TEST(CliResume, MergeRejectsMixedStrategyShards) {
+  const std::string dir = ::testing::TempDir();
+  const std::string halving_path = dir + "merge_halving.json";
+  const std::string one_shot_path = dir + "merge_one_shot.json";
+
+  ASSERT_EQ(run_cli(std::string(kSweepArgs) + " --shard 0/2 " +
+                    "--strategy halving --out " + halving_path)
+                .exit_code,
+            0);
+  ASSERT_EQ(run_cli(std::string(kSweepArgs) + " --shard 1/2 --out " +
+                    one_shot_path)
+                .exit_code,
+            0);
+  const CliResult merged =
+      run_cli("--merge " + halving_path + " " + one_shot_path);
+  EXPECT_EQ(merged.exit_code, 1);
+  EXPECT_NE(merged.output.find("different sweep"), std::string::npos)
+      << merged.output;
+
+  std::remove(halving_path.c_str());
+  std::remove(one_shot_path.c_str());
+}
+
 TEST(CliResume, CacheFileRoundTripsAndReportsTheWarmLoad) {
   const std::string dir = ::testing::TempDir();
   const std::string cache_path = dir + "resume_cache.spcc";

@@ -210,6 +210,40 @@ TEST(DseSampler, RandomSamplerIsReproducibleAndInSpace) {
   }
 }
 
+TEST(DseSampler, RandomSamplerDrawsDistinctPointsWhenTheSpaceAllows) {
+  // Regression: independent per-axis draws used to collide constantly
+  // (8 distinct points in 25 draws on a 27-point space was typical), so
+  // a "--samples N" sweep silently explored far fewer than N designs.
+  // The sampler now redraws duplicates (bounded, deterministic).
+  DseSpace space = small_space();
+  space.cores_per_tile = {1, 2, 4};  // 24 grid points
+  const std::vector<arch::ArchParams> pts =
+      RandomSampler(20, 7).sample(space);
+  ASSERT_EQ(pts.size(), 20u);
+  for (size_t i = 0; i < pts.size(); ++i) {
+    for (size_t j = i + 1; j < pts.size(); ++j) {
+      EXPECT_FALSE(pts[i] == pts[j]) << i << " duplicates " << j;
+    }
+  }
+  // Still seed-reproducible with the redraw loop in the stream.
+  EXPECT_EQ(pts, RandomSampler(20, 7).sample(space));
+}
+
+TEST(DseSampler, RandomSamplerAcceptsDuplicatesOnTinySpaces) {
+  // A space smaller than the request cannot yield N distinct points;
+  // after the bounded redraws the sampler must keep the duplicates (and
+  // warn) rather than spin forever.
+  DseSpace space;
+  space.tiles = {1, 2};  // 2 grid points
+  const std::vector<arch::ArchParams> pts =
+      RandomSampler(10, 7).sample(space);
+  ASSERT_EQ(pts.size(), 10u);
+  std::set<int> distinct;
+  for (const auto& p : pts) distinct.insert(p.tiles);
+  EXPECT_EQ(distinct.size(), 2u);
+  EXPECT_EQ(pts, RandomSampler(10, 7).sample(space));
+}
+
 TEST(DseSampler, LatinHypercubeCoversEveryAxisValue) {
   DseSpace space;
   space.tiles = {1, 2, 3, 4};

@@ -18,8 +18,11 @@
 #include <thread>
 #include <vector>
 
-#ifdef SIMPHONY_CLI_PATH
+#if defined(SIMPHONY_CLI_PATH) || defined(SIMPHONY_CLIENT_PATH)
 #include <sys/wait.h>
+#endif
+#ifdef SIMPHONY_CLIENT_PATH
+#include <cstdlib>
 #endif
 
 #include "core/engine.h"
@@ -206,6 +209,47 @@ TEST(ServerProtocol, BusyQueueAnswersRetryAfter) {
   ASSERT_EQ(transcript.responses.size(), 1u);
   EXPECT_EQ(status_of(transcript.responses[0]), "busy");
   EXPECT_EQ(transcript.responses[0].at("retry_after_ms").as_number(), 77.0);
+}
+
+TEST(ServerProtocol, ExploreServesHalvingWithRungStats) {
+  Engine engine;
+  Server server(engine, loopback());
+  const Transcript transcript = drive(
+      server,
+      "{\"op\": \"explore\", \"request\":"
+      " {\"mapping\": \"greedy\", \"num_threads\": 1,"
+      "  \"models\": [{\"spec\": \"gemm:32x16x32\"}],"
+      "  \"sweep\": {\"tiles\": [1, 2, 4], \"wavelengths\": [2, 4]},"
+      "  \"strategy\": \"halving\"}}\n");
+  ASSERT_EQ(transcript.responses.size(), 1u);
+  const util::Json& response = transcript.responses[0];
+  ASSERT_EQ(status_of(response), "ok") << response.dump(-1);
+  const util::Json& result = response.at("result");
+  // 6-point space, eta 3: ceil(6 / 3) = 2 full-fidelity survivors.
+  EXPECT_EQ(result.at("points").as_array().size(), 2u);
+  const util::Json& strategy = result.at("strategy");
+  EXPECT_EQ(strategy.at("name").as_string(), "halving");
+  EXPECT_EQ(strategy.at("eta").as_number(), 3.0);
+  EXPECT_EQ(strategy.at("rungs").as_number(), 2.0);
+  const auto& rungs = strategy.at("rung_stats").as_array();
+  ASSERT_EQ(rungs.size(), 2u);
+  EXPECT_EQ(rungs[0].at("fidelity").as_string(), "low");
+  EXPECT_EQ(rungs[0].at("candidates").as_number(), 6.0);
+  EXPECT_EQ(rungs[1].at("fidelity").as_string(), "full");
+  EXPECT_EQ(rungs[1].at("candidates").as_number(), 2.0);
+
+  // Bad strategy knobs are a per-line error, not a dead connection.
+  const Transcript bad = drive(
+      server,
+      "{\"op\": \"explore\", \"request\":"
+      " {\"sweep\": {\"tiles\": [1, 2]},"
+      "  \"strategy\": \"halving\", \"eta\": 1}}\n"
+      "{\"op\": \"ping\"}\n");
+  ASSERT_EQ(bad.responses.size(), 2u);
+  EXPECT_EQ(status_of(bad.responses[0]), "error");
+  EXPECT_NE(bad.responses[0].at("error").as_string().find("--eta"),
+            std::string::npos);
+  EXPECT_EQ(status_of(bad.responses[1]), "ok");
 }
 
 TEST(ServerProtocol, ShutdownOpAcknowledgesAndReportsShutdown) {
@@ -397,6 +441,68 @@ TEST(ServerCliIdentity, ServedResultsMatchOneShotCliJson) {
 }
 
 #endif  // SIMPHONY_CLI_PATH
+
+// ------------------------------------------------- client busy give-up
+//
+// The client's retry cap is its own contract: a server that stays busy
+// past --max-retries must produce exit code 75 (EX_TEMPFAIL), distinct
+// from evaluation errors (1), so schedulers can requeue rejections
+// without masking real failures.
+#ifdef SIMPHONY_CLIENT_PATH
+
+int run_client_exit_code(const std::string& args) {
+  const std::string command = std::string(SIMPHONY_CLIENT_PATH) + " " +
+                              args + " >/dev/null 2>&1";
+  const int status = std::system(command.c_str());
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+std::string connect_flag(const Server& server) {
+  return "--connect tcp:127.0.0.1:" + std::to_string(server.address().port);
+}
+
+TEST(ClientRetries, BusyServerYieldsTempfailAfterMaxRetries) {
+  Engine::Options options;
+  options.queue_capacity = 0;  // reject every admission
+  options.retry_after_ms = 1;
+  Engine engine(options);
+  Server server(engine, loopback());
+  std::thread serving([&] { server.serve(); });
+
+  EXPECT_EQ(run_client_exit_code(connect_flag(server) +
+                                 " --op simulate --max-retries 2"),
+            75);
+  // The historical --retries spelling still steers the same cap.
+  EXPECT_EQ(run_client_exit_code(connect_flag(server) +
+                                 " --op simulate --retries 0"),
+            75);
+
+  server.request_stop();
+  serving.join();
+}
+
+TEST(ClientRetries, EvaluationErrorsKeepExitCodeOne) {
+  Engine engine;
+  Server server(engine, loopback());
+  std::thread serving([&] { server.serve(); });
+
+  const std::string bad_request = ::testing::TempDir() + "bad_request.json";
+  {
+    std::FILE* f = std::fopen(bad_request.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("{\"mappnig\": \"beam\"}", f);
+    std::fclose(f);
+  }
+  EXPECT_EQ(run_client_exit_code(connect_flag(server) +
+                                 " --op simulate --request " + bad_request),
+            1);
+  std::remove(bad_request.c_str());
+
+  server.request_stop();
+  serving.join();
+}
+
+#endif  // SIMPHONY_CLIENT_PATH
 
 }  // namespace
 }  // namespace simphony::core
