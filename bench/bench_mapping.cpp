@@ -87,6 +87,23 @@ void BM_MapGreedy(benchmark::State& state) {
 }
 BENCHMARK(BM_MapGreedy)->Unit(benchmark::kMillisecond);
 
+/// Canned edp vs the parsed weighted spec "0.5*edp+0.5*area"
+/// (core/metrics.h): the general ObjectiveSpec scoring path must not
+/// regress the greedy search measurably — the spec is parsed once at
+/// construction and mapper_score is a few multiply-adds per candidate.
+void BM_MapGreedyWeightedSpec(benchmark::State& state) {
+  const core::Simulator sim = make_hetero_sim();
+  const core::GreedyMapper greedy(
+      core::ObjectiveSpec::parse("0.5*edp+0.5*area"));
+  core::ModelReport report;
+  for (auto _ : state) {
+    report = sim.simulate_model(vgg8_model(), greedy);
+    benchmark::DoNotOptimize(report);
+  }
+  report_edp(state, report);
+}
+BENCHMARK(BM_MapGreedyWeightedSpec)->Unit(benchmark::kMillisecond);
+
 void BM_MapBeam(benchmark::State& state) {
   const core::Simulator sim = make_hetero_sim();
   const core::BeamMapper beam(static_cast<size_t>(state.range(0)),

@@ -19,8 +19,15 @@
 //     --mapping rules|greedy|beam|bnb  layer-to-sub-arch mapping strategy
 //                            (bnb = exact branch-and-bound, equal to
 //                            exhaustive search with pruning)
-//     --objective latency|energy|edp  what greedy/beam/bnb minimize
-//                            (default edp)
+//     --objective SPEC       what greedy/beam/bnb minimize and what a
+//                            sweep optimizes for (default edp).  SPEC is
+//                            a canned name (latency|energy|edp), any
+//                            registry metric (e.g. p99_latency), a
+//                            weighted sum ("0.6*edp+0.4*area"), or a
+//                            lexicographic list ("latency,energy") — see
+//                            docs/metrics.md
+//     --list-objectives      print the metric registry and the objective
+//                            spec grammar, then exit
 //     --beam-width K         beam width for --mapping beam (default 8)
 //     --no-cost-cache        disable the cross-point cost-matrix cache
 //                            (DSE mode with a searched mapping memoizes
@@ -342,6 +349,7 @@ int run_merge(const std::vector<std::string>& files,
   std::string arch_label;
   std::string sampler_name;
   std::string aggregate_name;
+  std::string objective_name;  // non-canned spec text; empty = canned
   std::string strategy_label;
   util::Json strategy_json;  // first file's strategy knobs, re-emitted
   bool report_distinct = false;  // random-sampled sweeps: header-carried
@@ -360,6 +368,7 @@ int run_merge(const std::vector<std::string>& files,
     const std::string arch = metadata_string(root, "arch", "");
     const std::string sampler = metadata_string(root, "sampler", "grid");
     const std::string aggregate = metadata_string(root, "aggregate", "");
+    const std::string objective = metadata_string(root, "objective", "");
     const std::string strategy = strategy_label_of(root);
     const bool has_distinct = root.contains("distinct");
     const size_t file_distinct =
@@ -374,6 +383,7 @@ int run_merge(const std::vector<std::string>& files,
       arch_label = arch;
       sampler_name = sampler;
       aggregate_name = aggregate;
+      objective_name = objective;
       strategy_label = strategy;
       if (root.contains("strategy")) {
         // Carry only the identifying knobs into the merged document —
@@ -392,15 +402,16 @@ int run_merge(const std::vector<std::string>& files,
       total_points = total;
     } else if (model != model_name || arch != arch_label ||
                sampler != sampler_name || aggregate != aggregate_name ||
-               strategy != strategy_label || has_distinct != report_distinct ||
+               objective != objective_name || strategy != strategy_label ||
+               has_distinct != report_distinct ||
                file_distinct != distinct || total != total_points) {
       // A distinct-count mismatch between random-sampled shards means a
       // different seed or sample size — a different point list entirely.
       throw std::invalid_argument(
           "--merge: " + files[i] + " is from a different sweep than " +
           files[0] +
-          " (model/arch/sampler/aggregate/strategy/distinct/total_points "
-          "mismatch)");
+          " (model/arch/sampler/aggregate/objective/strategy/distinct/"
+          "total_points mismatch)");
     }
   }
   // Attribute duplicate canonical indices to the files carrying them:
@@ -418,7 +429,14 @@ int run_merge(const std::vector<std::string>& files,
       }
     }
   }
-  const core::DseResult merged = core::merge(std::move(shards));
+  // The global frontier is recomputed over the sweep's own Pareto axes:
+  // an empty stamp means a canned objective (the legacy triple), so
+  // legacy merges stay byte-identical.
+  const core::ObjectiveSpec objective_spec =
+      objective_name.empty() ? core::ObjectiveSpec()
+                             : core::ObjectiveSpec::parse(objective_name);
+  const core::DseResult merged =
+      core::merge(std::move(shards), core::pareto_axes(objective_spec));
   if (total_points == 0) total_points = merged.points.size();
   // Adaptive strategies legitimately emit fewer (halving: survivors
   // only) or more (frontier: refined neighbors) points than the sampled
@@ -432,6 +450,7 @@ int run_merge(const std::vector<std::string>& files,
   util::Json root =
       result_root(model_name, arch_label, sampler_name, aggregate_name,
                   total_points, core::DseShard{}, merged);
+  if (!objective_name.empty()) root["objective"] = objective_name;
   if (strategy_label != "one-shot") root["strategy"] = strategy_json;
   if (report_distinct) root["distinct"] = distinct;
   if (out_path.empty()) {
@@ -501,6 +520,7 @@ int run_dse(core::Engine& engine, const core::ExploreRequest& request,
       if (got.arch != metadata.arch || got.model != metadata.model ||
           got.sampler != metadata.sampler ||
           got.aggregate != metadata.aggregate ||
+          got.objective != metadata.objective ||
           got.strategy != metadata.strategy || got.eta != metadata.eta ||
           got.rungs != metadata.rungs ||
           got.shard.index != metadata.shard.index ||
@@ -509,13 +529,20 @@ int run_dse(core::Engine& engine, const core::ExploreRequest& request,
         const auto strategy_or = [](const std::string& name) {
           return name.empty() ? std::string("one-shot") : name;
         };
+        // An empty stamp means any canned objective (they all share the
+        // legacy point semantics, so shards interchange freely).
+        const auto objective_or = [](const std::string& text) {
+          return text.empty() ? std::string("(canned)") : text;
+        };
         throw std::invalid_argument(
             source + ": --resume metadata mismatch (file: arch=" + got.arch +
             " model=" + got.model + " sampler=" + got.sampler +
+            " objective=" + objective_or(got.objective) +
             " strategy=" + strategy_or(got.strategy) +
             " total_points=" + std::to_string(got.total_points) +
             "; current run: arch=" + metadata.arch + " model=" +
             metadata.model + " sampler=" + metadata.sampler +
+            " objective=" + objective_or(metadata.objective) +
             " strategy=" + strategy_or(metadata.strategy) +
             " total_points=" + std::to_string(metadata.total_points) + ")");
       }
@@ -608,7 +635,9 @@ int run_dse(core::Engine& engine, const core::ExploreRequest& request,
   // frontier exactly as an unsharded explore would have).
   if (!recovered.points.empty()) {
     response.result = core::merge(
-        {std::move(recovered), std::move(response.result)});
+        {std::move(recovered), std::move(response.result)},
+        core::pareto_axes(
+            core::ObjectiveSpec::parse(request.base.objective)));
   }
   const core::DseResult& result = response.result;
 
@@ -787,6 +816,7 @@ int run(int argc, char** argv) {
   bool sweeping = false;
   bool as_json = false;
   bool as_csv = false;
+  bool list_objectives = false;
 
   // The declarative flag table (util/flags.h): registration order is
   // usage order; the parser owns --flag=value expansion, the
@@ -855,15 +885,19 @@ int run(int argc, char** argv) {
                    }
                    request.mapping = v;
                  });
-  flags.add_flag("--objective", "[--objective latency|energy|edp]",
+  flags.add_flag("--objective",
+                 "[--objective SPEC] (canned latency|energy|edp, a metric "
+                 "name, \"0.6*edp+0.4*area\", or \"latency,energy\"; see "
+                 "--list-objectives)",
                  [&](const std::string& v) {
-                   if (!core::parse_objective(v)) {
-                     throw std::invalid_argument(
-                         "--objective expects latency|energy|edp, got '" +
-                         v + "'");
-                   }
+                   // Flag-time validation through the one shared grammar
+                   // (core/metrics.h): unknown metrics report their
+                   // offset, like util/flags diagnostics.
+                   (void)core::ObjectiveSpec::parse(v);
                    request.objective = v;
                  });
+  flags.add_switch("--list-objectives", "[--list-objectives]",
+                   [&](const std::string&) { list_objectives = true; });
   flags.add_flag("--beam-width", "[--beam-width K]",
                  [&](const std::string& v) {
                    request.beam_width = parse_int(v);
@@ -984,6 +1018,25 @@ int run(int argc, char** argv) {
   flags.add_help();
   if (!flags.parse(argc, argv)) {
     std::cout << flags.usage();
+    return 0;
+  }
+
+  if (list_objectives) {
+    std::cout << "objective metrics (core/metrics.h registry):\n";
+    util::Table registry({"metric", "unit", "description"});
+    for (const core::MetricInfo& info : core::metric_registry()) {
+      registry.add_row({info.name, info.unit, info.description});
+    }
+    std::cout << registry.render();
+    std::cout <<
+        "objective spec grammar (--objective SPEC):\n"
+        "  canned names   latency | energy | edp (score exactly as before)\n"
+        "  single metric  any registry metric, e.g. p99_latency\n"
+        "  weighted sum   non-negative weights over metrics, e.g. "
+        "\"0.6*edp+0.4*area\"\n"
+        "  lexicographic  comma-separated metric list, e.g. "
+        "\"latency,energy\"\n"
+        "see docs/metrics.md for the p99 model and mapper compatibility\n";
     return 0;
   }
 

@@ -179,7 +179,8 @@ DsePoint evaluate_point(
     const std::vector<workload::GemmWorkload>& base_gemms,
     const arch::ArchParams& params, bool override_input_bits,
     bool override_output_bits, const Mapper* mapper,
-    CostMatrixCache* cost_cache, const uint64_t* base_gemm_keys) {
+    CostMatrixCache* cost_cache, const uint64_t* base_gemm_keys,
+    bool want_p99) {
   const Simulator sim =
       make_point_simulator(ptc_templates, lib, params, cost_cache);
   const ModelTotals totals =
@@ -193,6 +194,12 @@ DsePoint evaluate_point(
   point.area_mm2 = totals.total_area_mm2();
   point.power_W = totals.average_power_W();
   point.tops = totals.tops();
+  if (want_p99) {
+    // Single-model stream: the single-service-time tail formula.
+    const double latency = totals.runtime_ns;
+    const double one = 1.0;
+    point.p99_latency_ns = p99_latency_ns(&latency, &one, 1);
+  }
   return point;
 }
 
@@ -209,19 +216,15 @@ DsePoint evaluate_batch_point(
     const devlib::DeviceLibrary& lib, const WorkloadSet& workloads,
     const arch::ArchParams& params, bool override_input_bits,
     bool override_output_bits, const Mapper* mapper,
-    CostMatrixCache* cost_cache, BatchAggregate aggregate) {
+    CostMatrixCache* cost_cache, BatchAggregate aggregate, bool want_p99) {
   const Simulator sim =
       make_point_simulator(ptc_templates, lib, params, cost_cache);
 
   DsePoint point;
   point.params = params;
   point.per_model.reserve(workloads.size());
-  std::vector<double> energies;
-  std::vector<double> latencies;
-  std::vector<double> macs;
-  std::vector<double> weights;
-  std::vector<double> powers;
-  std::vector<double> tops;
+  std::vector<BatchModelSlice> slices;
+  slices.reserve(workloads.size());
   for (size_t i = 0; i < workloads.size(); ++i) {
     const WorkloadSet::Entry& entry = workloads.at(i);
     const ModelTotals totals =
@@ -236,23 +239,37 @@ DsePoint evaluate_batch_point(
     metrics.area_mm2 = totals.total_area_mm2();
     metrics.power_W = totals.average_power_W();
     metrics.tops = totals.tops();
-    energies.push_back(metrics.energy_pJ);
-    latencies.push_back(metrics.latency_ns);
-    macs.push_back(totals.macs);
-    weights.push_back(entry.weight);
-    powers.push_back(metrics.power_W);
-    tops.push_back(metrics.tops);
-    point.area_mm2 = std::max(point.area_mm2, metrics.area_mm2);
+    BatchModelSlice slice;
+    slice.energy_pJ = metrics.energy_pJ;
+    slice.latency_ns = metrics.latency_ns;
+    slice.area_mm2 = metrics.area_mm2;
+    slice.macs = totals.macs;
+    slice.weight = entry.weight;
+    slice.power_W = metrics.power_W;
+    slice.tops = metrics.tops;
+    slices.push_back(slice);
     point.per_model.push_back(std::move(metrics));
   }
-  point.energy_pJ = aggregate_values(aggregate, energies, weights);
-  point.latency_ns = aggregate_values(aggregate, latencies, weights);
-  const double aggregate_macs = aggregate_values(aggregate, macs, weights);
-  const BatchDerivedMetrics derived =
-      derive_batch_metrics(aggregate, point.energy_pJ, point.latency_ns,
-                           aggregate_macs, powers, tops);
-  point.power_W = derived.power_W;
-  point.tops = derived.tops;
+  const BatchFold fold = fold_batch(aggregate, slices);
+  point.energy_pJ = fold.energy_pJ;
+  point.latency_ns = fold.latency_ns;
+  point.area_mm2 = fold.area_mm2;
+  point.power_W = fold.power_W;
+  point.tops = fold.tops;
+  if (want_p99) {
+    // Tail latency of the batch as an arrival mix: each model is a job
+    // class whose service time is its end-to-end latency and whose arrival
+    // share is its batch weight (M/G/1 approximation, see core/metrics.h).
+    std::vector<double> latencies;
+    std::vector<double> weights;
+    latencies.reserve(slices.size());
+    weights.reserve(slices.size());
+    for (const BatchModelSlice& slice : slices) {
+      latencies.push_back(slice.latency_ns);
+      weights.push_back(slice.weight);
+    }
+    point.p99_latency_ns = p99_latency_ns(latencies, weights);
+  }
   return point;
 }
 
@@ -415,6 +432,33 @@ const DsePoint& DseResult::best_edap() const {
   return *best;
 }
 
+double DsePoint::metric(Metric m) const {
+  switch (m) {
+    case Metric::kEnergy:
+      return energy_pJ;
+    case Metric::kLatency:
+      return latency_ns;
+    case Metric::kArea:
+      return area_mm2;
+    case Metric::kPower:
+      return power_W;
+    case Metric::kEdp:
+      return energy_pJ * latency_ns;
+    case Metric::kEdap:
+      return edap();
+    case Metric::kP99Latency:
+      return p99_latency_ns;
+  }
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+MetricVector DsePoint::metrics() const {
+  MetricVector v =
+      MetricVector::of(energy_pJ, latency_ns, area_mm2, power_W);
+  v.set(Metric::kP99Latency, p99_latency_ns);
+  return v;
+}
+
 void mark_pareto_frontier(std::vector<DsePoint>& points) {
   // Non-finite metrics are never on the frontier and do not enter the
   // sort below: NaN (e.g. parsed back from a shard file's null) breaks
@@ -490,7 +534,76 @@ void mark_pareto_frontier(std::vector<DsePoint>& points) {
   }
 }
 
+void mark_pareto_frontier(std::vector<DsePoint>& points,
+                          const std::vector<Metric>& axes) {
+  if (axes.empty()) {
+    throw std::invalid_argument("mark_pareto_frontier: empty axis list");
+  }
+  // The legacy triple takes the O(n log n) staircase above — its verdicts
+  // (and therefore every legacy document) stay byte-identical.
+  static const std::vector<Metric> kLegacyAxes = {Metric::kEnergy,
+                                                  Metric::kLatency,
+                                                  Metric::kArea};
+  if (axes == kLegacyAxes) {
+    mark_pareto_frontier(points);
+    return;
+  }
+
+  // General axis lists run a quadratic dominance check; sweeps that need
+  // them reference extra metrics (power, p99) and are far from the sizes
+  // where the staircase's asymptotics matter.  Non-finite on any axis
+  // excludes a point outright, matching the legacy rule slot-wise.
+  std::vector<size_t> order;
+  order.reserve(points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    DsePoint& p = points[i];
+    bool finite = true;
+    for (Metric axis : axes) {
+      if (!std::isfinite(p.metric(axis))) {
+        finite = false;
+        break;
+      }
+    }
+    p.pareto = false;
+    if (finite) order.push_back(i);
+  }
+
+  for (size_t a : order) {
+    DsePoint& p = points[a];
+    bool dominated = false;
+    for (size_t b : order) {
+      if (a == b) continue;
+      const DsePoint& q = points[b];
+      // q dominates p iff q <= p on every axis and q < p on at least one;
+      // identical tuples never dominate each other, so every copy of a
+      // tuple gets the same verdict.
+      bool all_le = true;
+      bool any_lt = false;
+      for (Metric axis : axes) {
+        const double qv = q.metric(axis);
+        const double pv = p.metric(axis);
+        if (qv > pv) {
+          all_le = false;
+          break;
+        }
+        if (qv < pv) any_lt = true;
+      }
+      if (all_le && any_lt) {
+        dominated = true;
+        break;
+      }
+    }
+    p.pareto = !dominated;
+  }
+}
+
 DseResult merge(std::vector<DseResult> shards) {
+  return merge(std::move(shards),
+               {Metric::kEnergy, Metric::kLatency, Metric::kArea});
+}
+
+DseResult merge(std::vector<DseResult> shards,
+                const std::vector<Metric>& axes) {
   DseResult merged;
   size_t total = 0;
   for (const auto& shard : shards) total += shard.points.size();
@@ -510,7 +623,7 @@ DseResult merge(std::vector<DseResult> shards) {
           std::to_string(merged.points[i].index) + " (overlapping shards?)");
     }
   }
-  mark_pareto_frontier(merged.points);
+  mark_pareto_frontier(merged.points, axes);
   return merged;
 }
 
@@ -561,6 +674,12 @@ util::Json to_json(const DsePoint& point) {
   j["area_mm2"] = point.area_mm2;
   j["power_W"] = point.power_W;
   j["tops"] = point.tops;
+  // Tail latency rides along only when the sweep's objective asked for it
+  // (the evaluator leaves it NaN otherwise), so every legacy document is
+  // byte-identical.
+  if (std::isfinite(point.p99_latency_ns)) {
+    j["p99_latency_ns"] = point.p99_latency_ns;
+  }
   j["pareto"] = point.pareto;
   // Strategy provenance: only points a multi-rung strategy produced carry
   // a rung, so one-shot documents stay byte-identical to older files.
@@ -613,6 +732,12 @@ DsePoint dse_point_from_json(const util::Json& j) {
   point.area_mm2 = metric_from(j, "area_mm2");
   point.power_W = metric_from(j, "power_W");
   point.tops = metric_from(j, "tops");
+  if (j.contains("p99_latency_ns")) {
+    const util::Json& v = j.at("p99_latency_ns");
+    point.p99_latency_ns =
+        v.is_null() ? std::numeric_limits<double>::quiet_NaN()
+                    : v.as_number();
+  }
   point.pareto = j.contains("pareto") && j.at("pareto").as_bool();
   if (j.contains("rung")) point.rung = int_from(j, "rung");
   if (j.contains("models")) {
@@ -765,6 +890,12 @@ DseShardWriter::DseShardWriter(std::unique_ptr<ShardSink> sink,
   if (!metadata.aggregate.empty()) {
     header += ",\n\"aggregate\": " + util::Json(metadata.aggregate).dump(-1);
   }
+  // Non-canned objective specs change point semantics (extra Pareto axes,
+  // p99 fields), so --resume / --merge must refuse mismatched shards; the
+  // canned specs stamp nothing, keeping legacy documents byte-identical.
+  if (!metadata.objective.empty()) {
+    header += ",\n\"objective\": " + util::Json(metadata.objective).dump(-1);
+  }
   // Strategy runs record how the sweep was driven so --resume / --merge
   // can refuse mismatched shards; one-shot sweeps omit the object
   // entirely, keeping their documents byte-identical to older files.
@@ -858,6 +989,9 @@ DseShardWriter::Metadata metadata_from_header(const util::Json& root) {
   }
   if (root.contains("aggregate")) {
     meta.aggregate = root.at("aggregate").as_string();
+  }
+  if (root.contains("objective")) {
+    meta.objective = root.at("objective").as_string();
   }
   if (root.contains("strategy")) {
     const util::Json& strategy = root.at("strategy");
@@ -1106,7 +1240,7 @@ DseResult run_strategy_engine(
   std::stable_sort(
       result.points.begin(), result.points.end(),
       [](const DsePoint& a, const DsePoint& b) { return a.index < b.index; });
-  mark_pareto_frontier(result.points);
+  mark_pareto_frontier(result.points, pareto_axes(options.objective));
   return result;
 }
 
@@ -1243,7 +1377,7 @@ DseResult run_engine(
     }
   }
 
-  mark_pareto_frontier(result.points);
+  mark_pareto_frontier(result.points, pareto_axes(options.objective));
   return result;
 }
 
@@ -1286,6 +1420,7 @@ DseResult explore(const std::vector<arch::PtcTemplate>& ptc_templates,
       base_keys.push_back(gemm_fingerprint(gemm));
     }
   }
+  const bool want_p99 = options.objective.references(Metric::kP99Latency);
   return run_engine(
       space, options, progress,
       [&](const arch::ArchParams& params, FidelityLevel fidelity) {
@@ -1299,7 +1434,8 @@ DseResult explore(const std::vector<arch::PtcTemplate>& ptc_templates,
         return evaluate_point(shared_templates, lib, base_gemms, params,
                               override_input_bits, override_output_bits,
                               mapper, options.cost_cache,
-                              base_keys.empty() ? nullptr : base_keys.data());
+                              base_keys.empty() ? nullptr : base_keys.data(),
+                              want_p99);
       });
 }
 
@@ -1315,6 +1451,7 @@ DseResult explore(const std::vector<arch::PtcTemplate>& ptc_templates,
   }
   const bool override_input_bits = !space.input_bits.empty();
   const bool override_output_bits = !space.output_bits.empty();
+  const bool want_p99 = options.objective.references(Metric::kP99Latency);
   return run_engine(
       space, options, progress,
       [&](const arch::ArchParams& params, FidelityLevel fidelity) {
@@ -1326,7 +1463,7 @@ DseResult explore(const std::vector<arch::PtcTemplate>& ptc_templates,
         return evaluate_batch_point(shared_templates, lib, workloads, params,
                                     override_input_bits, override_output_bits,
                                     mapper, options.cost_cache,
-                                    options.aggregate);
+                                    options.aggregate, want_p99);
       });
 }
 

@@ -25,12 +25,14 @@
 
 #include <functional>
 #include <iosfwd>
+#include <limits>
 #include <memory>
 #include <string>
 #include <unordered_set>
 #include <vector>
 
 #include "arch/node.h"
+#include "core/metrics.h"
 #include "core/options.h"
 #include "core/simulator.h"
 #include "core/workload_set.h"
@@ -237,6 +239,14 @@ struct DseOptions : CommonOptions {
   /// but save nothing).  Not owned; must be thread-safe and outlive the
   /// call, like `mapper`.
   const Mapper* low_fidelity_mapper = nullptr;
+
+  /// What the sweep optimizes for (core/metrics.h): decides the Pareto
+  /// axes the frontier is marked over and which derived metrics are
+  /// computed per point (p99_latency is evaluated — and serialized — only
+  /// when the spec references it).  The default canned "edp" spec keeps
+  /// every legacy document byte-identical.  Note this does NOT configure
+  /// the mapping search — construct `mapper` with the same spec for that.
+  ObjectiveSpec objective;
 };
 
 /// Per-model metrics of one batched design point (the WorkloadSet
@@ -277,10 +287,25 @@ struct DsePoint {
   /// exploration; serialized as a "models" array in JSON when non-empty.
   std::vector<DseModelMetrics> per_model;
 
+  /// M/G/1-approximated tail latency (core/metrics.h p99_latency_ns over
+  /// the per-model mix; the single-stream formula for single-model
+  /// points).  NaN — and omitted from JSON — unless the sweep's
+  /// DseOptions::objective references Metric::kP99Latency, keeping every
+  /// legacy document byte-identical.
+  double p99_latency_ns = std::numeric_limits<double>::quiet_NaN();
+
   /// Scalarized figure of merit: energy-delay-area product (lower better).
   [[nodiscard]] double edap() const {
     return energy_pJ * latency_ns * area_mm2;
   }
+
+  /// One metric slot of this point (the MetricVector view without
+  /// materializing it); derived slots use the legacy associations
+  /// (edp = E*L, edap = E*L*A).
+  [[nodiscard]] double metric(Metric m) const;
+
+  /// The point's full MetricVector.
+  [[nodiscard]] MetricVector metrics() const;
 };
 
 struct DseResult {
@@ -298,6 +323,16 @@ struct DseResult {
 /// O(n log n): sort by energy, then sweep a latency->min-area staircase.
 void mark_pareto_frontier(std::vector<DsePoint>& points);
 
+/// Frontier over a configurable axis list (pareto_axes of the sweep's
+/// objective): the legacy (energy, latency, area) triple runs the
+/// staircase sweep above byte-identically; any other list runs an O(n^2)
+/// dominance check minimizing every axis.  Points with a non-finite
+/// value on any axis are never on the frontier (the legacy rule extended
+/// slot-wise); identical tuples share one verdict.  Throws
+/// std::invalid_argument on an empty axis list.
+void mark_pareto_frontier(std::vector<DsePoint>& points,
+                          const std::vector<Metric>& axes);
+
 /// Recombines shard results: concatenates all points, restores canonical
 /// order by DsePoint::index, and re-runs mark_pareto_frontier over the
 /// union (the staircase sweep composes).  Merging every shard of an
@@ -305,6 +340,11 @@ void mark_pareto_frontier(std::vector<DsePoint>& points);
 /// std::invalid_argument when two points carry the same index
 /// (overlapping shards).
 [[nodiscard]] DseResult merge(std::vector<DseResult> shards);
+
+/// merge() with the frontier recomputed over explicit axes (the sweep's
+/// pareto_axes); the single-argument overload is the legacy-triple case.
+[[nodiscard]] DseResult merge(std::vector<DseResult> shards,
+                              const std::vector<Metric>& axes);
 
 /// Streams completed DsePoints to an output stream as a canonical shard
 /// document (the format `--out` writes and `--merge` reads):
@@ -359,6 +399,12 @@ class DseShardWriter {
     /// document's "distinct" field; other samplers omit it.
     size_t distinct = 0;
     bool report_distinct = false;
+    /// Non-canned objective specs (core/metrics.h ObjectiveSpec::text)
+    /// are stamped into the header so --merge / --resume can verify the
+    /// shards rank and mark frontiers identically; empty (the canned
+    /// latency/energy/edp sweeps) omits the field, keeping legacy shard
+    /// documents byte-identical.
+    std::string objective;
     DseShard shard;
     size_t total_points = 0;
   };

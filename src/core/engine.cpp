@@ -401,25 +401,24 @@ ResolvedModels resolve_models(const SimulateRequest& request) {
 }
 
 std::unique_ptr<Mapper> make_mapper(const SimulateRequest& request) {
-  const std::optional<MappingObjective> objective =
-      parse_objective(request.objective);
-  if (!objective) {
-    throw std::invalid_argument("--objective expects latency|energy|edp, "
-                                "got '" + request.objective + "'");
-  }
+  // One grammar for every surface (core/metrics.h): canned names parse to
+  // the legacy specs (scored bit-identically), and the spec is validated
+  // up front even under "rules" so a typo'd objective fails loudly — the
+  // pre-spec behavior.
+  const ObjectiveSpec objective = ObjectiveSpec::parse(request.objective);
   if (request.mapping == "rules") return nullptr;
   if (request.mapping == "greedy") {
-    return std::make_unique<GreedyMapper>(*objective);
+    return std::make_unique<GreedyMapper>(objective);
   }
   if (request.mapping == "beam") {
     if (request.beam_width < 1) {
       throw std::invalid_argument("--beam-width expects a positive integer");
     }
     return std::make_unique<BeamMapper>(
-        static_cast<size_t>(request.beam_width), *objective);
+        static_cast<size_t>(request.beam_width), objective);
   }
   if (request.mapping == "bnb") {
-    return std::make_unique<BranchBoundMapper>(*objective);
+    return std::make_unique<BranchBoundMapper>(objective);
   }
   throw std::invalid_argument("--mapping expects rules|greedy|beam|bnb, "
                               "got '" + request.mapping + "'");
@@ -461,8 +460,9 @@ std::unique_ptr<ExploreStrategy> make_strategy(
       throw std::invalid_argument("--rungs expects a positive integer, got " +
                                   std::to_string(request.rungs));
     }
-    return std::make_unique<SuccessiveHalvingStrategy>(request.eta,
-                                                       request.rungs);
+    return std::make_unique<SuccessiveHalvingStrategy>(
+        request.eta, request.rungs,
+        ObjectiveSpec::parse(request.base.objective));
   }
   if (request.strategy == "frontier") {
     if (request.refine_rounds < 1) {
@@ -477,8 +477,9 @@ std::unique_ptr<ExploreStrategy> make_strategy(
     }
     DseSpace space = request.space;
     space.base = request.base.params;
-    return std::make_unique<FrontierRefineStrategy>(std::move(space),
-                                                    request.refine_rounds);
+    return std::make_unique<FrontierRefineStrategy>(
+        std::move(space), request.refine_rounds,
+        ObjectiveSpec::parse(request.base.objective));
   }
   throw std::invalid_argument(
       "--strategy expects one-shot|halving|frontier, got '" +
@@ -530,6 +531,11 @@ DseShardWriter::Metadata explore_metadata(const ExploreRequest& request) {
     }
     metadata.aggregate = to_string(*aggregate);
   }
+  // Non-canned objectives change point semantics (extra Pareto axes, p99
+  // fields), so the spec text is stamped for --resume / --merge matching;
+  // canned specs stamp nothing, keeping legacy shard files byte-identical.
+  const ObjectiveSpec objective = ObjectiveSpec::parse(request.base.objective);
+  if (!objective.canned_objective()) metadata.objective = objective.text();
   if (request.strategy != "one-shot") {
     // Surfaces range/name errors with the CLI's wording before any
     // header bytes are written; the instance itself is not needed here.
@@ -561,6 +567,11 @@ util::Json SimulateResponse::to_json() const {
       root["mapping"] =
           mapping_to_json(m.mapping, mapping_name, objective_name);
     }
+    // NaN (every legacy request) omits the field: documents only change
+    // when the objective asked for the tail metric.
+    if (std::isfinite(p99_latency_ns)) {
+      root["p99_latency_ns"] = p99_latency_ns;
+    }
     return root;
   }
   util::Json root;
@@ -584,6 +595,9 @@ util::Json SimulateResponse::to_json() const {
   totals_json["area_mm2"] = totals.area_mm2;
   totals_json["power_W"] = totals.power_W;
   totals_json["tops"] = totals.tops;
+  if (std::isfinite(p99_latency_ns)) {
+    totals_json["p99_latency_ns"] = p99_latency_ns;
+  }
   root["totals"] = std::move(totals_json);
   return root;
 }
@@ -598,6 +612,8 @@ util::Json ExploreResponse::to_json() const {
   // by construction and omit the field.
   if (report_distinct) root["distinct"] = distinct;
   if (!aggregate_label.empty()) root["aggregate"] = aggregate_label;
+  // Non-canned specs only: legacy sweeps never carried the field.
+  if (!objective.empty()) root["objective"] = objective;
   root["total_points"] = total_points;
   if (shard.count > 1) {
     util::Json shard_json;
@@ -713,6 +729,20 @@ SimulateResponse Engine::evaluate_simulate(
   response.objective_name = request.objective;
   response.cache_attached = attach;
   if (attach) response.cache = stats_delta(before, cache_.stats());
+  // Tail latency of the workload mix, only when the objective asked for
+  // it (make_mapper already validated the spec text above).
+  if (ObjectiveSpec::parse(request.objective)
+          .references(Metric::kP99Latency)) {
+    std::vector<double> latencies;
+    std::vector<double> weights;
+    latencies.reserve(response.batch.models.size());
+    weights.reserve(response.batch.models.size());
+    for (const BatchReport::ModelResult& m : response.batch.models) {
+      latencies.push_back(m.report.total_runtime_ns);
+      weights.push_back(m.weight);
+    }
+    response.p99_latency_ns = p99_latency_ns(latencies, weights);
+  }
   return response;
 }
 
@@ -735,10 +765,10 @@ ExploreResponse Engine::evaluate_explore(const ExploreRequest& request,
   // Only worth substituting when the full mapper actually searches (a
   // costed mapping); under "rules" kLow falls back to the same fixed
   // routing and the rungs merely subset the space.
+  const ObjectiveSpec objective = ObjectiveSpec::parse(request.base.objective);
   std::unique_ptr<Mapper> low_fidelity;
   if (strategy != nullptr && mapper != nullptr && mapper->needs_costs()) {
-    low_fidelity = std::make_unique<GreedyMapper>(
-        *parse_objective(request.base.objective));
+    low_fidelity = std::make_unique<GreedyMapper>(objective);
   }
 
   DseSpace space = request.space;
@@ -748,6 +778,7 @@ ExploreResponse Engine::evaluate_explore(const ExploreRequest& request,
   options.num_threads = request.base.num_threads;
   options.cache = request.dse_cache;
   options.aggregate = *aggregate;
+  options.objective = objective;
   options.mapper = mapper.get();
   options.sampler = sampler.get();
   options.shard = request.shard;
@@ -774,6 +805,8 @@ ExploreResponse Engine::evaluate_explore(const ExploreRequest& request,
   response.model_label = std::move(resolved.label);
   response.sampler_name = sampler != nullptr ? request.sample : "grid";
   response.aggregate_label = batch ? to_string(*aggregate) : "";
+  response.objective =
+      objective.canned_objective() ? "" : objective.text();
   response.total_points = total_points;
   response.shard = request.shard;
   response.cache_attached = attach;

@@ -72,7 +72,11 @@ struct SimulateRequest {
   std::vector<WorkloadSpec> models;
   std::string aggregate = "sum";   // sum|max|weighted (batch fold)
   std::string mapping = "rules";   // rules|greedy|beam|bnb
-  std::string objective = "edp";   // latency|energy|edp
+  /// Objective spec (core/metrics.h grammar): a canned name
+  /// (latency|energy|edp), any registry metric (e.g. p99_latency), a
+  /// weighted sum ("0.6*edp+0.4*area"), or a lexicographic list
+  /// ("latency,energy").  Parsed with ObjectiveSpec::parse at evaluation.
+  std::string objective = "edp";
   int beam_width = 8;
   /// Consult the engine's shared cost-matrix cache (only effective with
   /// a costed mapping).  Results are bit-identical either way.
@@ -127,6 +131,11 @@ struct SimulateResponse {
   std::string model_label;    // deduped model names joined with "+"
   std::string mapping_name;   // strategy name ("rules", "greedy", ...)
   std::string objective_name;
+  /// M/G/1 tail latency of the workload mix (core/metrics.h
+  /// p99_latency_ns).  Computed — and serialized as "p99_latency_ns" —
+  /// only when the request's objective references p99_latency, so every
+  /// legacy document stays byte-identical.
+  double p99_latency_ns = std::numeric_limits<double>::quiet_NaN();
   /// Cost-cache activity attributed to THIS request (stats delta across
   /// the evaluation; exact when requests are sequential, approximate
   /// attribution under concurrent evaluations sharing the cache).  All
@@ -149,6 +158,10 @@ struct ExploreResponse {
   std::string model_label;
   std::string sampler_name;
   std::string aggregate_label;  // empty for single-model sweeps
+  /// Non-canned objective spec text (ObjectiveSpec::text), surfaced as
+  /// the document's "objective" field; empty (every canned spec) omits
+  /// the field, keeping legacy documents byte-identical.
+  std::string objective;
   size_t total_points = 0;
   DseShard shard;
   CostMatrixCache::Stats cache;  // per-request delta (see above)

@@ -52,49 +52,32 @@ void require_costs(const MappingProblem& problem, const char* who) {
   }
 }
 
-Mapping finalize(MappingObjective objective, std::vector<size_t> assignment,
-                 double energy_pJ, double latency_ns) {
+Mapping finalize(const ObjectiveSpec& objective,
+                 std::vector<size_t> assignment, double energy_pJ,
+                 double latency_ns) {
   Mapping mapping;
   mapping.assignment = std::move(assignment);
   mapping.predicted_energy_pJ = energy_pJ;
   mapping.predicted_latency_ns = latency_ns;
-  mapping.predicted_cost = objective_value(objective, energy_pJ, latency_ns);
+  mapping.predicted_cost = objective.mapper_score(energy_pJ, latency_ns);
   return mapping;
 }
 
+/// All search strategies share the compatibility gate: a spec that cannot
+/// give a sound scalar mapping score (lexicographic tuples, power,
+/// weighted edap — see ObjectiveSpec::mapper_compatible) is rejected at
+/// construction, before any cost matrix is built.
+ObjectiveSpec require_mapper_spec(ObjectiveSpec objective, const char* who) {
+  std::string why;
+  if (!objective.mapper_compatible(&why)) {
+    throw std::invalid_argument(std::string(who) + ": objective '" +
+                                objective.text() + "' cannot drive a "
+                                "mapping search: " + why);
+  }
+  return objective;
+}
+
 }  // namespace
-
-const char* to_string(MappingObjective objective) {
-  switch (objective) {
-    case MappingObjective::kLatency:
-      return "latency";
-    case MappingObjective::kEnergy:
-      return "energy";
-    case MappingObjective::kEdp:
-      return "edp";
-  }
-  return "?";
-}
-
-std::optional<MappingObjective> parse_objective(const std::string& text) {
-  if (text == "latency") return MappingObjective::kLatency;
-  if (text == "energy") return MappingObjective::kEnergy;
-  if (text == "edp") return MappingObjective::kEdp;
-  return std::nullopt;
-}
-
-double objective_value(MappingObjective objective, double energy_pJ,
-                       double latency_ns) {
-  switch (objective) {
-    case MappingObjective::kLatency:
-      return latency_ns;
-    case MappingObjective::kEnergy:
-      return energy_pJ;
-    case MappingObjective::kEdp:
-      return energy_pJ * latency_ns;
-  }
-  return kInfeasible;
-}
 
 // ------------------------------------------------------------- CostMatrix
 
@@ -237,7 +220,10 @@ Mapping RuleMapper::map(const MappingProblem& problem) const {
 // ----------------------------------------------------------- GreedyMapper
 
 GreedyMapper::GreedyMapper(MappingObjective objective)
-    : objective_(objective) {}
+    : objective_(ObjectiveSpec::canned(objective)) {}
+
+GreedyMapper::GreedyMapper(ObjectiveSpec objective)
+    : objective_(require_mapper_spec(std::move(objective), "GreedyMapper")) {}
 
 Mapping GreedyMapper::map(const MappingProblem& problem) const {
   require_costs(problem, "GreedyMapper");
@@ -257,8 +243,7 @@ Mapping GreedyMapper::map(const MappingProblem& problem) const {
     double best_cost = kInfeasible;
     for (size_t s = 0; s < S; ++s) {
       if (feasible[s] == 0) continue;
-      const double c =
-          objective_value(objective_, row_energy[s], row_latency[s]);
+      const double c = objective_.mapper_score(row_energy[s], row_latency[s]);
       if (c < best_cost) {
         best_cost = c;
         best = s;
@@ -310,7 +295,12 @@ bool candidate_less(const Candidate& a, const Candidate& b,
 
 BeamMapper::BeamMapper(size_t width, MappingObjective objective,
                        int num_threads)
-    : width_(width), objective_(objective), num_threads_(num_threads) {
+    : BeamMapper(width, ObjectiveSpec::canned(objective), num_threads) {}
+
+BeamMapper::BeamMapper(size_t width, ObjectiveSpec objective, int num_threads)
+    : width_(width),
+      objective_(require_mapper_spec(std::move(objective), "BeamMapper")),
+      num_threads_(num_threads) {
   if (width_ == 0) {
     throw std::invalid_argument("BeamMapper width must be >= 1");
   }
@@ -372,8 +362,7 @@ Mapping BeamMapper::map(const MappingProblem& problem) const {
         cand.subarch = s;
         cand.energy_pJ = cur_energy[b] + row_energy[s];
         cand.latency_ns = cur_latency[b] + row_latency[s];
-        cand.score =
-            objective_value(objective_, cand.energy_pJ, cand.latency_ns);
+        cand.score = objective_.mapper_score(cand.energy_pJ, cand.latency_ns);
       }
     });
 
@@ -421,7 +410,7 @@ namespace {
 /// State shared by every subtree of one branch-and-bound search.
 struct BnbContext {
   const CostMatrix* costs = nullptr;
-  MappingObjective objective = MappingObjective::kEdp;
+  const ObjectiveSpec* objective = nullptr;
   size_t n = 0;
   size_t S = 0;
   /// suffix_min_*[g] = sum over layers k >= g of the feasible minimum of
@@ -464,16 +453,14 @@ bool bnb_better(double score, const std::vector<size_t>& assignment,
 /// bit-for-bit ExhaustiveMapper equivalence the class guarantees.
 double bnb_bound(const BnbContext& ctx, size_t depth, double energy,
                  double latency) {
-  switch (ctx.objective) {
-    case MappingObjective::kLatency:
-      return latency + ctx.suffix_min_latency[depth];
-    case MappingObjective::kEnergy:
-      return energy + ctx.suffix_min_energy[depth];
-    case MappingObjective::kEdp:
-      return (energy + ctx.suffix_min_energy[depth]) *
-             (latency + ctx.suffix_min_latency[depth]);
-  }
-  return 0.0;
+  // Scoring the component-wise minima is admissible for every
+  // mapper-compatible spec: each scored metric is monotone nondecreasing
+  // in (E, L) (mapper_compatible rejects the ratios that are not), and
+  // every completion satisfies E >= E_lb and L >= L_lb.  For the canned
+  // objectives mapper_score IS objective_value, so this computes the
+  // legacy latency / energy / EDP bounds bit for bit.
+  return ctx.objective->mapper_score(energy + ctx.suffix_min_energy[depth],
+                                     latency + ctx.suffix_min_latency[depth]);
 }
 
 /// Deflates a bound by a relative margin comfortably above the
@@ -510,7 +497,7 @@ void bnb_dfs(const BnbContext& ctx, size_t depth, double energy,
   }
   ++stats.visited;  // expanded nodes only — disjoint from pruned
   if (depth == ctx.n) {
-    const double score = objective_value(ctx.objective, energy, latency);
+    const double score = ctx.objective->mapper_score(energy, latency);
     if (bnb_better(score, path, local)) {
       local.valid = true;
       local.score = score;
@@ -537,7 +524,12 @@ void bnb_dfs(const BnbContext& ctx, size_t depth, double energy,
 
 BranchBoundMapper::BranchBoundMapper(MappingObjective objective,
                                      int num_threads)
-    : objective_(objective), num_threads_(num_threads) {
+    : BranchBoundMapper(ObjectiveSpec::canned(objective), num_threads) {}
+
+BranchBoundMapper::BranchBoundMapper(ObjectiveSpec objective, int num_threads)
+    : objective_(
+          require_mapper_spec(std::move(objective), "BranchBoundMapper")),
+      num_threads_(num_threads) {
   if (num_threads_ < 0) {
     throw std::invalid_argument(
         "BranchBoundMapper num_threads must be >= 0");
@@ -556,7 +548,7 @@ Mapping BranchBoundMapper::map_counted(const MappingProblem& problem,
 
   BnbContext ctx;
   ctx.costs = &costs;
-  ctx.objective = objective_;
+  ctx.objective = &objective_;
   ctx.n = costs.num_gemms();
   ctx.S = costs.num_subarchs();
   ctx.suffix_min_energy.assign(ctx.n + 1, 0.0);
@@ -690,7 +682,11 @@ Mapping BranchBoundMapper::map_counted(const MappingProblem& problem,
 // ------------------------------------------------------ ExhaustiveMapper
 
 ExhaustiveMapper::ExhaustiveMapper(MappingObjective objective)
-    : objective_(objective) {}
+    : objective_(ObjectiveSpec::canned(objective)) {}
+
+ExhaustiveMapper::ExhaustiveMapper(ObjectiveSpec objective)
+    : objective_(
+          require_mapper_spec(std::move(objective), "ExhaustiveMapper")) {}
 
 Mapping ExhaustiveMapper::map(const MappingProblem& problem) const {
   require_costs(problem, "ExhaustiveMapper");
@@ -736,7 +732,7 @@ Mapping ExhaustiveMapper::map(const MappingProblem& problem) const {
       latency += costs.latency_row(g)[s];
     }
     if (feasible) {
-      const double score = objective_value(objective_, energy, latency);
+      const double score = objective_.mapper_score(energy, latency);
       if (score < best_score) {
         best_score = score;
         best_assignment = digits;

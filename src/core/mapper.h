@@ -43,28 +43,18 @@
 #include <vector>
 
 #include "core/mapping.h"
+#include "core/metrics.h"
 #include "core/report.h"
 #include "util/binio.h"
 #include "workload/gemm.h"
 
 namespace simphony::core {
 
-/// What "best" means when scalarizing a candidate assignment.
-enum class MappingObjective {
-  kLatency,  // minimize total runtime
-  kEnergy,   // minimize total energy
-  kEdp,      // minimize energy-delay product of the whole model
-};
-
-[[nodiscard]] const char* to_string(MappingObjective objective);
-
-/// Parses "latency" | "energy" | "edp"; nullopt on anything else.
-[[nodiscard]] std::optional<MappingObjective> parse_objective(
-    const std::string& text);
-
-/// Scalarizes totals under an objective (lower is better).
-[[nodiscard]] double objective_value(MappingObjective objective,
-                                     double energy_pJ, double latency_ns);
+// MappingObjective, parse_objective, and objective_value moved to
+// core/metrics.h (the unified metric layer).  Every search strategy below
+// now scores through an ObjectiveSpec; the legacy MappingObjective
+// constructors remain and build the canned specs, which score through the
+// original objective_value() switch bit for bit.
 
 /// Simulated cost of every (GEMM, sub-arch) pair, built once per mapping
 /// search so strategies never re-simulate a pair.  Entries keep the full
@@ -318,13 +308,16 @@ class GreedyMapper final : public Mapper {
  public:
   explicit GreedyMapper(
       MappingObjective objective = MappingObjective::kEdp);
+  /// General-spec search; throws std::invalid_argument unless
+  /// objective.mapper_compatible().
+  explicit GreedyMapper(ObjectiveSpec objective);
 
   [[nodiscard]] std::string name() const override { return "greedy"; }
-  [[nodiscard]] MappingObjective objective() const { return objective_; }
+  [[nodiscard]] const ObjectiveSpec& objective() const { return objective_; }
   [[nodiscard]] Mapping map(const MappingProblem& problem) const override;
 
  private:
-  MappingObjective objective_;
+  ObjectiveSpec objective_;
 };
 
 /// Width-k beam search over the layer order.  Each beam state is an
@@ -346,15 +339,18 @@ class BeamMapper final : public Mapper {
   explicit BeamMapper(size_t width = 8,
                       MappingObjective objective = MappingObjective::kEdp,
                       int num_threads = 1);
+  /// General-spec search; throws std::invalid_argument unless
+  /// objective.mapper_compatible().
+  BeamMapper(size_t width, ObjectiveSpec objective, int num_threads = 1);
 
   [[nodiscard]] std::string name() const override { return "beam"; }
   [[nodiscard]] size_t width() const { return width_; }
-  [[nodiscard]] MappingObjective objective() const { return objective_; }
+  [[nodiscard]] const ObjectiveSpec& objective() const { return objective_; }
   [[nodiscard]] Mapping map(const MappingProblem& problem) const override;
 
  private:
   size_t width_;
-  MappingObjective objective_;
+  ObjectiveSpec objective_;
   int num_threads_;
 };
 
@@ -400,9 +396,14 @@ class BranchBoundMapper final : public Mapper {
   explicit BranchBoundMapper(
       MappingObjective objective = MappingObjective::kEdp,
       int num_threads = 1);
+  /// General-spec search; throws std::invalid_argument unless
+  /// objective.mapper_compatible().  Bounds stay admissible because every
+  /// mapper-compatible metric is monotone nondecreasing in the prefix
+  /// (energy, latency) totals — see ObjectiveSpec::mapper_compatible.
+  explicit BranchBoundMapper(ObjectiveSpec objective, int num_threads = 1);
 
   [[nodiscard]] std::string name() const override { return "bnb"; }
-  [[nodiscard]] MappingObjective objective() const { return objective_; }
+  [[nodiscard]] const ObjectiveSpec& objective() const { return objective_; }
   [[nodiscard]] Mapping map(const MappingProblem& problem) const override;
 
   /// map() variant that also reports how much of the tree was explored.
@@ -410,7 +411,7 @@ class BranchBoundMapper final : public Mapper {
                                     Stats* stats) const;
 
  private:
-  MappingObjective objective_;
+  ObjectiveSpec objective_;
   int num_threads_;
 };
 
@@ -421,12 +422,15 @@ class ExhaustiveMapper final : public Mapper {
  public:
   explicit ExhaustiveMapper(
       MappingObjective objective = MappingObjective::kEdp);
+  /// General-spec search; throws std::invalid_argument unless
+  /// objective.mapper_compatible().
+  explicit ExhaustiveMapper(ObjectiveSpec objective);
 
   [[nodiscard]] std::string name() const override { return "exhaustive"; }
   [[nodiscard]] Mapping map(const MappingProblem& problem) const override;
 
  private:
-  MappingObjective objective_;
+  ObjectiveSpec objective_;
 };
 
 }  // namespace simphony::core

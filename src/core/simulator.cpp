@@ -436,36 +436,27 @@ ModelTotals Simulator::simulate_gemms_totals(
 }
 
 BatchReport::Totals BatchReport::totals(BatchAggregate aggregate) const {
-  std::vector<double> energies;
-  std::vector<double> latencies;
-  std::vector<double> macs;
-  std::vector<double> weights;
-  std::vector<double> powers;
-  std::vector<double> tops;
-  energies.reserve(models.size());
-  latencies.reserve(models.size());
-  macs.reserve(models.size());
-  weights.reserve(models.size());
-  powers.reserve(models.size());
-  tops.reserve(models.size());
-  Totals totals;
+  std::vector<BatchModelSlice> slices;
+  slices.reserve(models.size());
   for (const ModelResult& m : models) {
-    energies.push_back(m.report.total_energy.total_pJ());
-    latencies.push_back(m.report.total_runtime_ns);
-    macs.push_back(m.report.total_macs());
-    weights.push_back(m.weight);
-    powers.push_back(m.report.average_power_W());
-    tops.push_back(m.report.tops());
-    totals.area_mm2 = std::max(totals.area_mm2, m.report.total_area_mm2());
+    BatchModelSlice slice;
+    slice.energy_pJ = m.report.total_energy.total_pJ();
+    slice.latency_ns = m.report.total_runtime_ns;
+    slice.area_mm2 = m.report.total_area_mm2();
+    slice.macs = m.report.total_macs();
+    slice.weight = m.weight;
+    slice.power_W = m.report.average_power_W();
+    slice.tops = m.report.tops();
+    slices.push_back(slice);
   }
-  totals.energy_pJ = aggregate_values(aggregate, energies, weights);
-  totals.latency_ns = aggregate_values(aggregate, latencies, weights);
-  totals.macs = aggregate_values(aggregate, macs, weights);
-  const BatchDerivedMetrics derived =
-      derive_batch_metrics(aggregate, totals.energy_pJ, totals.latency_ns,
-                           totals.macs, powers, tops);
-  totals.power_W = derived.power_W;
-  totals.tops = derived.tops;
+  const BatchFold fold = fold_batch(aggregate, slices);
+  Totals totals;
+  totals.energy_pJ = fold.energy_pJ;
+  totals.latency_ns = fold.latency_ns;
+  totals.area_mm2 = fold.area_mm2;
+  totals.macs = fold.macs;
+  totals.power_W = fold.power_W;
+  totals.tops = fold.tops;
   return totals;
 }
 

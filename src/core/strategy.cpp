@@ -40,6 +40,30 @@ double metric_latency(const DsePoint& p) { return p.latency_ns; }
 double metric_area(const DsePoint& p) { return p.area_mm2; }
 double metric_edap(const DsePoint& p) { return p.edap(); }
 
+/// Batch positions ranked by an objective spec: finite spec values first
+/// (ascending under the spec's own ordering — value() for scalar specs,
+/// the component-wise comparison for lexicographic ones), canonical index
+/// as the deterministic tie break.
+std::vector<size_t> spec_leaderboard(const std::vector<DsePoint>& points,
+                                     const ObjectiveSpec& spec) {
+  std::vector<MetricVector> vectors;
+  vectors.reserve(points.size());
+  for (const DsePoint& p : points) vectors.push_back(p.metrics());
+  std::vector<size_t> order(points.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    const bool fa = std::isfinite(spec.value(vectors[a]));
+    const bool fb = std::isfinite(spec.value(vectors[b]));
+    if (fa != fb) return fa;
+    if (fa) {
+      if (spec.less(vectors[a], vectors[b])) return true;
+      if (spec.less(vectors[b], vectors[a])) return false;
+    }
+    return points[a].index < points[b].index;
+  });
+  return order;
+}
+
 }  // namespace
 
 // ------------------------------------------------------- OneShotStrategy
@@ -87,6 +111,12 @@ SuccessiveHalvingStrategy::SuccessiveHalvingStrategy(int eta, int rungs)
     throw std::invalid_argument("successive halving needs rungs >= 1, got " +
                                 std::to_string(rungs));
   }
+}
+
+SuccessiveHalvingStrategy::SuccessiveHalvingStrategy(int eta, int rungs,
+                                                     ObjectiveSpec objective)
+    : SuccessiveHalvingStrategy(eta, rungs) {
+  objective_ = std::move(objective);
 }
 
 size_t SuccessiveHalvingStrategy::rung_survivors(size_t n, int eta,
@@ -161,6 +191,15 @@ void SuccessiveHalvingStrategy::consume(
       rank[order[pos]] = std::min(rank[order[pos]], pos);
     }
   }
+  // A non-canned objective adds its own board, so the spec's argmin is
+  // guaranteed a full-fidelity evaluation; the canned specs add nothing,
+  // keeping legacy survivor sets (and documents) byte-identical.
+  if (!objective_.canned_objective()) {
+    const std::vector<size_t> order = spec_leaderboard(evaluated, objective_);
+    for (size_t pos = 0; pos < order.size(); ++pos) {
+      rank[order[pos]] = std::min(rank[order[pos]], pos);
+    }
+  }
   std::vector<size_t> order(evaluated.size());
   std::iota(order.begin(), order.end(), size_t{0});
   std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
@@ -196,6 +235,13 @@ FrontierRefineStrategy::FrontierRefineStrategy(DseSpace space,
   }
 }
 
+FrontierRefineStrategy::FrontierRefineStrategy(DseSpace space,
+                                               int refine_rounds,
+                                               ObjectiveSpec objective)
+    : FrontierRefineStrategy(std::move(space), refine_rounds) {
+  objective_ = std::move(objective);
+}
+
 void FrontierRefineStrategy::begin(Context context) {
   context_ = std::move(context);
   round_ = 0;
@@ -211,10 +257,12 @@ void FrontierRefineStrategy::begin(Context context) {
 
 std::vector<ExploreStrategy::Candidate>
 FrontierRefineStrategy::neighbors_of_frontier() {
-  // The frontier over everything evaluated so far, in canonical index
-  // order so proposals (and their assigned indices) are deterministic.
+  // The frontier over everything evaluated so far — marked over the
+  // objective's pareto_axes, so e.g. a p99 objective refines around the
+  // tail-latency frontier too — in canonical index order so proposals
+  // (and their assigned indices) are deterministic.
   std::vector<DsePoint> pool = results_;
-  mark_pareto_frontier(pool);
+  mark_pareto_frontier(pool, pareto_axes(objective_));
   std::sort(pool.begin(), pool.end(),
             [](const DsePoint& a, const DsePoint& b) {
               return a.index < b.index;

@@ -145,9 +145,17 @@ class SuccessiveHalvingStrategy final : public ExploreStrategy {
   /// Throws std::invalid_argument unless eta >= 2 and rungs >= 1.
   explicit SuccessiveHalvingStrategy(int eta = 3, int rungs = 2);
 
+  /// Halving driven by an objective spec (core/metrics.h).  The four
+  /// legacy leaderboards always run — selection (and therefore every
+  /// legacy document) is unchanged for the canned specs — and a
+  /// non-canned spec adds one more board ranked by its value(), so the
+  /// spec's own argmin always survives to the full-fidelity rung.
+  SuccessiveHalvingStrategy(int eta, int rungs, ObjectiveSpec objective);
+
   [[nodiscard]] std::string name() const override { return "halving"; }
   [[nodiscard]] int eta() const { return eta_; }
   [[nodiscard]] int rungs() const { return rungs_; }
+  [[nodiscard]] const ObjectiveSpec& objective() const { return objective_; }
 
   /// k_r = max(1, ceil(n / eta^r)): survivors entering rung r.
   [[nodiscard]] static size_t rung_survivors(size_t n, int eta, int rung);
@@ -161,6 +169,7 @@ class SuccessiveHalvingStrategy final : public ExploreStrategy {
  private:
   int eta_;
   int rungs_;
+  ObjectiveSpec objective_;  // default: canned edp (legacy selection)
   Context context_;
   int rung_ = 0;
   bool awaiting_consume_ = false;
@@ -184,8 +193,16 @@ class FrontierRefineStrategy final : public ExploreStrategy {
   /// Throws std::invalid_argument when refine_rounds < 1.
   explicit FrontierRefineStrategy(DseSpace space, int refine_rounds = 1);
 
+  /// Refinement around the frontier of an objective spec's pareto_axes
+  /// (core/metrics.h): a spec referencing p99_latency steps neighbors of
+  /// the tail-latency frontier too.  Canned specs reproduce the legacy
+  /// (energy, latency, area) frontier exactly.
+  FrontierRefineStrategy(DseSpace space, int refine_rounds,
+                         ObjectiveSpec objective);
+
   [[nodiscard]] std::string name() const override { return "frontier"; }
   [[nodiscard]] int refine_rounds() const { return refine_rounds_; }
+  [[nodiscard]] const ObjectiveSpec& objective() const { return objective_; }
 
   void begin(Context context) override;
   [[nodiscard]] std::vector<Candidate> next_batch() override;
@@ -198,6 +215,7 @@ class FrontierRefineStrategy final : public ExploreStrategy {
 
   DseSpace space_;
   int refine_rounds_;
+  ObjectiveSpec objective_;  // default: canned edp (legacy frontier axes)
   Context context_;
   int round_ = 0;  // 0 = base one-shot pass, 1.. = refine rounds
   bool awaiting_consume_ = false;

@@ -1,81 +1,11 @@
 #include "core/workload_set.h"
 
-#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
 #include "core/fingerprint.h"
 
 namespace simphony::core {
-
-const char* to_string(BatchAggregate aggregate) {
-  switch (aggregate) {
-    case BatchAggregate::kSum:
-      return "sum";
-    case BatchAggregate::kMax:
-      return "max";
-    case BatchAggregate::kWeighted:
-      return "weighted";
-  }
-  return "?";
-}
-
-std::optional<BatchAggregate> parse_aggregate(const std::string& text) {
-  if (text == "sum") return BatchAggregate::kSum;
-  if (text == "max") return BatchAggregate::kMax;
-  if (text == "weighted") return BatchAggregate::kWeighted;
-  return std::nullopt;
-}
-
-double aggregate_values(BatchAggregate aggregate,
-                        const std::vector<double>& values,
-                        const std::vector<double>& weights) {
-  if (values.empty()) return 0.0;
-  switch (aggregate) {
-    case BatchAggregate::kSum: {
-      double total = 0.0;
-      for (double v : values) total += v;
-      return total;
-    }
-    case BatchAggregate::kMax:
-      return *std::max_element(values.begin(), values.end());
-    case BatchAggregate::kWeighted: {
-      if (weights.size() != values.size()) {
-        throw std::invalid_argument(
-            "aggregate_values: kWeighted needs one weight per value (" +
-            std::to_string(weights.size()) + " weights for " +
-            std::to_string(values.size()) + " values)");
-      }
-      double total = 0.0;
-      for (size_t i = 0; i < values.size(); ++i) {
-        total += weights[i] * values[i];
-      }
-      return total;
-    }
-  }
-  return 0.0;
-}
-
-BatchDerivedMetrics derive_batch_metrics(
-    BatchAggregate aggregate, double energy_pJ, double latency_ns,
-    double macs, const std::vector<double>& model_power_W,
-    const std::vector<double>& model_tops) {
-  BatchDerivedMetrics derived;
-  if (aggregate == BatchAggregate::kMax) {
-    if (model_power_W.empty() || model_tops.empty()) return derived;
-    derived.power_W =
-        *std::max_element(model_power_W.begin(), model_power_W.end());
-    // min_element, not a 0-sentinel fold: a model legitimately reporting
-    // 0 TOPS (degenerate zero-runtime workload) IS the worst case.
-    derived.tops = *std::min_element(model_tops.begin(), model_tops.end());
-    return derived;
-  }
-  if (latency_ns > 0.0) {
-    derived.power_W = energy_pJ / latency_ns * 1e-3;
-    derived.tops = 2.0 * macs / latency_ns * 1e-3;
-  }
-  return derived;
-}
 
 const WorkloadSet::Entry& WorkloadSet::add(workload::Model model,
                                            std::string name, double weight) {

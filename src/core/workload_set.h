@@ -18,51 +18,19 @@
 
 #include <cstdint>
 #include <memory>
-#include <optional>
 #include <string>
 #include <vector>
 
+#include "core/metrics.h"
 #include "util/json.h"
 #include "workload/gemm.h"
 #include "workload/model.h"
 
 namespace simphony::core {
 
-/// How a batch of per-model metrics folds into one objective value.
-enum class BatchAggregate {
-  kSum,       // Σ value_i   — total serve-everything cost
-  kMax,       // max value_i — worst case over the batch
-  kWeighted,  // Σ weight_i * value_i — traffic-share weighting
-};
-
-[[nodiscard]] const char* to_string(BatchAggregate aggregate);
-
-/// Parses "sum" | "max" | "weighted"; nullopt on anything else.
-[[nodiscard]] std::optional<BatchAggregate> parse_aggregate(
-    const std::string& text);
-
-/// Folds per-model values under an aggregate mode.  `weights` is read
-/// only for kWeighted and must then be the same length as `values`;
-/// empty input folds to 0.
-[[nodiscard]] double aggregate_values(BatchAggregate aggregate,
-                                      const std::vector<double>& values,
-                                      const std::vector<double>& weights);
-
-/// The derived figures of an aggregated batch, shared by
-/// BatchReport::totals and the batched DSE point evaluator so the
-/// semantics cannot drift: for kSum / kWeighted, power and TOPS come
-/// from the aggregated energy / latency / MACs; for kMax they are the
-/// per-model worst cases (max power, min TOPS) — a ratio of
-/// independently-maxed energy and latency would be a figure no model
-/// exhibits.  Empty batches (and zero aggregate latency) fold to 0.
-struct BatchDerivedMetrics {
-  double power_W = 0.0;
-  double tops = 0.0;
-};
-[[nodiscard]] BatchDerivedMetrics derive_batch_metrics(
-    BatchAggregate aggregate, double energy_pJ, double latency_ns,
-    double macs, const std::vector<double>& model_power_W,
-    const std::vector<double>& model_tops);
+// BatchAggregate, aggregate_values, and derive_batch_metrics moved to
+// core/metrics.h (the unified metric layer); this include keeps every
+// workload_set.h consumer compiling unchanged.
 
 /// A batch of named models whose GEMMs are extracted once, up front.
 class WorkloadSet {
